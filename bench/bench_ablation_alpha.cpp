@@ -1,0 +1,75 @@
+// Ablation: the fine scaled correction factor (Section 5 of the
+// paper). Sweeps the normalization divisor alpha and measures frame
+// error rate at a fixed operating point, then reports the analytic
+// alphas (mean-matching per the paper's rule, and the density-
+// evolution threshold optimum) for comparison.
+//
+// Flags: --snr=4.0 --frames=N --quick
+#include <cstdio>
+
+#include "de/density_evolution.hpp"
+#include "ldpc/c2_system.hpp"
+#include "ldpc/fixed_minsum_decoder.hpp"
+#include "sim/ber_runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cldpc;
+  const ArgParser args(argc, argv);
+  const bool quick = args.GetBool("quick");
+  const double snr = args.GetDouble("snr", 3.7);
+
+  sim::BerConfig config;
+  config.ebn0_db = {snr};
+  config.max_frames =
+      static_cast<std::uint64_t>(args.GetInt("frames", quick ? 20 : 80));
+  config.min_frame_errors = 1000;  // fixed frame count: paired comparison
+  config.base_seed = 77;
+
+  std::printf("Building CCSDS C2 system...\n");
+  const auto system = ldpc::MakeC2System();
+  sim::BerRunner runner(*system.code, *system.encoder, config);
+
+  const double alphas[] = {1.0, 1.1, 1.23, 1.33, 1.45, 1.6, 2.0};
+  TablePrinter table({"alpha", "1/alpha (dyadic)", "BER", "PER"});
+  for (const double alpha : alphas) {
+    ldpc::FixedMinSumOptions o;
+    o.iter.max_iterations = 18;
+    o.iter.early_termination = true;
+    o.datapath.normalization = NearestDyadic(1.0 / alpha, 4);
+    ldpc::FixedMinSumDecoder dec(*system.code, o);
+    const auto curve = runner.Run(dec);
+    const auto& p = curve.points.front();
+    table.AddRow({FormatDouble(alpha, 2),
+                  std::to_string(o.datapath.normalization.num) + "/16",
+                  FormatScientific(p.bit_errors.Rate(), 2),
+                  FormatScientific(p.frame_errors.Rate(), 2)});
+  }
+  std::printf("%s", table
+                        .Render("Correction-factor ablation — fixed NMS-18 at "
+                                "Eb/N0 = " +
+                                FormatDouble(snr, 1) + " dB, " +
+                                std::to_string(config.max_frames) +
+                                " paired frames/point")
+                        .c_str());
+
+  // The paper's rule: match min-sum means to BP means.
+  const de::Ensemble ensemble{4, 32};
+  const double mean_alpha = de::AlphaByMeanMatching(
+      ensemble, snr, quick ? 20000 : 100000);
+  std::printf("\nMean-matching alpha (paper's rule, (4,32) ensemble at "
+              "%.1f dB): %.3f -> dyadic 1/alpha = %d/16\n",
+              snr, mean_alpha, NearestDyadic(1.0 / mean_alpha, 4).num);
+  if (!quick) {
+    const double threshold_alpha = de::OptimalAlphaByThreshold(
+        ensemble, {1.0, 1.1, 1.2, 1.3, 1.4, 1.6}, 20, 6000);
+    std::printf("Threshold-optimal alpha (density evolution grid): %.2f\n",
+                threshold_alpha);
+  }
+  std::printf("\nExpected shape: alpha = 1 (plain min-sum) and very large "
+              "alpha are both worse than a moderate correction around "
+              "1.2-1.4 — the \"fine scaled correction factor\" the paper "
+              "credits for its 0.05 dB gain.\n");
+  return 0;
+}

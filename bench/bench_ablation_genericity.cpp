@@ -1,0 +1,69 @@
+// Ablation: the genericity knobs. Sweeps frame packing F, processing
+// blocks NPB and the storage layout, reporting throughput, resources
+// and efficiency (Mbps per kALUT, Mbps per kbit of RAM) — the design
+// space in which the paper picked its two published points.
+#include <cstdio>
+
+#include "arch/resources.hpp"
+#include "arch/throughput.hpp"
+#include "qc/ccsds_c2.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cldpc;
+  const arch::CodeGeometry geometry;
+  constexpr std::size_t kPayload = qc::C2Constants::kTxInfoBits;
+  constexpr int kIterations = 18;
+
+  TablePrinter table({"F", "NPB", "Storage", "Mbps@18it", "kALUTs",
+                      "RAM kbit", "Mbps/kALUT", "Mbps/RAMkbit"});
+  const auto add_point = [&](std::size_t frames, std::size_t npb,
+                             arch::MessageStorage storage, const char* tag) {
+    arch::ArchConfig config = arch::LowCostConfig();
+    config.frames_per_word = frames;
+    config.processing_blocks = npb;
+    config.storage = storage;
+    const double mbps = arch::ThroughputModel::OutputMbps(
+        config, geometry.q, kPayload, kIterations);
+    const auto res = arch::EstimateResources(config, geometry);
+    const double kaluts = static_cast<double>(res.aluts) / 1000.0;
+    const double ram_kbit = static_cast<double>(res.memory_bits) / 1000.0;
+    table.AddRow({std::to_string(frames) + tag, std::to_string(npb),
+                  ToString(storage), FormatDouble(mbps, 0),
+                  FormatDouble(kaluts, 1), FormatDouble(ram_kbit, 0),
+                  FormatDouble(mbps / kaluts, 1),
+                  FormatDouble(mbps / ram_kbit, 2)});
+  };
+
+  for (const std::size_t frames : {1u, 2u, 4u, 8u, 16u}) {
+    add_point(frames, 1, arch::MessageStorage::kPerEdge,
+              frames == 1 ? " (paper low-cost)" : "");
+  }
+  table.AddRule();
+  for (const std::size_t frames : {1u, 2u, 4u, 8u, 16u}) {
+    add_point(frames, 1, arch::MessageStorage::kCompressedCn,
+              frames == 8 ? " (paper high-speed)" : "");
+  }
+  table.AddRule();
+  // Replicating whole pipelines instead of packing frames: linear in
+  // everything — the less efficient way to scale.
+  for (const std::size_t npb : {2u, 4u}) {
+    add_point(1, npb, arch::MessageStorage::kPerEdge, "");
+  }
+
+  std::printf("%s", table
+                        .Render("Genericity ablation — CCSDS C2, 18 "
+                                "iterations, 200 MHz")
+                        .c_str());
+  std::printf(
+      "\nReadings:\n"
+      " * Frame packing (F) buys throughput at falling marginal cost —\n"
+      "   control and addressing are shared, so Mbps/kALUT *rises* with F\n"
+      "   (the paper's 8x-throughput-for-4x-resources claim).\n"
+      " * Compressed CN storage cuts the per-frame message RAM by ~23%\n"
+      "   (records + APP instead of one word per edge) and better fills\n"
+      "   wide RAM words — why the high-speed decoder switches layout.\n"
+      " * Replicating pipelines (NPB) scales everything linearly: no\n"
+      "   efficiency gain, only capacity.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Regenerates Figure 4: BER and PER of the CCSDS C2 decoder vs Eb/N0.
+//
+// Curves:
+//  * fixed-point normalized min-sum, 18 iterations (the shipped
+//    decoders' operating point),
+//  * fixed-point normalized min-sum, 50 iterations (the CCSDS
+//    reference setting),
+//  * plain min-sum (alpha = 1), 18 iterations — the baseline the fine
+//    scaled correction factor is measured against,
+//  * floating-point BP, 50 iterations — the algorithmic bound.
+//
+// The paper's claims to check against the output: no error floor in
+// the simulated range; NMS-18 tracks the 50-iteration curves (the
+// "18 iterations instead of 50" trade); plain MS-18 is visibly worse.
+//
+// Flags: --snrs=3.4,3.6,... --frames=N --min-errors=N --seed=N --quick
+#include <cstdio>
+
+#include "ldpc/bp_decoder.hpp"
+#include "ldpc/c2_system.hpp"
+#include "ldpc/fixed_minsum_decoder.hpp"
+#include "ldpc/minsum_decoder.hpp"
+#include "sim/ber_runner.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cldpc;
+  const ArgParser args(argc, argv);
+  const bool quick = args.GetBool("quick");
+
+  sim::BerConfig config;
+  config.ebn0_db =
+      args.GetDoubleList("snrs", quick ? std::vector<double>{3.6, 4.0}
+                                       : std::vector<double>{3.4, 3.6, 3.8,
+                                                             4.0, 4.2});
+  config.max_frames =
+      static_cast<std::uint64_t>(args.GetInt("frames", quick ? 12 : 60));
+  config.min_frame_errors =
+      static_cast<std::uint64_t>(args.GetInt("min-errors", 12));
+  config.base_seed = static_cast<std::uint64_t>(args.GetInt("seed", 2009));
+
+  std::printf("Building CCSDS C2 system (8176, 7156)...\n");
+  const auto system = ldpc::MakeC2System();
+  sim::BerRunner runner(*system.code, *system.encoder, config);
+
+  std::vector<sim::BerCurve> curves;
+
+  {
+    ldpc::FixedMinSumOptions o;
+    o.iter.max_iterations = 18;
+    o.iter.early_termination = true;  // identical results, faster sim
+    ldpc::FixedMinSumDecoder dec(*system.code, o);
+    std::printf("Running %s ...\n", dec.Name().c_str());
+    auto curve = runner.Run(dec);
+    curve.decoder_name = "NMS-18 fixed";
+    curves.push_back(std::move(curve));
+  }
+  {
+    ldpc::FixedMinSumOptions o;
+    o.iter.max_iterations = 50;
+    o.iter.early_termination = true;
+    ldpc::FixedMinSumDecoder dec(*system.code, o);
+    std::printf("Running %s (50 iterations)...\n", dec.Name().c_str());
+    auto curve = runner.Run(dec);
+    curve.decoder_name = "NMS-50 fixed";
+    curves.push_back(std::move(curve));
+  }
+  {
+    ldpc::MinSumOptions o;
+    o.variant = ldpc::MinSumVariant::kPlain;
+    o.iter.max_iterations = 18;
+    ldpc::MinSumDecoder dec(*system.code, o);
+    std::printf("Running plain min-sum (alpha=1, 18 iterations)...\n");
+    auto curve = runner.Run(dec);
+    curve.decoder_name = "MS-18 plain";
+    curves.push_back(std::move(curve));
+  }
+  if (!quick) {
+    ldpc::IterOptions o{.max_iterations = 50, .early_termination = true};
+    ldpc::BpDecoder dec(*system.code, o);
+    std::printf("Running floating-point BP (50 iterations)...\n");
+    auto curve = runner.Run(dec);
+    curve.decoder_name = "BP-50 float";
+    curves.push_back(std::move(curve));
+  }
+
+  std::printf("\n%s", sim::RenderCurves(curves).c_str());
+
+  std::printf("\nFrames per point: up to %llu (early stop at %llu frame "
+              "errors); info-bit BER over 7156 bits/frame.\n",
+              static_cast<unsigned long long>(config.max_frames),
+              static_cast<unsigned long long>(config.min_frame_errors));
+  std::printf("Expected shape (paper Fig. 4): waterfall between ~3.6 and "
+              "~4.2 dB; NMS-18 within ~0.05-0.1 dB of the 50-iteration "
+              "curves; plain MS-18 clearly worse; no error floor.\n");
+  std::printf("Increase --frames (e.g. 2000) to resolve BERs below 1e-6.\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// google-benchmark microbenchmarks of the decoding kernels: the
+// check-node and bit-node primitives, whole decoder iterations,
+// encoding, syndrome checking and the cycle-accurate architecture
+// model itself (simulation throughput, not hardware throughput).
+#include <benchmark/benchmark.h>
+
+#include "arch/decoder_core.hpp"
+#include "channel/awgn.hpp"
+#include "ldpc/bp_decoder.hpp"
+#include "ldpc/c2_system.hpp"
+#include "ldpc/encoder.hpp"
+#include "ldpc/fixed_minsum_decoder.hpp"
+#include "ldpc/minsum_decoder.hpp"
+#include "qc/small_codes.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cldpc;
+
+const ldpc::C2System& C2() {
+  static const ldpc::C2System system = ldpc::MakeC2System();
+  return system;
+}
+
+struct SmallFixture {
+  qc::QcMatrix qc = qc::MakeSmallQcCode();
+  ldpc::LdpcCode code{qc.Expand()};
+  ldpc::Encoder encoder{code};
+};
+
+SmallFixture& Small() {
+  static SmallFixture f;
+  return f;
+}
+
+std::vector<double> NoisyC2Frame(std::uint64_t seed) {
+  const auto& system = C2();
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> info(system.code->k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  const auto cw = system.encoder->Encode(info);
+  return channel::TransmitBpskAwgn(cw, 4.0, system.code->Rate(), seed ^ 1);
+}
+
+void BM_CnSummaryDegree32(benchmark::State& state) {
+  Xoshiro256pp rng(1);
+  std::vector<Fixed> inputs(32);
+  for (auto& v : inputs)
+    v = static_cast<Fixed>(rng.NextBounded(63)) - 31;
+  const DyadicFraction norm{13, 4};
+  for (auto _ : state) {
+    const auto summary = ldpc::ComputeCnSummary(inputs);
+    Fixed acc = 0;
+    for (std::size_t pos = 0; pos < inputs.size(); ++pos)
+      acc += ldpc::CnOutput(summary, pos, norm);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CnSummaryDegree32);
+
+void BM_BnUpdateDegree4(benchmark::State& state) {
+  const std::vector<Fixed> cbs = {7, -13, 2, 25};
+  for (auto _ : state) {
+    const Fixed app = ldpc::BnApp(-9, cbs, 9);
+    Fixed acc = 0;
+    for (const auto cb : cbs) acc += ldpc::BnOutput(app, cb, 6);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_BnUpdateDegree4);
+
+void BM_BoxPlus(benchmark::State& state) {
+  double a = 1.7, b = -2.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ldpc::BoxPlus(a, b));
+    a += 1e-9;  // defeat constant folding
+  }
+}
+BENCHMARK(BM_BoxPlus);
+
+void BM_C2Encode(benchmark::State& state) {
+  const auto& system = C2();
+  Xoshiro256pp rng(3);
+  std::vector<std::uint8_t> info(system.code->k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.encoder->Encode(info));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(info.size()));
+}
+BENCHMARK(BM_C2Encode);
+
+void BM_C2Syndrome(benchmark::State& state) {
+  const auto& system = C2();
+  const std::vector<std::uint8_t> zero(system.code->n(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.code->IsCodeword(zero));
+  }
+}
+BENCHMARK(BM_C2Syndrome);
+
+void BM_C2FixedMinSum18(benchmark::State& state) {
+  const auto& system = C2();
+  ldpc::FixedMinSumOptions o;
+  o.iter.max_iterations = 18;
+  o.iter.early_termination = false;
+  ldpc::FixedMinSumDecoder dec(*system.code, o);
+  const auto llr = NoisyC2Frame(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.Decode(llr));
+  }
+  state.SetItemsProcessed(state.iterations() * 7136);
+}
+BENCHMARK(BM_C2FixedMinSum18)->Unit(benchmark::kMillisecond);
+
+void BM_C2FloatBp10(benchmark::State& state) {
+  const auto& system = C2();
+  ldpc::BpDecoder dec(*system.code,
+                      {.max_iterations = 10, .early_termination = false});
+  const auto llr = NoisyC2Frame(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.Decode(llr));
+  }
+}
+BENCHMARK(BM_C2FloatBp10)->Unit(benchmark::kMillisecond);
+
+void BM_SmallCodeMinSum(benchmark::State& state) {
+  auto& f = Small();
+  ldpc::MinSumOptions o;
+  o.iter.max_iterations = 20;
+  o.iter.early_termination = false;
+  ldpc::MinSumDecoder dec(f.code, o);
+  Xoshiro256pp rng(5);
+  std::vector<std::uint8_t> info(f.code.k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  const auto cw = f.encoder.Encode(info);
+  const auto llr = channel::TransmitBpskAwgn(cw, 4.0, f.code.Rate(), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.Decode(llr));
+  }
+}
+BENCHMARK(BM_SmallCodeMinSum);
+
+void BM_ArchDecoderC2PerEdge(benchmark::State& state) {
+  const auto& system = C2();
+  arch::ArchConfig config = arch::LowCostConfig();
+  config.iterations = static_cast<int>(state.range(0));
+  arch::ArchDecoder dec(*system.code, system.qc, config);
+  const auto llr = NoisyC2Frame(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.Decode(llr));
+  }
+  // Simulated hardware cycles per wall-second of simulation.
+  state.counters["hw_cycles"] = static_cast<double>(
+      dec.LastStats().total_cycles);
+}
+BENCHMARK(BM_ArchDecoderC2PerEdge)->Arg(10)->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ArchDecoderC2Compressed(benchmark::State& state) {
+  const auto& system = C2();
+  arch::ArchConfig config = arch::HighSpeedConfig();
+  config.frames_per_word = 1;  // single-lane compressed for comparison
+  config.iterations = 18;
+  arch::ArchDecoder dec(*system.code, system.qc, config);
+  const auto llr = NoisyC2Frame(19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.Decode(llr));
+  }
+}
+BENCHMARK(BM_ArchDecoderC2Compressed)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,54 @@
+// Regenerates Table 2: implementation results of the low-cost decoder
+// on an Altera Cyclone II EP2C50F — from the analytic resource model
+// (see DESIGN.md §2 for the substitution rationale), side by side
+// with the paper's synthesis figures.
+#include <cstdio>
+
+#include "arch/resources.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cldpc;
+  const auto config = arch::LowCostConfig();
+  const arch::CodeGeometry geometry;  // CCSDS C2 defaults
+  const auto estimate = arch::EstimateResources(config, geometry);
+  const auto device = arch::CycloneIIEp2c50();
+
+  TablePrinter table({"Resource", "Model", "Model util.", "Paper",
+                      "Paper util."});
+  table.AddRow({"ALUTs", FormatCount(estimate.aluts),
+                FormatPercent(arch::LogicFraction(estimate, device)), "8k",
+                "16%"});
+  table.AddRow({"Registers", FormatCount(estimate.registers),
+                FormatPercent(arch::RegisterFraction(estimate, device)), "6k",
+                "12%"});
+  table.AddRow({"Memory bits", FormatCount(estimate.memory_bits),
+                FormatPercent(arch::MemoryFraction(estimate, device)), "290k",
+                "50%"});
+  std::printf("%s", table
+                        .Render("Table 2 — low-cost decoder on " + device.name +
+                                " (" + FormatCount(device.logic_elements) +
+                                " LEs, " + FormatCount(device.memory_bits) +
+                                " RAM bits)")
+                        .c_str());
+
+  TablePrinter breakdown({"ALUT block", "Count"});
+  breakdown.AddRow({"controller", FormatCount(estimate.control_aluts)});
+  breakdown.AddRow({"address generators", FormatCount(estimate.address_aluts)});
+  breakdown.AddRow({"CN datapath (2 units)",
+                    FormatCount(estimate.cn_datapath_aluts)});
+  breakdown.AddRow({"BN datapath (16 units)",
+                    FormatCount(estimate.bn_datapath_aluts)});
+  breakdown.AddRow({"memory interface (64 banks)",
+                    FormatCount(estimate.memory_interface_aluts)});
+  breakdown.AddRow({"I/O + syndrome + misc", FormatCount(estimate.misc_aluts)});
+  std::printf("\n%s", breakdown.Render("Model breakdown").c_str());
+
+  TablePrinter memory({"Memory block", "Bits"});
+  memory.AddRow({"message memories (32 704 edges x 6 b)",
+                 FormatCount(estimate.message_memory_bits)});
+  memory.AddRow({"I/O buffers (double-buffered)",
+                 FormatCount(estimate.io_memory_bits)});
+  std::printf("\n%s", memory.Render().c_str());
+  return 0;
+}

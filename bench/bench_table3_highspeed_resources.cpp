@@ -1,0 +1,61 @@
+// Regenerates Table 3: implementation results of the high-speed
+// decoder (8 frames per word, compressed check-node storage) on an
+// Altera Stratix II EP2S180, from the analytic resource model, plus
+// the paper's headline scaling claim (8x throughput for ~4x
+// resources).
+#include <cstdio>
+
+#include "arch/resources.hpp"
+#include "arch/throughput.hpp"
+#include "qc/ccsds_c2.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cldpc;
+  const auto low_config = arch::LowCostConfig();
+  const auto high_config = arch::HighSpeedConfig();
+  const arch::CodeGeometry geometry;
+  const auto low = arch::EstimateResources(low_config, geometry);
+  const auto high = arch::EstimateResources(high_config, geometry);
+  const auto device = arch::StratixIIEp2s180();
+
+  TablePrinter table({"Resource", "Model", "Model util.", "Paper",
+                      "Paper util."});
+  table.AddRow({"ALUTs", FormatCount(high.aluts),
+                FormatPercent(arch::LogicFraction(high, device)), "38k",
+                "27%"});
+  table.AddRow({"Registers", FormatCount(high.registers),
+                FormatPercent(arch::RegisterFraction(high, device)), "30k",
+                "20%"});
+  table.AddRow({"Memory bits", FormatCount(high.memory_bits),
+                FormatPercent(arch::MemoryFraction(high, device)), "1300k",
+                "20%"});
+  std::printf("%s",
+              table.Render("Table 3 — high-speed decoder on " + device.name)
+                  .c_str());
+
+  // The genericity claim quantified.
+  const double throughput_ratio =
+      arch::ThroughputModel::OutputMbps(high_config, qc::C2Constants::kQ,
+                                        qc::C2Constants::kTxInfoBits, 18) /
+      arch::ThroughputModel::OutputMbps(low_config, qc::C2Constants::kQ,
+                                        qc::C2Constants::kTxInfoBits, 18);
+  const double alut_ratio =
+      static_cast<double>(high.aluts) / static_cast<double>(low.aluts);
+  const double mem_ratio = static_cast<double>(high.memory_bits) /
+                           static_cast<double>(low.memory_bits);
+
+  TablePrinter scaling({"Quantity", "High-speed / low-cost", "Paper"});
+  scaling.AddRow({"Output throughput", FormatDouble(throughput_ratio, 2) + "x",
+                  "8x"});
+  scaling.AddRow({"ALUTs", FormatDouble(alut_ratio, 2) + "x", "4.75x"});
+  scaling.AddRow({"Memory bits", FormatDouble(mem_ratio, 2) + "x", "4.48x"});
+  std::printf("\n%s",
+              scaling
+                  .Render("Genericity scaling (the paper: \"increase the "
+                          "output throughput by a factor of eight while only "
+                          "increasing the amount of resources by about "
+                          "four\")")
+                  .c_str());
+  return 0;
+}

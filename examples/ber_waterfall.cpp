@@ -1,0 +1,63 @@
+// BER waterfall demo: sweeps Eb/N0 on a scaled-down CCSDS-like QC
+// code (fast) or on the full C2 code (--c2), comparing the fixed-
+// point architecture datapath against floating-point min-sum.
+//
+//   ./ber_waterfall [--c2] [--snrs=3.0,3.5,...] [--frames=N]
+#include <cstdio>
+
+#include "ldpc/fixed_minsum_decoder.hpp"
+#include "ldpc/minsum_decoder.hpp"
+#include "qc/ccsds_c2.hpp"
+#include "qc/small_codes.hpp"
+#include "sim/ber_runner.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cldpc;
+  const ArgParser args(argc, argv);
+  const bool use_c2 = args.GetBool("c2");
+
+  const auto qc_matrix =
+      use_c2 ? qc::BuildC2QcMatrix() : qc::MakeMediumQcCode();
+  const ldpc::LdpcCode code(qc_matrix.Expand());
+  const ldpc::Encoder encoder(code);
+  std::printf("Code: (%zu, %zu), rate %.3f, %zu edges\n", code.n(), code.k(),
+              code.Rate(), code.graph().num_edges());
+
+  sim::BerConfig config;
+  config.ebn0_db = args.GetDoubleList(
+      "snrs", {3.0, 3.4, 3.8, 4.2, 4.6});
+  config.max_frames =
+      static_cast<std::uint64_t>(args.GetInt("frames", use_c2 ? 40 : 400));
+  config.min_frame_errors = 15;
+  sim::BerRunner runner(code, encoder, config);
+
+  std::vector<sim::BerCurve> curves;
+  {
+    ldpc::FixedMinSumOptions o;
+    o.iter.max_iterations = 18;
+    o.iter.early_termination = true;
+    ldpc::FixedMinSumDecoder dec(code, o);
+    std::printf("Running fixed-point NMS-18...\n");
+    auto curve = runner.Run(dec);
+    curve.decoder_name = "fixed NMS-18";
+    curves.push_back(std::move(curve));
+  }
+  {
+    ldpc::MinSumOptions o;
+    o.iter.max_iterations = 18;
+    o.variant = ldpc::MinSumVariant::kNormalized;
+    o.alpha = 1.23;
+    ldpc::MinSumDecoder dec(code, o);
+    std::printf("Running float NMS-18...\n");
+    auto curve = runner.Run(dec);
+    curve.decoder_name = "float NMS-18";
+    curves.push_back(std::move(curve));
+  }
+
+  std::printf("\n%s", sim::RenderCurves(curves).c_str());
+  std::printf("\nThe 6-bit fixed datapath should track the float curve to "
+              "within the waterfall's statistical noise — the architecture "
+              "pays almost nothing for quantization.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quantization under the microscope: decode the *same* noisy frames
+// with floating-point BP, floating-point normalized min-sum and the
+// 6-bit fixed-point architecture datapath, and show where they
+// disagree.
+//
+//   ./fixed_vs_float [--snr=4.0] [--frames=20]
+#include <cstdio>
+
+#include "channel/awgn.hpp"
+#include "ldpc/bp_decoder.hpp"
+#include "ldpc/encoder.hpp"
+#include "ldpc/fixed_minsum_decoder.hpp"
+#include "ldpc/minsum_decoder.hpp"
+#include "qc/small_codes.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cldpc;
+  const ArgParser args(argc, argv);
+  const double snr = args.GetDouble("snr", 4.0);
+  const int frames = static_cast<int>(args.GetInt("frames", 20));
+
+  const ldpc::LdpcCode code(qc::MakeMediumQcCode().Expand());
+  const ldpc::Encoder encoder(code);
+  std::printf("Code: (%zu, %zu), rate %.3f; Eb/N0 = %.1f dB\n\n", code.n(),
+              code.k(), code.Rate(), snr);
+
+  ldpc::IterOptions iters{.max_iterations = 18, .early_termination = true};
+  ldpc::BpDecoder bp(code, iters);
+  ldpc::MinSumOptions nms_opts;
+  nms_opts.iter = iters;
+  nms_opts.alpha = 1.23;
+  ldpc::MinSumDecoder nms(code, nms_opts);
+  ldpc::FixedMinSumOptions fixed_opts;
+  fixed_opts.iter = iters;
+  ldpc::FixedMinSumDecoder fixed(code, fixed_opts);
+
+  int bp_ok = 0, nms_ok = 0, fixed_ok = 0, fixed_equals_nms = 0;
+  std::uint64_t raw_errors = 0;
+  for (int f = 0; f < frames; ++f) {
+    Xoshiro256pp rng(100 + f);
+    std::vector<std::uint8_t> info(code.k());
+    for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+    const auto cw = encoder.Encode(info);
+    const auto llr = channel::TransmitBpskAwgn(cw, snr, code.Rate(), 200 + f);
+    for (std::size_t i = 0; i < cw.size(); ++i) {
+      if ((llr[i] < 0.0) != (cw[i] != 0)) ++raw_errors;
+    }
+    const auto r_bp = bp.Decode(llr);
+    const auto r_nms = nms.Decode(llr);
+    const auto r_fixed = fixed.Decode(llr);
+    if (r_bp.bits == cw) ++bp_ok;
+    if (r_nms.bits == cw) ++nms_ok;
+    if (r_fixed.bits == cw) ++fixed_ok;
+    if (r_fixed.bits == r_nms.bits) ++fixed_equals_nms;
+  }
+
+  TablePrinter table({"Decoder", "Frames recovered"});
+  table.AddRow({"BP float (18 it)",
+                std::to_string(bp_ok) + " / " + std::to_string(frames)});
+  table.AddRow({"NMS float (18 it, a=1.23)",
+                std::to_string(nms_ok) + " / " + std::to_string(frames)});
+  table.AddRow({"NMS fixed 6-bit (18 it)",
+                std::to_string(fixed_ok) + " / " + std::to_string(frames)});
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nRaw channel BER: %.2e\n",
+              static_cast<double>(raw_errors) /
+                  (static_cast<double>(frames) * code.n()));
+  std::printf("Fixed == float NMS on %d of %d frames — the residual "
+              "differences are pure quantization.\n",
+              fixed_equals_nms, frames);
+  return 0;
+}

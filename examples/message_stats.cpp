@@ -1,0 +1,72 @@
+// Where do the architecture's word widths come from? This example
+// decodes a C2 frame at the waterfall and prints the distribution of
+// the quantized channel LLRs and of the check-to-bit messages in the
+// message memories — the evidence behind the 6-bit datapath choice
+// (see bench_ablation_quantization for the BER side).
+//
+//   ./message_stats [--snr=3.8] [--iterations=18]
+#include <cstdio>
+
+#include "channel/awgn.hpp"
+#include "ldpc/c2_system.hpp"
+#include "ldpc/fixed_minsum_decoder.hpp"
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cldpc;
+  const ArgParser args(argc, argv);
+  const double snr = args.GetDouble("snr", 3.8);
+  const int iterations = static_cast<int>(args.GetInt("iterations", 18));
+
+  std::printf("Building CCSDS C2 system...\n");
+  const auto system = ldpc::MakeC2System();
+
+  Xoshiro256pp rng(1);
+  std::vector<std::uint8_t> info(system.code->k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  const auto cw = system.encoder->Encode(info);
+  const auto llr = channel::TransmitBpskAwgn(cw, snr, system.code->Rate(), 2);
+
+  ldpc::FixedMinSumOptions opts;
+  opts.iter.max_iterations = iterations;
+  opts.iter.early_termination = false;
+  ldpc::FixedMinSumDecoder decoder(*system.code, opts);
+
+  Histogram channel_hist;
+  for (const auto q : decoder.QuantizeChannel(llr)) channel_hist.Add(q);
+
+  const auto result = decoder.Decode(llr);
+  Histogram message_hist;
+  for (const auto m : decoder.LastCheckToBit()) message_hist.Add(m);
+
+  const Fixed chan_max = SymmetricMax(opts.datapath.channel_bits);
+  // Check-to-bit magnitudes are capped by the normalizer: 31 * 13/16.
+  const Fixed msg_max = opts.datapath.normalization.Apply(
+      SymmetricMax(opts.datapath.message_bits));
+
+  std::printf("\nEb/N0 = %.1f dB, %d iterations, frame %s\n", snr, iterations,
+              result.bits == cw ? "RECOVERED" : "LOST");
+  std::printf("\nQuantized channel LLRs (%d-bit, scale %.1f):\n",
+              opts.datapath.channel_bits, opts.datapath.channel_scale);
+  std::printf("%s", channel_hist.Render(17).c_str());
+  std::printf("  mean %.2f, |q| median %lld, saturated %.2f%%\n",
+              channel_hist.Mean(),
+              static_cast<long long>(channel_hist.AbsQuantile(0.5)),
+              100.0 * channel_hist.TailFraction(chan_max));
+  std::printf("\nCheck-to-bit messages after the final iteration "
+              "(%d-bit words):\n",
+              opts.datapath.message_bits);
+  std::printf("%s", message_hist.Render(17).c_str());
+  std::printf("  mean %.2f, |m| q95 %lld, at the normalizer ceiling (%d): "
+              "%.2f%%\n",
+              message_hist.Mean(),
+              static_cast<long long>(message_hist.AbsQuantile(0.95)),
+              msg_max, 100.0 * message_hist.TailFraction(msg_max));
+  std::printf("\nReading: on a decodable frame most message mass migrates to\n"
+              "full scale (converged confidence) while the channel input\n"
+              "saturates only a few percent — the narrow word wastes almost\n"
+              "no information, which is why 6 bits suffice.\n");
+  return 0;
+}

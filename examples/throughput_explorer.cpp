@@ -1,0 +1,58 @@
+// Explore the architecture's design space: iterations vs throughput
+// for any genericity setting, with the resource bill next to it.
+//
+//   ./throughput_explorer [--frames-per-word=8] [--compressed]
+//                         [--clock-mhz=200] [--npb=1]
+#include <cstdio>
+
+#include "arch/resources.hpp"
+#include "arch/throughput.hpp"
+#include "qc/ccsds_c2.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cldpc;
+  const ArgParser args(argc, argv);
+
+  arch::ArchConfig config = arch::LowCostConfig();
+  config.frames_per_word =
+      static_cast<std::size_t>(args.GetInt("frames-per-word", 1));
+  config.processing_blocks = static_cast<std::size_t>(args.GetInt("npb", 1));
+  config.clock_mhz = args.GetDouble("clock-mhz", 200.0);
+  if (args.GetBool("compressed"))
+    config.storage = arch::MessageStorage::kCompressedCn;
+  arch::Validate(config);
+
+  const arch::CodeGeometry geometry;
+  constexpr std::size_t kPayload = qc::C2Constants::kTxInfoBits;
+
+  std::printf("Configuration: F=%zu, NPB=%zu, %s storage, %.0f MHz\n\n",
+              config.frames_per_word, config.processing_blocks,
+              ToString(config.storage).c_str(), config.clock_mhz);
+
+  TablePrinter table({"Iterations", "Throughput", "Latency/batch"});
+  for (const int iters : {5, 10, 15, 18, 25, 32, 50, 64}) {
+    table.AddRow(
+        {std::to_string(iters),
+         FormatDouble(arch::ThroughputModel::OutputMbps(config, geometry.q,
+                                                        kPayload, iters),
+                      1) +
+             " Mbps",
+         FormatDouble(
+             arch::ThroughputModel::BatchLatencyUs(config, geometry.q, iters),
+             1) +
+             " us"});
+  }
+  std::printf("%s", table.Render("Throughput vs iterations").c_str());
+
+  const auto resources = arch::EstimateResources(config, geometry);
+  TablePrinter res({"Resource", "Estimate"});
+  res.AddRow({"ALUTs", FormatCount(resources.aluts)});
+  res.AddRow({"Registers", FormatCount(resources.registers)});
+  res.AddRow({"Memory bits", FormatCount(resources.memory_bits)});
+  std::printf("\n%s", res.Render("Resource bill").c_str());
+  std::printf("\nTry --frames-per-word=8 --compressed for the paper's "
+              "high-speed point.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Rotation address generation for circulant memory access.
+//
+// Message banks are indexed by the *check-side* row of their
+// circulant, so the CN phase walks addresses 0..q-1 linearly while
+// the BN phase reads address (j - offset) mod q for local bit j —
+// a modular subtract, which is all the "routing complexity" the QC
+// structure leaves (the property the paper exploits).
+#pragma once
+
+#include <cstddef>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+
+class AddressGenerator {
+ public:
+  AddressGenerator(std::size_t q, std::size_t offset) : q_(q), offset_(offset) {
+    CLDPC_EXPECTS(q > 0, "circulant size must be positive");
+    CLDPC_EXPECTS(offset < q, "offset must be < q");
+  }
+
+  /// Address of the edge for check-side row i (identity mapping).
+  std::size_t CnAddress(std::size_t i) const {
+    CLDPC_EXPECTS(i < q_, "row out of range");
+    return i;
+  }
+
+  /// Address of the edge touching local bit column j.
+  std::size_t BnAddress(std::size_t j) const {
+    CLDPC_EXPECTS(j < q_, "column out of range");
+    return (j + q_ - offset_) % q_;
+  }
+
+  /// Local bit column touched by check-side row i (the inverse map).
+  std::size_t ColumnOfRow(std::size_t i) const {
+    CLDPC_EXPECTS(i < q_, "row out of range");
+    return (i + offset_) % q_;
+  }
+
+  std::size_t q() const { return q_; }
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t q_;
+  std::size_t offset_;
+};
+
+}  // namespace cldpc::arch

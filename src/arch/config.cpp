@@ -1,0 +1,71 @@
+#include "arch/config.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+
+std::string ToString(MessageStorage storage) {
+  switch (storage) {
+    case MessageStorage::kPerEdge:
+      return "per-edge";
+    case MessageStorage::kCompressedCn:
+      return "compressed-cn";
+  }
+  return "?";
+}
+
+std::string ToString(Schedule schedule) {
+  switch (schedule) {
+    case Schedule::kFlooding:
+      return "flooding";
+    case Schedule::kLayered:
+      return "layered";
+  }
+  return "?";
+}
+
+ArchConfig LowCostConfig() {
+  ArchConfig config;
+  config.frames_per_word = 1;
+  config.processing_blocks = 1;
+  config.storage = MessageStorage::kPerEdge;
+  config.iterations = 18;
+  config.clock_mhz = 200.0;
+  return config;
+}
+
+ArchConfig HighSpeedConfig() {
+  ArchConfig config;
+  config.frames_per_word = 8;
+  config.processing_blocks = 1;
+  config.storage = MessageStorage::kCompressedCn;
+  config.iterations = 18;
+  config.clock_mhz = 200.0;
+  return config;
+}
+
+void Validate(const ArchConfig& config) {
+  CLDPC_EXPECTS(config.frames_per_word >= 1 && config.frames_per_word <= 64,
+                "frames_per_word must be in [1, 64]");
+  CLDPC_EXPECTS(config.processing_blocks >= 1 &&
+                    config.processing_blocks <= 16,
+                "processing_blocks must be in [1, 16]");
+  CLDPC_EXPECTS(config.iterations >= 1, "need at least one iteration");
+  CLDPC_EXPECTS(config.clock_mhz > 0.0, "clock must be positive");
+  CLDPC_EXPECTS(config.datapath.message_bits >= 2 &&
+                    config.datapath.message_bits <= 16,
+                "message width out of range");
+  CLDPC_EXPECTS(config.datapath.app_bits >= config.datapath.message_bits,
+                "APP accumulator narrower than messages");
+  CLDPC_EXPECTS(!config.faults.Enabled() ||
+                    config.storage == MessageStorage::kPerEdge,
+                "fault injection is modelled for per-edge storage only");
+  CLDPC_EXPECTS(config.schedule == Schedule::kFlooding ||
+                    config.storage == MessageStorage::kCompressedCn,
+                "the layered schedule requires compressed-CN storage");
+  CLDPC_EXPECTS(config.faults.read_flip_probability >= 0.0 &&
+                    config.faults.read_flip_probability <= 1.0,
+                "flip probability must be in [0, 1]");
+}
+
+}  // namespace cldpc::arch

@@ -1,0 +1,97 @@
+// Configuration of the generic parallel decoder architecture
+// (Figure 3 of the paper).
+//
+// The base architecture instantiates one CN processing unit per block
+// row and one BN processing unit per block column of the QC code:
+// each phase walks the 511 circulant rows in 511 cycles. The
+// *genericity* is expressed by two knobs:
+//  * frames_per_word (F): message memories use wider words holding
+//    the messages of F input frames side by side; F complete frames
+//    decode concurrently on F replicated datapath lanes that share
+//    the controller, the addressing and the memory blocks. This is
+//    the high-speed decoder's mechanism (F = 8).
+//  * processing_blocks (NPB): whole replicas of the base pipeline
+//    working on independent frame streams.
+// Throughput scales with F * NPB; resources scale sub-linearly in F
+// (shared control + better RAM utilisation) and linearly in NPB.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "arch/faults.hpp"
+#include "ldpc/fixed_datapath.hpp"
+
+namespace cldpc::arch {
+
+/// How check-to-bit messages live in the message memories.
+enum class MessageStorage {
+  /// One memory word per Tanner edge, overwritten alternately by the
+  /// CN and BN phases (the low-cost decoder's layout).
+  kPerEdge,
+  /// Compressed: per check node min1/min2/argmin/signs, plus an APP
+  /// word per bit node; bit-to-check messages are recomputed on the
+  /// fly. Denser RAM usage for multi-frame words (the "more
+  /// optimized and more filled" memories of the high-speed decoder).
+  kCompressedCn,
+};
+
+std::string ToString(MessageStorage storage);
+
+/// Message-passing schedule of the datapath.
+enum class Schedule {
+  /// The paper's two-phase flooding: a CN phase over all check nodes,
+  /// then a BN phase over all bit nodes.
+  kFlooding,
+  /// Layered (TDMP) extension: block rows are processed as layers
+  /// that update the APPs in place; converges in roughly half the
+  /// iterations. Requires the compressed-CN storage (it *is* the
+  /// APP/record organisation).
+  kLayered,
+};
+
+std::string ToString(Schedule schedule);
+
+struct ArchConfig {
+  // -- Genericity knobs -------------------------------------------------
+  std::size_t frames_per_word = 1;   // F
+  std::size_t processing_blocks = 1; // NPB
+  MessageStorage storage = MessageStorage::kPerEdge;
+  Schedule schedule = Schedule::kFlooding;
+
+  // -- Datapath ---------------------------------------------------------
+  ldpc::FixedDatapathParams datapath;
+
+  // -- Decoding control --------------------------------------------------
+  int iterations = 18;
+  /// Syndrome-based early stop (the paper's design runs a fixed
+  /// iteration count for constant throughput; keep false to model it).
+  bool early_termination = false;
+
+  // -- Fault injection (per-edge storage only; see arch/faults.hpp) -----
+  FaultModel faults;
+
+  // -- Timing model -------------------------------------------------------
+  double clock_mhz = 200.0;
+  /// Pipeline fill of a CN phase: input register, 2-min compare tree
+  /// (log2(32) + compare/select stages), normalizer, write-back.
+  std::size_t cn_pipeline_depth = 24;
+  /// Pipeline fill of a BN phase: adder tree, subtract, saturate.
+  std::size_t bn_pipeline_depth = 16;
+  /// Controller turnaround between phases (address generator reload,
+  /// memory direction switch).
+  std::size_t phase_gap_cycles = 18;
+};
+
+/// The paper's low-cost decoder: base architecture, one frame per
+/// word, per-edge message storage (Cyclone II EP2C50F target).
+ArchConfig LowCostConfig();
+
+/// The paper's high-speed decoder: 8 frames per word on shared
+/// control with compressed check-node storage (Stratix II EP2S180).
+ArchConfig HighSpeedConfig();
+
+/// Throws ContractViolation on inconsistent settings.
+void Validate(const ArchConfig& config);
+
+}  // namespace cldpc::arch

@@ -1,0 +1,96 @@
+#include "arch/controller.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+
+std::string ToString(Phase phase) {
+  switch (phase) {
+    case Phase::kLoad:
+      return "LOAD";
+    case Phase::kCheckNode:
+      return "CN";
+    case Phase::kBitNode:
+      return "BN";
+    case Phase::kSyndrome:
+      return "SYN";
+    case Phase::kOutput:
+      return "OUT";
+  }
+  return "?";
+}
+
+Controller::Controller(const ArchConfig& config, std::size_t q,
+                       std::size_t io_words, std::size_t block_rows)
+    : config_(config), q_(q), io_words_(io_words), block_rows_(block_rows) {
+  Validate(config_);
+  CLDPC_EXPECTS(q > 0, "circulant size must be positive");
+  CLDPC_EXPECTS(block_rows > 0, "need at least one block row");
+}
+
+std::uint64_t Controller::IterationCycles() const {
+  if (config_.schedule == Schedule::kLayered) {
+    // One layer per block row; APP updates are folded into the CN
+    // pass, so there is no separate BN phase.
+    return block_rows_ *
+           (q_ + config_.cn_pipeline_depth + config_.phase_gap_cycles);
+  }
+  return (q_ + config_.cn_pipeline_depth) + config_.phase_gap_cycles +
+         (q_ + config_.bn_pipeline_depth) + config_.phase_gap_cycles;
+}
+
+std::uint64_t Controller::BatchCycles(int iterations) const {
+  CLDPC_EXPECTS(iterations >= 1, "need at least one iteration");
+  return static_cast<std::uint64_t>(iterations) * IterationCycles();
+}
+
+std::vector<PhaseSpan> Controller::BuildSchedule(int iterations) const {
+  std::vector<PhaseSpan> schedule;
+  std::uint64_t cycle = 0;
+  // The load of this batch happened during the previous batch's
+  // decode; it is shown at its steady-state position (in parallel,
+  // cycle 0) with the decode phases following.
+  schedule.push_back({Phase::kLoad, 0, 0, IoCycles()});
+  for (int it = 1; it <= iterations; ++it) {
+    if (config_.schedule == Schedule::kLayered) {
+      for (std::size_t layer = 0; layer < block_rows_; ++layer) {
+        const std::uint64_t len = q_ + config_.cn_pipeline_depth;
+        schedule.push_back({Phase::kCheckNode, it, cycle, len});
+        cycle += len + config_.phase_gap_cycles;
+      }
+      continue;
+    }
+    const std::uint64_t cn_len = q_ + config_.cn_pipeline_depth;
+    schedule.push_back({Phase::kCheckNode, it, cycle, cn_len});
+    cycle += cn_len + config_.phase_gap_cycles;
+    const std::uint64_t bn_len = q_ + config_.bn_pipeline_depth;
+    schedule.push_back({Phase::kBitNode, it, cycle, bn_len});
+    cycle += bn_len + config_.phase_gap_cycles;
+  }
+  schedule.push_back({Phase::kOutput, 0, cycle, IoCycles()});
+  return schedule;
+}
+
+CycleStats Controller::MakeStats(int iterations) const {
+  CycleStats stats;
+  stats.iterations_run = iterations;
+  if (config_.schedule == Schedule::kLayered) {
+    stats.cn_cycles = static_cast<std::uint64_t>(iterations) * block_rows_ *
+                      (q_ + config_.cn_pipeline_depth);
+    stats.bn_cycles = 0;
+    stats.gap_cycles = static_cast<std::uint64_t>(iterations) * block_rows_ *
+                       config_.phase_gap_cycles;
+  } else {
+    stats.cn_cycles = static_cast<std::uint64_t>(iterations) *
+                      (q_ + config_.cn_pipeline_depth);
+    stats.bn_cycles = static_cast<std::uint64_t>(iterations) *
+                      (q_ + config_.bn_pipeline_depth);
+    stats.gap_cycles = static_cast<std::uint64_t>(iterations) * 2 *
+                       config_.phase_gap_cycles;
+  }
+  stats.io_cycles = IoCycles();
+  stats.total_cycles = stats.cn_cycles + stats.bn_cycles + stats.gap_cycles;
+  return stats;
+}
+
+}  // namespace cldpc::arch

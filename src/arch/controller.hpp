@@ -1,0 +1,91 @@
+// The controller: sequences LOAD / CN / BN / OUTPUT phases and owns
+// the cycle accounting that turns the architecture into throughput
+// numbers (Table 1 of the paper).
+//
+// Timing model of one decoded batch (F frames in lockstep):
+//   per iteration:  CN phase  = q + cn_pipeline_depth cycles
+//                   gap       = phase_gap_cycles
+//                   BN phase  = q + bn_pipeline_depth cycles
+//                   gap       = phase_gap_cycles
+//   frame I/O (load of the next batch, unload of the previous) runs
+//   concurrently on the double-buffered input/output memories, so in
+//   steady state it is hidden unless it exceeds the decode time.
+// With the default depths this gives 1098 cycles per iteration for
+// q = 511 — i.e. 10 iterations = 10 980 cycles, which at 200 MHz and
+// 7136 payload bits is the paper's 130 Mbps low-cost figure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.hpp"
+
+namespace cldpc::arch {
+
+enum class Phase { kLoad, kCheckNode, kBitNode, kSyndrome, kOutput };
+
+std::string ToString(Phase phase);
+
+/// One contiguous span of the schedule.
+struct PhaseSpan {
+  Phase phase = Phase::kLoad;
+  int iteration = 0;  // 0 for load/output
+  std::uint64_t start_cycle = 0;
+  std::uint64_t length = 0;
+};
+
+struct CycleStats {
+  std::uint64_t total_cycles = 0;     // decode time of one batch
+  std::uint64_t cn_cycles = 0;
+  std::uint64_t bn_cycles = 0;
+  std::uint64_t gap_cycles = 0;
+  std::uint64_t io_cycles = 0;        // hidden by double buffering
+  int iterations_run = 0;
+  std::uint64_t message_word_reads = 0;
+  std::uint64_t message_word_writes = 0;
+};
+
+class Controller {
+ public:
+  /// q is the circulant size; io_words the number of input words to
+  /// load per batch (n channel words; the word carries all F frames);
+  /// block_rows is the number of layers under the layered schedule.
+  Controller(const ArchConfig& config, std::size_t q, std::size_t io_words,
+             std::size_t block_rows = 2);
+
+  /// Cycles of one full iteration: flooding = CN + gap + BN + gap;
+  /// layered = block_rows x (layer + gap), the BN work being inlined
+  /// (hazard forwarding between consecutive checks is assumed).
+  std::uint64_t IterationCycles() const;
+
+  /// Decode time of a batch running `iterations` iterations,
+  /// excluding (overlapped) I/O.
+  std::uint64_t BatchCycles(int iterations) const;
+
+  /// I/O time of a batch; hidden when <= BatchCycles.
+  std::uint64_t IoCycles() const { return io_words_ / kIoWordsPerCycle + 1; }
+
+  /// True when double-buffered I/O is fully hidden by compute.
+  bool IoIsHidden(int iterations) const {
+    return IoCycles() <= BatchCycles(iterations);
+  }
+
+  /// The explicit schedule (for traces and tests).
+  std::vector<PhaseSpan> BuildSchedule(int iterations) const;
+
+  /// Stats skeleton for a run of `iterations` (memory counters are
+  /// filled in by the decoder).
+  CycleStats MakeStats(int iterations) const;
+
+  /// Input/output streaming width: channel words consumed per cycle.
+  static constexpr std::size_t kIoWordsPerCycle = 32;
+
+ private:
+  ArchConfig config_;
+  std::size_t q_;
+  std::size_t io_words_;
+  std::size_t block_rows_;
+};
+
+}  // namespace cldpc::arch

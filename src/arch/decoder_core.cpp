@@ -1,0 +1,398 @@
+#include "arch/decoder_core.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "arch/address_gen.hpp"
+#include "ldpc/fixed_datapath.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+
+namespace {
+// Scratch sized for the largest check degree we model (fixed_datapath
+// caps degrees at 64).
+constexpr std::size_t kMaxDegree = 64;
+}  // namespace
+
+ArchDecoder::ArchDecoder(const ldpc::LdpcCode& code,
+                         const qc::QcMatrix& qc_matrix, ArchConfig config)
+    : code_(code),
+      qc_(qc_matrix),
+      config_(config),
+      controller_(config, qc_matrix.q(), qc_matrix.cols(),
+                  qc_matrix.block_rows()),
+      quantizer_(config.datapath.channel_bits, config.datapath.channel_scale),
+      q_(qc_matrix.q()),
+      block_rows_(qc_matrix.block_rows()),
+      block_cols_(qc_matrix.block_cols()),
+      input_(qc_matrix.cols(), config.frames_per_word) {
+  CLDPC_EXPECTS(code_.n() == qc_.cols() && code_.num_checks() == qc_.rows(),
+                "code must be the expansion of the QC matrix");
+
+  // Build the CN-side enumeration (block col ascending, offset slot
+  // ascending) and the bank table. Bank b holds the q edges of one
+  // (block, offset-slot) pair, addressed by check-side row.
+  cn_edges_.resize(block_rows_);
+  bn_edges_.resize(block_cols_);
+  std::size_t bank_count = 0;
+  for (std::size_t r = 0; r < block_rows_; ++r) {
+    for (std::size_t c = 0; c < block_cols_; ++c) {
+      CLDPC_EXPECTS(qc_.HasBlock({r, c}),
+                    "generic architecture expects a fully populated grid");
+      const auto& circ = qc_.Block({r, c});
+      for (std::size_t k = 0; k < circ.weight(); ++k) {
+        const std::size_t pos_in_cn = cn_edges_[r].size();
+        cn_edges_[r].push_back({bank_count, c, circ.offsets()[k]});
+        bn_edges_[c].push_back({bank_count, r, circ.offsets()[k], pos_in_cn});
+        ++bank_count;
+      }
+    }
+  }
+  for (const auto& edges : cn_edges_) {
+    CLDPC_EXPECTS(edges.size() >= 2 && edges.size() <= kMaxDegree,
+                  "check degree out of the modelled range");
+  }
+
+  if (config_.storage == MessageStorage::kPerEdge) {
+    banks_.reserve(bank_count);
+    for (std::size_t b = 0; b < bank_count; ++b)
+      banks_.emplace_back(q_, config_.frames_per_word);
+  } else {
+    records_.emplace(qc_.rows(), config_.frames_per_word);
+    app_.emplace(qc_.cols(), config_.frames_per_word);
+  }
+
+  // Hard stuck-at faults: pick the afflicted message words once (they
+  // are a property of the physical instance, not of a frame).
+  if (config_.faults.stuck_at_zero_words > 0) {
+    stuck_word_.assign(bank_count * q_ * config_.frames_per_word, 0);
+    Xoshiro256pp rng(config_.faults.seed ^ 0x57C0A7ULL);
+    for (std::size_t i = 0; i < config_.faults.stuck_at_zero_words; ++i)
+      stuck_word_[rng.NextBounded(stuck_word_.size())] = 1;
+  }
+}
+
+Fixed ArchDecoder::ReadMessage(std::size_t bank, std::size_t addr,
+                               std::size_t frame) {
+  Fixed value = banks_[bank].Read(addr, frame);
+  if (!stuck_word_.empty() &&
+      stuck_word_[(bank * q_ + addr) * config_.frames_per_word + frame]) {
+    value = 0;
+  }
+  if (fault_injector_) value = fault_injector_->OnRead(value);
+  return value;
+}
+
+std::string ArchDecoder::Name() const {
+  std::ostringstream os;
+  os << "arch(F=" << config_.frames_per_word << ",NPB="
+     << config_.processing_blocks << "," << ToString(config_.storage) << ","
+     << ToString(config_.schedule) << ",w" << config_.datapath.message_bits
+     << ",i" << config_.iterations << ")";
+  return os.str();
+}
+
+std::uint64_t ArchDecoder::MessageMemoryBits() const {
+  if (config_.storage == MessageStorage::kPerEdge) {
+    std::uint64_t bits = 0;
+    for (const auto& bank : banks_)
+      bits += bank.CapacityBits(config_.datapath.message_bits);
+    return bits;
+  }
+  return records_->CapacityBits(config_.datapath.message_bits,
+                                cn_edges_.front().size()) +
+         app_->CapacityBits(config_.datapath.app_bits);
+}
+
+ldpc::DecodeResult ArchDecoder::Decode(std::span<const double> llr) {
+  CLDPC_EXPECTS(llr.size() == code_.n(), "LLR length must equal n");
+  std::vector<Fixed> channel(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i)
+    channel[i] = quantizer_.Quantize(llr[i]);
+  return DecodeQuantized(channel);
+}
+
+ldpc::DecodeResult ArchDecoder::DecodeQuantized(
+    std::span<const Fixed> channel) {
+  BatchResult batch = DecodeBatch(
+      {std::vector<Fixed>(channel.begin(), channel.end())});
+  return std::move(batch.frames.front());
+}
+
+BatchResult ArchDecoder::DecodeBatch(
+    const std::vector<std::vector<Fixed>>& channel_frames) {
+  const std::size_t active = channel_frames.size();
+  CLDPC_EXPECTS(active >= 1 && active <= config_.frames_per_word,
+                "batch size must be in [1, frames_per_word]");
+  for (const auto& frame : channel_frames) {
+    CLDPC_EXPECTS(frame.size() == code_.n(),
+                  "channel frame length must equal n");
+  }
+
+  // ---- LOAD: fill the input buffer and initialise message state.
+  for (std::size_t n = 0; n < code_.n(); ++n) {
+    for (std::size_t f = 0; f < active; ++f)
+      input_.Write(n, f, channel_frames[f][n]);
+  }
+  if (config_.storage == MessageStorage::kPerEdge) {
+    // Message memories start as the (message-width saturated)
+    // channel values of their edge's bit node.
+    for (std::size_t r = 0; r < block_rows_; ++r) {
+      for (const auto& e : cn_edges_[r]) {
+        const AddressGenerator ag(q_, e.offset);
+        for (std::size_t i = 0; i < q_; ++i) {
+          const std::size_t bit = e.block_col * q_ + ag.ColumnOfRow(i);
+          for (std::size_t f = 0; f < active; ++f) {
+            banks_[e.bank].Write(i, f,
+                                 SaturateSymmetric(
+                                     channel_frames[f][bit],
+                                     config_.datapath.message_bits));
+          }
+        }
+      }
+    }
+  } else {
+    // Zero records (CnOutput of a zero record is 0) and APP = channel
+    // (saturated to the accumulator width, matching the references).
+    for (std::size_t m = 0; m < qc_.rows(); ++m) {
+      for (std::size_t f = 0; f < active; ++f)
+        records_->Write(m, f, ldpc::CnSummary{});
+    }
+    for (std::size_t n = 0; n < code_.n(); ++n) {
+      for (std::size_t f = 0; f < active; ++f)
+        app_->Write(n, f,
+                    SaturateSymmetric(channel_frames[f][n],
+                                      config_.datapath.app_bits));
+    }
+  }
+
+  // Reset access counters; the run below fills them.
+  for (auto& bank : banks_) bank.ResetStats();
+  if (records_) records_->ResetStats();
+  if (app_) app_->ResetStats();
+  input_.ResetStats();
+
+  // A fresh transient-fault stream per batch: deterministic for the
+  // decoder instance, but independent across successive batches (a
+  // shared stream would upset every frame at identical positions).
+  if (config_.faults.read_flip_probability > 0.0) {
+    FaultModel batch_model = config_.faults;
+    batch_model.seed = DeriveSeed(config_.faults.seed, ++fault_batch_index_);
+    fault_injector_.emplace(batch_model, config_.datapath.message_bits);
+  } else {
+    fault_injector_.reset();
+  }
+
+  BatchResult result;
+  result.frames.resize(active);
+  std::vector<std::vector<std::uint8_t>> bits(
+      active, std::vector<std::uint8_t>(code_.n(), 0));
+
+  int iterations_run = 0;
+  for (int iter = 1; iter <= config_.iterations; ++iter) {
+    if (config_.schedule == Schedule::kLayered) {
+      RunLayeredIteration(active, bits);
+    } else if (config_.storage == MessageStorage::kPerEdge) {
+      RunCnPhasePerEdge(active);
+      RunBnPhasePerEdge(active, bits);
+    } else {
+      RunCnPhaseCompressed(active);
+      RunBnPhaseCompressed(active, bits);
+    }
+    iterations_run = iter;
+    if (config_.early_termination) {
+      bool all_converged = true;
+      for (std::size_t f = 0; f < active && all_converged; ++f)
+        all_converged = code_.IsCodeword(bits[f]);
+      if (all_converged) break;
+    }
+  }
+
+  // ---- Collect per-frame results and cycle statistics.
+  for (std::size_t f = 0; f < active; ++f) {
+    result.frames[f].bits = bits[f];
+    result.frames[f].iterations_run = iterations_run;
+    result.frames[f].converged = code_.IsCodeword(bits[f]);
+  }
+  result.stats = controller_.MakeStats(iterations_run);
+  for (const auto& bank : banks_) {
+    result.stats.message_word_reads += bank.stats().word_reads;
+    result.stats.message_word_writes += bank.stats().word_writes;
+  }
+  if (records_) {
+    result.stats.message_word_reads += records_->stats().word_reads;
+    result.stats.message_word_writes += records_->stats().word_writes;
+  }
+  if (app_) {
+    result.stats.message_word_reads += app_->stats().word_reads;
+    result.stats.message_word_writes += app_->stats().word_writes;
+  }
+  last_flips_ = fault_injector_ ? fault_injector_->flips_injected() : 0;
+  last_stats_ = result.stats;
+  return result;
+}
+
+void ArchDecoder::RunCnPhasePerEdge(std::size_t active_frames) {
+  std::array<Fixed, kMaxDegree> inputs;
+  // One cycle per circulant row i; the block_rows_ CN units and the
+  // F frame lanes all operate within that cycle.
+  for (std::size_t i = 0; i < q_; ++i) {
+    for (std::size_t r = 0; r < block_rows_; ++r) {
+      const auto& edges = cn_edges_[r];
+      for (const auto& e : edges) {
+        banks_[e.bank].CountRead();
+        banks_[e.bank].CountWrite();
+      }
+      for (std::size_t f = 0; f < active_frames; ++f) {
+        for (std::size_t pos = 0; pos < edges.size(); ++pos)
+          inputs[pos] = ReadMessage(edges[pos].bank, i, f);
+        const auto summary =
+            ldpc::ComputeCnSummary({inputs.data(), edges.size()});
+        for (std::size_t pos = 0; pos < edges.size(); ++pos) {
+          banks_[edges[pos].bank].Write(
+              i, f,
+              ldpc::CnOutput(summary, pos, config_.datapath.normalization));
+        }
+      }
+    }
+  }
+}
+
+void ArchDecoder::RunBnPhasePerEdge(
+    std::size_t active_frames, std::vector<std::vector<std::uint8_t>>& bits) {
+  std::array<Fixed, kMaxDegree> cb;
+  std::array<std::size_t, kMaxDegree> addr;
+  // One cycle per local column j; the block_cols_ BN units and the F
+  // lanes operate within that cycle.
+  for (std::size_t j = 0; j < q_; ++j) {
+    for (std::size_t c = 0; c < block_cols_; ++c) {
+      const auto& edges = bn_edges_[c];
+      const std::size_t bit = c * q_ + j;
+      input_.CountRead();
+      for (std::size_t d = 0; d < edges.size(); ++d) {
+        addr[d] = (j + q_ - edges[d].offset) % q_;
+        banks_[edges[d].bank].CountRead();
+        banks_[edges[d].bank].CountWrite();
+      }
+      for (std::size_t f = 0; f < active_frames; ++f) {
+        for (std::size_t d = 0; d < edges.size(); ++d)
+          cb[d] = ReadMessage(edges[d].bank, addr[d], f);
+        const Fixed app =
+            ldpc::BnApp(input_.Read(bit, f), {cb.data(), edges.size()},
+                        config_.datapath.app_bits);
+        bits[f][bit] = ldpc::AppHardDecision(app);
+        for (std::size_t d = 0; d < edges.size(); ++d) {
+          banks_[edges[d].bank].Write(
+              addr[d], f,
+              ldpc::BnOutput(app, cb[d], config_.datapath.message_bits));
+        }
+      }
+    }
+  }
+}
+
+void ArchDecoder::RunCnPhaseCompressed(std::size_t active_frames) {
+  std::array<Fixed, kMaxDegree> inputs;
+  for (std::size_t i = 0; i < q_; ++i) {
+    for (std::size_t r = 0; r < block_rows_; ++r) {
+      const auto& edges = cn_edges_[r];
+      const std::size_t m = r * q_ + i;
+      records_->CountRead();
+      records_->CountWrite();
+      for (std::size_t f = 0; f < active_frames; ++f) {
+        const auto& prev = records_->Read(m, f);
+        for (std::size_t pos = 0; pos < edges.size(); ++pos) {
+          const AddressGenerator ag(q_, edges[pos].offset);
+          const std::size_t bit = edges[pos].block_col * q_ + ag.ColumnOfRow(i);
+          app_->CountRead();
+          const Fixed cb_prev =
+              ldpc::CnOutput(prev, pos, config_.datapath.normalization);
+          inputs[pos] = ldpc::BnOutput(app_->Read(bit, f), cb_prev,
+                                       config_.datapath.message_bits);
+        }
+        records_->Write(m, f,
+                        ldpc::ComputeCnSummary({inputs.data(), edges.size()}));
+      }
+    }
+  }
+}
+
+void ArchDecoder::RunLayeredIteration(
+    std::size_t active_frames, std::vector<std::vector<std::uint8_t>>& bits) {
+  std::array<Fixed, kMaxDegree> bc;
+  std::array<Fixed, kMaxDegree> extrinsic;
+  std::array<std::size_t, kMaxDegree> bit_of;
+  // Layers are block rows, processed sequentially; within a layer one
+  // check node per cycle, APP updates folded in (hazard forwarding
+  // between consecutive checks sharing a bit is assumed).
+  for (std::size_t r = 0; r < block_rows_; ++r) {
+    const auto& edges = cn_edges_[r];
+    for (std::size_t i = 0; i < q_; ++i) {
+      const std::size_t m = r * q_ + i;
+      records_->CountRead();
+      records_->CountWrite();
+      for (std::size_t pos = 0; pos < edges.size(); ++pos) {
+        const AddressGenerator ag(q_, edges[pos].offset);
+        bit_of[pos] = edges[pos].block_col * q_ + ag.ColumnOfRow(i);
+        app_->CountRead();
+        app_->CountWrite();
+      }
+      for (std::size_t f = 0; f < active_frames; ++f) {
+        const ldpc::CnSummary prev = records_->Read(m, f);
+        for (std::size_t pos = 0; pos < edges.size(); ++pos) {
+          const Fixed cb_old =
+              ldpc::CnOutput(prev, pos, config_.datapath.normalization);
+          // Full-precision peeled APP; only the CN input is narrowed.
+          extrinsic[pos] = app_->Read(bit_of[pos], f) - cb_old;
+          bc[pos] = SaturateSymmetric(extrinsic[pos],
+                                      config_.datapath.message_bits);
+        }
+        const auto fresh =
+            ldpc::ComputeCnSummary({bc.data(), edges.size()});
+        records_->Write(m, f, fresh);
+        for (std::size_t pos = 0; pos < edges.size(); ++pos) {
+          const Fixed cb_new =
+              ldpc::CnOutput(fresh, pos, config_.datapath.normalization);
+          app_->Write(bit_of[pos], f,
+                      SaturateSymmetric(extrinsic[pos] + cb_new,
+                                        config_.datapath.app_bits));
+        }
+      }
+    }
+  }
+  // Hard decisions from the live APPs.
+  for (std::size_t n = 0; n < code_.n(); ++n) {
+    for (std::size_t f = 0; f < active_frames; ++f)
+      bits[f][n] = ldpc::AppHardDecision(app_->Read(n, f));
+  }
+}
+
+void ArchDecoder::RunBnPhaseCompressed(
+    std::size_t active_frames, std::vector<std::vector<std::uint8_t>>& bits) {
+  std::array<Fixed, kMaxDegree> cb;
+  for (std::size_t j = 0; j < q_; ++j) {
+    for (std::size_t c = 0; c < block_cols_; ++c) {
+      const auto& edges = bn_edges_[c];
+      const std::size_t bit = c * q_ + j;
+      input_.CountRead();
+      app_->CountWrite();
+      for (std::size_t d = 0; d < edges.size(); ++d) records_->CountRead();
+      for (std::size_t f = 0; f < active_frames; ++f) {
+        for (std::size_t d = 0; d < edges.size(); ++d) {
+          const std::size_t row = (j + q_ - edges[d].offset) % q_;
+          const std::size_t m = edges[d].block_row * q_ + row;
+          cb[d] = ldpc::CnOutput(records_->Read(m, f), edges[d].cn_pos,
+                                 config_.datapath.normalization);
+        }
+        const Fixed app =
+            ldpc::BnApp(input_.Read(bit, f), {cb.data(), edges.size()},
+                        config_.datapath.app_bits);
+        bits[f][bit] = ldpc::AppHardDecision(app);
+        app_->Write(bit, f, app);
+      }
+    }
+  }
+}
+
+}  // namespace cldpc::arch

@@ -1,0 +1,121 @@
+// ArchDecoder: the cycle-accurate, bit-accurate model of the generic
+// parallel decoder (Figure 3).
+//
+// It decodes through the *architecture* — banked message memories
+// addressed by rotation, one CN unit per block row and one BN unit
+// per block column walking the circulant rows, F frames packed per
+// memory word — and therefore produces two things at once:
+//   * hard decisions bit-identical to FixedMinSumDecoder (verified in
+//     tests; the RTL-vs-C-model check of a hardware flow), and
+//   * cycle/memory-access counts from which Table 1's throughput is
+//     measured rather than asserted.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "arch/controller.hpp"
+#include "arch/memory.hpp"
+#include "ldpc/decoder.hpp"
+#include "qc/qc_matrix.hpp"
+#include "util/fixed_point.hpp"
+
+namespace cldpc::arch {
+
+struct BatchResult {
+  std::vector<ldpc::DecodeResult> frames;
+  CycleStats stats;
+};
+
+class ArchDecoder final : public ldpc::Decoder {
+ public:
+  /// `code` must be the expansion of `qc_matrix`; both must outlive
+  /// the decoder.
+  ArchDecoder(const ldpc::LdpcCode& code, const qc::QcMatrix& qc_matrix,
+              ArchConfig config);
+
+  /// Decode up to frames_per_word quantized frames in lockstep.
+  BatchResult DecodeBatch(
+      const std::vector<std::vector<Fixed>>& channel_frames);
+
+  /// Single quantized frame (occupies lane 0; other lanes idle).
+  ldpc::DecodeResult DecodeQuantized(std::span<const Fixed> channel);
+
+  /// ldpc::Decoder interface: quantize with the datapath front-end,
+  /// then decode through the architecture.
+  ldpc::DecodeResult Decode(std::span<const double> llr) override;
+  std::string Name() const override;
+
+  /// Cycle statistics of the last DecodeBatch/Decode call.
+  const CycleStats& LastStats() const { return last_stats_; }
+
+  const ArchConfig& config() const { return config_; }
+  const Controller& controller() const { return controller_; }
+
+  /// Message-memory capacity of this instance in bits (all banks or
+  /// records + APP, excluding I/O buffers).
+  std::uint64_t MessageMemoryBits() const;
+
+  /// Transient upsets injected during the last DecodeBatch (0 when
+  /// fault injection is disabled).
+  std::uint64_t LastFlipsInjected() const { return last_flips_; }
+
+ private:
+  struct CnEdge {
+    std::size_t bank = 0;        // per-edge layout: which bank
+    std::size_t block_col = 0;   // which BN block the edge touches
+    std::size_t offset = 0;      // circulant offset
+  };
+  struct BnEdge {
+    std::size_t bank = 0;
+    std::size_t block_row = 0;
+    std::size_t offset = 0;
+    std::size_t cn_pos = 0;      // position within the CN's input list
+  };
+
+  /// Message read through the (optional) fault model.
+  Fixed ReadMessage(std::size_t bank, std::size_t addr, std::size_t frame);
+
+  void RunCnPhasePerEdge(std::size_t active_frames);
+  void RunBnPhasePerEdge(std::size_t active_frames,
+                         std::vector<std::vector<std::uint8_t>>& bits);
+  void RunCnPhaseCompressed(std::size_t active_frames);
+  void RunBnPhaseCompressed(std::size_t active_frames,
+                            std::vector<std::vector<std::uint8_t>>& bits);
+  void RunLayeredIteration(std::size_t active_frames,
+                           std::vector<std::vector<std::uint8_t>>& bits);
+
+  const ldpc::LdpcCode& code_;
+  const qc::QcMatrix& qc_;
+  ArchConfig config_;
+  Controller controller_;
+  LlrQuantizer quantizer_;
+
+  std::size_t q_ = 0;
+  std::size_t block_rows_ = 0;
+  std::size_t block_cols_ = 0;
+
+  // Structural tables built once from the QC matrix.
+  std::vector<std::vector<CnEdge>> cn_edges_;  // per block row
+  std::vector<std::vector<BnEdge>> bn_edges_;  // per block col
+
+  // Memories (per-edge layout).
+  std::vector<MessageBank> banks_;
+  // Memories (compressed layout).
+  std::optional<CnRecordStore> records_;
+  std::optional<WordMemory> app_;
+  // Channel input buffer (both layouts).
+  WordMemory input_;
+
+  // Fault injection (per-edge layout; see arch/faults.hpp).
+  std::optional<FaultInjector> fault_injector_;
+  std::vector<std::uint8_t> stuck_word_;  // flat (bank*q + addr)*F + frame
+  std::uint64_t fault_batch_index_ = 0;
+  std::uint64_t last_flips_ = 0;
+
+  CycleStats last_stats_;
+};
+
+}  // namespace cldpc::arch

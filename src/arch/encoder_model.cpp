@@ -1,0 +1,39 @@
+#include "arch/encoder_model.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+
+EncoderEstimate EstimateEncoder(const EncoderModelConfig& config,
+                                std::size_t info_bits,
+                                std::size_t parity_bits) {
+  CLDPC_EXPECTS(config.bits_per_cycle >= 1, "need at least 1 bit/cycle");
+  CLDPC_EXPECTS(config.clock_mhz > 0.0, "clock must be positive");
+  CLDPC_EXPECTS(info_bits > 0 && parity_bits > 0, "degenerate code");
+
+  EncoderEstimate e;
+  // Shift in k bits, then drain the parity register.
+  e.cycles_per_frame =
+      (info_bits + config.bits_per_cycle - 1) / config.bits_per_cycle +
+      (parity_bits + config.bits_per_cycle - 1) / config.bits_per_cycle;
+  e.throughput_mbps = static_cast<double>(info_bits) /
+                      (static_cast<double>(e.cycles_per_frame) /
+                       (config.clock_mhz * 1e6)) /
+                      1e6;
+
+  // One flop per parity bit (the accumulator) plus I/O staging.
+  e.registers = parity_bits + 2 * config.bits_per_cycle + 32;
+  // Each input bit XORs into a circulant-selected subset of the
+  // accumulator; with per-input tap networks folded into the
+  // accumulator LUTs, cost ~= 1 ALUT per parity bit per parallel
+  // input lane pair (two inputs share a 4-LUT XOR stage) — linear in
+  // parity bits, the property the paper highlights.
+  e.aluts = parity_bits * ((config.bits_per_cycle + 1) / 2) +
+            8 * config.bits_per_cycle + 64;
+  // Tap position table: one rotation offset per circulant column of
+  // the generator's parity part (small).
+  e.memory_bits = 16 * 512;
+  return e;
+}
+
+}  // namespace cldpc::arch

@@ -1,0 +1,38 @@
+// Hardware model of the QC-LDPC encoder.
+//
+// The paper notes that the circulant construction "reduces the
+// encoder complexity which is linear to the number of parity bits":
+// a QC systematic encoder is a bank of (n-k)-bit shift-register
+// accumulators with circulant feedback taps, clocking in
+// bits_per_cycle information bits per cycle. This model sizes that
+// structure and its throughput so the encoder can be budgeted next to
+// the decoder on the same device.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/resources.hpp"
+
+namespace cldpc::arch {
+
+struct EncoderModelConfig {
+  /// Information bits consumed per clock cycle.
+  std::size_t bits_per_cycle = 8;
+  double clock_mhz = 200.0;
+};
+
+struct EncoderEstimate {
+  std::uint64_t cycles_per_frame = 0;
+  double throughput_mbps = 0.0;  // information bits per second
+  std::uint64_t registers = 0;
+  std::uint64_t aluts = 0;
+  std::uint64_t memory_bits = 0;  // tap/offset tables
+};
+
+/// Size a QC shift-register encoder for a code with `parity_bits`
+/// parity positions and `info_bits` information positions.
+EncoderEstimate EstimateEncoder(const EncoderModelConfig& config,
+                                std::size_t info_bits,
+                                std::size_t parity_bits);
+
+}  // namespace cldpc::arch

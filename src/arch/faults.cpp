@@ -1,0 +1,45 @@
+#include "arch/faults.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+
+Fixed FlipStoredBit(Fixed value, int bit_index, int width_bits) {
+  CLDPC_EXPECTS(bit_index >= 0 && bit_index < width_bits,
+                "bit index out of word");
+  const bool negative = value < 0;
+  Fixed magnitude = negative ? -value : value;
+  if (bit_index == width_bits - 1) {
+    // Sign bit: negate. A zero magnitude stays zero either way, as in
+    // sign-magnitude hardware.
+    return negative ? magnitude : -magnitude;
+  }
+  magnitude ^= Fixed{1} << bit_index;
+  magnitude = SaturateSymmetric(magnitude, width_bits);
+  return negative ? -magnitude : magnitude;
+}
+
+FaultInjector::FaultInjector(const FaultModel& model, int message_bits)
+    : model_(model), message_bits_(message_bits), rng_(model.seed) {
+  CLDPC_EXPECTS(model.read_flip_probability >= 0.0 &&
+                    model.read_flip_probability <= 1.0,
+                "flip probability must be in [0, 1]");
+  const long double scaled =
+      static_cast<long double>(model.read_flip_probability) *
+      static_cast<long double>(std::numeric_limits<std::uint64_t>::max());
+  flip_threshold_ = static_cast<std::uint64_t>(scaled);
+}
+
+Fixed FaultInjector::OnRead(Fixed value) {
+  if (flip_threshold_ == 0) return value;
+  if (rng_.Next() >= flip_threshold_) return value;
+  ++flips_;
+  const int bit = static_cast<int>(
+      rng_.NextBounded(static_cast<std::uint64_t>(message_bits_)));
+  return FlipStoredBit(value, bit, message_bits_);
+}
+
+}  // namespace cldpc::arch

@@ -1,0 +1,60 @@
+// Fault injection for the message memories — an extension the paper's
+// application domain begs for: near-earth hardware operates under
+// radiation, and message-passing decoders are known to absorb rare
+// single-event upsets (SEUs) in their message state. The model
+// supports transient read upsets (a random bit of a read message word
+// flips with a given probability) and hard stuck-at-zero words
+// (manufacturing or latched faults).
+//
+// Faults apply to the per-edge message storage layout (the low-cost
+// decoder); the injected format is the sign-magnitude W-bit word a
+// hardware RAM would hold.
+#pragma once
+
+#include <cstdint>
+
+#include "util/fixed_point.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::arch {
+
+struct FaultModel {
+  /// Probability that one *read* of a message value suffers a single
+  /// random bit flip. 0 disables transient faults.
+  double read_flip_probability = 0.0;
+  /// Number of message words (bank, address, lane) forced to read as
+  /// zero for the whole run. 0 disables stuck-at faults.
+  std::size_t stuck_at_zero_words = 0;
+  std::uint64_t seed = 0x5E0EA75ULL;
+
+  bool Enabled() const {
+    return read_flip_probability > 0.0 || stuck_at_zero_words > 0;
+  }
+};
+
+/// Flip bit `bit_index` (0 .. width-1) of the sign-magnitude encoding
+/// of `value`; bit width-1 is the sign. The result is re-saturated so
+/// it remains a legal message word.
+Fixed FlipStoredBit(Fixed value, int bit_index, int width_bits);
+
+/// Applies a FaultModel to a stream of reads.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultModel& model, int message_bits);
+
+  /// Possibly corrupt one read value.
+  Fixed OnRead(Fixed value);
+
+  std::uint64_t flips_injected() const { return flips_; }
+
+ private:
+  FaultModel model_;
+  int message_bits_;
+  Xoshiro256pp rng_;
+  // Threshold comparison on raw 64-bit draws (avoids a double per
+  // read on the hot path).
+  std::uint64_t flip_threshold_;
+  std::uint64_t flips_ = 0;
+};
+
+}  // namespace cldpc::arch

@@ -1,0 +1,66 @@
+#include "arch/memory.hpp"
+
+#include <bit>
+
+namespace cldpc::arch {
+
+MessageBank::MessageBank(std::size_t q, std::size_t frames)
+    : q_(q), frames_(frames), words_(q * frames, 0) {
+  CLDPC_EXPECTS(q > 0 && frames > 0, "bank dimensions must be positive");
+}
+
+Fixed MessageBank::Read(std::size_t addr, std::size_t frame) const {
+  CLDPC_EXPECTS(addr < q_ && frame < frames_, "bank access out of range");
+  return words_[addr * frames_ + frame];
+}
+
+void MessageBank::Write(std::size_t addr, std::size_t frame,
+                        Fixed value) {
+  CLDPC_EXPECTS(addr < q_ && frame < frames_, "bank access out of range");
+  words_[addr * frames_ + frame] = value;
+}
+
+CnRecordStore::CnRecordStore(std::size_t num_checks, std::size_t frames)
+    : checks_(num_checks), frames_(frames), records_(num_checks * frames) {
+  CLDPC_EXPECTS(num_checks > 0 && frames > 0,
+                "record store dimensions must be positive");
+}
+
+const ldpc::CnSummary& CnRecordStore::Read(std::size_t check,
+                                           std::size_t frame) const {
+  CLDPC_EXPECTS(check < checks_ && frame < frames_,
+                "record access out of range");
+  return records_[check * frames_ + frame];
+}
+
+void CnRecordStore::Write(std::size_t check, std::size_t frame,
+                          const ldpc::CnSummary& record) {
+  CLDPC_EXPECTS(check < checks_ && frame < frames_,
+                "record access out of range");
+  records_[check * frames_ + frame] = record;
+}
+
+int CnRecordStore::RecordBits(int message_bits, std::size_t check_degree) {
+  const int index_bits =
+      std::bit_width(check_degree > 1 ? check_degree - 1 : 1u);
+  return 2 * message_bits + index_bits + 1 +
+         static_cast<int>(check_degree);
+}
+
+WordMemory::WordMemory(std::size_t words, std::size_t frames)
+    : words_(words), frames_(frames), data_(words * frames, 0) {
+  CLDPC_EXPECTS(words > 0 && frames > 0, "memory dimensions must be positive");
+}
+
+Fixed WordMemory::Read(std::size_t addr, std::size_t frame) const {
+  CLDPC_EXPECTS(addr < words_ && frame < frames_, "access out of range");
+  return data_[addr * frames_ + frame];
+}
+
+void WordMemory::Write(std::size_t addr, std::size_t frame,
+                       Fixed value) {
+  CLDPC_EXPECTS(addr < words_ && frame < frames_, "access out of range");
+  data_[addr * frames_ + frame] = value;
+}
+
+}  // namespace cldpc::arch

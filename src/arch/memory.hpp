@@ -1,0 +1,113 @@
+// Memory models of the decoder: banked per-edge message memories,
+// compressed check-node record stores, APP memories and the I/O
+// buffers. Every model counts word accesses (a word carries the
+// messages of all F packed frames) and reports its capacity in bits,
+// which feeds the resource model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldpc/fixed_datapath.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+
+struct MemoryStats {
+  std::uint64_t word_reads = 0;
+  std::uint64_t word_writes = 0;
+};
+
+/// One message bank: q words, each word holding F messages (one per
+/// packed frame). Banks are indexed by check-side circulant row.
+class MessageBank {
+ public:
+  MessageBank(std::size_t q, std::size_t frames);
+
+  /// Read the message of frame f at word address addr.
+  Fixed Read(std::size_t addr, std::size_t frame) const;
+  void Write(std::size_t addr, std::size_t frame, Fixed value);
+
+  /// Account one word access covering all frames (hardware reads the
+  /// whole word at once, whatever F is).
+  void CountRead() const { ++stats_.word_reads; }
+  void CountWrite() const { ++stats_.word_writes; }
+
+  std::size_t q() const { return q_; }
+  std::size_t frames() const { return frames_; }
+  const MemoryStats& stats() const { return stats_; }
+  void ResetStats() const { stats_ = {}; }
+
+  /// Capacity in bits for a given message width.
+  std::uint64_t CapacityBits(int message_bits) const {
+    return static_cast<std::uint64_t>(q_) * frames_ *
+           static_cast<std::uint64_t>(message_bits);
+  }
+
+ private:
+  std::size_t q_;
+  std::size_t frames_;
+  std::vector<Fixed> words_;  // addr * frames + frame
+  mutable MemoryStats stats_;
+};
+
+/// Compressed check-node store: one CnSummary record per check per
+/// frame, read-before-write within the CN phase (no double buffer —
+/// a record is consumed only by its own check node).
+class CnRecordStore {
+ public:
+  CnRecordStore(std::size_t num_checks, std::size_t frames);
+
+  const ldpc::CnSummary& Read(std::size_t check, std::size_t frame) const;
+  void Write(std::size_t check, std::size_t frame,
+             const ldpc::CnSummary& record);
+
+  void CountRead() const { ++stats_.word_reads; }
+  void CountWrite() const { ++stats_.word_writes; }
+  const MemoryStats& stats() const { return stats_; }
+  void ResetStats() const { stats_ = {}; }
+
+  /// Record width in bits: min1 + min2 (message width each) +
+  /// argmin index + sign product + per-edge sign mask.
+  static int RecordBits(int message_bits, std::size_t check_degree);
+
+  std::uint64_t CapacityBits(int message_bits,
+                             std::size_t check_degree) const {
+    return static_cast<std::uint64_t>(checks_) * frames_ *
+           static_cast<std::uint64_t>(RecordBits(message_bits, check_degree));
+  }
+
+ private:
+  std::size_t checks_;
+  std::size_t frames_;
+  std::vector<ldpc::CnSummary> records_;
+  mutable MemoryStats stats_;
+};
+
+/// Word-per-bit memory (APP values, channel LLRs or hard decisions),
+/// F frames per word.
+class WordMemory {
+ public:
+  WordMemory(std::size_t words, std::size_t frames);
+
+  Fixed Read(std::size_t addr, std::size_t frame) const;
+  void Write(std::size_t addr, std::size_t frame, Fixed value);
+
+  void CountRead() const { ++stats_.word_reads; }
+  void CountWrite() const { ++stats_.word_writes; }
+  const MemoryStats& stats() const { return stats_; }
+  void ResetStats() const { stats_ = {}; }
+
+  std::uint64_t CapacityBits(int width_bits) const {
+    return static_cast<std::uint64_t>(words_) * frames_ *
+           static_cast<std::uint64_t>(width_bits);
+  }
+
+ private:
+  std::size_t words_;
+  std::size_t frames_;
+  std::vector<Fixed> data_;
+  mutable MemoryStats stats_;
+};
+
+}  // namespace cldpc::arch

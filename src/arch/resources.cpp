@@ -1,0 +1,159 @@
+#include "arch/resources.hpp"
+
+#include <cmath>
+
+#include "arch/memory.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+
+DeviceCapacity CycloneIIEp2c50() {
+  // 50 528 LEs, 50 528 registers, 129 M4K blocks x 4608 bits.
+  return {"Cyclone II EP2C50F", 50528, 50528, 594432};
+}
+
+DeviceCapacity StratixIIEp2s180() {
+  // 143 520 ALUTs / registers, 9 383 040 RAM bits (M512+M4K+M-RAM).
+  return {"Stratix II EP2S180", 143520, 143520, 9383040};
+}
+
+namespace {
+
+// ---- Cost coefficients (4-input LUT fabric equivalents) ------------
+// Sources of the shapes: a W-bit compare-select is ~2W LUTs, a W-bit
+// add/sub ~W LUTs, a W-bit 2:1 mux ~W LUTs. Constants below fold the
+// small glue around each element.
+
+// Controller: iteration/phase FSM, row counter, handshakes.
+constexpr std::uint64_t kControlBase = 900;
+constexpr std::uint64_t kControlPerCounterBit = 8;
+
+// One rotation address generator: modular add/subtract + compare.
+constexpr std::uint64_t kAddressGenPerBank = 18;
+
+// CN unit, per frame lane: 2-min tree (dc compare-select of W bits),
+// sign tree, per-output exclusive select, dyadic normalizer.
+std::uint64_t CnUnitAluts(std::size_t dc, int w) {
+  const std::uint64_t tree = static_cast<std::uint64_t>(dc) * 2 *
+                             static_cast<std::uint64_t>(w);
+  const std::uint64_t signs = dc;
+  const std::uint64_t outputs = static_cast<std::uint64_t>(dc) *
+                                (static_cast<std::uint64_t>(w) + 2);
+  const std::uint64_t normalizer = 3 * static_cast<std::uint64_t>(w);
+  return tree + signs + outputs + normalizer;
+}
+
+// BN unit, per frame lane: dv-input adder tree at APP width, dv
+// subtract-and-saturate stages at message width.
+std::uint64_t BnUnitAluts(std::size_t dv, int w_app, int w_msg) {
+  return static_cast<std::uint64_t>(dv) * static_cast<std::uint64_t>(w_app) +
+         static_cast<std::uint64_t>(dv) *
+             (static_cast<std::uint64_t>(w_msg) + 3) +
+         12;
+}
+
+// Compressed storage adds on-the-fly cb regeneration in the BN path:
+// one exclusive-select + sign per edge.
+std::uint64_t CbRegenAluts(std::size_t dv, int w_msg) {
+  return static_cast<std::uint64_t>(dv) *
+         (static_cast<std::uint64_t>(w_msg) + 6);
+}
+
+// Memory interface: write-enable/steering glue per bank.
+constexpr std::uint64_t kMemInterfacePerBank = 22;
+constexpr std::uint64_t kMemInterfacePerBankPerFrame = 6;
+
+// I/O streaming, syndrome monitor, configuration registers.
+constexpr std::uint64_t kMiscBase = 1100;
+constexpr std::uint64_t kMiscPerFrame = 110;
+
+// Pipeline registers track the datapath; empirically registers land
+// at ~3/4 of ALUTs in such designs (paper: 6k/8k and 30k/38k).
+constexpr double kRegisterPerAlut = 0.78;
+
+}  // namespace
+
+ResourceEstimate EstimateResources(const ArchConfig& config,
+                                   const CodeGeometry& geometry) {
+  Validate(config);
+  ResourceEstimate e;
+
+  const std::size_t frames = config.frames_per_word;
+  const std::size_t npb = config.processing_blocks;
+  const std::size_t dc = geometry.check_degree();
+  const std::size_t dv = geometry.bit_degree();
+  const int w_msg = config.datapath.message_bits;
+  const int w_chan = config.datapath.channel_bits;
+  const int w_app = config.datapath.app_bits;
+
+  const std::size_t banks =
+      geometry.block_rows * geometry.block_cols * geometry.circulant_weight;
+
+  // ---- Logic -----------------------------------------------------------
+  const auto counter_bits = static_cast<std::uint64_t>(
+      std::ceil(std::log2(static_cast<double>(geometry.q))));
+  e.control_aluts = (kControlBase + kControlPerCounterBit * counter_bits) * npb;
+
+  e.address_aluts = kAddressGenPerBank * banks * npb;
+
+  e.cn_datapath_aluts =
+      CnUnitAluts(dc, w_msg) * geometry.block_rows * frames * npb;
+
+  std::uint64_t bn = BnUnitAluts(dv, w_app, w_msg);
+  if (config.storage == MessageStorage::kCompressedCn)
+    bn += CbRegenAluts(dv, w_msg);
+  e.bn_datapath_aluts = bn * geometry.block_cols * frames * npb;
+
+  const std::size_t effective_banks =
+      config.storage == MessageStorage::kPerEdge
+          ? banks
+          // records + APP + input behave as wider, fewer memories.
+          : geometry.block_rows + geometry.block_cols;
+  e.memory_interface_aluts =
+      (kMemInterfacePerBank + kMemInterfacePerBankPerFrame * frames) *
+      effective_banks * npb;
+
+  e.misc_aluts = (kMiscBase + kMiscPerFrame * frames) * npb;
+
+  e.aluts = e.control_aluts + e.address_aluts + e.cn_datapath_aluts +
+            e.bn_datapath_aluts + e.memory_interface_aluts + e.misc_aluts;
+  e.registers =
+      static_cast<std::uint64_t>(kRegisterPerAlut * static_cast<double>(e.aluts));
+
+  // ---- Memory ------------------------------------------------------------
+  if (config.storage == MessageStorage::kPerEdge) {
+    e.message_memory_bits = static_cast<std::uint64_t>(geometry.edges()) *
+                            w_msg * frames * npb;
+  } else {
+    const int record_bits = CnRecordStore::RecordBits(w_msg, dc);
+    e.message_memory_bits =
+        (static_cast<std::uint64_t>(geometry.checks()) * record_bits +
+         static_cast<std::uint64_t>(geometry.n()) * w_app) *
+        frames * npb;
+  }
+  // Double-buffered channel input; double-buffered hard-decision
+  // output (1 bit per bit node).
+  e.io_memory_bits =
+      (2ull * geometry.n() * w_chan + 2ull * geometry.n()) * frames * npb;
+  e.memory_bits = e.message_memory_bits + e.io_memory_bits;
+
+  return e;
+}
+
+double LogicFraction(const ResourceEstimate& e, const DeviceCapacity& d) {
+  CLDPC_EXPECTS(d.logic_elements > 0, "device has no logic");
+  return static_cast<double>(e.aluts) / static_cast<double>(d.logic_elements);
+}
+
+double RegisterFraction(const ResourceEstimate& e, const DeviceCapacity& d) {
+  CLDPC_EXPECTS(d.registers > 0, "device has no registers");
+  return static_cast<double>(e.registers) / static_cast<double>(d.registers);
+}
+
+double MemoryFraction(const ResourceEstimate& e, const DeviceCapacity& d) {
+  CLDPC_EXPECTS(d.memory_bits > 0, "device has no memory");
+  return static_cast<double>(e.memory_bits) /
+         static_cast<double>(d.memory_bits);
+}
+
+}  // namespace cldpc::arch

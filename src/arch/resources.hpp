@@ -1,0 +1,76 @@
+// Analytic FPGA resource model (Tables 2 and 3).
+//
+// SUBSTITUTION NOTE (DESIGN.md §2): the paper reports Quartus
+// synthesis results; this model decomposes the architecture into
+// shared control, per-lane datapath and memory bits with per-element
+// cost coefficients typical of 4-input-LUT/ALUT fabrics. The model's
+// purpose is the *scaling shape* the paper claims (8x throughput for
+// ~4x resources; ~50 % / ~20 % RAM utilisation), with absolute
+// numbers reported side by side with the paper's in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/config.hpp"
+
+namespace cldpc::arch {
+
+/// Geometry of the code the instance is built for.
+struct CodeGeometry {
+  std::size_t q = 511;
+  std::size_t block_rows = 2;
+  std::size_t block_cols = 16;
+  std::size_t circulant_weight = 2;
+
+  std::size_t n() const { return q * block_cols; }
+  std::size_t checks() const { return q * block_rows; }
+  std::size_t edges() const {
+    return checks() * block_cols * circulant_weight;
+  }
+  std::size_t check_degree() const {
+    return block_cols * circulant_weight;
+  }
+  std::size_t bit_degree() const { return block_rows * circulant_weight; }
+};
+
+struct ResourceEstimate {
+  std::uint64_t aluts = 0;
+  std::uint64_t registers = 0;
+  std::uint64_t memory_bits = 0;
+
+  // Breakdown (ALUTs).
+  std::uint64_t control_aluts = 0;
+  std::uint64_t address_aluts = 0;
+  std::uint64_t cn_datapath_aluts = 0;
+  std::uint64_t bn_datapath_aluts = 0;
+  std::uint64_t memory_interface_aluts = 0;
+  std::uint64_t misc_aluts = 0;
+
+  // Breakdown (memory bits).
+  std::uint64_t message_memory_bits = 0;
+  std::uint64_t io_memory_bits = 0;
+};
+
+/// FPGA device capacities for utilisation percentages.
+struct DeviceCapacity {
+  std::string name;
+  std::uint64_t logic_elements = 0;  // ALUTs / LEs
+  std::uint64_t registers = 0;
+  std::uint64_t memory_bits = 0;
+};
+
+/// Altera Cyclone II EP2C50F (the paper's low-cost target).
+DeviceCapacity CycloneIIEp2c50();
+/// Altera Stratix II EP2S180 (the paper's high-speed target).
+DeviceCapacity StratixIIEp2s180();
+
+ResourceEstimate EstimateResources(const ArchConfig& config,
+                                   const CodeGeometry& geometry);
+
+/// Utilisation fraction helpers.
+double LogicFraction(const ResourceEstimate& e, const DeviceCapacity& d);
+double RegisterFraction(const ResourceEstimate& e, const DeviceCapacity& d);
+double MemoryFraction(const ResourceEstimate& e, const DeviceCapacity& d);
+
+}  // namespace cldpc::arch

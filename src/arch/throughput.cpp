@@ -1,0 +1,40 @@
+#include "arch/throughput.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+
+double ThroughputModel::OutputMbps(const ArchConfig& config, std::size_t q,
+                                   std::size_t payload_bits_per_frame,
+                                   int iterations) {
+  Validate(config);
+  const Controller controller(config, q, /*io_words=*/q * 16);
+  const double cycles =
+      static_cast<double>(controller.BatchCycles(iterations));
+  const double batch_bits =
+      static_cast<double>(payload_bits_per_frame * config.frames_per_word *
+                          config.processing_blocks);
+  const double seconds = cycles / (config.clock_mhz * 1e6);
+  return batch_bits / seconds / 1e6;
+}
+
+double ThroughputModel::OutputMbpsFromStats(
+    const ArchConfig& config, const CycleStats& stats,
+    std::size_t payload_bits_per_frame) {
+  CLDPC_EXPECTS(stats.total_cycles > 0, "empty cycle statistics");
+  const double batch_bits =
+      static_cast<double>(payload_bits_per_frame * config.frames_per_word *
+                          config.processing_blocks);
+  const double seconds =
+      static_cast<double>(stats.total_cycles) / (config.clock_mhz * 1e6);
+  return batch_bits / seconds / 1e6;
+}
+
+double ThroughputModel::BatchLatencyUs(const ArchConfig& config,
+                                       std::size_t q, int iterations) {
+  const Controller controller(config, q, q * 16);
+  return static_cast<double>(controller.BatchCycles(iterations)) /
+         config.clock_mhz;
+}
+
+}  // namespace cldpc::arch

@@ -1,0 +1,34 @@
+// Throughput model (Table 1): converts the controller's cycle counts
+// into output data rates at a given clock.
+//
+// Output throughput counts *information payload* bits per second —
+// for the CCSDS C2 frame, 7136 bits per decoded frame — matching the
+// paper's "output throughput" rows.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/config.hpp"
+#include "arch/controller.hpp"
+
+namespace cldpc::arch {
+
+struct ThroughputModel {
+  /// Closed-form output throughput in Mbps: payload bits of all
+  /// frames of a batch, divided by the batch decode time.
+  static double OutputMbps(const ArchConfig& config, std::size_t q,
+                           std::size_t payload_bits_per_frame,
+                           int iterations);
+
+  /// Throughput implied by measured cycle statistics (what the bench
+  /// binaries report from actual simulated decodes).
+  static double OutputMbpsFromStats(const ArchConfig& config,
+                                    const CycleStats& stats,
+                                    std::size_t payload_bits_per_frame);
+
+  /// Decode latency of one batch in microseconds.
+  static double BatchLatencyUs(const ArchConfig& config, std::size_t q,
+                               int iterations);
+};
+
+}  // namespace cldpc::arch

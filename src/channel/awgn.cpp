@@ -1,0 +1,58 @@
+#include "channel/awgn.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::channel {
+
+double SigmaForEbN0(double ebn0_db, double code_rate) {
+  CLDPC_EXPECTS(code_rate > 0.0 && code_rate <= 1.0, "invalid code rate");
+  const double ebn0 = std::pow(10.0, ebn0_db / 10.0);
+  const double esn0 = code_rate * ebn0;
+  return std::sqrt(1.0 / (2.0 * esn0));
+}
+
+double EbN0ForSigma(double sigma, double code_rate) {
+  CLDPC_EXPECTS(sigma > 0.0, "sigma must be positive");
+  CLDPC_EXPECTS(code_rate > 0.0 && code_rate <= 1.0, "invalid code rate");
+  const double esn0 = 1.0 / (2.0 * sigma * sigma);
+  return 10.0 * std::log10(esn0 / code_rate);
+}
+
+std::vector<double> BpskModulate(std::span<const std::uint8_t> bits) {
+  std::vector<double> symbols(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    symbols[i] = (bits[i] & 1u) ? -1.0 : 1.0;
+  return symbols;
+}
+
+AwgnChannel::AwgnChannel(double sigma, std::uint64_t seed)
+    : sigma_(sigma), noise_(seed) {
+  CLDPC_EXPECTS(sigma > 0.0, "sigma must be positive");
+}
+
+std::vector<double> AwgnChannel::Transmit(std::span<const double> symbols) {
+  std::vector<double> received(symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i)
+    received[i] = symbols[i] + noise_.Next(0.0, sigma_);
+  return received;
+}
+
+std::vector<double> AwgnChannel::Llrs(std::span<const double> received) const {
+  const double gain = 2.0 / (sigma_ * sigma_);
+  std::vector<double> llr(received.size());
+  for (std::size_t i = 0; i < received.size(); ++i) llr[i] = gain * received[i];
+  return llr;
+}
+
+std::vector<double> TransmitBpskAwgn(std::span<const std::uint8_t> bits,
+                                     double ebn0_db, double code_rate,
+                                     std::uint64_t seed) {
+  AwgnChannel channel(SigmaForEbN0(ebn0_db, code_rate), seed);
+  const auto symbols = BpskModulate(bits);
+  const auto received = channel.Transmit(symbols);
+  return channel.Llrs(received);
+}
+
+}  // namespace cldpc::channel

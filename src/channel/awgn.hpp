@@ -1,0 +1,50 @@
+// BPSK over AWGN: modulation, noise, and LLR computation.
+//
+// Conventions: bit 0 -> +1.0, bit 1 -> -1.0 (so positive received
+// values favour bit 0, matching the decoder LLR convention).
+// Es/N0 and Eb/N0 are related through the code rate R:
+//   Es/N0 = R * Eb/N0 (one coded BPSK symbol per channel use),
+//   sigma^2 = 1 / (2 * Es/N0).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cldpc::channel {
+
+/// Noise standard deviation for a given Eb/N0 (dB) and code rate.
+double SigmaForEbN0(double ebn0_db, double code_rate);
+
+/// Eb/N0 (dB) corresponding to a noise standard deviation and rate.
+double EbN0ForSigma(double sigma, double code_rate);
+
+/// Map bits to antipodal symbols (+1 for 0, -1 for 1).
+std::vector<double> BpskModulate(std::span<const std::uint8_t> bits);
+
+/// Memoryless AWGN channel with a deterministic per-instance stream.
+class AwgnChannel {
+ public:
+  AwgnChannel(double sigma, std::uint64_t seed);
+
+  /// y = x + n, n ~ N(0, sigma^2) i.i.d.
+  std::vector<double> Transmit(std::span<const double> symbols);
+
+  /// Exact BPSK LLRs: L = 2 y / sigma^2 (positive favours bit 0).
+  std::vector<double> Llrs(std::span<const double> received) const;
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+  GaussianSampler noise_;
+};
+
+/// Convenience: modulate, add noise and compute LLRs in one call.
+std::vector<double> TransmitBpskAwgn(std::span<const std::uint8_t> bits,
+                                     double ebn0_db, double code_rate,
+                                     std::uint64_t seed);
+
+}  // namespace cldpc::channel

@@ -1,0 +1,155 @@
+#include "de/density_evolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::de {
+
+namespace {
+
+// All-zero codeword assumption (BPSK +1): channel LLR ~ N(m, 2m) with
+// m = 4 R Eb/N0 ... concretely LLR = 2y/sigma^2, y ~ N(1, sigma^2).
+double ChannelLlrSample(GaussianSampler& g, double sigma) {
+  const double y = g.Next(1.0, sigma);
+  return 2.0 * y / (sigma * sigma);
+}
+
+double BoxPlusLocal(double a, double b) {
+  const double sign = ((a < 0) != (b < 0)) ? -1.0 : 1.0;
+  const double mag = std::min(std::fabs(a), std::fabs(b));
+  return sign * mag + std::log1p(std::exp(-std::fabs(a + b))) -
+         std::log1p(std::exp(-std::fabs(a - b)));
+}
+
+double SigmaFor(const Ensemble& e, double ebn0_db) {
+  const double ebn0 = std::pow(10.0, ebn0_db / 10.0);
+  return std::sqrt(1.0 / (2.0 * e.Rate() * ebn0));
+}
+
+}  // namespace
+
+double ErrorProbability(const DeConfig& config, double ebn0_db) {
+  CLDPC_EXPECTS(config.population >= 100, "population too small");
+  CLDPC_EXPECTS(config.ensemble.bit_degree >= 2, "dv must be >= 2");
+  CLDPC_EXPECTS(config.ensemble.check_degree >= 2, "dc must be >= 2");
+
+  const double sigma = SigmaFor(config.ensemble, ebn0_db);
+  const int dv = config.ensemble.bit_degree;
+  const int dc = config.ensemble.check_degree;
+  const double scale = config.algorithm == DeAlgorithm::kNormalizedMinSum
+                           ? 1.0 / config.alpha
+                           : 1.0;
+
+  GaussianSampler gauss(config.seed);
+  Xoshiro256pp pick(config.seed ^ 0x9E3779B97F4A7C15ULL);
+
+  // Population of bit-to-check messages; initially channel samples.
+  std::vector<double> v(config.population);
+  for (auto& x : v) x = ChannelLlrSample(gauss, sigma);
+
+  std::vector<double> u(config.population);  // check-to-bit messages
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // CN update: combine dc-1 randomly-drawn incoming messages.
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      if (config.algorithm == DeAlgorithm::kBp) {
+        double acc = v[pick.NextBounded(v.size())];
+        for (int j = 1; j < dc - 1; ++j)
+          acc = BoxPlusLocal(acc, v[pick.NextBounded(v.size())]);
+        u[i] = acc;
+      } else {
+        double min_mag = std::numeric_limits<double>::infinity();
+        bool neg = false;
+        for (int j = 0; j < dc - 1; ++j) {
+          const double x = v[pick.NextBounded(v.size())];
+          min_mag = std::min(min_mag, std::fabs(x));
+          if (x < 0) neg = !neg;
+        }
+        u[i] = (neg ? -min_mag : min_mag) * scale;
+      }
+    }
+    // BN update: channel sample + dv-1 randomly-drawn check messages.
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      double acc = ChannelLlrSample(gauss, sigma);
+      for (int j = 0; j < dv - 1; ++j) acc += u[pick.NextBounded(u.size())];
+      v[i] = acc;
+    }
+  }
+
+  std::size_t wrong = 0;
+  for (const auto x : v) {
+    if (x < 0.0) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(v.size());
+}
+
+double Threshold(const DeConfig& config, double lo_db, double hi_db,
+                 double target, double tol_db) {
+  CLDPC_EXPECTS(lo_db < hi_db, "invalid bisection interval");
+  // Ensure the bracket actually straddles the target; widen once if
+  // needed, then bisect.
+  double lo = lo_db, hi = hi_db;
+  if (ErrorProbability(config, hi) > target) return hi;  // no threshold found
+  while (hi - lo > tol_db) {
+    const double mid = 0.5 * (lo + hi);
+    if (ErrorProbability(config, mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double AlphaByMeanMatching(const Ensemble& ensemble, double ebn0_db,
+                           std::size_t population, std::uint64_t seed) {
+  CLDPC_EXPECTS(population >= 1000, "population too small");
+  const double sigma = SigmaFor(ensemble, ebn0_db);
+  const int dc = ensemble.check_degree;
+
+  GaussianSampler gauss(seed);
+  double bp_sum = 0.0, ms_sum = 0.0;
+  std::vector<double> in(static_cast<std::size_t>(dc) - 1);
+  for (std::size_t i = 0; i < population; ++i) {
+    for (auto& x : in) x = ChannelLlrSample(gauss, sigma);
+    double bp = in[0];
+    double min_mag = std::fabs(in[0]);
+    for (std::size_t j = 1; j < in.size(); ++j) {
+      bp = BoxPlusLocal(bp, in[j]);
+      min_mag = std::min(min_mag, std::fabs(in[j]));
+    }
+    bp_sum += std::fabs(bp);
+    ms_sum += min_mag;
+  }
+  CLDPC_ENSURES(bp_sum > 0.0, "degenerate BP mean");
+  // min-sum magnitudes dominate BP magnitudes, so alpha >= 1.
+  return ms_sum / bp_sum;
+}
+
+double OptimalAlphaByThreshold(const Ensemble& ensemble,
+                               const std::vector<double>& alpha_grid,
+                               int iterations, std::size_t population) {
+  CLDPC_EXPECTS(!alpha_grid.empty(), "empty alpha grid");
+  double best_alpha = alpha_grid.front();
+  double best_threshold = std::numeric_limits<double>::infinity();
+  for (const auto alpha : alpha_grid) {
+    DeConfig config;
+    config.ensemble = ensemble;
+    config.algorithm = DeAlgorithm::kNormalizedMinSum;
+    config.alpha = alpha;
+    config.iterations = iterations;
+    config.population = population;
+    const double th = Threshold(config);
+    if (th < best_threshold) {
+      best_threshold = th;
+      best_alpha = alpha;
+    }
+  }
+  return best_alpha;
+}
+
+}  // namespace cldpc::de

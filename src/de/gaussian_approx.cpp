@@ -1,0 +1,104 @@
+#include "de/gaussian_approx.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::de {
+
+namespace {
+constexpr double kMeanCap = 1e6;  // "converged" sentinel
+
+double ChannelMean(const Ensemble& ensemble, double ebn0_db) {
+  // LLR of unit-energy BPSK in N(0, sigma^2): mean 2/sigma^2.
+  const double ebn0 = std::pow(10.0, ebn0_db / 10.0);
+  const double sigma2 = 1.0 / (2.0 * ensemble.Rate() * ebn0);
+  return 2.0 / sigma2;
+}
+
+double StdNormalQ(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+}  // namespace
+
+double Phi(double x) {
+  CLDPC_EXPECTS(x >= 0.0, "Phi domain is x >= 0");
+  if (x == 0.0) return 1.0;
+  // Branch switch at the crossing point of the two fits (x ~ 14.394),
+  // where they agree to 6 digits — this keeps Phi continuous and
+  // strictly decreasing, which PhiInverse's bisection relies on.
+  constexpr double kBranchSwitch = 14.394353;
+  if (x < kBranchSwitch) {
+    // Chung et al. fit, max error ~1e-3 on (0, 10].
+    return std::exp(-0.4527 * std::pow(x, 0.86) + 0.0218);
+  }
+  // Asymptotic expansion for large means.
+  return std::sqrt(3.14159265358979323846 / x) * std::exp(-x / 4.0) *
+         (1.0 - 10.0 / (7.0 * x));
+}
+
+double PhiInverse(double y) {
+  CLDPC_EXPECTS(y > 0.0 && y <= 1.0, "PhiInverse domain is (0, 1]");
+  if (y == 1.0) return 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  while (Phi(hi) > y) {
+    hi *= 2.0;
+    if (hi > kMeanCap) return kMeanCap;
+  }
+  for (int i = 0; i < 200 && hi - lo > 1e-12 * (1.0 + hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (Phi(mid) > y) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double GaMessageMean(const Ensemble& ensemble, double ebn0_db,
+                     int iterations) {
+  CLDPC_EXPECTS(iterations >= 1, "need at least one iteration");
+  const double m_ch = ChannelMean(ensemble, ebn0_db);
+  const int dv = ensemble.bit_degree;
+  const int dc = ensemble.check_degree;
+  double m_v = m_ch;
+  for (int iter = 0; iter < iterations; ++iter) {
+    // CN: 1 - phi(m_u) = (1 - phi(m_v))^(dc-1).
+    const double inner = 1.0 - std::pow(1.0 - Phi(m_v), dc - 1);
+    if (inner <= 0.0) return kMeanCap;  // numerically converged
+    const double m_u = PhiInverse(inner);
+    if (m_u >= kMeanCap) return kMeanCap;
+    // BN: channel plus dv-1 check messages.
+    m_v = m_ch + (dv - 1) * m_u;
+    if (m_v >= kMeanCap) return kMeanCap;
+  }
+  return m_v;
+}
+
+double GaErrorProbability(const Ensemble& ensemble, double ebn0_db,
+                          int iterations) {
+  const double m = GaMessageMean(ensemble, ebn0_db, iterations);
+  // Message ~ N(m, 2m): P(error) = Q(m / sqrt(2m)) = Q(sqrt(m/2)).
+  return StdNormalQ(std::sqrt(m / 2.0));
+}
+
+double GaThreshold(const Ensemble& ensemble, int iterations, double lo_db,
+                   double hi_db, double tol_db) {
+  CLDPC_EXPECTS(lo_db < hi_db, "invalid bisection interval");
+  const auto converges = [&](double ebn0) {
+    return GaMessageMean(ensemble, ebn0, iterations) >= kMeanCap * 0.99;
+  };
+  if (!converges(hi_db)) return hi_db;
+  double lo = lo_db, hi = hi_db;
+  while (hi - lo > tol_db) {
+    const double mid = 0.5 * (lo + hi);
+    if (converges(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace cldpc::de

@@ -1,0 +1,55 @@
+#include "framing/sync_randomizer.hpp"
+
+namespace cldpc::framing {
+
+std::vector<std::uint8_t> SyncMarkerBits() {
+  constexpr std::uint32_t kAsm = 0x1ACFFC1Du;
+  std::vector<std::uint8_t> bits(32);
+  for (int i = 0; i < 32; ++i) bits[i] = (kAsm >> (31 - i)) & 1u;
+  return bits;
+}
+
+std::vector<std::uint8_t> PseudoRandomizer::Sequence(std::size_t length) {
+  // 8-bit LFSR, all-ones seed; output is the MSB, feedback per
+  // h(x) = x^8 + x^7 + x^5 + x^3 + 1 (CCSDS 131.0-B randomizer).
+  std::uint8_t state = 0xFF;
+  std::vector<std::uint8_t> seq(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::uint8_t out = (state >> 7) & 1u;
+    seq[i] = out;
+    const std::uint8_t fb = ((state >> 7) ^ (state >> 6) ^ (state >> 4) ^
+                             (state >> 2)) & 1u;
+    state = static_cast<std::uint8_t>((state << 1) | fb);
+  }
+  return seq;
+}
+
+void PseudoRandomizer::Apply(std::span<std::uint8_t> frame) {
+  const auto seq = Sequence(frame.size());
+  for (std::size_t i = 0; i < frame.size(); ++i) frame[i] ^= seq[i];
+}
+
+std::vector<std::uint8_t> AttachSyncMarker(
+    std::span<const std::uint8_t> frame) {
+  auto out = SyncMarkerBits();
+  out.insert(out.end(), frame.begin(), frame.end());
+  return out;
+}
+
+std::optional<std::size_t> FindSyncMarker(
+    std::span<const std::uint8_t> stream, std::size_t max_errors) {
+  const auto marker = SyncMarkerBits();
+  if (stream.size() < marker.size()) return std::nullopt;
+  for (std::size_t start = 0; start + marker.size() <= stream.size();
+       ++start) {
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < marker.size() && mismatches <= max_errors;
+         ++i) {
+      if ((stream[start + i] & 1u) != marker[i]) ++mismatches;
+    }
+    if (mismatches <= max_errors) return start + marker.size();
+  }
+  return std::nullopt;
+}
+
+}  // namespace cldpc::framing

@@ -1,0 +1,40 @@
+// CCSDS TM synchronization & channel-coding layer companions of the
+// C2 LDPC code (CCSDS 131.0-B): the attached sync marker (ASM) and
+// the pseudo-randomizer. The paper's decoder sits inside this layer
+// on a real near-earth link, so the library ships it for end-to-end
+// frame processing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cldpc::framing {
+
+/// The 32-bit attached sync marker 0x1ACFFC1D, MSB first.
+std::vector<std::uint8_t> SyncMarkerBits();
+
+/// CCSDS pseudo-randomizer: LFSR with polynomial
+/// h(x) = x^8 + x^7 + x^5 + x^3 + 1, seeded to all-ones at each
+/// frame start. XORing is an involution: Apply == Remove.
+class PseudoRandomizer {
+ public:
+  /// Generate the first `length` bits of the randomizer sequence.
+  static std::vector<std::uint8_t> Sequence(std::size_t length);
+
+  /// XOR the sequence onto a frame (in place).
+  static void Apply(std::span<std::uint8_t> frame);
+};
+
+/// Attach the ASM in front of a (randomized) frame.
+std::vector<std::uint8_t> AttachSyncMarker(
+    std::span<const std::uint8_t> frame);
+
+/// Scan a bit stream for the ASM; returns the offset of the first
+/// frame bit after the marker, or nullopt. `max_errors` tolerates
+/// noisy markers (soft sync).
+std::optional<std::size_t> FindSyncMarker(
+    std::span<const std::uint8_t> stream, std::size_t max_errors = 0);
+
+}  // namespace cldpc::framing

@@ -1,0 +1,100 @@
+#include "gf2/bitmat.hpp"
+
+#include <algorithm>
+
+namespace cldpc::gf2 {
+
+BitMat::BitMat(std::size_t rows, std::size_t cols) : cols_(cols) {
+  rows_.assign(rows, BitVec(cols));
+}
+
+BitMat BitMat::Identity(std::size_t n) {
+  BitMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.Set(i, i, true);
+  return m;
+}
+
+BitVec BitMat::MulVec(const BitVec& x) const {
+  CLDPC_EXPECTS(x.size() == cols_, "MulVec dimension mismatch");
+  BitVec y(rows());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    if (BitVec::Dot(rows_[r], x)) y.Set(r, true);
+  }
+  return y;
+}
+
+BitMat BitMat::Mul(const BitMat& other) const {
+  CLDPC_EXPECTS(cols_ == other.rows(), "Mul dimension mismatch");
+  BitMat out(rows(), other.cols());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    // out.row(r) = XOR of other's rows selected by this row's bits —
+    // word-parallel in the accumulating XOR.
+    for (std::size_t k = rows_[r].FirstSet(); k < cols_;
+         k = rows_[r].NextSet(k + 1)) {
+      out.rows_[r] ^= other.rows_[k];
+    }
+  }
+  return out;
+}
+
+BitMat BitMat::Transposed() const {
+  BitMat out(cols_, rows());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t c = rows_[r].FirstSet(); c < cols_;
+         c = rows_[r].NextSet(c + 1)) {
+      out.Set(c, r, true);
+    }
+  }
+  return out;
+}
+
+void BitMat::SwapRows(std::size_t a, std::size_t b) {
+  std::swap(rows_[a], rows_[b]);
+}
+
+void BitMat::XorRow(std::size_t dst, std::size_t src) {
+  rows_[dst] ^= rows_[src];
+}
+
+RowReduction BitMat::RowReduce() {
+  RowReduction result;
+  std::size_t pivot_row = 0;
+  std::vector<bool> is_pivot_col(cols_, false);
+  for (std::size_t col = 0; col < cols_ && pivot_row < rows(); ++col) {
+    // Find a row with a 1 in this column at or below pivot_row.
+    std::size_t r = pivot_row;
+    while (r < rows() && !rows_[r].Get(col)) ++r;
+    if (r == rows()) continue;
+    SwapRows(pivot_row, r);
+    // Eliminate the column everywhere else (Gauss-Jordan gives RREF
+    // directly, which is what the encoder wants).
+    for (std::size_t rr = 0; rr < rows(); ++rr) {
+      if (rr != pivot_row && rows_[rr].Get(col)) XorRow(rr, pivot_row);
+    }
+    result.pivot_cols.push_back(col);
+    is_pivot_col[col] = true;
+    ++pivot_row;
+  }
+  result.rank = pivot_row;
+  for (std::size_t col = 0; col < cols_; ++col) {
+    if (!is_pivot_col[col]) result.free_cols.push_back(col);
+  }
+  return result;
+}
+
+std::size_t BitMat::Rank() const {
+  BitMat copy = *this;
+  return copy.RowReduce().rank;
+}
+
+bool BitMat::operator==(const BitMat& other) const {
+  return cols_ == other.cols_ && rows_ == other.rows_;
+}
+
+std::size_t BitMat::Popcount() const {
+  std::size_t count = 0;
+  for (const auto& row : rows_) count += row.Popcount();
+  return count;
+}
+
+}  // namespace cldpc::gf2

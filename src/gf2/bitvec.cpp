@@ -1,0 +1,87 @@
+#include "gf2/bitvec.hpp"
+
+#include <bit>
+
+namespace cldpc::gf2 {
+
+BitVec BitVec::FromBits(const std::vector<std::uint8_t>& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) v.Set(i, true);
+  }
+  return v;
+}
+
+void BitVec::Resize(std::size_t size) {
+  size_ = size;
+  words_.assign((size + 63) / 64, 0);
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  CLDPC_EXPECTS(size_ == other.size_, "BitVec XOR size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  CLDPC_EXPECTS(size_ == other.size_, "BitVec AND size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  return *this;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::size_t BitVec::Popcount() const {
+  std::size_t count = 0;
+  for (const auto w : words_) count += static_cast<std::size_t>(std::popcount(w));
+  return count;
+}
+
+bool BitVec::AnySet() const {
+  for (const auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool BitVec::Dot(const BitVec& a, const BitVec& b) {
+  CLDPC_EXPECTS(a.size_ == b.size_, "BitVec dot size mismatch");
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w < a.words_.size(); ++w)
+    acc ^= a.words_[w] & b.words_[w];
+  return (std::popcount(acc) & 1) != 0;
+}
+
+void BitVec::Clear() { words_.assign(words_.size(), 0); }
+
+std::size_t BitVec::FirstSet() const { return NextSet(0); }
+
+std::size_t BitVec::NextSet(std::size_t from) const {
+  if (from >= size_) return size_;
+  std::size_t w = from >> 6;
+  std::uint64_t word = words_[w] & (~0ULL << (from & 63));
+  while (true) {
+    if (word != 0) {
+      const std::size_t idx = (w << 6) +
+          static_cast<std::size_t>(std::countr_zero(word));
+      return idx < size_ ? idx : size_;
+    }
+    if (++w >= words_.size()) return size_;
+    word = words_[w];
+  }
+}
+
+std::vector<std::uint8_t> BitVec::ToBits() const {
+  std::vector<std::uint8_t> out(size_);
+  for (std::size_t i = 0; i < size_; ++i) out[i] = Get(i) ? 1 : 0;
+  return out;
+}
+
+void BitVec::TrimTail() {
+  const std::size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) words_.back() &= (1ULL << tail) - 1;
+}
+
+}  // namespace cldpc::gf2

@@ -1,0 +1,68 @@
+#include "gf2/circulant.hpp"
+
+#include <algorithm>
+
+namespace cldpc::gf2 {
+
+Circulant::Circulant(std::size_t q, std::vector<std::size_t> offsets)
+    : q_(q), offsets_(std::move(offsets)) {
+  CLDPC_EXPECTS(q_ > 0, "circulant size must be positive");
+  std::sort(offsets_.begin(), offsets_.end());
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    CLDPC_EXPECTS(offsets_[i] < q_, "circulant offset out of range");
+    if (i > 0)
+      CLDPC_EXPECTS(offsets_[i] != offsets_[i - 1],
+                    "duplicate circulant offset");
+  }
+}
+
+std::size_t Circulant::ColOfRow(std::size_t r, std::size_t k) const {
+  CLDPC_EXPECTS(r < q_ && k < offsets_.size(), "circulant index out of range");
+  return (offsets_[k] + r) % q_;
+}
+
+std::size_t Circulant::RowOfCol(std::size_t c, std::size_t k) const {
+  CLDPC_EXPECTS(c < q_ && k < offsets_.size(), "circulant index out of range");
+  return (c + q_ - offsets_[k]) % q_;
+}
+
+BitMat Circulant::ToDense() const {
+  BitMat m(q_, q_);
+  for (std::size_t r = 0; r < q_; ++r) {
+    for (std::size_t k = 0; k < offsets_.size(); ++k) {
+      m.Set(r, ColOfRow(r, k), true);
+    }
+  }
+  return m;
+}
+
+Circulant operator+(const Circulant& a, const Circulant& b) {
+  CLDPC_EXPECTS(a.q_ == b.q_, "circulant size mismatch");
+  // Symmetric difference of offset sets (XOR over GF(2)).
+  std::vector<std::size_t> out;
+  std::set_symmetric_difference(a.offsets_.begin(), a.offsets_.end(),
+                                b.offsets_.begin(), b.offsets_.end(),
+                                std::back_inserter(out));
+  return Circulant(a.q_, std::move(out));
+}
+
+Circulant operator*(const Circulant& a, const Circulant& b) {
+  CLDPC_EXPECTS(a.q_ == b.q_, "circulant size mismatch");
+  // Polynomial multiplication mod (x^Q - 1) over GF(2): pairwise
+  // offset sums, cancelling even multiplicities.
+  std::vector<unsigned> acc(a.q_, 0);
+  for (const auto oa : a.offsets_) {
+    for (const auto ob : b.offsets_) acc[(oa + ob) % a.q_] ^= 1u;
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    if (acc[i]) out.push_back(i);
+  }
+  return Circulant(a.q_, std::move(out));
+}
+
+bool Circulant::operator==(const Circulant& other) const {
+  return q_ == other.q_ && offsets_ == other.offsets_;
+}
+
+}  // namespace cldpc::gf2

@@ -1,0 +1,45 @@
+// Circulant matrices over GF(2), represented by the set positions of
+// their first row. The CCSDS near-earth code is built from 511x511
+// circulants of row weight 2; everything the decoder needs from a
+// circulant is "rotate an index by a constant", which is what the
+// hardware address generators implement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gf2/bitmat.hpp"
+
+namespace cldpc::gf2 {
+
+/// A QxQ circulant with ones in the first row at `offsets` (all
+/// distinct, in [0, Q)); row r has ones at (offset + r) mod Q.
+class Circulant {
+ public:
+  Circulant(std::size_t q, std::vector<std::size_t> offsets);
+
+  std::size_t q() const { return q_; }
+  const std::vector<std::size_t>& offsets() const { return offsets_; }
+  std::size_t weight() const { return offsets_.size(); }
+
+  /// Column index of the k-th one in row r: (offsets[k] + r) mod Q.
+  std::size_t ColOfRow(std::size_t r, std::size_t k) const;
+  /// Row index of the k-th one in column c: (c - offsets[k]) mod Q.
+  std::size_t RowOfCol(std::size_t c, std::size_t k) const;
+
+  BitMat ToDense() const;
+
+  /// Sum (XOR) of two circulants of the same size; offsets appearing
+  /// in both cancel.
+  friend Circulant operator+(const Circulant& a, const Circulant& b);
+  /// Product of two circulants (polynomial product mod x^Q - 1).
+  friend Circulant operator*(const Circulant& a, const Circulant& b);
+
+  bool operator==(const Circulant& other) const;
+
+ private:
+  std::size_t q_;
+  std::vector<std::size_t> offsets_;  // sorted, unique
+};
+
+}  // namespace cldpc::gf2

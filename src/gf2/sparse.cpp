@@ -1,0 +1,109 @@
+#include "gf2/sparse.hpp"
+
+#include <algorithm>
+
+namespace cldpc::gf2 {
+
+SparseMat::SparseMat(std::size_t rows, std::size_t cols,
+                     std::vector<Coord> entries)
+    : rows_(rows), cols_(cols), coords_(std::move(entries)) {
+  std::sort(coords_.begin(), coords_.end(),
+            [](const Coord& a, const Coord& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    CLDPC_EXPECTS(coords_[i].row < rows_ && coords_[i].col < cols_,
+                  "sparse entry out of bounds");
+    if (i > 0) {
+      CLDPC_EXPECTS(!(coords_[i] == coords_[i - 1]),
+                    "duplicate sparse entry (would cancel over GF(2))");
+    }
+  }
+  BuildIndex();
+}
+
+SparseMat SparseMat::FromDense(const BitMat& dense) {
+  std::vector<Coord> entries;
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    const BitVec& row = dense.Row(r);
+    for (std::size_t c = row.FirstSet(); c < dense.cols();
+         c = row.NextSet(c + 1)) {
+      entries.push_back({r, c});
+    }
+  }
+  return SparseMat(dense.rows(), dense.cols(), std::move(entries));
+}
+
+BitMat SparseMat::ToDense() const {
+  BitMat dense(rows_, cols_);
+  for (const auto& e : coords_) dense.Set(e.row, e.col, true);
+  return dense;
+}
+
+void SparseMat::BuildIndex() {
+  row_ptr_.assign(rows_ + 1, 0);
+  col_ptr_.assign(cols_ + 1, 0);
+  col_idx_.resize(coords_.size());
+  row_idx_.resize(coords_.size());
+
+  for (const auto& e : coords_) {
+    ++row_ptr_[e.row + 1];
+    ++col_ptr_[e.col + 1];
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+  for (std::size_t c = 0; c < cols_; ++c) col_ptr_[c + 1] += col_ptr_[c];
+
+  // coords_ are row-major sorted, so CSR fills in order.
+  for (std::size_t i = 0; i < coords_.size(); ++i) col_idx_[i] = coords_[i].col;
+
+  std::vector<std::size_t> cursor(col_ptr_.begin(), col_ptr_.end() - 1);
+  for (const auto& e : coords_) row_idx_[cursor[e.col]++] = e.row;
+}
+
+std::span<const std::size_t> SparseMat::RowEntries(std::size_t r) const {
+  CLDPC_EXPECTS(r < rows_, "row out of range");
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const std::size_t> SparseMat::ColEntries(std::size_t c) const {
+  CLDPC_EXPECTS(c < cols_, "col out of range");
+  return {row_idx_.data() + col_ptr_[c], col_ptr_[c + 1] - col_ptr_[c]};
+}
+
+bool SparseMat::Get(std::size_t r, std::size_t c) const {
+  const auto row = RowEntries(r);
+  return std::binary_search(row.begin(), row.end(), c);
+}
+
+BitVec SparseMat::MulVec(const std::vector<std::uint8_t>& x) const {
+  CLDPC_EXPECTS(x.size() == cols_, "MulVec dimension mismatch");
+  BitVec s(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    unsigned acc = 0;
+    for (const auto c : RowEntries(r)) acc ^= (x[c] & 1u);
+    if (acc) s.Set(r, true);
+  }
+  return s;
+}
+
+std::vector<std::size_t> RowWeightHistogram(const SparseMat& m) {
+  std::vector<std::size_t> hist;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const std::size_t w = m.RowWeight(r);
+    if (w >= hist.size()) hist.resize(w + 1, 0);
+    ++hist[w];
+  }
+  return hist;
+}
+
+std::vector<std::size_t> ColWeightHistogram(const SparseMat& m) {
+  std::vector<std::size_t> hist;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    const std::size_t w = m.ColWeight(c);
+    if (w >= hist.size()) hist.resize(w + 1, 0);
+    ++hist[w];
+  }
+  return hist;
+}
+
+}  // namespace cldpc::gf2

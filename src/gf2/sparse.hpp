@@ -1,0 +1,74 @@
+// Sparse binary matrix in compressed row + column form.
+//
+// This is the canonical representation of an LDPC parity-check matrix:
+// the decoder's Tanner graph, syndrome computation, and the Figure-2
+// scatter plot all read it. Immutable after construction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gf2/bitmat.hpp"
+#include "gf2/bitvec.hpp"
+
+namespace cldpc::gf2 {
+
+/// (row, col) coordinate of a nonzero entry.
+struct Coord {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+class SparseMat {
+ public:
+  SparseMat() = default;
+
+  /// From coordinates. Duplicate entries are a contract violation
+  /// (over GF(2) a duplicate would silently cancel).
+  SparseMat(std::size_t rows, std::size_t cols, std::vector<Coord> entries);
+
+  static SparseMat FromDense(const BitMat& dense);
+  BitMat ToDense() const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return coords_.size(); }
+
+  /// Column indices of nonzeros in row r (sorted ascending).
+  std::span<const std::size_t> RowEntries(std::size_t r) const;
+  /// Row indices of nonzeros in column c (sorted ascending).
+  std::span<const std::size_t> ColEntries(std::size_t c) const;
+
+  std::size_t RowWeight(std::size_t r) const { return RowEntries(r).size(); }
+  std::size_t ColWeight(std::size_t c) const { return ColEntries(c).size(); }
+
+  bool Get(std::size_t r, std::size_t c) const;
+
+  /// Syndrome s = H x over GF(2), x given as 0/1 bytes of length cols().
+  BitVec MulVec(const std::vector<std::uint8_t>& x) const;
+
+  /// All nonzero coordinates in row-major order (the Figure-2 points).
+  const std::vector<Coord>& Coords() const { return coords_; }
+
+ private:
+  void BuildIndex();
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Coord> coords_;  // row-major sorted
+  // CSR: row_ptr_[r] .. row_ptr_[r+1] indexes into col_idx_.
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  // CSC: col_ptr_[c] .. col_ptr_[c+1] indexes into row_idx_.
+  std::vector<std::size_t> col_ptr_;
+  std::vector<std::size_t> row_idx_;
+};
+
+/// Histogram of node degrees: hist[d] = number of rows (or columns)
+/// with weight d.
+std::vector<std::size_t> RowWeightHistogram(const SparseMat& m);
+std::vector<std::size_t> ColWeightHistogram(const SparseMat& m);
+
+}  // namespace cldpc::gf2

@@ -1,0 +1,98 @@
+#include "ldpc/bp_decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc {
+
+double BoxPlus(double a, double b) {
+  // boxplus(a,b) = sign(a)sign(b) min(|a|,|b|)
+  //              + log1p(e^-|a+b|) - log1p(e^-|a-b|)
+  const double sign = ((a < 0) != (b < 0)) ? -1.0 : 1.0;
+  const double mag = std::min(std::fabs(a), std::fabs(b));
+  const double corr =
+      std::log1p(std::exp(-std::fabs(a + b))) -
+      std::log1p(std::exp(-std::fabs(a - b)));
+  return sign * mag + corr;
+}
+
+BpDecoder::BpDecoder(const LdpcCode& code, IterOptions options)
+    : code_(code), options_(options) {
+  CLDPC_EXPECTS(options_.max_iterations > 0, "need at least one iteration");
+  bit_to_check_.resize(code_.graph().num_edges());
+  check_to_bit_.resize(code_.graph().num_edges());
+}
+
+DecodeResult BpDecoder::Decode(std::span<const double> llr) {
+  const auto& graph = code_.graph();
+  CLDPC_EXPECTS(llr.size() == graph.num_bits(), "LLR length must equal n");
+
+  // Initialise bit-to-check messages with the channel values.
+  for (std::size_t e = 0; e < graph.num_edges(); ++e)
+    bit_to_check_[e] = llr[graph.EdgeBit(e)];
+  std::fill(check_to_bit_.begin(), check_to_bit_.end(), 0.0);
+
+  DecodeResult result;
+  result.bits.resize(graph.num_bits());
+
+  std::vector<double> forward(graph.MaxCheckDegree());
+  std::vector<double> backward(graph.MaxCheckDegree());
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    // ---- Check-node phase: exact boxplus with forward/backward
+    // partial combinations (O(dc) per check).
+    double cb_mag_sum = 0.0;
+    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
+      const auto edges = graph.CheckEdges(m);
+      const std::size_t dc = edges.size();
+      if (dc == 0) continue;
+      forward[0] = bit_to_check_[edges[0]];
+      for (std::size_t i = 1; i < dc; ++i)
+        forward[i] = BoxPlus(forward[i - 1], bit_to_check_[edges[i]]);
+      backward[dc - 1] = bit_to_check_[edges[dc - 1]];
+      for (std::size_t i = dc - 1; i-- > 0;)
+        backward[i] = BoxPlus(backward[i + 1], bit_to_check_[edges[i]]);
+      for (std::size_t i = 0; i < dc; ++i) {
+        double out;
+        if (dc == 1) {
+          // A degree-1 check pins its only bit: "all others" is the
+          // empty combination, i.e. +infinity belief; approximate
+          // with a large LLR.
+          out = 1e30;
+        } else if (i == 0) {
+          out = backward[1];
+        } else if (i == dc - 1) {
+          out = forward[dc - 2];
+        } else {
+          out = BoxPlus(forward[i - 1], backward[i + 1]);
+        }
+        check_to_bit_[edges[i]] = out;
+        cb_mag_sum += std::fabs(out);
+      }
+    }
+    last_cb_mean_ = graph.num_edges() > 0
+                        ? cb_mag_sum / static_cast<double>(graph.num_edges())
+                        : 0.0;
+
+    // ---- Bit-node phase: APP and extrinsic outputs.
+    for (std::size_t n = 0; n < graph.num_bits(); ++n) {
+      const auto edges = graph.BitEdges(n);
+      double app = llr[n];
+      for (const auto e : edges) app += check_to_bit_[e];
+      result.bits[n] = app < 0.0 ? 1 : 0;
+      for (const auto e : edges) bit_to_check_[e] = app - check_to_bit_[e];
+    }
+
+    result.iterations_run = iter;
+    if (options_.early_termination && code_.IsCodeword(result.bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = code_.IsCodeword(result.bits);
+  return result;
+}
+
+}  // namespace cldpc::ldpc

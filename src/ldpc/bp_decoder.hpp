@@ -1,0 +1,36 @@
+// Floating-point belief propagation (sum-product) decoder, flooding
+// schedule. This is the error-rate reference the min-sum variants are
+// measured against ("the means of the messages passed in the BP
+// algorithm" in the paper's correction-factor rule).
+#pragma once
+
+#include "ldpc/decoder.hpp"
+
+namespace cldpc::ldpc {
+
+class BpDecoder final : public Decoder {
+ public:
+  /// The code must outlive the decoder.
+  BpDecoder(const LdpcCode& code, IterOptions options);
+
+  DecodeResult Decode(std::span<const double> llr) override;
+  std::string Name() const override { return "bp-flooding"; }
+
+  /// Mean magnitude of the check-to-bit messages produced in the last
+  /// Decode call's final iteration (used by the correction-factor
+  /// analysis).
+  double LastCbMeanMagnitude() const { return last_cb_mean_; }
+
+ private:
+  const LdpcCode& code_;
+  IterOptions options_;
+  std::vector<double> bit_to_check_;   // per edge
+  std::vector<double> check_to_bit_;   // per edge
+  double last_cb_mean_ = 0.0;
+};
+
+/// Numerically-stable pairwise check-node combination ("boxplus"):
+/// exact log-domain equivalent of the tanh product rule.
+double BoxPlus(double a, double b);
+
+}  // namespace cldpc::ldpc

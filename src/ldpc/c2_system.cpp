@@ -1,0 +1,29 @@
+#include "ldpc/c2_system.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc {
+
+C2System MakeC2System(std::uint64_t seed) {
+  using qc::C2Constants;
+  auto qc_matrix = qc::BuildC2QcMatrix(seed);
+  auto code = std::make_unique<LdpcCode>(qc_matrix.Expand());
+
+  CLDPC_ENSURES(code->n() == C2Constants::kN, "C2 length mismatch");
+  CLDPC_ENSURES(code->k() == C2Constants::kK,
+                "C2 rank structure violated (need rank 1020)");
+
+  auto encoder = std::make_unique<Encoder>(*code);
+  auto framing = std::make_unique<ShortenedCode>(
+      *code, *encoder, C2Constants::kFillBits, C2Constants::kPadBits);
+
+  CLDPC_ENSURES(framing->tx_bits() == C2Constants::kTxBits,
+                "C2 tx frame length mismatch");
+  CLDPC_ENSURES(framing->tx_info_bits() == C2Constants::kTxInfoBits,
+                "C2 tx info length mismatch");
+
+  return C2System{std::move(code), std::move(encoder), std::move(framing),
+                  std::move(qc_matrix)};
+}
+
+}  // namespace cldpc::ldpc

@@ -1,0 +1,26 @@
+// One-call construction of the complete CCSDS C2 coding system:
+// mother code, systematic encoder and (8160, 7136) framing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ldpc/shortened.hpp"
+#include "qc/ccsds_c2.hpp"
+
+namespace cldpc::ldpc {
+
+/// Owns the whole coding chain; members are pointers so the struct is
+/// movable while the cross-references between them stay valid.
+struct C2System {
+  std::unique_ptr<LdpcCode> code;        // (8176, 7156) mother code
+  std::unique_ptr<Encoder> encoder;
+  std::unique_ptr<ShortenedCode> framing;  // (8160, 7136)
+  qc::QcMatrix qc;                       // block-level description
+};
+
+/// Build the full system. Verifies the structural invariants the
+/// CCSDS code guarantees: k = 7156 (rank 1020) and girth >= 6.
+C2System MakeC2System(std::uint64_t seed = qc::kC2DefaultSeed);
+
+}  // namespace cldpc::ldpc

@@ -1,0 +1,11 @@
+#include "ldpc/decoder.hpp"
+
+namespace cldpc::ldpc {
+
+std::vector<std::uint8_t> HardDecisions(std::span<const double> llr) {
+  std::vector<std::uint8_t> bits(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) bits[i] = HardDecision(llr[i]);
+  return bits;
+}
+
+}  // namespace cldpc::ldpc

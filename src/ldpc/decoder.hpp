@@ -1,0 +1,51 @@
+// Common decoder interface.
+//
+// LLR sign convention: positive LLR means "bit 0 more likely"
+// (L = log P(x=0) / P(x=1)); the hard decision of an LLR is therefore
+// bit = (L < 0). All decoders in this library follow it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ldpc/code.hpp"
+
+namespace cldpc::ldpc {
+
+struct DecodeResult {
+  /// Hard decisions for all n bits.
+  std::vector<std::uint8_t> bits;
+  /// True if the syndrome was zero when decoding stopped.
+  bool converged = false;
+  /// Iterations actually executed (== max unless early-terminated).
+  int iterations_run = 0;
+};
+
+/// Options shared by the iterative decoders.
+struct IterOptions {
+  int max_iterations = 18;
+  /// Stop as soon as the hard decisions satisfy all checks. The
+  /// paper's hardware runs a fixed iteration count (constant
+  /// throughput); simulations enable this for speed.
+  bool early_termination = true;
+};
+
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+
+  /// Decode one frame of channel LLRs (length n).
+  virtual DecodeResult Decode(std::span<const double> llr) = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Hard decision of a single LLR.
+inline std::uint8_t HardDecision(double llr) { return llr < 0.0 ? 1 : 0; }
+
+/// Hard decisions of a whole frame.
+std::vector<std::uint8_t> HardDecisions(std::span<const double> llr);
+
+}  // namespace cldpc::ldpc

@@ -1,0 +1,59 @@
+#include "ldpc/encoder.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc {
+
+Encoder::Encoder(const LdpcCode& code) : code_(code) {
+  const auto& rref = code_.Rref();
+  const auto& info_cols = code_.InfoCols();
+  const std::size_t rank = code_.Rank();
+
+  // Invert the mapping column -> info index once.
+  std::vector<std::size_t> info_index(code_.n(), static_cast<std::size_t>(-1));
+  for (std::size_t j = 0; j < info_cols.size(); ++j)
+    info_index[info_cols[j]] = j;
+
+  parity_of_info_.assign(code_.k(), gf2::BitVec(rank));
+  for (std::size_t i = 0; i < rank; ++i) {
+    const auto& row = rref.Row(i);
+    for (std::size_t c = row.FirstSet(); c < code_.n(); c = row.NextSet(c + 1)) {
+      const std::size_t j = info_index[c];
+      if (j != static_cast<std::size_t>(-1)) {
+        parity_of_info_[j].Set(i, true);
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> Encoder::Encode(
+    std::span<const std::uint8_t> info) const {
+  CLDPC_EXPECTS(info.size() == code_.k(), "info length must equal k");
+  const auto& info_cols = code_.InfoCols();
+  const auto& pivot_cols = code_.PivotCols();
+
+  gf2::BitVec parity(code_.Rank());
+  std::vector<std::uint8_t> codeword(code_.n(), 0);
+  for (std::size_t j = 0; j < info.size(); ++j) {
+    if (info[j] & 1u) {
+      codeword[info_cols[j]] = 1;
+      parity ^= parity_of_info_[j];
+    }
+  }
+  for (std::size_t i = 0; i < pivot_cols.size(); ++i) {
+    if (parity.Get(i)) codeword[pivot_cols[i]] = 1;
+  }
+  return codeword;
+}
+
+std::vector<std::uint8_t> Encoder::ExtractInfo(
+    std::span<const std::uint8_t> codeword) const {
+  CLDPC_EXPECTS(codeword.size() == code_.n(), "codeword length must equal n");
+  const auto& info_cols = code_.InfoCols();
+  std::vector<std::uint8_t> info(info_cols.size());
+  for (std::size_t j = 0; j < info_cols.size(); ++j)
+    info[j] = codeword[info_cols[j]] & 1u;
+  return info;
+}
+
+}  // namespace cldpc::ldpc

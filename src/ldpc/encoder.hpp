@@ -1,0 +1,41 @@
+// Systematic encoder derived from the reduced row echelon form of H.
+//
+// For each pivot row i with pivot column p_i, RREF gives
+//   x[p_i] = XOR over information columns j of R[i][j] * x[j],
+// so parity bits are XORs of per-information-bit contribution
+// vectors, precomputed once at construction. Encoding one CCSDS C2
+// frame is then ~3.6k word-parallel XOR operations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+#include "ldpc/code.hpp"
+
+namespace cldpc::ldpc {
+
+class Encoder {
+ public:
+  /// The code must outlive the encoder.
+  explicit Encoder(const LdpcCode& code);
+
+  /// info.size() must be code.k(); returns the n-bit codeword with
+  /// info bits at the code's information positions.
+  std::vector<std::uint8_t> Encode(std::span<const std::uint8_t> info) const;
+
+  /// Recover the information bits from a codeword (systematic gather).
+  std::vector<std::uint8_t> ExtractInfo(
+      std::span<const std::uint8_t> codeword) const;
+
+  const LdpcCode& code() const { return code_; }
+
+ private:
+  const LdpcCode& code_;
+  /// parity_of_info_[j] : contribution of information bit j to the
+  /// rank-many parity positions.
+  std::vector<gf2::BitVec> parity_of_info_;
+};
+
+}  // namespace cldpc::ldpc

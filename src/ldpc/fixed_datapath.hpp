@@ -1,0 +1,107 @@
+// The fixed-point datapath primitives shared by the behavioural
+// reference decoder (FixedMinSumDecoder) and the architecture model's
+// processing units. Keeping them in one place is what guarantees the
+// two are bit-exact by construction — exactly the role a C reference
+// model plays in RTL verification.
+//
+// All values are symmetric W-bit fixed-point words carried in Fixed
+// (int32). Signs: negative means "bit 1 more likely".
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/contracts.hpp"
+#include "util/fixed_point.hpp"
+
+namespace cldpc::ldpc {
+
+/// Word widths and normalization of the fixed datapath.
+struct FixedDatapathParams {
+  /// Channel LLR word width (input memory word).
+  int channel_bits = 6;
+  /// Multiplicative gain applied to real LLRs before rounding
+  /// (the demodulator front-end scaling).
+  double channel_scale = 2.0;
+  /// Extrinsic message word width (message memory word).
+  int message_bits = 6;
+  /// APP accumulator width; 9 bits is lossless for 6-bit inputs and
+  /// bit degree 4 (31 + 4*31 = 155 < 255).
+  int app_bits = 9;
+  /// The fine scaled correction factor 1/alpha as a dyadic fraction
+  /// (hardware shift-add multiplier). 13/16 = 0.8125 ~= 1/1.23.
+  DyadicFraction normalization{13, 4};
+};
+
+/// Compressed result of a check-node pass over its dc inputs: the two
+/// smallest magnitudes, where the smallest occurred, the overall sign
+/// product and each input's sign. This is also the high-speed
+/// decoder's compressed message-memory record.
+struct CnSummary {
+  Fixed min1 = 0;
+  Fixed min2 = 0;
+  std::uint32_t argmin_pos = 0;
+  bool sign_product_negative = false;
+  /// Bit i set: input i was negative. Degrees up to 64 supported.
+  std::uint64_t sign_mask = 0;
+  std::uint32_t degree = 0;
+};
+
+/// First CN pass: scan the dc incoming bit-to-check messages.
+inline CnSummary ComputeCnSummary(std::span<const Fixed> inputs) {
+  CLDPC_EXPECTS(inputs.size() >= 2 && inputs.size() <= 64,
+                "check degree must be in [2, 64]");
+  CnSummary s;
+  s.degree = static_cast<std::uint32_t>(inputs.size());
+  Fixed min1 = INT32_MAX;
+  Fixed min2 = INT32_MAX;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Fixed v = inputs[i];
+    const Fixed mag = v < 0 ? -v : v;
+    if (v < 0) {
+      s.sign_mask |= (std::uint64_t{1} << i);
+      s.sign_product_negative = !s.sign_product_negative;
+    }
+    if (mag < min1) {
+      min2 = min1;
+      min1 = mag;
+      s.argmin_pos = static_cast<std::uint32_t>(i);
+    } else if (mag < min2) {
+      min2 = mag;
+    }
+  }
+  s.min1 = min1;
+  s.min2 = min2;
+  return s;
+}
+
+/// Second CN pass: the check-to-bit message for input position `pos`
+/// (the exclusive min, normalized, with the exclusive sign product).
+inline Fixed CnOutput(const CnSummary& s, std::size_t pos,
+                      const DyadicFraction& normalization) {
+  const Fixed excl = (pos == s.argmin_pos) ? s.min2 : s.min1;
+  const Fixed mag = normalization.Apply(excl);
+  const bool self_negative = (s.sign_mask >> pos) & 1u;
+  const bool negative = s.sign_product_negative != self_negative;
+  return negative ? -mag : mag;
+}
+
+/// Bit-node accumulation: APP = channel + sum of check inputs,
+/// saturated to the APP width.
+inline Fixed BnApp(Fixed channel, std::span<const Fixed> check_inputs,
+                   int app_bits) {
+  Fixed acc = channel;
+  for (const Fixed v : check_inputs) acc += v;
+  return SaturateSymmetric(acc, app_bits);
+}
+
+/// Extrinsic bit-to-check output: APP minus the corresponding check
+/// input, saturated back to the message width.
+inline Fixed BnOutput(Fixed app, Fixed check_input, int message_bits) {
+  return SaturateSymmetric(app - check_input, message_bits);
+}
+
+/// Hard decision of an APP value (ties resolve to bit 0).
+inline std::uint8_t AppHardDecision(Fixed app) { return app < 0 ? 1 : 0; }
+
+}  // namespace cldpc::ldpc

@@ -1,0 +1,86 @@
+#include "ldpc/fixed_layered_decoder.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc {
+
+FixedLayeredMinSumDecoder::FixedLayeredMinSumDecoder(
+    const LdpcCode& code, FixedMinSumOptions options)
+    : code_(code),
+      options_(options),
+      quantizer_(options.datapath.channel_bits,
+                 options.datapath.channel_scale) {
+  CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
+  CLDPC_EXPECTS(options_.datapath.app_bits >= options_.datapath.message_bits,
+                "APP accumulator narrower than messages");
+  app_.resize(code_.graph().num_bits());
+  records_.resize(code_.graph().num_checks());
+}
+
+std::string FixedLayeredMinSumDecoder::Name() const {
+  std::ostringstream os;
+  os << "fixed-layered-nms(w" << options_.datapath.message_bits << ")";
+  return os.str();
+}
+
+DecodeResult FixedLayeredMinSumDecoder::Decode(std::span<const double> llr) {
+  std::vector<Fixed> channel(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i)
+    channel[i] = quantizer_.Quantize(llr[i]);
+  return DecodeQuantized(channel);
+}
+
+DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
+    std::span<const Fixed> channel) {
+  const auto& graph = code_.graph();
+  CLDPC_EXPECTS(channel.size() == graph.num_bits(),
+                "channel frame length must equal n");
+  const auto& dp = options_.datapath;
+
+  for (std::size_t n = 0; n < graph.num_bits(); ++n)
+    app_[n] = SaturateSymmetric(channel[n], dp.app_bits);
+  std::fill(records_.begin(), records_.end(), CnSummary{});
+
+  DecodeResult result;
+  result.bits.resize(graph.num_bits());
+
+  std::vector<Fixed> bc(graph.MaxCheckDegree());
+  std::vector<Fixed> extrinsic(graph.MaxCheckDegree());
+
+  for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
+    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
+      const auto edges = graph.CheckEdges(m);
+      const std::size_t dc = edges.size();
+      if (dc == 0) continue;
+      const CnSummary prev = records_[m];
+      for (std::size_t pos = 0; pos < dc; ++pos) {
+        const Fixed cb_old = CnOutput(prev, pos, dp.normalization);
+        // Full-precision peeled APP; only the CN input is narrowed.
+        extrinsic[pos] = app_[graph.EdgeBit(edges[pos])] - cb_old;
+        bc[pos] = SaturateSymmetric(extrinsic[pos], dp.message_bits);
+      }
+      const CnSummary fresh = ComputeCnSummary({bc.data(), dc});
+      records_[m] = fresh;
+      for (std::size_t pos = 0; pos < dc; ++pos) {
+        const Fixed cb_new = CnOutput(fresh, pos, dp.normalization);
+        app_[graph.EdgeBit(edges[pos])] =
+            SaturateSymmetric(extrinsic[pos] + cb_new, dp.app_bits);
+      }
+    }
+
+    for (std::size_t n = 0; n < graph.num_bits(); ++n)
+      result.bits[n] = AppHardDecision(app_[n]);
+    result.iterations_run = iter;
+    if (options_.iter.early_termination && code_.IsCodeword(result.bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = code_.IsCodeword(result.bits);
+  return result;
+}
+
+}  // namespace cldpc::ldpc

@@ -1,0 +1,44 @@
+// Bit-accurate fixed-point *layered* normalized min-sum (turbo
+// decoding message passing), the behavioural reference for the
+// architecture model's layered schedule.
+//
+// Layer order is check-major: all checks of block row 0, then block
+// row 1, ... (matching the hardware, which sequences its CN units per
+// block row so that APP updates never collide). Per check m:
+//   cb_old  = CnOutput(record[m])              (previous visit)
+//   t       = app - cb_old                     (full APP precision)
+//   bc      = sat(t, Wm)                       (CN input only)
+//   record[m] = CnSummary(bc)
+//   app     = sat(t + CnOutput(record[m]), Wapp)
+// Keeping t at APP width is essential: routing the update through the
+// narrow message word would throttle the accumulated confidence and
+// destroy the layered convergence advantage.
+#pragma once
+
+#include "ldpc/decoder.hpp"
+#include "ldpc/fixed_datapath.hpp"
+#include "ldpc/fixed_minsum_decoder.hpp"
+
+namespace cldpc::ldpc {
+
+class FixedLayeredMinSumDecoder final : public Decoder {
+ public:
+  /// The code must outlive the decoder. Checks are visited in
+  /// ascending index order (block-row major for QC codes).
+  FixedLayeredMinSumDecoder(const LdpcCode& code, FixedMinSumOptions options);
+
+  DecodeResult Decode(std::span<const double> llr) override;
+  DecodeResult DecodeQuantized(std::span<const Fixed> channel);
+
+  std::string Name() const override;
+  const FixedMinSumOptions& options() const { return options_; }
+
+ private:
+  const LdpcCode& code_;
+  FixedMinSumOptions options_;
+  LlrQuantizer quantizer_;
+  std::vector<Fixed> app_;          // per bit
+  std::vector<CnSummary> records_;  // per check
+};
+
+}  // namespace cldpc::ldpc

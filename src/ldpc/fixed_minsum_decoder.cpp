@@ -1,0 +1,100 @@
+#include "ldpc/fixed_minsum_decoder.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc {
+
+FixedMinSumDecoder::FixedMinSumDecoder(const LdpcCode& code,
+                                       FixedMinSumOptions options)
+    : code_(code),
+      options_(options),
+      quantizer_(options.datapath.channel_bits, options.datapath.channel_scale) {
+  CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
+  CLDPC_EXPECTS(options_.datapath.message_bits >= 2 &&
+                    options_.datapath.message_bits <= 16,
+                "message width out of range");
+  CLDPC_EXPECTS(options_.datapath.app_bits >= options_.datapath.message_bits,
+                "APP accumulator narrower than messages");
+  bit_to_check_.resize(code_.graph().num_edges());
+  check_to_bit_.resize(code_.graph().num_edges());
+}
+
+std::string FixedMinSumDecoder::Name() const {
+  std::ostringstream os;
+  os << "fixed-nms(w" << options_.datapath.message_bits << ",n"
+     << options_.datapath.normalization.num << "/"
+     << (1 << options_.datapath.normalization.shift) << ")";
+  return os.str();
+}
+
+std::vector<Fixed> FixedMinSumDecoder::QuantizeChannel(
+    std::span<const double> llr) const {
+  std::vector<Fixed> q(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) q[i] = quantizer_.Quantize(llr[i]);
+  return q;
+}
+
+DecodeResult FixedMinSumDecoder::Decode(std::span<const double> llr) {
+  const auto q = QuantizeChannel(llr);
+  return DecodeQuantized(q);
+}
+
+DecodeResult FixedMinSumDecoder::DecodeQuantized(
+    std::span<const Fixed> channel) {
+  const auto& graph = code_.graph();
+  CLDPC_EXPECTS(channel.size() == graph.num_bits(),
+                "channel frame length must equal n");
+  const auto& dp = options_.datapath;
+
+  // Initial bit-to-check messages are the (already message-width
+  // saturated) channel words.
+  for (std::size_t e = 0; e < graph.num_edges(); ++e) {
+    bit_to_check_[e] =
+        SaturateSymmetric(channel[graph.EdgeBit(e)], dp.message_bits);
+  }
+  std::fill(check_to_bit_.begin(), check_to_bit_.end(), Fixed{0});
+
+  DecodeResult result;
+  result.bits.resize(graph.num_bits());
+
+  std::vector<Fixed> cn_inputs(graph.MaxCheckDegree());
+  std::vector<Fixed> bn_inputs(graph.MaxBitDegree());
+
+  for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
+    // ---- Check-node phase.
+    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
+      const auto edges = graph.CheckEdges(m);
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        cn_inputs[i] = bit_to_check_[edges[i]];
+      const CnSummary summary =
+          ComputeCnSummary({cn_inputs.data(), edges.size()});
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        check_to_bit_[edges[i]] = CnOutput(summary, i, dp.normalization);
+    }
+
+    // ---- Bit-node phase.
+    for (std::size_t n = 0; n < graph.num_bits(); ++n) {
+      const auto edges = graph.BitEdges(n);
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        bn_inputs[i] = check_to_bit_[edges[i]];
+      const Fixed app =
+          BnApp(channel[n], {bn_inputs.data(), edges.size()}, dp.app_bits);
+      result.bits[n] = AppHardDecision(app);
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        bit_to_check_[edges[i]] = BnOutput(app, bn_inputs[i], dp.message_bits);
+    }
+
+    result.iterations_run = iter;
+    if (options_.iter.early_termination && code_.IsCodeword(result.bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = code_.IsCodeword(result.bits);
+  return result;
+}
+
+}  // namespace cldpc::ldpc

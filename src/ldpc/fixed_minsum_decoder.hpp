@@ -1,0 +1,51 @@
+// Bit-accurate fixed-point normalized min-sum decoder (flooding).
+//
+// This is the behavioural model of the hardware: every message is a
+// message_bits-wide word, the APP accumulator is app_bits wide, and
+// normalization is a dyadic shift-add multiply. The architecture
+// simulator (src/arch) must match it bit for bit.
+#pragma once
+
+#include "ldpc/decoder.hpp"
+#include "ldpc/fixed_datapath.hpp"
+
+namespace cldpc::ldpc {
+
+struct FixedMinSumOptions {
+  IterOptions iter{.max_iterations = 18, .early_termination = false};
+  FixedDatapathParams datapath;
+};
+
+class FixedMinSumDecoder final : public Decoder {
+ public:
+  /// The code must outlive the decoder.
+  FixedMinSumDecoder(const LdpcCode& code, FixedMinSumOptions options);
+
+  /// Quantizes the real LLRs with the datapath's channel quantizer,
+  /// then runs the fixed datapath.
+  DecodeResult Decode(std::span<const double> llr) override;
+
+  /// Decode already-quantized channel words (what the hardware input
+  /// memory holds). Exposed for bit-exact comparison with the
+  /// architecture model.
+  DecodeResult DecodeQuantized(std::span<const Fixed> channel);
+
+  /// The check-to-bit messages after the last completed iteration
+  /// (message-memory contents; for bit-exactness tests).
+  const std::vector<Fixed>& LastCheckToBit() const { return check_to_bit_; }
+
+  /// Quantize a frame of real LLRs with this decoder's front-end.
+  std::vector<Fixed> QuantizeChannel(std::span<const double> llr) const;
+
+  std::string Name() const override;
+  const FixedMinSumOptions& options() const { return options_; }
+
+ private:
+  const LdpcCode& code_;
+  FixedMinSumOptions options_;
+  LlrQuantizer quantizer_;
+  std::vector<Fixed> bit_to_check_;
+  std::vector<Fixed> check_to_bit_;
+};
+
+}  // namespace cldpc::ldpc

@@ -1,0 +1,98 @@
+#include "ldpc/layered_decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+#include "util/fixed_point.hpp"
+
+namespace cldpc::ldpc {
+
+LayeredMinSumDecoder::LayeredMinSumDecoder(const LdpcCode& code,
+                                           MinSumOptions options)
+    : code_(code), options_(options) {
+  CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
+  CLDPC_EXPECTS(options_.alpha >= 1.0, "alpha must be >= 1");
+  if (options_.variant == MinSumVariant::kNormalized) {
+    scale_ = options_.dyadic_alpha
+                 ? NearestDyadic(1.0 / options_.alpha, 4).ToDouble()
+                 : 1.0 / options_.alpha;
+  }
+  app_.resize(code_.graph().num_bits());
+  check_to_bit_.resize(code_.graph().num_edges());
+}
+
+std::string LayeredMinSumDecoder::Name() const {
+  return "layered-" + MinSumDecoder(code_, options_).Name();
+}
+
+DecodeResult LayeredMinSumDecoder::Decode(std::span<const double> llr) {
+  const auto& graph = code_.graph();
+  CLDPC_EXPECTS(llr.size() == graph.num_bits(), "LLR length must equal n");
+
+  std::copy(llr.begin(), llr.end(), app_.begin());
+  std::fill(check_to_bit_.begin(), check_to_bit_.end(), 0.0);
+
+  DecodeResult result;
+  result.bits.resize(graph.num_bits());
+
+  std::vector<double> incoming(graph.MaxCheckDegree());
+
+  for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
+    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
+      const auto edges = graph.CheckEdges(m);
+      const std::size_t dc = edges.size();
+      // Peel the old contribution of this check out of the APPs.
+      double min1 = std::numeric_limits<double>::infinity();
+      double min2 = min1;
+      std::size_t argmin = 0;
+      bool sign_neg = false;
+      for (std::size_t i = 0; i < dc; ++i) {
+        const double v = app_[graph.EdgeBit(edges[i])] - check_to_bit_[edges[i]];
+        incoming[i] = v;
+        const double mag = std::fabs(v);
+        if (v < 0.0) sign_neg = !sign_neg;
+        if (mag < min1) {
+          min2 = min1;
+          min1 = mag;
+          argmin = i;
+        } else if (mag < min2) {
+          min2 = mag;
+        }
+      }
+      // Write back the refreshed messages and fold them into the APPs
+      // immediately (the layered property).
+      for (std::size_t i = 0; i < dc; ++i) {
+        double mag = (i == argmin) ? min2 : min1;
+        switch (options_.variant) {
+          case MinSumVariant::kPlain:
+            break;
+          case MinSumVariant::kNormalized:
+            mag *= scale_;
+            break;
+          case MinSumVariant::kOffset:
+            mag = std::max(0.0, mag - options_.beta);
+            break;
+        }
+        const bool self_neg = incoming[i] < 0.0;
+        const double out = (sign_neg != self_neg) ? -mag : mag;
+        const std::size_t bit = graph.EdgeBit(edges[i]);
+        app_[bit] = incoming[i] + out;
+        check_to_bit_[edges[i]] = out;
+      }
+    }
+
+    for (std::size_t n = 0; n < graph.num_bits(); ++n)
+      result.bits[n] = app_[n] < 0.0 ? 1 : 0;
+    result.iterations_run = iter;
+    if (options_.iter.early_termination && code_.IsCodeword(result.bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = code_.IsCodeword(result.bits);
+  return result;
+}
+
+}  // namespace cldpc::ldpc

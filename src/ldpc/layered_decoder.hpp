@@ -1,0 +1,30 @@
+// Layered (turbo-decoding message passing) normalized min-sum —
+// an extension of the paper's flooding architecture mentioned as
+// future work for the generic architecture family. Layered scheduling
+// propagates updated APPs within an iteration and typically converges
+// in roughly half the iterations of flooding; the ablation bench
+// quantifies that on the C2 code.
+#pragma once
+
+#include "ldpc/decoder.hpp"
+#include "ldpc/minsum_decoder.hpp"
+
+namespace cldpc::ldpc {
+
+class LayeredMinSumDecoder final : public Decoder {
+ public:
+  /// The code must outlive the decoder.
+  LayeredMinSumDecoder(const LdpcCode& code, MinSumOptions options);
+
+  DecodeResult Decode(std::span<const double> llr) override;
+  std::string Name() const override;
+
+ private:
+  const LdpcCode& code_;
+  MinSumOptions options_;
+  double scale_ = 1.0;
+  std::vector<double> app_;           // per bit
+  std::vector<double> check_to_bit_;  // per edge
+};
+
+}  // namespace cldpc::ldpc

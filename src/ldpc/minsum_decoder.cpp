@@ -1,0 +1,113 @@
+#include "ldpc/minsum_decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc {
+
+MinSumDecoder::MinSumDecoder(const LdpcCode& code, MinSumOptions options)
+    : code_(code), options_(options) {
+  CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
+  CLDPC_EXPECTS(options_.alpha >= 1.0, "alpha must be >= 1 (paper, eq. 2)");
+  scale_ = CheckScale();
+  bit_to_check_.resize(code_.graph().num_edges());
+  check_to_bit_.resize(code_.graph().num_edges());
+}
+
+double MinSumDecoder::CheckScale() const {
+  if (options_.variant != MinSumVariant::kNormalized) return 1.0;
+  if (!options_.dyadic_alpha) return 1.0 / options_.alpha;
+  // Same quantization as the hardware normalizer: nearest num/16.
+  return NearestDyadic(1.0 / options_.alpha, 4).ToDouble();
+}
+
+std::string MinSumDecoder::Name() const {
+  switch (options_.variant) {
+    case MinSumVariant::kPlain:
+      return "min-sum";
+    case MinSumVariant::kNormalized:
+      return "normalized-min-sum(a=" + std::to_string(options_.alpha) + ")";
+    case MinSumVariant::kOffset:
+      return "offset-min-sum(b=" + std::to_string(options_.beta) + ")";
+  }
+  return "min-sum?";
+}
+
+DecodeResult MinSumDecoder::Decode(std::span<const double> llr) {
+  const auto& graph = code_.graph();
+  CLDPC_EXPECTS(llr.size() == graph.num_bits(), "LLR length must equal n");
+
+  for (std::size_t e = 0; e < graph.num_edges(); ++e)
+    bit_to_check_[e] = llr[graph.EdgeBit(e)];
+  std::fill(check_to_bit_.begin(), check_to_bit_.end(), 0.0);
+
+  DecodeResult result;
+  result.bits.resize(graph.num_bits());
+
+  for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
+    // ---- Check-node phase: two smallest magnitudes + sign product.
+    double cb_mag_sum = 0.0;
+    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
+      const auto edges = graph.CheckEdges(m);
+      double min1 = std::numeric_limits<double>::infinity();
+      double min2 = min1;
+      std::size_t argmin = 0;
+      bool sign_product_negative = false;
+      for (const auto e : edges) {
+        const double v = bit_to_check_[e];
+        const double mag = std::fabs(v);
+        if (v < 0.0) sign_product_negative = !sign_product_negative;
+        if (mag < min1) {
+          min2 = min1;
+          min1 = mag;
+          argmin = e;
+        } else if (mag < min2) {
+          min2 = mag;
+        }
+      }
+      for (const auto e : edges) {
+        const double excl = (e == argmin) ? min2 : min1;
+        double mag = excl;
+        switch (options_.variant) {
+          case MinSumVariant::kPlain:
+            break;
+          case MinSumVariant::kNormalized:
+            mag *= scale_;
+            break;
+          case MinSumVariant::kOffset:
+            mag = std::max(0.0, mag - options_.beta);
+            break;
+        }
+        const bool self_negative = bit_to_check_[e] < 0.0;
+        const bool out_negative = sign_product_negative != self_negative;
+        check_to_bit_[e] = out_negative ? -mag : mag;
+        cb_mag_sum += mag;
+      }
+    }
+    last_cb_mean_ = graph.num_edges() > 0
+                        ? cb_mag_sum / static_cast<double>(graph.num_edges())
+                        : 0.0;
+
+    // ---- Bit-node phase.
+    for (std::size_t n = 0; n < graph.num_bits(); ++n) {
+      const auto edges = graph.BitEdges(n);
+      double app = llr[n];
+      for (const auto e : edges) app += check_to_bit_[e];
+      result.bits[n] = app < 0.0 ? 1 : 0;
+      for (const auto e : edges) bit_to_check_[e] = app - check_to_bit_[e];
+    }
+
+    result.iterations_run = iter;
+    if (options_.iter.early_termination && code_.IsCodeword(result.bits)) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = code_.IsCodeword(result.bits);
+  return result;
+}
+
+}  // namespace cldpc::ldpc

@@ -1,0 +1,58 @@
+// Floating-point min-sum decoder family (flooding schedule):
+// plain min-sum, normalized min-sum (the paper's sign-min with
+// correction factor alpha, eq. (2)), and offset min-sum.
+//
+// The check-node rule is
+//   cb_i = prod_j sign(bc_j) * f( min_{j != i} |bc_j| ),
+// with f(x) = x          (plain),
+//      f(x) = x / alpha  (normalized, alpha > 1),
+//      f(x) = max(x - beta, 0) (offset).
+#pragma once
+
+#include "ldpc/decoder.hpp"
+#include "util/fixed_point.hpp"
+
+namespace cldpc::ldpc {
+
+enum class MinSumVariant { kPlain, kNormalized, kOffset };
+
+struct MinSumOptions {
+  IterOptions iter;
+  MinSumVariant variant = MinSumVariant::kNormalized;
+  /// Normalization divisor (> 1); the implementation multiplies by
+  /// the dyadic approximation of 1/alpha so that the float decoder
+  /// and the fixed-point hardware apply the *same* correction.
+  double alpha = 1.23;
+  /// If true (default), quantize 1/alpha to num/2^4 exactly like the
+  /// hardware normalizer; if false, use 1/alpha in full precision.
+  bool dyadic_alpha = true;
+  /// Offset for the offset variant.
+  double beta = 0.5;
+};
+
+class MinSumDecoder final : public Decoder {
+ public:
+  /// The code must outlive the decoder.
+  MinSumDecoder(const LdpcCode& code, MinSumOptions options);
+
+  DecodeResult Decode(std::span<const double> llr) override;
+  std::string Name() const override;
+
+  /// Mean magnitude of check-to-bit messages in the last iteration of
+  /// the last Decode call (correction-factor analysis).
+  double LastCbMeanMagnitude() const { return last_cb_mean_; }
+
+  const MinSumOptions& options() const { return options_; }
+
+ private:
+  double CheckScale() const;
+
+  const LdpcCode& code_;
+  MinSumOptions options_;
+  double scale_ = 1.0;  // multiplicative factor implementing 1/alpha
+  std::vector<double> bit_to_check_;
+  std::vector<double> check_to_bit_;
+  double last_cb_mean_ = 0.0;
+};
+
+}  // namespace cldpc::ldpc

@@ -1,0 +1,65 @@
+#include "ldpc/punctured.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc {
+
+PuncturedCode::PuncturedCode(const LdpcCode& code, const Encoder& encoder,
+                             std::vector<std::size_t> punctured_cols)
+    : code_(code), encoder_(encoder), punctured_(std::move(punctured_cols)) {
+  std::sort(punctured_.begin(), punctured_.end());
+  CLDPC_EXPECTS(punctured_.size() < code_.n() - code_.k() + 1,
+                "puncturing more than the parity budget leaves an "
+                "under-determined code");
+  is_punctured_.assign(code_.n(), false);
+  for (std::size_t i = 0; i < punctured_.size(); ++i) {
+    CLDPC_EXPECTS(punctured_[i] < code_.n(), "punctured column out of range");
+    if (i > 0)
+      CLDPC_EXPECTS(punctured_[i] != punctured_[i - 1],
+                    "duplicate punctured column");
+    is_punctured_[punctured_[i]] = true;
+  }
+}
+
+std::vector<std::uint8_t> PuncturedCode::EncodeTx(
+    std::span<const std::uint8_t> info) const {
+  const auto codeword = encoder_.Encode(info);
+  std::vector<std::uint8_t> tx;
+  tx.reserve(tx_bits());
+  for (std::size_t c = 0; c < codeword.size(); ++c) {
+    if (!is_punctured_[c]) tx.push_back(codeword[c]);
+  }
+  return tx;
+}
+
+std::vector<double> PuncturedCode::ExpandLlrs(
+    std::span<const double> tx_llr) const {
+  CLDPC_EXPECTS(tx_llr.size() == tx_bits(),
+                "received frame length must equal tx_bits");
+  std::vector<double> mother(code_.n());
+  std::size_t cursor = 0;
+  for (std::size_t c = 0; c < code_.n(); ++c) {
+    mother[c] = is_punctured_[c] ? 0.0 : tx_llr[cursor++];
+  }
+  return mother;
+}
+
+std::vector<std::uint8_t> PuncturedCode::ExtractInfo(
+    std::span<const std::uint8_t> mother_bits) const {
+  CLDPC_EXPECTS(mother_bits.size() == code_.n(),
+                "mother frame length must equal n");
+  return encoder_.ExtractInfo(mother_bits);
+}
+
+PuncturedCode PunctureParityTail(const LdpcCode& code, const Encoder& encoder,
+                                 std::size_t count) {
+  const auto& pivots = code.PivotCols();
+  CLDPC_EXPECTS(count <= pivots.size(), "not enough parity columns");
+  std::vector<std::size_t> cols(pivots.end() - static_cast<long>(count),
+                                pivots.end());
+  return PuncturedCode(code, encoder, std::move(cols));
+}
+
+}  // namespace cldpc::ldpc

@@ -1,0 +1,60 @@
+// Punctured-code framing: rate adaptation by *not transmitting*
+// selected codeword positions (the receiver reinserts them as
+// zero-confidence LLRs). Together with ShortenedCode this covers both
+// directions CCSDS links adapt a mother code: shortening lowers the
+// rate, puncturing raises it — and the AR4JA deep-space codes the
+// paper names as future work are themselves punctured protograph
+// codes, so the decoder-side machinery is exercised here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldpc/encoder.hpp"
+
+namespace cldpc::ldpc {
+
+class PuncturedCode {
+ public:
+  /// Code and encoder must outlive this object. `punctured_cols` are
+  /// the mother-code columns omitted from transmission (distinct,
+  /// each < n).
+  PuncturedCode(const LdpcCode& code, const Encoder& encoder,
+                std::vector<std::size_t> punctured_cols);
+
+  std::size_t tx_bits() const { return code_.n() - punctured_.size(); }
+  std::size_t tx_info_bits() const { return code_.k(); }
+  double TxRate() const {
+    return static_cast<double>(tx_info_bits()) /
+           static_cast<double>(tx_bits());
+  }
+
+  /// Encode k information bits and emit only the transmitted columns.
+  std::vector<std::uint8_t> EncodeTx(std::span<const std::uint8_t> info) const;
+
+  /// Map received LLRs back onto the mother code; punctured positions
+  /// become 0.0 (no channel information — the decoder must infer
+  /// them through the graph).
+  std::vector<double> ExpandLlrs(std::span<const double> tx_llr) const;
+
+  /// Gather information bits from decoded mother bits.
+  std::vector<std::uint8_t> ExtractInfo(
+      std::span<const std::uint8_t> mother_bits) const;
+
+  const std::vector<std::size_t>& PuncturedCols() const { return punctured_; }
+
+ private:
+  const LdpcCode& code_;
+  const Encoder& encoder_;
+  std::vector<std::size_t> punctured_;  // sorted
+  std::vector<bool> is_punctured_;
+};
+
+/// Convenience: puncture the `count` highest-index parity (pivot)
+/// columns — the usual pattern for raising the rate of a systematic
+/// code without touching payload bits.
+PuncturedCode PunctureParityTail(const LdpcCode& code, const Encoder& encoder,
+                                 std::size_t count);
+
+}  // namespace cldpc::ldpc

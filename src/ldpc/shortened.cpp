@@ -1,0 +1,63 @@
+#include "ldpc/shortened.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc {
+
+ShortenedCode::ShortenedCode(const LdpcCode& code, const Encoder& encoder,
+                             std::size_t num_fill, std::size_t num_pad)
+    : code_(code), encoder_(encoder), num_fill_(num_fill), num_pad_(num_pad) {
+  CLDPC_EXPECTS(num_fill <= code.k(), "cannot shorten more than k bits");
+  const auto& info_cols = code_.InfoCols();
+  is_fill_col_.assign(code_.n(), false);
+  for (std::size_t j = 0; j < num_fill_; ++j) is_fill_col_[info_cols[j]] = true;
+  for (std::size_t j = num_fill_; j < info_cols.size(); ++j)
+    tx_info_cols_.push_back(info_cols[j]);
+  for (std::size_t c = 0; c < code_.n(); ++c) {
+    if (!is_fill_col_[c]) tx_cols_.push_back(c);
+  }
+}
+
+std::vector<std::uint8_t> ShortenedCode::EncodeTx(
+    std::span<const std::uint8_t> info) const {
+  CLDPC_EXPECTS(info.size() == tx_info_bits(),
+                "info length must equal tx_info_bits");
+  // Mother information vector: zeros in the fill slots, then the
+  // transmitted information bits.
+  std::vector<std::uint8_t> mother_info(code_.k(), 0);
+  for (std::size_t j = 0; j < info.size(); ++j)
+    mother_info[num_fill_ + j] = info[j] & 1u;
+  const auto codeword = encoder_.Encode(mother_info);
+
+  std::vector<std::uint8_t> tx;
+  tx.reserve(tx_bits());
+  for (const auto c : tx_cols_) tx.push_back(codeword[c]);
+  tx.insert(tx.end(), num_pad_, 0);  // appended known-zero pad
+  return tx;
+}
+
+std::vector<double> ShortenedCode::ExpandLlrs(std::span<const double> tx_llr,
+                                              double fill_llr) const {
+  CLDPC_EXPECTS(tx_llr.size() == tx_bits(),
+                "received frame length must equal tx_bits");
+  std::vector<double> mother(code_.n());
+  std::size_t cursor = 0;
+  for (std::size_t c = 0; c < code_.n(); ++c) {
+    mother[c] = is_fill_col_[c] ? fill_llr : tx_llr[cursor++];
+  }
+  // The remaining num_pad_ received values belong to pad bits and are
+  // intentionally ignored.
+  return mother;
+}
+
+std::vector<std::uint8_t> ShortenedCode::ExtractInfo(
+    std::span<const std::uint8_t> mother_bits) const {
+  CLDPC_EXPECTS(mother_bits.size() == code_.n(),
+                "mother frame length must equal n");
+  std::vector<std::uint8_t> info;
+  info.reserve(tx_info_bits());
+  for (const auto c : tx_info_cols_) info.push_back(mother_bits[c] & 1u);
+  return info;
+}
+
+}  // namespace cldpc::ldpc

@@ -1,0 +1,63 @@
+// Shortened-code framing: how a mother (n, k) code is used as a
+// smaller (tx_bits, tx_info_bits) code on the wire.
+//
+// `num_fill` information positions are virtual fill: fixed to zero,
+// never transmitted, and re-inserted at the receiver as maximally
+// reliable LLRs. `num_pad` known zero bits are appended to the
+// transmitted frame to reach the standard frame length (they carry no
+// code information and are discarded by the receiver).
+//
+// For CCSDS C2: (8176, 7156) mother, 20 fill + 4 pad = (8160, 7136).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldpc/encoder.hpp"
+
+namespace cldpc::ldpc {
+
+class ShortenedCode {
+ public:
+  /// Code and encoder must outlive this object. The fill positions
+  /// are the first `num_fill` information positions of the mother
+  /// code (ascending column order).
+  ShortenedCode(const LdpcCode& code, const Encoder& encoder,
+                std::size_t num_fill, std::size_t num_pad);
+
+  std::size_t tx_bits() const {
+    return code_.n() - num_fill_ + num_pad_;
+  }
+  std::size_t tx_info_bits() const { return code_.k() - num_fill_; }
+  std::size_t num_fill() const { return num_fill_; }
+  std::size_t num_pad() const { return num_pad_; }
+
+  /// Encode tx_info_bits() of information into the tx_bits() frame.
+  std::vector<std::uint8_t> EncodeTx(std::span<const std::uint8_t> info) const;
+
+  /// Map received LLRs of a transmitted frame onto the mother code:
+  /// fill positions become `fill_llr` (a very reliable zero), pad
+  /// LLRs are dropped.
+  std::vector<double> ExpandLlrs(std::span<const double> tx_llr,
+                                 double fill_llr = 1e3) const;
+
+  /// Gather the transmitted information bits from decoded mother bits.
+  std::vector<std::uint8_t> ExtractInfo(
+      std::span<const std::uint8_t> mother_bits) const;
+
+  /// The mother-code columns that are actually transmitted, in
+  /// transmission order (pads excluded).
+  const std::vector<std::size_t>& TxColumns() const { return tx_cols_; }
+
+ private:
+  const LdpcCode& code_;
+  const Encoder& encoder_;
+  std::size_t num_fill_;
+  std::size_t num_pad_;
+  std::vector<bool> is_fill_col_;
+  std::vector<std::size_t> tx_cols_;        // transmitted mother columns
+  std::vector<std::size_t> tx_info_cols_;   // non-fill info columns
+};
+
+}  // namespace cldpc::ldpc

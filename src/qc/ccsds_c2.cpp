@@ -1,0 +1,61 @@
+#include "qc/ccsds_c2.hpp"
+
+#include "qc/girth.hpp"
+#include "qc/qc_builder.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::qc {
+
+QcMatrix BuildC2QcMatrix(std::uint64_t seed) {
+  QcBuildSpec spec;
+  spec.q = C2Constants::kQ;
+  spec.block_rows = C2Constants::kBlockRows;
+  spec.block_cols = C2Constants::kBlockCols;
+  spec.circulant_weight = C2Constants::kCirculantWeight;
+  spec.seed = seed;
+  return BuildGirth6QcMatrix(spec);
+}
+
+QcMatrix BuildC2FromOffsets(
+    const std::vector<std::vector<std::vector<std::size_t>>>& offsets) {
+  CLDPC_EXPECTS(offsets.size() == C2Constants::kBlockRows,
+                "C2 offsets need 2 block rows");
+  QcMatrix qc(C2Constants::kQ, C2Constants::kBlockRows,
+              C2Constants::kBlockCols);
+  for (std::size_t r = 0; r < offsets.size(); ++r) {
+    CLDPC_EXPECTS(offsets[r].size() == C2Constants::kBlockCols,
+                  "C2 offsets need 16 block columns");
+    for (std::size_t c = 0; c < offsets[r].size(); ++c) {
+      CLDPC_EXPECTS(offsets[r][c].size() == C2Constants::kCirculantWeight,
+                    "C2 circulants have weight 2");
+      qc.SetBlock({r, c}, gf2::Circulant(C2Constants::kQ, offsets[r][c]));
+    }
+  }
+  return qc;
+}
+
+C2Validation ValidateC2Structure(const gf2::SparseMat& h) {
+  C2Validation v;
+  v.dimensions_ok =
+      h.rows() == C2Constants::kHRows && h.cols() == C2Constants::kN;
+  if (!v.dimensions_ok) return v;
+
+  v.row_weights_ok = true;
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    if (h.RowWeight(r) != 2 * C2Constants::kBlockCols) {
+      v.row_weights_ok = false;
+      break;
+    }
+  }
+  v.col_weights_ok = true;
+  for (std::size_t c = 0; c < h.cols(); ++c) {
+    if (h.ColWeight(c) != 2 * C2Constants::kBlockRows) {
+      v.col_weights_ok = false;
+      break;
+    }
+  }
+  v.girth_ok = !HasFourCycle(h);
+  return v;
+}
+
+}  // namespace cldpc::qc

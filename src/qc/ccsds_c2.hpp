@@ -1,0 +1,69 @@
+// The CCSDS near-earth (C2) LDPC code: structure, construction,
+// validation and framing constants.
+//
+// CCSDS 131.1-O-2 defines a (8176, 7156) quasi-cyclic code built from
+// a 2x16 array of 511x511 circulants, each of row and column weight 2
+// (H is 1022x8176, total row weight 32, column weight 4, 32 704 edges,
+// rank 1020). The C2 transfer frame uses it shortened as (8160, 7136).
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): the concrete circulant offset
+// table of the Orange Book is replaced by deterministic surrogate
+// offsets with the identical structure and girth >= 6; user-supplied
+// offsets (e.g. transcribed from the standard) can be passed through
+// `BuildC2FromOffsets` and run through the same validation.
+#pragma once
+
+#include <cstdint>
+
+#include "qc/qc_matrix.hpp"
+
+namespace cldpc::qc {
+
+/// Structural constants of the mother code.
+struct C2Constants {
+  static constexpr std::size_t kQ = 511;
+  static constexpr std::size_t kBlockRows = 2;
+  static constexpr std::size_t kBlockCols = 16;
+  static constexpr std::size_t kCirculantWeight = 2;
+  static constexpr std::size_t kN = kQ * kBlockCols;        // 8176
+  static constexpr std::size_t kHRows = kQ * kBlockRows;    // 1022
+  static constexpr std::size_t kRank = 1020;                // 2 dependent rows
+  static constexpr std::size_t kK = kN - kRank;             // 7156
+  static constexpr std::size_t kEdges = kHRows * 32;        // 32 704
+
+  // Shortened C2 frame: 20 information bits are virtual fill (zero,
+  // never transmitted) and 4 zero pad bits are appended so that the
+  // transmitted frame is 8160 bits carrying 7136 information bits.
+  static constexpr std::size_t kTxBits = 8160;
+  static constexpr std::size_t kTxInfoBits = 7136;
+  static constexpr std::size_t kFillBits = kK - kTxInfoBits;        // 20
+  static constexpr std::size_t kPadBits = kTxBits - (kN - kFillBits);  // 4
+};
+
+/// Default seed of the surrogate offset search (fixed so every build
+/// of the library constructs the identical code).
+inline constexpr std::uint64_t kC2DefaultSeed = 0xC2C0DE2009ULL;
+
+/// Build the mother-code QC matrix with surrogate offsets (girth 6).
+QcMatrix BuildC2QcMatrix(std::uint64_t seed = kC2DefaultSeed);
+
+/// Build from explicit offsets: offsets[r][c] lists the first-row one
+/// positions of the circulant at block (r, c); layout 2x16, each
+/// entry of size 2. Validated structurally.
+QcMatrix BuildC2FromOffsets(
+    const std::vector<std::vector<std::vector<std::size_t>>>& offsets);
+
+/// Structural validation report for a candidate C2 parity matrix.
+struct C2Validation {
+  bool dimensions_ok = false;
+  bool row_weights_ok = false;   // every row weight == 32
+  bool col_weights_ok = false;   // every column weight == 4
+  bool girth_ok = false;         // no 4-cycles
+  bool Ok() const {
+    return dimensions_ok && row_weights_ok && col_weights_ok && girth_ok;
+  }
+};
+
+C2Validation ValidateC2Structure(const gf2::SparseMat& h);
+
+}  // namespace cldpc::qc

@@ -1,0 +1,80 @@
+#include "qc/code_family.hpp"
+
+#include "qc/qc_builder.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::qc {
+
+std::string ToString(FamilyRate rate) {
+  switch (rate) {
+    case FamilyRate::kHalf:
+      return "1/2";
+    case FamilyRate::kTwoThirds:
+      return "2/3";
+    case FamilyRate::kFourFifths:
+      return "4/5";
+    case FamilyRate::kSevenEighths:
+      return "7/8";
+  }
+  return "?";
+}
+
+double NominalRate(FamilyRate rate) {
+  switch (rate) {
+    case FamilyRate::kHalf:
+      return 0.5;
+    case FamilyRate::kTwoThirds:
+      return 2.0 / 3.0;
+    case FamilyRate::kFourFifths:
+      return 0.8;
+    case FamilyRate::kSevenEighths:
+      return 0.875;
+  }
+  return 0.0;
+}
+
+FamilyGeometry GeometryFor(FamilyRate rate) {
+  // Bit degree 4 for every member (same BN units as the C2 decoder);
+  // the design rate is 1 - block_rows/block_cols for weight-1 grids
+  // and 1 - block_rows/block_cols for weight-2 grids alike (rank
+  // deficiencies raise the true rate slightly, as with C2 itself).
+  switch (rate) {
+    case FamilyRate::kHalf:
+      return {4, 8, 1};        // (4, 8)-regular
+    case FamilyRate::kTwoThirds:
+      return {4, 12, 1};       // (4, 12)-regular
+    case FamilyRate::kFourFifths:
+      return {4, 20, 1};       // (4, 20)-regular
+    case FamilyRate::kSevenEighths:
+      return {2, 16, 2};       // the CCSDS C2 geometry, (4, 32)-regular
+  }
+  return {};
+}
+
+QcMatrix BuildFamilyCode(FamilyRate rate, std::size_t q, std::uint64_t seed) {
+  const FamilyGeometry geometry = GeometryFor(rate);
+  // Each block-row pair claims block_cols * w^2 distinct cross
+  // differences out of Z_q; require 50 % headroom so the randomized
+  // search converges (q = 127 suffices for every member, q = 511 is
+  // the flight-sized setting).
+  const std::size_t cross_diffs = geometry.block_cols *
+                                  geometry.circulant_weight *
+                                  geometry.circulant_weight;
+  CLDPC_EXPECTS(2 * q >= 3 * cross_diffs,
+                "circulant size too small for this rate's difference "
+                "conditions");
+  QcBuildSpec spec;
+  spec.q = q;
+  spec.block_rows = geometry.block_rows;
+  spec.block_cols = geometry.block_cols;
+  spec.circulant_weight = geometry.circulant_weight;
+  spec.seed = seed;
+  return BuildGirth6QcMatrix(spec);
+}
+
+std::vector<FamilyRate> AllFamilyRates() {
+  return {FamilyRate::kHalf, FamilyRate::kTwoThirds, FamilyRate::kFourFifths,
+          FamilyRate::kSevenEighths};
+}
+
+}  // namespace cldpc::qc

@@ -1,0 +1,53 @@
+// Multi-rate QC code family — the paper's stated future work:
+// "applying the principles of this generic parallel architecture to
+// other CCSDS recommendations such as the several rates AR4JA LDPC
+// codes for deep-space applications".
+//
+// SUBSTITUTION NOTE (DESIGN.md §2): the genuine AR4JA codes are built
+// from specific protographs with two-stage lifting; transcribing them
+// without the standard at hand would be unverifiable. Instead the
+// family below provides *architecturally equivalent* codes at the
+// AR4JA rates (1/2, 2/3, 4/5) plus the C2 rate (7/8): fully populated
+// circulant grids with bit degree 4 and girth >= 6, which exercise the
+// same generic decoder datapath, schedule and memory organisation at
+// each rate. What changes per rate — block geometry, check degree,
+// cycles per phase — is exactly what the generic architecture claims
+// to absorb.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qc/qc_matrix.hpp"
+
+namespace cldpc::qc {
+
+enum class FamilyRate { kHalf, kTwoThirds, kFourFifths, kSevenEighths };
+
+std::string ToString(FamilyRate rate);
+double NominalRate(FamilyRate rate);
+
+/// Geometry used for each rate: bit degree is 4 throughout (as in the
+/// C2 code), so the BN datapath is identical; the rate is set by the
+/// check degree (block_cols x weight).
+struct FamilyGeometry {
+  std::size_t block_rows = 0;
+  std::size_t block_cols = 0;
+  std::size_t circulant_weight = 0;
+  std::size_t check_degree() const { return block_cols * circulant_weight; }
+  std::size_t bit_degree() const { return block_rows * circulant_weight; }
+};
+
+FamilyGeometry GeometryFor(FamilyRate rate);
+
+/// Build a girth-6 member of the family with circulant size q.
+/// q must be large enough for the difference conditions (the C2-sized
+/// q = 511 works for every rate; small q for tests).
+QcMatrix BuildFamilyCode(FamilyRate rate, std::size_t q,
+                         std::uint64_t seed = 0xFA411A5EEDULL);
+
+/// All four rates (for sweeps).
+std::vector<FamilyRate> AllFamilyRates();
+
+}  // namespace cldpc::qc

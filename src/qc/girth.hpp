@@ -1,0 +1,22 @@
+// Cycle analysis of Tanner graphs. Short cycles (especially
+// 4-cycles) degrade message-passing decoding, so the code builder
+// rejects them and tests enforce girth >= 6.
+#pragma once
+
+#include <cstddef>
+
+#include "gf2/sparse.hpp"
+
+namespace cldpc::qc {
+
+/// True if two rows of H share two or more columns (a length-4 cycle
+/// in the Tanner graph).
+bool HasFourCycle(const gf2::SparseMat& h);
+
+/// Girth (length of the shortest cycle) of the Tanner graph of H,
+/// computed by BFS from every bit node. Cycle lengths in a bipartite
+/// graph are even; returns 0 if the graph is acyclic or the shortest
+/// cycle exceeds `max_girth`.
+std::size_t Girth(const gf2::SparseMat& h, std::size_t max_girth = 12);
+
+}  // namespace cldpc::qc

@@ -1,0 +1,122 @@
+#include "qc/qc_builder.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::qc {
+
+namespace {
+
+using OffsetSet = std::vector<std::size_t>;
+
+/// Directed internal differences x - y mod q over distinct offsets.
+std::vector<std::size_t> InternalDiffs(const OffsetSet& offsets,
+                                       std::size_t q) {
+  std::vector<std::size_t> diffs;
+  for (const auto x : offsets) {
+    for (const auto y : offsets) {
+      if (x != y) diffs.push_back((x + q - y) % q);
+    }
+  }
+  return diffs;
+}
+
+/// Directed cross differences top - bottom mod q.
+std::vector<std::size_t> CrossDiffs(const OffsetSet& top,
+                                    const OffsetSet& bottom, std::size_t q) {
+  std::vector<std::size_t> diffs;
+  for (const auto t : top) {
+    for (const auto b : bottom) diffs.push_back((t + q - b) % q);
+  }
+  return diffs;
+}
+
+/// Insert values into `used`; false (and no insertion) if any value
+/// is already present or values repeat among themselves.
+bool TryClaim(std::set<std::size_t>& used, const std::vector<std::size_t>& values) {
+  std::set<std::size_t> fresh(values.begin(), values.end());
+  if (fresh.size() != values.size()) return false;
+  for (const auto v : fresh) {
+    if (used.count(v)) return false;
+  }
+  used.insert(fresh.begin(), fresh.end());
+  return true;
+}
+
+OffsetSet SampleOffsets(Xoshiro256pp& rng, std::size_t q, std::size_t weight) {
+  std::set<std::size_t> picked;
+  while (picked.size() < weight) picked.insert(rng.NextBounded(q));
+  return OffsetSet(picked.begin(), picked.end());
+}
+
+}  // namespace
+
+QcMatrix BuildGirth6QcMatrix(const QcBuildSpec& spec) {
+  CLDPC_EXPECTS(spec.circulant_weight >= 1, "circulant weight must be >= 1");
+  CLDPC_EXPECTS(spec.circulant_weight <= spec.q,
+                "circulant weight cannot exceed circulant size");
+
+  Xoshiro256pp rng(spec.seed);
+  QcMatrix qc(spec.q, spec.block_rows, spec.block_cols);
+
+  // used_internal[r]: internal differences claimed by block row r.
+  std::vector<std::set<std::size_t>> used_internal(spec.block_rows);
+  // used_cross[(r1, r2)] flattened: cross differences claimed by the
+  // block-row pair.
+  std::vector<std::set<std::size_t>> used_cross(spec.block_rows *
+                                                spec.block_rows);
+  const auto pair_index = [&](std::size_t r1, std::size_t r2) {
+    return r1 * spec.block_rows + r2;
+  };
+
+  std::size_t retries = 0;
+  for (std::size_t col = 0; col < spec.block_cols; ++col) {
+    for (;;) {
+      CLDPC_EXPECTS(retries < spec.max_column_retries,
+                    "QC builder: spec appears infeasible (too many retries)");
+
+      // Candidate offsets for this column, one circulant per block row.
+      std::vector<OffsetSet> candidate(spec.block_rows);
+      for (auto& offsets : candidate)
+        offsets = SampleOffsets(rng, spec.q, spec.circulant_weight);
+
+      // Validate against snapshots, committing only on full success.
+      auto internal = used_internal;
+      auto cross = used_cross;
+      bool ok = true;
+      for (std::size_t r = 0; ok && r < spec.block_rows; ++r) {
+        const auto diffs = InternalDiffs(candidate[r], spec.q);
+        // Self-inverse internal difference (2d == 0 mod q) means a
+        // 4-cycle inside a single circulant.
+        for (const auto d : diffs) {
+          if ((2 * d) % spec.q == 0) ok = false;
+        }
+        if (ok) ok = TryClaim(internal[r], diffs);
+      }
+      for (std::size_t r1 = 0; ok && r1 < spec.block_rows; ++r1) {
+        for (std::size_t r2 = r1 + 1; ok && r2 < spec.block_rows; ++r2) {
+          ok = TryClaim(cross[pair_index(r1, r2)],
+                        CrossDiffs(candidate[r1], candidate[r2], spec.q));
+        }
+      }
+      if (!ok) {
+        ++retries;
+        continue;
+      }
+
+      used_internal = std::move(internal);
+      used_cross = std::move(cross);
+      for (std::size_t r = 0; r < spec.block_rows; ++r) {
+        qc.SetBlock({r, col}, gf2::Circulant(spec.q, candidate[r]));
+      }
+      break;
+    }
+  }
+  return qc;
+}
+
+}  // namespace cldpc::qc

@@ -1,0 +1,70 @@
+#include "qc/qc_matrix.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cldpc::qc {
+
+QcMatrix::QcMatrix(std::size_t q, std::size_t block_rows,
+                   std::size_t block_cols)
+    : q_(q), block_rows_(block_rows), block_cols_(block_cols) {
+  CLDPC_EXPECTS(q > 0 && block_rows > 0 && block_cols > 0,
+                "QcMatrix dimensions must be positive");
+  cells_.resize(block_rows * block_cols);
+}
+
+std::size_t QcMatrix::CellIndex(BlockIndex at) const {
+  CLDPC_EXPECTS(at.block_row < block_rows_ && at.block_col < block_cols_,
+                "block index out of range");
+  return at.block_row * block_cols_ + at.block_col;
+}
+
+void QcMatrix::SetBlock(BlockIndex at, gf2::Circulant circulant) {
+  CLDPC_EXPECTS(circulant.q() == q_, "circulant size must match grid");
+  cells_[CellIndex(at)] = std::move(circulant);
+}
+
+bool QcMatrix::HasBlock(BlockIndex at) const {
+  return cells_[CellIndex(at)].has_value();
+}
+
+const gf2::Circulant& QcMatrix::Block(BlockIndex at) const {
+  const auto& cell = cells_[CellIndex(at)];
+  CLDPC_EXPECTS(cell.has_value(), "block is zero");
+  return *cell;
+}
+
+std::vector<BlockIndex> QcMatrix::NonZeroBlocks() const {
+  std::vector<BlockIndex> out;
+  for (std::size_t r = 0; r < block_rows_; ++r) {
+    for (std::size_t c = 0; c < block_cols_; ++c) {
+      if (cells_[r * block_cols_ + c].has_value()) out.push_back({r, c});
+    }
+  }
+  return out;
+}
+
+gf2::SparseMat QcMatrix::Expand() const {
+  std::vector<gf2::Coord> entries;
+  entries.reserve(EdgeCount());
+  for (const auto& at : NonZeroBlocks()) {
+    const auto& circ = Block(at);
+    const std::size_t row0 = at.block_row * q_;
+    const std::size_t col0 = at.block_col * q_;
+    for (std::size_t r = 0; r < q_; ++r) {
+      for (std::size_t k = 0; k < circ.weight(); ++k) {
+        entries.push_back({row0 + r, col0 + circ.ColOfRow(r, k)});
+      }
+    }
+  }
+  return gf2::SparseMat(rows(), cols(), std::move(entries));
+}
+
+std::size_t QcMatrix::EdgeCount() const {
+  std::size_t count = 0;
+  for (const auto& cell : cells_) {
+    if (cell) count += q_ * cell->weight();
+  }
+  return count;
+}
+
+}  // namespace cldpc::qc

@@ -1,0 +1,60 @@
+// Quasi-cyclic parity-check matrices: a block grid of circulants.
+//
+// A QcMatrix is the protograph-level description the hardware
+// consumes: the controller walks block rows/columns, and the address
+// generators turn circulant offsets into memory addresses. Expansion
+// to a flat SparseMat serves the reference decoders and analysis.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "gf2/circulant.hpp"
+#include "gf2/sparse.hpp"
+
+namespace cldpc::qc {
+
+/// Position of a circulant in the block grid.
+struct BlockIndex {
+  std::size_t block_row = 0;
+  std::size_t block_col = 0;
+  friend bool operator==(const BlockIndex&, const BlockIndex&) = default;
+};
+
+class QcMatrix {
+ public:
+  /// An empty grid of zero blocks.
+  QcMatrix(std::size_t q, std::size_t block_rows, std::size_t block_cols);
+
+  /// Install a circulant (must match q; at most one per cell).
+  void SetBlock(BlockIndex at, gf2::Circulant circulant);
+
+  std::size_t q() const { return q_; }
+  std::size_t block_rows() const { return block_rows_; }
+  std::size_t block_cols() const { return block_cols_; }
+  std::size_t rows() const { return q_ * block_rows_; }
+  std::size_t cols() const { return q_ * block_cols_; }
+
+  bool HasBlock(BlockIndex at) const;
+  const gf2::Circulant& Block(BlockIndex at) const;
+
+  /// All non-zero blocks in row-major order.
+  std::vector<BlockIndex> NonZeroBlocks() const;
+
+  /// Flatten to the full sparse parity-check matrix.
+  gf2::SparseMat Expand() const;
+
+  /// Total number of ones (edges of the Tanner graph).
+  std::size_t EdgeCount() const;
+
+ private:
+  std::size_t CellIndex(BlockIndex at) const;
+
+  std::size_t q_;
+  std::size_t block_rows_;
+  std::size_t block_cols_;
+  std::vector<std::optional<gf2::Circulant>> cells_;
+};
+
+}  // namespace cldpc::qc

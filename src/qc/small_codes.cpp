@@ -1,0 +1,44 @@
+#include "qc/small_codes.hpp"
+
+#include "qc/qc_builder.hpp"
+
+namespace cldpc::qc {
+
+QcMatrix MakeSmallQcCode(std::size_t q, std::size_t block_cols,
+                         std::uint64_t seed) {
+  QcBuildSpec spec;
+  spec.q = q;
+  spec.block_rows = 2;
+  spec.block_cols = block_cols;
+  spec.circulant_weight = 2;
+  spec.seed = seed;
+  return BuildGirth6QcMatrix(spec);
+}
+
+QcMatrix MakeMediumQcCode(std::uint64_t seed) {
+  QcBuildSpec spec;
+  spec.q = 127;
+  spec.block_rows = 2;
+  spec.block_cols = 16;
+  spec.circulant_weight = 2;
+  spec.seed = seed;
+  return BuildGirth6QcMatrix(spec);
+}
+
+gf2::SparseMat MakeHammingH() {
+  // Systematic H = [A | I3] of the (7, 4) Hamming code.
+  const std::vector<std::vector<int>> h = {
+      {1, 1, 0, 1, 1, 0, 0},
+      {1, 0, 1, 1, 0, 1, 0},
+      {0, 1, 1, 1, 0, 0, 1},
+  };
+  std::vector<gf2::Coord> entries;
+  for (std::size_t r = 0; r < h.size(); ++r) {
+    for (std::size_t c = 0; c < h[r].size(); ++c) {
+      if (h[r][c]) entries.push_back({r, c});
+    }
+  }
+  return gf2::SparseMat(3, 7, std::move(entries));
+}
+
+}  // namespace cldpc::qc

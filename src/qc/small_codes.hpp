@@ -1,0 +1,27 @@
+// Small codes for fast tests and examples: scaled-down QC codes with
+// the same structure class as the CCSDS code, and a fixed textbook
+// Hamming code for exactness checks.
+#pragma once
+
+#include <cstdint>
+
+#include "qc/qc_matrix.hpp"
+
+namespace cldpc::qc {
+
+/// A miniature CCSDS-like code: 2 x block_cols grid of q x q weight-2
+/// circulants, girth >= 6. With q = 61, block_cols = 8 this yields a
+/// (488, 368) rate-3/4 code that decodes in microseconds. (q must be
+/// large enough that the 4 * block_cols cross differences fit in Z_q.)
+QcMatrix MakeSmallQcCode(std::size_t q = 61, std::size_t block_cols = 8,
+                         std::uint64_t seed = 0x5EED5A11ULL);
+
+/// A mid-size QC code (q = 127, 2 x 16 blocks) for integration tests
+/// that need waterfall behaviour without full C2 cost.
+QcMatrix MakeMediumQcCode(std::uint64_t seed = 0x5EEDCAFEULL);
+
+/// The (7, 4) Hamming code parity-check matrix — tiny, full-rank,
+/// with known codewords; used for hand-checkable decoder tests.
+gf2::SparseMat MakeHammingH();
+
+}  // namespace cldpc::qc

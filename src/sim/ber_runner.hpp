@@ -1,0 +1,75 @@
+// Monte-Carlo BER/PER measurement harness (Figure 4 of the paper).
+//
+// Per Eb/N0 point: encode random frames, push them through BPSK/AWGN,
+// decode, and count bit and frame errors until either a target error
+// count or a frame cap is reached. Every frame's noise stream is
+// seeded as f(base_seed, snr_index, frame_index), so any point of any
+// curve can be reproduced in isolation, and different decoders see
+// the *same* noisy frames (paired comparison — much lower variance
+// for "A beats B" conclusions, the form of the paper's claims).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ldpc/decoder.hpp"
+#include "ldpc/encoder.hpp"
+#include "util/stats.hpp"
+
+namespace cldpc::sim {
+
+struct BerConfig {
+  std::vector<double> ebn0_db;      // sweep points
+  std::uint64_t base_seed = 1;
+  std::uint64_t max_frames = 200;   // per point
+  std::uint64_t min_frame_errors = 20;  // stop a point early once reached
+  /// Measure info-bit BER only (as link budgets do) or whole-codeword.
+  bool info_bits_only = true;
+  /// Use all-zero frames instead of random data (valid for linear
+  /// codes over a symmetric channel; halves the runtime).
+  bool all_zero_codeword = false;
+};
+
+struct BerPoint {
+  double ebn0_db = 0.0;
+  RateEstimator bit_errors;
+  RateEstimator frame_errors;
+  std::uint64_t frames = 0;
+  double avg_iterations = 0.0;
+};
+
+struct BerCurve {
+  std::string decoder_name;
+  std::vector<BerPoint> points;
+};
+
+/// Per-frame hook (e.g. progress output). Arguments: snr index, frame
+/// index, frame errored.
+using FrameCallback =
+    std::function<void(std::size_t, std::uint64_t, bool)>;
+
+class BerRunner {
+ public:
+  /// Code and encoder must outlive the runner.
+  BerRunner(const ldpc::LdpcCode& code, const ldpc::Encoder& encoder,
+            BerConfig config);
+
+  /// Run the sweep for one decoder. The decoder is reused across
+  /// frames (hardware-like, no per-frame allocation).
+  BerCurve Run(ldpc::Decoder& decoder, const FrameCallback& on_frame = {});
+
+  const BerConfig& config() const { return config_; }
+
+ private:
+  const ldpc::LdpcCode& code_;
+  const ldpc::Encoder& encoder_;
+  BerConfig config_;
+};
+
+/// Render curves as an aligned table (rows: Eb/N0; columns: BER/PER
+/// per decoder).
+std::string RenderCurves(const std::vector<BerCurve>& curves);
+
+}  // namespace cldpc::sim

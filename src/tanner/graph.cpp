@@ -1,0 +1,73 @@
+#include "tanner/graph.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::tanner {
+
+Graph::Graph(const gf2::SparseMat& h)
+    : num_bits_(h.cols()), num_checks_(h.rows()) {
+  const auto& coords = h.Coords();  // row-major sorted: canonical order
+  edge_bit_.reserve(coords.size());
+  edge_check_.reserve(coords.size());
+  for (const auto& c : coords) {
+    edge_check_.push_back(c.row);
+    edge_bit_.push_back(c.col);
+  }
+
+  // Check-side incidence: edges are already grouped by row and sorted
+  // by column within a row.
+  check_ptr_.assign(num_checks_ + 1, 0);
+  for (const auto m : edge_check_) ++check_ptr_[m + 1];
+  for (std::size_t m = 0; m < num_checks_; ++m)
+    check_ptr_[m + 1] += check_ptr_[m];
+  check_edges_.resize(coords.size());
+  {
+    std::vector<std::size_t> cursor(check_ptr_.begin(), check_ptr_.end() - 1);
+    for (std::size_t e = 0; e < edge_check_.size(); ++e)
+      check_edges_[cursor[edge_check_[e]]++] = e;
+  }
+
+  // Bit-side incidence: within a bit, order by check index; row-major
+  // edge order already visits checks in ascending order.
+  bit_ptr_.assign(num_bits_ + 1, 0);
+  for (const auto n : edge_bit_) ++bit_ptr_[n + 1];
+  for (std::size_t n = 0; n < num_bits_; ++n) bit_ptr_[n + 1] += bit_ptr_[n];
+  bit_edges_.resize(coords.size());
+  {
+    std::vector<std::size_t> cursor(bit_ptr_.begin(), bit_ptr_.end() - 1);
+    for (std::size_t e = 0; e < edge_bit_.size(); ++e)
+      bit_edges_[cursor[edge_bit_[e]]++] = e;
+  }
+
+  for (std::size_t m = 0; m < num_checks_; ++m)
+    max_check_degree_ = std::max(max_check_degree_, CheckDegree(m));
+  for (std::size_t n = 0; n < num_bits_; ++n)
+    max_bit_degree_ = std::max(max_bit_degree_, BitDegree(n));
+}
+
+std::span<const std::size_t> Graph::CheckEdges(std::size_t m) const {
+  CLDPC_EXPECTS(m < num_checks_, "check index out of range");
+  return {check_edges_.data() + check_ptr_[m], check_ptr_[m + 1] - check_ptr_[m]};
+}
+
+std::span<const std::size_t> Graph::BitEdges(std::size_t n) const {
+  CLDPC_EXPECTS(n < num_bits_, "bit index out of range");
+  return {bit_edges_.data() + bit_ptr_[n], bit_ptr_[n + 1] - bit_ptr_[n]};
+}
+
+bool Graph::IsRegular() const {
+  if (num_checks_ == 0 || num_bits_ == 0) return true;
+  const std::size_t dc = CheckDegree(0);
+  for (std::size_t m = 1; m < num_checks_; ++m) {
+    if (CheckDegree(m) != dc) return false;
+  }
+  const std::size_t dv = BitDegree(0);
+  for (std::size_t n = 1; n < num_bits_; ++n) {
+    if (BitDegree(n) != dv) return false;
+  }
+  return true;
+}
+
+}  // namespace cldpc::tanner

@@ -1,0 +1,63 @@
+// Edge-indexed Tanner graph.
+//
+// Message-passing decoders address messages *per edge*; this class
+// fixes a canonical edge numbering (row-major over H's nonzeros) and
+// provides both views of it: for each check node, the edges to its
+// bit nodes; for each bit node, the edges to its check nodes. The
+// hardware message memories use the same numbering, which is what
+// makes bit-exact comparison between the reference decoder and the
+// architecture model possible.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gf2/sparse.hpp"
+
+namespace cldpc::tanner {
+
+class Graph {
+ public:
+  explicit Graph(const gf2::SparseMat& h);
+
+  std::size_t num_bits() const { return num_bits_; }
+  std::size_t num_checks() const { return num_checks_; }
+  std::size_t num_edges() const { return edge_bit_.size(); }
+
+  /// Edge ids incident to check node m (order: ascending bit index).
+  std::span<const std::size_t> CheckEdges(std::size_t m) const;
+  /// Edge ids incident to bit node n (order: ascending check index).
+  std::span<const std::size_t> BitEdges(std::size_t n) const;
+
+  /// The bit node of an edge.
+  std::size_t EdgeBit(std::size_t e) const { return edge_bit_[e]; }
+  /// The check node of an edge.
+  std::size_t EdgeCheck(std::size_t e) const { return edge_check_[e]; }
+
+  std::size_t CheckDegree(std::size_t m) const { return CheckEdges(m).size(); }
+  std::size_t BitDegree(std::size_t n) const { return BitEdges(n).size(); }
+
+  /// Maximum degrees (hardware PEs are sized by these).
+  std::size_t MaxCheckDegree() const { return max_check_degree_; }
+  std::size_t MaxBitDegree() const { return max_bit_degree_; }
+
+  /// True if every check has the same degree and every bit has the
+  /// same degree (the CCSDS code is (4, 32)-regular).
+  bool IsRegular() const;
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::size_t num_checks_ = 0;
+  std::vector<std::size_t> edge_bit_;    // edge -> bit node
+  std::vector<std::size_t> edge_check_;  // edge -> check node
+  // CSR-style incidence.
+  std::vector<std::size_t> check_ptr_;
+  std::vector<std::size_t> check_edges_;
+  std::vector<std::size_t> bit_ptr_;
+  std::vector<std::size_t> bit_edges_;
+  std::size_t max_check_degree_ = 0;
+  std::size_t max_bit_degree_ = 0;
+};
+
+}  // namespace cldpc::tanner

@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace cldpc {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::Find(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& fallback) const {
+  return Find(name).value_or(fallback);
+}
+
+std::int64_t ArgParser::GetInt(const std::string& name,
+                               std::int64_t fallback) const {
+  const auto v = Find(name);
+  if (!v) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& name, double fallback) const {
+  const auto v = Find(name);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& name, bool fallback) const {
+  const auto v = Find(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<double> ArgParser::GetDoubleList(
+    const std::string& name, std::vector<double> fallback) const {
+  const auto v = Find(name);
+  if (!v) return fallback;
+  std::vector<double> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return out;
+}
+
+}  // namespace cldpc

@@ -1,0 +1,45 @@
+// Minimal command-line parser for examples and bench binaries.
+//
+// Supports --name=value, --name value and boolean --flag forms.
+// Unknown flags are collected so binaries can reject typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cldpc {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  /// Comma-separated list of doubles, e.g. --snrs=3.2,3.6,4.0.
+  std::vector<double> GetDoubleList(const std::string& name,
+                                    std::vector<double> fallback) const;
+
+  /// Positional (non --flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> Find(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cldpc

@@ -1,0 +1,44 @@
+// Lightweight contract checks (C++ Core Guidelines I.5/I.6 style).
+//
+// CLDPC_EXPECTS / CLDPC_ENSURES throw cldpc::ContractViolation so that
+// misuse of a public API is diagnosable in tests instead of being UB.
+// Hot inner loops use plain assert() instead; these macros are for
+// constructor/API boundaries where the cost is negligible.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cldpc {
+
+/// Thrown when a precondition or postcondition of a public API fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ContractFail(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  throw ContractViolation(std::string(kind) + " failed: (" + expr + ") at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace cldpc
+
+#define CLDPC_EXPECTS(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::cldpc::detail::ContractFail("precondition", #cond, __FILE__,      \
+                                    __LINE__, (msg));                     \
+  } while (false)
+
+#define CLDPC_ENSURES(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::cldpc::detail::ContractFail("postcondition", #cond, __FILE__,     \
+                                    __LINE__, (msg));                     \
+  } while (false)

@@ -1,0 +1,84 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace cldpc {
+
+void Histogram::Add(std::int64_t value, std::uint64_t count) {
+  bins_[value] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::CountOf(std::int64_t value) const {
+  const auto it = bins_.find(value);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+std::int64_t Histogram::Min() const {
+  CLDPC_EXPECTS(!bins_.empty(), "empty histogram");
+  return bins_.begin()->first;
+}
+
+std::int64_t Histogram::Max() const {
+  CLDPC_EXPECTS(!bins_.empty(), "empty histogram");
+  return bins_.rbegin()->first;
+}
+
+double Histogram::Mean() const {
+  CLDPC_EXPECTS(total_ > 0, "empty histogram");
+  double acc = 0.0;
+  for (const auto& [value, count] : bins_)
+    acc += static_cast<double>(value) * static_cast<double>(count);
+  return acc / static_cast<double>(total_);
+}
+
+double Histogram::TailFraction(std::int64_t threshold) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t tail = 0;
+  for (const auto& [value, count] : bins_) {
+    if (std::llabs(value) >= threshold) tail += count;
+  }
+  return static_cast<double>(tail) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::AbsQuantile(double p) const {
+  CLDPC_EXPECTS(p > 0.0 && p <= 1.0, "quantile must be in (0, 1]");
+  CLDPC_EXPECTS(total_ > 0, "empty histogram");
+  // Aggregate by absolute value, then walk upward.
+  std::map<std::int64_t, std::uint64_t> by_abs;
+  for (const auto& [value, count] : bins_) by_abs[std::llabs(value)] += count;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (const auto& [mag, count] : by_abs) {
+    seen += count;
+    if (seen >= target) return mag;
+  }
+  return by_abs.rbegin()->first;
+}
+
+std::string Histogram::Render(std::size_t max_rows) const {
+  std::ostringstream os;
+  if (bins_.empty()) return "(empty histogram)\n";
+  std::uint64_t peak = 0;
+  for (const auto& [value, count] : bins_) peak = std::max(peak, count);
+  // Downsample rows if the support is wide.
+  const std::size_t rows = bins_.size();
+  const std::size_t stride = rows > max_rows ? (rows + max_rows - 1) / max_rows
+                                             : 1;
+  std::size_t index = 0;
+  for (const auto& [value, count] : bins_) {
+    if (index++ % stride != 0) continue;
+    const auto width = static_cast<std::size_t>(
+        40.0 * static_cast<double>(count) / static_cast<double>(peak));
+    os << (value < 0 ? "" : " ") << value << "\t" << count << "\t"
+       << std::string(width, '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cldpc

@@ -1,0 +1,36 @@
+// Integer-value histogram for datapath analysis: message-magnitude
+// and APP distributions drive the word-width choices of the
+// architecture (the quantization ablation's underlying evidence).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cldpc {
+
+class Histogram {
+ public:
+  void Add(std::int64_t value, std::uint64_t count = 1);
+
+  std::uint64_t Total() const { return total_; }
+  std::uint64_t CountOf(std::int64_t value) const;
+  std::int64_t Min() const;
+  std::int64_t Max() const;
+  double Mean() const;
+
+  /// Fraction of mass at |value| >= threshold (saturation estimate).
+  double TailFraction(std::int64_t threshold) const;
+
+  /// p-quantile of |value| (0 < p <= 1).
+  std::int64_t AbsQuantile(double p) const;
+
+  /// Compact text rendering: "value: count" lines with unit bars.
+  std::string Render(std::size_t max_rows = 24) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cldpc

@@ -1,0 +1,78 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace cldpc {
+
+namespace {
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t c) {
+  // Feed each index through the mixer so that nearby indices yield
+  // statistically independent streams.
+  SplitMix64 mix(base);
+  std::uint64_t h = mix.Next();
+  h ^= SplitMix64(a ^ 0x6A09E667F3BCC908ULL).Next() + 0x9E3779B97F4A7C15ULL +
+       (h << 6) + (h >> 2);
+  h ^= SplitMix64(b ^ 0xBB67AE8584CAA73BULL).Next() + 0x9E3779B97F4A7C15ULL +
+       (h << 6) + (h >> 2);
+  h ^= SplitMix64(c ^ 0x3C6EF372FE94F82BULL).Next() + 0x9E3779B97F4A7C15ULL +
+       (h << 6) + (h >> 2);
+  return h;
+}
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) {
+  // Seed the four state words from SplitMix64 as recommended by the
+  // xoshiro authors; avoids the all-zero state by construction.
+  SplitMix64 mix(seed);
+  for (auto& word : s_) word = mix.Next();
+}
+
+Xoshiro256pp::result_type Xoshiro256pp::Next() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256pp::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256pp::NextBounded(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double GaussianSampler::Next() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * rng_.NextDouble() - 1.0;
+    v = 2.0 * rng_.NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_ = v * factor;
+  has_cached_ = true;
+  return u * factor;
+}
+
+}  // namespace cldpc

@@ -1,0 +1,51 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cldpc {
+
+void RateEstimator::Add(std::uint64_t errors, std::uint64_t trials) {
+  errors_ += errors;
+  trials_ += trials;
+}
+
+double RateEstimator::Rate() const {
+  if (trials_ == 0) return 0.0;
+  return static_cast<double>(errors_) / static_cast<double>(trials_);
+}
+
+Interval RateEstimator::Wilson(double z) const {
+  if (trials_ == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials_);
+  const double p = Rate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, (centre - margin) / denom),
+          std::min(1.0, (centre + margin) / denom)};
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace cldpc

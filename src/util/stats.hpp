@@ -1,0 +1,59 @@
+// Statistics utilities for Monte-Carlo error-rate estimation.
+#pragma once
+
+#include <cstdint>
+
+namespace cldpc {
+
+/// A two-sided confidence interval on a proportion.
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Estimator for an error *rate* (bit error rate, frame error rate):
+/// counts errors over trials and provides the point estimate plus a
+/// Wilson score interval, which behaves well at the tiny proportions
+/// typical of BER measurement.
+class RateEstimator {
+ public:
+  void Add(std::uint64_t errors, std::uint64_t trials);
+  void AddTrial(bool error) { Add(error ? 1 : 0, 1); }
+
+  std::uint64_t errors() const { return errors_; }
+  std::uint64_t trials() const { return trials_; }
+
+  /// Point estimate errors/trials (0 if no trials yet).
+  double Rate() const;
+
+  /// Wilson score interval at the given normal quantile
+  /// (z = 1.96 -> 95 %).
+  Interval Wilson(double z = 1.96) const;
+
+ private:
+  std::uint64_t errors_ = 0;
+  std::uint64_t trials_ = 0;
+};
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double Mean() const { return mean_; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double Variance() const;
+  double StdDev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cldpc

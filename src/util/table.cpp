@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace cldpc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CLDPC_EXPECTS(!headers_.empty(), "a table needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CLDPC_EXPECTS(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRule() { rows_.emplace_back(); }
+
+std::string TablePrinter::Render(const std::string& title) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (const auto w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  }();
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  out += rule;
+  out += render_row(headers_);
+  out += rule;
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule : render_row(row);
+  }
+  out += rule;
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string FormatScientific(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::scientific);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string FormatCount(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run == 3) {
+      out.push_back(' ');
+      run = 0;
+    }
+    out.push_back(*it);
+    ++run;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string FormatPercent(double fraction) {
+  return FormatDouble(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace cldpc

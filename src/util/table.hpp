@@ -1,0 +1,39 @@
+// ASCII table rendering for bench binaries that regenerate the
+// paper's tables: aligned columns, optional title, markdown-ish rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cldpc {
+
+/// Column-aligned text table. Cells are strings; numeric formatting is
+/// the caller's responsibility (see Format* helpers below).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void AddRule();
+
+  /// Render with every column padded to its widest cell.
+  std::string Render(const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// Fixed-precision decimal, e.g. FormatDouble(129.98, 1) == "130.0".
+std::string FormatDouble(double v, int precision);
+/// Scientific notation suited to BER values, e.g. "3.2e-05".
+std::string FormatScientific(double v, int precision = 1);
+/// Thousands-separated integer, e.g. "32 704".
+std::string FormatCount(std::uint64_t v);
+/// Percentage with one decimal, e.g. "49.9%".
+std::string FormatPercent(double fraction);
+
+}  // namespace cldpc

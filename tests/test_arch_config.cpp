@@ -1,0 +1,72 @@
+#include "arch/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+namespace {
+
+TEST(ArchConfig, LowCostPreset) {
+  const auto config = LowCostConfig();
+  EXPECT_EQ(config.frames_per_word, 1u);
+  EXPECT_EQ(config.processing_blocks, 1u);
+  EXPECT_EQ(config.storage, MessageStorage::kPerEdge);
+  EXPECT_EQ(config.iterations, 18);
+  EXPECT_DOUBLE_EQ(config.clock_mhz, 200.0);
+  EXPECT_NO_THROW(Validate(config));
+}
+
+TEST(ArchConfig, HighSpeedPreset) {
+  const auto config = HighSpeedConfig();
+  EXPECT_EQ(config.frames_per_word, 8u);
+  EXPECT_EQ(config.storage, MessageStorage::kCompressedCn);
+  EXPECT_NO_THROW(Validate(config));
+}
+
+TEST(ArchConfig, PresetsShareDatapath) {
+  // The paper: "the performances of the architecture in terms of
+  // errors correction are maintained" between the two decoders — the
+  // datapaths must be identical.
+  const auto low = LowCostConfig();
+  const auto high = HighSpeedConfig();
+  EXPECT_EQ(low.datapath.message_bits, high.datapath.message_bits);
+  EXPECT_EQ(low.datapath.channel_bits, high.datapath.channel_bits);
+  EXPECT_EQ(low.datapath.app_bits, high.datapath.app_bits);
+  EXPECT_EQ(low.datapath.normalization.num, high.datapath.normalization.num);
+  EXPECT_EQ(low.iterations, high.iterations);
+}
+
+TEST(ArchConfig, ValidationRejectsBadConfigs) {
+  ArchConfig config = LowCostConfig();
+  config.frames_per_word = 0;
+  EXPECT_THROW(Validate(config), ContractViolation);
+
+  config = LowCostConfig();
+  config.frames_per_word = 65;
+  EXPECT_THROW(Validate(config), ContractViolation);
+
+  config = LowCostConfig();
+  config.processing_blocks = 0;
+  EXPECT_THROW(Validate(config), ContractViolation);
+
+  config = LowCostConfig();
+  config.iterations = 0;
+  EXPECT_THROW(Validate(config), ContractViolation);
+
+  config = LowCostConfig();
+  config.clock_mhz = 0.0;
+  EXPECT_THROW(Validate(config), ContractViolation);
+
+  config = LowCostConfig();
+  config.datapath.app_bits = config.datapath.message_bits - 1;
+  EXPECT_THROW(Validate(config), ContractViolation);
+}
+
+TEST(ArchConfig, StorageNames) {
+  EXPECT_EQ(ToString(MessageStorage::kPerEdge), "per-edge");
+  EXPECT_EQ(ToString(MessageStorage::kCompressedCn), "compressed-cn");
+}
+
+}  // namespace
+}  // namespace cldpc::arch

@@ -1,0 +1,102 @@
+#include "arch/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+namespace {
+
+TEST(Controller, IterationCyclesMatchCalibratedModel) {
+  // q + cn_pipe + gap + q + bn_pipe + gap
+  // = 511 + 24 + 18 + 511 + 16 + 18 = 1098 cycles/iteration.
+  const Controller c(LowCostConfig(), 511, 8176);
+  EXPECT_EQ(c.IterationCycles(), 1098u);
+}
+
+TEST(Controller, BatchCyclesScaleLinearly) {
+  const Controller c(LowCostConfig(), 511, 8176);
+  EXPECT_EQ(c.BatchCycles(10), 10980u);
+  EXPECT_EQ(c.BatchCycles(18), 19764u);
+  EXPECT_EQ(c.BatchCycles(50), 54900u);
+}
+
+TEST(Controller, TenIterationsDeliver130MbpsAt200MHz) {
+  // The anchor of Table 1: 7136 payload bits / (10980 cycles / 200
+  // MHz) = 130.0 Mbps.
+  const Controller c(LowCostConfig(), 511, 8176);
+  const double seconds = static_cast<double>(c.BatchCycles(10)) / 200e6;
+  const double mbps = 7136.0 / seconds / 1e6;
+  EXPECT_NEAR(mbps, 130.0, 0.5);
+}
+
+TEST(Controller, IoIsHiddenByDoubleBuffering) {
+  // 8176 input words at 32 words/cycle = ~256 cycles, far below one
+  // iteration's 1098 cycles.
+  const Controller c(LowCostConfig(), 511, 8176);
+  EXPECT_LE(c.IoCycles(), 8176u / Controller::kIoWordsPerCycle + 1);
+  EXPECT_TRUE(c.IoIsHidden(1));
+}
+
+TEST(Controller, ScheduleStructure) {
+  const Controller c(LowCostConfig(), 511, 8176);
+  const auto schedule = c.BuildSchedule(3);
+  // LOAD + 3 x (CN, BN) + OUTPUT.
+  ASSERT_EQ(schedule.size(), 2u + 6u);
+  EXPECT_EQ(schedule.front().phase, Phase::kLoad);
+  EXPECT_EQ(schedule.back().phase, Phase::kOutput);
+  // Phases alternate CN/BN with increasing iteration tags.
+  for (int it = 0; it < 3; ++it) {
+    const auto& cn = schedule[1 + 2 * it];
+    const auto& bn = schedule[2 + 2 * it];
+    EXPECT_EQ(cn.phase, Phase::kCheckNode);
+    EXPECT_EQ(bn.phase, Phase::kBitNode);
+    EXPECT_EQ(cn.iteration, it + 1);
+    EXPECT_EQ(bn.iteration, it + 1);
+    EXPECT_GT(bn.start_cycle, cn.start_cycle);
+  }
+  // Spans must not overlap and must be ordered.
+  for (std::size_t i = 2; i + 1 < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i].start_cycle,
+              schedule[i - 1].start_cycle + schedule[i - 1].length);
+  }
+}
+
+TEST(Controller, StatsAddUpToTotal) {
+  const Controller c(LowCostConfig(), 511, 8176);
+  const auto stats = c.MakeStats(18);
+  EXPECT_EQ(stats.total_cycles,
+            stats.cn_cycles + stats.bn_cycles + stats.gap_cycles);
+  EXPECT_EQ(stats.iterations_run, 18);
+  EXPECT_EQ(stats.total_cycles, c.BatchCycles(18));
+}
+
+TEST(Controller, SmallerCirculantsAreFaster) {
+  const Controller big(LowCostConfig(), 511, 8176);
+  const Controller small(LowCostConfig(), 61, 488);
+  EXPECT_LT(small.IterationCycles(), big.IterationCycles());
+}
+
+TEST(Controller, FramePackingDoesNotChangeCycles) {
+  // F frames share every cycle: batch cycles are F-independent (the
+  // *throughput* scales, not the schedule).
+  const Controller base(LowCostConfig(), 511, 8176);
+  const Controller high(HighSpeedConfig(), 511, 8176);
+  EXPECT_EQ(base.BatchCycles(18), high.BatchCycles(18));
+}
+
+TEST(Controller, PhaseNames) {
+  EXPECT_EQ(ToString(Phase::kLoad), "LOAD");
+  EXPECT_EQ(ToString(Phase::kCheckNode), "CN");
+  EXPECT_EQ(ToString(Phase::kBitNode), "BN");
+  EXPECT_EQ(ToString(Phase::kOutput), "OUT");
+}
+
+TEST(Controller, RejectsBadArguments) {
+  EXPECT_THROW(Controller(LowCostConfig(), 0, 10), ContractViolation);
+  const Controller c(LowCostConfig(), 511, 8176);
+  EXPECT_THROW(c.BatchCycles(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cldpc::arch

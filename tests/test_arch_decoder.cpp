@@ -1,0 +1,278 @@
+// The central verification of the reproduction: the architecture
+// model must decode *bit-identically* to the behavioural fixed-point
+// reference, across storage layouts, frame packings and SNRs — the
+// software analogue of RTL-vs-C-model equivalence.
+#include "arch/decoder_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "ldpc/c2_system.hpp"
+#include "ldpc/encoder.hpp"
+#include "ldpc/fixed_minsum_decoder.hpp"
+#include "qc/small_codes.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::arch {
+namespace {
+
+struct SmallFixture {
+  qc::QcMatrix qc = qc::MakeSmallQcCode();
+  ldpc::LdpcCode code{qc.Expand()};
+  ldpc::Encoder encoder{code};
+};
+
+SmallFixture& Small() {
+  static SmallFixture f;
+  return f;
+}
+
+std::vector<double> NoisyFrame(SmallFixture& f, double ebn0_db,
+                               std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> info(f.code.k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  const auto cw = f.encoder.Encode(info);
+  return channel::TransmitBpskAwgn(cw, ebn0_db, f.code.Rate(), seed ^ 0xABC);
+}
+
+ArchConfig SmallConfig(MessageStorage storage, std::size_t frames = 1) {
+  ArchConfig config = LowCostConfig();
+  config.storage = storage;
+  config.frames_per_word = frames;
+  config.iterations = 12;
+  return config;
+}
+
+ldpc::FixedMinSumOptions MatchingReference(const ArchConfig& config) {
+  ldpc::FixedMinSumOptions opts;
+  opts.datapath = config.datapath;
+  opts.iter.max_iterations = config.iterations;
+  opts.iter.early_termination = config.early_termination;
+  return opts;
+}
+
+// ---- Bit-exactness across SNR, parameterized -------------------------
+
+class BitExact : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(BitExact, PerEdgeMatchesReference) {
+  auto& f = Small();
+  const auto [snr, trial] = GetParam();
+  const auto llr = NoisyFrame(f, snr, 1000 + trial);
+
+  const auto config = SmallConfig(MessageStorage::kPerEdge);
+  ArchDecoder arch(f.code, f.qc, config);
+  ldpc::FixedMinSumDecoder reference(f.code, MatchingReference(config));
+
+  const auto a = arch.Decode(llr);
+  const auto b = reference.Decode(llr);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+TEST_P(BitExact, CompressedMatchesReference) {
+  auto& f = Small();
+  const auto [snr, trial] = GetParam();
+  const auto llr = NoisyFrame(f, snr, 2000 + trial);
+
+  const auto config = SmallConfig(MessageStorage::kCompressedCn);
+  ArchDecoder arch(f.code, f.qc, config);
+  ldpc::FixedMinSumDecoder reference(f.code, MatchingReference(config));
+
+  EXPECT_EQ(arch.Decode(llr).bits, reference.Decode(llr).bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SnrGrid, BitExact,
+    ::testing::Combine(::testing::Values(2.0, 3.0, 4.0, 5.0, 7.0),
+                       ::testing::Values(0, 1, 2)));
+
+// ---- Storage layouts agree with each other ---------------------------
+
+TEST(ArchDecoder, StorageLayoutsAreEquivalent) {
+  auto& f = Small();
+  ArchDecoder per_edge(f.code, f.qc, SmallConfig(MessageStorage::kPerEdge));
+  ArchDecoder compressed(f.code, f.qc,
+                         SmallConfig(MessageStorage::kCompressedCn));
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto llr = NoisyFrame(f, 3.5, 3000 + trial);
+    EXPECT_EQ(per_edge.Decode(llr).bits, compressed.Decode(llr).bits)
+        << trial;
+  }
+}
+
+// ---- Frame packing ----------------------------------------------------
+
+TEST(ArchDecoder, PackedFramesDecodeIndependently) {
+  // F frames in one batch must yield exactly the same results as F
+  // separate single-frame decodes (lanes must not leak into each
+  // other).
+  auto& f = Small();
+  const auto config = SmallConfig(MessageStorage::kPerEdge, /*frames=*/4);
+  ArchDecoder batch_dec(f.code, f.qc, config);
+  ArchDecoder single_dec(f.code, f.qc, SmallConfig(MessageStorage::kPerEdge));
+
+  std::vector<std::vector<Fixed>> batch;
+  std::vector<ldpc::DecodeResult> singles;
+  LlrQuantizer quantizer(config.datapath.channel_bits,
+                         config.datapath.channel_scale);
+  for (int i = 0; i < 4; ++i) {
+    const auto llr = NoisyFrame(f, 3.0, 4000 + i);
+    std::vector<Fixed> q(llr.size());
+    for (std::size_t j = 0; j < llr.size(); ++j)
+      q[j] = quantizer.Quantize(llr[j]);
+    singles.push_back(single_dec.DecodeQuantized(q));
+    batch.push_back(std::move(q));
+  }
+  const auto result = batch_dec.DecodeBatch(batch);
+  ASSERT_EQ(result.frames.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.frames[i].bits, singles[i].bits) << i;
+  }
+}
+
+TEST(ArchDecoder, PackedCompressedFramesDecodeIndependently) {
+  auto& f = Small();
+  const auto config = SmallConfig(MessageStorage::kCompressedCn, 3);
+  ArchDecoder batch_dec(f.code, f.qc, config);
+  ArchDecoder single_dec(f.code, f.qc,
+                         SmallConfig(MessageStorage::kCompressedCn));
+  LlrQuantizer quantizer(config.datapath.channel_bits,
+                         config.datapath.channel_scale);
+  std::vector<std::vector<Fixed>> batch;
+  std::vector<ldpc::DecodeResult> singles;
+  for (int i = 0; i < 3; ++i) {
+    const auto llr = NoisyFrame(f, 4.5, 5000 + i);
+    std::vector<Fixed> q(llr.size());
+    for (std::size_t j = 0; j < llr.size(); ++j)
+      q[j] = quantizer.Quantize(llr[j]);
+    singles.push_back(single_dec.DecodeQuantized(q));
+    batch.push_back(std::move(q));
+  }
+  const auto result = batch_dec.DecodeBatch(batch);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.frames[i].bits, singles[i].bits) << i;
+  }
+}
+
+// ---- Statistics --------------------------------------------------------
+
+TEST(ArchDecoder, CycleStatsMatchController) {
+  auto& f = Small();
+  const auto config = SmallConfig(MessageStorage::kPerEdge);
+  ArchDecoder dec(f.code, f.qc, config);
+  dec.Decode(NoisyFrame(f, 4.0, 1));
+  const Controller controller(config, f.qc.q(), f.qc.cols());
+  EXPECT_EQ(dec.LastStats().total_cycles,
+            controller.BatchCycles(config.iterations));
+  EXPECT_EQ(dec.LastStats().iterations_run, config.iterations);
+}
+
+TEST(ArchDecoder, PerEdgeMemoryTrafficPerIteration) {
+  // Per iteration, every edge's message word is read and written once
+  // in each phase: 2 reads + 2 writes per edge per iteration. The
+  // word counters cover all frames at once, and BN-phase input reads
+  // add q * block_cols channel-memory reads (counted separately).
+  auto& f = Small();
+  auto config = SmallConfig(MessageStorage::kPerEdge);
+  config.iterations = 3;
+  ArchDecoder dec(f.code, f.qc, config);
+  dec.Decode(NoisyFrame(f, 4.0, 2));
+  const std::uint64_t edges = f.code.graph().num_edges();
+  EXPECT_EQ(dec.LastStats().message_word_reads, 2u * edges * 3u);
+  EXPECT_EQ(dec.LastStats().message_word_writes, 2u * edges * 3u);
+}
+
+TEST(ArchDecoder, CompressedLayoutMovesFewerWords) {
+  auto& f = Small();
+  auto per_edge_cfg = SmallConfig(MessageStorage::kPerEdge);
+  auto compressed_cfg = SmallConfig(MessageStorage::kCompressedCn);
+  ArchDecoder per_edge(f.code, f.qc, per_edge_cfg);
+  ArchDecoder compressed(f.code, f.qc, compressed_cfg);
+  const auto llr = NoisyFrame(f, 4.0, 3);
+  per_edge.Decode(llr);
+  compressed.Decode(llr);
+  EXPECT_LT(compressed.LastStats().message_word_writes,
+            per_edge.LastStats().message_word_writes);
+}
+
+TEST(ArchDecoder, MessageMemoryBitsPerLayout) {
+  auto& f = Small();
+  ArchDecoder per_edge(f.code, f.qc, SmallConfig(MessageStorage::kPerEdge));
+  // Small code: 32 banks x 61 words x 6 bits.
+  EXPECT_EQ(per_edge.MessageMemoryBits(),
+            static_cast<std::uint64_t>(f.code.graph().num_edges()) * 6u);
+  ArchDecoder compressed(f.code, f.qc,
+                         SmallConfig(MessageStorage::kCompressedCn));
+  const std::uint64_t record_bits = 2 * 6 + 4 + 1 + 16;  // dc = 16
+  EXPECT_EQ(compressed.MessageMemoryBits(),
+            f.code.num_checks() * record_bits + f.code.n() * 9u);
+}
+
+// ---- Early termination --------------------------------------------------
+
+TEST(ArchDecoder, EarlyTerminationStopsAtConvergence) {
+  auto& f = Small();
+  auto config = SmallConfig(MessageStorage::kPerEdge);
+  config.early_termination = true;
+  config.iterations = 30;
+  ArchDecoder dec(f.code, f.qc, config);
+  // Nearly noiseless: should converge after the first iteration.
+  const auto llr = NoisyFrame(f, 10.0, 4);
+  const auto result = dec.Decode(llr);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations_run, 5);
+  EXPECT_EQ(dec.LastStats().total_cycles,
+            Controller(config, f.qc.q(), f.qc.cols())
+                .BatchCycles(result.iterations_run));
+}
+
+// ---- Interface contracts -------------------------------------------------
+
+TEST(ArchDecoder, RejectsBadBatches) {
+  auto& f = Small();
+  ArchDecoder dec(f.code, f.qc, SmallConfig(MessageStorage::kPerEdge, 2));
+  EXPECT_THROW(dec.DecodeBatch({}), ContractViolation);
+  EXPECT_THROW(dec.DecodeBatch(std::vector<std::vector<Fixed>>(
+                   3, std::vector<Fixed>(f.code.n(), 0))),
+               ContractViolation);
+  EXPECT_THROW(dec.DecodeBatch({std::vector<Fixed>(5, 0)}),
+               ContractViolation);
+}
+
+TEST(ArchDecoder, NameDescribesConfiguration) {
+  auto& f = Small();
+  ArchDecoder dec(f.code, f.qc, SmallConfig(MessageStorage::kCompressedCn, 8));
+  const auto name = dec.Name();
+  EXPECT_NE(name.find("F=8"), std::string::npos);
+  EXPECT_NE(name.find("compressed-cn"), std::string::npos);
+}
+
+// ---- Full C2 bit-exactness (one heavier end-to-end case) ---------------
+
+TEST(ArchDecoder, C2FrameBitExactAgainstReference) {
+  const auto system = ldpc::MakeC2System();
+  ArchConfig config = LowCostConfig();
+  config.iterations = 10;
+  ArchDecoder arch(*system.code, system.qc, config);
+  ldpc::FixedMinSumDecoder reference(*system.code,
+                                     MatchingReference(config));
+
+  Xoshiro256pp rng(99);
+  std::vector<std::uint8_t> info(system.code->k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  const auto cw = system.encoder->Encode(info);
+  const auto llr =
+      channel::TransmitBpskAwgn(cw, 4.2, system.code->Rate(), 1234);
+
+  const auto a = arch.Decode(llr);
+  const auto b = reference.Decode(llr);
+  EXPECT_EQ(a.bits, b.bits);
+  // At 4.2 dB with 10 iterations the frame should decode.
+  EXPECT_EQ(a.bits, cw);
+}
+
+}  // namespace
+}  // namespace cldpc::arch

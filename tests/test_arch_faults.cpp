@@ -1,0 +1,181 @@
+#include "arch/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/decoder_core.hpp"
+#include "channel/awgn.hpp"
+#include "ldpc/encoder.hpp"
+#include "qc/small_codes.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::arch {
+namespace {
+
+TEST(FlipStoredBit, MagnitudeBits) {
+  // width 6: bits 0..4 magnitude, bit 5 sign.
+  EXPECT_EQ(FlipStoredBit(5, 0, 6), 4);
+  EXPECT_EQ(FlipStoredBit(5, 1, 6), 7);
+  EXPECT_EQ(FlipStoredBit(-5, 0, 6), -4);
+  EXPECT_EQ(FlipStoredBit(0, 3, 6), 8);
+}
+
+TEST(FlipStoredBit, SignBit) {
+  EXPECT_EQ(FlipStoredBit(13, 5, 6), -13);
+  EXPECT_EQ(FlipStoredBit(-13, 5, 6), 13);
+  EXPECT_EQ(FlipStoredBit(0, 5, 6), 0);  // -0 == 0 in sign-magnitude
+}
+
+TEST(FlipStoredBit, StaysRepresentable) {
+  for (Fixed v = -31; v <= 31; ++v) {
+    for (int bit = 0; bit < 6; ++bit) {
+      const Fixed flipped = FlipStoredBit(v, bit, 6);
+      EXPECT_LE(flipped, 31);
+      EXPECT_GE(flipped, -31);
+    }
+  }
+}
+
+TEST(FlipStoredBit, IsAnInvolutionOnMagnitudeBitsAwayFromZero) {
+  // Sign-magnitude hardware collapses -0 onto +0, so the sign of a
+  // value whose magnitude flip lands on zero is unrecoverable; away
+  // from that case a second identical upset restores the word.
+  for (Fixed v = -15; v <= 15; ++v) {
+    for (int bit = 0; bit < 4; ++bit) {
+      const Fixed once = FlipStoredBit(v, bit, 5);
+      const Fixed twice = FlipStoredBit(once, bit, 5);
+      if (once != 0) {
+        EXPECT_EQ(twice, v) << v << " bit " << bit;
+      } else {
+        EXPECT_EQ(twice, v < 0 ? -v : v);  // magnitude restored, sign lost
+      }
+    }
+  }
+}
+
+TEST(FlipStoredBit, RejectsBadIndex) {
+  EXPECT_THROW(FlipStoredBit(1, 6, 6), ContractViolation);
+  EXPECT_THROW(FlipStoredBit(1, -1, 6), ContractViolation);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityIsTransparent) {
+  FaultModel model;
+  FaultInjector injector(model, 6);
+  for (Fixed v = -31; v <= 31; ++v) EXPECT_EQ(injector.OnRead(v), v);
+  EXPECT_EQ(injector.flips_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, RateMatchesProbability) {
+  FaultModel model;
+  model.read_flip_probability = 0.01;
+  FaultInjector injector(model, 6);
+  const std::uint64_t reads = 200000;
+  for (std::uint64_t i = 0; i < reads; ++i) injector.OnRead(17);
+  const double rate = static_cast<double>(injector.flips_injected()) /
+                      static_cast<double>(reads);
+  EXPECT_NEAR(rate, 0.01, 0.002);
+}
+
+TEST(FaultInjectorTest, DeterministicInSeed) {
+  FaultModel model;
+  model.read_flip_probability = 0.05;
+  model.seed = 9;
+  FaultInjector a(model, 6), b(model, 6);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.OnRead(21), b.OnRead(21));
+}
+
+// ---- Decoder-level behaviour -------------------------------------------
+
+struct Fixture {
+  qc::QcMatrix qc = qc::MakeSmallQcCode();
+  ldpc::LdpcCode code{qc.Expand()};
+  ldpc::Encoder encoder{code};
+};
+
+Fixture& F() {
+  static Fixture f;
+  return f;
+}
+
+std::vector<double> NoisyFrame(double snr, std::uint64_t seed) {
+  auto& f = F();
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> info(f.code.k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  const auto cw = f.encoder.Encode(info);
+  return channel::TransmitBpskAwgn(cw, snr, f.code.Rate(), seed + 7);
+}
+
+ArchConfig FaultyConfig(double flip_prob, std::size_t stuck = 0) {
+  ArchConfig config = LowCostConfig();
+  config.iterations = 15;
+  config.faults.read_flip_probability = flip_prob;
+  config.faults.stuck_at_zero_words = stuck;
+  return config;
+}
+
+TEST(ArchFaults, DisabledModelIsBitExact) {
+  auto& f = F();
+  ArchDecoder clean(f.code, f.qc, FaultyConfig(0.0));
+  ArchDecoder with_model(f.code, f.qc, FaultyConfig(0.0, 0));
+  const auto llr = NoisyFrame(4.0, 1);
+  EXPECT_EQ(clean.Decode(llr).bits, with_model.Decode(llr).bits);
+  EXPECT_EQ(with_model.LastFlipsInjected(), 0u);
+}
+
+TEST(ArchFaults, RareUpsetsAreAbsorbedAtHighSnr) {
+  // The LDPC iteration is self-correcting: a handful of message
+  // upsets per frame must not break decoding at comfortable SNR.
+  auto& f = F();
+  ArchDecoder dec(f.code, f.qc, FaultyConfig(1e-4));
+  int recovered = 0;
+  std::uint64_t total_flips = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Xoshiro256pp rng(50 + trial);
+    std::vector<std::uint8_t> info(f.code.k());
+    for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+    const auto cw = f.encoder.Encode(info);
+    const auto llr =
+        channel::TransmitBpskAwgn(cw, 6.0, f.code.Rate(), 60 + trial);
+    if (dec.Decode(llr).bits == cw) ++recovered;
+    total_flips += dec.LastFlipsInjected();
+  }
+  EXPECT_GT(total_flips, 0u);  // faults actually happened
+  EXPECT_GE(recovered, 9);
+}
+
+TEST(ArchFaults, HeavyUpsetsDestroyDecoding) {
+  auto& f = F();
+  ArchDecoder dec(f.code, f.qc, FaultyConfig(0.3));
+  const auto llr = NoisyFrame(6.0, 70);
+  const auto result = dec.Decode(llr);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(ArchFaults, FewStuckWordsAreTolerated) {
+  auto& f = F();
+  ArchDecoder dec(f.code, f.qc, FaultyConfig(0.0, /*stuck=*/3));
+  Xoshiro256pp rng(80);
+  std::vector<std::uint8_t> info(f.code.k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  const auto cw = f.encoder.Encode(info);
+  const auto llr = channel::TransmitBpskAwgn(cw, 6.5, f.code.Rate(), 81);
+  EXPECT_EQ(dec.Decode(llr).bits, cw);
+}
+
+TEST(ArchFaults, FaultRunsAreReproducible) {
+  auto& f = F();
+  ArchDecoder a(f.code, f.qc, FaultyConfig(0.01));
+  ArchDecoder b(f.code, f.qc, FaultyConfig(0.01));
+  const auto llr = NoisyFrame(4.5, 90);
+  EXPECT_EQ(a.Decode(llr).bits, b.Decode(llr).bits);
+  EXPECT_EQ(a.LastFlipsInjected(), b.LastFlipsInjected());
+}
+
+TEST(ArchFaults, CompressedStorageRejectsFaultModel) {
+  ArchConfig config = HighSpeedConfig();
+  config.faults.read_flip_probability = 0.01;
+  EXPECT_THROW(Validate(config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cldpc::arch

@@ -1,0 +1,119 @@
+#include "arch/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/address_gen.hpp"
+
+namespace cldpc::arch {
+namespace {
+
+TEST(MessageBank, ReadWriteRoundTrip) {
+  MessageBank bank(511, 4);
+  bank.Write(10, 2, -17);
+  bank.Write(10, 3, 5);
+  EXPECT_EQ(bank.Read(10, 2), -17);
+  EXPECT_EQ(bank.Read(10, 3), 5);
+  EXPECT_EQ(bank.Read(10, 0), 0);  // untouched lanes stay zero
+}
+
+TEST(MessageBank, OutOfRangeThrows) {
+  MessageBank bank(16, 2);
+  EXPECT_THROW(bank.Read(16, 0), ContractViolation);
+  EXPECT_THROW(bank.Read(0, 2), ContractViolation);
+  EXPECT_THROW(bank.Write(16, 0, 1), ContractViolation);
+}
+
+TEST(MessageBank, AccessCounting) {
+  MessageBank bank(8, 8);
+  for (int i = 0; i < 5; ++i) bank.CountRead();
+  for (int i = 0; i < 3; ++i) bank.CountWrite();
+  EXPECT_EQ(bank.stats().word_reads, 5u);
+  EXPECT_EQ(bank.stats().word_writes, 3u);
+  bank.ResetStats();
+  EXPECT_EQ(bank.stats().word_reads, 0u);
+}
+
+TEST(MessageBank, CapacityBits) {
+  // The low-cost layout: 64 banks x 511 words x 6 bits = 196 224.
+  MessageBank bank(511, 1);
+  EXPECT_EQ(bank.CapacityBits(6), 511u * 6u);
+  MessageBank wide(511, 8);
+  EXPECT_EQ(wide.CapacityBits(6), 511u * 8u * 6u);
+}
+
+TEST(CnRecordStore, RoundTrip) {
+  CnRecordStore store(100, 2);
+  ldpc::CnSummary record;
+  record.min1 = 3;
+  record.min2 = 7;
+  record.argmin_pos = 12;
+  record.sign_product_negative = true;
+  record.sign_mask = 0xF0F0;
+  record.degree = 32;
+  store.Write(42, 1, record);
+  const auto& back = store.Read(42, 1);
+  EXPECT_EQ(back.min1, 3);
+  EXPECT_EQ(back.min2, 7);
+  EXPECT_EQ(back.argmin_pos, 12u);
+  EXPECT_TRUE(back.sign_product_negative);
+  EXPECT_EQ(back.sign_mask, 0xF0F0ull);
+}
+
+TEST(CnRecordStore, DefaultRecordIsNeutral) {
+  // A zero record must produce zero check-to-bit messages (the
+  // first-iteration initialisation trick).
+  CnRecordStore store(4, 1);
+  const auto& record = store.Read(0, 0);
+  const DyadicFraction norm{13, 4};
+  for (std::size_t pos = 0; pos < 32; ++pos) {
+    EXPECT_EQ(ldpc::CnOutput(record, pos, norm), 0);
+  }
+}
+
+TEST(CnRecordStore, RecordBits) {
+  // 2 x 6 (mins) + 5 (argmin of 32) + 1 (sign product) + 32 (signs).
+  EXPECT_EQ(CnRecordStore::RecordBits(6, 32), 12 + 5 + 1 + 32);
+  // Degree 4: index needs 2 bits.
+  EXPECT_EQ(CnRecordStore::RecordBits(6, 4), 12 + 2 + 1 + 4);
+}
+
+TEST(CnRecordStore, CapacityBits) {
+  CnRecordStore store(1022, 8);
+  const auto bits = store.CapacityBits(6, 32);
+  EXPECT_EQ(bits, 1022ull * 8ull * 50ull);
+}
+
+TEST(WordMemory, RoundTripAndCapacity) {
+  WordMemory mem(8176, 2);
+  mem.Write(8175, 1, -255);
+  EXPECT_EQ(mem.Read(8175, 1), -255);
+  EXPECT_EQ(mem.CapacityBits(6), 8176ull * 2ull * 6ull);
+  EXPECT_THROW(mem.Read(8176, 0), ContractViolation);
+}
+
+TEST(AddressGenerator, RotationIdentities) {
+  const AddressGenerator ag(511, 37);
+  for (std::size_t i = 0; i < 511; i += 13) {
+    const std::size_t col = ag.ColumnOfRow(i);
+    EXPECT_EQ(ag.BnAddress(col), i);   // inverse mapping
+    EXPECT_EQ(ag.CnAddress(i), i);     // check side is linear
+  }
+}
+
+TEST(AddressGenerator, WrapAround) {
+  const AddressGenerator ag(10, 7);
+  EXPECT_EQ(ag.ColumnOfRow(5), 2u);   // (5 + 7) % 10
+  EXPECT_EQ(ag.BnAddress(2), 5u);     // (2 - 7) mod 10
+  EXPECT_EQ(ag.BnAddress(7), 0u);
+}
+
+TEST(AddressGenerator, RejectsBadArguments) {
+  EXPECT_THROW(AddressGenerator(0, 0), ContractViolation);
+  EXPECT_THROW(AddressGenerator(10, 10), ContractViolation);
+  const AddressGenerator ag(10, 3);
+  EXPECT_THROW(ag.CnAddress(10), ContractViolation);
+  EXPECT_THROW(ag.BnAddress(10), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cldpc::arch

@@ -1,0 +1,135 @@
+// Tables 2 and 3 regression: the analytic resource model must land in
+// the neighbourhood of the paper's synthesis results and, more
+// importantly, reproduce the claimed scaling shape (8x throughput for
+// about 4x resources; roughly half the low-cost device's RAM).
+#include "arch/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cldpc::arch {
+namespace {
+
+CodeGeometry C2Geometry() { return CodeGeometry{}; }  // defaults are C2
+
+TEST(Resources, LowCostAlutsNearPaper) {
+  const auto e = EstimateResources(LowCostConfig(), C2Geometry());
+  // Paper: ~8k ALUTs. Accept +-35 % for an analytic model.
+  EXPECT_GT(e.aluts, 5200u);
+  EXPECT_LT(e.aluts, 10800u);
+}
+
+TEST(Resources, LowCostRegistersNearPaper) {
+  const auto e = EstimateResources(LowCostConfig(), C2Geometry());
+  // Paper: ~6k registers.
+  EXPECT_GT(e.registers, 3900u);
+  EXPECT_LT(e.registers, 8100u);
+}
+
+TEST(Resources, LowCostMemoryNearPaper) {
+  const auto e = EstimateResources(LowCostConfig(), C2Geometry());
+  // Paper: ~290 kbit on the Cyclone II (50 %).
+  EXPECT_GT(e.memory_bits, 230000u);
+  EXPECT_LT(e.memory_bits, 360000u);
+}
+
+TEST(Resources, LowCostFitsCycloneII) {
+  const auto e = EstimateResources(LowCostConfig(), C2Geometry());
+  const auto device = CycloneIIEp2c50();
+  EXPECT_LT(LogicFraction(e, device), 0.25);     // paper: 16 %
+  EXPECT_LT(RegisterFraction(e, device), 0.20);  // paper: 12 %
+  const double mem = MemoryFraction(e, device);
+  EXPECT_GT(mem, 0.38);                          // paper: 50 %
+  EXPECT_LT(mem, 0.62);
+}
+
+TEST(Resources, HighSpeedNearPaper) {
+  const auto e = EstimateResources(HighSpeedConfig(), C2Geometry());
+  // Paper: ~38k ALUTs, ~30k registers on the Stratix II.
+  EXPECT_GT(e.aluts, 24000u);
+  EXPECT_LT(e.aluts, 50000u);
+  EXPECT_GT(e.registers, 18000u);
+  EXPECT_LT(e.registers, 40000u);
+}
+
+TEST(Resources, HighSpeedFitsStratixII) {
+  const auto e = EstimateResources(HighSpeedConfig(), C2Geometry());
+  const auto device = StratixIIEp2s180();
+  EXPECT_LT(LogicFraction(e, device), 0.35);  // paper: 27 %
+  EXPECT_LT(MemoryFraction(e, device), 0.30); // paper reports 20 %
+}
+
+TEST(Resources, EightTimesThroughputForAboutFourTimesResources) {
+  // The headline genericity claim of the paper.
+  const auto low = EstimateResources(LowCostConfig(), C2Geometry());
+  const auto high = EstimateResources(HighSpeedConfig(), C2Geometry());
+  const double alut_ratio =
+      static_cast<double>(high.aluts) / static_cast<double>(low.aluts);
+  EXPECT_GT(alut_ratio, 3.0);
+  EXPECT_LT(alut_ratio, 6.0);  // paper: 38k/8k = 4.75
+}
+
+TEST(Resources, CompressedStorageSavesMemoryAtHighPacking) {
+  // The reason the high-speed decoder compresses: at F = 8 the
+  // per-edge layout needs far more RAM.
+  ArchConfig per_edge = HighSpeedConfig();
+  per_edge.storage = MessageStorage::kPerEdge;
+  const auto e_edge = EstimateResources(per_edge, C2Geometry());
+  const auto e_comp = EstimateResources(HighSpeedConfig(), C2Geometry());
+  EXPECT_LT(e_comp.message_memory_bits, e_edge.message_memory_bits);
+}
+
+TEST(Resources, MemoryBitsExactPerEdgeFormula) {
+  const auto e = EstimateResources(LowCostConfig(), C2Geometry());
+  // 32704 edges x 6 bits messages.
+  EXPECT_EQ(e.message_memory_bits, 32704u * 6u);
+  // I/O: double-buffered 6-bit input + 1-bit output, 8176 each.
+  EXPECT_EQ(e.io_memory_bits, 2u * 8176u * 6u + 2u * 8176u);
+  EXPECT_EQ(e.memory_bits, e.message_memory_bits + e.io_memory_bits);
+}
+
+TEST(Resources, BreakdownSumsToTotal) {
+  for (const auto& config : {LowCostConfig(), HighSpeedConfig()}) {
+    const auto e = EstimateResources(config, C2Geometry());
+    EXPECT_EQ(e.aluts, e.control_aluts + e.address_aluts +
+                           e.cn_datapath_aluts + e.bn_datapath_aluts +
+                           e.memory_interface_aluts + e.misc_aluts);
+  }
+}
+
+TEST(Resources, ScalesLinearlyInProcessingBlocks) {
+  ArchConfig config = LowCostConfig();
+  const auto one = EstimateResources(config, C2Geometry());
+  config.processing_blocks = 2;
+  const auto two = EstimateResources(config, C2Geometry());
+  EXPECT_NEAR(static_cast<double>(two.aluts) / static_cast<double>(one.aluts),
+              2.0, 0.01);
+  EXPECT_EQ(two.memory_bits, 2 * one.memory_bits);
+}
+
+TEST(Resources, WiderMessagesCostMoreMemory) {
+  ArchConfig narrow = LowCostConfig();
+  ArchConfig wide = LowCostConfig();
+  wide.datapath.message_bits = 8;
+  const auto e_narrow = EstimateResources(narrow, C2Geometry());
+  const auto e_wide = EstimateResources(wide, C2Geometry());
+  EXPECT_GT(e_wide.message_memory_bits, e_narrow.message_memory_bits);
+  EXPECT_GT(e_wide.aluts, e_narrow.aluts);
+}
+
+TEST(Resources, DeviceTables) {
+  EXPECT_EQ(CycloneIIEp2c50().memory_bits, 594432u);
+  EXPECT_EQ(StratixIIEp2s180().logic_elements, 143520u);
+  EXPECT_EQ(StratixIIEp2s180().memory_bits, 9383040u);
+}
+
+TEST(Resources, GeometryDerivedQuantities) {
+  const CodeGeometry g;
+  EXPECT_EQ(g.n(), 8176u);
+  EXPECT_EQ(g.checks(), 1022u);
+  EXPECT_EQ(g.edges(), 32704u);
+  EXPECT_EQ(g.check_degree(), 32u);
+  EXPECT_EQ(g.bit_degree(), 4u);
+}
+
+}  // namespace
+}  // namespace cldpc::arch

@@ -1,0 +1,98 @@
+// Table 1 regression: throughput figures measured from the cycle
+// model must reproduce the paper's rows (shape and values).
+#include "arch/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qc/ccsds_c2.hpp"
+
+namespace cldpc::arch {
+namespace {
+
+using qc::C2Constants;
+
+constexpr std::size_t kPayload = C2Constants::kTxInfoBits;  // 7136
+
+TEST(Throughput, LowCostTableOneRow10) {
+  const double mbps =
+      ThroughputModel::OutputMbps(LowCostConfig(), C2Constants::kQ, kPayload, 10);
+  EXPECT_NEAR(mbps, 130.0, 1.0);  // paper: 130 Mbps
+}
+
+TEST(Throughput, LowCostTableOneRow18) {
+  const double mbps =
+      ThroughputModel::OutputMbps(LowCostConfig(), C2Constants::kQ, kPayload, 18);
+  EXPECT_NEAR(mbps, 72.2, 2.5);  // paper: 70 Mbps
+}
+
+TEST(Throughput, LowCostTableOneRow50) {
+  const double mbps =
+      ThroughputModel::OutputMbps(LowCostConfig(), C2Constants::kQ, kPayload, 50);
+  EXPECT_NEAR(mbps, 26.0, 1.5);  // paper: 25 Mbps
+}
+
+TEST(Throughput, HighSpeedIsEightTimesLowCost) {
+  for (const int iters : {10, 18, 50}) {
+    const double low = ThroughputModel::OutputMbps(LowCostConfig(),
+                                                   C2Constants::kQ, kPayload,
+                                                   iters);
+    const double high = ThroughputModel::OutputMbps(HighSpeedConfig(),
+                                                    C2Constants::kQ, kPayload,
+                                                    iters);
+    EXPECT_NEAR(high / low, 8.0, 1e-9) << iters;
+  }
+}
+
+TEST(Throughput, HighSpeedTableOneRow10) {
+  const double mbps = ThroughputModel::OutputMbps(
+      HighSpeedConfig(), C2Constants::kQ, kPayload, 10);
+  EXPECT_NEAR(mbps, 1040.0, 8.0);  // paper: 1040 Mbps
+}
+
+TEST(Throughput, ScalesWithClock) {
+  ArchConfig config = LowCostConfig();
+  config.clock_mhz = 100.0;
+  const double at100 =
+      ThroughputModel::OutputMbps(config, C2Constants::kQ, kPayload, 10);
+  config.clock_mhz = 200.0;
+  const double at200 =
+      ThroughputModel::OutputMbps(config, C2Constants::kQ, kPayload, 10);
+  EXPECT_NEAR(at200 / at100, 2.0, 1e-9);
+}
+
+TEST(Throughput, InverselyProportionalToIterations) {
+  const double at10 = ThroughputModel::OutputMbps(LowCostConfig(),
+                                                  C2Constants::kQ, kPayload, 10);
+  const double at20 = ThroughputModel::OutputMbps(LowCostConfig(),
+                                                  C2Constants::kQ, kPayload, 20);
+  EXPECT_NEAR(at10 / at20, 2.0, 1e-9);
+}
+
+TEST(Throughput, ProcessingBlocksMultiply) {
+  ArchConfig config = LowCostConfig();
+  config.processing_blocks = 4;
+  const double four =
+      ThroughputModel::OutputMbps(config, C2Constants::kQ, kPayload, 18);
+  const double one = ThroughputModel::OutputMbps(LowCostConfig(),
+                                                 C2Constants::kQ, kPayload, 18);
+  EXPECT_NEAR(four / one, 4.0, 1e-9);
+}
+
+TEST(Throughput, FromStatsMatchesClosedForm) {
+  const auto config = LowCostConfig();
+  const Controller controller(config, C2Constants::kQ, C2Constants::kN);
+  const auto stats = controller.MakeStats(18);
+  EXPECT_NEAR(ThroughputModel::OutputMbpsFromStats(config, stats, kPayload),
+              ThroughputModel::OutputMbps(config, C2Constants::kQ, kPayload, 18),
+              1e-9);
+}
+
+TEST(Throughput, BatchLatency) {
+  // 10 980 cycles at 200 MHz = 54.9 us.
+  EXPECT_NEAR(
+      ThroughputModel::BatchLatencyUs(LowCostConfig(), C2Constants::kQ, 10),
+      54.9, 0.1);
+}
+
+}  // namespace
+}  // namespace cldpc::arch

@@ -1,0 +1,146 @@
+#include "gf2/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cldpc::gf2 {
+namespace {
+
+TEST(BitVec, StartsZeroed) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.Popcount(), 0u);
+  EXPECT_FALSE(v.AnySet());
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(70);
+  v.Set(0, true);
+  v.Set(63, true);
+  v.Set(64, true);
+  v.Set(69, true);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(69));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_EQ(v.Popcount(), 4u);
+  v.Flip(63);
+  EXPECT_FALSE(v.Get(63));
+  v.Set(0, false);
+  EXPECT_FALSE(v.Get(0));
+  EXPECT_EQ(v.Popcount(), 2u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(10);
+  EXPECT_THROW(v.Get(10), ContractViolation);
+  EXPECT_THROW(v.Set(10, true), ContractViolation);
+  EXPECT_THROW(v.Flip(11), ContractViolation);
+}
+
+TEST(BitVec, XorIsSelfInverse) {
+  Xoshiro256pp rng(1);
+  BitVec a(200), b(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    a.Set(i, rng.NextBit());
+    b.Set(i, rng.NextBit());
+  }
+  const BitVec original = a;
+  a ^= b;
+  a ^= b;
+  EXPECT_EQ(a, original);
+}
+
+TEST(BitVec, XorSizeMismatchThrows) {
+  BitVec a(10), b(11);
+  EXPECT_THROW(a ^= b, ContractViolation);
+}
+
+TEST(BitVec, Parity) {
+  BitVec v(65);
+  EXPECT_FALSE(v.Parity());
+  v.Set(64, true);
+  EXPECT_TRUE(v.Parity());
+  v.Set(0, true);
+  EXPECT_FALSE(v.Parity());
+}
+
+TEST(BitVec, DotProduct) {
+  BitVec a(8), b(8);
+  a.Set(1, true);
+  a.Set(3, true);
+  a.Set(5, true);
+  b.Set(3, true);
+  b.Set(5, true);
+  EXPECT_FALSE(BitVec::Dot(a, b));  // 2 overlaps -> even
+  b.Set(1, true);
+  EXPECT_TRUE(BitVec::Dot(a, b));  // 3 overlaps -> odd
+}
+
+TEST(BitVec, FirstAndNextSet) {
+  BitVec v(150);
+  EXPECT_EQ(v.FirstSet(), 150u);
+  v.Set(5, true);
+  v.Set(64, true);
+  v.Set(149, true);
+  EXPECT_EQ(v.FirstSet(), 5u);
+  EXPECT_EQ(v.NextSet(6), 64u);
+  EXPECT_EQ(v.NextSet(64), 64u);
+  EXPECT_EQ(v.NextSet(65), 149u);
+  EXPECT_EQ(v.NextSet(150), 150u);
+}
+
+TEST(BitVec, IterationVisitsAllSetBits) {
+  Xoshiro256pp rng(9);
+  BitVec v(500);
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < 500; ++i) {
+    if (rng.NextDouble() < 0.1) {
+      v.Set(i, true);
+      expected.push_back(i);
+    }
+  }
+  std::vector<std::size_t> got;
+  for (std::size_t i = v.FirstSet(); i < v.size(); i = v.NextSet(i + 1))
+    got.push_back(i);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BitVec, FromBitsToBitsRoundTrip) {
+  const std::vector<std::uint8_t> bits = {1, 0, 1, 1, 0, 0, 1};
+  const BitVec v = BitVec::FromBits(bits);
+  EXPECT_EQ(v.ToBits(), bits);
+  EXPECT_EQ(v.Popcount(), 4u);
+}
+
+TEST(BitVec, ClearZeroesEverything) {
+  BitVec v(100);
+  for (std::size_t i = 0; i < 100; i += 3) v.Set(i, true);
+  v.Clear();
+  EXPECT_EQ(v.Popcount(), 0u);
+}
+
+TEST(BitVec, EqualityIncludesSize) {
+  BitVec a(10), b(11);
+  EXPECT_NE(a, b);
+  BitVec c(10);
+  EXPECT_EQ(a, c);
+  c.Set(3, true);
+  EXPECT_NE(a, c);
+}
+
+TEST(BitVec, AndMasks) {
+  BitVec a(8), b(8);
+  a.Set(1, true);
+  a.Set(2, true);
+  b.Set(2, true);
+  b.Set(3, true);
+  a &= b;
+  EXPECT_EQ(a.Popcount(), 1u);
+  EXPECT_TRUE(a.Get(2));
+}
+
+}  // namespace
+}  // namespace cldpc::gf2

@@ -1,0 +1,148 @@
+#include "ldpc/bp_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.hpp"
+#include "ldpc/encoder.hpp"
+#include "qc/small_codes.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::ldpc {
+namespace {
+
+const LdpcCode& SmallCode() {
+  static const LdpcCode code(qc::MakeSmallQcCode().Expand());
+  return code;
+}
+
+std::vector<std::uint8_t> RandomInfo(const LdpcCode& code, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> info(code.k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  return info;
+}
+
+TEST(BoxPlus, MatchesTanhRule) {
+  for (const double a : {-3.0, -0.7, 0.2, 1.5, 4.0}) {
+    for (const double b : {-2.5, -0.4, 0.1, 2.2, 5.0}) {
+      const double expected =
+          2.0 * std::atanh(std::tanh(a / 2.0) * std::tanh(b / 2.0));
+      EXPECT_NEAR(BoxPlus(a, b), expected, 1e-9) << a << " " << b;
+    }
+  }
+}
+
+TEST(BoxPlus, Commutative) {
+  EXPECT_DOUBLE_EQ(BoxPlus(1.3, -0.8), BoxPlus(-0.8, 1.3));
+}
+
+TEST(BoxPlus, ZeroAnnihilates) {
+  // boxplus with a zero-confidence input gives zero confidence.
+  EXPECT_NEAR(BoxPlus(0.0, 5.0), 0.0, 1e-12);
+}
+
+TEST(BoxPlus, MagnitudeBoundedByMin) {
+  EXPECT_LE(std::fabs(BoxPlus(2.0, 3.0)), 2.0);
+  EXPECT_LE(std::fabs(BoxPlus(-1.5, 0.9)), 0.9);
+}
+
+TEST(BpDecoder, NoiselessFrameConvergesImmediately) {
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  const auto cw = enc.Encode(RandomInfo(code, 3));
+  std::vector<double> llr(code.n());
+  for (std::size_t i = 0; i < llr.size(); ++i) llr[i] = cw[i] ? -8.0 : 8.0;
+
+  BpDecoder dec(code, {.max_iterations = 10, .early_termination = true});
+  const auto result = dec.Decode(llr);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations_run, 1);
+  EXPECT_EQ(result.bits, cw);
+}
+
+TEST(BpDecoder, CorrectsErrorsAtModerateSnr) {
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  const double rate = code.Rate();
+  int frame_errors = 0;
+  const int frames = 30;
+  for (int f = 0; f < frames; ++f) {
+    const auto cw = enc.Encode(RandomInfo(code, 100 + f));
+    const auto llr = channel::TransmitBpskAwgn(cw, 5.0, rate, 200 + f);
+    // The raw channel must actually contain bit errors for the test
+    // to be meaningful.
+    BpDecoder dec(code, {.max_iterations = 50, .early_termination = true});
+    const auto result = dec.Decode(llr);
+    if (result.bits != cw) ++frame_errors;
+  }
+  // At 5 dB a rate-3/4 code of this size decodes essentially always.
+  EXPECT_LE(frame_errors, 1);
+}
+
+TEST(BpDecoder, ChannelErrorsArePresentBeforeDecoding) {
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  const auto cw = enc.Encode(RandomInfo(code, 9));
+  const auto llr = channel::TransmitBpskAwgn(cw, 5.0, code.Rate(), 31);
+  const auto hard = HardDecisions(llr);
+  std::size_t channel_errors = 0;
+  for (std::size_t i = 0; i < cw.size(); ++i) {
+    if (hard[i] != cw[i]) ++channel_errors;
+  }
+  EXPECT_GT(channel_errors, 0u);  // decoding is non-trivial
+}
+
+TEST(BpDecoder, RespectsIterationBudget) {
+  const auto& code = SmallCode();
+  // With early termination off, exactly max_iterations run whatever
+  // the input.
+  const std::vector<double> llr(code.n(), 0.25);
+  BpDecoder dec(code, {.max_iterations = 7, .early_termination = false});
+  const auto result = dec.Decode(llr);
+  EXPECT_EQ(result.iterations_run, 7);
+}
+
+TEST(BpDecoder, ZeroLlrsConvergeTriviallyToAllZero) {
+  // Zero-confidence input: every APP is 0, ties resolve to bit 0,
+  // which *is* a codeword — early termination fires after the first
+  // iteration. A regression guard on the tie-breaking convention.
+  const auto& code = SmallCode();
+  const std::vector<double> llr(code.n(), 0.0);
+  BpDecoder dec(code, {.max_iterations = 7, .early_termination = true});
+  const auto result = dec.Decode(llr);
+  EXPECT_EQ(result.iterations_run, 1);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(BpDecoder, EarlyTerminationOffRunsAllIterations) {
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  const auto cw = enc.Encode(RandomInfo(code, 5));
+  std::vector<double> llr(code.n());
+  for (std::size_t i = 0; i < llr.size(); ++i) llr[i] = cw[i] ? -8.0 : 8.0;
+  BpDecoder dec(code, {.max_iterations = 12, .early_termination = false});
+  const auto result = dec.Decode(llr);
+  EXPECT_EQ(result.iterations_run, 12);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.bits, cw);
+}
+
+TEST(BpDecoder, WrongLlrLengthThrows) {
+  BpDecoder dec(SmallCode(), {});
+  EXPECT_THROW(dec.Decode(std::vector<double>(3)), ContractViolation);
+}
+
+TEST(BpDecoder, ReportsCbMeanMagnitude) {
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  const auto cw = enc.Encode(RandomInfo(code, 8));
+  const auto llr = channel::TransmitBpskAwgn(cw, 4.0, code.Rate(), 77);
+  BpDecoder dec(code, {.max_iterations = 5, .early_termination = false});
+  dec.Decode(llr);
+  EXPECT_GT(dec.LastCbMeanMagnitude(), 0.0);
+}
+
+}  // namespace
+}  // namespace cldpc::ldpc

@@ -1,0 +1,98 @@
+#include "channel/awgn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::channel {
+namespace {
+
+TEST(SigmaForEbN0, KnownValues) {
+  // Rate 1, 0 dB: Es/N0 = 1, sigma = 1/sqrt(2).
+  EXPECT_NEAR(SigmaForEbN0(0.0, 1.0), 1.0 / std::sqrt(2.0), 1e-12);
+  // Higher Eb/N0 -> smaller sigma; lower rate -> larger sigma.
+  EXPECT_LT(SigmaForEbN0(4.0, 0.875), SigmaForEbN0(3.0, 0.875));
+  EXPECT_GT(SigmaForEbN0(4.0, 0.5), SigmaForEbN0(4.0, 0.875));
+}
+
+TEST(SigmaForEbN0, InverseRelationship) {
+  for (double ebn0 = -2.0; ebn0 < 8.0; ebn0 += 0.7) {
+    const double sigma = SigmaForEbN0(ebn0, 0.875);
+    EXPECT_NEAR(EbN0ForSigma(sigma, 0.875), ebn0, 1e-9);
+  }
+}
+
+TEST(SigmaForEbN0, RejectsBadRate) {
+  EXPECT_THROW(SigmaForEbN0(4.0, 0.0), ContractViolation);
+  EXPECT_THROW(SigmaForEbN0(4.0, 1.5), ContractViolation);
+}
+
+TEST(BpskModulate, MapsBitsToAntipodal) {
+  const auto symbols = BpskModulate(std::vector<std::uint8_t>{0, 1, 1, 0});
+  ASSERT_EQ(symbols.size(), 4u);
+  EXPECT_DOUBLE_EQ(symbols[0], 1.0);
+  EXPECT_DOUBLE_EQ(symbols[1], -1.0);
+  EXPECT_DOUBLE_EQ(symbols[2], -1.0);
+  EXPECT_DOUBLE_EQ(symbols[3], 1.0);
+}
+
+TEST(AwgnChannel, NoiseStatistics) {
+  AwgnChannel ch(0.5, 123);
+  const std::vector<double> symbols(50000, 1.0);
+  const auto received = ch.Transmit(symbols);
+  double sum = 0, sum2 = 0;
+  for (const auto y : received) {
+    sum += y - 1.0;
+    sum2 += (y - 1.0) * (y - 1.0);
+  }
+  const double n = static_cast<double>(received.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 0.25, 0.01);
+}
+
+TEST(AwgnChannel, DeterministicPerSeed) {
+  AwgnChannel a(0.7, 42), b(0.7, 42);
+  const std::vector<double> symbols(100, -1.0);
+  EXPECT_EQ(a.Transmit(symbols), b.Transmit(symbols));
+}
+
+TEST(AwgnChannel, LlrSignMatchesSymbolAtHighSnr) {
+  // Near-noiseless: LLR sign must recover the transmitted bits.
+  const std::vector<std::uint8_t> bits = {0, 1, 0, 0, 1, 1, 0, 1};
+  const auto llr = TransmitBpskAwgn(bits, 15.0, 1.0, 7);
+  ASSERT_EQ(llr.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(llr[i] < 0.0, bits[i] == 1) << i;
+  }
+}
+
+TEST(AwgnChannel, LlrScalingIsTwoOverSigmaSquared) {
+  AwgnChannel ch(0.5, 1);
+  const std::vector<double> received = {0.3, -1.2};
+  const auto llr = ch.Llrs(received);
+  EXPECT_NEAR(llr[0], 2.0 * 0.3 / 0.25, 1e-12);
+  EXPECT_NEAR(llr[1], 2.0 * -1.2 / 0.25, 1e-12);
+}
+
+TEST(AwgnChannel, UncodedBerMatchesTheory) {
+  // Uncoded BPSK at Eb/N0 = 4 dB: BER = Q(sqrt(2 Eb/N0)) ~ 1.25e-2.
+  const std::size_t n = 200000;
+  std::vector<std::uint8_t> bits(n, 0);
+  const auto llr = TransmitBpskAwgn(bits, 4.0, 1.0, 99);
+  std::size_t errors = 0;
+  for (const auto l : llr) {
+    if (l < 0.0) ++errors;
+  }
+  const double ber = static_cast<double>(errors) / static_cast<double>(n);
+  EXPECT_NEAR(ber, 1.25e-2, 2.5e-3);
+}
+
+TEST(AwgnChannel, RejectsNonPositiveSigma) {
+  EXPECT_THROW(AwgnChannel(0.0, 1), ContractViolation);
+  EXPECT_THROW(AwgnChannel(-1.0, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cldpc::channel

@@ -1,0 +1,97 @@
+// The analog front-end path: channel LLRs through the quantizer into
+// the fixed datapath — statistical properties that size the channel
+// word and its scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.hpp"
+#include "util/fixed_point.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::channel {
+namespace {
+
+std::vector<double> ZeroFrameLlrs(double ebn0_db, double rate, std::size_t n,
+                                  std::uint64_t seed) {
+  const std::vector<std::uint8_t> bits(n, 0);
+  return TransmitBpskAwgn(bits, ebn0_db, rate, seed);
+}
+
+TEST(ChannelFrontend, QuantizedSignsMostlyAgreeWithLlrs) {
+  const auto llr = ZeroFrameLlrs(4.0, 0.875, 20000, 1);
+  const LlrQuantizer q(6, 2.0);
+  std::size_t sign_mismatch = 0;
+  for (const auto l : llr) {
+    const Fixed v = q.Quantize(l);
+    // A mismatch can only happen by rounding |llr| < 0.25 to zero.
+    if ((l < 0) != (v < 0) && v != 0) ++sign_mismatch;
+  }
+  EXPECT_EQ(sign_mismatch, 0u);
+}
+
+TEST(ChannelFrontend, SaturationFractionGrowsWithScale) {
+  const auto llr = ZeroFrameLlrs(4.0, 0.875, 50000, 2);
+  double prev_fraction = -1.0;
+  for (const double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const LlrQuantizer q(6, scale);
+    Histogram h;
+    for (const auto l : llr) h.Add(q.Quantize(l));
+    const double saturated = h.TailFraction(q.max_value());
+    EXPECT_GE(saturated, prev_fraction);
+    prev_fraction = saturated;
+  }
+}
+
+TEST(ChannelFrontend, DefaultScaleSaturatesOnlyTail) {
+  // The shipped front-end (6 bits, scale 2) must clip only a small
+  // fraction at the waterfall operating point.
+  const auto llr = ZeroFrameLlrs(3.8, 0.875, 50000, 3);
+  const LlrQuantizer q(6, 2.0);
+  Histogram h;
+  for (const auto l : llr) h.Add(q.Quantize(l));
+  const double saturated = h.TailFraction(q.max_value());
+  EXPECT_LT(saturated, 0.10);
+  EXPECT_GT(saturated, 0.0005);  // but the range is actually used
+}
+
+TEST(ChannelFrontend, QuantizedMeanTracksChannelMean) {
+  // E[LLR] = 2/sigma^2 for the all-zero frame; after scaling by s and
+  // rounding, the histogram mean must sit near s * 2/sigma^2 (up to
+  // saturation losses).
+  const double ebn0 = 4.0, rate = 0.875, scale = 1.0;
+  const double sigma = SigmaForEbN0(ebn0, rate);
+  const auto llr = ZeroFrameLlrs(ebn0, rate, 100000, 4);
+  const LlrQuantizer q(8, scale);  // wide word: negligible saturation
+  Histogram h;
+  for (const auto l : llr) h.Add(q.Quantize(l));
+  EXPECT_NEAR(h.Mean(), scale * 2.0 / (sigma * sigma), 0.1);
+}
+
+TEST(ChannelFrontend, ErasureChannelProducesZeros) {
+  // Zero LLR (erasure) quantizes to zero at any scale — needed by
+  // the puncturing path.
+  for (const double scale : {0.5, 2.0, 7.0}) {
+    const LlrQuantizer q(6, scale);
+    EXPECT_EQ(q.Quantize(0.0), 0);
+  }
+}
+
+TEST(ChannelFrontend, HardDecisionAgreementImprovesWithSnr) {
+  const LlrQuantizer q(6, 2.0);
+  double prev_error = 1.0;
+  for (const double snr : {0.0, 2.0, 4.0, 6.0}) {
+    const auto llr = ZeroFrameLlrs(snr, 0.875, 50000, 5);
+    std::size_t wrong = 0;
+    for (const auto l : llr) {
+      if (q.Quantize(l) < 0) ++wrong;
+    }
+    const double error = static_cast<double>(wrong) / 50000.0;
+    EXPECT_LT(error, prev_error);
+    prev_error = error;
+  }
+}
+
+}  // namespace
+}  // namespace cldpc::channel

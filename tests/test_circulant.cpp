@@ -1,0 +1,95 @@
+#include "gf2/circulant.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cldpc::gf2 {
+namespace {
+
+TEST(Circulant, DenseExpansionMatchesDefinition) {
+  const Circulant c(5, {0, 2});
+  const BitMat m = c.ToDense();
+  // Row r has ones at (0 + r) % 5 and (2 + r) % 5.
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t col = 0; col < 5; ++col) {
+      const bool expected = (col == r % 5) || (col == (r + 2) % 5);
+      EXPECT_EQ(m.Get(r, col), expected) << "r=" << r << " c=" << col;
+    }
+  }
+}
+
+TEST(Circulant, RowColInverses) {
+  const Circulant c(511, {37, 402});
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t r = 0; r < 511; r += 13) {
+      const std::size_t col = c.ColOfRow(r, k);
+      EXPECT_EQ(c.RowOfCol(col, k), r);
+    }
+  }
+}
+
+TEST(Circulant, EveryRowAndColumnHasWeight) {
+  const Circulant c(7, {1, 3, 4});
+  const BitMat m = c.ToDense();
+  for (std::size_t r = 0; r < 7; ++r) {
+    std::size_t rw = 0, cw = 0;
+    for (std::size_t i = 0; i < 7; ++i) {
+      rw += m.Get(r, i) ? 1 : 0;
+      cw += m.Get(i, r) ? 1 : 0;
+    }
+    EXPECT_EQ(rw, 3u);
+    EXPECT_EQ(cw, 3u);
+  }
+}
+
+TEST(Circulant, AdditionIsSymmetricDifference) {
+  const Circulant a(9, {1, 4});
+  const Circulant b(9, {4, 7});
+  const Circulant sum = a + b;
+  EXPECT_EQ(sum.offsets(), (std::vector<std::size_t>{1, 7}));
+  // Matches dense XOR.
+  BitMat dense = a.ToDense();
+  for (std::size_t r = 0; r < 9; ++r) dense.Row(r) ^= b.ToDense().Row(r);
+  EXPECT_EQ(sum.ToDense(), dense);
+}
+
+TEST(Circulant, MultiplicationMatchesDense) {
+  const Circulant a(11, {2, 5});
+  const Circulant b(11, {1, 8, 9});
+  const Circulant prod = a * b;
+  EXPECT_EQ(prod.ToDense(), a.ToDense().Mul(b.ToDense()));
+}
+
+TEST(Circulant, MultiplicationCommutes) {
+  const Circulant a(13, {0, 3, 7});
+  const Circulant b(13, {2, 11});
+  EXPECT_EQ(a * b, b * a);
+}
+
+TEST(Circulant, IdentityElement) {
+  const Circulant id(17, {0});
+  const Circulant a(17, {4, 9, 12});
+  EXPECT_EQ(a * id, a);
+}
+
+TEST(Circulant, CancellationInProduct) {
+  // (1 + x) * (1 + x) = 1 + x^2 over GF(2).
+  const Circulant a(8, {0, 1});
+  const Circulant sq = a * a;
+  EXPECT_EQ(sq.offsets(), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Circulant, RejectsBadOffsets) {
+  EXPECT_THROW(Circulant(5, {5}), ContractViolation);
+  EXPECT_THROW(Circulant(5, {1, 1}), ContractViolation);
+  EXPECT_THROW(Circulant(0, {}), ContractViolation);
+}
+
+TEST(Circulant, SizeMismatchThrows) {
+  const Circulant a(5, {0});
+  const Circulant b(6, {0});
+  EXPECT_THROW(a + b, ContractViolation);
+  EXPECT_THROW(a * b, ContractViolation);
+}
+
+}  // namespace
+}  // namespace cldpc::gf2

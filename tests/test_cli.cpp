@@ -1,0 +1,75 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cldpc {
+namespace {
+
+ArgParser Parse(std::vector<const char*> argv) {
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, EqualsForm) {
+  const auto args = Parse({"prog", "--iters=18", "--snr=4.0"});
+  EXPECT_EQ(args.GetInt("iters", 0), 18);
+  EXPECT_DOUBLE_EQ(args.GetDouble("snr", 0.0), 4.0);
+}
+
+TEST(ArgParser, SpaceForm) {
+  const auto args = Parse({"prog", "--iters", "50"});
+  EXPECT_EQ(args.GetInt("iters", 0), 50);
+}
+
+TEST(ArgParser, BareBooleanFlag) {
+  const auto args = Parse({"prog", "--verbose"});
+  EXPECT_TRUE(args.GetBool("verbose"));
+  EXPECT_FALSE(args.GetBool("quiet"));
+}
+
+TEST(ArgParser, BooleanSpellings) {
+  const auto args =
+      Parse({"prog", "--a=true", "--b=1", "--c=yes", "--d=on", "--e=false"});
+  EXPECT_TRUE(args.GetBool("a"));
+  EXPECT_TRUE(args.GetBool("b"));
+  EXPECT_TRUE(args.GetBool("c"));
+  EXPECT_TRUE(args.GetBool("d"));
+  EXPECT_FALSE(args.GetBool("e", true));
+}
+
+TEST(ArgParser, Defaults) {
+  const auto args = Parse({"prog"});
+  EXPECT_EQ(args.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(args.GetString("missing", "x"), "x");
+}
+
+TEST(ArgParser, DoubleList) {
+  const auto args = Parse({"prog", "--snrs=3.2,3.6,4.0"});
+  const auto list = args.GetDoubleList("snrs", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[0], 3.2);
+  EXPECT_DOUBLE_EQ(list[2], 4.0);
+}
+
+TEST(ArgParser, DoubleListFallback) {
+  const auto args = Parse({"prog"});
+  const auto list = args.GetDoubleList("snrs", {1.0, 2.0});
+  ASSERT_EQ(list.size(), 2u);
+}
+
+TEST(ArgParser, Positional) {
+  const auto args = Parse({"prog", "input.bin", "--flag", "output.bin"});
+  // "--flag output.bin" consumes output.bin as the flag value.
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.bin");
+  EXPECT_EQ(args.GetString("flag", ""), "output.bin");
+}
+
+TEST(ArgParser, HasDetectsPresence) {
+  const auto args = Parse({"prog", "--x=1"});
+  EXPECT_TRUE(args.Has("x"));
+  EXPECT_FALSE(args.Has("y"));
+}
+
+}  // namespace
+}  // namespace cldpc

@@ -1,0 +1,143 @@
+#include "ldpc/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ldpc/c2_system.hpp"
+#include "qc/small_codes.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::ldpc {
+namespace {
+
+std::vector<std::uint8_t> RandomBits(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.NextBit() ? 1 : 0;
+  return bits;
+}
+
+TEST(LdpcCode, HammingDimensions) {
+  const LdpcCode code(qc::MakeHammingH());
+  EXPECT_EQ(code.n(), 7u);
+  EXPECT_EQ(code.num_checks(), 3u);
+  EXPECT_EQ(code.Rank(), 3u);
+  EXPECT_EQ(code.k(), 4u);
+}
+
+TEST(LdpcCode, SyndromeOfZeroWordIsZero) {
+  const LdpcCode code(qc::MakeSmallQcCode().Expand());
+  const std::vector<std::uint8_t> zero(code.n(), 0);
+  EXPECT_TRUE(code.IsCodeword(zero));
+}
+
+TEST(LdpcCode, InfoAndPivotColsPartitionColumns) {
+  const LdpcCode code(qc::MakeSmallQcCode().Expand());
+  std::vector<bool> seen(code.n(), false);
+  for (const auto c : code.InfoCols()) {
+    EXPECT_FALSE(seen[c]);
+    seen[c] = true;
+  }
+  for (const auto c : code.PivotCols()) {
+    EXPECT_FALSE(seen[c]);
+    seen[c] = true;
+  }
+  for (const auto s : seen) EXPECT_TRUE(s);
+  EXPECT_EQ(code.InfoCols().size(), code.k());
+  EXPECT_EQ(code.PivotCols().size(), code.Rank());
+}
+
+TEST(Encoder, HammingEnumeratesExactlyTheNullspace) {
+  // The 16 encoder outputs must be 16 *distinct* codewords — i.e.
+  // exactly the null space of H (which has 2^4 elements).
+  const LdpcCode code(qc::MakeHammingH());
+  const Encoder enc(code);
+  std::set<std::vector<std::uint8_t>> encoded;
+  for (unsigned w = 0; w < 16; ++w) {
+    std::vector<std::uint8_t> info(4);
+    for (unsigned b = 0; b < 4; ++b) info[b] = (w >> b) & 1u;
+    const auto cw = enc.Encode(info);
+    EXPECT_TRUE(code.IsCodeword(cw));
+    encoded.insert(cw);
+  }
+  EXPECT_EQ(encoded.size(), 16u);
+  // Brute-force the null space and compare.
+  std::size_t nullspace = 0;
+  for (unsigned w = 0; w < 128; ++w) {
+    std::vector<std::uint8_t> x(7);
+    for (unsigned b = 0; b < 7; ++b) x[b] = (w >> b) & 1u;
+    if (code.IsCodeword(x)) {
+      ++nullspace;
+      EXPECT_TRUE(encoded.count(x)) << w;
+    }
+  }
+  EXPECT_EQ(nullspace, 16u);
+}
+
+TEST(Encoder, AllCodewordsSatisfyH) {
+  const LdpcCode code(qc::MakeHammingH());
+  const Encoder enc(code);
+  for (unsigned w = 0; w < 16; ++w) {
+    std::vector<std::uint8_t> info(4);
+    for (unsigned b = 0; b < 4; ++b) info[b] = (w >> b) & 1u;
+    EXPECT_TRUE(code.IsCodeword(enc.Encode(info)));
+  }
+}
+
+TEST(Encoder, LinearityProperty) {
+  const LdpcCode code(qc::MakeSmallQcCode().Expand());
+  const Encoder enc(code);
+  const auto a = RandomBits(code.k(), 1);
+  const auto b = RandomBits(code.k(), 2);
+  std::vector<std::uint8_t> sum(code.k());
+  for (std::size_t i = 0; i < sum.size(); ++i) sum[i] = a[i] ^ b[i];
+  const auto ca = enc.Encode(a);
+  const auto cb = enc.Encode(b);
+  const auto csum = enc.Encode(sum);
+  for (std::size_t i = 0; i < csum.size(); ++i) {
+    EXPECT_EQ(csum[i], ca[i] ^ cb[i]);
+  }
+}
+
+TEST(Encoder, SystematicRoundTrip) {
+  const LdpcCode code(qc::MakeSmallQcCode().Expand());
+  const Encoder enc(code);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto info = RandomBits(code.k(), seed);
+    const auto cw = enc.Encode(info);
+    EXPECT_TRUE(code.IsCodeword(cw));
+    EXPECT_EQ(enc.ExtractInfo(cw), info);
+  }
+}
+
+TEST(Encoder, WrongInfoLengthThrows) {
+  const LdpcCode code(qc::MakeHammingH());
+  const Encoder enc(code);
+  EXPECT_THROW(enc.Encode(std::vector<std::uint8_t>(3)), ContractViolation);
+  EXPECT_THROW(enc.ExtractInfo(std::vector<std::uint8_t>(6)),
+               ContractViolation);
+}
+
+TEST(Encoder, C2FullFrameRoundTrip) {
+  const auto system = MakeC2System();
+  const auto info = RandomBits(system.code->k(), 42);
+  const auto cw = system.encoder->Encode(info);
+  EXPECT_EQ(cw.size(), 8176u);
+  EXPECT_TRUE(system.code->IsCodeword(cw));
+  EXPECT_EQ(system.encoder->ExtractInfo(cw), info);
+}
+
+TEST(Encoder, C2WeightOneInfoWords) {
+  // Single-bit info words exercise each contribution vector alone.
+  const auto system = MakeC2System();
+  Xoshiro256pp rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint8_t> info(system.code->k(), 0);
+    info[rng.NextBounded(info.size())] = 1;
+    EXPECT_TRUE(system.code->IsCodeword(system.encoder->Encode(info)));
+  }
+}
+
+}  // namespace
+}  // namespace cldpc::ldpc

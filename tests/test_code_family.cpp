@@ -1,0 +1,99 @@
+#include "qc/code_family.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldpc/code.hpp"
+#include "qc/girth.hpp"
+#include "tanner/graph.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::qc {
+namespace {
+
+TEST(CodeFamily, NamesAndNominalRates) {
+  EXPECT_EQ(ToString(FamilyRate::kHalf), "1/2");
+  EXPECT_EQ(ToString(FamilyRate::kSevenEighths), "7/8");
+  EXPECT_DOUBLE_EQ(NominalRate(FamilyRate::kHalf), 0.5);
+  EXPECT_DOUBLE_EQ(NominalRate(FamilyRate::kFourFifths), 0.8);
+}
+
+TEST(CodeFamily, GeometriesKeepBitDegreeFour) {
+  // The whole family shares the C2 decoder's BN datapath.
+  for (const auto rate : AllFamilyRates()) {
+    EXPECT_EQ(GeometryFor(rate).bit_degree(), 4u) << ToString(rate);
+  }
+}
+
+TEST(CodeFamily, SevenEighthsIsTheC2Geometry) {
+  const auto g = GeometryFor(FamilyRate::kSevenEighths);
+  EXPECT_EQ(g.block_rows, 2u);
+  EXPECT_EQ(g.block_cols, 16u);
+  EXPECT_EQ(g.circulant_weight, 2u);
+  EXPECT_EQ(g.check_degree(), 32u);
+}
+
+class FamilySweep : public ::testing::TestWithParam<FamilyRate> {};
+
+TEST_P(FamilySweep, StructureGirthAndRate) {
+  const auto rate = GetParam();
+  const std::size_t q = 127;
+  const auto qc_matrix = BuildFamilyCode(rate, q);
+  const auto h = qc_matrix.Expand();
+  const auto geometry = GeometryFor(rate);
+
+  // Regular with the declared degrees.
+  const tanner::Graph graph(h);
+  EXPECT_TRUE(graph.IsRegular());
+  EXPECT_EQ(graph.MaxBitDegree(), 4u);
+  EXPECT_EQ(graph.MaxCheckDegree(), geometry.check_degree());
+
+  // Girth >= 6.
+  EXPECT_FALSE(HasFourCycle(h));
+
+  // Code rate lands at (or slightly above, by rank deficiency) the
+  // design rate.
+  const ldpc::LdpcCode code(h);
+  const double design_rate = 1.0 - static_cast<double>(geometry.block_rows) /
+                                       static_cast<double>(geometry.block_cols);
+  EXPECT_GE(code.Rate(), design_rate - 1e-12);
+  EXPECT_LE(code.Rate(), design_rate + 0.05);
+}
+
+TEST_P(FamilySweep, DeterministicInSeed) {
+  const auto rate = GetParam();
+  const auto a = BuildFamilyCode(rate, 127, 5).Expand();
+  const auto b = BuildFamilyCode(rate, 127, 5).Expand();
+  EXPECT_EQ(a.Coords(), b.Coords());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, FamilySweep,
+                         ::testing::ValuesIn(AllFamilyRates()),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case FamilyRate::kHalf:
+                               return std::string("Half");
+                             case FamilyRate::kTwoThirds:
+                               return std::string("TwoThirds");
+                             case FamilyRate::kFourFifths:
+                               return std::string("FourFifths");
+                             case FamilyRate::kSevenEighths:
+                               return std::string("SevenEighths");
+                           }
+                           return std::string("Unknown");
+                         });
+
+TEST(CodeFamily, TinyCirculantRejected) {
+  EXPECT_THROW(BuildFamilyCode(FamilyRate::kSevenEighths, 32),
+               ContractViolation);
+}
+
+TEST(CodeFamily, FullSizeHalfRateBuilds) {
+  // The deep-space-sized member: q = 511 rate-1/2 has n = 4088.
+  const auto qc_matrix = BuildFamilyCode(FamilyRate::kHalf, 511);
+  EXPECT_EQ(qc_matrix.cols(), 8u * 511u);
+  EXPECT_EQ(qc_matrix.rows(), 4u * 511u);
+  EXPECT_FALSE(HasFourCycle(qc_matrix.Expand()));
+}
+
+}  // namespace
+}  // namespace cldpc::qc

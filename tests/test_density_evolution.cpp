@@ -1,0 +1,124 @@
+#include "de/density_evolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::de {
+namespace {
+
+Ensemble C2Ensemble() { return Ensemble{4, 32}; }
+
+TEST(Ensemble, RateOfC2Ensemble) {
+  EXPECT_NEAR(C2Ensemble().Rate(), 0.875, 1e-12);
+}
+
+TEST(ErrorProbability, DecreasesWithSnr) {
+  DeConfig config;
+  config.ensemble = C2Ensemble();
+  config.algorithm = DeAlgorithm::kNormalizedMinSum;
+  config.iterations = 10;
+  config.population = 20000;
+  const double low = ErrorProbability(config, 3.0);
+  const double high = ErrorProbability(config, 5.0);
+  EXPECT_GT(low, high);
+  EXPECT_LT(high, 1e-3);
+}
+
+TEST(ErrorProbability, HighSnrIsClean) {
+  DeConfig config;
+  config.ensemble = C2Ensemble();
+  config.iterations = 20;
+  config.population = 20000;
+  EXPECT_EQ(ErrorProbability(config, 8.0), 0.0);
+}
+
+TEST(ErrorProbability, Deterministic) {
+  DeConfig config;
+  config.ensemble = C2Ensemble();
+  config.population = 5000;
+  config.iterations = 5;
+  EXPECT_DOUBLE_EQ(ErrorProbability(config, 4.0),
+                   ErrorProbability(config, 4.0));
+}
+
+TEST(ErrorProbability, RejectsTinyPopulations) {
+  DeConfig config;
+  config.population = 10;
+  EXPECT_THROW(ErrorProbability(config, 4.0), ContractViolation);
+}
+
+TEST(Threshold, OrderingBpBeatsPlainMinSum) {
+  // BP's threshold (minimum workable Eb/N0) must be at or below plain
+  // min-sum's; normalized min-sum sits in between (all within MC
+  // noise).
+  DeConfig bp;
+  bp.ensemble = C2Ensemble();
+  bp.algorithm = DeAlgorithm::kBp;
+  bp.iterations = 25;
+  bp.population = 8000;
+
+  DeConfig ms = bp;
+  ms.algorithm = DeAlgorithm::kMinSum;
+
+  DeConfig nms = bp;
+  nms.algorithm = DeAlgorithm::kNormalizedMinSum;
+  nms.alpha = 1.23;
+
+  const double th_bp = Threshold(bp);
+  const double th_ms = Threshold(ms);
+  const double th_nms = Threshold(nms);
+  EXPECT_LE(th_bp, th_ms + 0.05);
+  EXPECT_LE(th_nms, th_ms + 0.05);
+  EXPECT_GE(th_nms, th_bp - 0.05);
+}
+
+TEST(Threshold, WithinPlausibleRangeForC2Ensemble) {
+  // The (4,32) ensemble's BP threshold is around 3.1-3.5 dB; the
+  // finite-code waterfall of Figure 4 sits ~0.5 dB above it.
+  DeConfig bp;
+  bp.ensemble = C2Ensemble();
+  bp.algorithm = DeAlgorithm::kBp;
+  bp.iterations = 30;
+  bp.population = 10000;
+  const double th = Threshold(bp);
+  EXPECT_GT(th, 2.5);
+  EXPECT_LT(th, 4.2);
+}
+
+TEST(AlphaByMeanMatching, GreaterThanOneAndPlausible) {
+  // Min-sum overestimates magnitudes, so the matching divisor is > 1;
+  // for high-rate ensembles it stays modest (< 2).
+  const double alpha = AlphaByMeanMatching(C2Ensemble(), 4.0, 50000);
+  EXPECT_GT(alpha, 1.0);
+  EXPECT_LT(alpha, 2.0);
+}
+
+TEST(AlphaByMeanMatching, Deterministic) {
+  const double a = AlphaByMeanMatching(C2Ensemble(), 4.0, 20000);
+  const double b = AlphaByMeanMatching(C2Ensemble(), 4.0, 20000);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(AlphaByMeanMatching, GrowsWithCheckDegree) {
+  // More inputs to the min make the overestimate worse: the
+  // correction for dc = 32 exceeds the one for dc = 6.
+  const double small_dc = AlphaByMeanMatching({3, 6}, 2.0, 50000);
+  const double large_dc = AlphaByMeanMatching({4, 32}, 4.0, 50000);
+  EXPECT_GT(large_dc, small_dc);
+}
+
+TEST(OptimalAlphaByThreshold, PrefersCorrectionOverNone) {
+  // The best alpha on a coarse grid must not be 1.0 (no correction).
+  const double best = OptimalAlphaByThreshold(
+      C2Ensemble(), {1.0, 1.15, 1.3, 1.45}, /*iterations=*/15,
+      /*population=*/4000);
+  EXPECT_GT(best, 1.0);
+}
+
+TEST(OptimalAlphaByThreshold, RejectsEmptyGrid) {
+  EXPECT_THROW(OptimalAlphaByThreshold(C2Ensemble(), {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cldpc::de

@@ -1,0 +1,83 @@
+#include "arch/encoder_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qc/ccsds_c2.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::arch {
+namespace {
+
+using qc::C2Constants;
+
+EncoderModelConfig DefaultConfig() { return {}; }
+
+TEST(EncoderModel, C2FrameTiming) {
+  const auto e = EstimateEncoder(DefaultConfig(), C2Constants::kK,
+                                 C2Constants::kRank);
+  // 7156/8 + 1020/8 cycles ~ 1023 cycles: well under one decoder
+  // iteration (1098 cycles) — encoding is never the bottleneck.
+  EXPECT_LT(e.cycles_per_frame, 1100u);
+  EXPECT_GT(e.throughput_mbps, 1000.0);
+}
+
+TEST(EncoderModel, ThroughputExceedsHighSpeedDecoder) {
+  // The paper's fastest decoder outputs 1040 Mbps; a single 8-bit
+  // encoder lane keeps up.
+  const auto e = EstimateEncoder(DefaultConfig(), C2Constants::kK,
+                                 C2Constants::kRank);
+  EXPECT_GT(e.throughput_mbps, 1040.0);
+}
+
+TEST(EncoderModel, ComplexityLinearInParityBits) {
+  // The paper's claim: encoder complexity is linear in the number of
+  // parity bits.
+  const auto small = EstimateEncoder(DefaultConfig(), 7156, 510);
+  const auto large = EstimateEncoder(DefaultConfig(), 7156, 1020);
+  const double reg_ratio = static_cast<double>(large.registers - 48) /
+                           static_cast<double>(small.registers - 48);
+  EXPECT_NEAR(reg_ratio, 2.0, 0.01);
+  EXPECT_GT(large.aluts, small.aluts);
+  EXPECT_LT(static_cast<double>(large.aluts),
+            2.2 * static_cast<double>(small.aluts));
+}
+
+TEST(EncoderModel, MoreLanesAreFaster) {
+  EncoderModelConfig narrow;
+  narrow.bits_per_cycle = 1;
+  EncoderModelConfig wide;
+  wide.bits_per_cycle = 16;
+  const auto a = EstimateEncoder(narrow, 7156, 1020);
+  const auto b = EstimateEncoder(wide, 7156, 1020);
+  EXPECT_GT(b.throughput_mbps, 10.0 * a.throughput_mbps);
+  EXPECT_GT(b.aluts, a.aluts);  // parallelism costs logic
+}
+
+TEST(EncoderModel, ScalesWithClock) {
+  EncoderModelConfig slow = DefaultConfig();
+  slow.clock_mhz = 100.0;
+  const auto a = EstimateEncoder(slow, 7156, 1020);
+  const auto b = EstimateEncoder(DefaultConfig(), 7156, 1020);
+  EXPECT_NEAR(b.throughput_mbps / a.throughput_mbps, 2.0, 1e-9);
+}
+
+TEST(EncoderModel, FitsNextToLowCostDecoder) {
+  // Decoder (~7.8k ALUTs) + encoder must still fit the EP2C50.
+  const auto e = EstimateEncoder(DefaultConfig(), C2Constants::kK,
+                                 C2Constants::kRank);
+  EXPECT_LT(e.aluts, 8000u);
+  EXPECT_LT(e.registers, 3000u);
+}
+
+TEST(EncoderModel, RejectsBadConfigs) {
+  EncoderModelConfig config;
+  config.bits_per_cycle = 0;
+  EXPECT_THROW(EstimateEncoder(config, 10, 10), ContractViolation);
+  config = DefaultConfig();
+  config.clock_mhz = 0.0;
+  EXPECT_THROW(EstimateEncoder(config, 10, 10), ContractViolation);
+  EXPECT_THROW(EstimateEncoder(DefaultConfig(), 0, 10), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cldpc::arch

@@ -1,0 +1,217 @@
+#include "ldpc/fixed_minsum_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "ldpc/encoder.hpp"
+#include "ldpc/minsum_decoder.hpp"
+#include "qc/small_codes.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::ldpc {
+namespace {
+
+const LdpcCode& SmallCode() {
+  static const LdpcCode code(qc::MakeSmallQcCode().Expand());
+  return code;
+}
+
+std::vector<std::uint8_t> RandomInfo(const LdpcCode& code, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> info(code.k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  return info;
+}
+
+TEST(CnSummary, TwoMinTracking) {
+  const std::vector<Fixed> in = {5, -2, 7, 3};
+  const auto s = ComputeCnSummary(in);
+  EXPECT_EQ(s.min1, 2);
+  EXPECT_EQ(s.min2, 3);
+  EXPECT_EQ(s.argmin_pos, 1u);
+  EXPECT_TRUE(s.sign_product_negative);  // one negative input
+  EXPECT_EQ(s.sign_mask, 0b0010ull);
+  EXPECT_EQ(s.degree, 4u);
+}
+
+TEST(CnSummary, TiedMinimaKeepFirstArgmin) {
+  const std::vector<Fixed> in = {4, 4, 9};
+  const auto s = ComputeCnSummary(in);
+  EXPECT_EQ(s.min1, 4);
+  EXPECT_EQ(s.min2, 4);
+  EXPECT_EQ(s.argmin_pos, 0u);
+}
+
+TEST(CnSummary, EvenNegativesGivePositiveProduct) {
+  const std::vector<Fixed> in = {-1, -2, 3, 4};
+  EXPECT_FALSE(ComputeCnSummary(in).sign_product_negative);
+}
+
+TEST(CnSummary, DegreeOutOfRangeThrows) {
+  EXPECT_THROW(ComputeCnSummary(std::vector<Fixed>{1}), ContractViolation);
+  EXPECT_THROW(ComputeCnSummary(std::vector<Fixed>(65, 1)),
+               ContractViolation);
+}
+
+TEST(CnOutput, ExclusiveMinAndSign) {
+  const std::vector<Fixed> in = {5, -2, 7, 3};
+  const auto s = ComputeCnSummary(in);
+  const DyadicFraction unity{1, 0};
+  // Position 1 holds the minimum: its output uses min2 = 3; the
+  // exclusive sign product is positive (only itself was negative).
+  EXPECT_EQ(CnOutput(s, 1, unity), 3);
+  // Position 0: min1 = 2; exclusive product is negative.
+  EXPECT_EQ(CnOutput(s, 0, unity), -2);
+  EXPECT_EQ(CnOutput(s, 2, unity), -2);
+}
+
+TEST(CnOutput, NormalizationApplied) {
+  const std::vector<Fixed> in = {16, -16, 20};
+  const auto s = ComputeCnSummary(in);
+  const DyadicFraction n{13, 4};  // * 0.8125
+  EXPECT_EQ(CnOutput(s, 2, n), -13);  // 16 * 13/16 with negative sign
+}
+
+TEST(BnPrimitives, AppAndOutput) {
+  const std::vector<Fixed> cbs = {3, -1, 4, 2};
+  EXPECT_EQ(BnApp(5, cbs, 9), 13);
+  EXPECT_EQ(BnOutput(13, 4, 6), 9);
+  // Saturation at message width.
+  EXPECT_EQ(BnOutput(100, 1, 6), 31);
+  EXPECT_EQ(BnOutput(-100, 1, 6), -31);
+}
+
+TEST(BnPrimitives, AppSaturates) {
+  const std::vector<Fixed> cbs = {127, 127, 127, 127};
+  EXPECT_EQ(BnApp(127, cbs, 9), 255);
+  EXPECT_EQ(BnApp(-127, {cbs.data(), 2}, 8), 127);
+}
+
+TEST(AppHardDecisionTest, TieGoesToZero) {
+  EXPECT_EQ(AppHardDecision(0), 0);
+  EXPECT_EQ(AppHardDecision(1), 0);
+  EXPECT_EQ(AppHardDecision(-1), 1);
+}
+
+TEST(FixedMinSumDecoder, NoiselessFrameDecodes) {
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  const auto cw = enc.Encode(RandomInfo(code, 2));
+  std::vector<double> llr(code.n());
+  for (std::size_t i = 0; i < llr.size(); ++i) llr[i] = cw[i] ? -9.0 : 9.0;
+  FixedMinSumOptions opts;
+  opts.iter.early_termination = true;
+  FixedMinSumDecoder dec(code, opts);
+  const auto result = dec.Decode(llr);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.bits, cw);
+}
+
+TEST(FixedMinSumDecoder, CorrectsErrorsAtModerateSnr) {
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  int fails = 0;
+  for (int f = 0; f < 30; ++f) {
+    const auto cw = enc.Encode(RandomInfo(code, 500 + f));
+    const auto llr = channel::TransmitBpskAwgn(cw, 5.5, code.Rate(), 600 + f);
+    FixedMinSumOptions opts;
+    opts.iter.max_iterations = 30;
+    opts.iter.early_termination = true;
+    FixedMinSumDecoder dec(code, opts);
+    if (dec.Decode(llr).bits != cw) ++fails;
+  }
+  EXPECT_LE(fails, 1);
+}
+
+TEST(FixedMinSumDecoder, MatchesFloatWithWideWords) {
+  // With very wide words and fine channel quantization the fixed
+  // decoder must agree with the float min-sum on hard decisions.
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  for (int f = 0; f < 10; ++f) {
+    const auto cw = enc.Encode(RandomInfo(code, 700 + f));
+    const auto llr = channel::TransmitBpskAwgn(cw, 4.0, code.Rate(), 710 + f);
+
+    FixedMinSumOptions fo;
+    fo.datapath.channel_bits = 14;
+    fo.datapath.channel_scale = 64.0;
+    fo.datapath.message_bits = 14;
+    fo.datapath.app_bits = 16;
+    fo.iter.max_iterations = 10;
+    fo.iter.early_termination = false;
+    FixedMinSumDecoder fixed(code, fo);
+
+    MinSumOptions mo;
+    mo.variant = MinSumVariant::kNormalized;
+    mo.alpha = 1.23;
+    mo.dyadic_alpha = true;  // same dyadic factor as the fixed path
+    mo.iter.max_iterations = 10;
+    mo.iter.early_termination = false;
+    MinSumDecoder floaty(code, mo);
+
+    EXPECT_EQ(fixed.Decode(llr).bits, floaty.Decode(llr).bits) << f;
+  }
+}
+
+TEST(FixedMinSumDecoder, QuantizeChannelMatchesQuantizer) {
+  const auto& code = SmallCode();
+  FixedMinSumDecoder dec(code, {});
+  const LlrQuantizer q(6, 2.0);  // the default datapath front-end
+  std::vector<double> llr(code.n());
+  for (std::size_t i = 0; i < llr.size(); ++i)
+    llr[i] = -20.0 + 0.17 * static_cast<double>(i % 240);
+  const auto quantized = dec.QuantizeChannel(llr);
+  for (std::size_t i = 0; i < llr.size(); ++i)
+    EXPECT_EQ(quantized[i], q.Quantize(llr[i]));
+}
+
+TEST(FixedMinSumDecoder, FixedIterationCountWhenNoEarlyTerm) {
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  const auto cw = enc.Encode(RandomInfo(code, 8));
+  const auto llr = channel::TransmitBpskAwgn(cw, 6.0, code.Rate(), 9);
+  FixedMinSumOptions opts;
+  opts.iter.max_iterations = 18;
+  opts.iter.early_termination = false;
+  FixedMinSumDecoder dec(code, opts);
+  const auto result = dec.Decode(llr);
+  EXPECT_EQ(result.iterations_run, 18);  // the paper's fixed-latency mode
+}
+
+TEST(FixedMinSumDecoder, RejectsBadWidths) {
+  FixedMinSumOptions opts;
+  opts.datapath.app_bits = 4;
+  opts.datapath.message_bits = 6;
+  EXPECT_THROW(FixedMinSumDecoder(SmallCode(), opts), ContractViolation);
+}
+
+// Property sweep over message widths: narrower words may lose
+// performance but must never crash nor violate saturation bounds.
+class MessageWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(MessageWidths, MessagesStayInRange) {
+  const int width = GetParam();
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  const auto cw = enc.Encode(RandomInfo(code, 40));
+  const auto llr = channel::TransmitBpskAwgn(cw, 4.0, code.Rate(), 41);
+  FixedMinSumOptions opts;
+  opts.datapath.message_bits = width;
+  opts.datapath.channel_bits = width;
+  opts.datapath.app_bits = width + 3;
+  opts.iter.max_iterations = 8;
+  opts.iter.early_termination = false;
+  FixedMinSumDecoder dec(code, opts);
+  dec.Decode(llr);
+  const Fixed limit = SymmetricMax(width);
+  for (const auto v : dec.LastCheckToBit()) {
+    EXPECT_LE(v, limit);
+    EXPECT_GE(v, -limit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MessageWidths,
+                         ::testing::Values(4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cldpc::ldpc

@@ -1,0 +1,97 @@
+#include "framing/sync_randomizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cldpc::framing {
+namespace {
+
+TEST(SyncMarker, KnownPattern) {
+  const auto bits = SyncMarkerBits();
+  ASSERT_EQ(bits.size(), 32u);
+  // 0x1ACFFC1D = 0001 1010 1100 1111 1111 1100 0001 1101.
+  const std::vector<std::uint8_t> expected = {
+      0, 0, 0, 1, 1, 0, 1, 0, 1, 1, 0, 0, 1, 1, 1, 1,
+      1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 1, 1, 0, 1};
+  EXPECT_EQ(bits, expected);
+}
+
+TEST(PseudoRandomizerTest, ApplyIsInvolution) {
+  Xoshiro256pp rng(5);
+  std::vector<std::uint8_t> frame(8160);
+  for (auto& b : frame) b = rng.NextBit() ? 1 : 0;
+  const auto original = frame;
+  PseudoRandomizer::Apply(frame);
+  EXPECT_NE(frame, original);  // it actually scrambles
+  PseudoRandomizer::Apply(frame);
+  EXPECT_EQ(frame, original);  // and unscrambles
+}
+
+TEST(PseudoRandomizerTest, SequenceIsDeterministicAndBalanced) {
+  const auto a = PseudoRandomizer::Sequence(10000);
+  const auto b = PseudoRandomizer::Sequence(10000);
+  EXPECT_EQ(a, b);
+  std::size_t ones = 0;
+  for (const auto bit : a) ones += bit;
+  // An m-sequence-driven randomizer is nearly balanced.
+  EXPECT_NEAR(static_cast<double>(ones) / 10000.0, 0.5, 0.03);
+}
+
+TEST(PseudoRandomizerTest, SequencePeriodIs255) {
+  // 8-bit maximal LFSR: period 255.
+  const auto seq = PseudoRandomizer::Sequence(510);
+  for (std::size_t i = 0; i < 255; ++i) {
+    EXPECT_EQ(seq[i], seq[i + 255]) << i;
+  }
+  // Not shorter than 255: first 255 bits contain both values and are
+  // not periodic with period 85 or 51 (divisors of 255).
+  bool differs85 = false, differs51 = false;
+  for (std::size_t i = 0; i + 85 < 255; ++i)
+    differs85 |= seq[i] != seq[i + 85];
+  for (std::size_t i = 0; i + 51 < 255; ++i)
+    differs51 |= seq[i] != seq[i + 51];
+  EXPECT_TRUE(differs85);
+  EXPECT_TRUE(differs51);
+}
+
+TEST(AttachSync, PrependsMarker) {
+  const std::vector<std::uint8_t> frame = {1, 0, 1};
+  const auto stream = AttachSyncMarker(frame);
+  ASSERT_EQ(stream.size(), 35u);
+  EXPECT_EQ(std::vector<std::uint8_t>(stream.begin(), stream.begin() + 32),
+            SyncMarkerBits());
+  EXPECT_EQ(stream[32], 1);
+  EXPECT_EQ(stream[34], 1);
+}
+
+TEST(FindSync, LocatesMarkerMidStream) {
+  std::vector<std::uint8_t> stream(17, 0);
+  const auto marker = SyncMarkerBits();
+  stream.insert(stream.end(), marker.begin(), marker.end());
+  stream.insert(stream.end(), {1, 1, 0});
+  const auto pos = FindSyncMarker(stream);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(*pos, 17u + 32u);
+}
+
+TEST(FindSync, ReturnsNulloptWhenAbsent) {
+  const std::vector<std::uint8_t> stream(100, 0);
+  EXPECT_FALSE(FindSyncMarker(stream).has_value());
+}
+
+TEST(FindSync, ToleratesBitErrorsWhenAsked) {
+  auto stream = AttachSyncMarker(std::vector<std::uint8_t>{1, 0});
+  stream[3] ^= 1;  // corrupt one marker bit
+  EXPECT_FALSE(FindSyncMarker(stream, 0).has_value());
+  const auto pos = FindSyncMarker(stream, 1);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(*pos, 32u);
+}
+
+TEST(FindSync, ShortStreamIsSafe) {
+  EXPECT_FALSE(FindSyncMarker(std::vector<std::uint8_t>(10, 1)).has_value());
+}
+
+}  // namespace
+}  // namespace cldpc::framing

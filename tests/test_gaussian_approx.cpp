@@ -1,0 +1,95 @@
+#include "de/gaussian_approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::de {
+namespace {
+
+TEST(Phi, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(Phi(0.0), 1.0);
+  EXPECT_LT(Phi(100.0), 1e-9);
+}
+
+TEST(Phi, StrictlyDecreasing) {
+  double prev = Phi(0.0);
+  for (double x = 0.05; x < 40.0; x += 0.05) {
+    const double cur = Phi(x);
+    EXPECT_LT(cur, prev) << x;
+    prev = cur;
+  }
+}
+
+TEST(Phi, ContinuousAcrossPiecewiseBoundary) {
+  // The fit switches branch at x = 10; the jump must be small.
+  EXPECT_NEAR(Phi(14.394), Phi(14.395), 1e-4);
+}
+
+TEST(Phi, RejectsNegative) { EXPECT_THROW(Phi(-1.0), ContractViolation); }
+
+TEST(PhiInverse, RoundTrips) {
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 9.0, 15.0, 30.0}) {
+    EXPECT_NEAR(PhiInverse(Phi(x)), x, 1e-6 + 0.01 * x) << x;
+  }
+}
+
+TEST(PhiInverse, Boundaries) {
+  EXPECT_DOUBLE_EQ(PhiInverse(1.0), 0.0);
+  EXPECT_THROW(PhiInverse(0.0), ContractViolation);
+  EXPECT_THROW(PhiInverse(1.5), ContractViolation);
+}
+
+TEST(GaMessageMean, GrowsWithSnrAndIterations) {
+  const Ensemble e{4, 32};
+  EXPECT_LT(GaMessageMean(e, 2.0, 10), GaMessageMean(e, 5.0, 10));
+  EXPECT_LE(GaMessageMean(e, 3.6, 5), GaMessageMean(e, 3.6, 50));
+}
+
+TEST(GaErrorProbability, VanishesAboveThreshold) {
+  const Ensemble e{4, 32};
+  EXPECT_LT(GaErrorProbability(e, 5.0, 200), 1e-9);
+  EXPECT_GT(GaErrorProbability(e, 1.0, 200), 1e-3);
+}
+
+TEST(GaThreshold, KnownHalfRateEnsemble) {
+  // The (3,6) ensemble's GA threshold is a textbook number:
+  // sigma* ~ 0.88 -> Eb/N0 ~ 1.1 dB.
+  const double th = GaThreshold({3, 6});
+  EXPECT_GT(th, 0.8);
+  EXPECT_LT(th, 1.5);
+}
+
+TEST(GaThreshold, C2EnsembleInPlausibleRange) {
+  // Rate 7/8: Shannon limit for BPSK is ~2.8 dB; the regular (4,32)
+  // BP threshold sits a few tenths above it, and the finite-length
+  // waterfall of Figure 4 a further ~0.5 dB up.
+  const double th = GaThreshold({4, 32});
+  EXPECT_GT(th, 2.6);
+  EXPECT_LT(th, 3.8);
+}
+
+TEST(GaThreshold, AgreesWithSampledDeWithinTolerance) {
+  const Ensemble e{4, 32};
+  DeConfig mc;
+  mc.ensemble = e;
+  mc.algorithm = DeAlgorithm::kBp;
+  mc.iterations = 30;
+  mc.population = 8000;
+  const double sampled = Threshold(mc);
+  const double ga = GaThreshold(e, 30);
+  EXPECT_NEAR(ga, sampled, 0.4);  // finite iterations + GA bias
+}
+
+TEST(GaThreshold, LowerRateNeedsLessSnr) {
+  EXPECT_LT(GaThreshold({3, 6}), GaThreshold({4, 32}));
+}
+
+TEST(GaThreshold, MonotoneInIterationBudget) {
+  // More iterations can only lower (or keep) the threshold.
+  const Ensemble e{4, 32};
+  EXPECT_GE(GaThreshold(e, 20) + 1e-9, GaThreshold(e, 200));
+}
+
+}  // namespace
+}  // namespace cldpc::de

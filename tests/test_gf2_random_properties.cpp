@@ -1,0 +1,147 @@
+// Larger randomized property sweeps over the GF(2) substrate —
+// algebraic identities that must hold at every size and density.
+#include <gtest/gtest.h>
+
+#include "gf2/bitmat.hpp"
+#include "gf2/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::gf2 {
+namespace {
+
+struct Shape {
+  std::size_t rows;
+  std::size_t cols;
+  double density;
+};
+
+BitMat RandomMat(const Shape& shape, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  BitMat m(shape.rows, shape.cols);
+  for (std::size_t r = 0; r < shape.rows; ++r) {
+    for (std::size_t c = 0; c < shape.cols; ++c) {
+      if (rng.NextDouble() < shape.density) m.Set(r, c, true);
+    }
+  }
+  return m;
+}
+
+BitVec RandomVec(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.Set(i, rng.NextBit());
+  return v;
+}
+
+class Gf2Shapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(Gf2Shapes, MulVecIsLinear) {
+  const auto shape = GetParam();
+  const BitMat m = RandomMat(shape, 1);
+  const BitVec x = RandomVec(shape.cols, 2);
+  const BitVec y = RandomVec(shape.cols, 3);
+  BitVec sum = x;
+  sum ^= y;
+  BitVec expected = m.MulVec(x);
+  expected ^= m.MulVec(y);
+  EXPECT_EQ(m.MulVec(sum), expected);
+}
+
+TEST_P(Gf2Shapes, RankEqualsTransposeRank) {
+  const auto shape = GetParam();
+  const BitMat m = RandomMat(shape, 4);
+  EXPECT_EQ(m.Rank(), m.Transposed().Rank());
+}
+
+TEST_P(Gf2Shapes, RankBoundedByMinDimension) {
+  const auto shape = GetParam();
+  const BitMat m = RandomMat(shape, 5);
+  EXPECT_LE(m.Rank(), std::min(shape.rows, shape.cols));
+}
+
+TEST_P(Gf2Shapes, SparseAgreesWithDenseEverywhere) {
+  const auto shape = GetParam();
+  const BitMat dense = RandomMat(shape, 6);
+  const auto sparse = SparseMat::FromDense(dense);
+  EXPECT_EQ(sparse.nnz(), dense.Popcount());
+  for (int trial = 0; trial < 5; ++trial) {
+    const BitVec x = RandomVec(shape.cols, 10 + trial);
+    EXPECT_EQ(sparse.MulVec(x.ToBits()), dense.MulVec(x));
+  }
+}
+
+TEST_P(Gf2Shapes, RrefPreservesNullspace) {
+  // x in null(H) <=> x in null(RREF(H)).
+  const auto shape = GetParam();
+  const BitMat original = RandomMat(shape, 7);
+  BitMat reduced = original;
+  const auto red = reduced.RowReduce();
+  // Build null-space basis vectors from the free columns and check
+  // them against the *original* matrix.
+  for (const auto f : red.free_cols) {
+    BitVec x(shape.cols);
+    x.Set(f, true);
+    for (std::size_t i = 0; i < red.rank; ++i) {
+      if (reduced.Get(i, f)) x.Set(red.pivot_cols[i], true);
+    }
+    EXPECT_FALSE(original.MulVec(x).AnySet());
+  }
+  // Dimension check: |free| = cols - rank.
+  EXPECT_EQ(red.free_cols.size(), shape.cols - red.rank);
+}
+
+TEST_P(Gf2Shapes, ProductRankNoLargerThanFactors) {
+  const auto shape = GetParam();
+  const BitMat a = RandomMat(shape, 8);
+  const BitMat b = RandomMat({shape.cols, shape.rows, shape.density}, 9);
+  const BitMat ab = a.Mul(b);
+  EXPECT_LE(ab.Rank(), std::min(a.Rank(), b.Rank()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Gf2Shapes,
+    ::testing::Values(Shape{8, 8, 0.5}, Shape{16, 48, 0.2},
+                      Shape{48, 16, 0.2}, Shape{64, 64, 0.05},
+                      Shape{96, 128, 0.5}, Shape{33, 65, 0.9},
+                      Shape{1, 100, 0.3}, Shape{100, 1, 0.3}),
+    [](const auto& info) {
+      return "r" + std::to_string(info.param.rows) + "c" +
+             std::to_string(info.param.cols) + "d" +
+             std::to_string(static_cast<int>(info.param.density * 100));
+    });
+
+TEST(Gf2Identity, InverseViaRref) {
+  // Invertible matrix: [M | I] reduces to [I | M^-1].
+  Xoshiro256pp rng(11);
+  const std::size_t n = 24;
+  BitMat m(n, n);
+  // Start from identity and apply random row operations: stays
+  // invertible by construction.
+  for (std::size_t i = 0; i < n; ++i) m.Set(i, i, true);
+  for (int op = 0; op < 200; ++op) {
+    const auto a = rng.NextBounded(n);
+    const auto b = rng.NextBounded(n);
+    if (a != b) m.XorRow(a, b);
+  }
+  // Augment.
+  BitMat aug(n, 2 * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (m.Get(r, c)) aug.Set(r, c, true);
+    }
+    aug.Set(r, n + r, true);
+  }
+  const auto red = aug.RowReduce();
+  ASSERT_EQ(red.rank, n);
+  BitMat inverse(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (aug.Get(r, n + c)) inverse.Set(r, c, true);
+    }
+  }
+  EXPECT_EQ(m.Mul(inverse), BitMat::Identity(n));
+  EXPECT_EQ(inverse.Mul(m), BitMat::Identity(n));
+}
+
+}  // namespace
+}  // namespace cldpc::gf2

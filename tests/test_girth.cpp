@@ -1,0 +1,71 @@
+#include "qc/girth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cldpc::qc {
+namespace {
+
+TEST(HasFourCycle, DetectsMinimalFourCycle) {
+  // Rows 0 and 1 both contain columns 0 and 1.
+  const gf2::SparseMat h(2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  EXPECT_TRUE(HasFourCycle(h));
+}
+
+TEST(HasFourCycle, CleanMatrixPasses) {
+  // A tree-like incidence: no two rows share two columns.
+  const gf2::SparseMat h(3, 4, {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 3}});
+  EXPECT_FALSE(HasFourCycle(h));
+}
+
+TEST(HasFourCycle, SharedSingleColumnIsFine) {
+  const gf2::SparseMat h(2, 3, {{0, 0}, {0, 1}, {1, 1}, {1, 2}});
+  EXPECT_FALSE(HasFourCycle(h));
+}
+
+TEST(Girth, FourCycleGraph) {
+  const gf2::SparseMat h(2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  EXPECT_EQ(Girth(h), 4u);
+}
+
+TEST(Girth, SixCycleGraph) {
+  // Three checks, three bits in a ring: b0-c0-b1-c1-b2-c2-b0.
+  const gf2::SparseMat h(3, 3, {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 0}});
+  EXPECT_EQ(Girth(h), 6u);
+}
+
+TEST(Girth, AcyclicReturnsZero) {
+  const gf2::SparseMat h(2, 3, {{0, 0}, {0, 1}, {1, 1}, {1, 2}});
+  EXPECT_EQ(Girth(h), 0u);
+}
+
+TEST(Girth, EightCycleRing) {
+  // Ring of four bits and four checks alternating.
+  std::vector<gf2::Coord> entries;
+  for (std::size_t i = 0; i < 4; ++i) {
+    entries.push_back({i, i});
+    entries.push_back({i, (i + 1) % 4});
+  }
+  const gf2::SparseMat h(4, 4, std::move(entries));
+  EXPECT_EQ(Girth(h), 8u);
+}
+
+TEST(Girth, RespectsMaxGirthCap) {
+  // The 8-ring reports 0 when the cap is 6.
+  std::vector<gf2::Coord> entries;
+  for (std::size_t i = 0; i < 4; ++i) {
+    entries.push_back({i, i});
+    entries.push_back({i, (i + 1) % 4});
+  }
+  const gf2::SparseMat h(4, 4, std::move(entries));
+  EXPECT_EQ(Girth(h, 6), 0u);
+}
+
+TEST(Girth, MixedStructurePicksShortest) {
+  // A 6-cycle plus pendant edges: girth must still be 6.
+  const gf2::SparseMat h(
+      3, 5, {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 0}, {0, 3}, {1, 4}});
+  EXPECT_EQ(Girth(h), 6u);
+}
+
+}  // namespace
+}  // namespace cldpc::qc

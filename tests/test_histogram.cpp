@@ -1,0 +1,109 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc {
+namespace {
+
+TEST(HistogramTest, BasicCounts) {
+  Histogram h;
+  h.Add(3);
+  h.Add(3);
+  h.Add(-1, 5);
+  EXPECT_EQ(h.Total(), 7u);
+  EXPECT_EQ(h.CountOf(3), 2u);
+  EXPECT_EQ(h.CountOf(-1), 5u);
+  EXPECT_EQ(h.CountOf(99), 0u);
+  EXPECT_EQ(h.Min(), -1);
+  EXPECT_EQ(h.Max(), 3);
+}
+
+TEST(HistogramTest, Mean) {
+  Histogram h;
+  h.Add(2, 3);   // 6
+  h.Add(-3, 2);  // -6
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  h.Add(10);
+  EXPECT_DOUBLE_EQ(h.Mean(), 10.0 / 6.0);
+}
+
+TEST(HistogramTest, TailFraction) {
+  Histogram h;
+  h.Add(1, 90);
+  h.Add(31, 5);
+  h.Add(-31, 5);
+  EXPECT_DOUBLE_EQ(h.TailFraction(31), 0.1);
+  EXPECT_DOUBLE_EQ(h.TailFraction(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.TailFraction(32), 0.0);
+}
+
+TEST(HistogramTest, AbsQuantile) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.AbsQuantile(0.5), 50);
+  EXPECT_EQ(h.AbsQuantile(0.99), 99);
+  EXPECT_EQ(h.AbsQuantile(1.0), 100);
+}
+
+TEST(HistogramTest, AbsQuantileFoldsSigns) {
+  Histogram h;
+  h.Add(-5, 50);
+  h.Add(5, 50);
+  h.Add(1, 0);  // no-op
+  EXPECT_EQ(h.AbsQuantile(0.9), 5);
+}
+
+TEST(HistogramTest, EmptyGuards) {
+  Histogram h;
+  EXPECT_THROW(h.Min(), ContractViolation);
+  EXPECT_THROW(h.Mean(), ContractViolation);
+  EXPECT_THROW(h.AbsQuantile(0.5), ContractViolation);
+  EXPECT_DOUBLE_EQ(h.TailFraction(1), 0.0);
+  EXPECT_EQ(h.Render(), "(empty histogram)\n");
+}
+
+TEST(HistogramTest, QuantileArgumentChecks) {
+  Histogram h;
+  h.Add(1);
+  EXPECT_THROW(h.AbsQuantile(0.0), ContractViolation);
+  EXPECT_THROW(h.AbsQuantile(1.5), ContractViolation);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram h;
+  h.Add(0, 10);
+  h.Add(1, 5);
+  const auto text = h.Render();
+  EXPECT_NE(text.find("0\t10\t########################################"),
+            std::string::npos);
+  EXPECT_NE(text.find("1\t5\t####################"), std::string::npos);
+}
+
+TEST(HistogramTest, RenderDownsamplesWideSupport) {
+  Histogram h;
+  for (int v = 0; v < 1000; ++v) h.Add(v);
+  const auto text = h.Render(10);
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_LE(lines, 11u);
+}
+
+TEST(HistogramTest, GaussianQuantilesLookRight) {
+  GaussianSampler g(4);
+  Histogram h;
+  for (int i = 0; i < 100000; ++i)
+    h.Add(static_cast<std::int64_t>(std::lround(8.0 * g.Next())));
+  // |X| quantiles of N(0, 8^2): q50 ~ 5.4, q95 ~ 15.7.
+  EXPECT_NEAR(static_cast<double>(h.AbsQuantile(0.5)), 5.4, 1.0);
+  EXPECT_NEAR(static_cast<double>(h.AbsQuantile(0.95)), 15.7, 1.5);
+}
+
+}  // namespace
+}  // namespace cldpc

@@ -1,0 +1,117 @@
+// End-to-end integration: the full CCSDS near-earth receive chain —
+// C2 shortened frame, pseudo-randomizer, sync marker, BPSK/AWGN,
+// frame sync, derandomization, LLR expansion and architecture-model
+// decoding.
+#include <gtest/gtest.h>
+
+#include "arch/decoder_core.hpp"
+#include "arch/throughput.hpp"
+#include "channel/awgn.hpp"
+#include "framing/sync_randomizer.hpp"
+#include "ldpc/c2_system.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc {
+namespace {
+
+const ldpc::C2System& System() {
+  static const ldpc::C2System system = ldpc::MakeC2System();
+  return system;
+}
+
+std::vector<std::uint8_t> RandomInfo(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> info(n);
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  return info;
+}
+
+TEST(EndToEnd, C2FrameThroughArchDecoderAtWaterfallTop) {
+  const auto& system = System();
+  arch::ArchConfig config = arch::LowCostConfig();
+  config.iterations = 18;
+  arch::ArchDecoder decoder(*system.code, system.qc, config);
+
+  const auto info = RandomInfo(system.framing->tx_info_bits(), 11);
+  const auto tx = system.framing->EncodeTx(info);
+  const double tx_rate = static_cast<double>(system.framing->tx_info_bits()) /
+                         static_cast<double>(system.framing->tx_bits());
+  const auto tx_llr = channel::TransmitBpskAwgn(tx, 4.4, tx_rate, 22);
+  const auto mother_llr = system.framing->ExpandLlrs(tx_llr);
+
+  const auto result = decoder.Decode(mother_llr);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(system.framing->ExtractInfo(result.bits), info);
+
+  // And the decode produced Table-1-consistent timing.
+  const double mbps = arch::ThroughputModel::OutputMbpsFromStats(
+      config, decoder.LastStats(), system.framing->tx_info_bits());
+  EXPECT_NEAR(mbps, 72.2, 2.0);
+}
+
+TEST(EndToEnd, SyncAndRandomizerChainHardDecisions) {
+  const auto& system = System();
+  const auto info = RandomInfo(system.framing->tx_info_bits(), 33);
+  auto frame = system.framing->EncodeTx(info);
+
+  // Transmit side: randomize, attach ASM, prepend idle bits.
+  framing::PseudoRandomizer::Apply(frame);
+  auto stream = framing::AttachSyncMarker(frame);
+  std::vector<std::uint8_t> idle = {0, 1, 0, 0, 1, 1, 0};
+  stream.insert(stream.begin(), idle.begin(), idle.end());
+
+  // Receive side (noiseless, hard bits): find sync, derandomize.
+  const auto start = framing::FindSyncMarker(stream);
+  ASSERT_TRUE(start.has_value());
+  EXPECT_EQ(*start, idle.size() + 32);
+  std::vector<std::uint8_t> rx_frame(stream.begin() + *start, stream.end());
+  ASSERT_EQ(rx_frame.size(), system.framing->tx_bits());
+  framing::PseudoRandomizer::Apply(rx_frame);
+
+  // Perfect LLRs from hard bits close the loop.
+  std::vector<double> llr(rx_frame.size());
+  for (std::size_t i = 0; i < llr.size(); ++i)
+    llr[i] = rx_frame[i] ? -8.0 : 8.0;
+  const auto mother_llr = system.framing->ExpandLlrs(llr);
+  const auto hard = ldpc::HardDecisions(mother_llr);
+  EXPECT_TRUE(system.code->IsCodeword(hard));
+  EXPECT_EQ(system.framing->ExtractInfo(hard), info);
+}
+
+TEST(EndToEnd, HighSpeedBatchDecodesEightFrames) {
+  const auto& system = System();
+  arch::ArchConfig config = arch::HighSpeedConfig();
+  config.iterations = 10;
+  arch::ArchDecoder decoder(*system.code, system.qc, config);
+
+  LlrQuantizer quantizer(config.datapath.channel_bits,
+                         config.datapath.channel_scale);
+  std::vector<std::vector<Fixed>> batch;
+  std::vector<std::vector<std::uint8_t>> expected;
+  for (int i = 0; i < 8; ++i) {
+    const auto info = RandomInfo(system.code->k(), 100 + i);
+    const auto cw = system.encoder->Encode(info);
+    const auto llr =
+        channel::TransmitBpskAwgn(cw, 4.4, system.code->Rate(), 200 + i);
+    std::vector<Fixed> q(llr.size());
+    for (std::size_t j = 0; j < llr.size(); ++j)
+      q[j] = quantizer.Quantize(llr[j]);
+    batch.push_back(std::move(q));
+    expected.push_back(cw);
+  }
+  const auto result = decoder.DecodeBatch(batch);
+  ASSERT_EQ(result.frames.size(), 8u);
+  int decoded = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (result.frames[i].bits == expected[i]) ++decoded;
+  }
+  EXPECT_GE(decoded, 7);  // 4.4 dB, 10 iterations: essentially all
+
+  // Eight frames in one batch time: the 8x throughput claim.
+  const double mbps = arch::ThroughputModel::OutputMbpsFromStats(
+      config, result.stats, qc::C2Constants::kTxInfoBits);
+  EXPECT_NEAR(mbps, 8.0 * 130.0, 10.0);
+}
+
+}  // namespace
+}  // namespace cldpc

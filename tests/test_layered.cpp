@@ -1,0 +1,97 @@
+#include "ldpc/layered_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "ldpc/encoder.hpp"
+#include "ldpc/minsum_decoder.hpp"
+#include "qc/small_codes.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::ldpc {
+namespace {
+
+const LdpcCode& SmallCode() {
+  static const LdpcCode code(qc::MakeSmallQcCode().Expand());
+  return code;
+}
+
+std::vector<std::uint8_t> RandomInfo(const LdpcCode& code, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> info(code.k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  return info;
+}
+
+MinSumOptions Opts(int iters, bool early = true) {
+  MinSumOptions o;
+  o.iter.max_iterations = iters;
+  o.iter.early_termination = early;
+  o.variant = MinSumVariant::kNormalized;
+  o.alpha = 1.23;
+  return o;
+}
+
+TEST(LayeredMinSum, NoiselessDecodes) {
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  const auto cw = enc.Encode(RandomInfo(code, 1));
+  std::vector<double> llr(code.n());
+  for (std::size_t i = 0; i < llr.size(); ++i) llr[i] = cw[i] ? -7.0 : 7.0;
+  LayeredMinSumDecoder dec(code, Opts(10));
+  const auto result = dec.Decode(llr);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.bits, cw);
+}
+
+TEST(LayeredMinSum, CorrectsErrorsAtModerateSnr) {
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  int fails = 0;
+  for (int f = 0; f < 30; ++f) {
+    const auto cw = enc.Encode(RandomInfo(code, 40 + f));
+    const auto llr = channel::TransmitBpskAwgn(cw, 5.5, code.Rate(), 50 + f);
+    LayeredMinSumDecoder dec(code, Opts(20));
+    if (dec.Decode(llr).bits != cw) ++fails;
+  }
+  EXPECT_LE(fails, 1);
+}
+
+TEST(LayeredMinSum, ConvergesInFewerIterationsThanFlooding) {
+  // The scheduling advantage: average iterations-to-convergence over
+  // decodable frames must be lower for layered than flooding.
+  const auto& code = SmallCode();
+  const Encoder enc(code);
+  double flood_iters = 0, layered_iters = 0;
+  int counted = 0;
+  for (int f = 0; f < 40; ++f) {
+    const auto cw = enc.Encode(RandomInfo(code, 900 + f));
+    const auto llr = channel::TransmitBpskAwgn(cw, 5.0, code.Rate(), 950 + f);
+    MinSumDecoder flood(code, Opts(40));
+    LayeredMinSumDecoder layered(code, Opts(40));
+    const auto rf = flood.Decode(llr);
+    const auto rl = layered.Decode(llr);
+    if (rf.converged && rl.converged) {
+      flood_iters += rf.iterations_run;
+      layered_iters += rl.iterations_run;
+      ++counted;
+    }
+  }
+  ASSERT_GT(counted, 10);
+  EXPECT_LT(layered_iters, flood_iters);
+}
+
+TEST(LayeredMinSum, FixedIterationMode) {
+  const auto& code = SmallCode();
+  const std::vector<double> llr(code.n(), 0.0);
+  LayeredMinSumDecoder dec(code, Opts(9, /*early=*/false));
+  EXPECT_EQ(dec.Decode(llr).iterations_run, 9);
+}
+
+TEST(LayeredMinSum, NameMentionsLayered) {
+  LayeredMinSumDecoder dec(SmallCode(), Opts(5));
+  EXPECT_EQ(dec.Name().rfind("layered-", 0), 0u);
+}
+
+}  // namespace
+}  // namespace cldpc::ldpc

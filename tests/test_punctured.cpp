@@ -1,0 +1,146 @@
+#include "ldpc/punctured.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "ldpc/bp_decoder.hpp"
+#include "qc/small_codes.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::ldpc {
+namespace {
+
+struct Fixture {
+  LdpcCode code{qc::MakeSmallQcCode().Expand()};
+  Encoder encoder{code};
+};
+
+Fixture& F() {
+  static Fixture f;
+  return f;
+}
+
+std::vector<std::uint8_t> RandomInfo(std::uint64_t seed) {
+  auto& f = F();
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> info(f.code.k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  return info;
+}
+
+TEST(PuncturedCode, SizesAndRate) {
+  auto& f = F();
+  const auto punct = PunctureParityTail(f.code, f.encoder, 20);
+  EXPECT_EQ(punct.tx_bits(), f.code.n() - 20);
+  EXPECT_EQ(punct.tx_info_bits(), f.code.k());
+  EXPECT_GT(punct.TxRate(), f.code.Rate());  // puncturing raises rate
+}
+
+TEST(PuncturedCode, EncodeTxOmitsExactlyThePuncturedColumns) {
+  auto& f = F();
+  const std::vector<std::size_t> cols = {3, 50, 200};
+  const PuncturedCode punct(f.code, f.encoder, cols);
+  const auto info = RandomInfo(1);
+  const auto full = f.encoder.Encode(info);
+  const auto tx = punct.EncodeTx(info);
+  ASSERT_EQ(tx.size(), full.size() - 3);
+  std::size_t cursor = 0;
+  for (std::size_t c = 0; c < full.size(); ++c) {
+    if (c == 3 || c == 50 || c == 200) continue;
+    EXPECT_EQ(tx[cursor++], full[c]);
+  }
+}
+
+TEST(PuncturedCode, ExpandLlrsPutsZeroConfidenceAtPunctures) {
+  auto& f = F();
+  const PuncturedCode punct(f.code, f.encoder, {7, 90});
+  const std::vector<double> tx_llr(punct.tx_bits(), 2.5);
+  const auto mother = punct.ExpandLlrs(tx_llr);
+  ASSERT_EQ(mother.size(), f.code.n());
+  EXPECT_EQ(mother[7], 0.0);
+  EXPECT_EQ(mother[90], 0.0);
+  EXPECT_EQ(mother[8], 2.5);
+}
+
+TEST(PuncturedCode, DecoderRecoversPuncturedBitsThroughTheGraph) {
+  // Noiseless transmitted bits + zero-confidence punctures: BP must
+  // reconstruct the punctured parity bits from the checks.
+  auto& f = F();
+  const auto punct = PunctureParityTail(f.code, f.encoder, 12);
+  const auto info = RandomInfo(2);
+  const auto full = f.encoder.Encode(info);
+  const auto tx = punct.EncodeTx(info);
+  std::vector<double> tx_llr(tx.size());
+  for (std::size_t i = 0; i < tx.size(); ++i) tx_llr[i] = tx[i] ? -7.0 : 7.0;
+  BpDecoder dec(f.code, {.max_iterations = 30, .early_termination = true});
+  const auto result = dec.Decode(punct.ExpandLlrs(tx_llr));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.bits, full);  // including the never-sent bits
+  EXPECT_EQ(punct.ExtractInfo(result.bits), info);
+}
+
+TEST(PuncturedCode, NoisyChannelAtHigherSnr) {
+  // The punctured (higher-rate) code still decodes, at a suitably
+  // higher operating point.
+  auto& f = F();
+  const auto punct = PunctureParityTail(f.code, f.encoder, 24);
+  int fails = 0;
+  for (int t = 0; t < 15; ++t) {
+    const auto info = RandomInfo(100 + t);
+    const auto tx = punct.EncodeTx(info);
+    const auto llr =
+        channel::TransmitBpskAwgn(tx, 6.5, punct.TxRate(), 200 + t);
+    BpDecoder dec(f.code, {.max_iterations = 40, .early_termination = true});
+    const auto result = dec.Decode(punct.ExpandLlrs(llr));
+    if (punct.ExtractInfo(result.bits) != info) ++fails;
+  }
+  EXPECT_LE(fails, 1);
+}
+
+TEST(PuncturedCode, MorePuncturingIsWorse) {
+  // At a fixed Eb/N0 inside the transition region, heavier puncturing
+  // must not decode *better* (paired frames).
+  auto& f = F();
+  const auto light = PunctureParityTail(f.code, f.encoder, 8);
+  const auto heavy = PunctureParityTail(f.code, f.encoder, 60);
+  int light_fails = 0, heavy_fails = 0;
+  for (int t = 0; t < 25; ++t) {
+    const auto info = RandomInfo(300 + t);
+    BpDecoder dec(f.code, {.max_iterations = 30, .early_termination = true});
+    {
+      const auto tx = light.EncodeTx(info);
+      const auto llr =
+          channel::TransmitBpskAwgn(tx, 5.0, light.TxRate(), 400 + t);
+      if (light.ExtractInfo(dec.Decode(light.ExpandLlrs(llr)).bits) != info)
+        ++light_fails;
+    }
+    {
+      const auto tx = heavy.EncodeTx(info);
+      const auto llr =
+          channel::TransmitBpskAwgn(tx, 5.0, heavy.TxRate(), 400 + t);
+      if (heavy.ExtractInfo(dec.Decode(heavy.ExpandLlrs(llr)).bits) != info)
+        ++heavy_fails;
+    }
+  }
+  EXPECT_LE(light_fails, heavy_fails);
+}
+
+TEST(PuncturedCode, RejectsBadColumns) {
+  auto& f = F();
+  EXPECT_THROW(PuncturedCode(f.code, f.encoder, {f.code.n()}),
+               ContractViolation);
+  EXPECT_THROW(PuncturedCode(f.code, f.encoder, {1, 1}), ContractViolation);
+  EXPECT_THROW(PunctureParityTail(f.code, f.encoder, f.code.n()),
+               ContractViolation);
+}
+
+TEST(PuncturedCode, ZeroPuncturingIsIdentity) {
+  auto& f = F();
+  const PuncturedCode punct(f.code, f.encoder, {});
+  EXPECT_EQ(punct.tx_bits(), f.code.n());
+  const auto info = RandomInfo(9);
+  EXPECT_EQ(punct.EncodeTx(info), f.encoder.Encode(info));
+}
+
+}  // namespace
+}  // namespace cldpc::ldpc

@@ -1,0 +1,144 @@
+#include "qc/qc_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qc/girth.hpp"
+#include "qc/qc_builder.hpp"
+
+namespace cldpc::qc {
+namespace {
+
+TEST(QcMatrix, EmptyGridExpandsToZeroMatrix) {
+  const QcMatrix qc(4, 2, 3);
+  EXPECT_EQ(qc.rows(), 8u);
+  EXPECT_EQ(qc.cols(), 12u);
+  EXPECT_EQ(qc.EdgeCount(), 0u);
+  EXPECT_EQ(qc.Expand().nnz(), 0u);
+}
+
+TEST(QcMatrix, ExpansionPlacesBlocksCorrectly) {
+  QcMatrix qc(3, 2, 2);
+  qc.SetBlock({0, 1}, gf2::Circulant(3, {1}));
+  qc.SetBlock({1, 0}, gf2::Circulant(3, {0, 2}));
+  const auto h = qc.Expand();
+  EXPECT_EQ(h.nnz(), 3u + 6u);
+  // Block (0,1): rows 0..2, cols 3..5, shift 1.
+  EXPECT_TRUE(h.Get(0, 3 + 1));
+  EXPECT_TRUE(h.Get(1, 3 + 2));
+  EXPECT_TRUE(h.Get(2, 3 + 0));
+  // Block (1,0): rows 3..5, cols 0..2, shifts {0, 2}.
+  EXPECT_TRUE(h.Get(3, 0));
+  EXPECT_TRUE(h.Get(3, 2));
+  EXPECT_TRUE(h.Get(5, 2));
+  EXPECT_TRUE(h.Get(5, 1));
+}
+
+TEST(QcMatrix, BlockAccessors) {
+  QcMatrix qc(5, 1, 2);
+  EXPECT_FALSE(qc.HasBlock({0, 0}));
+  qc.SetBlock({0, 0}, gf2::Circulant(5, {2}));
+  EXPECT_TRUE(qc.HasBlock({0, 0}));
+  EXPECT_EQ(qc.Block({0, 0}).offsets(), (std::vector<std::size_t>{2}));
+  EXPECT_THROW(qc.Block({0, 1}), ContractViolation);
+}
+
+TEST(QcMatrix, RejectsMismatchedCirculantSize) {
+  QcMatrix qc(5, 1, 1);
+  EXPECT_THROW(qc.SetBlock({0, 0}, gf2::Circulant(6, {0})), ContractViolation);
+}
+
+TEST(QcMatrix, NonZeroBlocksRowMajor) {
+  QcMatrix qc(3, 2, 2);
+  qc.SetBlock({1, 1}, gf2::Circulant(3, {0}));
+  qc.SetBlock({0, 1}, gf2::Circulant(3, {1}));
+  const auto blocks = qc.NonZeroBlocks();
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], (BlockIndex{0, 1}));
+  EXPECT_EQ(blocks[1], (BlockIndex{1, 1}));
+}
+
+TEST(QcBuilder, ProducesRequestedStructure) {
+  QcBuildSpec spec;
+  spec.q = 31;
+  spec.block_rows = 2;
+  spec.block_cols = 6;
+  spec.circulant_weight = 2;
+  spec.seed = 11;
+  const auto qc = BuildGirth6QcMatrix(spec);
+  const auto h = qc.Expand();
+  EXPECT_EQ(h.rows(), 62u);
+  EXPECT_EQ(h.cols(), 186u);
+  for (std::size_t r = 0; r < h.rows(); ++r) EXPECT_EQ(h.RowWeight(r), 12u);
+  for (std::size_t c = 0; c < h.cols(); ++c) EXPECT_EQ(h.ColWeight(c), 4u);
+}
+
+TEST(QcBuilder, NoFourCyclesAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    QcBuildSpec spec;
+    spec.q = 31;
+    spec.block_rows = 2;
+    spec.block_cols = 6;
+    spec.circulant_weight = 2;
+    spec.seed = seed;
+    const auto h = BuildGirth6QcMatrix(spec).Expand();
+    EXPECT_FALSE(HasFourCycle(h)) << "seed " << seed;
+  }
+}
+
+TEST(QcBuilder, DeterministicInSeed) {
+  QcBuildSpec spec;
+  spec.q = 31;
+  spec.block_cols = 4;
+  spec.seed = 77;
+  const auto a = BuildGirth6QcMatrix(spec).Expand();
+  const auto b = BuildGirth6QcMatrix(spec).Expand();
+  EXPECT_EQ(a.Coords(), b.Coords());
+}
+
+TEST(QcBuilder, DifferentSeedsDiffer) {
+  QcBuildSpec spec;
+  spec.q = 31;
+  spec.block_cols = 4;
+  spec.seed = 1;
+  const auto a = BuildGirth6QcMatrix(spec).Expand();
+  spec.seed = 2;
+  const auto b = BuildGirth6QcMatrix(spec).Expand();
+  EXPECT_NE(a.Coords(), b.Coords());
+}
+
+TEST(QcBuilder, ThreeBlockRowsAlsoGirth6) {
+  QcBuildSpec spec;
+  spec.q = 63;
+  spec.block_rows = 3;
+  spec.block_cols = 5;
+  spec.circulant_weight = 2;
+  spec.seed = 5;
+  const auto h = BuildGirth6QcMatrix(spec).Expand();
+  EXPECT_FALSE(HasFourCycle(h));
+  const auto g = Girth(h);
+  EXPECT_GE(g, 6u);
+}
+
+TEST(QcBuilder, InfeasibleSpecThrows) {
+  // Q too small to hold the required distinct differences.
+  QcBuildSpec spec;
+  spec.q = 7;
+  spec.block_rows = 2;
+  spec.block_cols = 16;
+  spec.circulant_weight = 2;
+  spec.max_column_retries = 200;
+  EXPECT_THROW(BuildGirth6QcMatrix(spec), ContractViolation);
+}
+
+TEST(QcBuilder, WeightOneColumnsWork) {
+  QcBuildSpec spec;
+  spec.q = 16;  // even Q exercises the self-inverse guard
+  spec.block_rows = 1;
+  spec.block_cols = 3;
+  spec.circulant_weight = 1;
+  const auto qc = BuildGirth6QcMatrix(spec);
+  EXPECT_EQ(qc.EdgeCount(), 3u * 16u);
+}
+
+}  // namespace
+}  // namespace cldpc::qc

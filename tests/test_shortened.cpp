@@ -1,0 +1,135 @@
+#include "ldpc/shortened.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "ldpc/bp_decoder.hpp"
+#include "ldpc/c2_system.hpp"
+#include "qc/small_codes.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::ldpc {
+namespace {
+
+struct SmallSystem {
+  LdpcCode code;
+  Encoder encoder;
+  ShortenedCode framing;
+  SmallSystem()
+      : code(qc::MakeSmallQcCode().Expand()),
+        encoder(code),
+        framing(code, encoder, /*num_fill=*/10, /*num_pad=*/2) {}
+};
+
+SmallSystem& Shared() {
+  static SmallSystem s;
+  return s;
+}
+
+std::vector<std::uint8_t> RandomBits(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.NextBit() ? 1 : 0;
+  return bits;
+}
+
+TEST(ShortenedCode, SizesAreConsistent) {
+  auto& s = Shared();
+  EXPECT_EQ(s.framing.tx_info_bits(), s.code.k() - 10);
+  EXPECT_EQ(s.framing.tx_bits(), s.code.n() - 10 + 2);
+  EXPECT_EQ(s.framing.TxColumns().size(), s.code.n() - 10);
+}
+
+TEST(ShortenedCode, EncodeTxProducesPaddedFrame) {
+  auto& s = Shared();
+  const auto info = RandomBits(s.framing.tx_info_bits(), 3);
+  const auto tx = s.framing.EncodeTx(info);
+  ASSERT_EQ(tx.size(), s.framing.tx_bits());
+  // The appended pad bits are zero.
+  EXPECT_EQ(tx[tx.size() - 1], 0);
+  EXPECT_EQ(tx[tx.size() - 2], 0);
+}
+
+TEST(ShortenedCode, RoundTripThroughPerfectChannel) {
+  auto& s = Shared();
+  const auto info = RandomBits(s.framing.tx_info_bits(), 4);
+  const auto tx = s.framing.EncodeTx(info);
+  // Perfect LLRs: +8 for 0, -8 for 1.
+  std::vector<double> tx_llr(tx.size());
+  for (std::size_t i = 0; i < tx.size(); ++i) tx_llr[i] = tx[i] ? -8.0 : 8.0;
+  const auto mother_llr = s.framing.ExpandLlrs(tx_llr);
+  ASSERT_EQ(mother_llr.size(), s.code.n());
+  const auto hard = HardDecisions(mother_llr);
+  EXPECT_TRUE(s.code.IsCodeword(hard));
+  EXPECT_EQ(s.framing.ExtractInfo(hard), info);
+}
+
+TEST(ShortenedCode, FillPositionsGetStrongZeroLlr) {
+  auto& s = Shared();
+  const std::vector<double> tx_llr(s.framing.tx_bits(), -1.0);
+  const auto mother = s.framing.ExpandLlrs(tx_llr, 123.0);
+  std::size_t fills = 0;
+  for (const auto v : mother) {
+    if (v == 123.0) ++fills;
+  }
+  EXPECT_EQ(fills, 10u);
+}
+
+TEST(ShortenedCode, DecodingThroughNoisyChannelRecoversInfo) {
+  auto& s = Shared();
+  const double tx_rate = static_cast<double>(s.framing.tx_info_bits()) /
+                         static_cast<double>(s.framing.tx_bits());
+  int fails = 0;
+  for (int f = 0; f < 20; ++f) {
+    const auto info = RandomBits(s.framing.tx_info_bits(), 100 + f);
+    const auto tx = s.framing.EncodeTx(info);
+    const auto llr = channel::TransmitBpskAwgn(tx, 5.5, tx_rate, 200 + f);
+    const auto mother_llr = s.framing.ExpandLlrs(llr);
+    BpDecoder dec(s.code, {.max_iterations = 40, .early_termination = true});
+    const auto result = dec.Decode(mother_llr);
+    if (s.framing.ExtractInfo(result.bits) != info) ++fails;
+  }
+  EXPECT_LE(fails, 1);
+}
+
+TEST(ShortenedCode, ShorteningBeyondKThrows) {
+  auto& s = Shared();
+  EXPECT_THROW(ShortenedCode(s.code, s.encoder, s.code.k() + 1, 0),
+               ContractViolation);
+}
+
+TEST(ShortenedCode, WrongLengthsThrow) {
+  auto& s = Shared();
+  EXPECT_THROW(s.framing.EncodeTx(std::vector<std::uint8_t>(3)),
+               ContractViolation);
+  EXPECT_THROW(s.framing.ExpandLlrs(std::vector<double>(3)),
+               ContractViolation);
+  EXPECT_THROW(s.framing.ExtractInfo(std::vector<std::uint8_t>(3)),
+               ContractViolation);
+}
+
+TEST(ShortenedCode, ZeroFillZeroPadIsIdentityFraming) {
+  auto& s = Shared();
+  ShortenedCode identity(s.code, s.encoder, 0, 0);
+  EXPECT_EQ(identity.tx_bits(), s.code.n());
+  EXPECT_EQ(identity.tx_info_bits(), s.code.k());
+  const auto info = RandomBits(s.code.k(), 5);
+  const auto tx = identity.EncodeTx(info);
+  EXPECT_TRUE(s.code.IsCodeword(tx));
+}
+
+TEST(C2Framing, FullFrameRoundTrip) {
+  const auto system = MakeC2System();
+  const auto info = RandomBits(system.framing->tx_info_bits(), 77);
+  const auto tx = system.framing->EncodeTx(info);
+  ASSERT_EQ(tx.size(), 8160u);
+  std::vector<double> tx_llr(tx.size());
+  for (std::size_t i = 0; i < tx.size(); ++i) tx_llr[i] = tx[i] ? -8.0 : 8.0;
+  const auto mother = system.framing->ExpandLlrs(tx_llr);
+  const auto hard = HardDecisions(mother);
+  EXPECT_TRUE(system.code->IsCodeword(hard));
+  EXPECT_EQ(system.framing->ExtractInfo(hard), info);
+}
+
+}  // namespace
+}  // namespace cldpc::ldpc

@@ -1,0 +1,130 @@
+#include "gf2/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cldpc::gf2 {
+namespace {
+
+SparseMat MakeExample() {
+  // 1 0 1 0
+  // 0 1 1 0
+  // 1 1 0 1
+  return SparseMat(3, 4, {{0, 0}, {0, 2}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 3}});
+}
+
+TEST(SparseMat, BasicShape) {
+  const auto m = MakeExample();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 7u);
+}
+
+TEST(SparseMat, RowAndColEntries) {
+  const auto m = MakeExample();
+  const auto r2 = m.RowEntries(2);
+  ASSERT_EQ(r2.size(), 3u);
+  EXPECT_EQ(r2[0], 0u);
+  EXPECT_EQ(r2[1], 1u);
+  EXPECT_EQ(r2[2], 3u);
+  const auto c2 = m.ColEntries(2);
+  ASSERT_EQ(c2.size(), 2u);
+  EXPECT_EQ(c2[0], 0u);
+  EXPECT_EQ(c2[1], 1u);
+}
+
+TEST(SparseMat, GetMembership) {
+  const auto m = MakeExample();
+  EXPECT_TRUE(m.Get(0, 0));
+  EXPECT_FALSE(m.Get(0, 1));
+  EXPECT_TRUE(m.Get(2, 3));
+  EXPECT_FALSE(m.Get(1, 3));
+}
+
+TEST(SparseMat, DuplicateEntryThrows) {
+  EXPECT_THROW(SparseMat(2, 2, {{0, 0}, {0, 0}}), ContractViolation);
+}
+
+TEST(SparseMat, OutOfBoundsEntryThrows) {
+  EXPECT_THROW(SparseMat(2, 2, {{2, 0}}), ContractViolation);
+  EXPECT_THROW(SparseMat(2, 2, {{0, 2}}), ContractViolation);
+}
+
+TEST(SparseMat, DenseRoundTrip) {
+  const auto m = MakeExample();
+  const auto dense = m.ToDense();
+  const auto back = SparseMat::FromDense(dense);
+  EXPECT_EQ(back.rows(), m.rows());
+  EXPECT_EQ(back.cols(), m.cols());
+  EXPECT_EQ(back.Coords(), m.Coords());
+}
+
+TEST(SparseMat, RandomDenseRoundTrip) {
+  Xoshiro256pp rng(3);
+  BitMat dense(37, 53);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      if (rng.NextDouble() < 0.15) dense.Set(r, c, true);
+    }
+  }
+  const auto sparse = SparseMat::FromDense(dense);
+  EXPECT_EQ(sparse.ToDense(), dense);
+  EXPECT_EQ(sparse.nnz(), dense.Popcount());
+}
+
+TEST(SparseMat, MulVecMatchesDense) {
+  Xoshiro256pp rng(4);
+  BitMat dense(20, 30);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      if (rng.NextDouble() < 0.2) dense.Set(r, c, true);
+    }
+  }
+  const auto sparse = SparseMat::FromDense(dense);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> x(30);
+    BitVec xv(30);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.NextBit() ? 1 : 0;
+      xv.Set(i, x[i] != 0);
+    }
+    EXPECT_EQ(sparse.MulVec(x), dense.MulVec(xv));
+  }
+}
+
+TEST(SparseMat, WeightsAndHistograms) {
+  const auto m = MakeExample();
+  EXPECT_EQ(m.RowWeight(0), 2u);
+  EXPECT_EQ(m.RowWeight(2), 3u);
+  EXPECT_EQ(m.ColWeight(3), 1u);
+  const auto rh = RowWeightHistogram(m);
+  ASSERT_EQ(rh.size(), 4u);
+  EXPECT_EQ(rh[2], 2u);
+  EXPECT_EQ(rh[3], 1u);
+  const auto ch = ColWeightHistogram(m);
+  ASSERT_EQ(ch.size(), 3u);
+  EXPECT_EQ(ch[1], 1u);
+  EXPECT_EQ(ch[2], 3u);
+}
+
+TEST(SparseMat, EmptyMatrix) {
+  const SparseMat m(5, 5, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.RowEntries(0).size(), 0u);
+  EXPECT_FALSE(m.MulVec(std::vector<std::uint8_t>(5, 1)).AnySet());
+}
+
+TEST(SparseMat, CoordsAreRowMajorSorted) {
+  // Construction order should not matter.
+  const SparseMat m(3, 3, {{2, 1}, {0, 2}, {0, 0}, {1, 1}});
+  const auto& coords = m.Coords();
+  ASSERT_EQ(coords.size(), 4u);
+  EXPECT_EQ(coords[0], (Coord{0, 0}));
+  EXPECT_EQ(coords[1], (Coord{0, 2}));
+  EXPECT_EQ(coords[2], (Coord{1, 1}));
+  EXPECT_EQ(coords[3], (Coord{2, 1}));
+}
+
+}  // namespace
+}  // namespace cldpc::gf2

@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cldpc {
+namespace {
+
+TEST(RateEstimator, EmptyIsSafe) {
+  RateEstimator r;
+  EXPECT_EQ(r.Rate(), 0.0);
+  const auto iv = r.Wilson();
+  EXPECT_EQ(iv.low, 0.0);
+  EXPECT_EQ(iv.high, 1.0);
+}
+
+TEST(RateEstimator, PointEstimate) {
+  RateEstimator r;
+  r.Add(3, 100);
+  EXPECT_DOUBLE_EQ(r.Rate(), 0.03);
+  r.Add(0, 100);
+  EXPECT_DOUBLE_EQ(r.Rate(), 0.015);
+  EXPECT_EQ(r.errors(), 3u);
+  EXPECT_EQ(r.trials(), 200u);
+}
+
+TEST(RateEstimator, AddTrialAccumulates) {
+  RateEstimator r;
+  for (int i = 0; i < 10; ++i) r.AddTrial(i < 3);
+  EXPECT_DOUBLE_EQ(r.Rate(), 0.3);
+}
+
+TEST(RateEstimator, WilsonBracketsTruth) {
+  // 50 errors in 1000 trials: interval must contain 0.05 and be
+  // reasonably tight.
+  RateEstimator r;
+  r.Add(50, 1000);
+  const auto iv = r.Wilson();
+  EXPECT_LT(iv.low, 0.05);
+  EXPECT_GT(iv.high, 0.05);
+  EXPECT_GT(iv.low, 0.03);
+  EXPECT_LT(iv.high, 0.08);
+}
+
+TEST(RateEstimator, WilsonZeroErrorsHasPositiveUpperBound) {
+  RateEstimator r;
+  r.Add(0, 1000);
+  const auto iv = r.Wilson();
+  EXPECT_EQ(iv.low, 0.0);
+  EXPECT_GT(iv.high, 0.0);
+  EXPECT_LT(iv.high, 0.01);
+}
+
+TEST(RateEstimator, WilsonAllErrors) {
+  RateEstimator r;
+  r.Add(100, 100);
+  const auto iv = r.Wilson();
+  EXPECT_GT(iv.low, 0.9);
+  EXPECT_DOUBLE_EQ(iv.high, 1.0);
+}
+
+TEST(RateEstimator, WilsonShrinksWithTrials) {
+  RateEstimator small, large;
+  small.Add(5, 100);
+  large.Add(500, 10000);
+  const auto a = small.Wilson();
+  const auto b = large.Wilson();
+  EXPECT_LT(b.high - b.low, a.high - a.low);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.Add(3.14);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.14);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+}
+
+TEST(RunningStats, ShiftInvarianceOfVariance) {
+  RunningStats a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.37 * i * i - 2.0 * i;
+    a.Add(x);
+    b.Add(x + 1e6);
+  }
+  EXPECT_NEAR(a.Variance(), b.Variance(), a.Variance() * 1e-6);
+}
+
+}  // namespace
+}  // namespace cldpc

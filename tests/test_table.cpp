@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace cldpc {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter t({"Iterations", "Throughput"});
+  t.AddRow({"10", "130 Mbps"});
+  t.AddRow({"18", "70 Mbps"});
+  const std::string out = t.Render("Table 1");
+  EXPECT_NE(out.find("Table 1"), std::string::npos);
+  EXPECT_NE(out.find("| Iterations | Throughput |"), std::string::npos);
+  EXPECT_NE(out.find("| 10         | 130 Mbps   |"), std::string::npos);
+}
+
+TEST(TablePrinter, RuleInsertsSeparator) {
+  TablePrinter t({"a"});
+  t.AddRow({"1"});
+  t.AddRule();
+  t.AddRow({"2"});
+  const std::string out = t.Render();
+  // Four rules total: top, under header, inserted, bottom.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only one"}), ContractViolation);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), ContractViolation);
+}
+
+TEST(Format, FormatDouble) {
+  EXPECT_EQ(FormatDouble(129.984, 1), "130.0");
+  EXPECT_EQ(FormatDouble(0.05, 2), "0.05");
+  EXPECT_EQ(FormatDouble(-1.25, 1), "-1.2");  // banker's-free fixed format
+}
+
+TEST(Format, FormatScientific) {
+  EXPECT_EQ(FormatScientific(3.2e-5, 1), "3.2e-05");
+  EXPECT_EQ(FormatScientific(0.0, 1), "0.0e+00");
+}
+
+TEST(Format, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1 000");
+  EXPECT_EQ(FormatCount(32704), "32 704");
+  EXPECT_EQ(FormatCount(1234567), "1 234 567");
+}
+
+TEST(Format, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.499), "49.9%");
+  EXPECT_EQ(FormatPercent(0.16), "16.0%");
+}
+
+}  // namespace
+}  // namespace cldpc

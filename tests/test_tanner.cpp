@@ -1,0 +1,98 @@
+#include "tanner/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qc/ccsds_c2.hpp"
+#include "qc/small_codes.hpp"
+
+namespace cldpc::tanner {
+namespace {
+
+TEST(Graph, HammingIncidence) {
+  const auto h = qc::MakeHammingH();
+  const Graph g(h);
+  EXPECT_EQ(g.num_bits(), 7u);
+  EXPECT_EQ(g.num_checks(), 3u);
+  EXPECT_EQ(g.num_edges(), h.nnz());
+  EXPECT_EQ(g.CheckDegree(0), 4u);
+  EXPECT_EQ(g.BitDegree(3), 3u);  // column 3 of the Hamming H
+  EXPECT_EQ(g.BitDegree(4), 1u);
+  EXPECT_FALSE(g.IsRegular());
+}
+
+TEST(Graph, EdgeEndpointsConsistent) {
+  const auto h = qc::MakeSmallQcCode().Expand();
+  const Graph g(h);
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_TRUE(h.Get(g.EdgeCheck(e), g.EdgeBit(e)));
+  }
+}
+
+TEST(Graph, CheckEdgesCoverRowExactly) {
+  const auto h = qc::MakeSmallQcCode().Expand();
+  const Graph g(h);
+  for (std::size_t m = 0; m < g.num_checks(); ++m) {
+    const auto row = h.RowEntries(m);
+    const auto edges = g.CheckEdges(m);
+    ASSERT_EQ(edges.size(), row.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_EQ(g.EdgeCheck(edges[i]), m);
+      EXPECT_EQ(g.EdgeBit(edges[i]), row[i]);  // ascending bit order
+    }
+  }
+}
+
+TEST(Graph, BitEdgesCoverColumnExactly) {
+  const auto h = qc::MakeSmallQcCode().Expand();
+  const Graph g(h);
+  for (std::size_t n = 0; n < g.num_bits(); ++n) {
+    const auto col = h.ColEntries(n);
+    const auto edges = g.BitEdges(n);
+    ASSERT_EQ(edges.size(), col.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_EQ(g.EdgeBit(edges[i]), n);
+      EXPECT_EQ(g.EdgeCheck(edges[i]), col[i]);  // ascending check order
+    }
+  }
+}
+
+TEST(Graph, EveryEdgeAppearsOnceOnEachSide) {
+  const auto h = qc::MakeSmallQcCode().Expand();
+  const Graph g(h);
+  std::vector<int> seen_check(g.num_edges(), 0), seen_bit(g.num_edges(), 0);
+  for (std::size_t m = 0; m < g.num_checks(); ++m) {
+    for (const auto e : g.CheckEdges(m)) ++seen_check[e];
+  }
+  for (std::size_t n = 0; n < g.num_bits(); ++n) {
+    for (const auto e : g.BitEdges(n)) ++seen_bit[e];
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(seen_check[e], 1);
+    EXPECT_EQ(seen_bit[e], 1);
+  }
+}
+
+TEST(Graph, C2IsFourThirtyTwoRegular) {
+  const Graph g(qc::BuildC2QcMatrix().Expand());
+  EXPECT_TRUE(g.IsRegular());
+  EXPECT_EQ(g.MaxCheckDegree(), 32u);
+  EXPECT_EQ(g.MaxBitDegree(), 4u);
+  EXPECT_EQ(g.num_edges(), 32704u);
+}
+
+TEST(Graph, EmptyGraph) {
+  const gf2::SparseMat h(3, 4, {});
+  const Graph g(h);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.CheckDegree(1), 0u);
+  EXPECT_EQ(g.MaxBitDegree(), 0u);
+}
+
+TEST(Graph, IndexOutOfRangeThrows) {
+  const Graph g(qc::MakeHammingH());
+  EXPECT_THROW(g.CheckEdges(3), ContractViolation);
+  EXPECT_THROW(g.BitEdges(7), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cldpc::tanner
