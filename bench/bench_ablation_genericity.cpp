@@ -60,7 +60,7 @@ int main() {
       " * Frame packing (F) buys throughput at falling marginal cost —\n"
       "   control and addressing are shared, so Mbps/kALUT *rises* with F\n"
       "   (the paper's 8x-throughput-for-4x-resources claim).\n"
-      " * Compressed CN storage cuts the per-frame message RAM by ~23%\n"
+      " * Compressed CN storage cuts the per-frame message RAM by ~23%%\n"
       "   (records + APP instead of one word per edge) and better fills\n"
       "   wide RAM words — why the high-speed decoder switches layout.\n"
       " * Replicating pipelines (NPB) scales everything linearly: no\n"

@@ -13,9 +13,17 @@
 // the simulated range; NMS-18 tracks the 50-iteration curves (the
 // "18 iterations instead of 50" trade); plain MS-18 is visibly worse.
 //
-// Flags: --snrs=3.4,3.6,... --frames=N --min-errors=N --seed=N --quick
+// Frames run on the parallel Monte-Carlo engine; for a fixed --seed
+// the table is byte-identical for every --threads value, so the flag
+// is purely a wall-clock knob (near-linear on independent frames).
+//
+// Flags: --snrs=3.4,3.6,... --frames=N --min-errors=N --seed=N
+//        --threads=N (0 = all hardware threads) --quick
+#include <chrono>
 #include <cstdio>
+#include <memory>
 
+#include "engine/sim_engine.hpp"
 #include "ldpc/bp_decoder.hpp"
 #include "ldpc/c2_system.hpp"
 #include "ldpc/fixed_minsum_decoder.hpp"
@@ -38,20 +46,27 @@ int main(int argc, char** argv) {
   config.min_frame_errors =
       static_cast<std::uint64_t>(args.GetInt("min-errors", 12));
   config.base_seed = static_cast<std::uint64_t>(args.GetInt("seed", 2009));
+  config.threads = static_cast<std::size_t>(args.GetInt("threads", 1));
+  // C2 frames are expensive; small batches keep all workers fed.
+  config.batch_frames = 2;
 
   std::printf("Building CCSDS C2 system (8176, 7156)...\n");
   const auto system = ldpc::MakeC2System();
   sim::BerRunner runner(*system.code, *system.encoder, config);
+  std::printf("Engine threads: %zu\n",
+              engine::ResolveThreads(config.threads));
 
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<sim::BerCurve> curves;
 
   {
     ldpc::FixedMinSumOptions o;
     o.iter.max_iterations = 18;
     o.iter.early_termination = true;  // identical results, faster sim
-    ldpc::FixedMinSumDecoder dec(*system.code, o);
-    std::printf("Running %s ...\n", dec.Name().c_str());
-    auto curve = runner.Run(dec);
+    std::printf("Running fixed NMS (18 iterations)...\n");
+    auto curve = runner.Run([&] {
+      return std::make_unique<ldpc::FixedMinSumDecoder>(*system.code, o);
+    });
     curve.decoder_name = "NMS-18 fixed";
     curves.push_back(std::move(curve));
   }
@@ -59,9 +74,10 @@ int main(int argc, char** argv) {
     ldpc::FixedMinSumOptions o;
     o.iter.max_iterations = 50;
     o.iter.early_termination = true;
-    ldpc::FixedMinSumDecoder dec(*system.code, o);
-    std::printf("Running %s (50 iterations)...\n", dec.Name().c_str());
-    auto curve = runner.Run(dec);
+    std::printf("Running fixed NMS (50 iterations)...\n");
+    auto curve = runner.Run([&] {
+      return std::make_unique<ldpc::FixedMinSumDecoder>(*system.code, o);
+    });
     curve.decoder_name = "NMS-50 fixed";
     curves.push_back(std::move(curve));
   }
@@ -69,30 +85,37 @@ int main(int argc, char** argv) {
     ldpc::MinSumOptions o;
     o.variant = ldpc::MinSumVariant::kPlain;
     o.iter.max_iterations = 18;
-    ldpc::MinSumDecoder dec(*system.code, o);
     std::printf("Running plain min-sum (alpha=1, 18 iterations)...\n");
-    auto curve = runner.Run(dec);
+    auto curve = runner.Run([&] {
+      return std::make_unique<ldpc::MinSumDecoder>(*system.code, o);
+    });
     curve.decoder_name = "MS-18 plain";
     curves.push_back(std::move(curve));
   }
   if (!quick) {
     ldpc::IterOptions o{.max_iterations = 50, .early_termination = true};
-    ldpc::BpDecoder dec(*system.code, o);
     std::printf("Running floating-point BP (50 iterations)...\n");
-    auto curve = runner.Run(dec);
+    auto curve = runner.Run(
+        [&] { return std::make_unique<ldpc::BpDecoder>(*system.code, o); });
     curve.decoder_name = "BP-50 float";
     curves.push_back(std::move(curve));
   }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
 
   std::printf("\n%s", sim::RenderCurves(curves).c_str());
 
-  std::printf("\nFrames per point: up to %llu (early stop at %llu frame "
-              "errors); info-bit BER over 7156 bits/frame.\n",
-              static_cast<unsigned long long>(config.max_frames),
-              static_cast<unsigned long long>(config.min_frame_errors));
+  std::printf("\nSimulated %.1f s at %zu thread(s); per-point frame counts "
+              "are in the table (early stop at %llu frame errors, cap "
+              "%llu); info-bit BER over 7156 bits/frame.\n",
+              elapsed, engine::ResolveThreads(config.threads),
+              static_cast<unsigned long long>(config.min_frame_errors),
+              static_cast<unsigned long long>(config.max_frames));
   std::printf("Expected shape (paper Fig. 4): waterfall between ~3.6 and "
               "~4.2 dB; NMS-18 within ~0.05-0.1 dB of the 50-iteration "
               "curves; plain MS-18 clearly worse; no error floor.\n");
-  std::printf("Increase --frames (e.g. 2000) to resolve BERs below 1e-6.\n");
+  std::printf("Increase --frames (e.g. 2000) to resolve BERs below 1e-6; "
+              "--threads=0 uses every core.\n");
   return 0;
 }

@@ -2,9 +2,15 @@
 // code (fast) or on the full C2 code (--c2), comparing the fixed-
 // point architecture datapath against floating-point min-sum.
 //
+// Frames are decoded by the parallel Monte-Carlo engine; results are
+// bit-identical for every --threads value (see engine/sim_engine.hpp).
+//
 //   ./ber_waterfall [--c2] [--snrs=3.0,3.5,...] [--frames=N]
+//                   [--threads=N]   (0 = all hardware threads)
 #include <cstdio>
+#include <memory>
 
+#include "engine/sim_engine.hpp"
 #include "ldpc/fixed_minsum_decoder.hpp"
 #include "ldpc/minsum_decoder.hpp"
 #include "qc/ccsds_c2.hpp"
@@ -30,16 +36,19 @@ int main(int argc, char** argv) {
   config.max_frames =
       static_cast<std::uint64_t>(args.GetInt("frames", use_c2 ? 40 : 400));
   config.min_frame_errors = 15;
+  config.threads = static_cast<std::size_t>(args.GetInt("threads", 1));
   sim::BerRunner runner(code, encoder, config);
+  std::printf("Engine threads: %zu\n",
+              engine::ResolveThreads(config.threads));
 
   std::vector<sim::BerCurve> curves;
   {
     ldpc::FixedMinSumOptions o;
     o.iter.max_iterations = 18;
     o.iter.early_termination = true;
-    ldpc::FixedMinSumDecoder dec(code, o);
     std::printf("Running fixed-point NMS-18...\n");
-    auto curve = runner.Run(dec);
+    auto curve = runner.Run(
+        [&] { return std::make_unique<ldpc::FixedMinSumDecoder>(code, o); });
     curve.decoder_name = "fixed NMS-18";
     curves.push_back(std::move(curve));
   }
@@ -48,9 +57,9 @@ int main(int argc, char** argv) {
     o.iter.max_iterations = 18;
     o.variant = ldpc::MinSumVariant::kNormalized;
     o.alpha = 1.23;
-    ldpc::MinSumDecoder dec(code, o);
     std::printf("Running float NMS-18...\n");
-    auto curve = runner.Run(dec);
+    auto curve = runner.Run(
+        [&] { return std::make_unique<ldpc::MinSumDecoder>(code, o); });
     curve.decoder_name = "float NMS-18";
     curves.push_back(std::move(curve));
   }

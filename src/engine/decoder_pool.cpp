@@ -1,0 +1,27 @@
+#include "engine/decoder_pool.hpp"
+
+#include "engine/thread_pool.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::engine {
+
+DecoderPool::DecoderPool(const DecoderFactory& factory, std::size_t count) {
+  CLDPC_EXPECTS(static_cast<bool>(factory), "decoder factory must be set");
+  CLDPC_EXPECTS(count > 0, "decoder pool needs at least one instance");
+  CLDPC_EXPECTS(count <= ThreadPool::kMaxThreads,
+                "unreasonable decoder count — a negative --threads value "
+                "wraps around to a huge unsigned number");
+  decoders_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto decoder = factory();
+    CLDPC_ENSURES(decoder != nullptr, "decoder factory returned null");
+    decoders_.push_back(std::move(decoder));
+  }
+}
+
+ldpc::Decoder& DecoderPool::Get(std::size_t worker) {
+  CLDPC_EXPECTS(worker < decoders_.size(), "worker index out of range");
+  return *decoders_[worker];
+}
+
+}  // namespace cldpc::engine

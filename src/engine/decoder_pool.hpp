@@ -1,0 +1,40 @@
+// Per-worker decoder instances for the Monte-Carlo engine.
+//
+// Decoders own mutable scratch buffers (message arrays), so a single
+// instance cannot be shared across threads. A DecoderPool clones one
+// instance per worker through a DecoderFactory callable; workers then
+// index their own decoder lock-free via ThreadPool::CurrentWorkerIndex.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ldpc/decoder.hpp"
+
+namespace cldpc::engine {
+
+/// Creates a fresh, independently usable decoder instance. Called once
+/// per worker on the engine's calling thread (construction order is
+/// deterministic and factories need not be thread-safe).
+using DecoderFactory = std::function<std::unique_ptr<ldpc::Decoder>()>;
+
+class DecoderPool {
+ public:
+  /// Clones `count` decoders up-front (count >= 1).
+  DecoderPool(const DecoderFactory& factory, std::size_t count);
+
+  /// Decoder owned by worker `worker` (0 <= worker < size()).
+  ldpc::Decoder& Get(std::size_t worker);
+
+  std::size_t size() const { return decoders_.size(); }
+
+  /// All instances report the same Name(); this returns it.
+  std::string name() const { return decoders_.front()->Name(); }
+
+ private:
+  std::vector<std::unique_ptr<ldpc::Decoder>> decoders_;
+};
+
+}  // namespace cldpc::engine

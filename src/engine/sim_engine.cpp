@@ -1,0 +1,302 @@
+#include "engine/sim_engine.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "channel/awgn.hpp"
+#include "engine/thread_pool.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::engine {
+
+std::size_t ResolveThreads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+SimEngine::SimEngine(const ldpc::LdpcCode& code, const ldpc::Encoder& encoder,
+                     sim::BerConfig config)
+    : code_(code), encoder_(encoder), config_(std::move(config)) {
+  CLDPC_EXPECTS(!config_.ebn0_db.empty(), "need at least one Eb/N0 point");
+  CLDPC_EXPECTS(config_.max_frames > 0, "need at least one frame");
+  CLDPC_EXPECTS(config_.batch_frames > 0, "need at least one frame per batch");
+  if (config_.info_bits_only) {
+    counted_ = code_.InfoCols();
+  } else {
+    counted_.resize(code_.n());
+    for (std::size_t i = 0; i < counted_.size(); ++i) counted_[i] = i;
+  }
+}
+
+// In-order consumer of frame results; the single place where
+// estimator totals, the iteration sum and the early-stop decision are
+// produced, shared by the sequential and parallel paths so their
+// output cannot diverge.
+struct SimEngine::PointAccumulator {
+  sim::BerPoint point;
+  double iter_sum = 0.0;
+  std::uint64_t next_frame = 0;
+
+  /// Returns true once the point has reached min_frame_errors (the
+  /// frame that reaches it is included, like the sequential runner).
+  bool Consume(const FrameResult& result, std::size_t snr_index,
+               std::uint64_t counted_bits, std::uint64_t min_frame_errors,
+               const sim::FrameCallback& on_frame) {
+    point.bit_errors.Add(result.bit_errors, counted_bits);
+    const bool frame_err = result.bit_errors != 0;
+    point.frame_errors.AddTrial(frame_err);
+    iter_sum += result.iterations;
+    ++point.frames;
+    if (on_frame) on_frame(snr_index, next_frame, frame_err);
+    ++next_frame;
+    return point.frame_errors.errors() >= min_frame_errors;
+  }
+
+  sim::BerPoint Finish() {
+    point.avg_iterations =
+        point.frames > 0 ? iter_sum / static_cast<double>(point.frames) : 0.0;
+    return std::move(point);
+  }
+};
+
+std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
+    ldpc::Decoder& decoder, std::size_t snr_index, std::uint64_t first_frame,
+    std::uint64_t count, double sigma) const {
+  std::vector<FrameResult> results;
+  results.reserve(count);
+  const std::size_t n_info = code_.k();
+
+  for (std::uint64_t f = first_frame; f < first_frame + count; ++f) {
+    // Independent, reproducible streams for data and noise: every
+    // frame is a pure function of (base_seed, snr_index, frame_index).
+    const std::uint64_t data_seed =
+        DeriveSeed(config_.base_seed, snr_index, f, 1);
+    const std::uint64_t noise_seed =
+        DeriveSeed(config_.base_seed, snr_index, f, 2);
+
+    std::vector<std::uint8_t> codeword;
+    if (config_.all_zero_codeword) {
+      codeword.assign(code_.n(), 0);
+    } else {
+      Xoshiro256pp data_rng(data_seed);
+      std::vector<std::uint8_t> info(n_info);
+      for (auto& b : info) b = data_rng.NextBit() ? 1 : 0;
+      codeword = encoder_.Encode(info);
+    }
+
+    channel::AwgnChannel ch(sigma, noise_seed);
+    const auto symbols = channel::BpskModulate(codeword);
+    const auto received = ch.Transmit(symbols);
+    const auto llr = ch.Llrs(received);
+
+    const auto decoded = decoder.Decode(llr);
+
+    FrameResult result;
+    result.iterations = decoded.iterations_run;
+    for (const auto pos : counted_) {
+      if (decoded.bits[pos] != codeword[pos]) ++result.bit_errors;
+    }
+    results.push_back(result);
+  }
+  return results;
+}
+
+sim::BerCurve SimEngine::Run(const DecoderFactory& factory,
+                             const sim::FrameCallback& on_frame) {
+  const std::size_t threads = ResolveThreads(config_.threads);
+  if (threads == 1) {
+    DecoderPool decoders(factory, 1);
+    return RunSequential(decoders.Get(0), on_frame);
+  }
+  return RunParallel(factory, threads, on_frame);
+}
+
+sim::BerCurve SimEngine::Run(ldpc::Decoder& decoder,
+                             const sim::FrameCallback& on_frame) {
+  return RunSequential(decoder, on_frame);
+}
+
+sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
+                                       const sim::FrameCallback& on_frame) {
+  sim::BerCurve curve;
+  curve.decoder_name = decoder.Name();
+  const double rate = code_.Rate();
+
+  for (std::size_t s = 0; s < config_.ebn0_db.size(); ++s) {
+    const double sigma = channel::SigmaForEbN0(config_.ebn0_db[s], rate);
+    PointAccumulator acc;
+    acc.point.ebn0_db = config_.ebn0_db[s];
+
+    // Frame-at-a-time so the stop check runs between frames: unlike
+    // the speculative parallel path, there is no reason to decode
+    // past the stopping frame here. Aggregation order is unchanged,
+    // so the output stays identical to the batched parallel path.
+    for (std::uint64_t f = 0; f < config_.max_frames; ++f) {
+      const auto results = SimulateBatch(decoder, s, f, 1, sigma);
+      if (acc.Consume(results.front(), s, counted_.size(),
+                      config_.min_frame_errors, on_frame)) {
+        break;
+      }
+    }
+    curve.points.push_back(acc.Finish());
+  }
+  return curve;
+}
+
+sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
+                                     std::size_t threads,
+                                     const sim::FrameCallback& on_frame) {
+  DecoderPool decoders(factory, threads);
+  ThreadPool pool(threads);
+
+  sim::BerCurve curve;
+  curve.decoder_name = decoders.name();
+  const double rate = code_.Rate();
+  const std::uint64_t batch = config_.batch_frames;
+
+  // Keep speculation (and result memory) bounded: workers may run at
+  // most this many batches ahead of the in-order aggregator.
+  const std::uint64_t window = 4 * static_cast<std::uint64_t>(threads);
+
+  for (std::size_t s = 0; s < config_.ebn0_db.size(); ++s) {
+    const double sigma = channel::SigmaForEbN0(config_.ebn0_db[s], rate);
+    const std::uint64_t num_batches =
+        (config_.max_frames + batch - 1) / batch;
+
+    // Workers self-dispatch batch indices inside the speculation
+    // window and park finished batches in `ready`; the aggregator
+    // below consumes them strictly in index order. Memory and queue
+    // depth are O(threads), never O(max_frames).
+    struct Shared {
+      std::mutex mutex;
+      std::condition_variable producer_cv;  // workers: window space / stop
+      std::condition_variable consumer_cv;  // aggregator: next batch ready
+      std::map<std::uint64_t, std::vector<FrameResult>> ready;
+      std::uint64_t next_claim = 0;
+      std::uint64_t next_consume = 0;
+      // Lowest-batch-index failure; keyed by batch, not arrival time,
+      // so which exception surfaces does not depend on scheduling.
+      std::exception_ptr error;
+      std::uint64_t error_batch = 0;
+      bool stop = false;
+    } shared;
+
+    for (std::size_t w = 0; w < threads; ++w) {
+      pool.Submit([this, &shared, &decoders, s, batch, num_batches, window,
+                   sigma] {
+        const auto worker =
+            static_cast<std::size_t>(ThreadPool::CurrentWorkerIndex());
+        for (;;) {
+          std::uint64_t b;
+          {
+            std::unique_lock<std::mutex> lock(shared.mutex);
+            shared.producer_cv.wait(lock, [&shared, num_batches, window] {
+              return shared.stop || shared.next_claim >= num_batches ||
+                     shared.next_claim < shared.next_consume + window;
+            });
+            // Cooperative early stop: no new batches once the
+            // aggregator has decided the point is done.
+            if (shared.stop || shared.next_claim >= num_batches) return;
+            b = shared.next_claim++;
+          }
+          const std::uint64_t first = b * batch;
+          const std::uint64_t count =
+              std::min<std::uint64_t>(batch, config_.max_frames - first);
+          try {
+            auto results =
+                SimulateBatch(decoders.Get(worker), s, first, count, sigma);
+            {
+              std::lock_guard<std::mutex> lock(shared.mutex);
+              shared.ready.emplace(b, std::move(results));
+            }
+            shared.consumer_cv.notify_one();
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> lock(shared.mutex);
+              if (!shared.error || b < shared.error_batch) {
+                shared.error = std::current_exception();
+                shared.error_batch = b;
+              }
+              shared.stop = true;
+            }
+            shared.consumer_cv.notify_one();
+            shared.producer_cv.notify_all();
+            return;
+          }
+        }
+      });
+    }
+
+    PointAccumulator acc;
+    acc.point.ebn0_db = config_.ebn0_db[s];
+    bool stopped = false;
+    // The guard exists for the user FrameCallback: if it throws, the
+    // workers must be stopped and drained BEFORE `shared` unwinds out
+    // of scope under them.
+    try {
+      for (std::uint64_t b = 0; b < num_batches && !stopped; ++b) {
+        std::vector<FrameResult> results;
+        {
+          std::unique_lock<std::mutex> lock(shared.mutex);
+          shared.consumer_cv.wait(lock, [&shared, b] {
+            return shared.ready.count(b) != 0 || shared.error != nullptr;
+          });
+          // A worker error must not make throw-vs-success depend on
+          // scheduling: batches are claimed in index order, so after
+          // draining, every batch below the failing one has arrived.
+          // Keep consuming that prefix — the point may still reach
+          // its early stop inside it, in which case the error was in
+          // discarded speculation.
+          if (shared.ready.count(b) == 0) {
+            lock.unlock();
+            pool.WaitIdle();
+            lock.lock();
+            if (shared.ready.count(b) == 0) break;  // b is the failed batch
+          }
+          auto node = shared.ready.extract(b);
+          results = std::move(node.mapped());
+          ++shared.next_consume;  // window advances: wake waiting workers
+        }
+        shared.producer_cv.notify_all();
+        for (const auto& r : results) {
+          if (acc.Consume(r, s, counted_.size(), config_.min_frame_errors,
+                          on_frame)) {
+            stopped = true;
+            {
+              std::lock_guard<std::mutex> lock(shared.mutex);
+              shared.stop = true;
+            }
+            shared.producer_cv.notify_all();
+            break;
+          }
+        }
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        shared.stop = true;
+      }
+      shared.producer_cv.notify_all();
+      pool.WaitIdle();
+      throw;
+    }
+
+    // Drain the point's runner jobs before `shared` leaves scope.
+    pool.WaitIdle();
+    // A completed point never rethrows: if early stop was reached, a
+    // worker error can only have come from speculative frames past
+    // the stopping frame, which the sequential runner — and the same
+    // config at other thread counts — would never decode.
+    if (!stopped && shared.error) std::rethrow_exception(shared.error);
+    curve.points.push_back(acc.Finish());
+  }
+  return curve;
+}
+
+}  // namespace cldpc::engine

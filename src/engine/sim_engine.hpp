@@ -1,0 +1,99 @@
+// Parallel Monte-Carlo BER/PER simulation engine.
+//
+// SimEngine shards each Eb/N0 point of a sweep into fixed-size frame
+// batches, decodes batches on a ThreadPool (one cloned decoder per
+// worker, see DecoderPool), and aggregates per-frame results on the
+// calling thread in frame-index order.
+//
+// ## Determinism contract
+//
+// The engine's output is a pure function of (BerConfig, decoder): it
+// does NOT depend on the thread count, the batch size, or scheduling.
+//
+//  1. Every frame's randomness comes only from seeds derived as
+//     DeriveSeed(base_seed, snr_index, frame_index, stream) — the same
+//     per-frame stream contract the sequential runner uses (data
+//     stream = 1, noise stream = 2; golden values locked by
+//     tests/test_rng.cpp). A frame's result is therefore independent
+//     of which worker decodes it and of every other frame.
+//  2. Aggregation consumes frame results strictly in frame-index
+//     order (batch 0 first, frames in order inside each batch), so
+//     RateEstimator totals and the floating-point iteration sum see
+//     the exact sequence the sequential runner produces.
+//  3. Early stopping is decided only by the in-order aggregator: a
+//     point ends with the first frame whose cumulative frame-error
+//     count reaches min_frame_errors (that frame included), exactly
+//     like the sequential runner. Workers race ahead speculatively;
+//     results past the stop frame are discarded, and a bounded
+//     speculation window plus a cooperative stop flag keep the waste
+//     under ~4 * threads * batch_frames frames (the window is 4
+//     batches per worker, see RunParallel).
+//  4. A worker exception surfaces only if the point did not complete
+//     first, and the lowest-frame-index failure is the one rethrown —
+//     so even error behavior is a function of frame content, not of
+//     scheduling.
+//
+// Consequences: for a fixed seed the BerCurve is byte-identical across
+// thread counts, across batch sizes, and to sim::BerRunner's
+// sequential output — only wall-clock time changes. The FrameCallback
+// also fires in sequential order with identical arguments.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/decoder_pool.hpp"
+#include "sim/ber_runner.hpp"
+
+namespace cldpc::engine {
+
+/// Resolve a BerConfig::threads value (0 -> hardware threads).
+std::size_t ResolveThreads(std::size_t requested);
+
+class SimEngine {
+ public:
+  /// Code and encoder must outlive the engine. The worker count and
+  /// batch size come from config.threads / config.batch_frames.
+  SimEngine(const ldpc::LdpcCode& code, const ldpc::Encoder& encoder,
+            sim::BerConfig config);
+
+  /// Run the sweep with config().threads workers, each owning a
+  /// decoder cloned from `factory`. This is the parallel entry point.
+  sim::BerCurve Run(const DecoderFactory& factory,
+                    const sim::FrameCallback& on_frame = {});
+
+  /// Run the sweep on the calling thread with a borrowed decoder
+  /// (ignores options().threads — a shared instance is not
+  /// thread-safe). Bit-identical to the parallel entry point.
+  sim::BerCurve Run(ldpc::Decoder& decoder,
+                    const sim::FrameCallback& on_frame = {});
+
+  const sim::BerConfig& config() const { return config_; }
+
+ private:
+  struct FrameResult {
+    std::uint64_t bit_errors = 0;
+    std::int32_t iterations = 0;
+  };
+  struct PointAccumulator;
+
+  /// Decode frames [first, first+count) of point `snr_index`.
+  std::vector<FrameResult> SimulateBatch(ldpc::Decoder& decoder,
+                                         std::size_t snr_index,
+                                         std::uint64_t first_frame,
+                                         std::uint64_t count,
+                                         double sigma) const;
+
+  sim::BerCurve RunSequential(ldpc::Decoder& decoder,
+                              const sim::FrameCallback& on_frame);
+  sim::BerCurve RunParallel(const DecoderFactory& factory,
+                            std::size_t threads,
+                            const sim::FrameCallback& on_frame);
+
+  const ldpc::LdpcCode& code_;
+  const ldpc::Encoder& encoder_;
+  sim::BerConfig config_;
+  /// Codeword positions counted towards BER (info bits or all).
+  std::vector<std::size_t> counted_;
+};
+
+}  // namespace cldpc::engine

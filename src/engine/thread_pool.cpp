@@ -1,0 +1,83 @@
+#include "engine/thread_pool.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::engine {
+
+namespace {
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  CLDPC_EXPECTS(num_threads > 0, "thread pool needs at least one worker");
+  CLDPC_EXPECTS(num_threads <= kMaxThreads,
+                "unreasonable worker count — a negative --threads value "
+                "wraps around to a huge unsigned number");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this, static_cast<int>(i));
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  CLDPC_EXPECTS(static_cast<bool>(job), "cannot submit an empty job");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CLDPC_EXPECTS(!stopping_, "cannot submit to a stopping pool");
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_worker_index = index;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to do
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cldpc::engine

@@ -1,0 +1,67 @@
+// Fixed-size worker pool with a FIFO job queue.
+//
+// Built for the Monte-Carlo engine's frame-batch jobs but fully
+// generic: Submit() enqueues a callable, workers drain the queue,
+// WaitIdle() blocks until every submitted job has finished. Each
+// worker thread carries a stable index (0..size-1) retrievable from
+// inside a job via CurrentWorkerIndex(), which is how per-worker
+// resources (decoder instances) are handed out without locking.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cldpc::engine {
+
+class ThreadPool {
+ public:
+  /// Sanity cap on worker counts; mainly catches negative CLI values
+  /// that wrapped around to huge unsigned numbers.
+  static constexpr std::size_t kMaxThreads = 1024;
+
+  /// Spawns `num_threads` workers (1..kMaxThreads).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Thread-safe; jobs run in FIFO order (each worker
+  /// pops the front of the queue).
+  void Submit(std::function<void()> job);
+
+  /// Block until the queue is empty and no job is executing. If any
+  /// job threw since the last WaitIdle, rethrows the first such
+  /// exception here (escaping a worker thread would std::terminate);
+  /// later ones are dropped. The destructor discards pending
+  /// exceptions silently.
+  void WaitIdle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Index of the pool worker executing the current code, or -1 when
+  /// called from a thread that does not belong to a pool.
+  static int CurrentWorkerIndex();
+
+ private:
+  void WorkerLoop(int index);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;   // WaitIdle: queue empty and none active
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;    // first exception a job let escape
+};
+
+}  // namespace cldpc::engine

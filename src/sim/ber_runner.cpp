@@ -1,8 +1,9 @@
 #include "sim/ber_runner.hpp"
 
-#include "channel/awgn.hpp"
+#include <algorithm>
+
+#include "engine/sim_engine.hpp"
 #include "util/contracts.hpp"
-#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace cldpc::sim {
@@ -12,71 +13,21 @@ BerRunner::BerRunner(const ldpc::LdpcCode& code, const ldpc::Encoder& encoder,
     : code_(code), encoder_(encoder), config_(std::move(config)) {
   CLDPC_EXPECTS(!config_.ebn0_db.empty(), "need at least one Eb/N0 point");
   CLDPC_EXPECTS(config_.max_frames > 0, "need at least one frame");
+  CLDPC_EXPECTS(config_.batch_frames > 0, "need at least one frame per batch");
 }
 
 BerCurve BerRunner::Run(ldpc::Decoder& decoder,
                         const FrameCallback& on_frame) {
-  BerCurve curve;
-  curve.decoder_name = decoder.Name();
-  const double rate = code_.Rate();
-  const std::size_t n_info = code_.k();
+  // A borrowed decoder instance is not thread-safe: this overload is
+  // always sequential (the engine ignores config.threads for it).
+  engine::SimEngine sim(code_, encoder_, config_);
+  return sim.Run(decoder, on_frame);
+}
 
-  // Which codeword positions count towards BER.
-  std::vector<std::size_t> counted;
-  if (config_.info_bits_only) {
-    counted = code_.InfoCols();
-  } else {
-    counted.resize(code_.n());
-    for (std::size_t i = 0; i < counted.size(); ++i) counted[i] = i;
-  }
-
-  for (std::size_t s = 0; s < config_.ebn0_db.size(); ++s) {
-    BerPoint point;
-    point.ebn0_db = config_.ebn0_db[s];
-    const double sigma = channel::SigmaForEbN0(point.ebn0_db, rate);
-    double iter_sum = 0.0;
-
-    for (std::uint64_t f = 0; f < config_.max_frames; ++f) {
-      // Independent, reproducible streams for data and noise.
-      const std::uint64_t data_seed = DeriveSeed(config_.base_seed, s, f, 1);
-      const std::uint64_t noise_seed = DeriveSeed(config_.base_seed, s, f, 2);
-
-      std::vector<std::uint8_t> codeword;
-      if (config_.all_zero_codeword) {
-        codeword.assign(code_.n(), 0);
-      } else {
-        Xoshiro256pp data_rng(data_seed);
-        std::vector<std::uint8_t> info(n_info);
-        for (auto& b : info) b = data_rng.NextBit() ? 1 : 0;
-        codeword = encoder_.Encode(info);
-      }
-
-      channel::AwgnChannel ch(sigma, noise_seed);
-      const auto symbols = channel::BpskModulate(codeword);
-      const auto received = ch.Transmit(symbols);
-      const auto llr = ch.Llrs(received);
-
-      const auto result = decoder.Decode(llr);
-      iter_sum += result.iterations_run;
-
-      std::uint64_t bit_errs = 0;
-      for (const auto pos : counted) {
-        if (result.bits[pos] != codeword[pos]) ++bit_errs;
-      }
-      point.bit_errors.Add(bit_errs, counted.size());
-      const bool frame_err = bit_errs != 0;
-      point.frame_errors.AddTrial(frame_err);
-      ++point.frames;
-      if (on_frame) on_frame(s, f, frame_err);
-
-      if (point.frame_errors.errors() >= config_.min_frame_errors) break;
-    }
-    point.avg_iterations = point.frames > 0
-                               ? iter_sum / static_cast<double>(point.frames)
-                               : 0.0;
-    curve.points.push_back(point);
-  }
-  return curve;
+BerCurve BerRunner::Run(const engine::DecoderFactory& factory,
+                        const FrameCallback& on_frame) {
+  engine::SimEngine sim(code_, encoder_, config_);
+  return sim.Run(factory, on_frame);
 }
 
 std::string RenderCurves(const std::vector<BerCurve>& curves) {
@@ -85,15 +36,42 @@ std::string RenderCurves(const std::vector<BerCurve>& curves) {
   for (const auto& c : curves) {
     headers.push_back(c.decoder_name + " BER");
     headers.push_back(c.decoder_name + " PER");
+    headers.push_back(c.decoder_name + " frames");
   }
   TablePrinter table(std::move(headers));
-  const std::size_t points = curves.front().points.size();
-  for (std::size_t p = 0; p < points; ++p) {
-    std::vector<std::string> row = {
-        FormatDouble(curves.front().points[p].ebn0_db, 2)};
+
+  // Rows are the sorted union of every curve's sweep points, so
+  // curves with different point counts (or even different grids)
+  // still line up; a curve without a given point renders as "-".
+  // Points are matched by their rendered label, not by exact double
+  // equality: 3.8 from --snrs and 3.4 + 2*0.2 from a computed sweep
+  // must share a row even though the doubles differ in the last ulp.
+  const auto label = [](double ebn0) { return FormatDouble(ebn0, 2); };
+  std::vector<double> grid;
+  for (const auto& c : curves) {
+    for (const auto& p : c.points) grid.push_back(p.ebn0_db);
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end(),
+                         [&label](double a, double b) {
+                           return label(a) == label(b);
+                         }),
+             grid.end());
+
+  for (const double ebn0 : grid) {
+    std::vector<std::string> row = {label(ebn0)};
     for (const auto& c : curves) {
-      row.push_back(FormatScientific(c.points[p].bit_errors.Rate(), 2));
-      row.push_back(FormatScientific(c.points[p].frame_errors.Rate(), 2));
+      const auto it = std::find_if(
+          c.points.begin(), c.points.end(), [&](const BerPoint& p) {
+            return label(p.ebn0_db) == label(ebn0);
+          });
+      if (it == c.points.end()) {
+        row.insert(row.end(), {"-", "-", "-"});
+      } else {
+        row.push_back(FormatScientific(it->bit_errors.Rate(), 2));
+        row.push_back(FormatScientific(it->frame_errors.Rate(), 2));
+        row.push_back(FormatCount(it->frames));
+      }
     }
     table.AddRow(std::move(row));
   }

@@ -7,6 +7,12 @@
 // curve can be reproduced in isolation, and different decoders see
 // the *same* noisy frames (paired comparison — much lower variance
 // for "A beats B" conclusions, the form of the paper's claims).
+//
+// The measurement itself lives in engine::SimEngine (see
+// engine/sim_engine.hpp for the determinism contract); BerRunner is a
+// thin front-end: Run(Decoder&) is the classic sequential entry
+// point, Run(DecoderFactory) fans frames out over config.threads
+// workers with bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/decoder_pool.hpp"
 #include "ldpc/decoder.hpp"
 #include "ldpc/encoder.hpp"
 #include "util/stats.hpp"
@@ -30,6 +37,11 @@ struct BerConfig {
   /// Use all-zero frames instead of random data (valid for linear
   /// codes over a symmetric channel; halves the runtime).
   bool all_zero_codeword = false;
+  /// Worker threads for the factory-based Run (0 = hardware threads).
+  /// Never changes results — see the engine's determinism contract.
+  std::size_t threads = 1;
+  /// Frames per engine work item.
+  std::uint64_t batch_frames = 16;
 };
 
 struct BerPoint {
@@ -46,7 +58,7 @@ struct BerCurve {
 };
 
 /// Per-frame hook (e.g. progress output). Arguments: snr index, frame
-/// index, frame errored.
+/// index, frame errored. Called in frame order regardless of threads.
 using FrameCallback =
     std::function<void(std::size_t, std::uint64_t, bool)>;
 
@@ -56,9 +68,15 @@ class BerRunner {
   BerRunner(const ldpc::LdpcCode& code, const ldpc::Encoder& encoder,
             BerConfig config);
 
-  /// Run the sweep for one decoder. The decoder is reused across
-  /// frames (hardware-like, no per-frame allocation).
+  /// Run the sweep for one decoder on the calling thread. The decoder
+  /// is reused across frames (hardware-like, no per-frame allocation).
   BerCurve Run(ldpc::Decoder& decoder, const FrameCallback& on_frame = {});
+
+  /// Run the sweep on config.threads workers, each owning a decoder
+  /// cloned from `factory`. Output is bit-identical to the sequential
+  /// overload for any thread count.
+  BerCurve Run(const engine::DecoderFactory& factory,
+               const FrameCallback& on_frame = {});
 
   const BerConfig& config() const { return config_; }
 
@@ -68,8 +86,12 @@ class BerRunner {
   BerConfig config_;
 };
 
-/// Render curves as an aligned table (rows: Eb/N0; columns: BER/PER
-/// per decoder).
+/// Render curves as an aligned table (rows: Eb/N0; columns: BER/PER/
+/// frames per decoder). Curves may have different point counts or
+/// even different Eb/N0 grids: rows are the sorted union of all
+/// sweep points and a curve without a given point shows "-". The
+/// frames column reports how many frames the point actually consumed
+/// (early-stopped points show their real count, not max_frames).
 std::string RenderCurves(const std::vector<BerCurve>& curves);
 
 }  // namespace cldpc::sim

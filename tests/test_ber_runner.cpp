@@ -147,6 +147,29 @@ TEST(BerRunner, RejectsEmptyConfig) {
   EXPECT_THROW(BerRunner(f.code, f.encoder, config), ContractViolation);
 }
 
+TEST(RenderCurvesTest, AlignsCurvesWithDifferentGrids) {
+  // Curves measured over different (overlapping) sweeps must still
+  // render: rows are the sorted union, missing cells show "-".
+  BerPoint p30, p40a, p40b, p50;
+  p30.ebn0_db = 3.0;
+  p30.frames = 12;
+  p40a.ebn0_db = 4.0;
+  p40a.frames = 200;
+  p40b.ebn0_db = 4.0;
+  p40b.frames = 7;  // early-stopped: actual count, not max_frames
+  p50.ebn0_db = 5.0;
+  p50.frames = 200;
+  const BerCurve a{"A", {p30, p40a}};
+  const BerCurve b{"B", {p40b, p50}};
+  const auto text = RenderCurves({a, b});
+  EXPECT_NE(text.find("3.00"), std::string::npos);
+  EXPECT_NE(text.find("4.00"), std::string::npos);
+  EXPECT_NE(text.find("5.00"), std::string::npos);
+  EXPECT_NE(text.find("A frames"), std::string::npos);
+  EXPECT_NE(text.find("| -"), std::string::npos);  // padding-gap cells
+  EXPECT_NE(text.find("7"), std::string::npos);    // B's early-stop count
+}
+
 TEST(RenderCurvesTest, ContainsHeadersAndValues) {
   auto& f = Shared();
   BerConfig config;

@@ -36,6 +36,25 @@ TEST(DeriveSeed, Deterministic) {
   EXPECT_NE(DeriveSeed(1, 2, 3, 4), DeriveSeed(2, 2, 3, 4));
 }
 
+TEST(DeriveSeed, GoldenValues) {
+  // The cross-thread stream contract: the parallel engine assigns a
+  // frame's data/noise streams as DeriveSeed(base, snr_index,
+  // frame_index, 1|2), so these values may NEVER change — doing so
+  // silently invalidates every recorded experiment and the engine's
+  // sequential/parallel equivalence. If a change is truly intended,
+  // re-derive the constants and say so loudly in the commit.
+  EXPECT_EQ(DeriveSeed(0, 0, 0, 0), 0x421DB08015141DD2ULL);
+  EXPECT_EQ(DeriveSeed(1, 0, 0, 0), 0x0296E37435EF40A0ULL);
+  EXPECT_EQ(DeriveSeed(1, 2, 3, 0), 0xCC1265085E7E2CEBULL);
+  EXPECT_EQ(DeriveSeed(42, 1, 0, 0), 0x2C90041885B6DDB2ULL);
+  // bench_figure4's default seed: data/noise streams of the first and
+  // of a late frame.
+  EXPECT_EQ(DeriveSeed(2009, 0, 0, 1), 0x12292FA44AF36FA6ULL);
+  EXPECT_EQ(DeriveSeed(2009, 0, 0, 2), 0x41B5B2D09845A300ULL);
+  EXPECT_EQ(DeriveSeed(2009, 4, 59, 1), 0xD6E1660B379E90C3ULL);
+  EXPECT_EQ(DeriveSeed(2009, 4, 59, 2), 0x980DC3377A35D46DULL);
+}
+
 TEST(Xoshiro256pp, Deterministic) {
   Xoshiro256pp a(123), b(123);
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());

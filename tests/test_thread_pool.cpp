@@ -1,0 +1,110 @@
+#include "engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::engine {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&counter] { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, WorkerIndicesAreStableAndInRange) {
+  constexpr std::size_t kThreads = 3;
+  ThreadPool pool(kThreads);
+  std::mutex m;
+  std::set<int> seen;
+  for (int i = 0; i < 60; ++i) {
+    pool.Submit([&m, &seen] {
+      const int w = ThreadPool::CurrentWorkerIndex();
+      std::lock_guard<std::mutex> lock(m);
+      seen.insert(w);
+    });
+  }
+  pool.WaitIdle();
+  for (const int w : seen) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, static_cast<int>(kThreads));
+  }
+  EXPECT_FALSE(seen.empty());
+}
+
+TEST(ThreadPool, OffPoolThreadHasNoWorkerIndex) {
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilRunningJobFinishes) {
+  ThreadPool pool(1);
+  std::atomic<bool> done{false};
+  pool.Submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done = true;
+  });
+  pool.WaitIdle();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+}
+
+TEST(ThreadPool, SubmitFromWithinJob) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&pool, &counter] {
+    ++counter;
+    pool.Submit([&counter] { ++counter; });
+  });
+  // The nested submit races WaitIdle's predicate only through the
+  // queue, which WaitIdle re-checks, so both jobs must be counted.
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstJobException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("job failed"); });
+  pool.Submit([&ran] { ++ran; });  // later jobs still run
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 1);
+  pool.WaitIdle();  // the exception is consumed, not re-raised
+  pool.Submit([&ran] { ++ran; });  // the pool stays usable
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool pool(0), ContractViolation);
+}
+
+TEST(ThreadPool, RejectsEmptyJob) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.Submit(std::function<void()>{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cldpc::engine
