@@ -19,15 +19,15 @@
 //
 // Flags: --snrs=3.4,3.6,... --frames=N --min-errors=N --seed=N
 //        --threads=N (0 = all hardware threads) --quick
+//        --decoder="spec[;spec...]"  (run only the given registered
+//        decoder specs instead of the default four-curve suite; see
+//        ldpc/core/registry.hpp for the grammar)
 #include <chrono>
 #include <cstdio>
-#include <memory>
 
 #include "engine/sim_engine.hpp"
-#include "ldpc/bp_decoder.hpp"
 #include "ldpc/c2_system.hpp"
-#include "ldpc/fixed_minsum_decoder.hpp"
-#include "ldpc/minsum_decoder.hpp"
+#include "ldpc/core/registry.hpp"
 #include "sim/ber_runner.hpp"
 #include "util/cli.hpp"
 
@@ -59,46 +59,28 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<sim::BerCurve> curves;
 
-  {
-    ldpc::FixedMinSumOptions o;
-    o.iter.max_iterations = 18;
-    o.iter.early_termination = true;  // identical results, faster sim
+  if (args.Has("decoder")) {
+    for (const auto& spec : args.GetStringList("decoder", {})) {
+      std::printf("Running %s...\n", spec.c_str());
+      curves.push_back(runner.RunSpec(spec));
+    }
+  } else {
+    // The default Figure-4 suite, built through the registry seam.
+    const auto run = [&](const char* spec, const char* label) {
+      auto curve = runner.RunSpec(spec);
+      curve.decoder_name = label;
+      curves.push_back(std::move(curve));
+    };
     std::printf("Running fixed NMS (18 iterations)...\n");
-    auto curve = runner.Run([&] {
-      return std::make_unique<ldpc::FixedMinSumDecoder>(*system.code, o);
-    });
-    curve.decoder_name = "NMS-18 fixed";
-    curves.push_back(std::move(curve));
-  }
-  {
-    ldpc::FixedMinSumOptions o;
-    o.iter.max_iterations = 50;
-    o.iter.early_termination = true;
+    run("fixed-nms:iters=18", "NMS-18 fixed");
     std::printf("Running fixed NMS (50 iterations)...\n");
-    auto curve = runner.Run([&] {
-      return std::make_unique<ldpc::FixedMinSumDecoder>(*system.code, o);
-    });
-    curve.decoder_name = "NMS-50 fixed";
-    curves.push_back(std::move(curve));
-  }
-  {
-    ldpc::MinSumOptions o;
-    o.variant = ldpc::MinSumVariant::kPlain;
-    o.iter.max_iterations = 18;
+    run("fixed-nms:iters=50", "NMS-50 fixed");
     std::printf("Running plain min-sum (alpha=1, 18 iterations)...\n");
-    auto curve = runner.Run([&] {
-      return std::make_unique<ldpc::MinSumDecoder>(*system.code, o);
-    });
-    curve.decoder_name = "MS-18 plain";
-    curves.push_back(std::move(curve));
-  }
-  if (!quick) {
-    ldpc::IterOptions o{.max_iterations = 50, .early_termination = true};
-    std::printf("Running floating-point BP (50 iterations)...\n");
-    auto curve = runner.Run(
-        [&] { return std::make_unique<ldpc::BpDecoder>(*system.code, o); });
-    curve.decoder_name = "BP-50 float";
-    curves.push_back(std::move(curve));
+    run("ms:iters=18", "MS-18 plain");
+    if (!quick) {
+      std::printf("Running floating-point BP (50 iterations)...\n");
+      run("bp:iters=50", "BP-50 float");
+    }
   }
   const auto elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)

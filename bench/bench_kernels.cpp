@@ -4,10 +4,14 @@
 // model itself (simulation throughput, not hardware throughput).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <limits>
+
 #include "arch/decoder_core.hpp"
 #include "channel/awgn.hpp"
 #include "ldpc/bp_decoder.hpp"
 #include "ldpc/c2_system.hpp"
+#include "ldpc/core/cn_kernel.hpp"
 #include "ldpc/encoder.hpp"
 #include "ldpc/fixed_minsum_decoder.hpp"
 #include "ldpc/minsum_decoder.hpp"
@@ -25,7 +29,7 @@ const ldpc::C2System& C2() {
 
 struct SmallFixture {
   qc::QcMatrix qc = qc::MakeSmallQcCode();
-  ldpc::LdpcCode code{qc.Expand()};
+  ldpc::LdpcCode code{qc.Expand(), qc.q()};
   ldpc::Encoder encoder{code};
 };
 
@@ -144,6 +148,136 @@ void BM_SmallCodeMinSum(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SmallCodeMinSum);
+
+// --- PR-2 before/after: a full check-node pass over the C2 code, run
+// the pre-refactor way (scalar walk over the Tanner graph's edge-id
+// spans, one indirection per message) and through the precomputed
+// z-blocked LayerSchedule (the shared CN kernel over each check's
+// contiguous edge slice). Same math, same outputs — the measured gap
+// is the cost of the graph indirection the refactor removed.
+
+std::vector<double> RandomFloatMessages(std::size_t count,
+                                        std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<double> out(count);
+  for (auto& v : out)
+    v = (static_cast<double>(rng.NextBounded(2000)) - 1000.0) / 100.0;
+  return out;
+}
+
+std::vector<Fixed> RandomFixedMessages(std::size_t count,
+                                       std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<Fixed> out(count);
+  for (auto& v : out) v = static_cast<Fixed>(rng.NextBounded(63)) - 31;
+  return out;
+}
+
+void BM_C2CnPassFloatGraphWalk(benchmark::State& state) {
+  const auto& graph = C2().code->graph();
+  const auto b2c = RandomFloatMessages(graph.num_edges(), 21);
+  std::vector<double> c2b(graph.num_edges());
+  const double scale = 13.0 / 16.0;
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
+      const auto edges = graph.CheckEdges(m);
+      double min1 = std::numeric_limits<double>::infinity();
+      double min2 = min1;
+      std::size_t argmin = 0;
+      bool sign_neg = false;
+      for (const auto e : edges) {
+        const double v = b2c[e];
+        const double mag = std::fabs(v);
+        if (v < 0.0) sign_neg = !sign_neg;
+        if (mag < min1) {
+          min2 = min1;
+          min1 = mag;
+          argmin = e;
+        } else if (mag < min2) {
+          min2 = mag;
+        }
+      }
+      for (const auto e : edges) {
+        const double mag = ((e == argmin) ? min2 : min1) * scale;
+        const bool self_neg = b2c[e] < 0.0;
+        c2b[e] = (sign_neg != self_neg) ? -mag : mag;
+      }
+    }
+    benchmark::DoNotOptimize(c2b.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_edges()));
+}
+BENCHMARK(BM_C2CnPassFloatGraphWalk);
+
+void BM_C2CnPassFloatSchedule(benchmark::State& state) {
+  const auto& sched = C2().code->schedule();
+  using Kernel = ldpc::core::FloatCnKernel;
+  const ldpc::core::FloatCheckRule rule{13.0 / 16.0, 0.0};
+  const auto b2c = RandomFloatMessages(sched.num_edges(), 21);
+  std::vector<double> c2b(sched.num_edges());
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t e0 = sched.EdgeBegin(m);
+      const std::size_t dc = sched.Degree(m);
+      const auto summary = Kernel::Compute({b2c.data() + e0, dc});
+      for (std::size_t i = 0; i < dc; ++i)
+        c2b[e0 + i] = Kernel::Output(summary, i, rule);
+    }
+    benchmark::DoNotOptimize(c2b.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sched.num_edges()));
+}
+BENCHMARK(BM_C2CnPassFloatSchedule);
+
+void BM_C2CnPassFixedGraphWalk(benchmark::State& state) {
+  const auto& graph = C2().code->graph();
+  const auto b2c = RandomFixedMessages(graph.num_edges(), 23);
+  std::vector<Fixed> c2b(graph.num_edges());
+  std::vector<Fixed> cn_inputs(graph.MaxCheckDegree());
+  const DyadicFraction norm{13, 4};
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
+      const auto edges = graph.CheckEdges(m);
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        cn_inputs[i] = b2c[edges[i]];
+      const auto summary =
+          ldpc::ComputeCnSummary({cn_inputs.data(), edges.size()});
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        c2b[edges[i]] = ldpc::CnOutput(summary, i, norm);
+    }
+    benchmark::DoNotOptimize(c2b.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_edges()));
+}
+BENCHMARK(BM_C2CnPassFixedGraphWalk);
+
+void BM_C2CnPassFixedSchedule(benchmark::State& state) {
+  const auto& sched = C2().code->schedule();
+  using Kernel = ldpc::core::FixedCnKernel;
+  const auto b2c = RandomFixedMessages(sched.num_edges(), 23);
+  std::vector<Fixed> c2b(sched.num_edges());
+  const DyadicFraction norm{13, 4};
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t e0 = sched.EdgeBegin(m);
+      const std::size_t dc = sched.Degree(m);
+      const auto summary = Kernel::Compute({b2c.data() + e0, dc});
+      for (std::size_t i = 0; i < dc; ++i)
+        c2b[e0 + i] = Kernel::Output(summary, i, norm);
+    }
+    benchmark::DoNotOptimize(c2b.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sched.num_edges()));
+}
+BENCHMARK(BM_C2CnPassFixedSchedule);
 
 void BM_ArchDecoderC2PerEdge(benchmark::State& state) {
   const auto& system = C2();

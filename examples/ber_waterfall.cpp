@@ -7,12 +7,16 @@
 //
 //   ./ber_waterfall [--c2] [--snrs=3.0,3.5,...] [--frames=N]
 //                   [--threads=N]   (0 = all hardware threads)
+//                   [--decoder="spec[;spec...]"]
+//
+// --decoder selects any registered decoder(s) instead of the default
+// fixed-vs-float pair; see ldpc/core/registry.hpp for the spec
+// grammar (e.g. --decoder="layered-nms:alpha=1.25;fixed-layered-nms").
 #include <cstdio>
 #include <memory>
 
 #include "engine/sim_engine.hpp"
-#include "ldpc/fixed_minsum_decoder.hpp"
-#include "ldpc/minsum_decoder.hpp"
+#include "ldpc/core/registry.hpp"
 #include "qc/ccsds_c2.hpp"
 #include "qc/small_codes.hpp"
 #include "sim/ber_runner.hpp"
@@ -25,7 +29,7 @@ int main(int argc, char** argv) {
 
   const auto qc_matrix =
       use_c2 ? qc::BuildC2QcMatrix() : qc::MakeMediumQcCode();
-  const ldpc::LdpcCode code(qc_matrix.Expand());
+  const ldpc::LdpcCode code(qc_matrix.Expand(), qc_matrix.q());
   const ldpc::Encoder encoder(code);
   std::printf("Code: (%zu, %zu), rate %.3f, %zu edges\n", code.n(), code.k(),
               code.Rate(), code.graph().num_edges());
@@ -42,31 +46,29 @@ int main(int argc, char** argv) {
               engine::ResolveThreads(config.threads));
 
   std::vector<sim::BerCurve> curves;
-  {
-    ldpc::FixedMinSumOptions o;
-    o.iter.max_iterations = 18;
-    o.iter.early_termination = true;
+  if (args.Has("decoder")) {
+    for (const auto& spec : args.GetStringList("decoder", {})) {
+      std::printf("Running %s...\n", spec.c_str());
+      curves.push_back(runner.RunSpec(spec));
+    }
+  } else {
+    // Default comparison, built through the same registry seam: the
+    // 6-bit fixed datapath vs floating-point NMS at 18 iterations.
     std::printf("Running fixed-point NMS-18...\n");
-    auto curve = runner.Run(
-        [&] { return std::make_unique<ldpc::FixedMinSumDecoder>(code, o); });
-    curve.decoder_name = "fixed NMS-18";
-    curves.push_back(std::move(curve));
-  }
-  {
-    ldpc::MinSumOptions o;
-    o.iter.max_iterations = 18;
-    o.variant = ldpc::MinSumVariant::kNormalized;
-    o.alpha = 1.23;
+    auto fixed = runner.RunSpec("fixed-nms:iters=18");
+    fixed.decoder_name = "fixed NMS-18";
+    curves.push_back(std::move(fixed));
     std::printf("Running float NMS-18...\n");
-    auto curve = runner.Run(
-        [&] { return std::make_unique<ldpc::MinSumDecoder>(code, o); });
-    curve.decoder_name = "float NMS-18";
-    curves.push_back(std::move(curve));
+    auto nms = runner.RunSpec("nms:iters=18,alpha=1.23");
+    nms.decoder_name = "float NMS-18";
+    curves.push_back(std::move(nms));
   }
 
   std::printf("\n%s", sim::RenderCurves(curves).c_str());
-  std::printf("\nThe 6-bit fixed datapath should track the float curve to "
-              "within the waterfall's statistical noise — the architecture "
-              "pays almost nothing for quantization.\n");
+  if (!args.Has("decoder")) {
+    std::printf("\nThe 6-bit fixed datapath should track the float curve to "
+                "within the waterfall's statistical noise — the architecture "
+                "pays almost nothing for quantization.\n");
+  }
   return 0;
 }

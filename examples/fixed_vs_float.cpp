@@ -3,14 +3,16 @@
 // 6-bit fixed-point architecture datapath, and show where they
 // disagree.
 //
-//   ./fixed_vs_float [--snr=4.0] [--frames=20]
+//   ./fixed_vs_float [--snr=4.0] [--frames=20] [--decoder=<spec>]
+//
+// --decoder adds any registered decoder as a fourth comparison row
+// (spec grammar: ldpc/core/registry.hpp), decoding the same frames.
 #include <cstdio>
+#include <memory>
 
 #include "channel/awgn.hpp"
-#include "ldpc/bp_decoder.hpp"
+#include "ldpc/core/registry.hpp"
 #include "ldpc/encoder.hpp"
-#include "ldpc/fixed_minsum_decoder.hpp"
-#include "ldpc/minsum_decoder.hpp"
 #include "qc/small_codes.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -22,22 +24,21 @@ int main(int argc, char** argv) {
   const double snr = args.GetDouble("snr", 4.0);
   const int frames = static_cast<int>(args.GetInt("frames", 20));
 
-  const ldpc::LdpcCode code(qc::MakeMediumQcCode().Expand());
+  const auto qc_matrix = qc::MakeMediumQcCode();
+  const ldpc::LdpcCode code(qc_matrix.Expand(), qc_matrix.q());
   const ldpc::Encoder encoder(code);
   std::printf("Code: (%zu, %zu), rate %.3f; Eb/N0 = %.1f dB\n\n", code.n(),
               code.k(), code.Rate(), snr);
 
-  ldpc::IterOptions iters{.max_iterations = 18, .early_termination = true};
-  ldpc::BpDecoder bp(code, iters);
-  ldpc::MinSumOptions nms_opts;
-  nms_opts.iter = iters;
-  nms_opts.alpha = 1.23;
-  ldpc::MinSumDecoder nms(code, nms_opts);
-  ldpc::FixedMinSumOptions fixed_opts;
-  fixed_opts.iter = iters;
-  ldpc::FixedMinSumDecoder fixed(code, fixed_opts);
+  const auto bp = ldpc::MakeDecoder(code, "bp:iters=18");
+  const auto nms = ldpc::MakeDecoder(code, "nms:iters=18,alpha=1.23");
+  const auto fixed = ldpc::MakeDecoder(code, "fixed-nms:iters=18");
+  std::unique_ptr<ldpc::Decoder> custom;
+  if (args.Has("decoder"))
+    custom = ldpc::MakeDecoder(code, args.GetString("decoder", ""));
 
-  int bp_ok = 0, nms_ok = 0, fixed_ok = 0, fixed_equals_nms = 0;
+  int bp_ok = 0, nms_ok = 0, fixed_ok = 0, custom_ok = 0;
+  int fixed_equals_nms = 0;
   std::uint64_t raw_errors = 0;
   for (int f = 0; f < frames; ++f) {
     Xoshiro256pp rng(100 + f);
@@ -48,13 +49,14 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < cw.size(); ++i) {
       if ((llr[i] < 0.0) != (cw[i] != 0)) ++raw_errors;
     }
-    const auto r_bp = bp.Decode(llr);
-    const auto r_nms = nms.Decode(llr);
-    const auto r_fixed = fixed.Decode(llr);
+    const auto r_bp = bp->Decode(llr);
+    const auto r_nms = nms->Decode(llr);
+    const auto r_fixed = fixed->Decode(llr);
     if (r_bp.bits == cw) ++bp_ok;
     if (r_nms.bits == cw) ++nms_ok;
     if (r_fixed.bits == cw) ++fixed_ok;
     if (r_fixed.bits == r_nms.bits) ++fixed_equals_nms;
+    if (custom && custom->Decode(llr).bits == cw) ++custom_ok;
   }
 
   TablePrinter table({"Decoder", "Frames recovered"});
@@ -64,6 +66,10 @@ int main(int argc, char** argv) {
                 std::to_string(nms_ok) + " / " + std::to_string(frames)});
   table.AddRow({"NMS fixed 6-bit (18 it)",
                 std::to_string(fixed_ok) + " / " + std::to_string(frames)});
+  if (custom) {
+    table.AddRow({custom->Name(),
+                  std::to_string(custom_ok) + " / " + std::to_string(frames)});
+  }
   std::printf("%s", table.Render().c_str());
   std::printf("\nRaw channel BER: %.2e\n",
               static_cast<double>(raw_errors) /

@@ -11,15 +11,21 @@
 //                         [--clock-mhz=200] [--npb=1]
 //                         [--measure-ebn0=4.2] [--measure-frames=24]
 //                         [--threads=N] [--seed=N]
+//                         [--decoder=<spec>]
+//
+// --decoder swaps the decoder the measurement runs (default: the
+// fixed datapath at the configured iteration count); any registered
+// spec works, see ldpc/core/registry.hpp for the grammar.
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "arch/resources.hpp"
 #include "arch/throughput.hpp"
 #include "engine/sim_engine.hpp"
 #include "ldpc/c2_system.hpp"
-#include "ldpc/fixed_minsum_decoder.hpp"
+#include "ldpc/core/registry.hpp"
 #include "qc/ccsds_c2.hpp"
 #include "sim/ber_runner.hpp"
 #include "util/cli.hpp"
@@ -78,18 +84,16 @@ int main(int argc, char** argv) {
     mc.threads = static_cast<std::size_t>(args.GetInt("threads", 0));
     mc.batch_frames = 2;
 
+    const std::string spec = args.GetString(
+        "decoder",
+        "fixed-nms:iters=" + std::to_string(config.iterations) + ",et=1");
     std::printf("\nMeasuring average iterations at %.2f dB (%llu frames, "
-                "%zu threads)...\n",
+                "%zu threads, decoder %s)...\n",
                 ebn0, static_cast<unsigned long long>(mc.max_frames),
-                engine::ResolveThreads(mc.threads));
+                engine::ResolveThreads(mc.threads), spec.c_str());
     const auto system = ldpc::MakeC2System();
     sim::BerRunner runner(*system.code, *system.encoder, mc);
-    ldpc::FixedMinSumOptions fo;
-    fo.iter.max_iterations = config.iterations;
-    fo.iter.early_termination = true;
-    const auto curve = runner.Run([&] {
-      return std::make_unique<ldpc::FixedMinSumDecoder>(*system.code, fo);
-    });
+    const auto curve = runner.RunSpec(spec);
     const auto& point = curve.points.front();
 
     // Effective batch latency at the measured (fractional) iteration

@@ -7,7 +7,8 @@ namespace cldpc::ldpc {
 C2System MakeC2System(std::uint64_t seed) {
   using qc::C2Constants;
   auto qc_matrix = qc::BuildC2QcMatrix(seed);
-  auto code = std::make_unique<LdpcCode>(qc_matrix.Expand());
+  // One schedule layer per circulant block row (q checks each).
+  auto code = std::make_unique<LdpcCode>(qc_matrix.Expand(), qc_matrix.q());
 
   CLDPC_ENSURES(code->n() == C2Constants::kN, "C2 length mismatch");
   CLDPC_ENSURES(code->k() == C2Constants::kK,

@@ -2,7 +2,8 @@
 
 namespace cldpc::ldpc {
 
-LdpcCode::LdpcCode(gf2::SparseMat h) : h_(std::move(h)), graph_(h_) {}
+LdpcCode::LdpcCode(gf2::SparseMat h, std::size_t checks_per_layer)
+    : h_(std::move(h)), graph_(h_), schedule_(graph_, checks_per_layer) {}
 
 const LdpcCode::RankData& LdpcCode::EnsureRankData() const {
   if (!rank_data_) {

@@ -14,13 +14,18 @@
 #include <vector>
 
 #include "gf2/sparse.hpp"
+#include "ldpc/core/layer_schedule.hpp"
 #include "tanner/graph.hpp"
 
 namespace cldpc::ldpc {
 
 class LdpcCode {
  public:
-  explicit LdpcCode(gf2::SparseMat h);
+  /// `checks_per_layer` sets the decode schedule's layer granularity:
+  /// pass the QC expansion factor q to get one layer per circulant
+  /// block row (the hardware's sequencing epoch); the default 0 means
+  /// one layer per check. Layering never changes decode results.
+  explicit LdpcCode(gf2::SparseMat h, std::size_t checks_per_layer = 0);
 
   /// Code length n (number of bit nodes).
   std::size_t n() const { return h_.cols(); }
@@ -35,6 +40,10 @@ class LdpcCode {
 
   const gf2::SparseMat& h() const { return h_; }
   const tanner::Graph& graph() const { return graph_; }
+  /// The precomputed decode schedule, built once with the code and
+  /// shared immutably by every decoder instance (engine clones
+  /// included) — decoders never re-walk the Tanner graph.
+  const core::LayerSchedule& schedule() const { return schedule_; }
 
   /// Information positions: the columns of H without a pivot in its
   /// reduced row echelon form, ascending. size() == k().
@@ -59,6 +68,7 @@ class LdpcCode {
 
   gf2::SparseMat h_;
   tanner::Graph graph_;
+  core::LayerSchedule schedule_;
   mutable std::optional<RankData> rank_data_;
 };
 

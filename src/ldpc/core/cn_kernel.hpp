@@ -1,0 +1,147 @@
+// The single check-node kernel every min-sum-family decoder routes
+// through. The min1/min2/argmin/sign-product scan — the physics the
+// paper's CNU hardware implements — is written exactly once here,
+// templated on a datapath policy:
+//
+//   CnUpdate<FloatDatapath>  — doubles, correction by scale/offset
+//   CnUpdate<FixedDatapath>  — W-bit words, dyadic shift-add normalizer
+//
+// Flooding, layered, and both fixed-point decoders (plus the
+// architecture model, through the ComputeCnSummary/CnOutput wrappers
+// in ldpc/fixed_datapath.hpp) all call Compute + Output; none of them
+// carries its own copy of the loop.
+//
+// Bit-exactness contract: for identical inputs the kernel performs
+// the identical sequence of comparisons, multiplies and sign flips
+// the pre-refactor per-decoder loops performed, so DecodeResults are
+// byte-identical across the refactor. Ties in magnitude keep the
+// first (lowest-position) argmin, matching the hardware comparator
+// tree.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "util/contracts.hpp"
+#include "util/fixed_point.hpp"
+
+namespace cldpc::ldpc::core {
+
+/// Magnitude correction of the floating-point datapath, applied to
+/// the exclusive min as max(0, mag * scale - beta). The three min-sum
+/// variants are points in this rule space: plain is {1, 0},
+/// normalized is {1/alpha, 0}, offset is {1, beta}.
+struct FloatCheckRule {
+  double scale = 1.0;
+  double beta = 0.0;
+};
+
+/// Floating-point datapath policy.
+struct FloatDatapath {
+  using Value = double;
+  using Rule = FloatCheckRule;
+  static constexpr double kMax = std::numeric_limits<double>::infinity();
+  static double Abs(double v) { return std::fabs(v); }
+  static bool IsNegative(double v) { return v < 0.0; }
+  static double Normalize(double mag, const Rule& rule) {
+    // beta == 0 (plain/normalized) keeps the hot path at one multiply;
+    // the offset branch clamps exactly like max(0, mag - beta).
+    const double scaled = mag * rule.scale;
+    return rule.beta == 0.0 ? scaled : std::max(0.0, scaled - rule.beta);
+  }
+  /// IEEE negation is an exact sign-bit flip; doing it with integer
+  /// xor keeps the per-edge output loop free of a data-dependent
+  /// branch (message signs are ~coin flips — a ternary mispredicts
+  /// half the time).
+  static double FlipSign(double v, bool negative) {
+    return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^
+                                 (std::uint64_t{negative} << 63));
+  }
+};
+
+/// Fixed-point datapath policy: symmetric W-bit words carried in
+/// Fixed, normalization by a dyadic shift-add multiplier (the only
+/// multiplier shape the hardware normalizer implements).
+struct FixedDatapath {
+  using Value = Fixed;
+  using Rule = DyadicFraction;
+  static constexpr Fixed kMax = INT32_MAX;
+  static Fixed Abs(Fixed v) { return v < 0 ? -v : v; }
+  static bool IsNegative(Fixed v) { return v < 0; }
+  static Fixed Normalize(Fixed mag, const Rule& rule) {
+    return rule.Apply(mag);
+  }
+  static Fixed FlipSign(Fixed v, bool negative) {
+    return negative ? -v : v;  // compiles to neg+cmov, branch-free
+  }
+};
+
+template <class Datapath>
+struct CnUpdate {
+  using Value = typename Datapath::Value;
+  using Rule = typename Datapath::Rule;
+
+  /// Compressed result of one scan over a check node's dc inputs: the
+  /// two smallest magnitudes, where the smallest occurred, the overall
+  /// sign product and each input's sign. For the fixed datapath this
+  /// doubles as the high-speed decoder's compressed message-memory
+  /// record (see arch/memory.hpp).
+  struct Summary {
+    Value min1{};
+    Value min2{};
+    std::uint32_t argmin_pos = 0;
+    bool sign_product_negative = false;
+    /// Bit i set: input i was negative. Degrees up to 64 supported.
+    std::uint64_t sign_mask = 0;
+    std::uint32_t degree = 0;
+  };
+
+  /// First pass: scan the dc incoming bit-to-check messages.
+  static Summary Compute(std::span<const Value> inputs) {
+    CLDPC_EXPECTS(inputs.size() >= 2 && inputs.size() <= 64,
+                  "check degree must be in [2, 64]");
+    Summary s;
+    s.degree = static_cast<std::uint32_t>(inputs.size());
+    Value min1 = Datapath::kMax;
+    Value min2 = Datapath::kMax;
+    std::uint64_t sign_mask = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const Value v = inputs[i];
+      const Value mag = Datapath::Abs(v);
+      // Branch-free sign accumulation: the per-input sign is a coin
+      // flip, so a conditional here would mispredict constantly.
+      sign_mask |= std::uint64_t{Datapath::IsNegative(v)} << i;
+      if (mag < min1) {
+        min2 = min1;
+        min1 = mag;
+        s.argmin_pos = static_cast<std::uint32_t>(i);
+      } else if (mag < min2) {
+        min2 = mag;
+      }
+    }
+    s.min1 = min1;
+    s.min2 = min2;
+    s.sign_mask = sign_mask;
+    s.sign_product_negative = (std::popcount(sign_mask) & 1) != 0;
+    return s;
+  }
+
+  /// Second pass: the check-to-bit message for input position `pos`
+  /// (the exclusive min, normalized, with the exclusive sign product).
+  static Value Output(const Summary& s, std::size_t pos, const Rule& rule) {
+    const Value excl = (pos == s.argmin_pos) ? s.min2 : s.min1;
+    const Value mag = Datapath::Normalize(excl, rule);
+    const bool self_negative = ((s.sign_mask >> pos) & 1u) != 0;
+    const bool negative = s.sign_product_negative != self_negative;
+    return Datapath::FlipSign(mag, negative);
+  }
+};
+
+using FloatCnKernel = CnUpdate<FloatDatapath>;
+using FixedCnKernel = CnUpdate<FixedDatapath>;
+
+}  // namespace cldpc::ldpc::core

@@ -1,0 +1,48 @@
+#include "ldpc/core/layer_schedule.hpp"
+
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc::core {
+
+LayerSchedule::LayerSchedule(const tanner::Graph& graph,
+                             std::size_t checks_per_layer)
+    : num_bits_(graph.num_bits()),
+      num_checks_(graph.num_checks()),
+      checks_per_layer_(checks_per_layer == 0 ? 1 : checks_per_layer) {
+  CLDPC_EXPECTS(graph.num_edges() <
+                    std::numeric_limits<std::uint32_t>::max(),
+                "schedule indices are 32-bit");
+  num_layers_ =
+      (num_checks_ + checks_per_layer_ - 1) / checks_per_layer_;
+
+  edge_ptr_.reserve(num_checks_ + 1);
+  bit_ids_.reserve(graph.num_edges());
+  std::size_t next_edge = 0;
+  edge_ptr_.push_back(0);
+  for (std::size_t m = 0; m < num_checks_; ++m) {
+    const auto edges = graph.CheckEdges(m);
+    // The canonical numbering is row-major over H, so check m's edge
+    // ids must be exactly the next contiguous range — the property
+    // the whole z-blocked layout rests on.
+    for (const auto e : edges) {
+      CLDPC_EXPECTS(e == next_edge,
+                    "graph edge numbering is not row-major contiguous");
+      ++next_edge;
+      bit_ids_.push_back(static_cast<std::uint32_t>(graph.EdgeBit(e)));
+    }
+    edge_ptr_.push_back(static_cast<std::uint32_t>(next_edge));
+
+    const std::size_t dc = edges.size();
+    if (dc > max_degree_) max_degree_ = dc;
+    if (m == 0) {
+      uniform_degree_ = dc;
+    } else if (dc != uniform_degree_) {
+      uniform_degree_ = 0;
+    }
+  }
+  CLDPC_ENSURES(next_edge == graph.num_edges(), "edge count mismatch");
+}
+
+}  // namespace cldpc::ldpc::core

@@ -1,0 +1,82 @@
+// Precomputed decode schedule over a Tanner graph, built once per
+// code and shared (immutably) by every decoder clone the engine's
+// DecoderPool spawns.
+//
+// The QC structure is what makes this flat: the canonical edge
+// numbering is row-major over H's nonzeros, so the edges of check m
+// are the *contiguous* id range [EdgeBegin(m), EdgeBegin(m) + dc).
+// Per-edge message arrays indexed by edge id are therefore already
+// z-blocked — a check-node pass reads and writes one contiguous,
+// auto-vectorizable slice per check instead of chasing edge-id spans
+// through the graph's CSR indirection (the pre-refactor decoders'
+// inner loop). The schedule verifies this contiguity at construction
+// and stores only two flat 32-bit arrays: per-check edge offsets and
+// the per-edge bit indices in schedule order.
+//
+// Layers group consecutive checks into the hardware's sequencing
+// epochs: `checks_per_layer` = q yields one layer per circulant block
+// row (what the paper's controller walks); 0 yields one layer per
+// check (row-layered TDMP granularity). Layering is metadata for
+// schedules, benches and the architecture model — decode results
+// never depend on it, because every decoder visits checks in
+// ascending index order regardless.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tanner/graph.hpp"
+
+namespace cldpc::ldpc::core {
+
+class LayerSchedule {
+ public:
+  /// Build from a graph. `checks_per_layer` is the layer granularity
+  /// (q for QC block rows; 0 = one layer per check). The last layer
+  /// may be ragged if it does not divide the check count.
+  explicit LayerSchedule(const tanner::Graph& graph,
+                         std::size_t checks_per_layer = 0);
+
+  std::size_t num_bits() const { return num_bits_; }
+  std::size_t num_checks() const { return num_checks_; }
+  std::size_t num_edges() const { return bit_ids_.size(); }
+
+  std::size_t num_layers() const { return num_layers_; }
+  std::size_t checks_per_layer() const { return checks_per_layer_; }
+  /// Checks of layer l are the ascending range [begin, end).
+  std::size_t LayerBegin(std::size_t l) const { return l * checks_per_layer_; }
+  std::size_t LayerEnd(std::size_t l) const {
+    const std::size_t end = (l + 1) * checks_per_layer_;
+    return end < num_checks_ ? end : num_checks_;
+  }
+
+  /// First edge id of check m; its edges are [EdgeBegin(m),
+  /// EdgeBegin(m) + Degree(m)), contiguous by construction.
+  std::size_t EdgeBegin(std::size_t m) const { return edge_ptr_[m]; }
+  std::size_t Degree(std::size_t m) const {
+    return edge_ptr_[m + 1] - edge_ptr_[m];
+  }
+  /// Bit indices of check m's edges, ascending (one per edge).
+  std::span<const std::uint32_t> CheckBits(std::size_t m) const {
+    return {bit_ids_.data() + edge_ptr_[m], Degree(m)};
+  }
+  /// The full edge -> bit map in edge-id (= schedule) order.
+  std::span<const std::uint32_t> edge_bits() const { return bit_ids_; }
+
+  /// Common check degree, or 0 if the graph is check-irregular.
+  std::size_t uniform_check_degree() const { return uniform_degree_; }
+  std::size_t max_check_degree() const { return max_degree_; }
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::size_t num_checks_ = 0;
+  std::size_t checks_per_layer_ = 1;
+  std::size_t num_layers_ = 0;
+  std::size_t uniform_degree_ = 0;
+  std::size_t max_degree_ = 0;
+  std::vector<std::uint32_t> edge_ptr_;  // num_checks + 1 offsets
+  std::vector<std::uint32_t> bit_ids_;   // per edge, check-major
+};
+
+}  // namespace cldpc::ldpc::core

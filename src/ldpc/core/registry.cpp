@@ -1,0 +1,283 @@
+#include "ldpc/core/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "ldpc/bp_decoder.hpp"
+#include "ldpc/fixed_layered_decoder.hpp"
+#include "ldpc/fixed_minsum_decoder.hpp"
+#include "ldpc/layered_decoder.hpp"
+#include "ldpc/minsum_decoder.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc {
+namespace {
+
+bool ParseBoolValue(const std::string& v, const std::string& key) {
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  CLDPC_EXPECTS(false, "decoder spec: bad boolean for '" + key + "': " + v);
+  return false;
+}
+
+IterOptions IterFromSpec(const DecoderSpec& spec) {
+  IterOptions iter;
+  iter.max_iterations = spec.GetInt("iters", 18);
+  iter.early_termination = spec.GetBool("et", true);
+  CLDPC_EXPECTS(iter.max_iterations > 0,
+                "decoder spec: iters must be >= 1");
+  return iter;
+}
+
+MinSumOptions MinSumFromSpec(const DecoderSpec& spec, MinSumVariant variant) {
+  MinSumOptions o;
+  o.iter = IterFromSpec(spec);
+  o.variant = variant;
+  o.alpha = spec.GetDouble("alpha", 1.23);
+  o.dyadic_alpha = spec.GetBool("dyadic", true);
+  o.beta = spec.GetDouble("beta", 0.5);
+  return o;
+}
+
+void ExpectMinSumKeys(const DecoderSpec& spec, MinSumVariant variant) {
+  switch (variant) {
+    case MinSumVariant::kPlain:
+      spec.ExpectOnlyKeys({"iters", "et"});
+      break;
+    case MinSumVariant::kNormalized:
+      spec.ExpectOnlyKeys({"iters", "et", "alpha", "dyadic"});
+      break;
+    case MinSumVariant::kOffset:
+      spec.ExpectOnlyKeys({"iters", "et", "beta"});
+      break;
+  }
+}
+
+/// "13/16" -> DyadicFraction{13, 4}; the denominator must be a power
+/// of two (the only multiplier shape the hardware normalizer has).
+DyadicFraction ParseDyadic(const std::string& v) {
+  const auto slash = v.find('/');
+  CLDPC_EXPECTS(slash != std::string::npos,
+                "decoder spec: norm must be <num>/<den>, got: " + v);
+  const auto parse_part = [&v](const std::string& part) {
+    char* end = nullptr;
+    const long parsed = std::strtol(part.c_str(), &end, 10);
+    CLDPC_EXPECTS(end != part.c_str() && *end == '\0',
+                  "decoder spec: bad norm integer in: " + v);
+    return parsed;
+  };
+  const long num = parse_part(v.substr(0, slash));
+  const long den = parse_part(v.substr(slash + 1));
+  CLDPC_EXPECTS(num > 0 && den > 0, "decoder spec: norm parts must be > 0");
+  CLDPC_EXPECTS((den & (den - 1)) == 0,
+                "decoder spec: norm denominator must be a power of two");
+  int shift = 0;
+  for (long d = den; d > 1; d >>= 1) ++shift;
+  return DyadicFraction{static_cast<std::int32_t>(num), shift};
+}
+
+FixedMinSumOptions FixedFromSpec(const DecoderSpec& spec) {
+  spec.ExpectOnlyKeys(
+      {"iters", "et", "wc", "wm", "wapp", "scale", "alpha", "norm"});
+  FixedMinSumOptions o;
+  o.iter = IterFromSpec(spec);
+  o.datapath.channel_bits = spec.GetInt("wc", o.datapath.channel_bits);
+  o.datapath.message_bits = spec.GetInt("wm", o.datapath.message_bits);
+  o.datapath.app_bits = spec.GetInt("wapp", o.datapath.app_bits);
+  o.datapath.channel_scale = spec.GetDouble("scale", o.datapath.channel_scale);
+  // Range-check here, before any width reaches a shift: word widths
+  // outside the modelled hardware range must be a loud spec error,
+  // not undefined behavior in SymmetricMax.
+  CLDPC_EXPECTS(
+      o.datapath.channel_bits >= 2 && o.datapath.channel_bits <= 16,
+      "decoder spec: wc must be in [2, 16]");
+  CLDPC_EXPECTS(
+      o.datapath.message_bits >= 2 && o.datapath.message_bits <= 16,
+      "decoder spec: wm must be in [2, 16]");
+  CLDPC_EXPECTS(o.datapath.app_bits >= o.datapath.message_bits &&
+                    o.datapath.app_bits <= 30,
+                "decoder spec: wapp must be in [wm, 30]");
+  CLDPC_EXPECTS(o.datapath.channel_scale > 0.0,
+                "decoder spec: scale must be > 0");
+  CLDPC_EXPECTS(!(spec.Has("alpha") && spec.Has("norm")),
+                "decoder spec: give alpha or norm, not both");
+  if (spec.Has("alpha")) {
+    const double alpha = spec.GetDouble("alpha", 1.23);
+    CLDPC_EXPECTS(alpha >= 1.0, "decoder spec: alpha must be >= 1");
+    o.datapath.normalization = NearestDyadic(1.0 / alpha, 4);
+  } else if (spec.Has("norm")) {
+    o.datapath.normalization = ParseDyadic(spec.GetString("norm", ""));
+  }
+  return o;
+}
+
+std::map<std::string, DecoderBuilder>& Registry() {
+  static std::map<std::string, DecoderBuilder> registry = [] {
+    std::map<std::string, DecoderBuilder> r;
+    r["bp"] = [](const LdpcCode& code, const DecoderSpec& spec) {
+      spec.ExpectOnlyKeys({"iters", "et"});
+      return std::make_unique<BpDecoder>(code, IterFromSpec(spec));
+    };
+    const auto minsum = [](MinSumVariant variant, bool layered) {
+      return [variant, layered](const LdpcCode& code,
+                                const DecoderSpec& spec)
+                 -> std::unique_ptr<Decoder> {
+        ExpectMinSumKeys(spec, variant);
+        const auto options = MinSumFromSpec(spec, variant);
+        if (layered)
+          return std::make_unique<LayeredMinSumDecoder>(code, options);
+        return std::make_unique<MinSumDecoder>(code, options);
+      };
+    };
+    r["ms"] = minsum(MinSumVariant::kPlain, false);
+    r["nms"] = minsum(MinSumVariant::kNormalized, false);
+    r["oms"] = minsum(MinSumVariant::kOffset, false);
+    r["layered-ms"] = minsum(MinSumVariant::kPlain, true);
+    r["layered-nms"] = minsum(MinSumVariant::kNormalized, true);
+    r["layered-oms"] = minsum(MinSumVariant::kOffset, true);
+    r["fixed-nms"] = [](const LdpcCode& code, const DecoderSpec& spec) {
+      return std::make_unique<FixedMinSumDecoder>(code, FixedFromSpec(spec));
+    };
+    r["fixed-layered-nms"] = [](const LdpcCode& code,
+                                const DecoderSpec& spec) {
+      return std::make_unique<FixedLayeredMinSumDecoder>(code,
+                                                         FixedFromSpec(spec));
+    };
+    // Aliases.
+    r["minsum"] = r["ms"];
+    r["layered"] = r["layered-nms"];
+    r["fixed"] = r["fixed-nms"];
+    r["fixed-layered"] = r["fixed-layered-nms"];
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace
+
+DecoderSpec DecoderSpec::Parse(const std::string& text) {
+  DecoderSpec spec;
+  const auto colon = text.find(':');
+  spec.kind = text.substr(0, colon);
+  CLDPC_EXPECTS(!spec.kind.empty(), "decoder spec: empty kind");
+  if (colon == std::string::npos) return spec;
+
+  std::stringstream ss(text.substr(colon + 1));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    CLDPC_EXPECTS(eq != std::string::npos && eq > 0,
+                  "decoder spec: param must be key=value, got: " + item);
+    auto key = item.substr(0, eq);
+    CLDPC_EXPECTS(!spec.Has(key), "decoder spec: duplicate param: " + key);
+    spec.params.emplace_back(std::move(key), item.substr(eq + 1));
+  }
+  CLDPC_EXPECTS(!spec.params.empty(),
+                "decoder spec: ':' must be followed by params");
+  return spec;
+}
+
+std::string DecoderSpec::ToString() const {
+  std::string out = kind;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += (i == 0 ? ':' : ',');
+    out += params[i].first + "=" + params[i].second;
+  }
+  return out;
+}
+
+bool DecoderSpec::Has(const std::string& key) const {
+  return std::any_of(params.begin(), params.end(),
+                     [&](const auto& p) { return p.first == key; });
+}
+
+std::string DecoderSpec::GetString(const std::string& key,
+                                   const std::string& fallback) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+int DecoderSpec::GetInt(const std::string& key, int fallback) const {
+  if (!Has(key)) return fallback;
+  const auto v = GetString(key, "");
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 10);
+  CLDPC_EXPECTS(end != v.c_str() && *end == '\0',
+                "decoder spec: bad integer for '" + key + "': " + v);
+  return static_cast<int>(parsed);
+}
+
+double DecoderSpec::GetDouble(const std::string& key, double fallback) const {
+  if (!Has(key)) return fallback;
+  const auto v = GetString(key, "");
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  CLDPC_EXPECTS(end != v.c_str() && *end == '\0',
+                "decoder spec: bad number for '" + key + "': " + v);
+  return parsed;
+}
+
+bool DecoderSpec::GetBool(const std::string& key, bool fallback) const {
+  if (!Has(key)) return fallback;
+  return ParseBoolValue(GetString(key, ""), key);
+}
+
+void DecoderSpec::ExpectOnlyKeys(
+    std::initializer_list<const char*> known) const {
+  for (const auto& [k, v] : params) {
+    const bool ok = std::any_of(known.begin(), known.end(),
+                                [&](const char* name) { return k == name; });
+    CLDPC_EXPECTS(ok, "decoder spec: kind '" + kind +
+                          "' does not take param '" + k + "'");
+  }
+}
+
+void RegisterDecoder(const std::string& kind, DecoderBuilder builder) {
+  CLDPC_EXPECTS(static_cast<bool>(builder), "decoder builder must be set");
+  const auto [it, inserted] = Registry().emplace(kind, std::move(builder));
+  CLDPC_EXPECTS(inserted, "decoder kind already registered: " + kind);
+}
+
+std::vector<std::string> RegisteredDecoderKinds() {
+  std::vector<std::string> kinds;
+  kinds.reserve(Registry().size());
+  for (const auto& [kind, builder] : Registry()) kinds.push_back(kind);
+  return kinds;
+}
+
+std::unique_ptr<Decoder> MakeDecoder(const LdpcCode& code,
+                                     const DecoderSpec& spec) {
+  const auto it = Registry().find(spec.kind);
+  if (it == Registry().end()) {
+    std::string known;
+    for (const auto& kind : RegisteredDecoderKinds()) {
+      if (!known.empty()) known += ", ";
+      known += kind;
+    }
+    CLDPC_EXPECTS(false, "unknown decoder kind '" + spec.kind +
+                             "' (registered: " + known + ")");
+  }
+  auto decoder = it->second(code, spec);
+  CLDPC_ENSURES(decoder != nullptr, "decoder builder returned null");
+  return decoder;
+}
+
+std::unique_ptr<Decoder> MakeDecoder(const LdpcCode& code,
+                                     const std::string& spec) {
+  return MakeDecoder(code, DecoderSpec::Parse(spec));
+}
+
+std::function<std::unique_ptr<Decoder>()> MakeDecoderFactory(
+    const LdpcCode& code, const std::string& spec) {
+  // Parse (and validate against the registry) once, up-front, so a
+  // bad spec fails at wiring time, not at first clone.
+  auto parsed = DecoderSpec::Parse(spec);
+  MakeDecoder(code, parsed);
+  return [&code, parsed] { return MakeDecoder(code, parsed); };
+}
+
+}  // namespace cldpc::ldpc

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 
+#include "ldpc/core/cn_kernel.hpp"
 #include "util/contracts.hpp"
 #include "util/fixed_point.hpp"
 
@@ -36,54 +37,21 @@ struct FixedDatapathParams {
 /// Compressed result of a check-node pass over its dc inputs: the two
 /// smallest magnitudes, where the smallest occurred, the overall sign
 /// product and each input's sign. This is also the high-speed
-/// decoder's compressed message-memory record.
-struct CnSummary {
-  Fixed min1 = 0;
-  Fixed min2 = 0;
-  std::uint32_t argmin_pos = 0;
-  bool sign_product_negative = false;
-  /// Bit i set: input i was negative. Degrees up to 64 supported.
-  std::uint64_t sign_mask = 0;
-  std::uint32_t degree = 0;
-};
+/// decoder's compressed message-memory record. The scan itself lives
+/// in the shared CN kernel (core/cn_kernel.hpp); this is its
+/// fixed-datapath instantiation.
+using CnSummary = core::FixedCnKernel::Summary;
 
 /// First CN pass: scan the dc incoming bit-to-check messages.
 inline CnSummary ComputeCnSummary(std::span<const Fixed> inputs) {
-  CLDPC_EXPECTS(inputs.size() >= 2 && inputs.size() <= 64,
-                "check degree must be in [2, 64]");
-  CnSummary s;
-  s.degree = static_cast<std::uint32_t>(inputs.size());
-  Fixed min1 = INT32_MAX;
-  Fixed min2 = INT32_MAX;
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    const Fixed v = inputs[i];
-    const Fixed mag = v < 0 ? -v : v;
-    if (v < 0) {
-      s.sign_mask |= (std::uint64_t{1} << i);
-      s.sign_product_negative = !s.sign_product_negative;
-    }
-    if (mag < min1) {
-      min2 = min1;
-      min1 = mag;
-      s.argmin_pos = static_cast<std::uint32_t>(i);
-    } else if (mag < min2) {
-      min2 = mag;
-    }
-  }
-  s.min1 = min1;
-  s.min2 = min2;
-  return s;
+  return core::FixedCnKernel::Compute(inputs);
 }
 
 /// Second CN pass: the check-to-bit message for input position `pos`
 /// (the exclusive min, normalized, with the exclusive sign product).
 inline Fixed CnOutput(const CnSummary& s, std::size_t pos,
                       const DyadicFraction& normalization) {
-  const Fixed excl = (pos == s.argmin_pos) ? s.min2 : s.min1;
-  const Fixed mag = normalization.Apply(excl);
-  const bool self_negative = (s.sign_mask >> pos) & 1u;
-  const bool negative = s.sign_product_negative != self_negative;
-  return negative ? -mag : mag;
+  return core::FixedCnKernel::Output(s, pos, normalization);
 }
 
 /// Bit-node accumulation: APP = channel + sum of check inputs,

@@ -14,6 +14,9 @@ FixedLayeredMinSumDecoder::FixedLayeredMinSumDecoder(
       quantizer_(options.datapath.channel_bits,
                  options.datapath.channel_scale) {
   CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
+  CLDPC_EXPECTS(options_.datapath.message_bits >= 2 &&
+                    options_.datapath.message_bits <= 16,
+                "message width out of range");
   CLDPC_EXPECTS(options_.datapath.app_bits >= options_.datapath.message_bits,
                 "APP accumulator narrower than messages");
   app_.resize(code_.graph().num_bits());
@@ -35,7 +38,9 @@ DecodeResult FixedLayeredMinSumDecoder::Decode(std::span<const double> llr) {
 
 DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
     std::span<const Fixed> channel) {
+  using Kernel = core::FixedCnKernel;
   const auto& graph = code_.graph();
+  const auto& sched = code_.schedule();
   CLDPC_EXPECTS(channel.size() == graph.num_bits(),
                 "channel frame length must equal n");
   const auto& dp = options_.datapath;
@@ -47,26 +52,26 @@ DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
   DecodeResult result;
   result.bits.resize(graph.num_bits());
 
-  std::vector<Fixed> bc(graph.MaxCheckDegree());
-  std::vector<Fixed> extrinsic(graph.MaxCheckDegree());
+  std::vector<Fixed> bc(sched.max_check_degree());
+  std::vector<Fixed> extrinsic(sched.max_check_degree());
 
   for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
-    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
-      const auto edges = graph.CheckEdges(m);
-      const std::size_t dc = edges.size();
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t dc = sched.Degree(m);
       if (dc == 0) continue;
+      const auto bits = sched.CheckBits(m);
       const CnSummary prev = records_[m];
       for (std::size_t pos = 0; pos < dc; ++pos) {
-        const Fixed cb_old = CnOutput(prev, pos, dp.normalization);
+        const Fixed cb_old = Kernel::Output(prev, pos, dp.normalization);
         // Full-precision peeled APP; only the CN input is narrowed.
-        extrinsic[pos] = app_[graph.EdgeBit(edges[pos])] - cb_old;
+        extrinsic[pos] = app_[bits[pos]] - cb_old;
         bc[pos] = SaturateSymmetric(extrinsic[pos], dp.message_bits);
       }
-      const CnSummary fresh = ComputeCnSummary({bc.data(), dc});
+      const CnSummary fresh = Kernel::Compute({bc.data(), dc});
       records_[m] = fresh;
       for (std::size_t pos = 0; pos < dc; ++pos) {
-        const Fixed cb_new = CnOutput(fresh, pos, dp.normalization);
-        app_[graph.EdgeBit(edges[pos])] =
+        const Fixed cb_new = Kernel::Output(fresh, pos, dp.normalization);
+        app_[bits[pos]] =
             SaturateSymmetric(extrinsic[pos] + cb_new, dp.app_bits);
       }
     }

@@ -44,35 +44,38 @@ DecodeResult FixedMinSumDecoder::Decode(std::span<const double> llr) {
 
 DecodeResult FixedMinSumDecoder::DecodeQuantized(
     std::span<const Fixed> channel) {
+  using Kernel = core::FixedCnKernel;
   const auto& graph = code_.graph();
+  const auto& sched = code_.schedule();
   CLDPC_EXPECTS(channel.size() == graph.num_bits(),
                 "channel frame length must equal n");
   const auto& dp = options_.datapath;
 
   // Initial bit-to-check messages are the (already message-width
   // saturated) channel words.
-  for (std::size_t e = 0; e < graph.num_edges(); ++e) {
+  const auto edge_bits = sched.edge_bits();
+  for (std::size_t e = 0; e < sched.num_edges(); ++e) {
     bit_to_check_[e] =
-        SaturateSymmetric(channel[graph.EdgeBit(e)], dp.message_bits);
+        SaturateSymmetric(channel[edge_bits[e]], dp.message_bits);
   }
   std::fill(check_to_bit_.begin(), check_to_bit_.end(), Fixed{0});
 
   DecodeResult result;
   result.bits.resize(graph.num_bits());
 
-  std::vector<Fixed> cn_inputs(graph.MaxCheckDegree());
   std::vector<Fixed> bn_inputs(graph.MaxBitDegree());
 
   for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
-    // ---- Check-node phase.
-    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
-      const auto edges = graph.CheckEdges(m);
-      for (std::size_t i = 0; i < edges.size(); ++i)
-        cn_inputs[i] = bit_to_check_[edges[i]];
+    // ---- Check-node phase: the shared kernel over each check's
+    // contiguous edge slice (z-blocked, no gather).
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t e0 = sched.EdgeBegin(m);
+      const std::size_t dc = sched.Degree(m);
+      if (dc == 0) continue;  // empty check: nothing to send
       const CnSummary summary =
-          ComputeCnSummary({cn_inputs.data(), edges.size()});
-      for (std::size_t i = 0; i < edges.size(); ++i)
-        check_to_bit_[edges[i]] = CnOutput(summary, i, dp.normalization);
+          Kernel::Compute({bit_to_check_.data() + e0, dc});
+      for (std::size_t i = 0; i < dc; ++i)
+        check_to_bit_[e0 + i] = Kernel::Output(summary, i, dp.normalization);
     }
 
     // ---- Bit-node phase.

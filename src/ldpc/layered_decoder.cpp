@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "util/contracts.hpp"
-#include "util/fixed_point.hpp"
 
 namespace cldpc::ldpc {
 
@@ -14,21 +12,19 @@ LayeredMinSumDecoder::LayeredMinSumDecoder(const LdpcCode& code,
     : code_(code), options_(options) {
   CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
   CLDPC_EXPECTS(options_.alpha >= 1.0, "alpha must be >= 1");
-  if (options_.variant == MinSumVariant::kNormalized) {
-    scale_ = options_.dyadic_alpha
-                 ? NearestDyadic(1.0 / options_.alpha, 4).ToDouble()
-                 : 1.0 / options_.alpha;
-  }
+  rule_ = MinSumCheckRule(options_);
   app_.resize(code_.graph().num_bits());
   check_to_bit_.resize(code_.graph().num_edges());
 }
 
 std::string LayeredMinSumDecoder::Name() const {
-  return "layered-" + MinSumDecoder(code_, options_).Name();
+  return "layered-" + MinSumFamilyName(options_);
 }
 
 DecodeResult LayeredMinSumDecoder::Decode(std::span<const double> llr) {
+  using Kernel = core::FloatCnKernel;
   const auto& graph = code_.graph();
+  const auto& sched = code_.schedule();
   CLDPC_EXPECTS(llr.size() == graph.num_bits(), "LLR length must equal n");
 
   std::copy(llr.begin(), llr.end(), app_.begin());
@@ -37,49 +33,25 @@ DecodeResult LayeredMinSumDecoder::Decode(std::span<const double> llr) {
   DecodeResult result;
   result.bits.resize(graph.num_bits());
 
-  std::vector<double> incoming(graph.MaxCheckDegree());
+  std::vector<double> incoming(sched.max_check_degree());
 
   for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
-    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
-      const auto edges = graph.CheckEdges(m);
-      const std::size_t dc = edges.size();
-      // Peel the old contribution of this check out of the APPs.
-      double min1 = std::numeric_limits<double>::infinity();
-      double min2 = min1;
-      std::size_t argmin = 0;
-      bool sign_neg = false;
-      for (std::size_t i = 0; i < dc; ++i) {
-        const double v = app_[graph.EdgeBit(edges[i])] - check_to_bit_[edges[i]];
-        incoming[i] = v;
-        const double mag = std::fabs(v);
-        if (v < 0.0) sign_neg = !sign_neg;
-        if (mag < min1) {
-          min2 = min1;
-          min1 = mag;
-          argmin = i;
-        } else if (mag < min2) {
-          min2 = mag;
-        }
-      }
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t e0 = sched.EdgeBegin(m);
+      const std::size_t dc = sched.Degree(m);
+      if (dc == 0) continue;  // empty check: nothing to send
+      const auto bits = sched.CheckBits(m);
+      // Peel the old contribution of this check out of the APPs, then
+      // run the shared kernel over the peeled inputs.
+      for (std::size_t i = 0; i < dc; ++i)
+        incoming[i] = app_[bits[i]] - check_to_bit_[e0 + i];
+      const auto summary = Kernel::Compute({incoming.data(), dc});
       // Write back the refreshed messages and fold them into the APPs
       // immediately (the layered property).
       for (std::size_t i = 0; i < dc; ++i) {
-        double mag = (i == argmin) ? min2 : min1;
-        switch (options_.variant) {
-          case MinSumVariant::kPlain:
-            break;
-          case MinSumVariant::kNormalized:
-            mag *= scale_;
-            break;
-          case MinSumVariant::kOffset:
-            mag = std::max(0.0, mag - options_.beta);
-            break;
-        }
-        const bool self_neg = incoming[i] < 0.0;
-        const double out = (sign_neg != self_neg) ? -mag : mag;
-        const std::size_t bit = graph.EdgeBit(edges[i]);
-        app_[bit] = incoming[i] + out;
-        check_to_bit_[edges[i]] = out;
+        const double out = Kernel::Output(summary, i, rule_);
+        app_[bits[i]] = incoming[i] + out;
+        check_to_bit_[e0 + i] = out;
       }
     }
 

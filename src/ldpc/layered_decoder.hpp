@@ -13,16 +13,20 @@ namespace cldpc::ldpc {
 
 class LayeredMinSumDecoder final : public Decoder {
  public:
-  /// The code must outlive the decoder.
+  /// The code must outlive the decoder. Check degrees must be in
+  /// [2, 64] (the shared CN kernel's contract; empty checks are
+  /// skipped).
   LayeredMinSumDecoder(const LdpcCode& code, MinSumOptions options);
 
   DecodeResult Decode(std::span<const double> llr) override;
   std::string Name() const override;
 
+  const MinSumOptions& options() const { return options_; }
+
  private:
   const LdpcCode& code_;
   MinSumOptions options_;
-  double scale_ = 1.0;
+  core::FloatCheckRule rule_;
   std::vector<double> app_;           // per bit
   std::vector<double> check_to_bit_;  // per edge
 };

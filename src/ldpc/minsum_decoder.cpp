@@ -2,93 +2,80 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "util/contracts.hpp"
 
 namespace cldpc::ldpc {
 
-MinSumDecoder::MinSumDecoder(const LdpcCode& code, MinSumOptions options)
-    : code_(code), options_(options) {
-  CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
-  CLDPC_EXPECTS(options_.alpha >= 1.0, "alpha must be >= 1 (paper, eq. 2)");
-  scale_ = CheckScale();
-  bit_to_check_.resize(code_.graph().num_edges());
-  check_to_bit_.resize(code_.graph().num_edges());
-}
-
-double MinSumDecoder::CheckScale() const {
-  if (options_.variant != MinSumVariant::kNormalized) return 1.0;
-  if (!options_.dyadic_alpha) return 1.0 / options_.alpha;
+double MinSumCheckScale(const MinSumOptions& options) {
+  if (options.variant != MinSumVariant::kNormalized) return 1.0;
+  if (!options.dyadic_alpha) return 1.0 / options.alpha;
   // Same quantization as the hardware normalizer: nearest num/16.
-  return NearestDyadic(1.0 / options_.alpha, 4).ToDouble();
+  return NearestDyadic(1.0 / options.alpha, 4).ToDouble();
 }
 
-std::string MinSumDecoder::Name() const {
-  switch (options_.variant) {
+core::FloatCheckRule MinSumCheckRule(const MinSumOptions& options) {
+  core::FloatCheckRule rule;
+  if (options.variant == MinSumVariant::kNormalized)
+    rule.scale = MinSumCheckScale(options);
+  if (options.variant == MinSumVariant::kOffset) rule.beta = options.beta;
+  return rule;
+}
+
+std::string MinSumFamilyName(const MinSumOptions& options) {
+  switch (options.variant) {
     case MinSumVariant::kPlain:
       return "min-sum";
     case MinSumVariant::kNormalized:
-      return "normalized-min-sum(a=" + std::to_string(options_.alpha) + ")";
+      return "normalized-min-sum(a=" + std::to_string(options.alpha) + ")";
     case MinSumVariant::kOffset:
-      return "offset-min-sum(b=" + std::to_string(options_.beta) + ")";
+      return "offset-min-sum(b=" + std::to_string(options.beta) + ")";
   }
   return "min-sum?";
 }
 
+MinSumDecoder::MinSumDecoder(const LdpcCode& code, MinSumOptions options)
+    : code_(code), options_(options) {
+  CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
+  CLDPC_EXPECTS(options_.alpha >= 1.0, "alpha must be >= 1 (paper, eq. 2)");
+  rule_ = MinSumCheckRule(options_);
+  bit_to_check_.resize(code_.graph().num_edges());
+  check_to_bit_.resize(code_.graph().num_edges());
+}
+
+std::string MinSumDecoder::Name() const { return MinSumFamilyName(options_); }
+
 DecodeResult MinSumDecoder::Decode(std::span<const double> llr) {
+  using Kernel = core::FloatCnKernel;
   const auto& graph = code_.graph();
+  const auto& sched = code_.schedule();
   CLDPC_EXPECTS(llr.size() == graph.num_bits(), "LLR length must equal n");
 
-  for (std::size_t e = 0; e < graph.num_edges(); ++e)
-    bit_to_check_[e] = llr[graph.EdgeBit(e)];
+  const auto edge_bits = sched.edge_bits();
+  for (std::size_t e = 0; e < sched.num_edges(); ++e)
+    bit_to_check_[e] = llr[edge_bits[e]];
   std::fill(check_to_bit_.begin(), check_to_bit_.end(), 0.0);
 
   DecodeResult result;
   result.bits.resize(graph.num_bits());
 
   for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
-    // ---- Check-node phase: two smallest magnitudes + sign product.
+    // ---- Check-node phase: the shared kernel over each check's
+    // contiguous edge slice (z-blocked, no gather).
     double cb_mag_sum = 0.0;
-    for (std::size_t m = 0; m < graph.num_checks(); ++m) {
-      const auto edges = graph.CheckEdges(m);
-      double min1 = std::numeric_limits<double>::infinity();
-      double min2 = min1;
-      std::size_t argmin = 0;
-      bool sign_product_negative = false;
-      for (const auto e : edges) {
-        const double v = bit_to_check_[e];
-        const double mag = std::fabs(v);
-        if (v < 0.0) sign_product_negative = !sign_product_negative;
-        if (mag < min1) {
-          min2 = min1;
-          min1 = mag;
-          argmin = e;
-        } else if (mag < min2) {
-          min2 = mag;
-        }
-      }
-      for (const auto e : edges) {
-        const double excl = (e == argmin) ? min2 : min1;
-        double mag = excl;
-        switch (options_.variant) {
-          case MinSumVariant::kPlain:
-            break;
-          case MinSumVariant::kNormalized:
-            mag *= scale_;
-            break;
-          case MinSumVariant::kOffset:
-            mag = std::max(0.0, mag - options_.beta);
-            break;
-        }
-        const bool self_negative = bit_to_check_[e] < 0.0;
-        const bool out_negative = sign_product_negative != self_negative;
-        check_to_bit_[e] = out_negative ? -mag : mag;
-        cb_mag_sum += mag;
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t e0 = sched.EdgeBegin(m);
+      const std::size_t dc = sched.Degree(m);
+      if (dc == 0) continue;  // empty check: nothing to send
+      const auto summary = Kernel::Compute({bit_to_check_.data() + e0, dc});
+      for (std::size_t i = 0; i < dc; ++i) {
+        const double out = Kernel::Output(summary, i, rule_);
+        check_to_bit_[e0 + i] = out;
+        cb_mag_sum += std::fabs(out);
       }
     }
-    last_cb_mean_ = graph.num_edges() > 0
-                        ? cb_mag_sum / static_cast<double>(graph.num_edges())
+    last_cb_mean_ = sched.num_edges() > 0
+                        ? cb_mag_sum / static_cast<double>(sched.num_edges())
                         : 0.0;
 
     // ---- Bit-node phase.

@@ -9,6 +9,7 @@
 //      f(x) = max(x - beta, 0) (offset).
 #pragma once
 
+#include "ldpc/core/cn_kernel.hpp"
 #include "ldpc/decoder.hpp"
 #include "util/fixed_point.hpp"
 
@@ -30,9 +31,24 @@ struct MinSumOptions {
   double beta = 0.5;
 };
 
+/// Multiplicative factor implementing 1/alpha for the normalized
+/// variant (dyadic-quantized exactly like the hardware normalizer
+/// unless dyadic_alpha is off); 1.0 for the other variants.
+double MinSumCheckScale(const MinSumOptions& options);
+
+/// The shared CN kernel's rule for these options (plain = {1, 0},
+/// normalized = {1/alpha, 0}, offset = {1, beta}).
+core::FloatCheckRule MinSumCheckRule(const MinSumOptions& options);
+
+/// Canonical variant name, e.g. "normalized-min-sum(a=1.230000)";
+/// shared by the flooding and layered decoders' Name().
+std::string MinSumFamilyName(const MinSumOptions& options);
+
 class MinSumDecoder final : public Decoder {
  public:
-  /// The code must outlive the decoder.
+  /// The code must outlive the decoder. Check degrees must be in
+  /// [2, 64] (the shared CN kernel's contract; empty checks are
+  /// skipped) — satisfied by every LDPC code in this library.
   MinSumDecoder(const LdpcCode& code, MinSumOptions options);
 
   DecodeResult Decode(std::span<const double> llr) override;
@@ -45,11 +61,9 @@ class MinSumDecoder final : public Decoder {
   const MinSumOptions& options() const { return options_; }
 
  private:
-  double CheckScale() const;
-
   const LdpcCode& code_;
   MinSumOptions options_;
-  double scale_ = 1.0;  // multiplicative factor implementing 1/alpha
+  core::FloatCheckRule rule_;
   std::vector<double> bit_to_check_;
   std::vector<double> check_to_bit_;
   double last_cb_mean_ = 0.0;

@@ -1,5 +1,7 @@
 #include "qc/qc_matrix.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace cldpc::qc {
@@ -41,6 +43,31 @@ std::vector<BlockIndex> QcMatrix::NonZeroBlocks() const {
     }
   }
   return out;
+}
+
+std::vector<BlockIndex> QcMatrix::BlocksInRow(std::size_t block_row) const {
+  CLDPC_EXPECTS(block_row < block_rows_, "block row out of range");
+  std::vector<BlockIndex> out;
+  for (std::size_t c = 0; c < block_cols_; ++c) {
+    if (cells_[block_row * block_cols_ + c].has_value())
+      out.push_back({block_row, c});
+  }
+  return out;
+}
+
+std::vector<std::size_t> QcMatrix::RowBits(std::size_t row) const {
+  CLDPC_EXPECTS(row < rows(), "row out of range");
+  const std::size_t block_row = row / q_;
+  const std::size_t r = row % q_;
+  std::vector<std::size_t> bits;
+  for (const auto& at : BlocksInRow(block_row)) {
+    const auto& circ = Block(at);
+    const std::size_t col0 = at.block_col * q_;
+    for (std::size_t k = 0; k < circ.weight(); ++k)
+      bits.push_back(col0 + circ.ColOfRow(r, k));
+  }
+  std::sort(bits.begin(), bits.end());
+  return bits;
 }
 
 gf2::SparseMat QcMatrix::Expand() const {

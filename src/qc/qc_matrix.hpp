@@ -42,6 +42,15 @@ class QcMatrix {
   /// All non-zero blocks in row-major order.
   std::vector<BlockIndex> NonZeroBlocks() const;
 
+  /// Non-zero blocks of one block row, ascending block column — the
+  /// layer view a QC decode schedule walks (one layer per block row).
+  std::vector<BlockIndex> BlocksInRow(std::size_t block_row) const;
+
+  /// Sorted bit (column) indices of global row `row`, computed from
+  /// the circulant offsets alone — the address-generator view, no
+  /// expansion of H. Matches the Tanner graph's CheckEdges bit order.
+  std::vector<std::size_t> RowBits(std::size_t row) const;
+
   /// Flatten to the full sparse parity-check matrix.
   gf2::SparseMat Expand() const;
 

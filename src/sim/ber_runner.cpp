@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "engine/sim_engine.hpp"
+#include "ldpc/core/registry.hpp"
 #include "util/contracts.hpp"
 #include "util/table.hpp"
 
@@ -28,6 +29,19 @@ BerCurve BerRunner::Run(const engine::DecoderFactory& factory,
                         const FrameCallback& on_frame) {
   engine::SimEngine sim(code_, encoder_, config_);
   return sim.Run(factory, on_frame);
+}
+
+BerCurve BerRunner::RunSpec(const std::string& decoder_spec,
+                            const FrameCallback& on_frame) {
+  // One probe instance validates the spec and yields the canonical
+  // name; the workers then clone from the parsed spec directly.
+  const auto parsed = ldpc::DecoderSpec::Parse(decoder_spec);
+  const std::string name = ldpc::MakeDecoder(code_, parsed)->Name();
+  auto curve = Run(
+      [&code = code_, parsed] { return ldpc::MakeDecoder(code, parsed); },
+      on_frame);
+  curve.decoder_name = name;
+  return curve;
 }
 
 std::string RenderCurves(const std::vector<BerCurve>& curves) {

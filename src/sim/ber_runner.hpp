@@ -78,6 +78,12 @@ class BerRunner {
   BerCurve Run(const engine::DecoderFactory& factory,
                const FrameCallback& on_frame = {});
 
+  /// Run any registered decoder by spec string (see
+  /// ldpc/core/registry.hpp for the grammar), on config.threads
+  /// workers. The curve is named after the decoder's canonical Name().
+  BerCurve RunSpec(const std::string& decoder_spec,
+                   const FrameCallback& on_frame = {});
+
   const BerConfig& config() const { return config_; }
 
  private:

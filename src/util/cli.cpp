@@ -61,6 +61,20 @@ bool ArgParser::GetBool(const std::string& name, bool fallback) const {
   return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
 }
 
+std::vector<std::string> ArgParser::GetStringList(
+    const std::string& name, std::vector<std::string> fallback,
+    char sep) const {
+  const auto v = Find(name);
+  if (!v) return fallback;
+  std::vector<std::string> out;
+  std::stringstream ss(*v);
+  std::string item;
+  while (std::getline(ss, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
 std::vector<double> ArgParser::GetDoubleList(
     const std::string& name, std::vector<double> fallback) const {
   const auto v = Find(name);

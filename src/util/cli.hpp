@@ -28,6 +28,13 @@ class ArgParser {
   std::vector<double> GetDoubleList(const std::string& name,
                                     std::vector<double> fallback) const;
 
+  /// Separator-split list of strings. The default separator is ';'
+  /// (not ',') so values may themselves contain commas — decoder
+  /// specs do: --decoder="layered-nms:alpha=1.25,iters=20;fixed-nms".
+  std::vector<std::string> GetStringList(const std::string& name,
+                                         std::vector<std::string> fallback,
+                                         char sep = ';') const;
+
   /// Positional (non --flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 

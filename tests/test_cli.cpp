@@ -57,6 +57,24 @@ TEST(ArgParser, DoubleListFallback) {
   ASSERT_EQ(list.size(), 2u);
 }
 
+TEST(ArgParser, StringList) {
+  // ';' separates entries so values may contain commas (decoder specs).
+  const auto args =
+      Parse({"prog", "--decoder=layered-nms:alpha=1.25,iters=20;fixed-nms"});
+  const auto list = args.GetStringList("decoder", {});
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], "layered-nms:alpha=1.25,iters=20");
+  EXPECT_EQ(list[1], "fixed-nms");
+}
+
+TEST(ArgParser, StringListFallbackAndCustomSep) {
+  const auto args = Parse({"prog", "--names=a|b|c"});
+  EXPECT_EQ(args.GetStringList("missing", {"x"}).size(), 1u);
+  const auto list = args.GetStringList("names", {}, '|');
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[1], "b");
+}
+
 TEST(ArgParser, Positional) {
   const auto args = Parse({"prog", "input.bin", "--flag", "output.bin"});
   // "--flag output.bin" consumes output.bin as the flag value.

@@ -1,0 +1,158 @@
+// Unit tests of the shared CN kernel (core/cn_kernel.hpp) against a
+// naive reference: for every output position, the exclusive min and
+// exclusive sign product computed by brute force over all other
+// inputs. The kernel's min1/min2/argmin tracking must match the
+// brute-force answer bit-for-bit, float and fixed, across randomized
+// inputs, ties, zeros and saturated values.
+#include "ldpc/core/cn_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cldpc::ldpc::core {
+namespace {
+
+// Brute-force reference: the check-to-bit output at `pos` is the
+// normalized minimum magnitude over all *other* inputs, carrying the
+// sign product of all other inputs.
+template <class DP>
+typename DP::Value NaiveOutput(const std::vector<typename DP::Value>& in,
+                               std::size_t pos,
+                               const typename DP::Rule& rule) {
+  typename DP::Value excl = DP::kMax;
+  bool negative = false;
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    if (j == pos) continue;
+    const auto mag = DP::Abs(in[j]);
+    if (mag < excl) excl = mag;
+    if (DP::IsNegative(in[j])) negative = !negative;
+  }
+  const auto out = DP::Normalize(excl, rule);
+  return negative ? -out : out;
+}
+
+// Bit-exact equality: for doubles EXPECT_EQ would say 0.0 == -0.0,
+// but decoders propagate the representation, so compare the bits.
+void ExpectBitEqual(double a, double b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << a << " vs " << b;
+}
+void ExpectBitEqual(Fixed a, Fixed b) { EXPECT_EQ(a, b); }
+
+template <class DP>
+void CheckAllPositions(const std::vector<typename DP::Value>& in,
+                       const typename DP::Rule& rule) {
+  const auto summary = CnUpdate<DP>::Compute(in);
+  for (std::size_t pos = 0; pos < in.size(); ++pos) {
+    SCOPED_TRACE("degree " + std::to_string(in.size()) + ", position " +
+                 std::to_string(pos));
+    ExpectBitEqual(CnUpdate<DP>::Output(summary, pos, rule),
+                   NaiveOutput<DP>(in, pos, rule));
+  }
+}
+
+TEST(FloatCnKernel, MatchesNaiveReferenceOnRandomInputs) {
+  Xoshiro256pp rng(7);
+  const FloatCheckRule rules[] = {
+      {1.0, 0.0},          // plain
+      {13.0 / 16.0, 0.0},  // normalized, dyadic 1/alpha
+      {1.0, 0.5},          // offset
+  };
+  for (const auto& rule : rules) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::size_t dc = 2 + rng.NextBounded(63);  // degrees 2..64
+      std::vector<double> in(dc);
+      for (auto& v : in)
+        v = (static_cast<double>(rng.NextBounded(2001)) - 1000.0) / 64.0;
+      CheckAllPositions<FloatDatapath>(in, rule);
+    }
+  }
+}
+
+TEST(FloatCnKernel, HandlesZerosAndTies) {
+  const FloatCheckRule rule{13.0 / 16.0, 0.0};
+  CheckAllPositions<FloatDatapath>({0.0, -0.0, 1.0, -1.0}, rule);
+  CheckAllPositions<FloatDatapath>({2.5, 2.5, -2.5, 7.0}, rule);
+  CheckAllPositions<FloatDatapath>({-3.0, -3.0}, rule);
+}
+
+TEST(FloatCnKernel, TiedMinimaKeepFirstArgmin) {
+  const auto s = FloatCnKernel::Compute(std::vector<double>{4.0, -2.0, 2.0});
+  EXPECT_EQ(s.argmin_pos, 1u);
+  EXPECT_EQ(s.min1, 2.0);
+  EXPECT_EQ(s.min2, 2.0);
+}
+
+TEST(FloatCnKernel, SignFlipIsExactNegation) {
+  for (const double v : {0.0, -0.0, 1.5, 1e-300, 7.25e12}) {
+    EXPECT_EQ(FloatDatapath::FlipSign(v, true), -v);
+    EXPECT_EQ(FloatDatapath::FlipSign(v, false), v);
+  }
+}
+
+TEST(FloatCnKernel, OffsetRuleClampsAtZero) {
+  // All magnitudes below beta: every output must be exactly +-0.
+  const FloatCheckRule rule{1.0, 1.0};
+  const std::vector<double> in = {0.25, -0.5, 0.125};
+  const auto s = FloatCnKernel::Compute(in);
+  for (std::size_t pos = 0; pos < in.size(); ++pos)
+    EXPECT_EQ(std::fabs(FloatCnKernel::Output(s, pos, rule)), 0.0);
+}
+
+TEST(FixedCnKernel, MatchesNaiveReferenceOnRandomInputs) {
+  Xoshiro256pp rng(11);
+  const DyadicFraction rules[] = {{1, 0}, {13, 4}, {7, 3}};
+  for (const auto& rule : rules) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::size_t dc = 2 + rng.NextBounded(63);
+      std::vector<Fixed> in(dc);
+      for (auto& v : in) v = static_cast<Fixed>(rng.NextBounded(63)) - 31;
+      CheckAllPositions<FixedDatapath>(in, rule);
+    }
+  }
+}
+
+TEST(FixedCnKernel, SignProductParityMatchesToggling) {
+  // popcount-parity accumulation vs the definition: odd number of
+  // negative inputs <=> negative product.
+  Xoshiro256pp rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t dc = 2 + rng.NextBounded(31);
+    std::vector<Fixed> in(dc);
+    int negatives = 0;
+    for (auto& v : in) {
+      v = static_cast<Fixed>(rng.NextBounded(63)) - 31;
+      if (v < 0) ++negatives;
+    }
+    const auto s = FixedCnKernel::Compute(in);
+    EXPECT_EQ(s.sign_product_negative, (negatives % 2) == 1);
+  }
+}
+
+TEST(CnKernel, DegreeOutOfRangeThrows) {
+  EXPECT_THROW(FloatCnKernel::Compute(std::vector<double>{1.0}),
+               ContractViolation);
+  EXPECT_THROW(FloatCnKernel::Compute(std::vector<double>(65, 1.0)),
+               ContractViolation);
+  EXPECT_THROW(FixedCnKernel::Compute(std::vector<Fixed>{1}),
+               ContractViolation);
+  EXPECT_THROW(FixedCnKernel::Compute(std::vector<Fixed>(65, 1)),
+               ContractViolation);
+}
+
+TEST(CnKernel, ZeroSummaryOutputsZero) {
+  // A default (zero) summary is the fixed layered decoder's initial
+  // message-memory record; its outputs must be exactly zero.
+  const FixedCnKernel::Summary zero{};
+  for (std::size_t pos = 0; pos < 4; ++pos)
+    EXPECT_EQ(FixedCnKernel::Output(zero, pos, DyadicFraction{13, 4}), 0);
+}
+
+}  // namespace
+}  // namespace cldpc::ldpc::core

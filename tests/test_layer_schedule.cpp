@@ -1,0 +1,134 @@
+// LayerSchedule: structure against the Tanner graph it was built
+// from, layer grouping, and golden values for the CCSDS C2 code
+// (deterministic because the surrogate offsets derive from the fixed
+// default seed, kC2DefaultSeed).
+#include "ldpc/core/layer_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldpc/c2_system.hpp"
+#include "qc/small_codes.hpp"
+
+namespace cldpc::ldpc::core {
+namespace {
+
+TEST(LayerSchedule, MatchesGraphOnSmallQcCode) {
+  const auto qc = qc::MakeSmallQcCode();
+  const LdpcCode code(qc.Expand(), qc.q());
+  const auto& graph = code.graph();
+  const auto& sched = code.schedule();
+
+  EXPECT_EQ(sched.num_bits(), graph.num_bits());
+  EXPECT_EQ(sched.num_checks(), graph.num_checks());
+  EXPECT_EQ(sched.num_edges(), graph.num_edges());
+  EXPECT_EQ(sched.max_check_degree(), graph.MaxCheckDegree());
+
+  for (std::size_t m = 0; m < graph.num_checks(); ++m) {
+    const auto edges = graph.CheckEdges(m);
+    ASSERT_EQ(sched.Degree(m), edges.size());
+    // Edge contiguity: the schedule's flat slice is the graph's edge
+    // list, in order.
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_EQ(sched.EdgeBegin(m) + i, edges[i]);
+      EXPECT_EQ(sched.CheckBits(m)[i], graph.EdgeBit(edges[i]));
+    }
+  }
+}
+
+TEST(LayerSchedule, QcLayeringGroupsBlockRows) {
+  const auto qc = qc::MakeSmallQcCode();  // 2 block rows of q = 61
+  const LdpcCode code(qc.Expand(), qc.q());
+  const auto& sched = code.schedule();
+  EXPECT_EQ(sched.num_layers(), 2u);
+  EXPECT_EQ(sched.checks_per_layer(), 61u);
+  EXPECT_EQ(sched.LayerBegin(0), 0u);
+  EXPECT_EQ(sched.LayerEnd(0), 61u);
+  EXPECT_EQ(sched.LayerBegin(1), 61u);
+  EXPECT_EQ(sched.LayerEnd(1), 122u);
+}
+
+TEST(LayerSchedule, DefaultLayeringIsOneLayerPerCheck) {
+  const LdpcCode code(qc::MakeHammingH());
+  const auto& sched = code.schedule();
+  EXPECT_EQ(sched.num_layers(), sched.num_checks());
+  EXPECT_EQ(sched.checks_per_layer(), 1u);
+  EXPECT_EQ(sched.LayerEnd(sched.num_layers() - 1), sched.num_checks());
+}
+
+TEST(LayerSchedule, RaggedLastLayer) {
+  const LdpcCode code(qc::MakeHammingH(), 2);  // 3 checks, layers of 2
+  const auto& sched = code.schedule();
+  EXPECT_EQ(sched.num_checks(), 3u);
+  EXPECT_EQ(sched.num_layers(), 2u);
+  EXPECT_EQ(sched.LayerEnd(0), 2u);
+  EXPECT_EQ(sched.LayerBegin(1), 2u);
+  EXPECT_EQ(sched.LayerEnd(1), 3u);
+}
+
+TEST(LayerSchedule, C2GoldenStructure) {
+  const auto system = MakeC2System();
+  const auto& sched = system.code->schedule();
+  EXPECT_EQ(sched.num_layers(), 2u);
+  EXPECT_EQ(sched.checks_per_layer(), 511u);
+  EXPECT_EQ(sched.num_checks(), 1022u);
+  EXPECT_EQ(sched.num_edges(), 32704u);
+  EXPECT_EQ(sched.uniform_check_degree(), 32u);
+  EXPECT_EQ(sched.max_check_degree(), 32u);
+  EXPECT_EQ(sched.LayerEnd(0), 511u);
+  EXPECT_EQ(sched.LayerBegin(1), 511u);
+}
+
+TEST(LayerSchedule, C2GoldenValues) {
+  // Locked to the default surrogate seed (kC2DefaultSeed): the first
+  // bits of the first check of each block row, and the layer edge
+  // offsets. A change here means the constructed code changed — which
+  // must never happen silently.
+  const auto system = MakeC2System();
+  const auto& sched = system.code->schedule();
+
+  EXPECT_EQ(sched.EdgeBegin(0), 0u);
+  EXPECT_EQ(sched.EdgeBegin(511), 16352u);
+  EXPECT_EQ(sched.EdgeBegin(1021), 32672u);
+
+  const auto check0 = sched.CheckBits(0);
+  const std::uint32_t expected0[] = {123, 138, 565, 944, 1159, 1252, 1643,
+                                     1783};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(check0[i], expected0[i]);
+  EXPECT_EQ(check0[31], 8103u);
+
+  const auto check511 = sched.CheckBits(511);
+  const std::uint32_t expected511[] = {225, 243, 539, 957, 1366, 1463, 1599,
+                                       1821};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(check511[i], expected511[i]);
+  EXPECT_EQ(check511[31], 8149u);
+}
+
+TEST(LayerSchedule, C2MatchesQcRowBitsView) {
+  // The schedule (built from the expanded graph) and the QC matrix's
+  // address-generator view (computed from circulant offsets alone)
+  // must agree on every sampled row.
+  const auto system = MakeC2System();
+  const auto& sched = system.code->schedule();
+  for (const std::size_t row : {0u, 1u, 255u, 510u, 511u, 767u, 1021u}) {
+    const auto expected = system.qc.RowBits(row);
+    const auto bits = sched.CheckBits(row);
+    ASSERT_EQ(bits.size(), expected.size());
+    for (std::size_t i = 0; i < bits.size(); ++i)
+      EXPECT_EQ(bits[i], expected[i]) << "row " << row << " pos " << i;
+  }
+}
+
+TEST(LayerSchedule, QcBlocksInRowListsLayerCirculants) {
+  const auto system = MakeC2System();
+  for (std::size_t r = 0; r < system.qc.block_rows(); ++r) {
+    const auto blocks = system.qc.BlocksInRow(r);
+    ASSERT_EQ(blocks.size(), system.qc.block_cols());
+    for (std::size_t c = 0; c < blocks.size(); ++c) {
+      EXPECT_EQ(blocks[c].block_row, r);
+      EXPECT_EQ(blocks[c].block_col, c);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cldpc::ldpc::core
