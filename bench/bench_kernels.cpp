@@ -1,19 +1,36 @@
 // google-benchmark microbenchmarks of the decoding kernels: the
-// check-node and bit-node primitives, whole decoder iterations,
-// encoding, syndrome checking and the cycle-accurate architecture
-// model itself (simulation throughput, not hardware throughput).
+// check-node and bit-node primitives, whole decoder iterations
+// (scalar and lane-batched), encoding, syndrome checking and the
+// cycle-accurate architecture model itself (simulation throughput,
+// not hardware throughput).
+//
+// Custom main: in addition to the standard google-benchmark flags,
+// `--json <path>` (or `--json=<path>`) writes the results as a flat
+// JSON array — one record per benchmark with the name, the real time
+// per iteration in ns, and (where SetItemsProcessed was called) the
+// items/s rate and ns per item. Decode benchmarks count frames as
+// items, so their rate is frames/s; CN-pass benchmarks count edges,
+// so theirs inverts to ns/edge. This is the machine-readable feed
+// for BENCH_*.json perf trajectories.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <limits>
+#include <string>
+#include <vector>
 
 #include "arch/decoder_core.hpp"
 #include "channel/awgn.hpp"
+#include "ldpc/batched_layered_decoder.hpp"
 #include "ldpc/bp_decoder.hpp"
 #include "ldpc/c2_system.hpp"
 #include "ldpc/core/cn_kernel.hpp"
 #include "ldpc/encoder.hpp"
+#include "ldpc/fixed_layered_decoder.hpp"
 #include "ldpc/fixed_minsum_decoder.hpp"
+#include "ldpc/layered_decoder.hpp"
 #include "ldpc/minsum_decoder.hpp"
 #include "qc/small_codes.hpp"
 #include "util/rng.hpp"
@@ -279,6 +296,103 @@ void BM_C2CnPassFixedSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_C2CnPassFixedSchedule);
 
+// --- PR-3 before/after: whole-frame layered decoding, scalar vs
+// lane-batched. Fixed iteration count (et=0) so every variant does
+// the identical amount of decode work per frame and the items/s
+// difference is purely the batching. Items are frames, so the
+// reported rate is frames/s — the headline number of the batched
+// decode path.
+
+constexpr int kThroughputIters = 10;
+
+std::vector<double> NoisyC2Frames(std::size_t count, std::uint64_t seed0) {
+  std::vector<double> llrs;
+  for (std::size_t f = 0; f < count; ++f) {
+    const auto frame = NoisyC2Frame(seed0 + 2 * f);
+    llrs.insert(llrs.end(), frame.begin(), frame.end());
+  }
+  return llrs;
+}
+
+ldpc::MinSumOptions ThroughputMinSumOptions() {
+  ldpc::MinSumOptions o;
+  o.iter.max_iterations = kThroughputIters;
+  o.iter.early_termination = false;
+  return o;
+}
+
+void BM_C2LayeredDecodeScalar(benchmark::State& state) {
+  const auto& system = C2();
+  ldpc::LayeredMinSumDecoder dec(*system.code, ThroughputMinSumOptions());
+  const auto llr = NoisyC2Frame(31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.Decode(llr));
+  }
+  state.SetItemsProcessed(state.iterations());  // frames
+}
+BENCHMARK(BM_C2LayeredDecodeScalar)->Unit(benchmark::kMillisecond);
+
+void BM_C2LayeredDecodeBatched(benchmark::State& state) {
+  const auto& system = C2();
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  ldpc::BatchedLayeredDecoder dec(*system.code, ThroughputMinSumOptions(),
+                                  lanes);
+  const auto llrs = NoisyC2Frames(lanes, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.DecodeBatch(llrs, lanes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_C2LayeredDecodeBatched)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_C2LayeredDecodeBatchedF32(benchmark::State& state) {
+  const auto& system = C2();
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  ldpc::BatchedLayeredDecoderF32 dec(*system.code, ThroughputMinSumOptions(),
+                                     lanes);
+  const auto llrs = NoisyC2Frames(lanes, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.DecodeBatch(llrs, lanes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_C2LayeredDecodeBatchedF32)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_C2FixedLayeredDecodeScalar(benchmark::State& state) {
+  const auto& system = C2();
+  ldpc::FixedMinSumOptions o;
+  o.iter.max_iterations = kThroughputIters;
+  o.iter.early_termination = false;
+  ldpc::FixedLayeredMinSumDecoder dec(*system.code, o);
+  const auto llr = NoisyC2Frame(33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.Decode(llr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_C2FixedLayeredDecodeScalar)->Unit(benchmark::kMillisecond);
+
+void BM_C2FixedLayeredDecodeBatched(benchmark::State& state) {
+  const auto& system = C2();
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  ldpc::FixedMinSumOptions o;
+  o.iter.max_iterations = kThroughputIters;
+  o.iter.early_termination = false;
+  ldpc::BatchedFixedLayeredDecoder dec(*system.code, o, lanes);
+  const auto llrs = NoisyC2Frames(lanes, 33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.DecodeBatch(llrs, lanes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_C2FixedLayeredDecodeBatched)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ArchDecoderC2PerEdge(benchmark::State& state) {
   const auto& system = C2();
   arch::ArchConfig config = arch::LowCostConfig();
@@ -308,4 +422,92 @@ void BM_ArchDecoderC2Compressed(benchmark::State& state) {
 }
 BENCHMARK(BM_ArchDecoderC2Compressed)->Unit(benchmark::kMillisecond);
 
+// --- Custom main: console reporting as usual, plus optional --json.
+
+/// True if the run produced no usable measurement. Version-portable:
+/// google-benchmark < 1.8 exposes `error_occurred`, >= 1.8 replaced
+/// it with the `skipped` field — detect whichever exists.
+template <class R>
+auto RunWasSkipped(const R& run, int) -> decltype(run.error_occurred, bool()) {
+  return run.error_occurred;
+}
+template <class R>
+auto RunWasSkipped(const R& run, long) -> decltype(run.skipped, bool()) {
+  return static_cast<bool>(run.skipped);
+}
+
+/// ConsoleReporter that also keeps every per-iteration run for the
+/// JSON dump.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const auto& run : report) {
+      if (run.run_type == Run::RT_Iteration && !RunWasSkipped(run, 0))
+        runs_.push_back(run);
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+bool WriteJson(const std::string& path, const std::vector<
+               benchmark::BenchmarkReporter::Run>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_kernels: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    const double iters = run.iterations > 0
+                             ? static_cast<double>(run.iterations)
+                             : 1.0;
+    const double real_ns = run.real_accumulated_time / iters * 1e9;
+    std::fprintf(f, "    {\"name\": \"%s\", \"iterations\": %lld, "
+                    "\"real_time_ns\": %.6g",
+                 run.benchmark_name().c_str(),
+                 static_cast<long long>(run.iterations), real_ns);
+    const auto items = run.counters.find("items_per_second");
+    if (items != run.counters.end() && items->second.value > 0.0) {
+      // items/s and its inverse: frames/s for the decode benchmarks,
+      // ns/edge (as ns_per_item) for the CN-pass benchmarks.
+      std::fprintf(f, ", \"items_per_second\": %.6g, \"ns_per_item\": %.6g",
+                   items->second.value, 1e9 / items->second.value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Peel --json[=| ]<path> off before benchmark::Initialize, which
+  // rejects flags it does not know.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !WriteJson(json_path, reporter.runs())) return 1;
+  return 0;
+}

@@ -7,7 +7,13 @@
 // the simulated cycle count.
 //
 // Flags: --clock-mhz=200
+//        --json=<path>   also write the measured numbers as JSON
+//                        (one record per config x iteration count,
+//                        with the measured Mbps) for BENCH_*.json
+//                        perf trajectories.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "arch/decoder_core.hpp"
 #include "arch/throughput.hpp"
@@ -48,9 +54,38 @@ double MeasuredMbps(const ldpc::C2System& system, arch::ArchConfig config,
 
 }  // namespace
 
+namespace {
+
+struct JsonRecord {
+  std::string name;
+  double mbps;
+};
+
+bool WriteJson(const std::string& path,
+               const std::vector<JsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_table1_throughput: cannot open %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"mbps\": %.6g}%s\n",
+                 records[i].name.c_str(), records[i].mbps,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const double clock_mhz = args.GetDouble("clock-mhz", 200.0);
+  const std::string json_path = args.GetString("json", "");
 
   std::printf("Building CCSDS C2 system (8176, 7156)...\n");
   const auto system = ldpc::MakeC2System();
@@ -71,9 +106,14 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"Iterations", "Low-Cost (measured)", "Low-Cost (paper)",
                       "High-Speed (measured)", "High-Speed (paper)"});
+  std::vector<JsonRecord> records;
   for (const auto& row : rows) {
     const double low_mbps = MeasuredMbps(system, low, row.iterations);
     const double high_mbps = MeasuredMbps(system, high, row.iterations);
+    records.push_back({"table1_lowcost_it" + std::to_string(row.iterations),
+                       low_mbps});
+    records.push_back({"table1_highspeed_it" + std::to_string(row.iterations),
+                       high_mbps});
     table.AddRow({std::to_string(row.iterations),
                   FormatDouble(low_mbps, 1) + " Mbps",
                   FormatDouble(row.low_paper, 0) + " Mbps",
@@ -92,5 +132,6 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(
           arch::Controller(low, qc::C2Constants::kQ, qc::C2Constants::kN)
               .IterationCycles()));
+  if (!json_path.empty() && !WriteJson(json_path, records)) return 1;
   return 0;
 }

@@ -39,6 +39,9 @@ class ArchDecoder final : public ldpc::Decoder {
   /// Decode up to frames_per_word quantized frames in lockstep.
   BatchResult DecodeBatch(
       const std::vector<std::vector<Fixed>>& channel_frames);
+  /// Keep the base interface's real-LLR DecodeBatch overload visible
+  /// next to the quantized one above.
+  using ldpc::Decoder::DecodeBatch;
 
   /// Single quantized frame (occupies lane 0; other lanes idle).
   ldpc::DecodeResult DecodeQuantized(std::span<const Fixed> channel);

@@ -1,8 +1,10 @@
 #include "engine/sim_engine.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <exception>
 #include <map>
+#include <span>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -68,11 +70,18 @@ struct SimEngine::PointAccumulator {
 std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
     ldpc::Decoder& decoder, std::size_t snr_index, std::uint64_t first_frame,
     std::uint64_t count, double sigma) const {
-  std::vector<FrameResult> results;
-  results.reserve(count);
+  const std::size_t n = code_.n();
   const std::size_t n_info = code_.k();
 
-  for (std::uint64_t f = first_frame; f < first_frame + count; ++f) {
+  // Stage the whole batch's channel output, then decode it in one
+  // DecodeBatch call: batched decoders run the frames in SIMD lanes,
+  // scalar decoders fall back to a frame loop — either way the
+  // per-frame results are identical (the batching contract in
+  // ldpc/decoder.hpp).
+  std::vector<std::uint8_t> codewords(count * n);
+  std::vector<double> llrs(count * n);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t f = first_frame + i;
     // Independent, reproducible streams for data and noise: every
     // frame is a pure function of (base_seed, snr_index, frame_index).
     const std::uint64_t data_seed =
@@ -80,27 +89,34 @@ std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
     const std::uint64_t noise_seed =
         DeriveSeed(config_.base_seed, snr_index, f, 2);
 
-    std::vector<std::uint8_t> codeword;
+    const std::span<std::uint8_t> codeword(codewords.data() + i * n, n);
     if (config_.all_zero_codeword) {
-      codeword.assign(code_.n(), 0);
+      std::fill(codeword.begin(), codeword.end(), 0);
     } else {
       Xoshiro256pp data_rng(data_seed);
       std::vector<std::uint8_t> info(n_info);
       for (auto& b : info) b = data_rng.NextBit() ? 1 : 0;
-      codeword = encoder_.Encode(info);
+      const auto encoded = encoder_.Encode(info);
+      std::copy(encoded.begin(), encoded.end(), codeword.begin());
     }
 
     channel::AwgnChannel ch(sigma, noise_seed);
-    const auto symbols = channel::BpskModulate(codeword);
+    const auto symbols =
+        channel::BpskModulate({codewords.data() + i * n, n});
     const auto received = ch.Transmit(symbols);
     const auto llr = ch.Llrs(received);
+    std::copy(llr.begin(), llr.end(), llrs.begin() + i * n);
+  }
 
-    const auto decoded = decoder.Decode(llr);
+  const auto decoded = decoder.DecodeBatch(llrs, count);
 
+  std::vector<FrameResult> results;
+  results.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
     FrameResult result;
-    result.iterations = decoded.iterations_run;
+    result.iterations = decoded[i].iterations_run;
     for (const auto pos : counted_) {
-      if (decoded.bits[pos] != codeword[pos]) ++result.bit_errors;
+      if (decoded[i].bits[pos] != codewords[i * n + pos]) ++result.bit_errors;
     }
     results.push_back(result);
   }
@@ -133,15 +149,24 @@ sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
     PointAccumulator acc;
     acc.point.ebn0_db = config_.ebn0_db[s];
 
-    // Frame-at-a-time so the stop check runs between frames: unlike
-    // the speculative parallel path, there is no reason to decode
-    // past the stopping frame here. Aggregation order is unchanged,
-    // so the output stays identical to the batched parallel path.
-    for (std::uint64_t f = 0; f < config_.max_frames; ++f) {
-      const auto results = SimulateBatch(decoder, s, f, 1, sigma);
-      if (acc.Consume(results.front(), s, counted_.size(),
-                      config_.min_frame_errors, on_frame)) {
-        break;
+    // batch_frames at a time, exactly like one parallel worker, so
+    // batched decoders get their SIMD lane groups filled here too.
+    // The stop check still runs per frame inside the batch; frames
+    // decoded past the stopping frame are discarded speculation (the
+    // parallel path does the same), so aggregation — and therefore
+    // the output — is unchanged for any batch size.
+    bool stopped = false;
+    for (std::uint64_t first = 0; first < config_.max_frames && !stopped;
+         first += config_.batch_frames) {
+      const std::uint64_t count = std::min<std::uint64_t>(
+          config_.batch_frames, config_.max_frames - first);
+      const auto results = SimulateBatch(decoder, s, first, count, sigma);
+      for (const auto& r : results) {
+        if (acc.Consume(r, s, counted_.size(), config_.min_frame_errors,
+                        on_frame)) {
+          stopped = true;
+          break;
+        }
       }
     }
     curve.points.push_back(acc.Finish());

@@ -3,7 +3,11 @@
 // SimEngine shards each Eb/N0 point of a sweep into fixed-size frame
 // batches, decodes batches on a ThreadPool (one cloned decoder per
 // worker, see DecoderPool), and aggregates per-frame results on the
-// calling thread in frame-index order.
+// calling thread in frame-index order. Each batch goes through the
+// decoder's DecodeBatch entry point, so a batched SIMD decoder (spec
+// param batch=N) gets whole lane groups at a time — in the sequential
+// path too, which decodes batch_frames per call like one parallel
+// worker would.
 //
 // ## Determinism contract
 //

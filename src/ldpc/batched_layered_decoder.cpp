@@ -1,0 +1,348 @@
+#include "ldpc/batched_layered_decoder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <type_traits>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc {
+namespace {
+
+// Datapath policies of the lane engine: how a lane value is loaded
+// from the channel, narrowed into a CN input, and folded back into
+// the APP. The float paths are pass-throughs; the fixed path carries
+// the word-width saturations of the scalar fixed layered decoder.
+struct DoubleLanePolicy {
+  using Datapath = core::FloatDatapath;
+  using Value = double;
+  static constexpr bool kNarrowsMessages = false;
+  core::FloatCheckRule rule;
+  double LoadChannel(double llr) const { return llr; }
+  double ToMessage(double extr) const { return extr; }
+  double UpdateApp(double extr, double cb) const { return extr + cb; }
+};
+
+struct F32LanePolicy {
+  using Datapath = core::Float32Datapath;
+  using Value = float;
+  static constexpr bool kNarrowsMessages = false;
+  core::Float32CheckRule rule;
+  float LoadChannel(double llr) const { return static_cast<float>(llr); }
+  float ToMessage(float extr) const { return extr; }
+  float UpdateApp(float extr, float cb) const { return extr + cb; }
+};
+
+struct FixedLanePolicy {
+  using Datapath = core::FixedDatapath;
+  using Value = Fixed;
+  static constexpr bool kNarrowsMessages = true;
+  DyadicFraction rule;
+  const LlrQuantizer* quantizer;
+  int message_bits;
+  int app_bits;
+  Fixed LoadChannel(double llr) const {
+    return SaturateSymmetric(quantizer->Quantize(llr), app_bits);
+  }
+  Fixed ToMessage(Fixed extr) const {
+    return SaturateSymmetric(extr, message_bits);
+  }
+  Fixed UpdateApp(Fixed extr, Fixed cb) const {
+    return SaturateSymmetric(extr + cb, app_bits);
+  }
+};
+
+core::Float32CheckRule F32Rule(const MinSumOptions& options) {
+  const auto rule = MinSumCheckRule(options);
+  return {static_cast<float>(rule.scale), static_cast<float>(rule.beta)};
+}
+
+/// Decode one lane group of exactly L frames (frame-major LLRs at
+/// `llrs`). The loop body is the scalar layered decoder's, with every
+/// per-value statement widened to an L-lane loop over contiguous
+/// memory; per-lane arithmetic never mixes lanes, which is what makes
+/// each lane byte-identical to the scalar decoder on the same frame.
+//
+// Note for the fixed datapath: the scalar decoder stores a compressed
+// CnSummary per check and re-derives cb_old = Output(record, pos) on
+// the next visit; Output is a pure function, so that value equals the
+// cb it wrote to the APP last visit. Storing the per-edge c2b value
+// directly (as the float path does) therefore reproduces the exact
+// same cb_old words — same math, one uniform engine.
+template <class Policy, std::size_t L>
+void DecodeLaneGroup(const LdpcCode& code, const Policy& pol,
+                     const IterOptions& iter, const double* llrs,
+                     typename Policy::Value* CLDPC_RESTRICT app,
+                     typename Policy::Value* CLDPC_RESTRICT c2b,
+                     typename Policy::Value* CLDPC_RESTRICT extr,
+                     typename Policy::Value* CLDPC_RESTRICT bc,
+                     std::uint8_t* CLDPC_RESTRICT hard,
+                     core::BatchSyndromeTracker& syndrome,
+                     DecodeResult* results) {
+  using Value = typename Policy::Value;
+  using Batch = core::CnUpdateBatch<typename Policy::Datapath, L>;
+  const auto& sched = code.schedule();
+  const std::size_t n = sched.num_bits();
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t l = 0; l < L; ++l)
+      app[b * L + l] = pol.LoadChannel(llrs[l * n + b]);
+  }
+  std::fill(c2b, c2b + sched.num_edges() * L, Value{});
+  for (std::size_t i = 0; i < n * L; ++i)
+    hard[i] = app[i] < Value{} ? 1 : 0;
+  syndrome.Reset({hard, n * L}, L);
+
+  const std::uint32_t all =
+      L == 32 ? 0xffffffffu : ((std::uint32_t{1} << L) - 1u);
+  std::uint32_t done = 0;
+
+  const auto capture = [&](std::size_t lane, bool converged, int iterations) {
+    DecodeResult& r = results[lane];
+    r.bits.resize(n);
+    for (std::size_t b = 0; b < n; ++b) r.bits[b] = hard[b * L + lane];
+    r.converged = converged;
+    r.iterations_run = iterations;
+  };
+
+  for (int it = 1; it <= iter.max_iterations; ++it) {
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t e0 = sched.EdgeBegin(m);
+      const std::size_t dc = sched.Degree(m);
+      if (dc == 0) continue;  // empty check: nothing to send
+      const auto bits = sched.CheckBits(m);
+      // Peel this check's old contribution out of the APPs, lane-wise.
+      for (std::size_t i = 0; i < dc; ++i) {
+        const Value* CLDPC_RESTRICT a = app + bits[i] * L;
+        const Value* CLDPC_RESTRICT c = c2b + (e0 + i) * L;
+        Value* CLDPC_RESTRICT e = extr + i * L;
+        CLDPC_SIMD_LOOP
+        for (std::size_t l = 0; l < L; ++l) e[l] = a[l] - c[l];
+      }
+      const Value* cn_in = extr;
+      if constexpr (Policy::kNarrowsMessages) {
+        CLDPC_SIMD_LOOP
+        for (std::size_t i = 0; i < dc * L; ++i) bc[i] = pol.ToMessage(extr[i]);
+        cn_in = bc;
+      }
+      const auto summary = Batch::Compute(cn_in, dc);
+      // Refresh the messages (whole rows at a time through the lane
+      // kernel) and fold them into the APPs immediately (the layered
+      // property), lane-wise.
+      for (std::size_t i = 0; i < dc; ++i) {
+        Value* CLDPC_RESTRICT a = app + bits[i] * L;
+        Value* CLDPC_RESTRICT c = c2b + (e0 + i) * L;
+        const Value* CLDPC_RESTRICT e = extr + i * L;
+        Batch::OutputRow(summary, i, cn_in + i * L, pol.rule, c);
+        CLDPC_SIMD_LOOP
+        for (std::size_t l = 0; l < L; ++l) a[l] = pol.UpdateApp(e[l], c[l]);
+      }
+    }
+
+    // Incremental syndrome: scan for per-lane sign flips and fold
+    // only those into the parity masks.
+    for (std::size_t b = 0; b < n; ++b) {
+      std::uint32_t flips = 0;
+      std::uint8_t* h = hard + b * L;
+      const Value* a = app + b * L;
+      for (std::size_t l = 0; l < L; ++l) {
+        const std::uint8_t bit = a[l] < Value{} ? 1 : 0;
+        flips |= std::uint32_t{static_cast<std::uint32_t>(bit ^ h[l])} << l;
+        h[l] = bit;
+      }
+      if (flips != 0) syndrome.Flip(b, flips);
+    }
+
+    if (iter.early_termination) {
+      const std::uint32_t newly =
+          all & ~syndrome.UnsatisfiedLanes() & ~done;
+      for (std::uint32_t rest = newly; rest != 0; rest &= rest - 1) {
+        const auto lane =
+            static_cast<std::size_t>(std::countr_zero(rest));
+        capture(lane, /*converged=*/true, it);
+      }
+      done |= newly;
+      if (done == all) return;  // every lane finished early
+    }
+  }
+
+  // Lanes that never converged (or, without early termination, all
+  // lanes): final state after max_iterations, like the scalar path.
+  const std::uint32_t unsat = syndrome.UnsatisfiedLanes();
+  for (std::uint32_t rest = all & ~done; rest != 0; rest &= rest - 1) {
+    const auto lane = static_cast<std::size_t>(std::countr_zero(rest));
+    capture(lane, /*converged=*/((unsat >> lane) & 1u) == 0,
+            iter.max_iterations);
+  }
+}
+
+/// Split `num_frames` into lane groups (largest instantiated width
+/// that fits both the remaining frames and `max_lanes`) and decode
+/// each group. Per-lane results are grouping-independent, so the
+/// split is purely a throughput decision.
+template <class Policy>
+std::vector<DecodeResult> DecodeChunked(
+    const LdpcCode& code, const Policy& pol, const IterOptions& iter,
+    std::span<const double> llrs, std::size_t num_frames,
+    std::size_t max_lanes, typename Policy::Value* app,
+    typename Policy::Value* c2b, typename Policy::Value* extr,
+    typename Policy::Value* bc, std::uint8_t* hard,
+    core::BatchSyndromeTracker& syndrome) {
+  const std::size_t n = code.graph().num_bits();
+  CLDPC_EXPECTS(num_frames > 0, "need at least one frame");
+  CLDPC_EXPECTS(llrs.size() == num_frames * n,
+                "LLR block must be num_frames frames of length n");
+  std::vector<DecodeResult> results(num_frames);
+  std::size_t f = 0;
+  while (f < num_frames) {
+    const std::size_t want = std::min(max_lanes, num_frames - f);
+    const double* base = llrs.data() + f * n;
+    DecodeResult* out = results.data() + f;
+    const auto run = [&](auto width) {
+      constexpr std::size_t kL = decltype(width)::value;
+      DecodeLaneGroup<Policy, kL>(code, pol, iter, base, app, c2b, extr, bc,
+                                  hard, syndrome, out);
+      f += kL;
+    };
+    if (want >= 16) {
+      run(std::integral_constant<std::size_t, 16>{});
+    } else if (want >= 8) {
+      run(std::integral_constant<std::size_t, 8>{});
+    } else if (want >= 4) {
+      run(std::integral_constant<std::size_t, 4>{});
+    } else if (want >= 2) {
+      run(std::integral_constant<std::size_t, 2>{});
+    } else {
+      run(std::integral_constant<std::size_t, 1>{});
+    }
+  }
+  return results;
+}
+
+std::size_t ValidatedLanes(std::size_t max_lanes) {
+  CLDPC_EXPECTS(max_lanes >= 1 && max_lanes <= 32,
+                "batch lanes must be in [1, 32]");
+  return max_lanes;
+}
+
+}  // namespace
+
+// ---- BatchedLayeredDecoder (double lanes) --------------------------
+
+BatchedLayeredDecoder::BatchedLayeredDecoder(const LdpcCode& code,
+                                             MinSumOptions options,
+                                             std::size_t max_lanes)
+    : code_(code),
+      options_(options),
+      max_lanes_(ValidatedLanes(max_lanes)),
+      syndrome_(code.schedule()) {
+  CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
+  CLDPC_EXPECTS(options_.alpha >= 1.0, "alpha must be >= 1");
+  rule_ = MinSumCheckRule(options_);
+  const std::size_t w = std::min(max_lanes_, kMaxLaneGroup);
+  app_.resize(code_.graph().num_bits() * w);
+  c2b_.resize(code_.graph().num_edges() * w);
+  extr_.resize(code_.schedule().max_check_degree() * w);
+  hard_.resize(code_.graph().num_bits() * w);
+}
+
+std::string BatchedLayeredDecoder::Name() const {
+  return "layered-" + MinSumFamilyName(options_);
+}
+
+DecodeResult BatchedLayeredDecoder::Decode(std::span<const double> llr) {
+  auto results = DecodeBatch(llr, 1);
+  return std::move(results.front());
+}
+
+std::vector<DecodeResult> BatchedLayeredDecoder::DecodeBatch(
+    std::span<const double> llrs, std::size_t num_frames) {
+  const DoubleLanePolicy pol{rule_};
+  return DecodeChunked(code_, pol, options_.iter, llrs, num_frames,
+                       max_lanes_, app_.data(), c2b_.data(), extr_.data(),
+                       /*bc=*/nullptr, hard_.data(), syndrome_);
+}
+
+// ---- BatchedLayeredDecoderF32 (float lanes) ------------------------
+
+BatchedLayeredDecoderF32::BatchedLayeredDecoderF32(const LdpcCode& code,
+                                                   MinSumOptions options,
+                                                   std::size_t max_lanes)
+    : code_(code),
+      options_(options),
+      max_lanes_(ValidatedLanes(max_lanes)),
+      syndrome_(code.schedule()) {
+  CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
+  CLDPC_EXPECTS(options_.alpha >= 1.0, "alpha must be >= 1");
+  rule_ = F32Rule(options_);
+  const std::size_t w = std::min(max_lanes_, kMaxLaneGroup);
+  app_.resize(code_.graph().num_bits() * w);
+  c2b_.resize(code_.graph().num_edges() * w);
+  extr_.resize(code_.schedule().max_check_degree() * w);
+  hard_.resize(code_.graph().num_bits() * w);
+}
+
+std::string BatchedLayeredDecoderF32::Name() const {
+  return "layered-f32-" + MinSumFamilyName(options_);
+}
+
+DecodeResult BatchedLayeredDecoderF32::Decode(std::span<const double> llr) {
+  auto results = DecodeBatch(llr, 1);
+  return std::move(results.front());
+}
+
+std::vector<DecodeResult> BatchedLayeredDecoderF32::DecodeBatch(
+    std::span<const double> llrs, std::size_t num_frames) {
+  const F32LanePolicy pol{rule_};
+  return DecodeChunked(code_, pol, options_.iter, llrs, num_frames,
+                       max_lanes_, app_.data(), c2b_.data(), extr_.data(),
+                       /*bc=*/nullptr, hard_.data(), syndrome_);
+}
+
+// ---- BatchedFixedLayeredDecoder (fixed-point lanes) ----------------
+
+BatchedFixedLayeredDecoder::BatchedFixedLayeredDecoder(
+    const LdpcCode& code, FixedMinSumOptions options, std::size_t max_lanes)
+    : code_(code),
+      options_(options),
+      quantizer_(options.datapath.channel_bits,
+                 options.datapath.channel_scale),
+      max_lanes_(ValidatedLanes(max_lanes)),
+      syndrome_(code.schedule()) {
+  CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
+  CLDPC_EXPECTS(options_.datapath.message_bits >= 2 &&
+                    options_.datapath.message_bits <= 16,
+                "message width out of range");
+  CLDPC_EXPECTS(options_.datapath.app_bits >= options_.datapath.message_bits,
+                "APP accumulator narrower than messages");
+  const std::size_t w = std::min(max_lanes_, kMaxLaneGroup);
+  app_.resize(code_.graph().num_bits() * w);
+  c2b_.resize(code_.graph().num_edges() * w);
+  extr_.resize(code_.schedule().max_check_degree() * w);
+  bc_.resize(code_.schedule().max_check_degree() * w);
+  hard_.resize(code_.graph().num_bits() * w);
+}
+
+std::string BatchedFixedLayeredDecoder::Name() const {
+  std::ostringstream os;
+  os << "fixed-layered-nms(w" << options_.datapath.message_bits << ")";
+  return os.str();
+}
+
+DecodeResult BatchedFixedLayeredDecoder::Decode(std::span<const double> llr) {
+  auto results = DecodeBatch(llr, 1);
+  return std::move(results.front());
+}
+
+std::vector<DecodeResult> BatchedFixedLayeredDecoder::DecodeBatch(
+    std::span<const double> llrs, std::size_t num_frames) {
+  const FixedLanePolicy pol{options_.datapath.normalization, &quantizer_,
+                            options_.datapath.message_bits,
+                            options_.datapath.app_bits};
+  return DecodeChunked(code_, pol, options_.iter, llrs, num_frames,
+                       max_lanes_, app_.data(), c2b_.data(), extr_.data(),
+                       bc_.data(), hard_.data(), syndrome_);
+}
+
+}  // namespace cldpc::ldpc

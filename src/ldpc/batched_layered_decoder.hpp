@@ -1,0 +1,119 @@
+// Frame-batched layered decoders: B codeword frames decoded in
+// lockstep through one layered schedule walk, with
+// structure-of-arrays message storage (msg[edge][lane], lane = frame)
+// so the CN kernel's min1/min2/sign scan vectorizes across lanes —
+// the software analogue of the paper's multi-frame memory words.
+//
+// Three datapaths:
+//   BatchedLayeredDecoder      — double lanes; per-lane results are
+//                                byte-identical to LayeredMinSumDecoder
+//                                (registry spec `layered-*:batch=N`).
+//   BatchedLayeredDecoderF32   — float lanes: twice the SIMD width; a
+//                                new datapath (spec kind
+//                                `layered-nms-f32`), validated by
+//                                BER-curve equivalence, not byte
+//                                identity.
+//   BatchedFixedLayeredDecoder — bit-accurate fixed-point lanes;
+//                                byte-identical per lane to
+//                                FixedLayeredMinSumDecoder
+//                                (`fixed-layered-nms:batch=N`).
+//
+// Frames are processed in lane groups of up to 16 (compile-time
+// widths 16/8/4/2/1, largest fitting group first); per-lane
+// results are independent of the grouping, so any DecodeBatch size —
+// including 1, which is what Decode uses — reproduces the same
+// outputs. Early termination is tracked per lane with the incremental
+// BatchSyndromeTracker: a converged lane's result is captured at its
+// convergence iteration and the lane drops out of the convergence
+// bookkeeping (its SIMD lane keeps carrying values — that costs
+// nothing); the group stops as soon as every lane has finished.
+#pragma once
+
+#include "ldpc/core/batch_kernel.hpp"
+#include "ldpc/core/syndrome_tracker.hpp"
+#include "ldpc/decoder.hpp"
+#include "ldpc/fixed_minsum_decoder.hpp"
+#include "ldpc/minsum_decoder.hpp"
+
+namespace cldpc::ldpc {
+
+/// Largest lane-group width the batched decoders instantiate; larger
+/// batch requests are processed as multiple groups.
+inline constexpr std::size_t kMaxLaneGroup = 16;
+
+class BatchedLayeredDecoder final : public Decoder {
+ public:
+  /// The code must outlive the decoder. `max_lanes` (in [1, 32]) caps
+  /// the frames decoded in lockstep per lane group.
+  BatchedLayeredDecoder(const LdpcCode& code, MinSumOptions options,
+                        std::size_t max_lanes);
+
+  DecodeResult Decode(std::span<const double> llr) override;
+  std::vector<DecodeResult> DecodeBatch(std::span<const double> llrs,
+                                        std::size_t num_frames) override;
+  /// Same name as the scalar layered decoder: the outputs are
+  /// byte-identical, only the throughput differs.
+  std::string Name() const override;
+
+  const MinSumOptions& options() const { return options_; }
+  std::size_t max_lanes() const { return max_lanes_; }
+
+ private:
+  const LdpcCode& code_;
+  MinSumOptions options_;
+  core::FloatCheckRule rule_;
+  std::size_t max_lanes_;
+  // Lane-group state, sized once for the widest group (satellite of
+  // the scratch-hoisting rule: no per-decode allocation).
+  std::vector<double> app_, c2b_, extr_;
+  std::vector<std::uint8_t> hard_;
+  core::BatchSyndromeTracker syndrome_;
+};
+
+class BatchedLayeredDecoderF32 final : public Decoder {
+ public:
+  BatchedLayeredDecoderF32(const LdpcCode& code, MinSumOptions options,
+                           std::size_t max_lanes);
+
+  DecodeResult Decode(std::span<const double> llr) override;
+  std::vector<DecodeResult> DecodeBatch(std::span<const double> llrs,
+                                        std::size_t num_frames) override;
+  std::string Name() const override;
+
+  const MinSumOptions& options() const { return options_; }
+  std::size_t max_lanes() const { return max_lanes_; }
+
+ private:
+  const LdpcCode& code_;
+  MinSumOptions options_;
+  core::Float32CheckRule rule_;
+  std::size_t max_lanes_;
+  std::vector<float> app_, c2b_, extr_;
+  std::vector<std::uint8_t> hard_;
+  core::BatchSyndromeTracker syndrome_;
+};
+
+class BatchedFixedLayeredDecoder final : public Decoder {
+ public:
+  BatchedFixedLayeredDecoder(const LdpcCode& code, FixedMinSumOptions options,
+                             std::size_t max_lanes);
+
+  DecodeResult Decode(std::span<const double> llr) override;
+  std::vector<DecodeResult> DecodeBatch(std::span<const double> llrs,
+                                        std::size_t num_frames) override;
+  std::string Name() const override;
+
+  const FixedMinSumOptions& options() const { return options_; }
+  std::size_t max_lanes() const { return max_lanes_; }
+
+ private:
+  const LdpcCode& code_;
+  FixedMinSumOptions options_;
+  LlrQuantizer quantizer_;
+  std::size_t max_lanes_;
+  std::vector<Fixed> app_, c2b_, extr_, bc_;
+  std::vector<std::uint8_t> hard_;
+  core::BatchSyndromeTracker syndrome_;
+};
+
+}  // namespace cldpc::ldpc

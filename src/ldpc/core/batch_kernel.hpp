@@ -1,0 +1,220 @@
+// Lane-batched check-node kernel: the CnUpdate scan of cn_kernel.hpp
+// over L codeword frames in lockstep, mirroring the paper's hardware,
+// which feeds several frames through one CNU datapath per memory word.
+//
+// Message storage is structure-of-arrays: position i of a check's
+// inputs holds L consecutive lane values (in[i * L + l], lane l =
+// frame l), so the min1/min2/argmin/sign scan runs as L independent
+// per-lane recurrences over contiguous memory — the shape
+// auto-vectorizers turn into SIMD min/compare/blend sequences.
+//
+// Everything in the per-lane state is deliberately Value-width so the
+// whole scan vectorizes at one width (mixed-width lanes defeat the
+// SSE/AVX vectorizer): the argmin position is carried as a Value-type
+// number (exact: positions are < 64), and input signs are carried as
+// full-width compare masks whose XOR accumulates the sign product —
+// no per-position bit shifts. For any one lane the comparisons are
+// the scalar kernel's, in the same order, so per-lane results are
+// bitwise identical to CnUpdate<Datapath> on that lane's inputs; ties
+// keep the first (lowest-position) argmin, like the hardware
+// comparator tree.
+//
+// Datapaths: the scalar policies (FloatDatapath, FixedDatapath) plus
+// Float32Datapath — a single-precision variant with no scalar
+// counterpart; it doubles the SIMD width and is validated by
+// BER-curve equivalence rather than byte identity (see
+// BatchedLayeredDecoderF32).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "ldpc/core/cn_kernel.hpp"
+
+// Lane loops are trivially independent (lane l never reads lane k),
+// but GCC's cost model refuses to vectorize the compare/select chains
+// for narrow lane counts once it has unrolled them. `omp simd`
+// overrides the cost model without changing semantics; it is active
+// under -fopenmp-simd (no OpenMP runtime involved, the build adds the
+// flag) and harmlessly ignored elsewhere.
+#if defined(__GNUC__) || defined(__clang__)
+#define CLDPC_SIMD_LOOP _Pragma("omp simd")
+#else
+#define CLDPC_SIMD_LOOP
+#endif
+
+namespace cldpc::ldpc::core {
+
+/// Magnitude correction of the f32 datapath (FloatCheckRule with
+/// single-precision arithmetic end to end — no double promotion in
+/// the lane loops).
+struct Float32CheckRule {
+  float scale = 1.0f;
+  float beta = 0.0f;
+};
+
+/// Single-precision floating-point datapath policy. Twice the lanes
+/// per SIMD register of FloatDatapath; ~7 significand digits is ample
+/// for min-sum messages (the fixed datapath gets by on 6 bits).
+struct Float32Datapath {
+  using Value = float;
+  using Rule = Float32CheckRule;
+  static constexpr float kMax = std::numeric_limits<float>::infinity();
+  static float Abs(float v) { return std::fabs(v); }
+  static bool IsNegative(float v) { return v < 0.0f; }
+  static float Normalize(float mag, const Rule& rule) {
+    const float scaled = mag * rule.scale;
+    return rule.beta == 0.0f ? scaled : std::max(0.0f, scaled - rule.beta);
+  }
+  static float FlipSign(float v, bool negative) {
+    return std::bit_cast<float>(std::bit_cast<std::uint32_t>(v) ^
+                                (std::uint32_t{negative} << 31));
+  }
+};
+
+/// Value-width companions of a datapath for the lane kernel: the
+/// unsigned type carrying sign masks, the numeric type carrying the
+/// argmin position, and the mask-based sign primitives. All
+/// operations reproduce the scalar kernel's IsNegative/FlipSign
+/// semantics exactly (the masks are compare results, not sign-bit
+/// extractions, so e.g. -0.0 inputs behave identically).
+template <class Datapath>
+struct BatchTraits;
+
+template <>
+struct BatchTraits<FloatDatapath> {
+  using UInt = std::uint64_t;
+  using Index = double;
+  static UInt SignMask(double v) { return v < 0.0 ? ~UInt{0} : UInt{0}; }
+  static double ApplySign(double mag, UInt mask) {
+    return std::bit_cast<double>(std::bit_cast<UInt>(mag) ^
+                                 (mask & (UInt{1} << 63)));
+  }
+  /// Branch-free Datapath::Normalize, valid for mag >= 0 (every
+  /// exclusive min is): with beta == 0, max(mag * scale - 0, 0) ==
+  /// mag * scale bit for bit, so the beta test leaves the loop.
+  static double NormalizeMag(double mag, const FloatCheckRule& rule) {
+    return std::max(mag * rule.scale - rule.beta, 0.0);
+  }
+};
+
+template <>
+struct BatchTraits<Float32Datapath> {
+  using UInt = std::uint32_t;
+  using Index = float;
+  static UInt SignMask(float v) { return v < 0.0f ? ~UInt{0} : UInt{0}; }
+  static float ApplySign(float mag, UInt mask) {
+    return std::bit_cast<float>(std::bit_cast<UInt>(mag) ^
+                                (mask & (UInt{1} << 31)));
+  }
+  static float NormalizeMag(float mag, const Float32CheckRule& rule) {
+    return std::max(mag * rule.scale - rule.beta, 0.0f);
+  }
+};
+
+template <>
+struct BatchTraits<FixedDatapath> {
+  using UInt = std::uint32_t;
+  using Index = Fixed;
+  static UInt SignMask(Fixed v) { return v < 0 ? ~UInt{0} : UInt{0}; }
+  static Fixed ApplySign(Fixed mag, UInt mask) {
+    // Branchless two's-complement conditional negate: mask is 0 or
+    // all-ones, (mag ^ -1) - (-1) == -mag, (mag ^ 0) - 0 == mag.
+    const Fixed m = static_cast<Fixed>(mask);
+    return (mag ^ m) - m;
+  }
+  /// DyadicFraction::Apply for mag >= 0: the sign select drops out
+  /// and the rounding constant is shift-invariant ((1 << -1) never
+  /// occurs because shift == 0 makes the addend 0).
+  static Fixed NormalizeMag(Fixed mag, const DyadicFraction& rule) {
+    const Fixed round = rule.shift == 0
+                            ? 0
+                            : (Fixed{1} << (rule.shift > 0 ? rule.shift - 1
+                                                           : 0));
+    return (mag * rule.num + round) >> rule.shift;
+  }
+};
+
+template <class Datapath, std::size_t kLanes>
+struct CnUpdateBatch {
+  static_assert(kLanes >= 1 && kLanes <= 32, "lane masks are 32-bit");
+  using Value = typename Datapath::Value;
+  using Rule = typename Datapath::Rule;
+  using Traits = BatchTraits<Datapath>;
+  using UInt = typename Traits::UInt;
+  using Index = typename Traits::Index;
+
+  /// Per-lane CnUpdate::Summary, field-major so every loop over lanes
+  /// reads contiguous same-width data.
+  struct Summary {
+    std::array<Value, kLanes> min1;
+    std::array<Value, kLanes> min2;
+    std::array<Index, kLanes> argmin;    // position, as a Value-width number
+    std::array<UInt, kLanes> sign_acc;   // XOR of input sign masks
+  };
+
+  /// First pass over the dc * kLanes inputs (position-major SoA:
+  /// inputs[i * kLanes + l]).
+  static Summary Compute(const Value* inputs, std::size_t dc) {
+    CLDPC_EXPECTS(dc >= 2 && dc <= 64, "check degree must be in [2, 64]");
+    Summary s;
+    s.min1.fill(Datapath::kMax);
+    s.min2.fill(Datapath::kMax);
+    s.argmin.fill(Index{0});
+    s.sign_acc.fill(UInt{0});
+    for (std::size_t i = 0; i < dc; ++i) {
+      const Value* CLDPC_RESTRICT in = inputs + i * kLanes;
+      const auto pos = static_cast<Index>(i);
+      CLDPC_SIMD_LOOP
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const Value v = in[l];
+        const Value mag = Datapath::Abs(v);
+        // Loads hoisted into locals before the selects: GCC treats
+        // `cond ? a[l] : b[l]` as conditional control flow and
+        // refuses to if-convert it, but selects between
+        // already-loaded values vectorize.
+        const Value m1 = s.min1[l];
+        const Value m2 = s.min2[l];
+        const Index am = s.argmin[l];
+        s.sign_acc[l] ^= Traits::SignMask(v);
+        // Branchless form of the scalar kernel's if/else chain: the
+        // same strict comparisons, lane-wise, so each lane's
+        // min1/min2/argmin match CnUpdate exactly (ties included).
+        const bool lt1 = mag < m1;
+        const bool lt2 = mag < m2;
+        s.min2[l] = lt1 ? m1 : (lt2 ? mag : m2);
+        s.argmin[l] = lt1 ? pos : am;
+        s.min1[l] = lt1 ? mag : m1;
+      }
+    }
+    return s;
+  }
+
+  /// Second pass, one whole row at a time: the L check-to-bit
+  /// messages of input position `pos`. `in_row` must be the same L
+  /// inputs passed to Compute at this position (the kernel re-derives
+  /// each lane's own sign from it, which equals the sign recorded by
+  /// the scan). Per lane this computes exactly CnUpdate::Output.
+  static void OutputRow(const Summary& s, std::size_t pos,
+                        const Value* CLDPC_RESTRICT in_row, const Rule& rule,
+                        Value* CLDPC_RESTRICT out_row) {
+    const auto p = static_cast<Index>(pos);
+    CLDPC_SIMD_LOOP
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      // Unconditional loads first, select second (see Compute).
+      const Value m1 = s.min1[l];
+      const Value m2 = s.min2[l];
+      const Index am = s.argmin[l];
+      const Value excl = (p == am) ? m2 : m1;
+      const Value mag = Traits::NormalizeMag(excl, rule);
+      const UInt negative = s.sign_acc[l] ^ Traits::SignMask(in_row[l]);
+      out_row[l] = Traits::ApplySign(mag, negative);
+    }
+  }
+};
+
+}  // namespace cldpc::ldpc::core

@@ -43,6 +43,21 @@ LayerSchedule::LayerSchedule(const tanner::Graph& graph,
     }
   }
   CLDPC_ENSURES(next_edge == graph.num_edges(), "edge count mismatch");
+
+  // Inverse adjacency: the checks of each bit, ascending. Checks are
+  // visited in ascending order above, so a simple counting pass keeps
+  // each bit's check list sorted.
+  bit_check_ptr_.assign(num_bits_ + 1, 0);
+  for (const auto b : bit_ids_) ++bit_check_ptr_[b + 1];
+  for (std::size_t n = 0; n < num_bits_; ++n)
+    bit_check_ptr_[n + 1] += bit_check_ptr_[n];
+  bit_check_ids_.resize(bit_ids_.size());
+  std::vector<std::uint32_t> fill(bit_check_ptr_.begin(),
+                                  bit_check_ptr_.end() - 1);
+  for (std::size_t m = 0; m < num_checks_; ++m) {
+    for (const auto b : CheckBits(m))
+      bit_check_ids_[fill[b]++] = static_cast<std::uint32_t>(m);
+  }
 }
 
 }  // namespace cldpc::ldpc::core

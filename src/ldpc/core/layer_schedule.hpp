@@ -64,6 +64,15 @@ class LayerSchedule {
   /// The full edge -> bit map in edge-id (= schedule) order.
   std::span<const std::uint32_t> edge_bits() const { return bit_ids_; }
 
+  /// Check indices adjacent to bit n, ascending (the inverse of
+  /// CheckBits). This is what incremental syndrome tracking walks when
+  /// a bit's hard decision flips: only the parities of these checks
+  /// can change.
+  std::span<const std::uint32_t> BitChecks(std::size_t n) const {
+    return {bit_check_ids_.data() + bit_check_ptr_[n],
+            bit_check_ptr_[n + 1] - bit_check_ptr_[n]};
+  }
+
   /// Common check degree, or 0 if the graph is check-irregular.
   std::size_t uniform_check_degree() const { return uniform_degree_; }
   std::size_t max_check_degree() const { return max_degree_; }
@@ -77,6 +86,9 @@ class LayerSchedule {
   std::size_t max_degree_ = 0;
   std::vector<std::uint32_t> edge_ptr_;  // num_checks + 1 offsets
   std::vector<std::uint32_t> bit_ids_;   // per edge, check-major
+  // Inverse adjacency (CSR): checks per bit, ascending.
+  std::vector<std::uint32_t> bit_check_ptr_;  // num_bits + 1 offsets
+  std::vector<std::uint32_t> bit_check_ids_;  // per edge, bit-major
 };
 
 }  // namespace cldpc::ldpc::core

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "ldpc/batched_layered_decoder.hpp"
 #include "ldpc/bp_decoder.hpp"
 #include "ldpc/fixed_layered_decoder.hpp"
 #include "ldpc/fixed_minsum_decoder.hpp"
@@ -41,18 +42,37 @@ MinSumOptions MinSumFromSpec(const DecoderSpec& spec, MinSumVariant variant) {
   return o;
 }
 
-void ExpectMinSumKeys(const DecoderSpec& spec, MinSumVariant variant) {
+// `batch` (lane count for the batched SIMD path) only makes sense on
+// the layered kinds, which have batched implementations; on flooding
+// kinds it must stay a loud spec error.
+void ExpectKeysMaybeBatch(const DecoderSpec& spec,
+                          std::vector<const char*> keys, bool layered) {
+  if (layered) keys.push_back("batch");
+  spec.ExpectOnlyKeys(keys);
+}
+
+void ExpectMinSumKeys(const DecoderSpec& spec, MinSumVariant variant,
+                      bool layered) {
   switch (variant) {
     case MinSumVariant::kPlain:
-      spec.ExpectOnlyKeys({"iters", "et"});
+      ExpectKeysMaybeBatch(spec, {"iters", "et"}, layered);
       break;
     case MinSumVariant::kNormalized:
-      spec.ExpectOnlyKeys({"iters", "et", "alpha", "dyadic"});
+      ExpectKeysMaybeBatch(spec, {"iters", "et", "alpha", "dyadic"}, layered);
       break;
     case MinSumVariant::kOffset:
-      spec.ExpectOnlyKeys({"iters", "et", "beta"});
+      ExpectKeysMaybeBatch(spec, {"iters", "et", "beta"}, layered);
       break;
   }
+}
+
+/// Lane count from the `batch` param (validated; `fallback` when the
+/// param is absent).
+std::size_t BatchFromSpec(const DecoderSpec& spec, int fallback) {
+  const int batch = spec.GetInt("batch", fallback);
+  CLDPC_EXPECTS(batch >= 1 && batch <= 32,
+                "decoder spec: batch must be in [1, 32]");
+  return static_cast<std::size_t>(batch);
 }
 
 /// "13/16" -> DyadicFraction{13, 4}; the denominator must be a power
@@ -78,9 +98,10 @@ DyadicFraction ParseDyadic(const std::string& v) {
   return DyadicFraction{static_cast<std::int32_t>(num), shift};
 }
 
-FixedMinSumOptions FixedFromSpec(const DecoderSpec& spec) {
-  spec.ExpectOnlyKeys(
-      {"iters", "et", "wc", "wm", "wapp", "scale", "alpha", "norm"});
+FixedMinSumOptions FixedFromSpec(const DecoderSpec& spec, bool layered) {
+  ExpectKeysMaybeBatch(
+      spec, {"iters", "et", "wc", "wm", "wapp", "scale", "alpha", "norm"},
+      layered);
   FixedMinSumOptions o;
   o.iter = IterFromSpec(spec);
   o.datapath.channel_bits = spec.GetInt("wc", o.datapath.channel_bits);
@@ -124,8 +145,12 @@ std::map<std::string, DecoderBuilder>& Registry() {
       return [variant, layered](const LdpcCode& code,
                                 const DecoderSpec& spec)
                  -> std::unique_ptr<Decoder> {
-        ExpectMinSumKeys(spec, variant);
+        ExpectMinSumKeys(spec, variant, layered);
         const auto options = MinSumFromSpec(spec, variant);
+        if (layered && spec.Has("batch")) {
+          return std::make_unique<BatchedLayeredDecoder>(
+              code, options, BatchFromSpec(spec, 1));
+        }
         if (layered)
           return std::make_unique<LayeredMinSumDecoder>(code, options);
         return std::make_unique<MinSumDecoder>(code, options);
@@ -137,17 +162,35 @@ std::map<std::string, DecoderBuilder>& Registry() {
     r["layered-ms"] = minsum(MinSumVariant::kPlain, true);
     r["layered-nms"] = minsum(MinSumVariant::kNormalized, true);
     r["layered-oms"] = minsum(MinSumVariant::kOffset, true);
+    // Single-precision batched layered path: a new datapath (not a
+    // bit-exact view of an existing decoder), so a kind of its own.
+    // Twice the SIMD lanes per register of the double path; defaults
+    // to 8 lanes, since batching is its whole point.
+    r["layered-nms-f32"] = [](const LdpcCode& code, const DecoderSpec& spec)
+        -> std::unique_ptr<Decoder> {
+      ExpectMinSumKeys(spec, MinSumVariant::kNormalized, /*layered=*/true);
+      return std::make_unique<BatchedLayeredDecoderF32>(
+          code, MinSumFromSpec(spec, MinSumVariant::kNormalized),
+          BatchFromSpec(spec, 8));
+    };
     r["fixed-nms"] = [](const LdpcCode& code, const DecoderSpec& spec) {
-      return std::make_unique<FixedMinSumDecoder>(code, FixedFromSpec(spec));
+      return std::make_unique<FixedMinSumDecoder>(
+          code, FixedFromSpec(spec, /*layered=*/false));
     };
     r["fixed-layered-nms"] = [](const LdpcCode& code,
-                                const DecoderSpec& spec) {
-      return std::make_unique<FixedLayeredMinSumDecoder>(code,
-                                                         FixedFromSpec(spec));
+                                const DecoderSpec& spec)
+        -> std::unique_ptr<Decoder> {
+      const auto options = FixedFromSpec(spec, /*layered=*/true);
+      if (spec.Has("batch")) {
+        return std::make_unique<BatchedFixedLayeredDecoder>(
+            code, options, BatchFromSpec(spec, 1));
+      }
+      return std::make_unique<FixedLayeredMinSumDecoder>(code, options);
     };
     // Aliases.
     r["minsum"] = r["ms"];
     r["layered"] = r["layered-nms"];
+    r["layered-f32"] = r["layered-nms-f32"];
     r["fixed"] = r["fixed-nms"];
     r["fixed-layered"] = r["fixed-layered-nms"];
     return r;
@@ -228,6 +271,10 @@ bool DecoderSpec::GetBool(const std::string& key, bool fallback) const {
 
 void DecoderSpec::ExpectOnlyKeys(
     std::initializer_list<const char*> known) const {
+  ExpectOnlyKeys(std::vector<const char*>(known));
+}
+
+void DecoderSpec::ExpectOnlyKeys(const std::vector<const char*>& known) const {
   for (const auto& [k, v] : params) {
     const bool ok = std::any_of(known.begin(), known.end(),
                                 [&](const char* name) { return k == name; });

@@ -11,6 +11,8 @@
 //   nms                               — normalized min-sum
 //   oms                               — offset min-sum
 //   layered-ms / layered-nms (layered) / layered-oms
+//   layered-nms-f32 (layered-f32)     — batched single-precision
+//                                       layered NMS (SIMD lanes)
 //   fixed-nms (fixed)                 — bit-accurate fixed flooding
 //   fixed-layered-nms (fixed-layered) — bit-accurate fixed layered
 //
@@ -23,8 +25,16 @@
 // nearest num/16 like the hardware normalizer) or norm=<num>/<den>
 // with a power-of-two denominator for the exact dyadic correction.
 //
-// Examples: "layered-nms:alpha=1.25", "fixed-nms:iters=50,wm=8",
-// "fixed-layered-nms:norm=13/16,et=0".
+// Layered kinds additionally take batch=<lanes> (in [1, 32]): decode
+// up to that many frames in SIMD lockstep per DecodeBatch call. On
+// layered-ms/nms/oms and fixed-layered-nms the batched decoder's
+// per-lane results are byte-identical to the scalar decoder, so
+// batch= is purely a throughput knob; layered-nms-f32 is always
+// batched (default batch=8) and trades bit-identity with the double
+// path for twice the SIMD width (BER-curve equivalent).
+//
+// Examples: "layered-nms:alpha=1.25,batch=8", "fixed-nms:iters=50,wm=8",
+// "fixed-layered-nms:norm=13/16,et=0", "layered-nms-f32:batch=16".
 //
 // Unknown kinds and unknown or malformed params throw
 // ContractViolation — a typo must never silently fall back.
@@ -58,8 +68,11 @@ struct DecoderSpec {
   bool GetBool(const std::string& key, bool fallback) const;
 
   /// Throw unless every param key is in `known` (builders call this so
-  /// "alpha" on a kind that ignores it is an error, not a no-op).
+  /// "alpha" on a kind that ignores it is an error, not a no-op). The
+  /// vector overload serves builders that assemble the key set
+  /// conditionally (e.g. appending "batch" on layered kinds).
   void ExpectOnlyKeys(std::initializer_list<const char*> known) const;
+  void ExpectOnlyKeys(const std::vector<const char*>& known) const;
 };
 
 /// Builds a decoder for `code` from a parsed spec.

@@ -1,6 +1,21 @@
 #include "ldpc/decoder.hpp"
 
+#include "util/contracts.hpp"
+
 namespace cldpc::ldpc {
+
+std::vector<DecodeResult> Decoder::DecodeBatch(std::span<const double> llrs,
+                                               std::size_t num_frames) {
+  CLDPC_EXPECTS(num_frames > 0, "need at least one frame");
+  CLDPC_EXPECTS(llrs.size() % num_frames == 0,
+                "LLR block must be num_frames whole frames");
+  const std::size_t n = llrs.size() / num_frames;
+  std::vector<DecodeResult> results;
+  results.reserve(num_frames);
+  for (std::size_t f = 0; f < num_frames; ++f)
+    results.push_back(Decode(llrs.subspan(f * n, n)));
+  return results;
+}
 
 std::vector<std::uint8_t> HardDecisions(std::span<const double> llr) {
   std::vector<std::uint8_t> bits(llr.size());

@@ -27,8 +27,15 @@ struct DecodeResult {
 struct IterOptions {
   int max_iterations = 18;
   /// Stop as soon as the hard decisions satisfy all checks. The
-  /// paper's hardware runs a fixed iteration count (constant
-  /// throughput); simulations enable this for speed.
+  /// paper's hardware runs a fixed iteration count — its output rate
+  /// must be constant regardless of channel quality, so it never
+  /// checks the syndrome mid-decode; set this to false (spec param
+  /// `et=0`) to model that fixed-latency behaviour, e.g. when
+  /// comparing against the cycle-accurate architecture model.
+  /// Simulations keep the default true for speed. This default is the
+  /// single source of truth: every decoder (fixed-point ones
+  /// included) and the registry inherit it rather than re-declaring
+  /// their own.
   bool early_termination = true;
 };
 
@@ -38,6 +45,16 @@ class Decoder {
 
   /// Decode one frame of channel LLRs (length n).
   virtual DecodeResult Decode(std::span<const double> llr) = 0;
+
+  /// Decode `num_frames` frames of channel LLRs, concatenated
+  /// frame-major (llrs.size() == num_frames * n), returning one
+  /// result per frame in frame order. The base implementation decodes
+  /// frame by frame; batched decoders override it to run frames in
+  /// SIMD lanes. Contract: per-frame results never depend on how
+  /// frames are grouped into batches — for the scalar-datapath
+  /// decoders they are byte-identical to looping Decode.
+  virtual std::vector<DecodeResult> DecodeBatch(std::span<const double> llrs,
+                                                std::size_t num_frames);
 
   virtual std::string Name() const = 0;
 };

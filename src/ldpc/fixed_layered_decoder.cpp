@@ -12,7 +12,8 @@ FixedLayeredMinSumDecoder::FixedLayeredMinSumDecoder(
     : code_(code),
       options_(options),
       quantizer_(options.datapath.channel_bits,
-                 options.datapath.channel_scale) {
+                 options.datapath.channel_scale),
+      syndrome_(code.schedule()) {
   CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
   CLDPC_EXPECTS(options_.datapath.message_bits >= 2 &&
                     options_.datapath.message_bits <= 16,
@@ -21,6 +22,10 @@ FixedLayeredMinSumDecoder::FixedLayeredMinSumDecoder(
                 "APP accumulator narrower than messages");
   app_.resize(code_.graph().num_bits());
   records_.resize(code_.graph().num_checks());
+  bc_.resize(code_.schedule().max_check_degree());
+  extrinsic_.resize(code_.schedule().max_check_degree());
+  channel_.resize(code_.graph().num_bits());
+  hard_.resize(code_.graph().num_bits());
 }
 
 std::string FixedLayeredMinSumDecoder::Name() const {
@@ -30,10 +35,10 @@ std::string FixedLayeredMinSumDecoder::Name() const {
 }
 
 DecodeResult FixedLayeredMinSumDecoder::Decode(std::span<const double> llr) {
-  std::vector<Fixed> channel(llr.size());
+  CLDPC_EXPECTS(llr.size() == channel_.size(), "LLR length must equal n");
   for (std::size_t i = 0; i < llr.size(); ++i)
-    channel[i] = quantizer_.Quantize(llr[i]);
-  return DecodeQuantized(channel);
+    channel_[i] = quantizer_.Quantize(llr[i]);
+  return DecodeQuantized(channel_);
 }
 
 DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
@@ -48,12 +53,11 @@ DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
   for (std::size_t n = 0; n < graph.num_bits(); ++n)
     app_[n] = SaturateSymmetric(channel[n], dp.app_bits);
   std::fill(records_.begin(), records_.end(), CnSummary{});
+  for (std::size_t n = 0; n < graph.num_bits(); ++n)
+    hard_[n] = AppHardDecision(app_[n]);
+  syndrome_.Reset(hard_);
 
   DecodeResult result;
-  result.bits.resize(graph.num_bits());
-
-  std::vector<Fixed> bc(sched.max_check_degree());
-  std::vector<Fixed> extrinsic(sched.max_check_degree());
 
   for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
     for (std::size_t m = 0; m < sched.num_checks(); ++m) {
@@ -64,27 +68,36 @@ DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
       for (std::size_t pos = 0; pos < dc; ++pos) {
         const Fixed cb_old = Kernel::Output(prev, pos, dp.normalization);
         // Full-precision peeled APP; only the CN input is narrowed.
-        extrinsic[pos] = app_[bits[pos]] - cb_old;
-        bc[pos] = SaturateSymmetric(extrinsic[pos], dp.message_bits);
+        extrinsic_[pos] = app_[bits[pos]] - cb_old;
+        bc_[pos] = SaturateSymmetric(extrinsic_[pos], dp.message_bits);
       }
-      const CnSummary fresh = Kernel::Compute({bc.data(), dc});
+      const CnSummary fresh = Kernel::Compute({bc_.data(), dc});
       records_[m] = fresh;
       for (std::size_t pos = 0; pos < dc; ++pos) {
         const Fixed cb_new = Kernel::Output(fresh, pos, dp.normalization);
         app_[bits[pos]] =
-            SaturateSymmetric(extrinsic[pos] + cb_new, dp.app_bits);
+            SaturateSymmetric(extrinsic_[pos] + cb_new, dp.app_bits);
       }
     }
 
-    for (std::size_t n = 0; n < graph.num_bits(); ++n)
-      result.bits[n] = AppHardDecision(app_[n]);
+    // Incremental syndrome: fold only this iteration's sign flips
+    // into the parity state (see core/syndrome_tracker.hpp).
+    for (std::size_t n = 0; n < graph.num_bits(); ++n) {
+      const std::uint8_t h = AppHardDecision(app_[n]);
+      if (h != hard_[n]) {
+        hard_[n] = h;
+        syndrome_.Flip(n);
+      }
+    }
     result.iterations_run = iter;
-    if (options_.iter.early_termination && code_.IsCodeword(result.bits)) {
+    if (options_.iter.early_termination && syndrome_.AllSatisfied()) {
+      result.bits = hard_;
       result.converged = true;
       return result;
     }
   }
-  result.converged = code_.IsCodeword(result.bits);
+  result.bits = hard_;
+  result.converged = syndrome_.AllSatisfied();
   return result;
 }
 

@@ -15,6 +15,7 @@
 // destroy the layered convergence advantage.
 #pragma once
 
+#include "ldpc/core/syndrome_tracker.hpp"
 #include "ldpc/decoder.hpp"
 #include "ldpc/fixed_datapath.hpp"
 #include "ldpc/fixed_minsum_decoder.hpp"
@@ -39,6 +40,11 @@ class FixedLayeredMinSumDecoder final : public Decoder {
   LlrQuantizer quantizer_;
   std::vector<Fixed> app_;          // per bit
   std::vector<CnSummary> records_;  // per check
+  std::vector<Fixed> bc_;           // CN input scratch (max degree)
+  std::vector<Fixed> extrinsic_;    // peeled-APP scratch (max degree)
+  std::vector<Fixed> channel_;      // quantized-frame scratch (per bit)
+  std::vector<std::uint8_t> hard_;  // per bit, kept in sync with app_
+  core::SyndromeTracker syndrome_;
 };
 
 }  // namespace cldpc::ldpc

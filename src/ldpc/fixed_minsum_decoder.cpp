@@ -20,6 +20,8 @@ FixedMinSumDecoder::FixedMinSumDecoder(const LdpcCode& code,
                 "APP accumulator narrower than messages");
   bit_to_check_.resize(code_.graph().num_edges());
   check_to_bit_.resize(code_.graph().num_edges());
+  bn_inputs_.resize(code_.graph().MaxBitDegree());
+  channel_.resize(code_.graph().num_bits());
 }
 
 std::string FixedMinSumDecoder::Name() const {
@@ -38,8 +40,10 @@ std::vector<Fixed> FixedMinSumDecoder::QuantizeChannel(
 }
 
 DecodeResult FixedMinSumDecoder::Decode(std::span<const double> llr) {
-  const auto q = QuantizeChannel(llr);
-  return DecodeQuantized(q);
+  CLDPC_EXPECTS(llr.size() == channel_.size(), "LLR length must equal n");
+  for (std::size_t i = 0; i < llr.size(); ++i)
+    channel_[i] = quantizer_.Quantize(llr[i]);
+  return DecodeQuantized(channel_);
 }
 
 DecodeResult FixedMinSumDecoder::DecodeQuantized(
@@ -63,8 +67,6 @@ DecodeResult FixedMinSumDecoder::DecodeQuantized(
   DecodeResult result;
   result.bits.resize(graph.num_bits());
 
-  std::vector<Fixed> bn_inputs(graph.MaxBitDegree());
-
   for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
     // ---- Check-node phase: the shared kernel over each check's
     // contiguous edge slice (z-blocked, no gather).
@@ -82,12 +84,12 @@ DecodeResult FixedMinSumDecoder::DecodeQuantized(
     for (std::size_t n = 0; n < graph.num_bits(); ++n) {
       const auto edges = graph.BitEdges(n);
       for (std::size_t i = 0; i < edges.size(); ++i)
-        bn_inputs[i] = check_to_bit_[edges[i]];
+        bn_inputs_[i] = check_to_bit_[edges[i]];
       const Fixed app =
-          BnApp(channel[n], {bn_inputs.data(), edges.size()}, dp.app_bits);
+          BnApp(channel[n], {bn_inputs_.data(), edges.size()}, dp.app_bits);
       result.bits[n] = AppHardDecision(app);
       for (std::size_t i = 0; i < edges.size(); ++i)
-        bit_to_check_[edges[i]] = BnOutput(app, bn_inputs[i], dp.message_bits);
+        bit_to_check_[edges[i]] = BnOutput(app, bn_inputs_[i], dp.message_bits);
     }
 
     result.iterations_run = iter;

@@ -12,7 +12,14 @@
 namespace cldpc::ldpc {
 
 struct FixedMinSumOptions {
-  IterOptions iter{.max_iterations = 18, .early_termination = false};
+  /// Deliberately the shared IterOptions defaults (early termination
+  /// ON), matching every other decoder and the registry spec default
+  /// `et=1`. Hardware-fidelity runs — fixed latency, no mid-decode
+  /// syndrome checks — must opt out explicitly with `et=0` /
+  /// `early_termination = false` (see IterOptions in decoder.hpp for
+  /// the rationale); the architecture comparison tests and benches
+  /// all do.
+  IterOptions iter;
   FixedDatapathParams datapath;
 };
 
@@ -46,6 +53,8 @@ class FixedMinSumDecoder final : public Decoder {
   LlrQuantizer quantizer_;
   std::vector<Fixed> bit_to_check_;
   std::vector<Fixed> check_to_bit_;
+  std::vector<Fixed> bn_inputs_;  // BN input scratch (max bit degree)
+  std::vector<Fixed> channel_;    // quantized-frame scratch (per bit)
 };
 
 }  // namespace cldpc::ldpc

@@ -9,12 +9,14 @@ namespace cldpc::ldpc {
 
 LayeredMinSumDecoder::LayeredMinSumDecoder(const LdpcCode& code,
                                            MinSumOptions options)
-    : code_(code), options_(options) {
+    : code_(code), options_(options), syndrome_(code.schedule()) {
   CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
   CLDPC_EXPECTS(options_.alpha >= 1.0, "alpha must be >= 1");
   rule_ = MinSumCheckRule(options_);
   app_.resize(code_.graph().num_bits());
   check_to_bit_.resize(code_.graph().num_edges());
+  incoming_.resize(code_.schedule().max_check_degree());
+  hard_.resize(code_.graph().num_bits());
 }
 
 std::string LayeredMinSumDecoder::Name() const {
@@ -29,11 +31,11 @@ DecodeResult LayeredMinSumDecoder::Decode(std::span<const double> llr) {
 
   std::copy(llr.begin(), llr.end(), app_.begin());
   std::fill(check_to_bit_.begin(), check_to_bit_.end(), 0.0);
+  for (std::size_t n = 0; n < graph.num_bits(); ++n)
+    hard_[n] = app_[n] < 0.0 ? 1 : 0;
+  syndrome_.Reset(hard_);
 
   DecodeResult result;
-  result.bits.resize(graph.num_bits());
-
-  std::vector<double> incoming(sched.max_check_degree());
 
   for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
     for (std::size_t m = 0; m < sched.num_checks(); ++m) {
@@ -44,26 +46,37 @@ DecodeResult LayeredMinSumDecoder::Decode(std::span<const double> llr) {
       // Peel the old contribution of this check out of the APPs, then
       // run the shared kernel over the peeled inputs.
       for (std::size_t i = 0; i < dc; ++i)
-        incoming[i] = app_[bits[i]] - check_to_bit_[e0 + i];
-      const auto summary = Kernel::Compute({incoming.data(), dc});
+        incoming_[i] = app_[bits[i]] - check_to_bit_[e0 + i];
+      const auto summary = Kernel::Compute({incoming_.data(), dc});
       // Write back the refreshed messages and fold them into the APPs
       // immediately (the layered property).
       for (std::size_t i = 0; i < dc; ++i) {
         const double out = Kernel::Output(summary, i, rule_);
-        app_[bits[i]] = incoming[i] + out;
+        app_[bits[i]] = incoming_[i] + out;
         check_to_bit_[e0 + i] = out;
       }
     }
 
-    for (std::size_t n = 0; n < graph.num_bits(); ++n)
-      result.bits[n] = app_[n] < 0.0 ? 1 : 0;
+    // Incremental syndrome: fold only the sign flips of this
+    // iteration into the parity state instead of recomputing the
+    // whole syndrome (convergence is only ever read between
+    // iterations, so flips may be batched up to here).
+    for (std::size_t n = 0; n < graph.num_bits(); ++n) {
+      const std::uint8_t h = app_[n] < 0.0 ? 1 : 0;
+      if (h != hard_[n]) {
+        hard_[n] = h;
+        syndrome_.Flip(n);
+      }
+    }
     result.iterations_run = iter;
-    if (options_.iter.early_termination && code_.IsCodeword(result.bits)) {
+    if (options_.iter.early_termination && syndrome_.AllSatisfied()) {
+      result.bits = hard_;
       result.converged = true;
       return result;
     }
   }
-  result.converged = code_.IsCodeword(result.bits);
+  result.bits = hard_;
+  result.converged = syndrome_.AllSatisfied();
   return result;
 }
 

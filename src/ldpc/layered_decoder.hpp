@@ -6,6 +6,7 @@
 // quantifies that on the C2 code.
 #pragma once
 
+#include "ldpc/core/syndrome_tracker.hpp"
 #include "ldpc/decoder.hpp"
 #include "ldpc/minsum_decoder.hpp"
 
@@ -29,6 +30,9 @@ class LayeredMinSumDecoder final : public Decoder {
   core::FloatCheckRule rule_;
   std::vector<double> app_;           // per bit
   std::vector<double> check_to_bit_;  // per edge
+  std::vector<double> incoming_;      // CN input scratch (max degree)
+  std::vector<std::uint8_t> hard_;    // per bit, kept in sync with app_
+  core::SyndromeTracker syndrome_;
 };
 
 }  // namespace cldpc::ldpc

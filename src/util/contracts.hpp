@@ -42,3 +42,14 @@ namespace detail {
       ::cldpc::detail::ContractFail("postcondition", #cond, __FILE__,     \
                                     __LINE__, (msg));                     \
   } while (false)
+
+// No-alias qualifier for hot-loop pointer parameters (the batched
+// decode kernels): without it the vectorizer either gives up or emits
+// runtime overlap checks on every lane loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define CLDPC_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define CLDPC_RESTRICT __restrict
+#else
+#define CLDPC_RESTRICT
+#endif
