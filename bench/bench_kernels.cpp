@@ -26,6 +26,8 @@
 #include "ldpc/batched_layered_decoder.hpp"
 #include "ldpc/bp_decoder.hpp"
 #include "ldpc/c2_system.hpp"
+#include "ldpc/core/batch_kernel.hpp"
+#include "ldpc/core/cn_compress.hpp"
 #include "ldpc/core/cn_kernel.hpp"
 #include "ldpc/encoder.hpp"
 #include "ldpc/fixed_layered_decoder.hpp"
@@ -392,6 +394,143 @@ void BM_C2FixedLayeredDecodeBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_C2FixedLayeredDecodeBatched)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// --- PR-4 before/after (decoder storage): one full layered iteration
+// over the C2 code at 8 f32 lanes, with the PR-3 per-edge stored
+// message array vs the compressed per-check records of
+// core/cn_compress.hpp. Same kernel math and (per lane) the same
+// outputs; the measured gap is the per-edge memory traffic the
+// compression removed. Items are lane-messages (edges * lanes), so
+// the rate inverts to ns per message update.
+
+constexpr std::size_t kBenchLanes = 8;
+
+struct BenchFoldPolicy {
+  float UpdateApp(float extr, float cb) const { return extr + cb; }
+};
+
+std::vector<float> BenchLaneApp(std::size_t n, std::uint64_t seed) {
+  const auto llr = NoisyC2Frame(seed);
+  std::vector<float> app(n * kBenchLanes);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t l = 0; l < kBenchLanes; ++l)
+      app[b * kBenchLanes + l] = static_cast<float>(llr[b]);
+  }
+  return app;
+}
+
+void BM_C2BatchedLayeredIterStored(benchmark::State& state) {
+  using Batch = ldpc::core::CnUpdateBatch<ldpc::core::Float32Datapath,
+                                          kBenchLanes>;
+  const auto& sched = C2().code->schedule();
+  const ldpc::core::Float32CheckRule rule{13.0f / 16.0f, 0.0f};
+  auto app = BenchLaneApp(sched.num_bits(), 41);
+  std::vector<float> c2b(sched.num_edges() * kBenchLanes, 0.0f);
+  std::vector<float> extr(sched.max_check_degree() * kBenchLanes);
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t e0 = sched.EdgeBegin(m);
+      const std::size_t dc = sched.Degree(m);
+      const auto bits = sched.CheckBits(m);
+      for (std::size_t i = 0; i < dc; ++i) {
+        const float* a = app.data() + bits[i] * kBenchLanes;
+        const float* c = c2b.data() + (e0 + i) * kBenchLanes;
+        float* e = extr.data() + i * kBenchLanes;
+        for (std::size_t l = 0; l < kBenchLanes; ++l) e[l] = a[l] - c[l];
+      }
+      const auto summary = Batch::Compute(extr.data(), dc);
+      for (std::size_t i = 0; i < dc; ++i) {
+        float* a = app.data() + bits[i] * kBenchLanes;
+        float* c = c2b.data() + (e0 + i) * kBenchLanes;
+        const float* e = extr.data() + i * kBenchLanes;
+        Batch::OutputRow(summary, i, extr.data() + i * kBenchLanes, rule, c);
+        for (std::size_t l = 0; l < kBenchLanes; ++l) a[l] = e[l] + c[l];
+      }
+    }
+    benchmark::DoNotOptimize(app.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(sched.num_edges() * kBenchLanes));
+}
+BENCHMARK(BM_C2BatchedLayeredIterStored);
+
+void BM_C2BatchedLayeredIterCompressed(benchmark::State& state) {
+  using Datapath = ldpc::core::Float32Datapath;
+  using Batch = ldpc::core::CnUpdateBatch<Datapath, kBenchLanes>;
+  const auto& sched = C2().code->schedule();
+  const ldpc::core::Float32CheckRule rule{13.0f / 16.0f, 0.0f};
+  const BenchFoldPolicy pol;
+  auto app = BenchLaneApp(sched.num_bits(), 41);
+  std::vector<float> extr(sched.max_check_degree() * kBenchLanes);
+  ldpc::core::CompressedCnLanes<Datapath> store;
+  store.Resize(sched.num_checks(), kBenchLanes);
+  ldpc::core::CompressedCnView<Datapath, kBenchLanes> msgs(store);
+  msgs.Reset(sched.num_checks());
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t dc = sched.Degree(m);
+      const auto bits = sched.CheckBits(m);
+      msgs.Peel(m, dc, bits.data(), app.data(), extr.data());
+      const auto summary = Batch::Compute(extr.data(), dc, msgs.SignWords(m));
+      msgs.Store(m, summary, rule);
+      msgs.FoldFresh(m, dc, bits.data(), extr.data(), extr.data(),
+                     app.data(), pol);
+    }
+    benchmark::DoNotOptimize(app.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(sched.num_edges() * kBenchLanes));
+}
+BENCHMARK(BM_C2BatchedLayeredIterCompressed);
+
+// --- PR-4 before/after (channel frontend): staging one C2 frame from
+// codeword bits to decoder LLRs, the allocating per-frame chain
+// (modulate / transmit / LLR each returning a fresh vector — what
+// SimEngine did before the FrameScratch path) vs the allocation-free
+// *Into chain with reused buffers and the batched Gaussian draw.
+// Items are frames.
+
+std::vector<std::uint8_t> BenchCodeword() {
+  const auto& system = C2();
+  Xoshiro256pp rng(47);
+  std::vector<std::uint8_t> info(system.code->k());
+  for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+  return system.encoder->Encode(info);
+}
+
+void BM_FrontendPerFrameAllocating(benchmark::State& state) {
+  const auto cw = BenchCodeword();
+  const double sigma = channel::SigmaForEbN0(4.0, C2().code->Rate());
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    channel::AwgnChannel ch(sigma, seed++);
+    const auto symbols = channel::BpskModulate(cw);
+    const auto received = ch.Transmit(symbols);
+    auto llr = ch.Llrs(received);
+    benchmark::DoNotOptimize(llr.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrontendPerFrameAllocating);
+
+void BM_FrontendStagedInto(benchmark::State& state) {
+  const auto cw = BenchCodeword();
+  const double sigma = channel::SigmaForEbN0(4.0, C2().code->Rate());
+  std::vector<double> symbols(cw.size()), llr(cw.size());
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    channel::AwgnChannel ch(sigma, seed++);
+    channel::BpskModulateInto(cw, symbols);
+    ch.TransmitLlrsInto(symbols, llr);
+    benchmark::DoNotOptimize(llr.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrontendStagedInto);
 
 void BM_ArchDecoderC2PerEdge(benchmark::State& state) {
   const auto& system = C2();

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Diff a bench_kernels --json run against the committed baseline.
+
+Usage: check_bench_regression.py <run.json> <baseline.json> [--tolerance 0.25]
+
+Compares items_per_second for every benchmark present in both files
+and prints a table of ratios. Deviations beyond the tolerance are
+reported as warnings (GitHub `::warning::` annotations when running
+under Actions) — the exit code is always 0, because CI runners are
+too noisy for a hard perf gate; the point is to accumulate a visible
+perf trajectory and make regressions loud, not red.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_rates(path):
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    for record in data.get("benchmarks", []):
+        rate = record.get("items_per_second")
+        if rate:
+            rates[record["name"]] = float(rate)
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("run")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="fractional deviation that triggers a warning")
+    args = parser.parse_args()
+
+    run = load_rates(args.run)
+    baseline = load_rates(args.baseline)
+    common = sorted(set(run) & set(baseline))
+    if not common:
+        print("no overlapping benchmarks between run and baseline")
+        return 0
+
+    in_actions = bool(os.environ.get("GITHUB_ACTIONS"))
+    regressions = 0
+    width = max(len(name) for name in common)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'run':>12}  ratio")
+    for name in common:
+        ratio = run[name] / baseline[name]
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            flag = "  << REGRESSION"
+            regressions += 1
+            msg = (f"bench regression: {name} at {ratio:.2f}x baseline "
+                   f"({run[name]:.3g}/s vs {baseline[name]:.3g}/s)")
+            if in_actions:
+                print(f"::warning::{msg}")
+        elif ratio > 1.0 + args.tolerance:
+            flag = "  (faster)"
+        print(f"{name:<{width}}  {baseline[name]:>12.4g}  {run[name]:>12.4g}"
+              f"  {ratio:5.2f}x{flag}")
+
+    missing = sorted(set(baseline) - set(run))
+    if missing:
+        msg = "benchmarks missing from this run: " + ", ".join(missing)
+        print(msg)
+        if in_actions:
+            print(f"::warning::{msg}")
+
+    unbaselined = sorted(set(run) - set(baseline))
+    if unbaselined:
+        msg = ("benchmarks not in the baseline (regenerate "
+               "bench/baseline.json to track them): " + ", ".join(unbaselined))
+        print(msg)
+        if in_actions:
+            print(f"::warning::{msg}")
+
+    if regressions:
+        print(f"{regressions} benchmark(s) below {1 - args.tolerance:.2f}x "
+              "baseline (warn-only; see above)")
+    else:
+        print("no regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

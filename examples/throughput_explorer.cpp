@@ -12,6 +12,7 @@
 //                         [--measure-ebn0=4.2] [--measure-frames=24]
 //                         [--threads=N] [--seed=N]
 //                         [--decoder=<spec>] [--batch-frames=N]
+//                         [--alloc-stats]
 //
 // --decoder swaps the decoder the measurement runs (default: the
 // fixed datapath at the configured iteration count); any registered
@@ -20,10 +21,21 @@
 // least as large as their lane count so the engine hands them full
 // lane groups; the measured table reports the resulting simulation
 // rate in frames/s next to the modelled hardware throughput.
+//
+// --alloc-stats (with --measure-ebn0) additionally reports heap
+// allocations per simulated frame during the measurement — the lock
+// on the engine's zero-allocation steady-state channel staging. This
+// binary counts every global operator new, so the number includes
+// the decoder's per-frame result vectors (~1/frame) and the engine's
+// small per-batch bookkeeping; the channel frontend itself
+// contributes zero after warmup.
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 
 #include "arch/resources.hpp"
@@ -35,6 +47,31 @@
 #include "sim/ber_runner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+// Global allocation counters for --alloc-stats: every operator new in
+// this binary is counted (relaxed atomics — negligible next to the
+// malloc underneath). The unsized/array delete forms below cover
+// everything the replaced news can reach.
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+namespace {
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 int main(int argc, char** argv) {
   using namespace cldpc;
@@ -102,11 +139,20 @@ int main(int argc, char** argv) {
                 engine::ResolveThreads(mc.threads), spec.c_str());
     const auto system = ldpc::MakeC2System();
     sim::BerRunner runner(*system.code, *system.encoder, mc);
+    const bool alloc_stats = args.GetBool("alloc-stats");
+    const std::uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const std::uint64_t bytes_before =
+        g_alloc_bytes.load(std::memory_order_relaxed);
     const auto t0 = std::chrono::steady_clock::now();
     const auto curve = runner.RunSpec(spec);
     const auto elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    const std::uint64_t allocs_run =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    const std::uint64_t bytes_run =
+        g_alloc_bytes.load(std::memory_order_relaxed) - bytes_before;
     const auto& point = curve.points.front();
     const double sim_fps =
         elapsed > 0.0 ? static_cast<double>(point.frames) / elapsed : 0.0;
@@ -139,6 +185,13 @@ int main(int argc, char** argv) {
                    " Mbps"});
     mt.AddRow({"Early-termination throughput",
                FormatDouble(effective_mbps, 1) + " Mbps"});
+    if (alloc_stats && point.frames > 0) {
+      const double frames = static_cast<double>(point.frames);
+      mt.AddRow({"Heap allocations/frame",
+                 FormatDouble(static_cast<double>(allocs_run) / frames, 2)});
+      mt.AddRow({"Heap bytes/frame",
+                 FormatDouble(static_cast<double>(bytes_run) / frames, 0)});
+    }
     std::printf("\n%s", mt.Render("Measured operating point").c_str());
     std::printf("\nThe gap is what an early-termination controller would "
                 "buy: above the waterfall most frames converge well "

@@ -22,9 +22,16 @@ double EbN0ForSigma(double sigma, double code_rate) {
 
 std::vector<double> BpskModulate(std::span<const std::uint8_t> bits) {
   std::vector<double> symbols(bits.size());
+  BpskModulateInto(bits, symbols);
+  return symbols;
+}
+
+void BpskModulateInto(std::span<const std::uint8_t> bits,
+                      std::span<double> symbols) {
+  CLDPC_EXPECTS(symbols.size() == bits.size(),
+                "symbol buffer must match bit count");
   for (std::size_t i = 0; i < bits.size(); ++i)
     symbols[i] = (bits[i] & 1u) ? -1.0 : 1.0;
-  return symbols;
 }
 
 AwgnChannel::AwgnChannel(double sigma, std::uint64_t seed)
@@ -34,16 +41,55 @@ AwgnChannel::AwgnChannel(double sigma, std::uint64_t seed)
 
 std::vector<double> AwgnChannel::Transmit(std::span<const double> symbols) {
   std::vector<double> received(symbols.size());
-  for (std::size_t i = 0; i < symbols.size(); ++i)
-    received[i] = symbols[i] + noise_.Next(0.0, sigma_);
+  TransmitInto(symbols, received);
   return received;
 }
 
+void AwgnChannel::TransmitInto(std::span<const double> symbols,
+                               std::span<double> received) {
+  CLDPC_EXPECTS(received.size() == symbols.size(),
+                "receive buffer must match symbol count");
+  CLDPC_EXPECTS(received.data() != symbols.data(),
+                "received must not alias symbols (normals are staged in "
+                "received before symbols are read)");
+  // Stage the standard normals in the output buffer, then add them
+  // onto the symbols in one pass. `0.0 + sigma * z` spells out
+  // Next(0.0, sigma) — same operations, so the received words are
+  // bit-identical to the scalar per-sample path.
+  noise_.NextBatch(received);
+  for (std::size_t i = 0; i < symbols.size(); ++i)
+    received[i] = symbols[i] + (0.0 + sigma_ * received[i]);
+}
+
 std::vector<double> AwgnChannel::Llrs(std::span<const double> received) const {
-  const double gain = 2.0 / (sigma_ * sigma_);
   std::vector<double> llr(received.size());
-  for (std::size_t i = 0; i < received.size(); ++i) llr[i] = gain * received[i];
+  LlrsInto(received, llr);
   return llr;
+}
+
+void AwgnChannel::LlrsInto(std::span<const double> received,
+                           std::span<double> llr) const {
+  CLDPC_EXPECTS(llr.size() == received.size(),
+                "LLR buffer must match sample count");
+  const double gain = 2.0 / (sigma_ * sigma_);
+  for (std::size_t i = 0; i < received.size(); ++i) llr[i] = gain * received[i];
+}
+
+void AwgnChannel::TransmitLlrsInto(std::span<const double> symbols,
+                                   std::span<double> llr) {
+  CLDPC_EXPECTS(llr.size() == symbols.size(),
+                "LLR buffer must match symbol count");
+  CLDPC_EXPECTS(llr.data() != symbols.data(),
+                "llr must not alias symbols (normals are staged in llr "
+                "before symbols are read)");
+  // Normals staged in the output buffer, then noise-add and LLR
+  // scaling fused into one pass — op-for-op the Transmit + Llrs
+  // sequence: received = symbols[i] + (0.0 + sigma * z), llr = gain *
+  // received.
+  noise_.NextBatch(llr);
+  const double gain = 2.0 / (sigma_ * sigma_);
+  for (std::size_t i = 0; i < symbols.size(); ++i)
+    llr[i] = gain * (symbols[i] + (0.0 + sigma_ * llr[i]));
 }
 
 std::vector<double> TransmitBpskAwgn(std::span<const std::uint8_t> bits,

@@ -24,16 +24,42 @@ double EbN0ForSigma(double sigma, double code_rate);
 /// Map bits to antipodal symbols (+1 for 0, -1 for 1).
 std::vector<double> BpskModulate(std::span<const std::uint8_t> bits);
 
+/// Allocation-free BpskModulate: writes into `symbols`
+/// (symbols.size() == bits.size()).
+void BpskModulateInto(std::span<const std::uint8_t> bits,
+                      std::span<double> symbols);
+
 /// Memoryless AWGN channel with a deterministic per-instance stream.
+///
+/// The *Into variants are the allocation-free staging forms the
+/// Monte-Carlo engine's hot path uses; each is bit-exact with its
+/// allocating counterpart on the same noise stream (identical RNG
+/// consumption, identical arithmetic — tests/test_channel_frontend
+/// locks this).
 class AwgnChannel {
  public:
   AwgnChannel(double sigma, std::uint64_t seed);
 
-  /// y = x + n, n ~ N(0, sigma^2) i.i.d.
+  /// y = x + n, n ~ N(0, sigma^2) i.i.d. `received` must not alias
+  /// `symbols` (it stages the normals before the symbols are read;
+  /// checked).
   std::vector<double> Transmit(std::span<const double> symbols);
+  void TransmitInto(std::span<const double> symbols,
+                    std::span<double> received);
 
   /// Exact BPSK LLRs: L = 2 y / sigma^2 (positive favours bit 0).
   std::vector<double> Llrs(std::span<const double> received) const;
+  void LlrsInto(std::span<const double> received,
+                std::span<double> llr) const;
+
+  /// Fused Transmit + Llrs with zero heap allocations: writes the
+  /// LLRs of one noisy transmission of `symbols` into `llr`
+  /// (llr.size() == symbols.size(); must not alias symbols). The
+  /// Gaussian draw is batched (GaussianSampler::NextBatch) and the
+  /// noise-add + LLR scale run as one pass; the result is bit-exact
+  /// with Transmit followed by Llrs.
+  void TransmitLlrsInto(std::span<const double> symbols,
+                        std::span<double> llr);
 
   double sigma() const { return sigma_; }
 

@@ -1,27 +1,38 @@
 #include "engine/decoder_pool.hpp"
 
+#include <utility>
+
 #include "engine/thread_pool.hpp"
 #include "util/contracts.hpp"
 
 namespace cldpc::engine {
 
-DecoderPool::DecoderPool(const DecoderFactory& factory, std::size_t count) {
-  CLDPC_EXPECTS(static_cast<bool>(factory), "decoder factory must be set");
+DecoderPool::DecoderPool(DecoderFactory factory, std::size_t count)
+    : factory_(std::move(factory)) {
+  CLDPC_EXPECTS(static_cast<bool>(factory_), "decoder factory must be set");
   CLDPC_EXPECTS(count > 0, "decoder pool needs at least one instance");
   CLDPC_EXPECTS(count <= ThreadPool::kMaxThreads,
                 "unreasonable decoder count — a negative --threads value "
                 "wraps around to a huge unsigned number");
-  decoders_.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    auto decoder = factory();
-    CLDPC_ENSURES(decoder != nullptr, "decoder factory returned null");
-    decoders_.push_back(std::move(decoder));
-  }
+  decoders_.resize(count);  // empty slots; instances are built on Get
 }
 
 ldpc::Decoder& DecoderPool::Get(std::size_t worker) {
   CLDPC_EXPECTS(worker < decoders_.size(), "worker index out of range");
-  return *decoders_[worker];
+  // All slot construction (and the empty-slot check) happens under
+  // the mutex: worker w and a concurrent name() call may race for
+  // slot 0, and the factory is not required to be thread-safe. The
+  // lock is uncontended after every active worker has its instance —
+  // one lock per batch, noise next to a decode.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = decoders_[worker];
+  if (!slot) {
+    slot = factory_();
+    CLDPC_ENSURES(slot != nullptr, "decoder factory returned null");
+  }
+  return *slot;
 }
+
+std::string DecoderPool::name() { return Get(0).Name(); }
 
 }  // namespace cldpc::engine

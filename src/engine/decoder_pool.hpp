@@ -1,39 +1,52 @@
 // Per-worker decoder instances for the Monte-Carlo engine.
 //
 // Decoders own mutable scratch buffers (message arrays), so a single
-// instance cannot be shared across threads. A DecoderPool clones one
-// instance per worker through a DecoderFactory callable; workers then
-// index their own decoder lock-free via ThreadPool::CurrentWorkerIndex.
+// instance cannot be shared across threads. A DecoderPool holds one
+// slot per worker and clones an instance into a slot on that slot's
+// first Get() — lazily, so a short run with a large --threads never
+// pays O(threads * decoder state) construction for workers that never
+// claim a batch. Construction is serialized by an internal mutex, so
+// the DecoderFactory itself need not be thread-safe, but it may now
+// be invoked from worker threads (it must not rely on running on the
+// engine's calling thread).
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ldpc/decoder.hpp"
 
 namespace cldpc::engine {
 
-/// Creates a fresh, independently usable decoder instance. Called once
-/// per worker on the engine's calling thread (construction order is
-/// deterministic and factories need not be thread-safe).
+/// Creates a fresh, independently usable decoder instance. Invoked at
+/// most once per worker slot, under the pool's mutex (never
+/// concurrently with itself).
 using DecoderFactory = std::function<std::unique_ptr<ldpc::Decoder>()>;
 
 class DecoderPool {
  public:
-  /// Clones `count` decoders up-front (count >= 1).
-  DecoderPool(const DecoderFactory& factory, std::size_t count);
+  /// Prepares `count` slots (count >= 1); no decoder is constructed
+  /// yet.
+  DecoderPool(DecoderFactory factory, std::size_t count);
 
-  /// Decoder owned by worker `worker` (0 <= worker < size()).
+  /// Decoder owned by worker `worker` (0 <= worker < size()),
+  /// constructed on first use. Safe to call from multiple workers
+  /// concurrently; the returned reference stays valid for the pool's
+  /// lifetime and is exclusive to that worker by convention.
   ldpc::Decoder& Get(std::size_t worker);
 
   std::size_t size() const { return decoders_.size(); }
 
-  /// All instances report the same Name(); this returns it.
-  std::string name() const { return decoders_.front()->Name(); }
+  /// All instances report the same Name(); this returns it
+  /// (constructing slot 0 if nothing exists yet).
+  std::string name();
 
  private:
+  DecoderFactory factory_;
+  std::mutex mutex_;  // guards slot construction
   std::vector<std::unique_ptr<ldpc::Decoder>> decoders_;
 };
 

@@ -69,7 +69,7 @@ struct SimEngine::PointAccumulator {
 
 std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
     ldpc::Decoder& decoder, std::size_t snr_index, std::uint64_t first_frame,
-    std::uint64_t count, double sigma) const {
+    std::uint64_t count, double sigma, FrameScratch& scratch) const {
   const std::size_t n = code_.n();
   const std::size_t n_info = code_.k();
 
@@ -77,9 +77,13 @@ std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
   // DecodeBatch call: batched decoders run the frames in SIMD lanes,
   // scalar decoders fall back to a frame loop — either way the
   // per-frame results are identical (the batching contract in
-  // ldpc/decoder.hpp).
-  std::vector<std::uint8_t> codewords(count * n);
-  std::vector<double> llrs(count * n);
+  // ldpc/decoder.hpp). All staging goes through the worker's
+  // FrameScratch and the allocation-free *Into frontend, so the
+  // channel chain touches the heap only while the buffers first grow.
+  scratch.codewords.resize(count * n);
+  scratch.llrs.resize(count * n);
+  scratch.symbols.resize(n);
+  scratch.info.resize(n_info);
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t f = first_frame + i;
     // Independent, reproducible streams for data and noise: every
@@ -89,26 +93,23 @@ std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
     const std::uint64_t noise_seed =
         DeriveSeed(config_.base_seed, snr_index, f, 2);
 
-    const std::span<std::uint8_t> codeword(codewords.data() + i * n, n);
+    const std::span<std::uint8_t> codeword(scratch.codewords.data() + i * n,
+                                           n);
     if (config_.all_zero_codeword) {
       std::fill(codeword.begin(), codeword.end(), 0);
     } else {
       Xoshiro256pp data_rng(data_seed);
-      std::vector<std::uint8_t> info(n_info);
-      for (auto& b : info) b = data_rng.NextBit() ? 1 : 0;
-      const auto encoded = encoder_.Encode(info);
-      std::copy(encoded.begin(), encoded.end(), codeword.begin());
+      for (auto& b : scratch.info) b = data_rng.NextBit() ? 1 : 0;
+      encoder_.EncodeInto(scratch.info, codeword, scratch.parity);
     }
 
     channel::AwgnChannel ch(sigma, noise_seed);
-    const auto symbols =
-        channel::BpskModulate({codewords.data() + i * n, n});
-    const auto received = ch.Transmit(symbols);
-    const auto llr = ch.Llrs(received);
-    std::copy(llr.begin(), llr.end(), llrs.begin() + i * n);
+    channel::BpskModulateInto(codeword, scratch.symbols);
+    ch.TransmitLlrsInto(scratch.symbols,
+                        {scratch.llrs.data() + i * n, n});
   }
 
-  const auto decoded = decoder.DecodeBatch(llrs, count);
+  const auto decoded = decoder.DecodeBatch(scratch.llrs, count);
 
   std::vector<FrameResult> results;
   results.reserve(count);
@@ -116,7 +117,8 @@ std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
     FrameResult result;
     result.iterations = decoded[i].iterations_run;
     for (const auto pos : counted_) {
-      if (decoded[i].bits[pos] != codewords[i * n + pos]) ++result.bit_errors;
+      if (decoded[i].bits[pos] != scratch.codewords[i * n + pos])
+        ++result.bit_errors;
     }
     results.push_back(result);
   }
@@ -143,6 +145,7 @@ sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
   sim::BerCurve curve;
   curve.decoder_name = decoder.Name();
   const double rate = code_.Rate();
+  FrameScratch scratch;  // reused by every batch of the sweep
 
   for (std::size_t s = 0; s < config_.ebn0_db.size(); ++s) {
     const double sigma = channel::SigmaForEbN0(config_.ebn0_db[s], rate);
@@ -160,7 +163,8 @@ sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
          first += config_.batch_frames) {
       const std::uint64_t count = std::min<std::uint64_t>(
           config_.batch_frames, config_.max_frames - first);
-      const auto results = SimulateBatch(decoder, s, first, count, sigma);
+      const auto results = SimulateBatch(decoder, s, first, count, sigma,
+                                         scratch);
       for (const auto& r : results) {
         if (acc.Consume(r, s, counted_.size(), config_.min_frame_errors,
                         on_frame)) {
@@ -184,6 +188,10 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
   curve.decoder_name = decoders.name();
   const double rate = code_.Rate();
   const std::uint64_t batch = config_.batch_frames;
+  // One FrameScratch per worker, owned across all points of the
+  // sweep: the channel staging buffers allocate once and are reused
+  // by every batch the worker simulates.
+  std::vector<FrameScratch> scratches(threads);
 
   // Keep speculation (and result memory) bounded: workers may run at
   // most this many batches ahead of the in-order aggregator.
@@ -213,8 +221,8 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
     } shared;
 
     for (std::size_t w = 0; w < threads; ++w) {
-      pool.Submit([this, &shared, &decoders, s, batch, num_batches, window,
-                   sigma] {
+      pool.Submit([this, &shared, &decoders, &scratches, s, batch,
+                   num_batches, window, sigma] {
         const auto worker =
             static_cast<std::size_t>(ThreadPool::CurrentWorkerIndex());
         for (;;) {
@@ -234,8 +242,8 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
           const std::uint64_t count =
               std::min<std::uint64_t>(batch, config_.max_frames - first);
           try {
-            auto results =
-                SimulateBatch(decoders.Get(worker), s, first, count, sigma);
+            auto results = SimulateBatch(decoders.Get(worker), s, first,
+                                         count, sigma, scratches[worker]);
             {
               std::lock_guard<std::mutex> lock(shared.mutex);
               shared.ready.emplace(b, std::move(results));

@@ -46,6 +46,7 @@
 #include <cstdint>
 
 #include "engine/decoder_pool.hpp"
+#include "gf2/bitvec.hpp"
 #include "sim/ber_runner.hpp"
 
 namespace cldpc::engine {
@@ -80,12 +81,28 @@ class SimEngine {
   };
   struct PointAccumulator;
 
-  /// Decode frames [first, first+count) of point `snr_index`.
+  /// Reusable per-worker staging buffers for SimulateBatch's channel
+  /// frontend: the buffers grow to the batch size on the first batch
+  /// and are reused for every batch after, so encode / modulate /
+  /// transmit / LLR staging performs zero heap allocations in steady
+  /// state (the decoder's own result vectors are the only remaining
+  /// per-batch allocations).
+  struct FrameScratch {
+    std::vector<std::uint8_t> info;       // k, one frame at a time
+    std::vector<std::uint8_t> codewords;  // count * n, frame-major
+    std::vector<double> symbols;          // n, one frame at a time
+    std::vector<double> llrs;             // count * n, frame-major
+    gf2::BitVec parity;                   // encoder scratch
+  };
+
+  /// Decode frames [first, first+count) of point `snr_index`,
+  /// staging the channel through `scratch` (exclusive to the calling
+  /// worker).
   std::vector<FrameResult> SimulateBatch(ldpc::Decoder& decoder,
                                          std::size_t snr_index,
                                          std::uint64_t first_frame,
-                                         std::uint64_t count,
-                                         double sigma) const;
+                                         std::uint64_t count, double sigma,
+                                         FrameScratch& scratch) const;
 
   sim::BerCurve RunSequential(ldpc::Decoder& decoder,
                               const sim::FrameCallback& on_frame);

@@ -64,24 +64,28 @@ core::Float32CheckRule F32Rule(const MinSumOptions& options) {
 /// memory; per-lane arithmetic never mixes lanes, which is what makes
 /// each lane byte-identical to the scalar decoder on the same frame.
 //
-// Note for the fixed datapath: the scalar decoder stores a compressed
-// CnSummary per check and re-derives cb_old = Output(record, pos) on
-// the next visit; Output is a pure function, so that value equals the
-// cb it wrote to the APP last visit. Storing the per-edge c2b value
-// directly (as the float path does) therefore reproduces the exact
-// same cb_old words — same math, one uniform engine.
+// Extrinsic state is the compressed per-check form of
+// core/cn_compress.hpp: a check's previous messages are reconstructed
+// and peeled in one fused pass (Peel) instead of read from a per-edge
+// array, and its refreshed summary is compressed back (Store) instead
+// of written out per edge. Reconstruction is value-identical to the
+// stored messages (Output/OutputRow are pure functions of the
+// summary), so per-lane results stay byte-identical to the scalar
+// decoders while the message memory shrinks from O(edges * L) to
+// O(checks * L).
 template <class Policy, std::size_t L>
 void DecodeLaneGroup(const LdpcCode& code, const Policy& pol,
                      const IterOptions& iter, const double* llrs,
                      typename Policy::Value* CLDPC_RESTRICT app,
-                     typename Policy::Value* CLDPC_RESTRICT c2b,
+                     core::CompressedCnLanes<typename Policy::Datapath>& store,
                      typename Policy::Value* CLDPC_RESTRICT extr,
                      typename Policy::Value* CLDPC_RESTRICT bc,
-                     std::uint8_t* CLDPC_RESTRICT hard,
+                     std::uint32_t* CLDPC_RESTRICT hard_mask,
                      core::BatchSyndromeTracker& syndrome,
                      DecodeResult* results) {
   using Value = typename Policy::Value;
   using Batch = core::CnUpdateBatch<typename Policy::Datapath, L>;
+  core::CompressedCnView<typename Policy::Datapath, L> msgs(store);
   const auto& sched = code.schedule();
   const std::size_t n = sched.num_bits();
 
@@ -89,10 +93,18 @@ void DecodeLaneGroup(const LdpcCode& code, const Policy& pol,
     for (std::size_t l = 0; l < L; ++l)
       app[b * L + l] = pol.LoadChannel(llrs[l * n + b]);
   }
-  std::fill(c2b, c2b + sched.num_edges() * L, Value{});
-  for (std::size_t i = 0; i < n * L; ++i)
-    hard[i] = app[i] < Value{} ? 1 : 0;
-  syndrome.Reset({hard, n * L}, L);
+  msgs.Reset(sched.num_checks());
+  // Hard decisions live as packed per-bit lane masks (bit l = lane
+  // l's decision): the per-iteration flip scan then runs on one word
+  // per bit instead of L bytes.
+  for (std::size_t b = 0; b < n; ++b) {
+    const Value* CLDPC_RESTRICT a = app + b * L;
+    std::uint32_t mask = 0;
+    for (std::size_t l = 0; l < L; ++l)
+      mask |= std::uint32_t{a[l] < Value{} ? 1u : 0u} << l;
+    hard_mask[b] = mask;
+  }
+  syndrome.ResetMasks({hard_mask, n});
 
   const std::uint32_t all =
       L == 32 ? 0xffffffffu : ((std::uint32_t{1} << L) - 1u);
@@ -101,56 +113,46 @@ void DecodeLaneGroup(const LdpcCode& code, const Policy& pol,
   const auto capture = [&](std::size_t lane, bool converged, int iterations) {
     DecodeResult& r = results[lane];
     r.bits.resize(n);
-    for (std::size_t b = 0; b < n; ++b) r.bits[b] = hard[b * L + lane];
+    for (std::size_t b = 0; b < n; ++b)
+      r.bits[b] = static_cast<std::uint8_t>((hard_mask[b] >> lane) & 1u);
     r.converged = converged;
     r.iterations_run = iterations;
   };
 
   for (int it = 1; it <= iter.max_iterations; ++it) {
     for (std::size_t m = 0; m < sched.num_checks(); ++m) {
-      const std::size_t e0 = sched.EdgeBegin(m);
       const std::size_t dc = sched.Degree(m);
       if (dc == 0) continue;  // empty check: nothing to send
       const auto bits = sched.CheckBits(m);
-      // Peel this check's old contribution out of the APPs, lane-wise.
-      for (std::size_t i = 0; i < dc; ++i) {
-        const Value* CLDPC_RESTRICT a = app + bits[i] * L;
-        const Value* CLDPC_RESTRICT c = c2b + (e0 + i) * L;
-        Value* CLDPC_RESTRICT e = extr + i * L;
-        CLDPC_SIMD_LOOP
-        for (std::size_t l = 0; l < L; ++l) e[l] = a[l] - c[l];
-      }
+      // Reconstruct this check's previous messages from its
+      // compressed record and peel them out of the APPs, lane-wise
+      // (fused: no staged message rows, record hoisted per check).
+      msgs.Peel(m, dc, bits.data(), app, extr);
       const Value* cn_in = extr;
       if constexpr (Policy::kNarrowsMessages) {
         CLDPC_SIMD_LOOP
         for (std::size_t i = 0; i < dc * L; ++i) bc[i] = pol.ToMessage(extr[i]);
         cn_in = bc;
       }
-      const auto summary = Batch::Compute(cn_in, dc);
-      // Refresh the messages (whole rows at a time through the lane
-      // kernel) and fold them into the APPs immediately (the layered
-      // property), lane-wise.
-      for (std::size_t i = 0; i < dc; ++i) {
-        Value* CLDPC_RESTRICT a = app + bits[i] * L;
-        Value* CLDPC_RESTRICT c = c2b + (e0 + i) * L;
-        const Value* CLDPC_RESTRICT e = extr + i * L;
-        Batch::OutputRow(summary, i, cn_in + i * L, pol.rule, c);
-        CLDPC_SIMD_LOOP
-        for (std::size_t l = 0; l < L; ++l) a[l] = pol.UpdateApp(e[l], c[l]);
-      }
+      // The scan packs the record's sign words as it goes; Store then
+      // only normalizes and copies the per-check fields.
+      const auto summary = Batch::Compute(cn_in, dc, msgs.SignWords(m));
+      // Compress the refreshed summary, then fold its outputs into
+      // the APPs immediately (the layered property) — FoldFresh is
+      // value-identical to OutputRow + UpdateApp on the summary.
+      msgs.Store(m, summary, pol.rule);
+      msgs.FoldFresh(m, dc, bits.data(), cn_in, extr, app, pol);
     }
 
-    // Incremental syndrome: scan for per-lane sign flips and fold
-    // only those into the parity masks.
+    // Incremental syndrome: repack each bit's lane sign mask and fold
+    // only the changed lanes into the parity masks.
     for (std::size_t b = 0; b < n; ++b) {
-      std::uint32_t flips = 0;
-      std::uint8_t* h = hard + b * L;
-      const Value* a = app + b * L;
-      for (std::size_t l = 0; l < L; ++l) {
-        const std::uint8_t bit = a[l] < Value{} ? 1 : 0;
-        flips |= std::uint32_t{static_cast<std::uint32_t>(bit ^ h[l])} << l;
-        h[l] = bit;
-      }
+      const Value* CLDPC_RESTRICT a = app + b * L;
+      std::uint32_t mask = 0;
+      for (std::size_t l = 0; l < L; ++l)
+        mask |= std::uint32_t{a[l] < Value{} ? 1u : 0u} << l;
+      const std::uint32_t flips = mask ^ hard_mask[b];
+      hard_mask[b] = mask;
       if (flips != 0) syndrome.Flip(b, flips);
     }
 
@@ -186,8 +188,9 @@ std::vector<DecodeResult> DecodeChunked(
     const LdpcCode& code, const Policy& pol, const IterOptions& iter,
     std::span<const double> llrs, std::size_t num_frames,
     std::size_t max_lanes, typename Policy::Value* app,
-    typename Policy::Value* c2b, typename Policy::Value* extr,
-    typename Policy::Value* bc, std::uint8_t* hard,
+    core::CompressedCnLanes<typename Policy::Datapath>& store,
+    typename Policy::Value* extr, typename Policy::Value* bc,
+    std::uint32_t* hard_mask,
     core::BatchSyndromeTracker& syndrome) {
   const std::size_t n = code.graph().num_bits();
   CLDPC_EXPECTS(num_frames > 0, "need at least one frame");
@@ -201,8 +204,8 @@ std::vector<DecodeResult> DecodeChunked(
     DecodeResult* out = results.data() + f;
     const auto run = [&](auto width) {
       constexpr std::size_t kL = decltype(width)::value;
-      DecodeLaneGroup<Policy, kL>(code, pol, iter, base, app, c2b, extr, bc,
-                                  hard, syndrome, out);
+      DecodeLaneGroup<Policy, kL>(code, pol, iter, base, app, store, extr,
+                                  bc, hard_mask, syndrome, out);
       f += kL;
     };
     if (want >= 16) {
@@ -242,9 +245,9 @@ BatchedLayeredDecoder::BatchedLayeredDecoder(const LdpcCode& code,
   rule_ = MinSumCheckRule(options_);
   const std::size_t w = std::min(max_lanes_, kMaxLaneGroup);
   app_.resize(code_.graph().num_bits() * w);
-  c2b_.resize(code_.graph().num_edges() * w);
   extr_.resize(code_.schedule().max_check_degree() * w);
-  hard_.resize(code_.graph().num_bits() * w);
+  msgs_.Resize(code_.graph().num_checks(), w);
+  hard_.resize(code_.graph().num_bits());
 }
 
 std::string BatchedLayeredDecoder::Name() const {
@@ -260,7 +263,7 @@ std::vector<DecodeResult> BatchedLayeredDecoder::DecodeBatch(
     std::span<const double> llrs, std::size_t num_frames) {
   const DoubleLanePolicy pol{rule_};
   return DecodeChunked(code_, pol, options_.iter, llrs, num_frames,
-                       max_lanes_, app_.data(), c2b_.data(), extr_.data(),
+                       max_lanes_, app_.data(), msgs_, extr_.data(),
                        /*bc=*/nullptr, hard_.data(), syndrome_);
 }
 
@@ -278,9 +281,9 @@ BatchedLayeredDecoderF32::BatchedLayeredDecoderF32(const LdpcCode& code,
   rule_ = F32Rule(options_);
   const std::size_t w = std::min(max_lanes_, kMaxLaneGroup);
   app_.resize(code_.graph().num_bits() * w);
-  c2b_.resize(code_.graph().num_edges() * w);
   extr_.resize(code_.schedule().max_check_degree() * w);
-  hard_.resize(code_.graph().num_bits() * w);
+  msgs_.Resize(code_.graph().num_checks(), w);
+  hard_.resize(code_.graph().num_bits());
 }
 
 std::string BatchedLayeredDecoderF32::Name() const {
@@ -296,7 +299,7 @@ std::vector<DecodeResult> BatchedLayeredDecoderF32::DecodeBatch(
     std::span<const double> llrs, std::size_t num_frames) {
   const F32LanePolicy pol{rule_};
   return DecodeChunked(code_, pol, options_.iter, llrs, num_frames,
-                       max_lanes_, app_.data(), c2b_.data(), extr_.data(),
+                       max_lanes_, app_.data(), msgs_, extr_.data(),
                        /*bc=*/nullptr, hard_.data(), syndrome_);
 }
 
@@ -318,10 +321,10 @@ BatchedFixedLayeredDecoder::BatchedFixedLayeredDecoder(
                 "APP accumulator narrower than messages");
   const std::size_t w = std::min(max_lanes_, kMaxLaneGroup);
   app_.resize(code_.graph().num_bits() * w);
-  c2b_.resize(code_.graph().num_edges() * w);
   extr_.resize(code_.schedule().max_check_degree() * w);
   bc_.resize(code_.schedule().max_check_degree() * w);
-  hard_.resize(code_.graph().num_bits() * w);
+  msgs_.Resize(code_.graph().num_checks(), w);
+  hard_.resize(code_.graph().num_bits());
 }
 
 std::string BatchedFixedLayeredDecoder::Name() const {
@@ -341,7 +344,7 @@ std::vector<DecodeResult> BatchedFixedLayeredDecoder::DecodeBatch(
                             options_.datapath.message_bits,
                             options_.datapath.app_bits};
   return DecodeChunked(code_, pol, options_.iter, llrs, num_frames,
-                       max_lanes_, app_.data(), c2b_.data(), extr_.data(),
+                       max_lanes_, app_.data(), msgs_, extr_.data(),
                        bc_.data(), hard_.data(), syndrome_);
 }
 

@@ -1,8 +1,10 @@
 // Frame-batched layered decoders: B codeword frames decoded in
-// lockstep through one layered schedule walk, with
-// structure-of-arrays message storage (msg[edge][lane], lane = frame)
-// so the CN kernel's min1/min2/sign scan vectorizes across lanes —
-// the software analogue of the paper's multi-frame memory words.
+// lockstep through one layered schedule walk, with compressed
+// per-check message storage (one min1/min2/argmin/sign-word record
+// per check per lane, see core/cn_compress.hpp) so the CN kernel's
+// min1/min2/sign scan vectorizes across lanes while the extrinsic
+// state stays O(checks * lanes) — the software analogue of the
+// paper's multi-frame compressed memory words.
 //
 // Three datapaths:
 //   BatchedLayeredDecoder      — double lanes; per-lane results are
@@ -30,6 +32,7 @@
 #pragma once
 
 #include "ldpc/core/batch_kernel.hpp"
+#include "ldpc/core/cn_compress.hpp"
 #include "ldpc/core/syndrome_tracker.hpp"
 #include "ldpc/decoder.hpp"
 #include "ldpc/fixed_minsum_decoder.hpp"
@@ -64,9 +67,11 @@ class BatchedLayeredDecoder final : public Decoder {
   core::FloatCheckRule rule_;
   std::size_t max_lanes_;
   // Lane-group state, sized once for the widest group (satellite of
-  // the scratch-hoisting rule: no per-decode allocation).
-  std::vector<double> app_, c2b_, extr_;
-  std::vector<std::uint8_t> hard_;
+  // the scratch-hoisting rule: no per-decode allocation). msgs_ is
+  // the compressed per-check extrinsic memory.
+  std::vector<double> app_, extr_;
+  core::CompressedCnLanes<core::FloatDatapath> msgs_;
+  std::vector<std::uint32_t> hard_;  // packed per-bit lane sign masks
   core::BatchSyndromeTracker syndrome_;
 };
 
@@ -88,8 +93,9 @@ class BatchedLayeredDecoderF32 final : public Decoder {
   MinSumOptions options_;
   core::Float32CheckRule rule_;
   std::size_t max_lanes_;
-  std::vector<float> app_, c2b_, extr_;
-  std::vector<std::uint8_t> hard_;
+  std::vector<float> app_, extr_;
+  core::CompressedCnLanes<core::Float32Datapath> msgs_;
+  std::vector<std::uint32_t> hard_;
   core::BatchSyndromeTracker syndrome_;
 };
 
@@ -111,8 +117,9 @@ class BatchedFixedLayeredDecoder final : public Decoder {
   FixedMinSumOptions options_;
   LlrQuantizer quantizer_;
   std::size_t max_lanes_;
-  std::vector<Fixed> app_, c2b_, extr_, bc_;
-  std::vector<std::uint8_t> hard_;
+  std::vector<Fixed> app_, extr_, bc_;
+  core::CompressedCnLanes<core::FixedDatapath> msgs_;
+  std::vector<std::uint32_t> hard_;
   core::BatchSyndromeTracker syndrome_;
 };
 

@@ -157,18 +157,42 @@ struct CnUpdateBatch {
     std::array<UInt, kLanes> sign_acc;   // XOR of input sign masks
   };
 
+  /// Sign-word geometry of the packing overload: per-position input
+  /// signs pack into Value-width UInt rows, kSignBits positions per
+  /// word (so degree 64 needs 64 / kSignBits words per lane).
+  static constexpr std::size_t kSignBits = 8 * sizeof(UInt);
+
   /// First pass over the dc * kLanes inputs (position-major SoA:
   /// inputs[i * kLanes + l]).
   static Summary Compute(const Value* inputs, std::size_t dc) {
+    return ComputeImpl<false>(inputs, dc, nullptr);
+  }
+
+  /// Compute, additionally packing each position's input sign bit
+  /// into `sign_words` (word-major then lane-major: bit i % kSignBits
+  /// of sign_words[(i / kSignBits) * kLanes + l]) during the same
+  /// scan — the compressed message store's record signs, produced
+  /// without a second pass over the inputs. Words whose positions lie
+  /// entirely past dc are not written.
+  static Summary Compute(const Value* inputs, std::size_t dc,
+                         UInt* sign_words) {
+    return ComputeImpl<true>(inputs, dc, sign_words);
+  }
+
+  template <bool kPackSigns>
+  static Summary ComputeImpl(const Value* inputs, std::size_t dc,
+                             UInt* CLDPC_RESTRICT sign_words) {
     CLDPC_EXPECTS(dc >= 2 && dc <= 64, "check degree must be in [2, 64]");
     Summary s;
     s.min1.fill(Datapath::kMax);
     s.min2.fill(Datapath::kMax);
     s.argmin.fill(Index{0});
     s.sign_acc.fill(UInt{0});
+    std::array<UInt, kLanes> sacc{};
     for (std::size_t i = 0; i < dc; ++i) {
       const Value* CLDPC_RESTRICT in = inputs + i * kLanes;
       const auto pos = static_cast<Index>(i);
+      const auto sh = static_cast<unsigned>(i % kSignBits);
       CLDPC_SIMD_LOOP
       for (std::size_t l = 0; l < kLanes; ++l) {
         const Value v = in[l];
@@ -181,6 +205,8 @@ struct CnUpdateBatch {
         const Value m2 = s.min2[l];
         const Index am = s.argmin[l];
         s.sign_acc[l] ^= Traits::SignMask(v);
+        if constexpr (kPackSigns)
+          sacc[l] |= (Traits::SignMask(v) & UInt{1}) << sh;
         // Branchless form of the scalar kernel's if/else chain: the
         // same strict comparisons, lane-wise, so each lane's
         // min1/min2/argmin match CnUpdate exactly (ties included).
@@ -189,6 +215,18 @@ struct CnUpdateBatch {
         s.min2[l] = lt1 ? m1 : (lt2 ? mag : m2);
         s.argmin[l] = lt1 ? pos : am;
         s.min1[l] = lt1 ? mag : m1;
+      }
+      if constexpr (kPackSigns) {
+        // Flush the accumulated word at each word boundary (and at
+        // the final position) — one store per word, registers
+        // in between.
+        if (sh == kSignBits - 1 || i == dc - 1) {
+          UInt* CLDPC_RESTRICT row = sign_words + (i / kSignBits) * kLanes;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            row[l] = sacc[l];
+            sacc[l] = UInt{0};
+          }
+        }
       }
     }
     return s;

@@ -1,0 +1,330 @@
+// Compressed check-node message storage — the paper's extrinsic
+// memory layout, in software.
+//
+// The hardware decoders never store the dc outgoing check-to-bit
+// messages of a check: they keep one compressed record per check —
+// the two candidate output magnitudes, the argmin position and a
+// per-input sign word — and reconstruct any output on the fly. That
+// is what makes the extrinsic memory O(checks) instead of O(edges)
+// and small enough to bank. This header is the software counterpart,
+// consumed by every layered decoder (scalar and lane-batched):
+//
+//   CompressedCn<Datapath>       — one Record per check (scalar path)
+//   CompressedCnLanes<Datapath>  — field-major SoA records over
+//                                  checks x lanes (owning storage)
+//   CompressedCnView<Datapath,L> — the lane-templated Store/LoadRow
+//                                  kernels over that storage
+//
+// Reconstruction contract (the byte-identity guarantee): records
+// store the two exclusive-min magnitudes ALREADY normalized.
+// Normalize is a pure function applied to whichever min the argmin
+// select picks, so normalize-then-select equals select-then-normalize
+// bit for bit, and Load/LoadRow reproduce exactly the value
+// CnUpdate::Output / CnUpdateBatch::OutputRow computed when the
+// record was written. A zero-initialized record loads as +0 in every
+// datapath — identical to the "messages start at zero" state of a
+// stored-message decoder.
+//
+// For the C2 code (dc = 32) the compressed form shrinks decoder
+// message state from 32 values per check (x lanes) to one ~5-word
+// record (x lanes): the batched working set drops below L2, which is
+// where the measured frames/s gain comes from (bench_kernels
+// BM_C2BatchedCnPass{Stored,Compressed}).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ldpc/core/batch_kernel.hpp"
+#include "ldpc/core/cn_kernel.hpp"
+
+namespace cldpc::ldpc::core {
+
+/// Per-check compressed message storage for the scalar layered
+/// decoders. Store() compresses a CnUpdate summary once per check
+/// visit; Load() reconstructs the message the check sent to input
+/// position `pos` at that visit.
+template <class Datapath>
+class CompressedCn {
+ public:
+  using Kernel = CnUpdate<Datapath>;
+  using Summary = typename Kernel::Summary;
+  using Value = typename Datapath::Value;
+  using Rule = typename Datapath::Rule;
+
+  /// One check's record: both candidate output magnitudes (normalized
+  /// at store time — see the header contract), where the smallest
+  /// input magnitude occurred, the total sign product, and each
+  /// input's sign (bit i = input i negative; degrees up to 64).
+  struct Record {
+    Value nmin1{};
+    Value nmin2{};
+    std::uint32_t argmin_pos = 0;
+    bool sign_product_negative = false;
+    std::uint64_t sign_mask = 0;
+  };
+
+  explicit CompressedCn(std::size_t num_checks) : records_(num_checks) {}
+
+  /// Back to the all-zero-messages state (every Load yields +0).
+  void Reset() { std::fill(records_.begin(), records_.end(), Record{}); }
+
+  /// Compress and store one check's scan summary; returns the stored
+  /// record so the caller can fold the fresh outputs without
+  /// re-reading the store.
+  const Record& Store(std::size_t m, const Summary& s, const Rule& rule) {
+    Record& r = records_[m];
+    r.nmin1 = Datapath::Normalize(s.min1, rule);
+    r.nmin2 = Datapath::Normalize(s.min2, rule);
+    r.argmin_pos = s.argmin_pos;
+    r.sign_product_negative = s.sign_product_negative;
+    r.sign_mask = s.sign_mask;
+    return r;
+  }
+
+  const Record& Get(std::size_t m) const { return records_[m]; }
+
+  /// The check-to-bit message of input position `pos` reconstructed
+  /// from a record — value-identical to CnUpdate::Output on the
+  /// summary the record was stored from.
+  static Value Output(const Record& r, std::size_t pos) {
+    const Value mag = (pos == r.argmin_pos) ? r.nmin2 : r.nmin1;
+    const bool self = ((r.sign_mask >> pos) & 1u) != 0;
+    return Datapath::FlipSign(mag, r.sign_product_negative != self);
+  }
+
+  Value Load(std::size_t m, std::size_t pos) const {
+    return Output(records_[m], pos);
+  }
+
+  std::size_t num_checks() const { return records_.size(); }
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Owning SoA storage of compressed records over checks x lanes,
+/// field-major (field[m * lanes + l]) so every lane loop in the view
+/// kernels reads contiguous same-width data. Per-position sign bits
+/// are packed into Value-width UInt words — kSignWords of them per
+/// lane cover the kernel's 64-position degree contract — so sign
+/// extraction stays at the one SIMD width the lane loops vectorize at
+/// (a single 64-bit word per lane would wedge scalar shifts into the
+/// f32/fixed paths). Lane-width agnostic: the decoders size it once
+/// for their widest lane group and run narrower groups over a prefix,
+/// exactly like their other lane buffers.
+template <class Datapath>
+class CompressedCnLanes {
+ public:
+  using Value = typename Datapath::Value;
+  using Traits = BatchTraits<Datapath>;
+  using Index = typename Traits::Index;
+  using UInt = typename Traits::UInt;
+
+  static constexpr std::size_t kSignBits = 8 * sizeof(UInt);
+  static constexpr std::size_t kSignWords = 64 / kSignBits;
+
+  void Resize(std::size_t num_checks, std::size_t lanes) {
+    const std::size_t size = num_checks * lanes;
+    nmin1_.resize(size);
+    nmin2_.resize(size);
+    argmin_.resize(size);
+    parity_.resize(size);
+    signs_.resize(size * kSignWords);
+  }
+
+  Value* nmin1() { return nmin1_.data(); }
+  Value* nmin2() { return nmin2_.data(); }
+  Index* argmin() { return argmin_.data(); }
+  UInt* parity() { return parity_.data(); }
+  UInt* signs() { return signs_.data(); }
+
+ private:
+  std::vector<Value> nmin1_, nmin2_;
+  std::vector<Index> argmin_;  // position, Value-width (see BatchTraits)
+  std::vector<UInt> parity_;   // sign product as a full-width mask
+  // Packed input signs, word-major then lane-major per check:
+  // bit (i % kSignBits) of signs_[(m * kSignWords + i / kSignBits) *
+  // lanes + l] is "input i of check m, lane l, was negative".
+  std::vector<UInt> signs_;
+};
+
+/// Lane-templated kernels over a CompressedCnLanes store: the batched
+/// analogue of CompressedCn, with the same normalization-commutes
+/// reconstruction contract per lane. All lane loops are the
+/// contiguous compare/select shape batch_kernel.hpp vectorizes.
+template <class Datapath, std::size_t kLanes>
+class CompressedCnView {
+ public:
+  using Batch = CnUpdateBatch<Datapath, kLanes>;
+  using Value = typename Datapath::Value;
+  using Rule = typename Datapath::Rule;
+  using Traits = BatchTraits<Datapath>;
+  using Index = typename Traits::Index;
+  using UInt = typename Traits::UInt;
+  using Store_ = CompressedCnLanes<Datapath>;
+  static constexpr std::size_t kSignBits = Store_::kSignBits;
+  static constexpr std::size_t kSignWords = Store_::kSignWords;
+
+  explicit CompressedCnView(CompressedCnLanes<Datapath>& store)
+      : nmin1_(store.nmin1()),
+        nmin2_(store.nmin2()),
+        argmin_(store.argmin()),
+        parity_(store.parity()),
+        signs_(store.signs()) {}
+
+  /// Zero the first `num_checks` records at this lane width (the
+  /// prefix a kLanes-wide group uses; every reconstruction then
+  /// yields +0, the "messages start at zero" state).
+  void Reset(std::size_t num_checks) {
+    const std::size_t size = num_checks * kLanes;
+    std::fill(nmin1_, nmin1_ + size, Value{});
+    std::fill(nmin2_, nmin2_ + size, Value{});
+    std::fill(argmin_, argmin_ + size, Index{});
+    std::fill(parity_, parity_ + size, UInt{});
+    std::fill(signs_, signs_ + size * kSignWords, UInt{});
+  }
+
+  /// Check m's packed sign-word rows — hand this to the
+  /// sign-packing Batch::Compute overload so the record's signs are
+  /// produced during the scan itself (no second pass over the
+  /// inputs).
+  UInt* SignWords(std::size_t m) {
+    return signs_ + m * kSignWords * kLanes;
+  }
+
+  /// Compress check m's lane summaries: normalize the two candidate
+  /// magnitudes once, copy argmin and the sign-product masks. The
+  /// per-position sign words must already have been packed into
+  /// SignWords(m) by the Batch::Compute overload.
+  void Store(std::size_t m, const typename Batch::Summary& s,
+             const Rule& rule) {
+    Value* CLDPC_RESTRICT n1 = nmin1_ + m * kLanes;
+    Value* CLDPC_RESTRICT n2 = nmin2_ + m * kLanes;
+    Index* CLDPC_RESTRICT am = argmin_ + m * kLanes;
+    UInt* CLDPC_RESTRICT par = parity_ + m * kLanes;
+    CLDPC_SIMD_LOOP
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      n1[l] = Traits::NormalizeMag(s.min1[l], rule);
+      n2[l] = Traits::NormalizeMag(s.min2[l], rule);
+      am[l] = s.argmin[l];
+      par[l] = s.sign_acc[l];
+    }
+  }
+
+  /// Reconstruct the kLanes check-to-bit messages check m sent to
+  /// input position `pos` at its last visit — per lane, the value
+  /// OutputRow produced when the record was stored (or +0 after
+  /// Reset).
+  void LoadRow(std::size_t m, std::size_t pos,
+               Value* CLDPC_RESTRICT out) const {
+    const Value* CLDPC_RESTRICT n1 = nmin1_ + m * kLanes;
+    const Value* CLDPC_RESTRICT n2 = nmin2_ + m * kLanes;
+    const Index* CLDPC_RESTRICT am = argmin_ + m * kLanes;
+    const UInt* CLDPC_RESTRICT par = parity_ + m * kLanes;
+    const UInt* CLDPC_RESTRICT sw =
+        signs_ + (m * kSignWords + pos / kSignBits) * kLanes;
+    const auto sh = static_cast<unsigned>(pos % kSignBits);
+    const auto p = static_cast<Index>(pos);
+    CLDPC_SIMD_LOOP
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const Value m1 = n1[l];
+      const Value m2 = n2[l];
+      const Index a = am[l];
+      // Full-width self-sign mask from the packed bit, XORed with the
+      // parity mask — the mask identity of OutputRow's
+      // sign_acc ^ SignMask(in) (the packed bit IS that sign).
+      const UInt self = UInt{0} - ((sw[l] >> sh) & UInt{1});
+      const Value excl = (p == a) ? m2 : m1;
+      out[l] = Traits::ApplySign(excl, par[l] ^ self);
+    }
+  }
+
+  /// Fused reconstruct-and-peel over a whole check: for every input
+  /// position i, extr[i*L + l] = app[bits[i]*L + l] - (the message of
+  /// LoadRow(m, i)). The check-invariant record rows are hoisted into
+  /// registers once and reused across all dc positions — the layered
+  /// peel's hot shape.
+  void Peel(std::size_t m, std::size_t dc, const std::uint32_t* bits,
+            const Value* app, Value* extr) const {
+    std::array<Value, kLanes> n1, n2;
+    std::array<Index, kLanes> am;
+    std::array<UInt, kLanes> par, sw{};
+    HoistRecord(m, n1, n2, am, par);
+    for (std::size_t i = 0; i < dc; ++i) {
+      if (i % kSignBits == 0) {
+        const UInt* CLDPC_RESTRICT s =
+            signs_ + (m * kSignWords + i / kSignBits) * kLanes;
+        for (std::size_t l = 0; l < kLanes; ++l) sw[l] = s[l];
+      }
+      const auto sh = static_cast<unsigned>(i % kSignBits);
+      const auto p = static_cast<Index>(i);
+      const Value* CLDPC_RESTRICT a = app + bits[i] * kLanes;
+      Value* CLDPC_RESTRICT e = extr + i * kLanes;
+      CLDPC_SIMD_LOOP
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const UInt self = UInt{0} - ((sw[l] >> sh) & UInt{1});
+        const Value excl = (p == am[l]) ? n2[l] : n1[l];
+        e[l] = a[l] - Traits::ApplySign(excl, par[l] ^ self);
+      }
+    }
+  }
+
+  /// Fold the just-stored record's fresh messages into the APPs:
+  /// app[bits[i]*L + l] = pol.UpdateApp(extr[i*L + l], message). Each
+  /// lane's self sign comes from the live input row (equal to the
+  /// packed bit by construction; skips the extraction), and the
+  /// selects read the mins Store already normalized — value-identical
+  /// to Batch::OutputRow on the compressed summary. `cn_in` may alias
+  /// `extr` (both are only read).
+  template <class Policy>
+  void FoldFresh(std::size_t m, std::size_t dc, const std::uint32_t* bits,
+                 const Value* cn_in, const Value* extr, Value* app,
+                 const Policy& pol) const {
+    std::array<Value, kLanes> n1, n2;
+    std::array<Index, kLanes> am;
+    std::array<UInt, kLanes> par;
+    HoistRecord(m, n1, n2, am, par);
+    for (std::size_t i = 0; i < dc; ++i) {
+      const auto p = static_cast<Index>(i);
+      const Value* CLDPC_RESTRICT in = cn_in + i * kLanes;
+      const Value* CLDPC_RESTRICT e = extr + i * kLanes;
+      Value* CLDPC_RESTRICT a = app + bits[i] * kLanes;
+      CLDPC_SIMD_LOOP
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const Value excl = (p == am[l]) ? n2[l] : n1[l];
+        const Value c =
+            Traits::ApplySign(excl, par[l] ^ Traits::SignMask(in[l]));
+        a[l] = pol.UpdateApp(e[l], c);
+      }
+    }
+  }
+
+ private:
+  void HoistRecord(std::size_t m, std::array<Value, kLanes>& n1,
+                   std::array<Value, kLanes>& n2,
+                   std::array<Index, kLanes>& am,
+                   std::array<UInt, kLanes>& par) const {
+    const Value* CLDPC_RESTRICT pn1 = nmin1_ + m * kLanes;
+    const Value* CLDPC_RESTRICT pn2 = nmin2_ + m * kLanes;
+    const Index* CLDPC_RESTRICT pam = argmin_ + m * kLanes;
+    const UInt* CLDPC_RESTRICT ppar = parity_ + m * kLanes;
+    CLDPC_SIMD_LOOP
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      n1[l] = pn1[l];
+      n2[l] = pn2[l];
+      am[l] = pam[l];
+      par[l] = ppar[l];
+    }
+  }
+
+  Value* nmin1_;
+  Value* nmin2_;
+  Index* argmin_;
+  UInt* parity_;
+  UInt* signs_;
+};
+
+}  // namespace cldpc::ldpc::core

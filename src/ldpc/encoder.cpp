@@ -1,5 +1,7 @@
 #include "ldpc/encoder.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace cldpc::ldpc {
@@ -28,12 +30,24 @@ Encoder::Encoder(const LdpcCode& code) : code_(code) {
 
 std::vector<std::uint8_t> Encoder::Encode(
     std::span<const std::uint8_t> info) const {
+  std::vector<std::uint8_t> codeword(code_.n());
+  gf2::BitVec parity;
+  EncodeInto(info, codeword, parity);
+  return codeword;
+}
+
+void Encoder::EncodeInto(std::span<const std::uint8_t> info,
+                         std::span<std::uint8_t> codeword,
+                         gf2::BitVec& parity) const {
   CLDPC_EXPECTS(info.size() == code_.k(), "info length must equal k");
+  CLDPC_EXPECTS(codeword.size() == code_.n(), "codeword length must equal n");
   const auto& info_cols = code_.InfoCols();
   const auto& pivot_cols = code_.PivotCols();
 
-  gf2::BitVec parity(code_.Rank());
-  std::vector<std::uint8_t> codeword(code_.n(), 0);
+  // Resize zeroes the words in place; it only allocates the first
+  // time (vector::assign reuses capacity on subsequent calls).
+  parity.Resize(code_.Rank());
+  std::fill(codeword.begin(), codeword.end(), 0);
   for (std::size_t j = 0; j < info.size(); ++j) {
     if (info[j] & 1u) {
       codeword[info_cols[j]] = 1;
@@ -43,7 +57,6 @@ std::vector<std::uint8_t> Encoder::Encode(
   for (std::size_t i = 0; i < pivot_cols.size(); ++i) {
     if (parity.Get(i)) codeword[pivot_cols[i]] = 1;
   }
-  return codeword;
 }
 
 std::vector<std::uint8_t> Encoder::ExtractInfo(

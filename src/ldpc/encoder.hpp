@@ -25,6 +25,15 @@ class Encoder {
   /// info bits at the code's information positions.
   std::vector<std::uint8_t> Encode(std::span<const std::uint8_t> info) const;
 
+  /// Allocation-free Encode: writes the n-bit codeword into
+  /// `codeword` (size n) using `parity` as scratch — pass a
+  /// caller-owned BitVec and reuse it across calls (it is sized on
+  /// first use; the encoder itself is shared and immutable, so each
+  /// worker brings its own scratch).
+  void EncodeInto(std::span<const std::uint8_t> info,
+                  std::span<std::uint8_t> codeword,
+                  gf2::BitVec& parity) const;
+
   /// Recover the information bits from a codeword (systematic gather).
   std::vector<std::uint8_t> ExtractInfo(
       std::span<const std::uint8_t> codeword) const;

@@ -13,6 +13,7 @@ FixedLayeredMinSumDecoder::FixedLayeredMinSumDecoder(
       options_(options),
       quantizer_(options.datapath.channel_bits,
                  options.datapath.channel_scale),
+      records_(code.graph().num_checks()),
       syndrome_(code.schedule()) {
   CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
   CLDPC_EXPECTS(options_.datapath.message_bits >= 2 &&
@@ -21,7 +22,6 @@ FixedLayeredMinSumDecoder::FixedLayeredMinSumDecoder(
   CLDPC_EXPECTS(options_.datapath.app_bits >= options_.datapath.message_bits,
                 "APP accumulator narrower than messages");
   app_.resize(code_.graph().num_bits());
-  records_.resize(code_.graph().num_checks());
   bc_.resize(code_.schedule().max_check_degree());
   extrinsic_.resize(code_.schedule().max_check_degree());
   channel_.resize(code_.graph().num_bits());
@@ -44,6 +44,7 @@ DecodeResult FixedLayeredMinSumDecoder::Decode(std::span<const double> llr) {
 DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
     std::span<const Fixed> channel) {
   using Kernel = core::FixedCnKernel;
+  using Records = core::CompressedCn<core::FixedDatapath>;
   const auto& graph = code_.graph();
   const auto& sched = code_.schedule();
   CLDPC_EXPECTS(channel.size() == graph.num_bits(),
@@ -52,7 +53,7 @@ DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
 
   for (std::size_t n = 0; n < graph.num_bits(); ++n)
     app_[n] = SaturateSymmetric(channel[n], dp.app_bits);
-  std::fill(records_.begin(), records_.end(), CnSummary{});
+  records_.Reset();
   for (std::size_t n = 0; n < graph.num_bits(); ++n)
     hard_[n] = AppHardDecision(app_[n]);
   syndrome_.Reset(hard_);
@@ -64,17 +65,17 @@ DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
       const std::size_t dc = sched.Degree(m);
       if (dc == 0) continue;
       const auto bits = sched.CheckBits(m);
-      const CnSummary prev = records_[m];
+      const auto prev = records_.Get(m);
       for (std::size_t pos = 0; pos < dc; ++pos) {
-        const Fixed cb_old = Kernel::Output(prev, pos, dp.normalization);
+        const Fixed cb_old = Records::Output(prev, pos);
         // Full-precision peeled APP; only the CN input is narrowed.
         extrinsic_[pos] = app_[bits[pos]] - cb_old;
         bc_[pos] = SaturateSymmetric(extrinsic_[pos], dp.message_bits);
       }
-      const CnSummary fresh = Kernel::Compute({bc_.data(), dc});
-      records_[m] = fresh;
+      const CnSummary summary = Kernel::Compute({bc_.data(), dc});
+      const auto fresh = records_.Store(m, summary, dp.normalization);
       for (std::size_t pos = 0; pos < dc; ++pos) {
-        const Fixed cb_new = Kernel::Output(fresh, pos, dp.normalization);
+        const Fixed cb_new = Records::Output(fresh, pos);
         app_[bits[pos]] =
             SaturateSymmetric(extrinsic_[pos] + cb_new, dp.app_bits);
       }

@@ -15,6 +15,7 @@
 // destroy the layered convergence advantage.
 #pragma once
 
+#include "ldpc/core/cn_compress.hpp"
 #include "ldpc/core/syndrome_tracker.hpp"
 #include "ldpc/decoder.hpp"
 #include "ldpc/fixed_datapath.hpp"
@@ -38,8 +39,11 @@ class FixedLayeredMinSumDecoder final : public Decoder {
   const LdpcCode& code_;
   FixedMinSumOptions options_;
   LlrQuantizer quantizer_;
-  std::vector<Fixed> app_;          // per bit
-  std::vector<CnSummary> records_;  // per check
+  std::vector<Fixed> app_;  // per bit
+  /// Per-check compressed extrinsic memory (cn_compress.hpp); this
+  /// decoder was always record-based — the paper's layout — and now
+  /// shares the one implementation with the float/batched paths.
+  core::CompressedCn<core::FixedDatapath> records_;
   std::vector<Fixed> bc_;           // CN input scratch (max degree)
   std::vector<Fixed> extrinsic_;    // peeled-APP scratch (max degree)
   std::vector<Fixed> channel_;      // quantized-frame scratch (per bit)

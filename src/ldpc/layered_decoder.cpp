@@ -9,12 +9,14 @@ namespace cldpc::ldpc {
 
 LayeredMinSumDecoder::LayeredMinSumDecoder(const LdpcCode& code,
                                            MinSumOptions options)
-    : code_(code), options_(options), syndrome_(code.schedule()) {
+    : code_(code),
+      options_(options),
+      records_(code.graph().num_checks()),
+      syndrome_(code.schedule()) {
   CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
   CLDPC_EXPECTS(options_.alpha >= 1.0, "alpha must be >= 1");
   rule_ = MinSumCheckRule(options_);
   app_.resize(code_.graph().num_bits());
-  check_to_bit_.resize(code_.graph().num_edges());
   incoming_.resize(code_.schedule().max_check_degree());
   hard_.resize(code_.graph().num_bits());
 }
@@ -25,12 +27,13 @@ std::string LayeredMinSumDecoder::Name() const {
 
 DecodeResult LayeredMinSumDecoder::Decode(std::span<const double> llr) {
   using Kernel = core::FloatCnKernel;
+  using Records = core::CompressedCn<core::FloatDatapath>;
   const auto& graph = code_.graph();
   const auto& sched = code_.schedule();
   CLDPC_EXPECTS(llr.size() == graph.num_bits(), "LLR length must equal n");
 
   std::copy(llr.begin(), llr.end(), app_.begin());
-  std::fill(check_to_bit_.begin(), check_to_bit_.end(), 0.0);
+  records_.Reset();
   for (std::size_t n = 0; n < graph.num_bits(); ++n)
     hard_[n] = app_[n] < 0.0 ? 1 : 0;
   syndrome_.Reset(hard_);
@@ -39,22 +42,23 @@ DecodeResult LayeredMinSumDecoder::Decode(std::span<const double> llr) {
 
   for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
     for (std::size_t m = 0; m < sched.num_checks(); ++m) {
-      const std::size_t e0 = sched.EdgeBegin(m);
       const std::size_t dc = sched.Degree(m);
       if (dc == 0) continue;  // empty check: nothing to send
       const auto bits = sched.CheckBits(m);
-      // Peel the old contribution of this check out of the APPs, then
-      // run the shared kernel over the peeled inputs.
+      // Reconstruct this check's previous messages from its
+      // compressed record and peel them out of the APPs, then run the
+      // shared kernel over the peeled inputs. (Hoisting the record
+      // into a local keeps the position loop free of aliasing reads.)
+      const auto prev = records_.Get(m);
       for (std::size_t i = 0; i < dc; ++i)
-        incoming_[i] = app_[bits[i]] - check_to_bit_[e0 + i];
+        incoming_[i] = app_[bits[i]] - Records::Output(prev, i);
       const auto summary = Kernel::Compute({incoming_.data(), dc});
-      // Write back the refreshed messages and fold them into the APPs
-      // immediately (the layered property).
-      for (std::size_t i = 0; i < dc; ++i) {
-        const double out = Kernel::Output(summary, i, rule_);
-        app_[bits[i]] = incoming_[i] + out;
-        check_to_bit_[e0 + i] = out;
-      }
+      // Compress the refreshed summary and fold its outputs into the
+      // APPs immediately (the layered property). Reconstruction from
+      // the fresh record is value-identical to Kernel::Output.
+      const auto fresh = records_.Store(m, summary, rule_);
+      for (std::size_t i = 0; i < dc; ++i)
+        app_[bits[i]] = incoming_[i] + Records::Output(fresh, i);
     }
 
     // Incremental syndrome: fold only the sign flips of this

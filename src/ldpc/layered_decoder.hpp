@@ -6,6 +6,7 @@
 // quantifies that on the C2 code.
 #pragma once
 
+#include "ldpc/core/cn_compress.hpp"
 #include "ldpc/core/syndrome_tracker.hpp"
 #include "ldpc/decoder.hpp"
 #include "ldpc/minsum_decoder.hpp"
@@ -28,10 +29,12 @@ class LayeredMinSumDecoder final : public Decoder {
   const LdpcCode& code_;
   MinSumOptions options_;
   core::FloatCheckRule rule_;
-  std::vector<double> app_;           // per bit
-  std::vector<double> check_to_bit_;  // per edge
-  std::vector<double> incoming_;      // CN input scratch (max degree)
-  std::vector<std::uint8_t> hard_;    // per bit, kept in sync with app_
+  std::vector<double> app_;       // per bit
+  /// Extrinsic memory in the paper's compressed per-check form;
+  /// messages are reconstructed on the fly (see core/cn_compress.hpp).
+  core::CompressedCn<core::FloatDatapath> records_;
+  std::vector<double> incoming_;  // CN input scratch (max degree)
+  std::vector<std::uint8_t> hard_;  // per bit, kept in sync with app_
   core::SyndromeTracker syndrome_;
 };
 

@@ -1,0 +1,30 @@
+// Runtime guard for the AVX2 build (see CLDPC_AVX2 in CMakeLists):
+// when the library was compiled with -mavx2 but the executing CPU
+// lacks AVX2, fail at startup with an actionable message instead of
+// dying mid-decode with an undiagnosed illegal-instruction signal.
+//
+// This TU is compiled WITHOUT -mavx2 (per-source override in
+// CMakeLists) so the check itself never executes an AVX2
+// instruction; CLDPC_COMPILED_WITH_AVX2 carries the library-wide
+// flag in, since __AVX2__ would be false inside this TU.
+#include <cstdio>
+#include <cstdlib>
+
+namespace cldpc {
+namespace {
+
+#if defined(CLDPC_COMPILED_WITH_AVX2) && defined(__GNUC__)
+const bool g_avx2_checked = [] {
+  if (!__builtin_cpu_supports("avx2")) {
+    std::fprintf(stderr,
+                 "cldpc: this binary was built with AVX2 enabled but the "
+                 "CPU does not support AVX2.\n"
+                 "Rebuild with -DCLDPC_AVX2=OFF.\n");
+    std::abort();
+  }
+  return true;
+}();
+#endif
+
+}  // namespace
+}  // namespace cldpc

@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace cldpc {
@@ -73,6 +74,56 @@ double GaussianSampler::Next() {
   cached_ = v * factor;
   has_cached_ = true;
   return u * factor;
+}
+
+void GaussianSampler::NextBatch(std::span<double> out) {
+  std::size_t i = 0;
+  if (has_cached_ && i < out.size()) {
+    has_cached_ = false;
+    out[i++] = cached_;
+  }
+  // Chunked polar method: stage accepted (u, v, s) triples, then run
+  // the expensive sqrt(-2 ln s / s) multipliers as one tight loop.
+  // The rejection loop below draws the stream pair by pair exactly
+  // like Next(), and u * factor / v * factor are the identical
+  // expressions — every emitted sample is bit-identical to the
+  // scalar path's.
+  constexpr std::size_t kChunk = 64;
+  double us[kChunk], vs[kChunk], fs[kChunk];
+  while (i < out.size()) {
+    const std::size_t pairs =
+        std::min(kChunk, (out.size() - i + 1) / 2);  // last may be half-used
+    for (std::size_t k = 0; k < pairs; ++k) {
+      double u, v, s;
+      do {
+        u = 2.0 * rng_.NextDouble() - 1.0;
+        v = 2.0 * rng_.NextDouble() - 1.0;
+        s = u * u + v * v;
+      } while (s >= 1.0 || s == 0.0);
+      us[k] = u;
+      vs[k] = v;
+      fs[k] = s;
+    }
+    for (std::size_t k = 0; k < pairs; ++k)
+      fs[k] = std::sqrt(-2.0 * std::log(fs[k]) / fs[k]);
+    for (std::size_t k = 0; k < pairs; ++k) {
+      out[i++] = us[k] * fs[k];
+      if (i < out.size()) {
+        out[i++] = vs[k] * fs[k];
+      } else {
+        // Odd batch length: the pair's second variate is cached for
+        // the next draw, exactly like Next() would have.
+        cached_ = vs[k] * fs[k];
+        has_cached_ = true;
+      }
+    }
+  }
+}
+
+void GaussianSampler::NextBatch(std::span<double> out, double mean,
+                                double stddev) {
+  NextBatch(out);
+  for (auto& z : out) z = mean + stddev * z;
 }
 
 }  // namespace cldpc

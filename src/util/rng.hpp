@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <span>
 
 namespace cldpc {
 
@@ -75,6 +76,21 @@ class GaussianSampler {
 
   /// One N(mean, stddev^2) sample.
   double Next(double mean, double stddev) { return mean + stddev * Next(); }
+
+  /// Fill `out` with N(0,1) samples. Bit-exact drop-in for out.size()
+  /// sequential Next() calls: the underlying stream is consumed in
+  /// the identical order (the polar rejection loop runs pair by
+  /// pair), every sample is computed with the identical operations,
+  /// and the pair cache hands over identically — so scalar and
+  /// batched draws can be mixed freely on one sampler. Batching
+  /// exists for throughput: accepted pairs are staged in chunks so
+  /// the sqrt/log multiplier evaluation runs as a tight independent
+  /// loop instead of being interleaved with rejection control flow.
+  void NextBatch(std::span<double> out);
+
+  /// Batched N(mean, stddev^2): per element exactly
+  /// mean + stddev * z, matching Next(mean, stddev).
+  void NextBatch(std::span<double> out, double mean, double stddev);
 
   Xoshiro256pp& rng() { return rng_; }
 

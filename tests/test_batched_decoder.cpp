@@ -177,6 +177,169 @@ TEST(BatchedDecoder, RejectsRaggedLlrBlock) {
   EXPECT_THROW(batched->DecodeBatch(llrs, 0), ContractViolation);
 }
 
+// ---- 1b. Compressed message storage == stored per-edge messages. --
+//
+// The layered decoders now keep one compressed record per check and
+// reconstruct messages on the fly (core/cn_compress.hpp). These
+// references are the pre-compression decoders, written out naively
+// with a full per-edge check-to-bit array: the production decoders
+// must reproduce them byte for byte on every datapath, for every
+// min-sum variant, with early termination on and off.
+
+DecodeResult StoredMessageLayeredReference(const LdpcCode& code,
+                                           const MinSumOptions& options,
+                                           std::span<const double> llr) {
+  using Kernel = core::FloatCnKernel;
+  const auto& sched = code.schedule();
+  const auto rule = MinSumCheckRule(options);
+  std::vector<double> app(llr.begin(), llr.end());
+  std::vector<double> c2b(sched.num_edges(), 0.0);
+  std::vector<double> incoming(sched.max_check_degree());
+  DecodeResult result;
+  std::vector<std::uint8_t> hard(code.n());
+  for (int iter = 1; iter <= options.iter.max_iterations; ++iter) {
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t e0 = sched.EdgeBegin(m);
+      const std::size_t dc = sched.Degree(m);
+      if (dc == 0) continue;
+      const auto bits = sched.CheckBits(m);
+      for (std::size_t i = 0; i < dc; ++i)
+        incoming[i] = app[bits[i]] - c2b[e0 + i];
+      const auto summary = Kernel::Compute({incoming.data(), dc});
+      for (std::size_t i = 0; i < dc; ++i) {
+        const double out = Kernel::Output(summary, i, rule);
+        app[bits[i]] = incoming[i] + out;
+        c2b[e0 + i] = out;
+      }
+    }
+    for (std::size_t n = 0; n < code.n(); ++n) hard[n] = app[n] < 0.0 ? 1 : 0;
+    result.iterations_run = iter;
+    if (options.iter.early_termination && code.IsCodeword(hard)) {
+      result.bits = hard;
+      result.converged = true;
+      return result;
+    }
+  }
+  result.bits = hard;
+  result.converged = code.IsCodeword(hard);
+  return result;
+}
+
+DecodeResult StoredMessageFixedLayeredReference(const LdpcCode& code,
+                                                const FixedMinSumOptions& o,
+                                                std::span<const double> llr) {
+  using Kernel = core::FixedCnKernel;
+  const auto& sched = code.schedule();
+  const auto& dp = o.datapath;
+  const LlrQuantizer q(dp.channel_bits, dp.channel_scale);
+  std::vector<Fixed> app(code.n());
+  for (std::size_t n = 0; n < code.n(); ++n)
+    app[n] = SaturateSymmetric(q.Quantize(llr[n]), dp.app_bits);
+  // Per-edge stored messages instead of per-check records: cb_old is
+  // read back, not reconstructed — same math by Output purity.
+  std::vector<Fixed> c2b(sched.num_edges(), 0);
+  std::vector<Fixed> extrinsic(sched.max_check_degree());
+  std::vector<Fixed> bc(sched.max_check_degree());
+  DecodeResult result;
+  std::vector<std::uint8_t> hard(code.n());
+  for (int iter = 1; iter <= o.iter.max_iterations; ++iter) {
+    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
+      const std::size_t e0 = sched.EdgeBegin(m);
+      const std::size_t dc = sched.Degree(m);
+      if (dc == 0) continue;
+      const auto bits = sched.CheckBits(m);
+      for (std::size_t pos = 0; pos < dc; ++pos) {
+        extrinsic[pos] = app[bits[pos]] - c2b[e0 + pos];
+        bc[pos] = SaturateSymmetric(extrinsic[pos], dp.message_bits);
+      }
+      const auto fresh = Kernel::Compute({bc.data(), dc});
+      for (std::size_t pos = 0; pos < dc; ++pos) {
+        const Fixed cb = Kernel::Output(fresh, pos, dp.normalization);
+        c2b[e0 + pos] = cb;
+        app[bits[pos]] = SaturateSymmetric(extrinsic[pos] + cb, dp.app_bits);
+      }
+    }
+    for (std::size_t n = 0; n < code.n(); ++n) hard[n] = app[n] < 0 ? 1 : 0;
+    result.iterations_run = iter;
+    if (o.iter.early_termination && code.IsCodeword(hard)) {
+      result.bits = hard;
+      result.converged = true;
+      return result;
+    }
+  }
+  result.bits = hard;
+  result.converged = code.IsCodeword(hard);
+  return result;
+}
+
+TEST(CompressedCnStorage, FloatLayeredMatchesStoredMessageReference) {
+  const auto& code = SmallCode();
+  const struct {
+    const char* spec;
+    MinSumVariant variant;
+  } cases[] = {
+      {"layered-nms:alpha=1.23,iters=12", MinSumVariant::kNormalized},
+      {"layered-nms:alpha=1.23,iters=12,et=0", MinSumVariant::kNormalized},
+      {"layered-ms:iters=9", MinSumVariant::kPlain},
+      {"layered-ms:iters=9,et=0", MinSumVariant::kPlain},
+      {"layered-oms:iters=10,beta=0.5", MinSumVariant::kOffset},
+      {"layered-oms:iters=10,beta=0.5,et=0", MinSumVariant::kOffset},
+  };
+  for (const auto& c : cases) {
+    const auto spec = DecoderSpec::Parse(c.spec);
+    MinSumOptions o;
+    o.variant = c.variant;
+    o.iter.max_iterations = spec.GetInt("iters", 18);
+    o.iter.early_termination = spec.GetBool("et", true);
+    o.alpha = spec.GetDouble("alpha", 1.23);
+    o.beta = spec.GetDouble("beta", 0.5);
+    const auto scalar = MakeDecoder(code, c.spec);
+    for (std::uint64_t seed = 900; seed < 906; ++seed) {
+      // Mixed SNRs: some frames converge, some stay stuck.
+      const auto llr = NoisyFrame(code, seed % 2 ? 4.2 : 2.2, seed);
+      const auto want = StoredMessageLayeredReference(code, o, llr);
+      ExpectSameResult(scalar->Decode(llr), want,
+                       std::string(c.spec) + " scalar seed " +
+                           std::to_string(seed));
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                      std::size_t{8}}) {
+        const auto batched = MakeDecoder(
+            code, std::string(c.spec) + ",batch=" + std::to_string(batch));
+        ExpectSameResult(batched->Decode(llr), want,
+                         std::string(c.spec) + " batch=" +
+                             std::to_string(batch) + " seed " +
+                             std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(CompressedCnStorage, FixedLayeredMatchesStoredMessageReference) {
+  const auto& code = SmallCode();
+  for (const char* spec :
+       {"fixed-layered-nms:iters=12", "fixed-layered-nms:iters=12,et=0",
+        "fixed-layered-nms:iters=8,wm=5"}) {
+    const auto parsed = DecoderSpec::Parse(spec);
+    FixedMinSumOptions o;
+    o.iter.max_iterations = parsed.GetInt("iters", 18);
+    o.iter.early_termination = parsed.GetBool("et", true);
+    o.datapath.message_bits = parsed.GetInt("wm", o.datapath.message_bits);
+    const auto scalar = MakeDecoder(code, spec);
+    const auto batched =
+        MakeDecoder(code, std::string(spec) + ",batch=8");
+    for (std::uint64_t seed = 950; seed < 956; ++seed) {
+      const auto llr = NoisyFrame(code, seed % 2 ? 4.2 : 2.2, seed);
+      const auto want = StoredMessageFixedLayeredReference(code, o, llr);
+      ExpectSameResult(scalar->Decode(llr), want,
+                       std::string(spec) + " scalar seed " +
+                           std::to_string(seed));
+      ExpectSameResult(batched->Decode(llr), want,
+                       std::string(spec) + " batched seed " +
+                           std::to_string(seed));
+    }
+  }
+}
+
 // ---- 2. Incremental syndrome == IsCodeword. -----------------------
 
 TEST(SyndromeTracker, MatchesIsCodewordUnderRandomFlips) {

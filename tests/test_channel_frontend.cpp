@@ -1,11 +1,20 @@
 // The analog front-end path: channel LLRs through the quantizer into
 // the fixed datapath — statistical properties that size the channel
-// word and its scale.
+// word and its scale — plus the bit-exactness contracts of the
+// allocation-free staging frontend (BpskModulateInto /
+// TransmitLlrsInto / EncodeInto / GaussianSampler::NextBatch): each
+// batched/in-place form must reproduce its allocating scalar
+// counterpart bit for bit on a shared seed, or the engine's
+// reproducibility guarantee would silently fork.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "channel/awgn.hpp"
+#include "gf2/bitvec.hpp"
+#include "ldpc/encoder.hpp"
+#include "qc/small_codes.hpp"
 #include "util/fixed_point.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
@@ -90,6 +99,117 @@ TEST(ChannelFrontend, HardDecisionAgreementImprovesWithSnr) {
     const double error = static_cast<double>(wrong) / 50000.0;
     EXPECT_LT(error, prev_error);
     prev_error = error;
+  }
+}
+
+// ---- Allocation-free frontend == allocating frontend, bit for bit.
+
+TEST(ChannelFrontend, NextBatchMatchesSequentialNext) {
+  // Same seed, one sampler drawing scalar, one batched (across chunk
+  // boundaries, odd lengths and the empty batch): every sample must
+  // be bit-identical and the streams must stay in lockstep.
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1},
+                                std::size_t{2}, std::size_t{7},
+                                std::size_t{128}, std::size_t{129},
+                                std::size_t{1001}}) {
+    GaussianSampler scalar(99);
+    GaussianSampler batched(99);
+    std::vector<double> want(len), got(len);
+    for (auto& v : want) v = scalar.Next();
+    batched.NextBatch(got);
+    ASSERT_EQ(want, got) << "len " << len;
+    // The pair cache must have handed over identically: the next
+    // scalar draws agree too.
+    for (int k = 0; k < 3; ++k) EXPECT_EQ(scalar.Next(), batched.Next());
+  }
+}
+
+TEST(ChannelFrontend, NextBatchInterleavesWithScalarDraws) {
+  GaussianSampler a(7), b(7);
+  std::vector<double> buf(5);
+  // a: scalar, batch (starts from a cached second variate), scalar.
+  const double a0 = a.Next();
+  a.NextBatch(buf);
+  const double a1 = a.Next();
+  // b: all scalar.
+  EXPECT_EQ(a0, b.Next());
+  for (const auto v : buf) EXPECT_EQ(v, b.Next());
+  EXPECT_EQ(a1, b.Next());
+}
+
+TEST(ChannelFrontend, NextBatchMeanStddevMatchesScalar) {
+  GaussianSampler a(13), b(13);
+  std::vector<double> got(17);
+  a.NextBatch(got, 0.25, 1.5);
+  for (const auto v : got) EXPECT_EQ(v, b.Next(0.25, 1.5));
+}
+
+TEST(ChannelFrontend, ModulateIntoMatchesModulate) {
+  std::vector<std::uint8_t> bits(301);
+  Xoshiro256pp rng(5);
+  for (auto& b : bits) b = rng.NextBit() ? 1 : 0;
+  const auto want = BpskModulate(bits);
+  std::vector<double> got(bits.size());
+  BpskModulateInto(bits, got);
+  EXPECT_EQ(want, got);
+}
+
+TEST(ChannelFrontend, TransmitLlrsIntoMatchesTransmitPlusLlrs) {
+  const std::size_t n = 4000;
+  std::vector<std::uint8_t> bits(n);
+  Xoshiro256pp rng(6);
+  for (auto& b : bits) b = rng.NextBit() ? 1 : 0;
+  const auto symbols = BpskModulate(bits);
+  const double sigma = SigmaForEbN0(4.0, 0.875);
+
+  for (const std::uint64_t seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    AwgnChannel scalar(sigma, seed);
+    const auto want = scalar.Llrs(scalar.Transmit(symbols));
+
+    AwgnChannel fused(sigma, seed);
+    std::vector<double> got(n);
+    fused.TransmitLlrsInto(symbols, got);
+    ASSERT_EQ(want, got) << "seed " << seed;
+
+    // TransmitInto + LlrsInto stage the same chain in two steps.
+    AwgnChannel staged(sigma, seed);
+    std::vector<double> received(n), llr(n);
+    staged.TransmitInto(symbols, received);
+    staged.LlrsInto(received, llr);
+    ASSERT_EQ(want, llr) << "seed " << seed;
+  }
+}
+
+TEST(ChannelFrontend, TransmitLlrsIntoConsumesSameStream) {
+  // Two frames back to back through one channel instance: the fused
+  // form must leave the noise stream exactly where the allocating
+  // form leaves it.
+  const std::vector<std::uint8_t> bits(257, 0);
+  const auto symbols = BpskModulate(bits);
+  AwgnChannel a(1.0, 11), b(1.0, 11);
+  std::vector<double> got(bits.size());
+  a.TransmitLlrsInto(symbols, got);
+  const auto want1 = b.Llrs(b.Transmit(symbols));
+  a.TransmitLlrsInto(symbols, got);
+  const auto want2 = b.Llrs(b.Transmit(symbols));
+  EXPECT_EQ(want2, got);
+  EXPECT_NE(want1, want2);  // the stream did advance
+}
+
+TEST(ChannelFrontend, EncodeIntoMatchesEncode) {
+  const auto qc = qc::MakeSmallQcCode();
+  const ldpc::LdpcCode code(qc.Expand(), qc.q());
+  const ldpc::Encoder encoder(code);
+  Xoshiro256pp rng(8);
+  gf2::BitVec parity;  // reused across calls, like the engine scratch
+  std::vector<std::uint8_t> got(code.n());
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint8_t> info(code.k());
+    for (auto& b : info) b = rng.NextBit() ? 1 : 0;
+    const auto want = encoder.Encode(info);
+    encoder.EncodeInto(info, got, parity);
+    ASSERT_EQ(want, got) << "trial " << trial;
+    EXPECT_TRUE(code.IsCodeword(got));
   }
 }
 

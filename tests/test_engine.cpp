@@ -234,6 +234,31 @@ TEST(DecoderPoolTest, ClonesIndependentInstances) {
   EXPECT_THROW(pool.Get(3), ContractViolation);
 }
 
+TEST(DecoderPoolTest, ConstructsLazilyPerSlot) {
+  // A pool prepares slots only: no factory call until a worker (or
+  // name()) first asks for its decoder, and each slot is built at
+  // most once. Short runs with a huge --threads therefore never pay
+  // O(threads * decoder state) setup.
+  int calls = 0;
+  auto& f = Shared();
+  DecoderPool pool(
+      [&f, &calls] {
+        ++calls;
+        return std::make_unique<ldpc::MinSumDecoder>(f.code, DecOpts());
+      },
+      64);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(pool.size(), 64u);
+  auto& d2 = pool.Get(2);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(&pool.Get(2), &d2);  // cached, not re-cloned
+  EXPECT_EQ(calls, 1);
+  pool.name();  // materializes slot 0
+  EXPECT_EQ(calls, 2);
+  pool.Get(63);
+  EXPECT_EQ(calls, 3);
+}
+
 TEST(DecoderPoolTest, RejectsEmptyFactoryAndZeroCount) {
   EXPECT_THROW(DecoderPool(DecoderFactory{}, 2), ContractViolation);
   EXPECT_THROW(DecoderPool(Factory(), 0), ContractViolation);
