@@ -23,6 +23,8 @@
 
 #include "arch/decoder_core.hpp"
 #include "channel/awgn.hpp"
+#include "codes/crc.hpp"
+#include "codes/ft8.hpp"
 #include "ldpc/batched_layered_decoder.hpp"
 #include "ldpc/bp_decoder.hpp"
 #include "ldpc/c2_system.hpp"
@@ -394,6 +396,89 @@ void BM_C2FixedLayeredDecodeBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_C2FixedLayeredDecodeBatched)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// --- Code catalog: the FT8(174, 91) code — the opposite decode
+// regime from C2 (83 one-check layers, irregular degree 6/7, 522
+// edges vs 32 704). Frames are tiny, so these benches report the
+// per-frame overhead floor of the layered paths; the CRC bench is the
+// per-frame cost of the receiver's acceptance check.
+
+struct Ft8Fixture {
+  ldpc::LdpcCode code = codes::MakeFt8Code();
+  ldpc::Encoder encoder{code};
+};
+
+Ft8Fixture& Ft8() {
+  static Ft8Fixture f;
+  return f;
+}
+
+std::vector<std::uint8_t> Ft8Payload(std::uint64_t seed) {
+  std::vector<std::uint8_t> payload(codes::kFt8PayloadBits);
+  Xoshiro256pp rng(seed);
+  for (std::size_t i = 0; i < codes::kFt8MessageBits; ++i)
+    payload[i] = rng.NextBit() ? 1 : 0;
+  codes::Ft8AttachCrc(payload);
+  return payload;
+}
+
+std::vector<double> NoisyFt8Frames(std::size_t count, std::uint64_t seed0) {
+  auto& f = Ft8();
+  std::vector<double> llrs;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto cw = f.encoder.Encode(Ft8Payload(seed0 + 2 * i));
+    const auto frame =
+        channel::TransmitBpskAwgn(cw, 2.5, f.code.Rate(), seed0 + 2 * i + 1);
+    llrs.insert(llrs.end(), frame.begin(), frame.end());
+  }
+  return llrs;
+}
+
+void BM_Ft8Encode(benchmark::State& state) {
+  auto& f = Ft8();
+  const auto payload = Ft8Payload(7);
+  std::vector<std::uint8_t> codeword(f.code.n());
+  gf2::BitVec parity;
+  for (auto _ : state) {
+    f.encoder.EncodeInto(payload, codeword, parity);
+    benchmark::DoNotOptimize(codeword.data());
+  }
+  state.SetItemsProcessed(state.iterations());  // frames
+}
+BENCHMARK(BM_Ft8Encode);
+
+void BM_Ft8Crc14(benchmark::State& state) {
+  const auto payload = Ft8Payload(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codes::Ft8CheckCrc(payload));
+  }
+  state.SetItemsProcessed(state.iterations());  // frames
+}
+BENCHMARK(BM_Ft8Crc14);
+
+void BM_Ft8LayeredDecodeScalar(benchmark::State& state) {
+  auto& f = Ft8();
+  ldpc::LayeredMinSumDecoder dec(f.code, ThroughputMinSumOptions());
+  const auto llrs = NoisyFt8Frames(1, 35);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.Decode(llrs));
+  }
+  state.SetItemsProcessed(state.iterations());  // frames
+}
+BENCHMARK(BM_Ft8LayeredDecodeScalar);
+
+void BM_Ft8LayeredDecodeBatched(benchmark::State& state) {
+  auto& f = Ft8();
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  ldpc::BatchedLayeredDecoder dec(f.code, ThroughputMinSumOptions(), lanes);
+  const auto llrs = NoisyFt8Frames(lanes, 35);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.DecodeBatch(llrs, lanes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_Ft8LayeredDecodeBatched)->Arg(8);
 
 // --- PR-4 before/after (decoder storage): one full layered iteration
 // over the C2 code at 8 f32 lanes, with the PR-3 per-edge stored

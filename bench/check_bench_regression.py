@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Diff a bench_kernels --json run against the committed baseline.
 
-Usage: check_bench_regression.py <run.json> <baseline.json> [--tolerance 0.25]
+Usage: check_bench_regression.py <run.json> <baseline.json>
+           [--tolerance 0.25] [--update-missing]
 
 Compares items_per_second for every benchmark present in both files
 and prints a table of ratios. Deviations beyond the tolerance are
@@ -9,6 +10,12 @@ reported as warnings (GitHub `::warning::` annotations when running
 under Actions) — the exit code is always 0, because CI runners are
 too noisy for a hard perf gate; the point is to accumulate a visible
 perf trajectory and make regressions loud, not red.
+
+--update-missing rewrites the baseline file with this run's records
+appended for any benchmark the baseline does not know yet (existing
+entries are never touched, so established trajectories stay stable).
+Run it locally after adding a benchmark so CI stops warning about
+unbaselined keys.
 """
 
 import argparse
@@ -34,33 +41,37 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="fractional deviation that triggers a warning")
+    parser.add_argument("--update-missing", action="store_true",
+                        help="append this run's records for benchmarks the "
+                             "baseline lacks, rewriting the baseline file")
     args = parser.parse_args()
 
     run = load_rates(args.run)
     baseline = load_rates(args.baseline)
     common = sorted(set(run) & set(baseline))
-    if not common:
-        print("no overlapping benchmarks between run and baseline")
-        return 0
-
     in_actions = bool(os.environ.get("GITHUB_ACTIONS"))
     regressions = 0
-    width = max(len(name) for name in common)
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'run':>12}  ratio")
-    for name in common:
-        ratio = run[name] / baseline[name]
-        flag = ""
-        if ratio < 1.0 - args.tolerance:
-            flag = "  << REGRESSION"
-            regressions += 1
-            msg = (f"bench regression: {name} at {ratio:.2f}x baseline "
-                   f"({run[name]:.3g}/s vs {baseline[name]:.3g}/s)")
-            if in_actions:
-                print(f"::warning::{msg}")
-        elif ratio > 1.0 + args.tolerance:
-            flag = "  (faster)"
-        print(f"{name:<{width}}  {baseline[name]:>12.4g}  {run[name]:>12.4g}"
-              f"  {ratio:5.2f}x{flag}")
+    if not common:
+        # Nothing to compare, but fall through: --update-missing must
+        # still be able to seed a baseline from a disjoint run.
+        print("no overlapping benchmarks between run and baseline")
+    else:
+        width = max(len(name) for name in common)
+        print(f"{'benchmark':<{width}}  {'baseline':>12}  {'run':>12}  ratio")
+        for name in common:
+            ratio = run[name] / baseline[name]
+            flag = ""
+            if ratio < 1.0 - args.tolerance:
+                flag = "  << REGRESSION"
+                regressions += 1
+                msg = (f"bench regression: {name} at {ratio:.2f}x baseline "
+                       f"({run[name]:.3g}/s vs {baseline[name]:.3g}/s)")
+                if in_actions:
+                    print(f"::warning::{msg}")
+            elif ratio > 1.0 + args.tolerance:
+                flag = "  (faster)"
+            print(f"{name:<{width}}  {baseline[name]:>12.4g}"
+                  f"  {run[name]:>12.4g}  {ratio:5.2f}x{flag}")
 
     missing = sorted(set(baseline) - set(run))
     if missing:
@@ -70,9 +81,32 @@ def main():
             print(f"::warning::{msg}")
 
     unbaselined = sorted(set(run) - set(baseline))
-    if unbaselined:
-        msg = ("benchmarks not in the baseline (regenerate "
-               "bench/baseline.json to track them): " + ", ".join(unbaselined))
+    if unbaselined and args.update_missing:
+        with open(args.run) as f:
+            run_records = {r["name"]: r
+                           for r in json.load(f).get("benchmarks", [])}
+        # Append textually in the file's one-record-per-line style:
+        # existing lines stay byte-identical (re-serializing would
+        # reformat every float), so the VCS diff is only the added
+        # records.
+        with open(args.baseline) as f:
+            text = f.read()
+        closer = "\n  ]\n}"
+        idx = text.rfind(closer)
+        if idx < 0:
+            print("cannot update: baseline does not end with '  ]\\n}'")
+            return 1
+        insertion = "".join(
+            ",\n    " + json.dumps(run_records[name], separators=(", ", ": "))
+            for name in unbaselined)
+        updated = text[:idx] + insertion + text[idx:]
+        json.loads(updated)  # must still be valid JSON
+        with open(args.baseline, "w") as f:
+            f.write(updated)
+        print("added to baseline: " + ", ".join(unbaselined))
+    elif unbaselined:
+        msg = ("benchmarks not in the baseline (run with --update-missing "
+               "to track them): " + ", ".join(unbaselined))
         print(msg)
         if in_actions:
             print(f"::warning::{msg}")

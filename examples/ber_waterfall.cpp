@@ -1,47 +1,80 @@
-// BER waterfall demo: sweeps Eb/N0 on a scaled-down CCSDS-like QC
-// code (fast) or on the full C2 code (--c2), comparing the fixed-
-// point architecture datapath against floating-point min-sum.
+// BER waterfall demo over any catalog code: sweeps Eb/N0 comparing
+// the fixed-point architecture datapath against floating-point
+// min-sum, or any registered decoder specs.
 //
 // Frames are decoded by the parallel Monte-Carlo engine; results are
 // bit-identical for every --threads value (see engine/sim_engine.hpp).
 //
-//   ./ber_waterfall [--c2] [--snrs=3.0,3.5,...] [--frames=N]
-//                   [--threads=N]   (0 = all hardware threads)
+//   ./ber_waterfall [--code=<spec>] [--c2] [--snrs=3.0,3.5,...]
+//                   [--frames=N] [--threads=N]  (0 = all hw threads)
 //                   [--decoder="spec[;spec...]"]
+//                   [--list-codes] [--list-decoders]
+//                   [--dump-alist=<path>]
 //
-// --decoder selects any registered decoder(s) instead of the default
-// fixed-vs-float pair; see ldpc/core/registry.hpp for the spec
-// grammar (e.g. --decoder="layered-nms:alpha=1.25;fixed-layered-nms").
+// --code selects any catalog code (grammar: codes/catalog.hpp;
+// default "medium", or "c2" under the legacy --c2 flag). Codes with a
+// CRC (e.g. ft8) additionally report the undetected-error-rate (UER)
+// column — the frames a real receiver would accept despite bit
+// errors. --decoder selects registered decoder(s) instead of the
+// default fixed-vs-float pair (grammar: ldpc/core/registry.hpp).
+// --dump-alist writes the selected code's parity-check matrix in
+// alist interchange format and exits; the file round-trips through
+// --code=alist:<path> with bit-identical curves for codes fully
+// described by H (an alist carries no protocol hooks, so ft8's CRC
+// frame source/check are not preserved).
 #include <cstdio>
 #include <memory>
 
+#include "codes/alist.hpp"
+#include "codes/catalog.hpp"
 #include "engine/sim_engine.hpp"
 #include "ldpc/core/registry.hpp"
-#include "qc/ccsds_c2.hpp"
-#include "qc/small_codes.hpp"
 #include "sim/ber_runner.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace cldpc;
   const ArgParser args(argc, argv);
-  const bool use_c2 = args.GetBool("c2");
+  if (args.GetBool("list-codes")) {
+    std::printf("Registered codes (--code=<spec>):\n");
+    for (const auto& [kind, description] : codes::CodeCatalogSummary())
+      std::printf("  %-14s %s\n", kind.c_str(), description.c_str());
+    return 0;
+  }
+  if (args.GetBool("list-decoders")) {
+    std::printf("Registered decoder kinds (--decoder=<spec>):\n");
+    for (const auto& kind : ldpc::RegisteredDecoderKinds())
+      std::printf("  %s\n", kind.c_str());
+    return 0;
+  }
 
-  const auto qc_matrix =
-      use_c2 ? qc::BuildC2QcMatrix() : qc::MakeMediumQcCode();
-  const ldpc::LdpcCode code(qc_matrix.Expand(), qc_matrix.q());
-  const ldpc::Encoder encoder(code);
-  std::printf("Code: (%zu, %zu), rate %.3f, %zu edges\n", code.n(), code.k(),
-              code.Rate(), code.graph().num_edges());
+  const std::string code_spec = args.GetString(
+      "code", args.GetBool("c2") ? "c2" : "medium");
+  const auto system = codes::LoadCode(code_spec);
+  const auto& code = *system.code;
+  std::printf("Code: %s (%zu, %zu), rate %.3f, %zu edges\n",
+              system.name.c_str(), code.n(), code.k(), code.Rate(),
+              code.graph().num_edges());
+
+  if (args.Has("dump-alist")) {
+    const std::string path = args.GetString("dump-alist", "");
+    codes::WriteAlistFile(path, code.h());
+    std::printf("Wrote %s in alist format; load it back with "
+                "--code=alist:%s\n", path.c_str(), path.c_str());
+    return 0;
+  }
 
   sim::BerConfig config;
   config.ebn0_db = args.GetDoubleList(
       "snrs", {3.0, 3.4, 3.8, 4.2, 4.6});
+  const bool big_code = code.n() > 4000;
   config.max_frames =
-      static_cast<std::uint64_t>(args.GetInt("frames", use_c2 ? 40 : 400));
+      static_cast<std::uint64_t>(args.GetInt("frames", big_code ? 40 : 400));
   config.min_frame_errors = 15;
   config.threads = static_cast<std::size_t>(args.GetInt("threads", 1));
-  sim::BerRunner runner(code, encoder, config);
+  config.frame_source = system.frame_source;
+  config.frame_check = system.frame_check;
+  sim::BerRunner runner(code, *system.encoder, config);
   std::printf("Engine threads: %zu\n",
               engine::ResolveThreads(config.threads));
 
@@ -65,6 +98,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n%s", sim::RenderCurves(curves).c_str());
+  if (system.frame_check) {
+    std::printf("\nUER counts frames the code's CRC accepted despite bit "
+                "errors — the undetected-error rate a deployed receiver "
+                "would suffer.\n");
+  }
   if (!args.Has("decoder")) {
     std::printf("\nThe 6-bit fixed datapath should track the float curve to "
                 "within the waterfall's statistical noise — the architecture "

@@ -4,16 +4,19 @@
 // disagree.
 //
 //   ./fixed_vs_float [--snr=4.0] [--frames=20] [--decoder=<spec>]
+//                    [--code=<spec>]
 //
 // --decoder adds any registered decoder as a fourth comparison row
 // (spec grammar: ldpc/core/registry.hpp), decoding the same frames.
+// --code swaps the code under test for any catalog entry (grammar:
+// codes/catalog.hpp; default "medium").
 #include <cstdio>
 #include <memory>
 
 #include "channel/awgn.hpp"
+#include "codes/catalog.hpp"
 #include "ldpc/core/registry.hpp"
 #include "ldpc/encoder.hpp"
-#include "qc/small_codes.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -24,11 +27,11 @@ int main(int argc, char** argv) {
   const double snr = args.GetDouble("snr", 4.0);
   const int frames = static_cast<int>(args.GetInt("frames", 20));
 
-  const auto qc_matrix = qc::MakeMediumQcCode();
-  const ldpc::LdpcCode code(qc_matrix.Expand(), qc_matrix.q());
-  const ldpc::Encoder encoder(code);
-  std::printf("Code: (%zu, %zu), rate %.3f; Eb/N0 = %.1f dB\n\n", code.n(),
-              code.k(), code.Rate(), snr);
+  const auto system = codes::LoadCode(args.GetString("code", "medium"));
+  const auto& code = *system.code;
+  const auto& encoder = *system.encoder;
+  std::printf("Code: %s (%zu, %zu), rate %.3f; Eb/N0 = %.1f dB\n\n",
+              system.name.c_str(), code.n(), code.k(), code.Rate(), snr);
 
   const auto bp = ldpc::MakeDecoder(code, "bp:iters=18");
   const auto nms = ldpc::MakeDecoder(code, "nms:iters=18,alpha=1.23");

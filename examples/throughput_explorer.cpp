@@ -11,8 +11,9 @@
 //                         [--clock-mhz=200] [--npb=1]
 //                         [--measure-ebn0=4.2] [--measure-frames=24]
 //                         [--threads=N] [--seed=N]
-//                         [--decoder=<spec>] [--batch-frames=N]
-//                         [--alloc-stats]
+//                         [--decoder=<spec>] [--code=<spec>]
+//                         [--batch-frames=N] [--alloc-stats]
+//                         [--list-codes] [--list-decoders]
 //
 // --decoder swaps the decoder the measurement runs (default: the
 // fixed datapath at the configured iteration count); any registered
@@ -21,6 +22,14 @@
 // least as large as their lane count so the engine hands them full
 // lane groups; the measured table reports the resulting simulation
 // rate in frames/s next to the modelled hardware throughput.
+//
+// --code swaps the code the measurement decodes for any catalog
+// entry (grammar: codes/catalog.hpp; default "c2"). The modelled
+// throughput/resource tables always describe the paper's C2
+// architecture; the measured table is whatever code you picked, so
+// e.g. --code=ft8 contrasts an 83-check irregular decode against the
+// C2 hardware model. --list-codes / --list-decoders print the
+// registered names and exit.
 //
 // --alloc-stats (with --measure-ebn0) additionally reports heap
 // allocations per simulated frame during the measurement — the lock
@@ -40,8 +49,8 @@
 
 #include "arch/resources.hpp"
 #include "arch/throughput.hpp"
+#include "codes/catalog.hpp"
 #include "engine/sim_engine.hpp"
-#include "ldpc/c2_system.hpp"
 #include "ldpc/core/registry.hpp"
 #include "qc/ccsds_c2.hpp"
 #include "sim/ber_runner.hpp"
@@ -76,6 +85,18 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 int main(int argc, char** argv) {
   using namespace cldpc;
   const ArgParser args(argc, argv);
+  if (args.GetBool("list-codes")) {
+    std::printf("Registered codes (--code=<spec>):\n");
+    for (const auto& [kind, description] : codes::CodeCatalogSummary())
+      std::printf("  %-14s %s\n", kind.c_str(), description.c_str());
+    return 0;
+  }
+  if (args.GetBool("list-decoders")) {
+    std::printf("Registered decoder kinds (--decoder=<spec>):\n");
+    for (const auto& kind : ldpc::RegisteredDecoderKinds())
+      std::printf("  %s\n", kind.c_str());
+    return 0;
+  }
 
   arch::ArchConfig config = arch::LowCostConfig();
   config.frames_per_word =
@@ -133,11 +154,15 @@ int main(int argc, char** argv) {
     const std::string spec = args.GetString(
         "decoder",
         "fixed-nms:iters=" + std::to_string(config.iterations) + ",et=1");
+    const std::string code_spec = args.GetString("code", "c2");
     std::printf("\nMeasuring average iterations at %.2f dB (%llu frames, "
-                "%zu threads, decoder %s)...\n",
+                "%zu threads, code %s, decoder %s)...\n",
                 ebn0, static_cast<unsigned long long>(mc.max_frames),
-                engine::ResolveThreads(mc.threads), spec.c_str());
-    const auto system = ldpc::MakeC2System();
+                engine::ResolveThreads(mc.threads), code_spec.c_str(),
+                spec.c_str());
+    const auto system = codes::LoadCode(code_spec);
+    mc.frame_source = system.frame_source;
+    mc.frame_check = system.frame_check;
     sim::BerRunner runner(*system.code, *system.encoder, mc);
     const bool alloc_stats = args.GetBool("alloc-stats");
     const std::uint64_t allocs_before =
@@ -175,6 +200,10 @@ int main(int argc, char** argv) {
     mt.AddRow({"Eb/N0", FormatDouble(ebn0, 2) + " dB"});
     mt.AddRow({"Frames decoded", FormatCount(point.frames)});
     mt.AddRow({"PER", FormatScientific(point.frame_errors.Rate(), 2)});
+    if (system.frame_check) {
+      mt.AddRow(
+          {"UER (CRC)", FormatScientific(point.undetected_errors.Rate(), 2)});
+    }
     mt.AddRow({"Avg iterations", FormatDouble(point.avg_iterations, 2)});
     mt.AddRow({"Simulation rate", FormatDouble(sim_fps, 1) + " frames/s"});
     mt.AddRow({"Fixed-iteration throughput",

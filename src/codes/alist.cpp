@@ -1,0 +1,237 @@
+#include "codes/alist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::codes {
+namespace {
+
+/// Whitespace-token reader that tracks line numbers so malformed
+/// input can be reported by position, not just by symptom.
+class TokenReader {
+ public:
+  explicit TokenReader(const std::string& text) : text_(text) {}
+
+  /// Next integer token; throws naming `what` on EOF, non-integer or
+  /// out-of-range input (every malformed token must surface as
+  /// ContractViolation, never as a bare std::out_of_range).
+  long NextInt(const char* what) {
+    SkipSpace();
+    CLDPC_EXPECTS(pos_ < text_.size(),
+                  std::string("alist: unexpected end of input, expected ") +
+                      what + " (line " + std::to_string(line_) + ")");
+    std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    CLDPC_EXPECTS(pos_ > start && (text_[start] != '-' || pos_ > start + 1),
+                  std::string("alist: expected integer for ") + what +
+                      " (line " + std::to_string(line_) + ")");
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    const long value = std::strtol(token.c_str(), nullptr, 10);
+    CLDPC_EXPECTS(errno != ERANGE,
+                  std::string("alist: integer out of range for ") + what +
+                      ": " + token + " (line " + std::to_string(line_) + ")");
+    return value;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  std::size_t line() const { return line_; }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+/// Read one adjacency list of `max_w` slots: `weight` real 1-origin
+/// indices in [1, bound], then only padding zeros. Returns 0-origin
+/// indices, sorted, duplicate-free.
+std::vector<std::size_t> ReadAdjacency(TokenReader& reader, std::size_t weight,
+                                       std::size_t max_w, std::size_t bound,
+                                       const char* kind, std::size_t which) {
+  std::vector<std::size_t> out;
+  out.reserve(weight);
+  const auto where = [&] {
+    return std::string(kind) + " " + std::to_string(which + 1) + " (line " +
+           std::to_string(reader.line()) + ")";
+  };
+  for (std::size_t slot = 0; slot < max_w; ++slot) {
+    const long v = reader.NextInt("adjacency entry");
+    if (slot < weight) {
+      CLDPC_EXPECTS(v >= 1 && static_cast<std::size_t>(v) <= bound,
+                    "alist: index " + std::to_string(v) + " out of range for " +
+                        where());
+      out.push_back(static_cast<std::size_t>(v - 1));
+    } else {
+      CLDPC_EXPECTS(v == 0, "alist: expected padding 0 after " +
+                                std::to_string(weight) + " entries of " +
+                                where() + ", got " + std::to_string(v));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  CLDPC_EXPECTS(std::adjacent_find(out.begin(), out.end()) == out.end(),
+                "alist: duplicate index in " + where());
+  return out;
+}
+
+}  // namespace
+
+gf2::SparseMat ParseAlist(const std::string& text) {
+  TokenReader reader(text);
+  const long n = reader.NextInt("column count n");
+  const long m = reader.NextInt("row count m");
+  CLDPC_EXPECTS(n >= 1 && m >= 1,
+                "alist: dimensions must be positive, got n=" +
+                    std::to_string(n) + " m=" + std::to_string(m));
+  const std::size_t cols = static_cast<std::size_t>(n);
+  const std::size_t rows = static_cast<std::size_t>(m);
+
+  const long max_col_w = reader.NextInt("max column weight");
+  const long max_row_w = reader.NextInt("max row weight");
+  CLDPC_EXPECTS(max_col_w >= 1 && static_cast<std::size_t>(max_col_w) <= rows,
+                "alist: max column weight must be in [1, m]");
+  CLDPC_EXPECTS(max_row_w >= 1 && static_cast<std::size_t>(max_row_w) <= cols,
+                "alist: max row weight must be in [1, n]");
+
+  const auto read_weights = [&reader](std::size_t count, long max_w,
+                                      const char* kind) {
+    std::vector<std::size_t> weights(count);
+    bool saw_max = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      const long w = reader.NextInt("weight");
+      CLDPC_EXPECTS(w >= 1 && w <= max_w,
+                    std::string("alist: ") + kind + " " + std::to_string(i + 1) +
+                        " weight " + std::to_string(w) +
+                        " outside [1, max=" + std::to_string(max_w) + "]");
+      saw_max = saw_max || w == max_w;
+      weights[i] = static_cast<std::size_t>(w);
+    }
+    CLDPC_EXPECTS(saw_max, std::string("alist: declared max ") + kind +
+                               " weight " + std::to_string(max_w) +
+                               " is reached by no " + kind);
+    return weights;
+  };
+  const auto col_weights = read_weights(cols, max_col_w, "column");
+  const auto row_weights = read_weights(rows, max_row_w, "row");
+  const std::size_t col_edges =
+      std::accumulate(col_weights.begin(), col_weights.end(), std::size_t{0});
+  const std::size_t row_edges =
+      std::accumulate(row_weights.begin(), row_weights.end(), std::size_t{0});
+  CLDPC_EXPECTS(col_edges == row_edges,
+                "alist: column weights sum to " + std::to_string(col_edges) +
+                    " but row weights sum to " + std::to_string(row_edges));
+
+  // Column lists define the matrix; row lists must then agree.
+  std::vector<std::vector<std::size_t>> rows_of_col(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    rows_of_col[c] =
+        ReadAdjacency(reader, col_weights[c],
+                      static_cast<std::size_t>(max_col_w), rows, "column", c);
+  }
+  std::vector<std::vector<std::size_t>> cols_of_row(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    cols_of_row[r] =
+        ReadAdjacency(reader, row_weights[r],
+                      static_cast<std::size_t>(max_row_w), cols, "row", r);
+  }
+  CLDPC_EXPECTS(reader.AtEnd(), "alist: trailing tokens after the row lists "
+                                "(line " + std::to_string(reader.line()) + ")");
+
+  // Cross-check: the two adjacency views must describe one matrix.
+  std::vector<std::vector<std::size_t>> derived(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (const std::size_t r : rows_of_col[c]) derived[r].push_back(c);
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    CLDPC_EXPECTS(derived[r] == cols_of_row[r],
+                  "alist: row " + std::to_string(r + 1) +
+                      "'s column list disagrees with the column lists");
+  }
+
+  std::vector<gf2::Coord> entries;
+  entries.reserve(col_edges);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (const std::size_t c : cols_of_row[r]) entries.push_back({r, c});
+  }
+  return gf2::SparseMat(rows, cols, std::move(entries));
+}
+
+std::string WriteAlist(const gf2::SparseMat& h) {
+  CLDPC_EXPECTS(h.rows() >= 1 && h.cols() >= 1, "alist: empty matrix");
+  std::size_t max_col_w = 0, max_row_w = 0;
+  for (std::size_t c = 0; c < h.cols(); ++c) {
+    CLDPC_EXPECTS(h.ColWeight(c) >= 1, "alist: column " + std::to_string(c + 1) +
+                                           " has weight 0 (unconnected bit)");
+    max_col_w = std::max(max_col_w, h.ColWeight(c));
+  }
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    CLDPC_EXPECTS(h.RowWeight(r) >= 1, "alist: row " + std::to_string(r + 1) +
+                                           " has weight 0 (empty check)");
+    max_row_w = std::max(max_row_w, h.RowWeight(r));
+  }
+
+  std::ostringstream out;
+  out << h.cols() << " " << h.rows() << "\n"
+      << max_col_w << " " << max_row_w << "\n";
+  for (std::size_t c = 0; c < h.cols(); ++c)
+    out << h.ColWeight(c) << (c + 1 < h.cols() ? " " : "\n");
+  for (std::size_t r = 0; r < h.rows(); ++r)
+    out << h.RowWeight(r) << (r + 1 < h.rows() ? " " : "\n");
+  const auto write_padded = [&out](std::span<const std::size_t> entries,
+                                   std::size_t max_w) {
+    for (std::size_t slot = 0; slot < max_w; ++slot) {
+      if (slot > 0) out << " ";
+      out << (slot < entries.size() ? entries[slot] + 1 : 0);
+    }
+    out << "\n";
+  };
+  for (std::size_t c = 0; c < h.cols(); ++c)
+    write_padded(h.ColEntries(c), max_col_w);
+  for (std::size_t r = 0; r < h.rows(); ++r)
+    write_padded(h.RowEntries(r), max_row_w);
+  return out.str();
+}
+
+gf2::SparseMat ReadAlistFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CLDPC_EXPECTS(in.good(), "alist: cannot open file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  CLDPC_EXPECTS(!in.bad(), "alist: read error on file: " + path);
+  return ParseAlist(text.str());
+}
+
+void WriteAlistFile(const std::string& path, const gf2::SparseMat& h) {
+  const std::string text = WriteAlist(h);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CLDPC_EXPECTS(out.good(), "alist: cannot open file for writing: " + path);
+  out << text;
+  out.flush();
+  CLDPC_EXPECTS(out.good(), "alist: write error on file: " + path);
+}
+
+}  // namespace cldpc::codes

@@ -1,0 +1,42 @@
+// alist I/O: the de-facto interchange format for LDPC parity-check
+// matrices (MacKay's format, used by WSJT-X, aff3ct, pyldpc, ...).
+//
+// Layout (all tokens whitespace-separated integers):
+//
+//   n m                          columns (bits), rows (checks)
+//   max_col_w max_row_w          largest column / row weight
+//   w(col 1) ... w(col n)        per-column weights
+//   w(row 1) ... w(row m)        per-row weights
+//   n lines: row indices of each column, 1-origin, 0-padded to
+//            max_col_w
+//   m lines: column indices of each row, 1-origin, 0-padded to
+//            max_row_w
+//
+// Parsing is strict: every weight must match its list, indices must
+// be in range and duplicate-free, padding zeros may only trail real
+// entries, the column lists and row lists must describe the *same*
+// matrix, and trailing junk is rejected. A malformed file throws
+// ContractViolation with a message naming the offending line — a code
+// loaded from disk must never be silently wrong.
+#pragma once
+
+#include <string>
+
+#include "gf2/sparse.hpp"
+
+namespace cldpc::codes {
+
+/// Parse alist text into a sparse parity-check matrix.
+gf2::SparseMat ParseAlist(const std::string& text);
+
+/// Render a matrix in canonical alist form (ascending indices, one
+/// column/row per line, 0-padded to the maximum weight). The output
+/// round-trips: ParseAlist(WriteAlist(h)) reproduces h exactly, and
+/// WriteAlist(ParseAlist(s)) is byte-identical for canonical s.
+std::string WriteAlist(const gf2::SparseMat& h);
+
+/// File variants. Reading rejects unreadable paths loudly.
+gf2::SparseMat ReadAlistFile(const std::string& path);
+void WriteAlistFile(const std::string& path, const gf2::SparseMat& h);
+
+}  // namespace cldpc::codes

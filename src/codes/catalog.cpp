@@ -1,0 +1,304 @@
+#include "codes/catalog.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "codes/alist.hpp"
+#include "codes/crc.hpp"
+#include "codes/ft8.hpp"
+#include "qc/ccsds_c2.hpp"
+#include "qc/code_family.hpp"
+#include "qc/qc_builder.hpp"
+#include "qc/small_codes.hpp"
+#include "util/contracts.hpp"
+#include "util/keyval.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::codes {
+namespace {
+
+// Error-message prefix for the shared kind:key=value grammar
+// (util/keyval.hpp).
+const char kWhat[] = "code spec";
+
+// The "alist" pseudo-kind (file loading, resolved before the
+// registry) as shown in listings and error messages.
+const char kAlistDisplay[] = "alist:<path>";
+const char kAlistDescription[] =
+    "any parity-check matrix in alist interchange format";
+
+/// Finish a CatalogCode whose LdpcCode is built: attach the
+/// systematic encoder and the metadata. The description is filled in
+/// by LoadCode from the registry entry (one source of truth for the
+/// --list-codes table and the loaded system).
+CatalogCode Finish(std::string name, std::unique_ptr<ldpc::LdpcCode> code,
+                   std::vector<std::string> recommended) {
+  CatalogCode cat;
+  cat.name = std::move(name);
+  cat.code = std::move(code);
+  cat.encoder = std::make_unique<ldpc::Encoder>(*cat.code);
+  cat.recommended_decoders = std::move(recommended);
+  return cat;
+}
+
+std::uint64_t SeedFromSpec(const CodeSpec& spec, std::uint64_t fallback) {
+  // Seeds are u64; CodeSpec::GetInt covers the useful range and the
+  // catalog codes all have fixed defaults, so a plain cast suffices.
+  return static_cast<std::uint64_t>(spec.GetInt("seed",
+      static_cast<std::int64_t>(fallback)));
+}
+
+/// A positive size param. The check must run *before* the cast to
+/// size_t: a negative value would wrap to ~2^64 and die much later
+/// as an opaque allocator error instead of naming the bad param.
+std::size_t SizeFromSpec(const CodeSpec& spec, const std::string& key,
+                         std::int64_t fallback) {
+  const std::int64_t value = spec.GetInt(key, fallback);
+  CLDPC_EXPECTS(value >= 1, "code spec: param '" + key +
+                                "' must be >= 1, got " +
+                                std::to_string(value));
+  return static_cast<std::size_t>(value);
+}
+
+CatalogCode BuildC2(const CodeSpec& spec) {
+  spec.ExpectOnlyKeys({"seed"});
+  const auto qc = qc::BuildC2QcMatrix(SeedFromSpec(spec, qc::kC2DefaultSeed));
+  // One schedule layer per circulant block row, like MakeC2System.
+  auto code = std::make_unique<ldpc::LdpcCode>(qc.Expand(), qc.q());
+  return Finish(spec.ToString(), std::move(code),
+                {"layered-nms:batch=8", "fixed-layered-nms", "nms"});
+}
+
+CatalogCode BuildFt8(const CodeSpec& spec) {
+  spec.ExpectOnlyKeys({});
+  auto code = std::make_unique<ldpc::LdpcCode>(MakeFt8Code());
+  auto cat = Finish(spec.ToString(), std::move(code),
+                    {"layered-nms:batch=8", "bp:iters=30", "nms"});
+  // FT8 frames carry a CRC-14 inside the payload: 77 message bits +
+  // 14 CRC bits occupy the code's 91 information positions (ascending
+  // InfoCols order). The frame source draws only the message bits and
+  // derives the CRC, so every simulated frame is a valid FT8 frame;
+  // the frame check is the receiver's acceptance rule. Both are pure
+  // functions of their inputs (the engine's determinism contract).
+  cat.frame_source = [enc = cat.encoder.get()](
+                         std::uint64_t seed,
+                         std::span<std::uint8_t> codeword) {
+    Xoshiro256pp rng(seed);
+    std::array<std::uint8_t, kFt8PayloadBits> payload;
+    for (std::size_t i = 0; i < kFt8MessageBits; ++i)
+      payload[i] = rng.NextBit() ? 1 : 0;
+    Ft8AttachCrc(payload);
+    // Encoder scratch: per thread so workers never share state, and
+    // reused across frames so the hot loop stays allocation-free.
+    thread_local gf2::BitVec parity;
+    enc->EncodeInto(payload, codeword, parity);
+  };
+  cat.frame_check = [code = cat.code.get()](
+                        std::span<const std::uint8_t> bits) {
+    const auto& info_cols = code->InfoCols();
+    std::array<std::uint8_t, kFt8PayloadBits> payload;
+    for (std::size_t i = 0; i < kFt8PayloadBits; ++i)
+      payload[i] = bits[info_cols[i]] & 1u;
+    // A real FT8 receiver accepts on CRC alone — it never sees the
+    // syndrome — so neither do we.
+    return Ft8CheckCrc(payload);
+  };
+  return cat;
+}
+
+CatalogCode BuildMedium(const CodeSpec& spec) {
+  spec.ExpectOnlyKeys({"seed"});
+  const auto qc = qc::MakeMediumQcCode(SeedFromSpec(spec, 0x5EEDCAFEULL));
+  auto code = std::make_unique<ldpc::LdpcCode>(qc.Expand(), qc.q());
+  return Finish(spec.ToString(), std::move(code),
+                {"layered-nms:batch=8", "fixed-nms", "nms"});
+}
+
+CatalogCode BuildSmall(const CodeSpec& spec) {
+  spec.ExpectOnlyKeys({"q", "cols", "seed"});
+  const auto q = SizeFromSpec(spec, "q", 61);
+  const auto cols = SizeFromSpec(spec, "cols", 8);
+  const auto qc =
+      qc::MakeSmallQcCode(q, cols, SeedFromSpec(spec, 0x5EED5A11ULL));
+  auto code = std::make_unique<ldpc::LdpcCode>(qc.Expand(), qc.q());
+  return Finish(spec.ToString(), std::move(code),
+                {"nms", "layered-nms", "fixed-nms"});
+}
+
+qc::FamilyRate ParseFamilyRate(const std::string& text) {
+  for (const auto rate : qc::AllFamilyRates()) {
+    if (qc::ToString(rate) == text) return rate;
+  }
+  std::string known;
+  for (const auto rate : qc::AllFamilyRates()) {
+    if (!known.empty()) known += ", ";
+    known += qc::ToString(rate);
+  }
+  CLDPC_EXPECTS(false, "code spec: unknown family rate '" + text +
+                           "' (known: " + known + ")");
+  return qc::FamilyRate::kHalf;  // unreachable
+}
+
+CatalogCode BuildFamily(const CodeSpec& spec) {
+  spec.ExpectOnlyKeys({"rate", "q", "seed"});
+  const auto rate = ParseFamilyRate(spec.GetString("rate", "1/2"));
+  const auto q = SizeFromSpec(spec, "q", 127);
+  const auto qc =
+      qc::BuildFamilyCode(rate, q, SeedFromSpec(spec, 0xFA411A5EEDULL));
+  auto code = std::make_unique<ldpc::LdpcCode>(qc.Expand(), qc.q());
+  return Finish(spec.ToString(), std::move(code),
+                {"layered-nms:batch=8", "nms", "fixed-nms"});
+}
+
+CatalogCode BuildWifi(const CodeSpec& spec) {
+  spec.ExpectOnlyKeys({"q", "rows", "cols", "seed"});
+  // IEEE 802.11n-like geometry: the largest WiFi frame is n = 1944
+  // with z = 81 circulants; 4 block rows of weight-1 circulants give
+  // the rate-5/6 point with bit degree 4 (the C2 datapath's degree).
+  // The offsets are surrogate girth-6 ones from the generic builder —
+  // same substitution policy as the C2 code (see qc/ccsds_c2.hpp).
+  qc::QcBuildSpec build;
+  build.q = SizeFromSpec(spec, "q", 81);
+  build.block_rows = SizeFromSpec(spec, "rows", 4);
+  build.block_cols = SizeFromSpec(spec, "cols", 24);
+  build.circulant_weight = 1;
+  build.seed = SeedFromSpec(spec, 0x80211AC5EEDULL);
+  const auto qc = qc::BuildGirth6QcMatrix(build);
+  auto code = std::make_unique<ldpc::LdpcCode>(qc.Expand(), qc.q());
+  return Finish(spec.ToString(), std::move(code),
+                {"layered-nms:batch=8", "nms", "fixed-nms"});
+}
+
+CatalogCode BuildHamming(const CodeSpec& spec) {
+  spec.ExpectOnlyKeys({});
+  auto code = std::make_unique<ldpc::LdpcCode>(qc::MakeHammingH(), 0);
+  return Finish(spec.ToString(), std::move(code), {"bp", "ms"});
+}
+
+struct CatalogEntry {
+  std::string description;
+  CodeBuilder builder;
+};
+
+std::map<std::string, CatalogEntry>& Registry() {
+  static std::map<std::string, CatalogEntry> registry = [] {
+    std::map<std::string, CatalogEntry> r;
+    r["c2"] = {"(8176, 7156) CCSDS C2 rate-7/8 QC mother code", BuildC2};
+    r["ft8"] = {"(174, 91) FT8 irregular code with CRC-14 frame check",
+                BuildFt8};
+    r["medium"] = {"(2032, 1780) CCSDS-like mid-size QC code", BuildMedium};
+    r["small"] = {"miniature CCSDS-like QC code (params q=, cols=, seed=)",
+                  BuildSmall};
+    r["family"] = {"multi-rate QC family member (params rate=1/2|2/3|4/5|7/8,"
+                   " q=, seed=)",
+                   BuildFamily};
+    r["wifi"] = {"(1944, 1623) IEEE 802.11n-like rate-5/6 QC code (params "
+                 "q=, rows=, cols=, seed=)",
+                 BuildWifi};
+    r["hamming"] = {"the (7, 4) Hamming code", BuildHamming};
+    return r;
+  }();
+  return registry;
+}
+
+std::string KnownKindsMessage() {
+  std::string known;
+  for (const auto& kind : RegisteredCodeKinds()) {
+    if (!known.empty()) known += ", ";
+    known += kind == "alist" ? kAlistDisplay : kind;
+  }
+  return known;
+}
+
+}  // namespace
+
+CodeSpec CodeSpec::Parse(const std::string& text) {
+  auto parsed = keyval::Parse(text, kWhat);
+  CodeSpec spec;
+  spec.kind = std::move(parsed.kind);
+  spec.params = std::move(parsed.params);
+  return spec;
+}
+
+std::string CodeSpec::ToString() const {
+  return keyval::ToString(kind, params);
+}
+
+bool CodeSpec::Has(const std::string& key) const {
+  return keyval::Has(params, key);
+}
+
+std::string CodeSpec::GetString(const std::string& key,
+                                const std::string& fallback) const {
+  return keyval::GetString(params, key, fallback);
+}
+
+std::int64_t CodeSpec::GetInt(const std::string& key,
+                              std::int64_t fallback) const {
+  return keyval::GetInt(params, key, fallback, kWhat);
+}
+
+void CodeSpec::ExpectOnlyKeys(
+    std::initializer_list<const char*> known) const {
+  keyval::ExpectOnlyKeys(kind, params, std::vector<const char*>(known),
+                         kWhat);
+}
+
+void RegisterCode(const std::string& kind, const std::string& description,
+                  CodeBuilder builder) {
+  CLDPC_EXPECTS(static_cast<bool>(builder), "code builder must be set");
+  CLDPC_EXPECTS(kind != "alist", "'alist' is reserved for file loading");
+  const auto [it, inserted] =
+      Registry().emplace(kind, CatalogEntry{description, std::move(builder)});
+  CLDPC_EXPECTS(inserted, "code kind already registered: " + kind);
+}
+
+std::vector<std::string> RegisteredCodeKinds() {
+  std::vector<std::string> kinds;
+  kinds.reserve(Registry().size() + 1);
+  for (const auto& [kind, entry] : Registry()) kinds.push_back(kind);
+  kinds.push_back("alist");
+  std::sort(kinds.begin(), kinds.end());
+  return kinds;
+}
+
+std::vector<std::pair<std::string, std::string>> CodeCatalogSummary() {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(Registry().size() + 1);
+  for (const auto& [kind, entry] : Registry())
+    out.emplace_back(kind, entry.description);
+  out.emplace_back(kAlistDisplay, kAlistDescription);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CatalogCode LoadCode(const std::string& spec_text) {
+  // "alist:<path>" takes the remainder verbatim (paths may contain
+  // '=', ',' or further ':'), so it is resolved before param parsing.
+  constexpr const char* kAlistPrefix = "alist:";
+  if (spec_text.rfind(kAlistPrefix, 0) == 0) {
+    const std::string path = spec_text.substr(6);
+    CLDPC_EXPECTS(!path.empty(), "code spec: alist needs a path, e.g. "
+                                 "alist:codes/my_code.alist");
+    auto code = std::make_unique<ldpc::LdpcCode>(ReadAlistFile(path), 0);
+    auto cat = Finish(spec_text, std::move(code),
+                      {"nms", "layered-nms", "bp"});
+    cat.description = "parity-check matrix loaded from " + path;
+    return cat;
+  }
+  const auto spec = CodeSpec::Parse(spec_text);
+  const auto it = Registry().find(spec.kind);
+  CLDPC_EXPECTS(it != Registry().end(),
+                "unknown code kind '" + spec.kind +
+                    "' (registered: " + KnownKindsMessage() + ")");
+  auto cat = it->second.builder(spec);
+  cat.description = it->second.description;
+  CLDPC_ENSURES(cat.code != nullptr && cat.encoder != nullptr,
+                "code builder returned an incomplete system");
+  return cat;
+}
+
+}  // namespace cldpc::codes

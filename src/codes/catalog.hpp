@@ -1,0 +1,99 @@
+// Named code catalog: the one seam binaries and benches use to
+// construct complete coding systems, mirroring the decoder registry
+// (ldpc/core/registry.hpp). A code spec is a string:
+//
+//   spec   := kind [":" param ("," param)*]
+//           | "alist:" path
+//   param  := key "=" value
+//
+// Registered kinds:
+//   c2              — (8176, 7156) CCSDS C2 rate-7/8 QC mother code
+//                     (param seed=<u64>: surrogate-offset seed)
+//   ft8             — (174, 91) FT8 irregular code + CRC-14 frame
+//                     check (undetected-error-rate column)
+//   medium          — (2032, 1780) CCSDS-like QC code (param seed=)
+//   small           — (488, 368) miniature QC code (params q=, cols=,
+//                     seed=)
+//   family          — multi-rate QC family member (params rate=1/2|
+//                     2/3|4/5|7/8, q=, seed=)
+//   wifi            — (1944, 1623) IEEE 802.11n-like rate-5/6 QC code
+//                     (params q=, rows=, cols=, seed=)
+//   hamming         — the (7, 4) Hamming code
+//   alist:<path>    — any parity-check matrix in alist interchange
+//                     format (see codes/alist.hpp); everything after
+//                     the first ':' is the path, verbatim
+//
+// Each entry returns a CatalogCode: the LdpcCode with its decode
+// schedule granularity (QC block rows where the code has them, one-
+// check layers otherwise), a systematic encoder, optional protocol
+// hooks (FT8's CRC-14 frame source/check), and metadata for listings.
+//
+// Unknown kinds and malformed params throw ContractViolation naming
+// the registered kinds — a typo must never silently fall back.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ldpc/code.hpp"
+#include "ldpc/encoder.hpp"
+#include "sim/ber_runner.hpp"
+
+namespace cldpc::codes {
+
+/// A parsed code specification (same grammar as DecoderSpec).
+struct CodeSpec {
+  std::string kind;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  static CodeSpec Parse(const std::string& text);
+  /// Canonical round-trippable form: kind:key=value,...
+  std::string ToString() const;
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  /// Throw unless every param key is in `known`.
+  void ExpectOnlyKeys(std::initializer_list<const char*> known) const;
+};
+
+/// A complete coding system produced by the catalog. Movable, not
+/// copyable; the frame hooks reference the owned code/encoder, so
+/// they stay valid for the life of the object (moves included).
+struct CatalogCode {
+  /// Canonical spec this system was built from (e.g. "ft8").
+  std::string name;
+  /// One-line human description for listings.
+  std::string description;
+  std::unique_ptr<ldpc::LdpcCode> code;
+  std::unique_ptr<ldpc::Encoder> encoder;
+  /// Protocol hooks for BerConfig (null when the code has none).
+  sim::FrameSource frame_source;
+  sim::FrameCheck frame_check;
+  /// Decoder specs known to work well on this code, best first (for
+  /// --help style hints; every registered decoder still works).
+  std::vector<std::string> recommended_decoders;
+};
+
+/// Builds a CatalogCode from a parsed spec.
+using CodeBuilder = std::function<CatalogCode(const CodeSpec& spec)>;
+
+/// Register an additional kind (must not collide; built-ins are
+/// pre-registered). `description` is the one-line listing text.
+void RegisterCode(const std::string& kind, const std::string& description,
+                  CodeBuilder builder);
+
+/// All registered kind names, sorted (plus the implicit "alist").
+std::vector<std::string> RegisteredCodeKinds();
+
+/// (kind, description) pairs for --list-codes output, sorted by kind.
+std::vector<std::pair<std::string, std::string>> CodeCatalogSummary();
+
+/// Construct a coding system from a spec string.
+CatalogCode LoadCode(const std::string& spec);
+
+}  // namespace cldpc::codes

@@ -1,0 +1,55 @@
+// Bit-serial CRC over GF(2), plus the FT8 CRC-14 frame conventions.
+//
+// Codewords in this library are 0/1 bytes, so the CRC runs directly
+// over bit arrays (MSB-first polynomial division) — the same form
+// WSJT-X and ft8_lib use, just without the byte packing. A CRC is the
+// post-decode acceptance criterion of a real receiver: the decoder
+// may converge to *a* codeword that is not *the* codeword, and only
+// the CRC (not the syndrome) can tell. The Monte-Carlo engine uses it
+// to measure the undetected-error rate next to BER/PER.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cldpc::codes {
+
+/// CRC over a bit sequence (0/1 bytes, MSB-first division).
+///
+/// `poly` is the generator polynomial without its leading x^width
+/// term, e.g. FT8's CRC-14 is BitCrc(14, 0x2757). Compute() returns
+/// the remainder of message * x^width mod g — the value a sender
+/// appends so that the receiver's division over message+CRC yields 0.
+class BitCrc {
+ public:
+  BitCrc(unsigned width, std::uint32_t poly);
+
+  std::uint32_t Compute(std::span<const std::uint8_t> bits) const;
+
+  unsigned width() const { return width_; }
+  std::uint32_t poly() const { return poly_; }
+
+ private:
+  unsigned width_;
+  std::uint32_t poly_;
+};
+
+// FT8 frame conventions (CCSDS-style bit numbering, all MSB-first):
+// a payload is 91 bits = 77 source-encoded message bits followed by a
+// 14-bit CRC. Per the FT8 protocol the CRC is computed over the
+// message zero-extended from 77 to 82 bits.
+inline constexpr unsigned kFt8CrcWidth = 14;
+inline constexpr std::uint32_t kFt8CrcPoly = 0x2757;
+inline constexpr std::size_t kFt8MessageBits = 77;
+inline constexpr std::size_t kFt8PayloadBits = 91;
+
+/// CRC-14 of the 77 message bits (0/1 bytes), zero-extended to 82.
+std::uint32_t Ft8Crc14(std::span<const std::uint8_t> message77);
+
+/// Fill payload[77..90] with the CRC-14 of payload[0..76], MSB first.
+void Ft8AttachCrc(std::span<std::uint8_t> payload91);
+
+/// True if payload[77..90] is the CRC-14 of payload[0..76].
+bool Ft8CheckCrc(std::span<const std::uint8_t> payload91);
+
+}  // namespace cldpc::codes

@@ -1,0 +1,167 @@
+#include "codes/ft8.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::codes {
+namespace {
+
+// Check-to-bit adjacency of the LDPC(174, 91) parity-check matrix:
+// row m lists the 1-origin codeword bits whose XOR must be zero,
+// 0-padded to 7 slots (59 checks have degree 6, 24 have degree 7).
+// Transcribed from the public WSJT-X reordered-parity tables (see the
+// header's transcription note); BuildFt8ParityMatrix() re-derives and
+// enforces every structural invariant on each construction.
+constexpr std::uint8_t kFt8Nm[kFt8Checks][7] = {
+    {4, 31, 59, 91, 92, 96, 153},
+    {5, 32, 60, 93, 115, 146, 0},
+    {6, 24, 61, 94, 122, 151, 0},
+    {7, 33, 62, 95, 96, 143, 0},
+    {8, 25, 63, 83, 93, 96, 148},
+    {6, 32, 64, 97, 126, 138, 0},
+    {5, 34, 65, 78, 98, 107, 154},
+    {9, 35, 66, 99, 139, 146, 0},
+    {10, 36, 67, 100, 107, 126, 0},
+    {11, 37, 67, 87, 101, 139, 158},
+    {12, 38, 68, 102, 105, 155, 0},
+    {13, 39, 69, 103, 149, 162, 0},
+    {8, 40, 70, 82, 104, 114, 145},
+    {14, 41, 71, 88, 102, 123, 156},
+    {15, 42, 59, 106, 123, 159, 0},
+    {1, 33, 72, 106, 107, 157, 0},
+    {16, 43, 73, 108, 141, 160, 0},
+    {17, 37, 74, 81, 109, 131, 154},
+    {11, 44, 75, 110, 121, 166, 0},
+    {45, 55, 64, 111, 130, 161, 173},
+    {8, 46, 71, 112, 119, 166, 0},
+    {18, 36, 76, 89, 113, 114, 143},
+    {19, 38, 77, 104, 116, 163, 0},
+    {20, 47, 70, 92, 138, 165, 0},
+    {2, 48, 74, 113, 128, 160, 0},
+    {21, 45, 78, 83, 117, 121, 151},
+    {22, 47, 58, 118, 127, 164, 0},
+    {16, 39, 62, 112, 134, 158, 0},
+    {23, 43, 79, 120, 131, 145, 0},
+    {19, 35, 59, 73, 110, 125, 161},
+    {20, 36, 63, 94, 136, 161, 0},
+    {14, 31, 79, 98, 132, 164, 0},
+    {3, 44, 80, 124, 127, 169, 0},
+    {19, 46, 81, 117, 135, 167, 0},
+    {7, 49, 58, 90, 100, 105, 168},
+    {12, 50, 61, 118, 119, 144, 0},
+    {13, 51, 64, 114, 118, 157, 0},
+    {24, 52, 76, 129, 148, 149, 0},
+    {25, 53, 69, 90, 101, 130, 156},
+    {20, 46, 65, 80, 120, 140, 170},
+    {21, 54, 77, 100, 140, 171, 0},
+    {35, 82, 133, 142, 171, 174, 0},
+    {14, 30, 83, 113, 125, 170, 0},
+    {4, 29, 68, 120, 134, 173, 0},
+    {1, 4, 52, 57, 86, 136, 152},
+    {26, 51, 56, 91, 122, 137, 168},
+    {52, 84, 110, 115, 145, 168, 0},
+    {7, 50, 81, 99, 132, 173, 0},
+    {23, 55, 67, 95, 172, 174, 0},
+    {26, 41, 77, 109, 141, 148, 0},
+    {2, 27, 41, 61, 62, 115, 133},
+    {27, 40, 56, 124, 125, 126, 0},
+    {18, 49, 55, 124, 141, 167, 0},
+    {6, 33, 85, 108, 116, 156, 0},
+    {28, 48, 70, 85, 105, 129, 158},
+    {9, 54, 63, 131, 147, 155, 0},
+    {22, 53, 68, 109, 121, 174, 0},
+    {3, 13, 48, 78, 95, 123, 0},
+    {31, 69, 133, 150, 155, 169, 0},
+    {12, 43, 66, 89, 97, 135, 159},
+    {5, 39, 75, 102, 136, 167, 0},
+    {2, 54, 86, 101, 135, 164, 0},
+    {15, 56, 87, 108, 119, 171, 0},
+    {10, 44, 82, 91, 111, 144, 149},
+    {23, 34, 71, 94, 127, 153, 0},
+    {11, 49, 88, 92, 142, 157, 0},
+    {29, 34, 87, 97, 147, 162, 0},
+    {30, 50, 60, 86, 137, 142, 162},
+    {10, 53, 66, 84, 112, 128, 165},
+    {22, 57, 85, 93, 140, 159, 0},
+    {28, 32, 72, 103, 132, 166, 0},
+    {28, 29, 84, 88, 117, 143, 150},
+    {1, 26, 45, 80, 128, 147, 0},
+    {17, 27, 89, 103, 116, 153, 0},
+    {51, 57, 98, 163, 165, 172, 0},
+    {21, 37, 73, 138, 152, 169, 0},
+    {16, 47, 76, 130, 137, 154, 0},
+    {3, 24, 30, 72, 104, 139, 0},
+    {9, 17, 42, 75, 90, 150, 0},
+    {15, 40, 79, 111, 134, 172, 0},
+    {18, 38, 42, 74, 99, 129, 0},
+    {25, 60, 106, 151, 163, 170, 0},
+    {58, 65, 122, 144, 146, 152, 160},
+};
+
+}  // namespace
+
+gf2::SparseMat BuildFt8ParityMatrix() {
+  std::vector<gf2::Coord> entries;
+  entries.reserve(kFt8Edges);
+  std::array<std::size_t, kFt8N> col_weight{};
+  std::size_t degree7_rows = 0;
+  for (std::size_t m = 0; m < kFt8Checks; ++m) {
+    std::size_t degree = 0;
+    for (const std::uint8_t bit1 : kFt8Nm[m]) {
+      if (bit1 == 0) break;
+      CLDPC_ENSURES(bit1 >= 1 && bit1 <= kFt8N, "FT8 table: bit out of range");
+      entries.push_back({m, static_cast<std::size_t>(bit1 - 1)});
+      ++col_weight[bit1 - 1];
+      ++degree;
+    }
+    CLDPC_ENSURES(degree == 6 || degree == 7,
+                  "FT8 table: check degree must be 6 or 7");
+    if (degree == 7) ++degree7_rows;
+  }
+  CLDPC_ENSURES(entries.size() == kFt8Edges, "FT8 table: edge count != 522");
+  CLDPC_ENSURES(degree7_rows == 24, "FT8 table: need 24 degree-7 checks");
+  for (std::size_t c = 0; c < kFt8N; ++c) {
+    CLDPC_ENSURES(col_weight[c] == 3,
+                  "FT8 table: bit " + std::to_string(c + 1) +
+                      " must be in exactly 3 checks");
+  }
+  // SparseMat's constructor rejects duplicate coordinates, closing
+  // the remaining within-row validation gap.
+  gf2::SparseMat h(kFt8Checks, kFt8N, std::move(entries));
+  // No two checks may share two bits (a 4-cycle): girth >= 6.
+  for (std::size_t a = 0; a < kFt8Checks; ++a) {
+    for (std::size_t b = a + 1; b < kFt8Checks; ++b) {
+      const auto ra = h.RowEntries(a);
+      const auto rb = h.RowEntries(b);
+      std::size_t shared = 0, i = 0, j = 0;
+      while (i < ra.size() && j < rb.size()) {
+        if (ra[i] == rb[j]) {
+          ++shared, ++i, ++j;
+        } else if (ra[i] < rb[j]) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+      CLDPC_ENSURES(shared <= 1, "FT8 table: checks " + std::to_string(a + 1) +
+                                     " and " + std::to_string(b + 1) +
+                                     " share two bits (4-cycle)");
+    }
+  }
+  return h;
+}
+
+ldpc::LdpcCode MakeFt8Code() {
+  // checks_per_layer = 0: one layer per check — there is no circulant
+  // block structure to batch by, which is exactly the irregular
+  // schedule the generic layered decoders must absorb.
+  ldpc::LdpcCode code(BuildFt8ParityMatrix(), 0);
+  CLDPC_ENSURES(code.Rank() == kFt8Checks, "FT8 matrix must have full rank");
+  CLDPC_ENSURES(code.k() == kFt8K, "FT8 code dimension must be 91");
+  return code;
+}
+
+}  // namespace cldpc::codes

@@ -1,0 +1,34 @@
+// The FT8 LDPC(174, 91) code: a short, irregular, high-rate code with
+// a CRC-14 acceptance check — the opposite decoding regime from the
+// CCSDS C2 code (83 checks vs 1022, column weight 3 vs 4, irregular
+// row weight 6/7 vs uniform 32, no QC structure). It is the generic
+// decoder architecture's stress test: every schedule becomes 83
+// one-check layers instead of 2 block rows of 511.
+//
+// TRANSCRIPTION NOTE: the check-to-bit adjacency is transcribed from
+// the public WSJT-X / ft8_lib LDPC(174,91) reordered-parity tables
+// and validated structurally at construction (n = 174, every bit in
+// exactly 3 checks, row weights 6/7 with the 24/59 histogram, 522
+// edges, rank 83, girth >= 6). The construction throws if any of
+// those invariants break, so a transcription fault is loud, never a
+// silently different code.
+#pragma once
+
+#include "gf2/sparse.hpp"
+#include "ldpc/code.hpp"
+
+namespace cldpc::codes {
+
+inline constexpr std::size_t kFt8N = 174;      // codeword bits
+inline constexpr std::size_t kFt8K = 91;       // payload bits (77 + CRC-14)
+inline constexpr std::size_t kFt8Checks = 83;  // parity checks (full rank)
+inline constexpr std::size_t kFt8Edges = 522;  // Tanner-graph edges
+
+/// The 83 x 174 parity-check matrix, structurally validated.
+gf2::SparseMat BuildFt8ParityMatrix();
+
+/// The code with its decode schedule (83 one-check layers — the
+/// irregular non-QC case of the generic layered datapath).
+ldpc::LdpcCode MakeFt8Code();
+
+}  // namespace cldpc::codes

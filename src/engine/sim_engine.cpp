@@ -49,10 +49,14 @@ struct SimEngine::PointAccumulator {
   /// frame that reaches it is included, like the sequential runner).
   bool Consume(const FrameResult& result, std::size_t snr_index,
                std::uint64_t counted_bits, std::uint64_t min_frame_errors,
-               const sim::FrameCallback& on_frame) {
+               bool has_frame_check, const sim::FrameCallback& on_frame) {
     point.bit_errors.Add(result.bit_errors, counted_bits);
     const bool frame_err = result.bit_errors != 0;
     point.frame_errors.AddTrial(frame_err);
+    // An undetected error is the receiver's worst case: the frame
+    // check accepted a frame whose bits are wrong.
+    if (has_frame_check)
+      point.undetected_errors.AddTrial(result.accepted && frame_err);
     iter_sum += result.iterations;
     ++point.frames;
     if (on_frame) on_frame(snr_index, next_frame, frame_err);
@@ -97,6 +101,11 @@ std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
                                            n);
     if (config_.all_zero_codeword) {
       std::fill(codeword.begin(), codeword.end(), 0);
+    } else if (config_.frame_source) {
+      // Protocol-aware generation (e.g. payload + CRC): a pure
+      // function of the derived seed, so the determinism contract is
+      // untouched.
+      config_.frame_source(data_seed, codeword);
     } else {
       Xoshiro256pp data_rng(data_seed);
       for (auto& b : scratch.info) b = data_rng.NextBit() ? 1 : 0;
@@ -120,6 +129,7 @@ std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
       if (decoded[i].bits[pos] != scratch.codewords[i * n + pos])
         ++result.bit_errors;
     }
+    if (config_.frame_check) result.accepted = config_.frame_check(decoded[i].bits);
     results.push_back(result);
   }
   return results;
@@ -144,6 +154,7 @@ sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
                                        const sim::FrameCallback& on_frame) {
   sim::BerCurve curve;
   curve.decoder_name = decoder.Name();
+  curve.has_frame_check = static_cast<bool>(config_.frame_check);
   const double rate = code_.Rate();
   FrameScratch scratch;  // reused by every batch of the sweep
 
@@ -167,7 +178,7 @@ sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
                                          scratch);
       for (const auto& r : results) {
         if (acc.Consume(r, s, counted_.size(), config_.min_frame_errors,
-                        on_frame)) {
+                        curve.has_frame_check, on_frame)) {
           stopped = true;
           break;
         }
@@ -186,6 +197,7 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
 
   sim::BerCurve curve;
   curve.decoder_name = decoders.name();
+  curve.has_frame_check = static_cast<bool>(config_.frame_check);
   const double rate = code_.Rate();
   const std::uint64_t batch = config_.batch_frames;
   // One FrameScratch per worker, owned across all points of the
@@ -299,7 +311,7 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
         shared.producer_cv.notify_all();
         for (const auto& r : results) {
           if (acc.Consume(r, s, counted_.size(), config_.min_frame_errors,
-                          on_frame)) {
+                          curve.has_frame_check, on_frame)) {
             stopped = true;
             {
               std::lock_guard<std::mutex> lock(shared.mutex);

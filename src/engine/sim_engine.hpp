@@ -78,6 +78,9 @@ class SimEngine {
   struct FrameResult {
     std::uint64_t bit_errors = 0;
     std::int32_t iterations = 0;
+    /// Verdict of config.frame_check on the decoded bits (always
+    /// false when no check is configured).
+    bool accepted = false;
   };
   struct PointAccumulator;
 

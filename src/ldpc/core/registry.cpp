@@ -1,7 +1,9 @@
 #include "ldpc/core/registry.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -12,16 +14,15 @@
 #include "ldpc/layered_decoder.hpp"
 #include "ldpc/minsum_decoder.hpp"
 #include "util/contracts.hpp"
+#include "util/keyval.hpp"
 
 namespace cldpc::ldpc {
 namespace {
 
-bool ParseBoolValue(const std::string& v, const std::string& key) {
-  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
-  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
-  CLDPC_EXPECTS(false, "decoder spec: bad boolean for '" + key + "': " + v);
-  return false;
-}
+// Error-message prefix for the shared kind:key=value grammar
+// (util/keyval.hpp), which this registry and the code catalog both
+// delegate to.
+const char kWhat[] = "decoder spec";
 
 IterOptions IterFromSpec(const DecoderSpec& spec) {
   IterOptions iter;
@@ -201,72 +202,43 @@ std::map<std::string, DecoderBuilder>& Registry() {
 }  // namespace
 
 DecoderSpec DecoderSpec::Parse(const std::string& text) {
+  auto parsed = keyval::Parse(text, kWhat);
   DecoderSpec spec;
-  const auto colon = text.find(':');
-  spec.kind = text.substr(0, colon);
-  CLDPC_EXPECTS(!spec.kind.empty(), "decoder spec: empty kind");
-  if (colon == std::string::npos) return spec;
-
-  std::stringstream ss(text.substr(colon + 1));
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    const auto eq = item.find('=');
-    CLDPC_EXPECTS(eq != std::string::npos && eq > 0,
-                  "decoder spec: param must be key=value, got: " + item);
-    auto key = item.substr(0, eq);
-    CLDPC_EXPECTS(!spec.Has(key), "decoder spec: duplicate param: " + key);
-    spec.params.emplace_back(std::move(key), item.substr(eq + 1));
-  }
-  CLDPC_EXPECTS(!spec.params.empty(),
-                "decoder spec: ':' must be followed by params");
+  spec.kind = std::move(parsed.kind);
+  spec.params = std::move(parsed.params);
   return spec;
 }
 
 std::string DecoderSpec::ToString() const {
-  std::string out = kind;
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    out += (i == 0 ? ':' : ',');
-    out += params[i].first + "=" + params[i].second;
-  }
-  return out;
+  return keyval::ToString(kind, params);
 }
 
 bool DecoderSpec::Has(const std::string& key) const {
-  return std::any_of(params.begin(), params.end(),
-                     [&](const auto& p) { return p.first == key; });
+  return keyval::Has(params, key);
 }
 
 std::string DecoderSpec::GetString(const std::string& key,
                                    const std::string& fallback) const {
-  for (const auto& [k, v] : params) {
-    if (k == key) return v;
-  }
-  return fallback;
+  return keyval::GetString(params, key, fallback);
 }
 
 int DecoderSpec::GetInt(const std::string& key, int fallback) const {
-  if (!Has(key)) return fallback;
-  const auto v = GetString(key, "");
-  char* end = nullptr;
-  const long parsed = std::strtol(v.c_str(), &end, 10);
-  CLDPC_EXPECTS(end != v.c_str() && *end == '\0',
-                "decoder spec: bad integer for '" + key + "': " + v);
-  return static_cast<int>(parsed);
+  const std::int64_t value = keyval::GetInt(params, key, fallback, kWhat);
+  // Decoder params are ints; a value that only fits in 64 bits must
+  // not silently truncate (e.g. iters=5000000000 -> 705032704).
+  CLDPC_EXPECTS(value >= std::numeric_limits<int>::min() &&
+                    value <= std::numeric_limits<int>::max(),
+                std::string(kWhat) + ": integer out of range for '" + key +
+                    "': " + GetString(key, ""));
+  return static_cast<int>(value);
 }
 
 double DecoderSpec::GetDouble(const std::string& key, double fallback) const {
-  if (!Has(key)) return fallback;
-  const auto v = GetString(key, "");
-  char* end = nullptr;
-  const double parsed = std::strtod(v.c_str(), &end);
-  CLDPC_EXPECTS(end != v.c_str() && *end == '\0',
-                "decoder spec: bad number for '" + key + "': " + v);
-  return parsed;
+  return keyval::GetDouble(params, key, fallback, kWhat);
 }
 
 bool DecoderSpec::GetBool(const std::string& key, bool fallback) const {
-  if (!Has(key)) return fallback;
-  return ParseBoolValue(GetString(key, ""), key);
+  return keyval::GetBool(params, key, fallback, kWhat);
 }
 
 void DecoderSpec::ExpectOnlyKeys(
@@ -275,12 +247,7 @@ void DecoderSpec::ExpectOnlyKeys(
 }
 
 void DecoderSpec::ExpectOnlyKeys(const std::vector<const char*>& known) const {
-  for (const auto& [k, v] : params) {
-    const bool ok = std::any_of(known.begin(), known.end(),
-                                [&](const char* name) { return k == name; });
-    CLDPC_EXPECTS(ok, "decoder spec: kind '" + kind +
-                          "' does not take param '" + k + "'");
-  }
+  keyval::ExpectOnlyKeys(kind, params, known, kWhat);
 }
 
 void RegisterDecoder(const std::string& kind, DecoderBuilder builder) {

@@ -50,6 +50,9 @@ std::string RenderCurves(const std::vector<BerCurve>& curves) {
   for (const auto& c : curves) {
     headers.push_back(c.decoder_name + " BER");
     headers.push_back(c.decoder_name + " PER");
+    // Curves measured with a frame check (CRC) carry the receiver's
+    // undetected-error rate next to the raw PER.
+    if (c.has_frame_check) headers.push_back(c.decoder_name + " UER");
     headers.push_back(c.decoder_name + " frames");
   }
   TablePrinter table(std::move(headers));
@@ -80,10 +83,12 @@ std::string RenderCurves(const std::vector<BerCurve>& curves) {
             return label(p.ebn0_db) == label(ebn0);
           });
       if (it == c.points.end()) {
-        row.insert(row.end(), {"-", "-", "-"});
+        row.insert(row.end(), c.has_frame_check ? 4 : 3, "-");
       } else {
         row.push_back(FormatScientific(it->bit_errors.Rate(), 2));
         row.push_back(FormatScientific(it->frame_errors.Rate(), 2));
+        if (c.has_frame_check)
+          row.push_back(FormatScientific(it->undetected_errors.Rate(), 2));
         row.push_back(FormatCount(it->frames));
       }
     }

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,22 @@
 #include "util/stats.hpp"
 
 namespace cldpc::sim {
+
+/// Draws one pseudo-random codeword for a derived per-frame seed,
+/// writing n bits as 0/1 bytes. Codes with in-band structure (e.g.
+/// FT8's CRC-14 payload field) install one so that every simulated
+/// frame is a *valid* frame of the protocol, not just a codeword;
+/// the default (null) path encodes k random information bits. Must be
+/// a pure function of the seed — the engine calls it from any worker.
+using FrameSource =
+    std::function<void(std::uint64_t seed, std::span<std::uint8_t> codeword)>;
+
+/// Post-decode frame acceptance (a real receiver's CRC check) on the
+/// decoder's hard decisions. When installed, every point additionally
+/// tracks the undetected-error rate: frames the check *accepts* whose
+/// bits are wrong — the errors a deployed receiver would not see.
+/// Must be a pure function of the bits.
+using FrameCheck = std::function<bool(std::span<const std::uint8_t> bits)>;
 
 struct BerConfig {
   std::vector<double> ebn0_db;      // sweep points
@@ -42,18 +59,31 @@ struct BerConfig {
   std::size_t threads = 1;
   /// Frames per engine work item.
   std::uint64_t batch_frames = 16;
+  /// Optional protocol-aware frame generation and acceptance (see the
+  /// typedefs above); both usually come from one codes::CatalogCode.
+  /// Null members select the default behaviour. Neither affects the
+  /// engine's determinism contract: both are pure functions of their
+  /// inputs, so curves stay byte-identical across thread counts.
+  FrameSource frame_source;
+  FrameCheck frame_check;
 };
 
 struct BerPoint {
   double ebn0_db = 0.0;
   RateEstimator bit_errors;
   RateEstimator frame_errors;
+  /// Frames the frame check accepted despite bit errors (tracked only
+  /// when BerConfig::frame_check is set; trials == frames).
+  RateEstimator undetected_errors;
   std::uint64_t frames = 0;
   double avg_iterations = 0.0;
 };
 
 struct BerCurve {
   std::string decoder_name;
+  /// True when the curve was measured with a frame check installed —
+  /// RenderCurves then shows the undetected-error-rate (UER) column.
+  bool has_frame_check = false;
   std::vector<BerPoint> points;
 };
 

@@ -1,0 +1,104 @@
+#include "util/keyval.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::keyval {
+
+Parsed Parse(const std::string& text, const std::string& what) {
+  Parsed spec;
+  const auto colon = text.find(':');
+  spec.kind = text.substr(0, colon);
+  CLDPC_EXPECTS(!spec.kind.empty(), what + ": empty kind");
+  if (colon == std::string::npos) return spec;
+
+  std::stringstream ss(text.substr(colon + 1));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    CLDPC_EXPECTS(eq != std::string::npos && eq > 0,
+                  what + ": param must be key=value, got: " + item);
+    auto key = item.substr(0, eq);
+    CLDPC_EXPECTS(!Has(spec.params, key), what + ": duplicate param: " + key);
+    spec.params.emplace_back(std::move(key), item.substr(eq + 1));
+  }
+  CLDPC_EXPECTS(!spec.params.empty(),
+                what + ": ':' must be followed by params");
+  return spec;
+}
+
+std::string ToString(const std::string& kind, const Params& params) {
+  std::string out = kind;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += (i == 0 ? ':' : ',');
+    out += params[i].first + "=" + params[i].second;
+  }
+  return out;
+}
+
+bool Has(const Params& params, const std::string& key) {
+  return std::any_of(params.begin(), params.end(),
+                     [&](const auto& p) { return p.first == key; });
+}
+
+std::string GetString(const Params& params, const std::string& key,
+                      const std::string& fallback) {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::int64_t GetInt(const Params& params, const std::string& key,
+                    std::int64_t fallback, const std::string& what) {
+  if (!Has(params, key)) return fallback;
+  const auto v = GetString(params, key, "");
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  // ERANGE must be a loud error, not a silent clamp to LLONG_MAX.
+  CLDPC_EXPECTS(end != v.c_str() && *end == '\0' && errno != ERANGE,
+                what + ": bad integer for '" + key + "': " + v);
+  return static_cast<std::int64_t>(parsed);
+}
+
+double GetDouble(const Params& params, const std::string& key,
+                 double fallback, const std::string& what) {
+  if (!Has(params, key)) return fallback;
+  const auto v = GetString(params, key, "");
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v.c_str(), &end);
+  // ERANGE covers overflow to inf and underflow to 0 — either would
+  // silently change the decode instead of rejecting the spec.
+  CLDPC_EXPECTS(end != v.c_str() && *end == '\0' && errno != ERANGE,
+                what + ": bad number for '" + key + "': " + v);
+  return parsed;
+}
+
+bool GetBool(const Params& params, const std::string& key, bool fallback,
+             const std::string& what) {
+  if (!Has(params, key)) return fallback;
+  const auto v = GetString(params, key, "");
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  CLDPC_EXPECTS(false, what + ": bad boolean for '" + key + "': " + v);
+  return false;
+}
+
+void ExpectOnlyKeys(const std::string& kind, const Params& params,
+                    const std::vector<const char*>& known,
+                    const std::string& what) {
+  for (const auto& [k, v] : params) {
+    const bool ok = std::any_of(known.begin(), known.end(),
+                                [&](const char* name) { return k == name; });
+    CLDPC_EXPECTS(ok, what + ": kind '" + kind + "' does not take param '" +
+                          k + "'");
+  }
+}
+
+}  // namespace cldpc::keyval

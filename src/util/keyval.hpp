@@ -1,0 +1,49 @@
+// The one implementation of the kind:key=value,... spec grammar that
+// both registries (decoder specs, ldpc/core/registry.hpp; code specs,
+// codes/catalog.hpp) parse:
+//
+//   spec   := kind [":" param ("," param)*]
+//   param  := key "=" value
+//
+// DecoderSpec and CodeSpec stay distinct public types (their kinds,
+// parameter vocabularies and error-message prefixes differ), but they
+// delegate every grammar operation here so the two seams cannot
+// drift. `what` is the message prefix, e.g. "decoder spec" — all
+// failures throw ContractViolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cldpc::keyval {
+
+using Params = std::vector<std::pair<std::string, std::string>>;
+
+struct Parsed {
+  std::string kind;
+  Params params;  // source order; duplicates rejected at parse time
+};
+
+Parsed Parse(const std::string& text, const std::string& what);
+
+/// Canonical round-trippable form: kind:key=value,...
+std::string ToString(const std::string& kind, const Params& params);
+
+bool Has(const Params& params, const std::string& key);
+std::string GetString(const Params& params, const std::string& key,
+                      const std::string& fallback);
+std::int64_t GetInt(const Params& params, const std::string& key,
+                    std::int64_t fallback, const std::string& what);
+double GetDouble(const Params& params, const std::string& key,
+                 double fallback, const std::string& what);
+bool GetBool(const Params& params, const std::string& key, bool fallback,
+             const std::string& what);
+
+/// Throw unless every param key is in `known`.
+void ExpectOnlyKeys(const std::string& kind, const Params& params,
+                    const std::vector<const char*>& known,
+                    const std::string& what);
+
+}  // namespace cldpc::keyval

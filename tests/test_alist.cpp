@@ -1,0 +1,197 @@
+#include "codes/alist.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "codes/ft8.hpp"
+#include "qc/small_codes.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::codes {
+namespace {
+
+// The (7, 4) Hamming code in canonical alist form (column weight 1-3,
+// row weight 4): small enough to validate by eye.
+gf2::SparseMat Hamming() { return qc::MakeHammingH(); }
+
+bool SameMatrix(const gf2::SparseMat& a, const gf2::SparseMat& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         a.Coords() == b.Coords();
+}
+
+TEST(Alist, WriteParseRoundTripsHamming) {
+  const auto h = Hamming();
+  const std::string text = WriteAlist(h);
+  const auto parsed = ParseAlist(text);
+  EXPECT_TRUE(SameMatrix(h, parsed));
+  // Canonical text is a fixed point: parse -> write reproduces it
+  // byte for byte.
+  EXPECT_EQ(WriteAlist(parsed), text);
+}
+
+TEST(Alist, WriteParseRoundTripsQcCode) {
+  const auto h = qc::MakeSmallQcCode().Expand();
+  const auto parsed = ParseAlist(WriteAlist(h));
+  EXPECT_TRUE(SameMatrix(h, parsed));
+}
+
+TEST(Alist, WriteParseRoundTripsIrregularFt8) {
+  const auto h = BuildFt8ParityMatrix();
+  const std::string text = WriteAlist(h);
+  const auto parsed = ParseAlist(text);
+  EXPECT_TRUE(SameMatrix(h, parsed));
+  EXPECT_EQ(WriteAlist(parsed), text);
+}
+
+// Hand-written 3 x 4 ragged example used by the rejection cases:
+//   H = [ 1 1 0 1 ]      row weights 3, 2, 1
+//       [ 0 1 1 0 ]      col weights 1, 2, 1, 2
+//       [ 0 0 0 1 ]
+const char kRagged[] =
+    "4 3\n"
+    "2 3\n"
+    "1 2 1 2\n"
+    "3 2 1\n"
+    "1 0\n"
+    "1 2\n"
+    "2 0\n"
+    "1 3\n"
+    "1 2 4\n"
+    "2 3 0\n"
+    "4 0 0\n";
+
+TEST(Alist, ParsesPaddedIrregularInput) {
+  const auto h = ParseAlist(kRagged);
+  EXPECT_EQ(h.rows(), 3u);
+  EXPECT_EQ(h.cols(), 4u);
+  EXPECT_EQ(h.nnz(), 6u);
+  EXPECT_TRUE(h.Get(0, 0));
+  EXPECT_TRUE(h.Get(0, 1));
+  EXPECT_TRUE(h.Get(0, 3));
+  EXPECT_TRUE(h.Get(1, 1));
+  EXPECT_TRUE(h.Get(1, 2));
+  EXPECT_TRUE(h.Get(2, 3));
+}
+
+TEST(Alist, FileRoundTrip) {
+  const auto h = Hamming();
+  const std::string path = testing::TempDir() + "/alist_roundtrip.alist";
+  WriteAlistFile(path, h);
+  const auto parsed = ReadAlistFile(path);
+  EXPECT_TRUE(SameMatrix(h, parsed));
+  std::remove(path.c_str());
+}
+
+TEST(Alist, MissingFileThrows) {
+  EXPECT_THROW(ReadAlistFile("/nonexistent/dir/x.alist"), ContractViolation);
+}
+
+// --- Malformed-input rejection. Every case starts from a valid file
+// and breaks exactly one rule, so a pass can only come from the
+// validator actually noticing that rule.
+
+std::string ValidText() { return WriteAlist(Hamming()); }
+
+TEST(Alist, RejectsTruncatedInput) {
+  const auto text = ValidText();
+  EXPECT_THROW(ParseAlist(text.substr(0, text.size() / 2)),
+               ContractViolation);
+  EXPECT_THROW(ParseAlist(""), ContractViolation);
+  EXPECT_THROW(ParseAlist("7"), ContractViolation);
+}
+
+TEST(Alist, RejectsTrailingJunk) {
+  EXPECT_THROW(ParseAlist(ValidText() + "\n5\n"), ContractViolation);
+  EXPECT_THROW(ParseAlist(ValidText() + "extra"), ContractViolation);
+}
+
+TEST(Alist, RejectsNonIntegerTokens) {
+  auto text = ValidText();
+  const auto pos = text.find('7');
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = 'x';
+  EXPECT_THROW(ParseAlist(text), ContractViolation);
+}
+
+TEST(Alist, RejectsOutOfRangeInteger) {
+  // Overflowing tokens must surface as the documented
+  // ContractViolation, not escape as std::out_of_range.
+  EXPECT_THROW(ParseAlist("99999999999999999999999 3\n1 1\n"),
+               ContractViolation);
+}
+
+TEST(Alist, RejectsBadDimensions) {
+  EXPECT_THROW(ParseAlist("0 3\n1 1\n"), ContractViolation);
+  EXPECT_THROW(ParseAlist("-2 3\n1 1\n"), ContractViolation);
+}
+
+TEST(Alist, RejectsOutOfRangeIndex) {
+  // Column 1's row index bumped past m = 3.
+  std::string text = kRagged;
+  text.replace(text.find("1 0\n"), 4, "9 0\n");
+  EXPECT_THROW(ParseAlist(text), ContractViolation);
+}
+
+TEST(Alist, RejectsDuplicateIndexInList) {
+  // Column 2's list becomes {1, 1}.
+  std::string text = kRagged;
+  text.replace(text.find("1 2\n"), 4, "1 1\n");
+  EXPECT_THROW(ParseAlist(text), ContractViolation);
+}
+
+TEST(Alist, RejectsEntryAfterPadding) {
+  // Column 1 has declared weight 1, so its second slot must be 0.
+  std::string text = kRagged;
+  text.replace(text.find("1 0\n"), 4, "1 3\n");
+  EXPECT_THROW(ParseAlist(text), ContractViolation);
+}
+
+TEST(Alist, RejectsWeightListMismatch) {
+  // Row weights sum to 7, column weights to 6.
+  const std::string text =
+      "4 3\n"
+      "2 3\n"
+      "1 2 1 2\n"
+      "3 3 1\n";
+  EXPECT_THROW(ParseAlist(text), ContractViolation);
+}
+
+TEST(Alist, RejectsRowColumnDisagreement) {
+  // Both adjacency views stay individually well-formed (weights and
+  // ranges all valid) but describe different matrices: row 2's list
+  // claims column 4 where the column lists put (2, 3), and row 3
+  // claims column 3 instead of column 4.
+  std::string text = kRagged;
+  text.replace(text.find("2 3 0\n"), 6, "2 4 0\n");
+  text.replace(text.find("4 0 0\n"), 6, "3 0 0\n");
+  EXPECT_THROW(ParseAlist(text), ContractViolation);
+}
+
+TEST(Alist, RejectsUnreachedDeclaredMax) {
+  // Declared max column weight 3, but every column has weight <= 2.
+  const std::string text =
+      "4 3\n"
+      "3 3\n"
+      "1 2 1 2\n"
+      "3 2 1\n"
+      "1 0 0\n"
+      "1 2 0\n"
+      "2 0 0\n"
+      "1 3 0\n"
+      "1 2 4\n"
+      "2 3 0\n"
+      "4 0 0\n";
+  EXPECT_THROW(ParseAlist(text), ContractViolation);
+}
+
+TEST(Alist, WriterRejectsEmptyRowsAndColumns) {
+  // A matrix with an unconnected bit cannot be expressed faithfully.
+  gf2::SparseMat lonely(2, 3, {{0, 0}, {1, 0}, {0, 2}, {1, 2}});
+  EXPECT_THROW(WriteAlist(lonely), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cldpc::codes

@@ -159,8 +159,8 @@ TEST(RenderCurvesTest, AlignsCurvesWithDifferentGrids) {
   p40b.frames = 7;  // early-stopped: actual count, not max_frames
   p50.ebn0_db = 5.0;
   p50.frames = 200;
-  const BerCurve a{"A", {p30, p40a}};
-  const BerCurve b{"B", {p40b, p50}};
+  const BerCurve a{"A", /*has_frame_check=*/false, {p30, p40a}};
+  const BerCurve b{"B", /*has_frame_check=*/false, {p40b, p50}};
   const auto text = RenderCurves({a, b});
   EXPECT_NE(text.find("3.00"), std::string::npos);
   EXPECT_NE(text.find("4.00"), std::string::npos);

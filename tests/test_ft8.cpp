@@ -1,0 +1,163 @@
+#include "codes/ft8.hpp"
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codes/crc.hpp"
+#include "gf2/sparse.hpp"
+#include "ldpc/core/registry.hpp"
+#include "ldpc/encoder.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::codes {
+namespace {
+
+// --- CRC-14: golden values computed with an independent
+// implementation of the FT8 rule (bit-array long division, message
+// zero-extended from 77 to 82 bits, polynomial 0x2757).
+
+std::vector<std::uint8_t> BitsFromString(const char* s) {
+  std::vector<std::uint8_t> bits;
+  for (; *s; ++s) bits.push_back(*s == '1' ? 1 : 0);
+  return bits;
+}
+
+TEST(Ft8Crc, MatchesGoldenValues) {
+  const std::vector<std::uint8_t> zeros(kFt8MessageBits, 0);
+  EXPECT_EQ(Ft8Crc14(zeros), 0x0u);
+
+  const std::vector<std::uint8_t> ones(kFt8MessageBits, 1);
+  EXPECT_EQ(Ft8Crc14(ones), 0x7B1u);
+
+  std::vector<std::uint8_t> alternating(kFt8MessageBits);
+  for (std::size_t i = 0; i < alternating.size(); ++i)
+    alternating[i] = static_cast<std::uint8_t>(i % 2);
+  EXPECT_EQ(Ft8Crc14(alternating), 0x1543u);
+
+  const auto pattern = BitsFromString(
+      "11001001100100110010011001001100100110010011001001100100110010011001"
+      "001100100");
+  ASSERT_EQ(pattern.size(), kFt8MessageBits);
+  EXPECT_EQ(Ft8Crc14(pattern), 0x2BDAu);
+
+  const auto random_msg = BitsFromString(
+      "01111110001100101000010111011110011111011101101101001100111001001011"
+      "001001101");
+  ASSERT_EQ(random_msg.size(), kFt8MessageBits);
+  EXPECT_EQ(Ft8Crc14(random_msg), 0x2C4u);
+}
+
+TEST(Ft8Crc, AttachThenCheckRoundTrips) {
+  Xoshiro256pp rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<std::uint8_t, kFt8PayloadBits> payload{};
+    for (std::size_t i = 0; i < kFt8MessageBits; ++i)
+      payload[i] = rng.NextBit() ? 1 : 0;
+    Ft8AttachCrc(payload);
+    EXPECT_TRUE(Ft8CheckCrc(payload));
+    // Any single-bit flip (message or CRC field) must be detected: a
+    // CRC catches all single-bit errors by construction.
+    const std::size_t flip = rng.NextBounded(kFt8PayloadBits);
+    payload[flip] ^= 1;
+    EXPECT_FALSE(Ft8CheckCrc(payload)) << "undetected flip at " << flip;
+  }
+}
+
+TEST(Ft8Crc, BitCrcValidatesParameters) {
+  EXPECT_THROW(BitCrc(0, 1), ContractViolation);
+  EXPECT_THROW(BitCrc(33, 1), ContractViolation);
+  EXPECT_THROW(BitCrc(4, 0x10), ContractViolation);  // poly needs 5 bits
+  EXPECT_NO_THROW(BitCrc(4, 0xF));
+}
+
+// --- Parity-check matrix structure: the invariants of the
+// LDPC(174, 91) code, re-checked here end to end (the builder also
+// enforces them internally).
+
+TEST(Ft8Matrix, HasDocumentedStructure) {
+  const auto h = BuildFt8ParityMatrix();
+  EXPECT_EQ(h.rows(), kFt8Checks);
+  EXPECT_EQ(h.cols(), kFt8N);
+  EXPECT_EQ(h.nnz(), kFt8Edges);
+
+  // Every bit participates in exactly 3 checks.
+  for (std::size_t c = 0; c < h.cols(); ++c) EXPECT_EQ(h.ColWeight(c), 3u);
+
+  // 59 degree-6 checks and 24 degree-7 checks.
+  std::size_t deg6 = 0, deg7 = 0;
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    if (h.RowWeight(r) == 6) ++deg6;
+    if (h.RowWeight(r) == 7) ++deg7;
+  }
+  EXPECT_EQ(deg6, 59u);
+  EXPECT_EQ(deg7, 24u);
+}
+
+TEST(Ft8Code, FullRankShortCodeEncoderPath) {
+  // The encoder-path contract on a short, full-rank, irregular code:
+  // k = n - rank = 91, InfoCols has k ascending positions, and the
+  // systematic encoder produces true codewords. (The C2 code never
+  // exercised full row rank — its H has 2 dependent rows.)
+  const auto code = MakeFt8Code();
+  EXPECT_EQ(code.n(), kFt8N);
+  EXPECT_EQ(code.num_checks(), kFt8Checks);
+  EXPECT_EQ(code.Rank(), kFt8Checks);
+  EXPECT_EQ(code.k(), kFt8K);
+  EXPECT_NEAR(code.Rate(), 91.0 / 174.0, 1e-12);
+
+  const auto& info_cols = code.InfoCols();
+  ASSERT_EQ(info_cols.size(), kFt8K);
+  EXPECT_TRUE(std::is_sorted(info_cols.begin(), info_cols.end()));
+  EXPECT_EQ(code.PivotCols().size(), kFt8Checks);
+
+  // One-check layers: the schedule degenerates to 83 layers.
+  EXPECT_EQ(code.schedule().num_layers(), kFt8Checks);
+  EXPECT_EQ(code.schedule().uniform_check_degree(), 0u);  // irregular
+  EXPECT_EQ(code.schedule().max_check_degree(), 7u);
+
+  const ldpc::Encoder encoder(code);
+  Xoshiro256pp rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> payload(kFt8K);
+    for (auto& b : payload) b = rng.NextBit() ? 1 : 0;
+    const auto cw = encoder.Encode(payload);
+    EXPECT_TRUE(code.IsCodeword(cw));
+    EXPECT_EQ(encoder.ExtractInfo(cw), payload);
+  }
+}
+
+TEST(Ft8Code, CrcValidFrameSurvivesEncodeAndDecode) {
+  // Golden-path vector: a CRC-tagged payload, systematically encoded,
+  // must be a codeword; noiseless decode must return it exactly; and
+  // the recovered payload must still pass the CRC.
+  const auto code = MakeFt8Code();
+  const ldpc::Encoder encoder(code);
+
+  std::vector<std::uint8_t> payload(kFt8PayloadBits, 0);
+  Xoshiro256pp rng(2009);
+  for (std::size_t i = 0; i < kFt8MessageBits; ++i)
+    payload[i] = rng.NextBit() ? 1 : 0;
+  Ft8AttachCrc(payload);
+
+  const auto cw = encoder.Encode(payload);
+  ASSERT_TRUE(code.IsCodeword(cw));
+
+  // Noiseless channel: strong LLRs with the library's sign convention
+  // (positive favours bit 0).
+  std::vector<double> llr(cw.size());
+  for (std::size_t i = 0; i < cw.size(); ++i) llr[i] = cw[i] ? -8.0 : 8.0;
+  for (const char* spec : {"bp", "nms", "layered-nms", "layered-nms:batch=4",
+                           "fixed-nms", "fixed-layered-nms"}) {
+    const auto result = ldpc::MakeDecoder(code, spec)->Decode(llr);
+    EXPECT_TRUE(result.converged) << spec;
+    EXPECT_EQ(result.bits, cw) << spec;
+    EXPECT_TRUE(Ft8CheckCrc(encoder.ExtractInfo(result.bits))) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace cldpc::codes
