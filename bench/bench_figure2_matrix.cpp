@@ -15,8 +15,7 @@
 int main(int argc, char** argv) {
   using namespace cldpc;
   const ArgParser args(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(
-      args.GetInt("seed", static_cast<std::int64_t>(qc::kC2DefaultSeed)));
+  const auto seed = args.GetUint("seed", qc::kC2DefaultSeed);
 
   const auto qc_matrix = qc::BuildC2QcMatrix(seed);
   const auto h = qc_matrix.Expand();

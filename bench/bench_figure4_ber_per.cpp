@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.GetInt("frames", quick ? 12 : 60));
   config.min_frame_errors =
       static_cast<std::uint64_t>(args.GetInt("min-errors", 12));
-  config.base_seed = static_cast<std::uint64_t>(args.GetInt("seed", 2009));
+  config.base_seed = args.GetUint("seed", 2009);
   config.threads = static_cast<std::size_t>(args.GetInt("threads", 1));
 
   const std::string code_spec = args.GetString("code", "c2");

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const double snr_db = args.GetDouble("snr", 4.2);
   const int iterations = static_cast<int>(args.GetInt("iterations", 18));
-  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const auto seed = args.GetUint("seed", 1);
 
   // 1. The coding system: (8176, 7156) mother code + (8160, 7136)
   //    C2 framing.

@@ -143,7 +143,7 @@ int main(int argc, char** argv) {
     mc.max_frames =
         static_cast<std::uint64_t>(args.GetInt("measure-frames", 24));
     mc.min_frame_errors = mc.max_frames;  // measure the full sample
-    mc.base_seed = static_cast<std::uint64_t>(args.GetInt("seed", 2009));
+    mc.base_seed = args.GetUint("seed", 2009);
     mc.threads = static_cast<std::size_t>(args.GetInt("threads", 0));
     // Batched decoders decode whole engine batches in SIMD lanes, so
     // the batch size doubles as their lane-group fill (results are

@@ -17,7 +17,11 @@
 // entries, the column lists and row lists must describe the *same*
 // matrix, and trailing junk is rejected. A malformed file throws
 // ContractViolation with a message naming the offending line — a code
-// loaded from disk must never be silently wrong.
+// loaded from disk must never be silently wrong. One deliberate
+// leniency for interchange with third-party tools: the declared max
+// weights only bound the padded line lengths, so a padded or
+// conservative max that no column/row attains is accepted (the
+// matrix it describes is still unambiguous).
 #pragma once
 
 #include <string>

@@ -45,10 +45,8 @@ CatalogCode Finish(std::string name, std::unique_ptr<ldpc::LdpcCode> code,
 }
 
 std::uint64_t SeedFromSpec(const CodeSpec& spec, std::uint64_t fallback) {
-  // Seeds are u64; CodeSpec::GetInt covers the useful range and the
-  // catalog codes all have fixed defaults, so a plain cast suffices.
-  return static_cast<std::uint64_t>(spec.GetInt("seed",
-      static_cast<std::int64_t>(fallback)));
+  // Seeds are full-range u64: seed=2^64-1 is valid, seed=-1 is not.
+  return spec.GetUint("seed", fallback);
 }
 
 /// A positive size param. The check must run *before* the cast to
@@ -187,7 +185,8 @@ std::map<std::string, CatalogEntry>& Registry() {
   static std::map<std::string, CatalogEntry> registry = [] {
     std::map<std::string, CatalogEntry> r;
     r["c2"] = {"(8176, 7156) CCSDS C2 rate-7/8 QC mother code", BuildC2};
-    r["ft8"] = {"(174, 91) FT8 irregular code with CRC-14 frame check",
+    r["ft8"] = {"(174, 91) FT8-regime irregular code with CRC-14 frame check"
+                " (checks 78-83 reconstructed; real-FT8 interop unverified)",
                 BuildFt8};
     r["medium"] = {"(2032, 1780) CCSDS-like mid-size QC code", BuildMedium};
     r["small"] = {"miniature CCSDS-like QC code (params q=, cols=, seed=)",
@@ -239,6 +238,11 @@ std::string CodeSpec::GetString(const std::string& key,
 std::int64_t CodeSpec::GetInt(const std::string& key,
                               std::int64_t fallback) const {
   return keyval::GetInt(params, key, fallback, kWhat);
+}
+
+std::uint64_t CodeSpec::GetUint(const std::string& key,
+                                std::uint64_t fallback) const {
+  return keyval::GetUint(params, key, fallback, kWhat);
 }
 
 void CodeSpec::ExpectOnlyKeys(

@@ -57,6 +57,8 @@ struct CodeSpec {
   std::string GetString(const std::string& key,
                         const std::string& fallback) const;
   std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  /// Full-range u64 (seeds): rejects negatives instead of wrapping.
+  std::uint64_t GetUint(const std::string& key, std::uint64_t fallback) const;
   /// Throw unless every param key is in `known`.
   void ExpectOnlyKeys(std::initializer_list<const char*> known) const;
 };

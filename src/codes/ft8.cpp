@@ -12,9 +12,11 @@ namespace {
 // Check-to-bit adjacency of the LDPC(174, 91) parity-check matrix:
 // row m lists the 1-origin codeword bits whose XOR must be zero,
 // 0-padded to 7 slots (59 checks have degree 6, 24 have degree 7).
-// Transcribed from the public WSJT-X reordered-parity tables (see the
-// header's transcription note); BuildFt8ParityMatrix() re-derives and
-// enforces every structural invariant on each construction.
+// Rows 1-77 are transcribed from the public WSJT-X reordered-parity
+// tables; rows 78-83 are constraint-search completions whose fidelity
+// to the deployed FT8 code is unverified (see the header's provenance
+// note — do not hand-edit them). BuildFt8ParityMatrix() re-derives
+// and enforces every structural invariant on each construction.
 constexpr std::uint8_t kFt8Nm[kFt8Checks][7] = {
     {4, 31, 59, 91, 92, 96, 153},
     {5, 32, 60, 93, 115, 146, 0},
@@ -93,6 +95,8 @@ constexpr std::uint8_t kFt8Nm[kFt8Checks][7] = {
     {51, 57, 98, 163, 165, 172, 0},
     {21, 37, 73, 138, 152, 169, 0},
     {16, 47, 76, 130, 137, 154, 0},
+    // Rows 78-83: constraint-search completions, not transcription
+    // (see the provenance note in ft8.hpp).
     {3, 24, 30, 72, 104, 139, 0},
     {9, 17, 42, 75, 90, 150, 0},
     {15, 40, 79, 111, 134, 172, 0},

@@ -5,13 +5,23 @@
 // decoder architecture's stress test: every schedule becomes 83
 // one-check layers instead of 2 block rows of 511.
 //
-// TRANSCRIPTION NOTE: the check-to-bit adjacency is transcribed from
-// the public WSJT-X / ft8_lib LDPC(174,91) reordered-parity tables
-// and validated structurally at construction (n = 174, every bit in
+// PROVENANCE NOTE: checks 1-77 of the check-to-bit adjacency are
+// transcribed from the public WSJT-X / ft8_lib LDPC(174,91)
+// reordered-parity tables. Checks 78-83 are NOT transcription: the
+// references available here declare the table but do not ship it, so
+// those six rows are a deterministic constraint-search completion
+// under the code's structural invariants (n = 174, every bit in
 // exactly 3 checks, row weights 6/7 with the 24/59 histogram, 522
-// edges, rank 83, girth >= 6). The construction throws if any of
-// those invariants break, so a transcription fault is loud, never a
-// silently different code.
+// edges, rank 83, girth >= 6 — all re-validated on every
+// construction). Those invariants do not uniquely determine H, so
+// the last six checks may silently differ from the deployed FT8
+// code: BER/UER curves are representative of the code's regime, but
+// interoperability with real FT8 frames is NOT verified, and the
+// golden vectors in the tests are derived from this table (plus an
+// independent CRC-14 implementation), not from ft8_lib output. To
+// restore full fidelity, diff rows 78-83 against an authoritative
+// source (ft8_lib constants.c or WSJT-X ldpc_174_91_c_reordered.f90)
+// before relying on over-the-air interop.
 #pragma once
 
 #include "gf2/sparse.hpp"

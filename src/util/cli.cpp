@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/contracts.hpp"
+#include "util/keyval.hpp"
 
 namespace cldpc {
 
@@ -47,6 +48,15 @@ std::int64_t ArgParser::GetInt(const std::string& name,
   const auto v = Find(name);
   if (!v) return fallback;
   return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+std::uint64_t ArgParser::GetUint(const std::string& name,
+                                 std::uint64_t fallback) const {
+  const auto v = Find(name);
+  if (!v) return fallback;
+  // One validation path with the spec grammar's u64 values (seeds):
+  // digits only, full range, loud rejection instead of wrap/clamp.
+  return keyval::GetUint({{name, *v}}, name, fallback, "flag --" + name);
 }
 
 double ArgParser::GetDouble(const std::string& name, double fallback) const {

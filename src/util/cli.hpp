@@ -21,6 +21,9 @@ class ArgParser {
   std::string GetString(const std::string& name,
                         const std::string& fallback) const;
   std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  /// Full-range u64 (seeds): throws ContractViolation on negative,
+  /// signed or non-numeric input instead of wrapping or clamping.
+  std::uint64_t GetUint(const std::string& name, std::uint64_t fallback) const;
   double GetDouble(const std::string& name, double fallback) const;
   bool GetBool(const std::string& name, bool fallback = false) const;
 

@@ -1,6 +1,7 @@
 #include "util/keyval.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <sstream>
@@ -64,6 +65,27 @@ std::int64_t GetInt(const Params& params, const std::string& key,
   CLDPC_EXPECTS(end != v.c_str() && *end == '\0' && errno != ERANGE,
                 what + ": bad integer for '" + key + "': " + v);
   return static_cast<std::int64_t>(parsed);
+}
+
+std::uint64_t GetUint(const Params& params, const std::string& key,
+                      std::uint64_t fallback, const std::string& what) {
+  if (!Has(params, key)) return fallback;
+  const auto v = GetString(params, key, "");
+  // strtoull skips leading whitespace and silently negates "-1" to
+  // 2^64-1; require pure digits so a negative, signed or padded value
+  // is an error, not a huge wrapped seed.
+  CLDPC_EXPECTS(!v.empty() && std::all_of(v.begin(), v.end(),
+                                          [](unsigned char c) {
+                                            return std::isdigit(c) != 0;
+                                          }),
+                what + ": '" + key +
+                    "' must be a non-negative integer, got: " + v);
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v.c_str(), nullptr, 10);
+  CLDPC_EXPECTS(errno != ERANGE,
+                what + ": unsigned integer out of range for '" + key +
+                    "': " + v);
+  return static_cast<std::uint64_t>(parsed);
 }
 
 double GetDouble(const Params& params, const std::string& key,

@@ -36,6 +36,10 @@ std::string GetString(const Params& params, const std::string& key,
                       const std::string& fallback);
 std::int64_t GetInt(const Params& params, const std::string& key,
                     std::int64_t fallback, const std::string& what);
+/// Full-range unsigned 64-bit values (seeds). Negative input is
+/// rejected loudly, never wrapped.
+std::uint64_t GetUint(const Params& params, const std::string& key,
+                      std::uint64_t fallback, const std::string& what);
 double GetDouble(const Params& params, const std::string& key,
                  double fallback, const std::string& what);
 bool GetBool(const Params& params, const std::string& key, bool fallback,

@@ -170,8 +170,10 @@ TEST(Alist, RejectsRowColumnDisagreement) {
   EXPECT_THROW(ParseAlist(text), ContractViolation);
 }
 
-TEST(Alist, RejectsUnreachedDeclaredMax) {
-  // Declared max column weight 3, but every column has weight <= 2.
+TEST(Alist, AcceptsUnattainedDeclaredMax) {
+  // Declared max column weight 3, but every column has weight <= 2 —
+  // third-party tools emit such padded/conservative headers, and the
+  // matrix is still unambiguous. The writer re-emits the tight max.
   const std::string text =
       "4 3\n"
       "3 3\n"
@@ -184,7 +186,20 @@ TEST(Alist, RejectsUnreachedDeclaredMax) {
       "1 2 4\n"
       "2 3 0\n"
       "4 0 0\n";
-  EXPECT_THROW(ParseAlist(text), ContractViolation);
+  const auto h = ParseAlist(text);
+  EXPECT_EQ(h.rows(), 3u);
+  EXPECT_EQ(h.cols(), 4u);
+  EXPECT_EQ(h.nnz(), 6u);
+  const auto canonical = WriteAlist(h);
+  EXPECT_NE(canonical, text);  // tight max: "2 3", not "3 3"
+  EXPECT_TRUE(SameMatrix(ParseAlist(canonical), h));
+}
+
+TEST(Alist, RejectsDimensionsLargerThanInputCouldHold) {
+  // A bogus header must throw ContractViolation before any vector is
+  // sized by it — not std::length_error or a multi-GB allocation.
+  EXPECT_THROW(ParseAlist("4000000000000000000 3\n1 1\n"), ContractViolation);
+  EXPECT_THROW(ParseAlist("1000000000 1000000000\n1 1\n"), ContractViolation);
 }
 
 TEST(Alist, WriterRejectsEmptyRowsAndColumns) {

@@ -26,6 +26,28 @@ TEST(CodeSpec, ParsesKindAndParams) {
   EXPECT_EQ(spec.ToString(), "small:q=61,cols=8,seed=5");
 }
 
+TEST(CodeSpec, SeedsAreFullRangeUnsigned) {
+  // Seeds are u64: the top half of the range must parse, and a
+  // negative value must be rejected, not wrapped to a huge u64.
+  const auto spec = CodeSpec::Parse("small:seed=18446744073709551615");
+  EXPECT_EQ(spec.GetUint("seed", 0), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(spec.GetUint("absent", 7), 7u);
+  EXPECT_NO_THROW(LoadCode("small:seed=18446744073709551615"));
+  EXPECT_THROW(CodeSpec::Parse("small:seed=-1").GetUint("seed", 0),
+               ContractViolation);
+  EXPECT_THROW(LoadCode("small:seed=-1"), ContractViolation);
+  // strtoull would skip the space and accept the sign — the guard
+  // must not (a whitespace-prefixed negative is still negative).
+  EXPECT_THROW(CodeSpec::Parse("small:seed= -1").GetUint("seed", 0),
+               ContractViolation);
+  EXPECT_THROW(CodeSpec::Parse("small:seed=+1").GetUint("seed", 0),
+               ContractViolation);
+  // Past 2^64-1 is out of range, not a silent clamp.
+  EXPECT_THROW(CodeSpec::Parse("small:seed=18446744073709551616")
+                   .GetUint("seed", 0),
+               ContractViolation);
+}
+
 TEST(CodeSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(CodeSpec::Parse(""), ContractViolation);
   EXPECT_THROW(CodeSpec::Parse("ft8:"), ContractViolation);

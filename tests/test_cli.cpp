@@ -43,6 +43,18 @@ TEST(ArgParser, Defaults) {
   EXPECT_EQ(args.GetString("missing", "x"), "x");
 }
 
+TEST(ArgParser, UintIsFullRangeAndRejectsSigns) {
+  // Seeds are u64: the whole range must parse, and a negative value
+  // must throw instead of wrapping (GetInt would wrap/clamp).
+  const auto args = Parse({"prog", "--seed=18446744073709551615"});
+  EXPECT_EQ(args.GetUint("seed", 0), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(args.GetUint("missing", 9), 9u);
+  EXPECT_ANY_THROW(Parse({"prog", "--seed=-1"}).GetUint("seed", 0));
+  EXPECT_ANY_THROW(Parse({"prog", "--seed=+1"}).GetUint("seed", 0));
+  EXPECT_ANY_THROW(
+      Parse({"prog", "--seed=18446744073709551616"}).GetUint("seed", 0));
+}
+
 TEST(ArgParser, DoubleList) {
   const auto args = Parse({"prog", "--snrs=3.2,3.6,4.0"});
   const auto list = args.GetDoubleList("snrs", {});
