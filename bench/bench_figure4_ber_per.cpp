@@ -25,12 +25,18 @@
 //        --code=<spec>  (measure any catalog code instead of C2; see
 //        codes/catalog.hpp — codes with a CRC, e.g. ft8, add the
 //        undetected-error-rate column)
+//        --metrics --metrics-json=<path> --trace-json=<path>
+//        (decode-telemetry table / cldpc-metrics-v1 JSON /
+//        chrome://tracing trace of the run; observation-only, the
+//        BER/PER table stays byte-identical — see src/obs/export.hpp)
 #include <chrono>
 #include <cstdio>
 
 #include "codes/catalog.hpp"
 #include "engine/sim_engine.hpp"
 #include "ldpc/core/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/ber_runner.hpp"
 #include "util/cli.hpp"
 
@@ -59,6 +65,18 @@ int main(int argc, char** argv) {
   config.batch_frames = system.code->n() > 4000 ? 2 : 16;
   config.frame_source = system.frame_source;
   config.frame_check = system.frame_check;
+
+  obs::ExportOptions export_opts;
+  export_opts.metrics_json = args.GetString("metrics-json", "");
+  export_opts.trace_json = args.GetString("trace-json", "");
+  export_opts.print_table = args.GetBool("metrics");
+  const bool want_metrics = export_opts.print_table ||
+                            !export_opts.metrics_json.empty() ||
+                            !export_opts.trace_json.empty();
+  obs::MetricsRegistry registry;
+  if (!export_opts.trace_json.empty()) registry.EnableTracing();
+  if (want_metrics) config.metrics = &registry;
+
   sim::BerRunner runner(*system.code, *system.encoder, config);
   std::printf("Engine threads: %zu\n",
               engine::ResolveThreads(config.threads));
@@ -94,6 +112,17 @@ int main(int argc, char** argv) {
                            .count();
 
   std::printf("\n%s", sim::RenderCurves(curves).c_str());
+
+  if (want_metrics) {
+    std::uint64_t frames = 0;
+    for (const auto& curve : curves)
+      for (const auto& point : curve.points) frames += point.frames;
+    registry.SetGauge("engine.elapsed_seconds", elapsed);
+    registry.SetGauge("engine.frames_per_second",
+                      elapsed > 0.0 ? static_cast<double>(frames) / elapsed
+                                    : 0.0);
+    obs::ExportMetrics(registry, export_opts);
+  }
 
   std::printf("\nSimulated %.1f s at %zu thread(s); per-point frame counts "
               "are in the table (early stop at %llu frame errors, cap "

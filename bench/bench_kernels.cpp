@@ -36,6 +36,8 @@
 #include "ldpc/fixed_minsum_decoder.hpp"
 #include "ldpc/layered_decoder.hpp"
 #include "ldpc/minsum_decoder.hpp"
+#include "obs/decode_sink.hpp"
+#include "obs/metrics.hpp"
 #include "qc/small_codes.hpp"
 #include "util/rng.hpp"
 
@@ -364,6 +366,29 @@ void BM_C2LayeredDecodeBatchedF32(benchmark::State& state) {
                           static_cast<std::int64_t>(lanes));
 }
 BENCHMARK(BM_C2LayeredDecodeBatchedF32)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Same decode with a live metrics sink installed: the gap to
+// BM_C2LayeredDecodeBatchedF32 is the telemetry layer's enabled-path
+// overhead (the disabled path is one null check per probe site and
+// shows up as no gap at all when neither bench installs a sink).
+void BM_C2LayeredDecodeBatchedF32Metrics(benchmark::State& state) {
+  const auto& system = C2();
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  ldpc::BatchedLayeredDecoderF32 dec(*system.code, ThroughputMinSumOptions(),
+                                     lanes);
+  const auto llrs = NoisyC2Frames(lanes, 31);
+  obs::MetricsRegistry registry;
+  const obs::DecodeMetricIds ids = obs::RegisterDecodeMetrics(registry);
+  registry.SetShardCount(1);
+  obs::ScopedDecodeSink sink(&registry.shard(0), &ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.DecodeBatch(llrs, lanes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_C2LayeredDecodeBatchedF32Metrics)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
 void BM_C2FixedLayeredDecodeScalar(benchmark::State& state) {

@@ -3,6 +3,8 @@
 
 Usage: check_bench_regression.py <run.json> <baseline.json>
            [--tolerance 0.25] [--update-missing]
+       check_bench_regression.py --validate-metrics <metrics.json>
+       check_bench_regression.py --selftest
 
 Compares items_per_second for every benchmark present in both files
 and prints a table of ratios. Deviations beyond the tolerance are
@@ -16,12 +18,184 @@ appended for any benchmark the baseline does not know yet (existing
 entries are never touched, so established trajectories stay stable).
 Run it locally after adding a benchmark so CI stops warning about
 unbaselined keys.
+
+--validate-metrics checks a cldpc-metrics-v1 file (the --metrics-json
+output of ber_waterfall / throughput_explorer / bench_figure4_ber_per;
+schema in src/obs/export.hpp) for structural validity: required keys,
+finite numbers, bins that sum to their histogram's count. Unlike the
+bench diff this IS a hard gate — exit 1 on any violation — because
+the schema is a machine interface, not a perf measurement.
+
+--selftest runs the validator against built-in good and mutated
+documents and exits non-zero on any miss; ctest runs it as
+check_bench_regression_selftest.
 """
 
 import argparse
 import json
+import math
 import os
 import sys
+
+
+METRICS_SCHEMA = "cldpc-metrics-v1"
+HIST_KEYS = {"unit", "count", "min", "max", "mean", "p50", "p90", "p99",
+             "bins"}
+
+
+def validate_metrics_doc(doc):
+    """Return a list of violation strings (empty = valid)."""
+    errors = []
+
+    def check(cond, msg):
+        if not cond:
+            errors.append(msg)
+        return cond
+
+    if not check(isinstance(doc, dict), "document is not a JSON object"):
+        return errors
+    check(doc.get("schema") == METRICS_SCHEMA,
+          f"schema is {doc.get('schema')!r}, expected {METRICS_SCHEMA!r}")
+    for key in ("counters", "histograms", "gauges"):
+        check(isinstance(doc.get(key), dict), f"missing/invalid '{key}' map")
+    check(isinstance(doc.get("nondeterministic"), list),
+          "missing/invalid 'nondeterministic' list")
+    if errors:
+        return errors
+
+    for name, value in doc["counters"].items():
+        check(isinstance(value, int) and not isinstance(value, bool)
+              and value >= 0,
+              f"counter {name}: value {value!r} is not a non-negative int")
+    for name, hist in doc["histograms"].items():
+        if not check(isinstance(hist, dict), f"histogram {name}: not a map"):
+            continue
+        missing = HIST_KEYS - hist.keys()
+        if not check(not missing,
+                     f"histogram {name}: missing keys {sorted(missing)}"):
+            continue
+        check(isinstance(hist["unit"], str), f"histogram {name}: unit "
+              "is not a string")
+        for key in ("count", "min", "max", "p50", "p90", "p99"):
+            value = hist[key]
+            check(isinstance(value, int) and not isinstance(value, bool),
+                  f"histogram {name}: {key} {value!r} is not an int")
+        check(isinstance(hist["mean"], (int, float))
+              and math.isfinite(hist["mean"]),
+              f"histogram {name}: mean {hist['mean']!r} is not finite")
+        bins = hist["bins"]
+        if check(isinstance(bins, list), f"histogram {name}: bins is "
+                 "not a list"):
+            total = 0
+            for entry in bins:
+                if not check(isinstance(entry, list) and len(entry) == 2
+                             and all(isinstance(x, int)
+                                     and not isinstance(x, bool)
+                                     for x in entry),
+                             f"histogram {name}: bin {entry!r} is not an "
+                             "[int value, int count] pair"):
+                    break
+                check(entry[1] > 0, f"histogram {name}: bin {entry!r} has "
+                      "a non-positive count")
+                total += entry[1]
+            else:
+                check(isinstance(hist.get("count"), int)
+                      and total == hist["count"],
+                      f"histogram {name}: bins sum to {total}, count says "
+                      f"{hist.get('count')!r}")
+    for name, value in doc["gauges"].items():
+        check(isinstance(value, (int, float)) and not isinstance(value, bool)
+              and math.isfinite(value),
+              f"gauge {name}: value {value!r} is not a finite number")
+
+    known = (set(doc["counters"]) | set(doc["histograms"])
+             | set(doc["gauges"]))
+    for name in doc["nondeterministic"]:
+        check(isinstance(name, str) and name in known,
+              f"nondeterministic entry {name!r} names no exported metric")
+    return errors
+
+
+def validate_metrics(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"{path}: {err}")
+        return 1
+    errors = validate_metrics_doc(doc)
+    for msg in errors:
+        print(f"{path}: {msg}")
+    if errors:
+        print(f"{path}: INVALID ({len(errors)} violation(s))")
+        return 1
+    n = (len(doc["counters"]) + len(doc["histograms"]) + len(doc["gauges"]))
+    print(f"{path}: valid {METRICS_SCHEMA} ({n} metrics, "
+          f"{len(doc['nondeterministic'])} nondeterministic)")
+    return 0
+
+
+def selftest():
+    good = {
+        "schema": METRICS_SCHEMA,
+        "counters": {"engine.frames": 600, "decode.lane_groups": 25},
+        "histograms": {
+            "decode.iterations": {
+                "unit": "iterations", "count": 3, "min": 2, "max": 5,
+                "mean": 3.0, "p50": 2, "p90": 5, "p99": 5,
+                "bins": [[2, 2], [5, 1]],
+            },
+        },
+        "gauges": {"engine.frames_per_second": 14072.3},
+        "nondeterministic": ["decode.lane_groups",
+                             "engine.frames_per_second"],
+    }
+
+    def mutate(fn):
+        doc = json.loads(json.dumps(good))
+        fn(doc)
+        return doc
+
+    bad_docs = [
+        ("wrong schema", mutate(lambda d: d.update(schema="v0"))),
+        ("missing counters", mutate(lambda d: d.pop("counters"))),
+        ("float counter",
+         mutate(lambda d: d["counters"].update({"engine.frames": 1.5}))),
+        ("negative counter",
+         mutate(lambda d: d["counters"].update({"engine.frames": -1}))),
+        ("missing hist key",
+         mutate(lambda d: d["histograms"]["decode.iterations"].pop("p99"))),
+        ("non-finite mean",
+         mutate(lambda d: d["histograms"]["decode.iterations"]
+                .update(mean=float("nan")))),
+        ("bins/count mismatch",
+         mutate(lambda d: d["histograms"]["decode.iterations"]
+                .update(count=7))),
+        ("malformed bin",
+         mutate(lambda d: d["histograms"]["decode.iterations"]
+                .update(bins=[[2, 2, 9]]))),
+        ("non-finite gauge",
+         mutate(lambda d: d["gauges"]
+                .update({"engine.frames_per_second": float("inf")}))),
+        ("unknown nondeterministic name",
+         mutate(lambda d: d["nondeterministic"].append("no.such.metric"))),
+        ("not an object", ["not", "a", "dict"]),
+    ]
+
+    failures = 0
+    if validate_metrics_doc(good):
+        print("selftest FAIL: good document rejected: "
+              f"{validate_metrics_doc(good)}")
+        failures += 1
+    for label, doc in bad_docs:
+        if not validate_metrics_doc(doc):
+            print(f"selftest FAIL: mutation accepted: {label}")
+            failures += 1
+    if failures:
+        print(f"selftest: {failures} failure(s)")
+        return 1
+    print(f"selftest: ok ({1 + len(bad_docs)} documents)")
+    return 0
 
 
 def load_rates(path):
@@ -37,14 +211,28 @@ def load_rates(path):
 
 def main():
     parser = argparse.ArgumentParser()
-    parser.add_argument("run")
-    parser.add_argument("baseline")
+    parser.add_argument("run", nargs="?")
+    parser.add_argument("baseline", nargs="?")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="fractional deviation that triggers a warning")
     parser.add_argument("--update-missing", action="store_true",
                         help="append this run's records for benchmarks the "
                              "baseline lacks, rewriting the baseline file")
+    parser.add_argument("--validate-metrics", metavar="FILE",
+                        help="validate a cldpc-metrics-v1 JSON file and exit "
+                             "(hard gate: exit 1 on violations)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the metrics validator against built-in "
+                             "good/bad documents and exit")
     args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if args.validate_metrics:
+        return validate_metrics(args.validate_metrics)
+    if not args.run or not args.baseline:
+        parser.error("run and baseline are required unless "
+                     "--validate-metrics/--selftest is given")
 
     run = load_rates(args.run)
     baseline = load_rates(args.baseline)

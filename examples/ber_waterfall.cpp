@@ -10,6 +10,13 @@
 //                   [--decoder="spec[;spec...]"]
 //                   [--list-codes] [--list-decoders]
 //                   [--dump-alist=<path>]
+//                   [--metrics] [--metrics-json=<path>]
+//                   [--trace-json=<path>]
+//
+// --metrics prints the decode-telemetry table; --metrics-json /
+// --trace-json write the cldpc-metrics-v1 JSON and a chrome://tracing
+// trace (see src/obs/export.hpp). Telemetry is observation-only: the
+// BER table is byte-identical with or without these flags.
 //
 // --code selects any catalog code (grammar: codes/catalog.hpp;
 // default "medium", or "c2" under the legacy --c2 flag). Codes with a
@@ -22,6 +29,7 @@
 // --code=alist:<path> with bit-identical curves for codes fully
 // described by H (an alist carries no protocol hooks, so ft8's CRC
 // frame source/check are not preserved).
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
@@ -29,6 +37,8 @@
 #include "codes/catalog.hpp"
 #include "engine/sim_engine.hpp"
 #include "ldpc/core/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/ber_runner.hpp"
 #include "util/cli.hpp"
 
@@ -74,10 +84,23 @@ int main(int argc, char** argv) {
   config.threads = static_cast<std::size_t>(args.GetInt("threads", 1));
   config.frame_source = system.frame_source;
   config.frame_check = system.frame_check;
+
+  obs::ExportOptions export_opts;
+  export_opts.metrics_json = args.GetString("metrics-json", "");
+  export_opts.trace_json = args.GetString("trace-json", "");
+  export_opts.print_table = args.GetBool("metrics");
+  const bool want_metrics = export_opts.print_table ||
+                            !export_opts.metrics_json.empty() ||
+                            !export_opts.trace_json.empty();
+  obs::MetricsRegistry registry;
+  if (!export_opts.trace_json.empty()) registry.EnableTracing();
+  if (want_metrics) config.metrics = &registry;
+
   sim::BerRunner runner(code, *system.encoder, config);
   std::printf("Engine threads: %zu\n",
               engine::ResolveThreads(config.threads));
 
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<sim::BerCurve> curves;
   if (args.Has("decoder")) {
     for (const auto& spec : args.GetStringList("decoder", {})) {
@@ -97,7 +120,21 @@ int main(int argc, char** argv) {
     curves.push_back(std::move(nms));
   }
 
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
   std::printf("\n%s", sim::RenderCurves(curves).c_str());
+  if (want_metrics) {
+    std::uint64_t frames = 0;
+    for (const auto& curve : curves)
+      for (const auto& point : curve.points) frames += point.frames;
+    registry.SetGauge("engine.elapsed_seconds", elapsed);
+    registry.SetGauge("engine.frames_per_second",
+                      elapsed > 0.0 ? static_cast<double>(frames) / elapsed
+                                    : 0.0);
+    obs::ExportMetrics(registry, export_opts);
+  }
   if (system.frame_check) {
     std::printf("\nUER counts frames the code's CRC accepted despite bit "
                 "errors — the undetected-error rate a deployed receiver "

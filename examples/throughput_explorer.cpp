@@ -13,6 +13,8 @@
 //                         [--threads=N] [--seed=N]
 //                         [--decoder=<spec>] [--code=<spec>]
 //                         [--batch-frames=N] [--alloc-stats]
+//                         [--metrics] [--metrics-json=<path>]
+//                         [--trace-json=<path>]
 //                         [--list-codes] [--list-decoders]
 //
 // --decoder swaps the decoder the measurement runs (default: the
@@ -33,18 +35,20 @@
 //
 // --alloc-stats (with --measure-ebn0) additionally reports heap
 // allocations per simulated frame during the measurement — the lock
-// on the engine's zero-allocation steady-state channel staging. This
-// binary counts every global operator new, so the number includes
-// the decoder's per-frame result vectors (~1/frame) and the engine's
-// small per-batch bookkeeping; the channel frontend itself
-// contributes zero after warmup.
-#include <atomic>
+// on the engine's zero-allocation steady-state channel staging.
+// Referencing obs::AllocSnapshot links the obs/alloc_probe TU, whose
+// replaced global operator new counts every allocation in the binary;
+// the number includes the decoder's per-frame result vectors
+// (~1/frame) and the engine's small per-batch bookkeeping; the
+// channel frontend itself contributes zero after warmup.
+//
+// --metrics / --metrics-json / --trace-json (with --measure-ebn0)
+// export the decode telemetry of the measurement run (see
+// src/obs/export.hpp for the schema and the determinism labelling).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
-#include <new>
 #include <string>
 
 #include "arch/resources.hpp"
@@ -52,35 +56,13 @@
 #include "codes/catalog.hpp"
 #include "engine/sim_engine.hpp"
 #include "ldpc/core/registry.hpp"
+#include "obs/alloc_probe.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "qc/ccsds_c2.hpp"
 #include "sim/ber_runner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
-
-namespace {
-// Global allocation counters for --alloc-stats: every operator new in
-// this binary is counted (relaxed atomics — negligible next to the
-// malloc underneath). The unsized/array delete forms below cover
-// everything the replaced news can reach.
-std::atomic<std::uint64_t> g_alloc_count{0};
-std::atomic<std::uint64_t> g_alloc_bytes{0};
-}  // namespace
-
-namespace {
-void* CountedAlloc(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc{};
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return CountedAlloc(size); }
-void* operator new[](std::size_t size) { return CountedAlloc(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 int main(int argc, char** argv) {
   using namespace cldpc;
@@ -163,21 +145,26 @@ int main(int argc, char** argv) {
     const auto system = codes::LoadCode(code_spec);
     mc.frame_source = system.frame_source;
     mc.frame_check = system.frame_check;
+    obs::ExportOptions export_opts;
+    export_opts.metrics_json = args.GetString("metrics-json", "");
+    export_opts.trace_json = args.GetString("trace-json", "");
+    export_opts.print_table = args.GetBool("metrics");
+    const bool want_metrics = export_opts.print_table ||
+                              !export_opts.metrics_json.empty() ||
+                              !export_opts.trace_json.empty();
+    obs::MetricsRegistry registry;
+    if (!export_opts.trace_json.empty()) registry.EnableTracing();
+    if (want_metrics) mc.metrics = &registry;
+
     sim::BerRunner runner(*system.code, *system.encoder, mc);
     const bool alloc_stats = args.GetBool("alloc-stats");
-    const std::uint64_t allocs_before =
-        g_alloc_count.load(std::memory_order_relaxed);
-    const std::uint64_t bytes_before =
-        g_alloc_bytes.load(std::memory_order_relaxed);
+    const obs::AllocStats allocs_before = obs::AllocSnapshot();
     const auto t0 = std::chrono::steady_clock::now();
     const auto curve = runner.RunSpec(spec);
     const auto elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    const std::uint64_t allocs_run =
-        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
-    const std::uint64_t bytes_run =
-        g_alloc_bytes.load(std::memory_order_relaxed) - bytes_before;
+    const obs::AllocStats alloc_run = obs::AllocDelta(allocs_before);
     const auto& point = curve.points.front();
     const double sim_fps =
         elapsed > 0.0 ? static_cast<double>(point.frames) / elapsed : 0.0;
@@ -214,14 +201,24 @@ int main(int argc, char** argv) {
                    " Mbps"});
     mt.AddRow({"Early-termination throughput",
                FormatDouble(effective_mbps, 1) + " Mbps"});
-    if (alloc_stats && point.frames > 0) {
+    if (alloc_stats && !obs::AllocProbeActive()) {
+      std::printf("\n--alloc-stats: probe not linked into this binary "
+                  "(stub active) — counts unavailable.\n");
+    } else if (alloc_stats && point.frames > 0) {
       const double frames = static_cast<double>(point.frames);
       mt.AddRow({"Heap allocations/frame",
-                 FormatDouble(static_cast<double>(allocs_run) / frames, 2)});
+                 FormatDouble(static_cast<double>(alloc_run.count) / frames,
+                              2)});
       mt.AddRow({"Heap bytes/frame",
-                 FormatDouble(static_cast<double>(bytes_run) / frames, 0)});
+                 FormatDouble(static_cast<double>(alloc_run.bytes) / frames,
+                              0)});
     }
     std::printf("\n%s", mt.Render("Measured operating point").c_str());
+    if (want_metrics) {
+      registry.SetGauge("engine.elapsed_seconds", elapsed);
+      registry.SetGauge("engine.frames_per_second", sim_fps);
+      obs::ExportMetrics(registry, export_opts);
+    }
     std::printf("\nThe gap is what an early-termination controller would "
                 "buy: above the waterfall most frames converge well "
                 "before iteration %d.\n",

@@ -11,10 +11,60 @@
 
 #include "channel/awgn.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/decode_sink.hpp"
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace cldpc::engine {
+
+// Metric ids the engine records, registered once per registry (names
+// deduplicate, so several engines — e.g. one per RunSpec call of a
+// multi-curve binary — share ids and accumulate into the same
+// totals). The kStable set is recorded exclusively by the in-order
+// aggregator; see the header's telemetry note.
+struct SimEngine::MetricsHook {
+  obs::MetricsRegistry* reg;
+  obs::DecodeMetricIds decode;
+  obs::CounterId frames, frame_errors, bit_errors, frames_converged,
+      frames_accepted, undetected_errors, points, frames_decoded;
+  obs::HistogramId iterations, batch_decode_us, worker_wait_us;
+
+  explicit MetricsHook(obs::MetricsRegistry& r) : reg(&r) {
+    using D = obs::Determinism;
+    decode = obs::RegisterDecodeMetrics(r);
+    frames = r.Counter("engine.frames", D::kStable);
+    frame_errors = r.Counter("engine.frame_errors", D::kStable);
+    bit_errors = r.Counter("engine.bit_errors", D::kStable);
+    frames_converged = r.Counter("engine.frames_converged", D::kStable);
+    frames_accepted = r.Counter("engine.frames_accepted", D::kStable);
+    undetected_errors = r.Counter("engine.undetected_errors", D::kStable);
+    points = r.Counter("engine.points", D::kStable);
+    frames_decoded = r.Counter("engine.frames_decoded", D::kScheduling);
+    iterations =
+        r.Hist("decode.iterations", D::kStable, "iterations");
+    batch_decode_us =
+        r.Hist("time.batch_decode_us", D::kWallClock, "us");
+    worker_wait_us = r.Hist("time.worker_wait_us", D::kWallClock, "us");
+  }
+
+  /// Shard layout for a run at `threads` workers: worker w records
+  /// into shard w, the aggregator (and every kStable metric) into the
+  /// extra shard behind them.
+  obs::Shard* PrepareShards(std::size_t threads) {
+    reg->SetShardCount(threads + 1);
+    return &reg->shard(threads);
+  }
+
+  /// Post-run derived gauge: frames decoded beyond what the in-order
+  /// aggregator consumed — the cost of speculating past early stops.
+  void PublishSpeculationWaste() {
+    const std::uint64_t decoded = reg->MergedCounter(frames_decoded);
+    const std::uint64_t consumed = reg->MergedCounter(frames);
+    reg->SetGauge("engine.speculation_waste_frames",
+                  static_cast<double>(decoded - consumed));
+  }
+};
 
 std::size_t ResolveThreads(std::size_t requested) {
   if (requested != 0) return requested;
@@ -34,7 +84,11 @@ SimEngine::SimEngine(const ldpc::LdpcCode& code, const ldpc::Encoder& encoder,
     counted_.resize(code_.n());
     for (std::size_t i = 0; i < counted_.size(); ++i) counted_[i] = i;
   }
+  if (config_.metrics != nullptr)
+    hook_ = std::make_unique<MetricsHook>(*config_.metrics);
 }
+
+SimEngine::~SimEngine() = default;
 
 // In-order consumer of frame results; the single place where
 // estimator totals, the iteration sum and the early-stop decision are
@@ -44,6 +98,12 @@ struct SimEngine::PointAccumulator {
   sim::BerPoint point;
   double iter_sum = 0.0;
   std::uint64_t next_frame = 0;
+  /// Aggregator-side metrics (null = disabled). This is the ONLY
+  /// place the kStable engine metrics are recorded: the consumer
+  /// sees exactly the sequential frame stream, so the totals cannot
+  /// depend on threads or scheduling.
+  obs::Shard* metrics = nullptr;
+  const MetricsHook* hook = nullptr;
 
   /// Returns true once the point has reached min_frame_errors (the
   /// frame that reaches it is included, like the sequential runner).
@@ -59,6 +119,17 @@ struct SimEngine::PointAccumulator {
       point.undetected_errors.AddTrial(result.accepted && frame_err);
     iter_sum += result.iterations;
     ++point.frames;
+    if (metrics) {
+      metrics->Add(hook->frames);
+      metrics->Add(hook->bit_errors, result.bit_errors);
+      if (frame_err) metrics->Add(hook->frame_errors);
+      if (result.converged) metrics->Add(hook->frames_converged);
+      if (has_frame_check && result.accepted) {
+        metrics->Add(hook->frames_accepted);
+        if (frame_err) metrics->Add(hook->undetected_errors);
+      }
+      metrics->Record(hook->iterations, result.iterations);
+    }
     if (on_frame) on_frame(snr_index, next_frame, frame_err);
     ++next_frame;
     return point.frame_errors.errors() >= min_frame_errors;
@@ -73,9 +144,23 @@ struct SimEngine::PointAccumulator {
 
 std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
     ldpc::Decoder& decoder, std::size_t snr_index, std::uint64_t first_frame,
-    std::uint64_t count, double sigma, FrameScratch& scratch) const {
+    std::uint64_t count, double sigma, FrameScratch& scratch,
+    obs::Shard* metrics_shard) const {
   const std::size_t n = code_.n();
   const std::size_t n_info = code_.k();
+
+  // Telemetry scope for the whole batch (staging + decode): a batch
+  // latency sample, a per-worker trace span, and the thread-local
+  // sink the decoders' internal probes report through. All four
+  // constructions are inert no-ops when metrics_shard is null.
+  obs::ScopedDecodeSink sink(metrics_shard, hook_ ? &hook_->decode : nullptr);
+  obs::ScopedTimer timer(metrics_shard,
+                         hook_ ? hook_->batch_decode_us : obs::HistogramId{});
+  obs::ScopedTrace span(metrics_shard, "batch");
+  span.Arg("snr_index", static_cast<std::int64_t>(snr_index));
+  span.Arg("first_frame", static_cast<std::int64_t>(first_frame));
+  span.Arg("frames", static_cast<std::int64_t>(count));
+  if (metrics_shard) metrics_shard->Add(hook_->frames_decoded, count);
 
   // Stage the whole batch's channel output, then decode it in one
   // DecodeBatch call: batched decoders run the frames in SIMD lanes,
@@ -125,6 +210,7 @@ std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
   for (std::uint64_t i = 0; i < count; ++i) {
     FrameResult result;
     result.iterations = decoded[i].iterations_run;
+    result.converged = decoded[i].converged;
     for (const auto pos : counted_) {
       if (decoded[i].bits[pos] != scratch.codewords[i * n + pos])
         ++result.bit_errors;
@@ -158,10 +244,25 @@ sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
   const double rate = code_.Rate();
   FrameScratch scratch;  // reused by every batch of the sweep
 
+  // Sequential shard layout: the calling thread is both worker 0 and
+  // the aggregator, but the roles keep their separate shards so the
+  // kStable metrics stay aggregator-only like in the parallel path.
+  obs::Shard* wshard = nullptr;
+  obs::Shard* agg = nullptr;
+  if (hook_) {
+    agg = hook_->PrepareShards(1);
+    wshard = &hook_->reg->shard(0);
+  }
+
   for (std::size_t s = 0; s < config_.ebn0_db.size(); ++s) {
     const double sigma = channel::SigmaForEbN0(config_.ebn0_db[s], rate);
     PointAccumulator acc;
     acc.point.ebn0_db = config_.ebn0_db[s];
+    acc.metrics = agg;
+    acc.hook = hook_.get();
+    obs::ScopedTrace point_span(agg, "point");
+    point_span.Arg("snr_index", static_cast<std::int64_t>(s));
+    if (agg) agg->Add(hook_->points);
 
     // batch_frames at a time, exactly like one parallel worker, so
     // batched decoders get their SIMD lane groups filled here too.
@@ -175,7 +276,7 @@ sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
       const std::uint64_t count = std::min<std::uint64_t>(
           config_.batch_frames, config_.max_frames - first);
       const auto results = SimulateBatch(decoder, s, first, count, sigma,
-                                         scratch);
+                                         scratch, wshard);
       for (const auto& r : results) {
         if (acc.Consume(r, s, counted_.size(), config_.min_frame_errors,
                         curve.has_frame_check, on_frame)) {
@@ -186,6 +287,7 @@ sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
     }
     curve.points.push_back(acc.Finish());
   }
+  if (hook_) hook_->PublishSpeculationWaste();
   return curve;
 }
 
@@ -200,6 +302,9 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
   curve.has_frame_check = static_cast<bool>(config_.frame_check);
   const double rate = code_.Rate();
   const std::uint64_t batch = config_.batch_frames;
+  // Worker w records into shard w with no synchronization; the
+  // aggregator owns the shard behind them (kStable metrics only).
+  obs::Shard* agg = hook_ ? hook_->PrepareShards(threads) : nullptr;
   // One FrameScratch per worker, owned across all points of the
   // sweep: the channel staging buffers allocate once and are reused
   // by every batch the worker simulates.
@@ -237,9 +342,14 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
                    num_batches, window, sigma] {
         const auto worker =
             static_cast<std::size_t>(ThreadPool::CurrentWorkerIndex());
+        obs::Shard* wshard = hook_ ? &hook_->reg->shard(worker) : nullptr;
         for (;;) {
           std::uint64_t b;
           {
+            // Queue economics: how long this worker sat waiting for
+            // window space (or work) before claiming a batch.
+            obs::ScopedTimer wait(
+                wshard, hook_ ? hook_->worker_wait_us : obs::HistogramId{});
             std::unique_lock<std::mutex> lock(shared.mutex);
             shared.producer_cv.wait(lock, [&shared, num_batches, window] {
               return shared.stop || shared.next_claim >= num_batches ||
@@ -255,7 +365,8 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
               std::min<std::uint64_t>(batch, config_.max_frames - first);
           try {
             auto results = SimulateBatch(decoders.Get(worker), s, first,
-                                         count, sigma, scratches[worker]);
+                                         count, sigma, scratches[worker],
+                                         wshard);
             {
               std::lock_guard<std::mutex> lock(shared.mutex);
               shared.ready.emplace(b, std::move(results));
@@ -280,6 +391,11 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
 
     PointAccumulator acc;
     acc.point.ebn0_db = config_.ebn0_db[s];
+    acc.metrics = agg;
+    acc.hook = hook_.get();
+    obs::ScopedTrace point_span(agg, "point");
+    point_span.Arg("snr_index", static_cast<std::int64_t>(s));
+    if (agg) agg->Add(hook_->points);
     bool stopped = false;
     // The guard exists for the user FrameCallback: if it throws, the
     // workers must be stopped and drained BEFORE `shared` unwinds out
@@ -341,6 +457,7 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
     if (!stopped && shared.error) std::rethrow_exception(shared.error);
     curve.points.push_back(acc.Finish());
   }
+  if (hook_) hook_->PublishSpeculationWaste();
   return curve;
 }
 

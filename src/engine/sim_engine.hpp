@@ -41,13 +41,30 @@
 // thread counts, across batch sizes, and to sim::BerRunner's
 // sequential output — only wall-clock time changes. The FrameCallback
 // also fires in sequential order with identical arguments.
+// ## Telemetry (obs/) and the contract
+//
+// With BerConfig::metrics set, the engine records decode telemetry
+// through per-worker metric shards (worker w owns shard w; the
+// in-order aggregator owns one extra shard). Aggregator-side facts —
+// consumed frames, errors, convergence, the iterations-to-converge
+// histogram — see exactly the sequential frame stream, so their
+// merged totals are thread-count-invariant (Determinism::kStable).
+// Worker-side facts (batch timers, lane occupancy, frames decoded
+// including discarded speculation) legitimately vary and are tagged
+// so. Metrics never feed back into decoding: the BerCurve stays
+// byte-identical with metrics on, off, or traced.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "engine/decoder_pool.hpp"
 #include "gf2/bitvec.hpp"
 #include "sim/ber_runner.hpp"
+
+namespace cldpc::obs {
+class Shard;
+}
 
 namespace cldpc::engine {
 
@@ -60,6 +77,7 @@ class SimEngine {
   /// batch size come from config.threads / config.batch_frames.
   SimEngine(const ldpc::LdpcCode& code, const ldpc::Encoder& encoder,
             sim::BerConfig config);
+  ~SimEngine();
 
   /// Run the sweep with config().threads workers, each owning a
   /// decoder cloned from `factory`. This is the parallel entry point.
@@ -78,11 +96,17 @@ class SimEngine {
   struct FrameResult {
     std::uint64_t bit_errors = 0;
     std::int32_t iterations = 0;
+    /// Decoder reported a zero syndrome (metrics: convergence /
+    /// early-termination rate).
+    bool converged = false;
     /// Verdict of config.frame_check on the decoded bits (always
     /// false when no check is configured).
     bool accepted = false;
   };
   struct PointAccumulator;
+  /// Registered metric ids + registry pointer; non-null exactly when
+  /// config.metrics is set (definition local to sim_engine.cpp).
+  struct MetricsHook;
 
   /// Reusable per-worker staging buffers for SimulateBatch's channel
   /// frontend: the buffers grow to the batch size on the first batch
@@ -101,11 +125,15 @@ class SimEngine {
   /// Decode frames [first, first+count) of point `snr_index`,
   /// staging the channel through `scratch` (exclusive to the calling
   /// worker).
+  /// `metrics_shard` is the calling worker's metric shard (null when
+  /// metrics are disabled): batch timing/trace spans and the
+  /// thread-local decoder sink are scoped to this call.
   std::vector<FrameResult> SimulateBatch(ldpc::Decoder& decoder,
                                          std::size_t snr_index,
                                          std::uint64_t first_frame,
                                          std::uint64_t count, double sigma,
-                                         FrameScratch& scratch) const;
+                                         FrameScratch& scratch,
+                                         obs::Shard* metrics_shard) const;
 
   sim::BerCurve RunSequential(ldpc::Decoder& decoder,
                               const sim::FrameCallback& on_frame);
@@ -118,6 +146,7 @@ class SimEngine {
   sim::BerConfig config_;
   /// Codeword positions counted towards BER (info bits or all).
   std::vector<std::size_t> counted_;
+  std::unique_ptr<MetricsHook> hook_;  // null = metrics disabled
 };
 
 }  // namespace cldpc::engine

@@ -5,10 +5,30 @@
 #include <sstream>
 #include <type_traits>
 
+#include "obs/decode_sink.hpp"
 #include "util/contracts.hpp"
 
 namespace cldpc::ldpc {
 namespace {
+
+// Syndrome-tracker economics, reported to the thread-local metrics
+// sink (obs/decode_sink.hpp) when one is installed. Accumulated in
+// locals and flushed once per lane group from the destructor, so the
+// group's exits (early termination included) all report and the
+// disabled path costs one null check per iteration. A "scan" is one
+// bit position examined by the flip loop; a "flip" is a (bit, lane)
+// hard-decision change actually folded into the parity masks.
+struct SyndromeStatsReporter {
+  obs::DecodeSink* sink;
+  std::uint64_t scans = 0;
+  std::uint64_t flips = 0;
+  ~SyndromeStatsReporter() {
+    if (sink != nullptr) {
+      sink->shard->Add(sink->ids.syndrome_bit_scans, scans);
+      sink->shard->Add(sink->ids.syndrome_bit_flips, flips);
+    }
+  }
+};
 
 // Datapath policies of the lane engine: how a lane value is loaded
 // from the channel, narrowed into a CN input, and folded back into
@@ -109,6 +129,7 @@ void DecodeLaneGroup(const LdpcCode& code, const Policy& pol,
   const std::uint32_t all =
       L == 32 ? 0xffffffffu : ((std::uint32_t{1} << L) - 1u);
   std::uint32_t done = 0;
+  SyndromeStatsReporter stats{obs::CurrentDecodeSink()};
 
   const auto capture = [&](std::size_t lane, bool converged, int iterations) {
     DecodeResult& r = results[lane];
@@ -146,6 +167,7 @@ void DecodeLaneGroup(const LdpcCode& code, const Policy& pol,
 
     // Incremental syndrome: repack each bit's lane sign mask and fold
     // only the changed lanes into the parity masks.
+    if (stats.sink != nullptr) stats.scans += n;
     for (std::size_t b = 0; b < n; ++b) {
       const Value* CLDPC_RESTRICT a = app + b * L;
       std::uint32_t mask = 0;
@@ -153,7 +175,11 @@ void DecodeLaneGroup(const LdpcCode& code, const Policy& pol,
         mask |= std::uint32_t{a[l] < Value{} ? 1u : 0u} << l;
       const std::uint32_t flips = mask ^ hard_mask[b];
       hard_mask[b] = mask;
-      if (flips != 0) syndrome.Flip(b, flips);
+      if (flips != 0) {
+        syndrome.Flip(b, flips);
+        if (stats.sink != nullptr)
+          stats.flips += static_cast<std::uint64_t>(std::popcount(flips));
+      }
     }
 
     if (iter.early_termination) {
@@ -204,6 +230,17 @@ std::vector<DecodeResult> DecodeChunked(
     DecodeResult* out = results.data() + f;
     const auto run = [&](auto width) {
       constexpr std::size_t kL = decltype(width)::value;
+      // Occupancy: lanes actually decoded per group vs the configured
+      // width — a 5-frame tail with max_lanes=16 runs as a 4-group
+      // plus a 1-group, occupancies 4 and 1 out of 16.
+      if (obs::DecodeSink* sink = obs::CurrentDecodeSink()) {
+        sink->shard->Add(sink->ids.lane_groups, 1);
+        sink->shard->Add(sink->ids.lanes_filled, kL);
+        sink->shard->Add(sink->ids.lane_capacity,
+                         std::min(max_lanes, kMaxLaneGroup));
+        sink->shard->Record(sink->ids.lane_occupancy,
+                            static_cast<std::int64_t>(kL));
+      }
       DecodeLaneGroup<Policy, kL>(code, pol, iter, base, app, store, extr,
                                   bc, hard_mask, syndrome, out);
       f += kL;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/decode_sink.hpp"
 #include "util/contracts.hpp"
 
 namespace cldpc::ldpc {
@@ -59,6 +60,9 @@ DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
   syndrome_.Reset(hard_);
 
   DecodeResult result;
+  obs::DecodeSink* const sink = obs::CurrentDecodeSink();
+  std::uint64_t scans = 0;
+  std::uint64_t flips = 0;
 
   for (int iter = 1; iter <= options_.iter.max_iterations; ++iter) {
     for (std::size_t m = 0; m < sched.num_checks(); ++m) {
@@ -83,19 +87,21 @@ DecodeResult FixedLayeredMinSumDecoder::DecodeQuantized(
 
     // Incremental syndrome: fold only this iteration's sign flips
     // into the parity state (see core/syndrome_tracker.hpp).
+    if (sink != nullptr) scans += graph.num_bits();
     for (std::size_t n = 0; n < graph.num_bits(); ++n) {
       const std::uint8_t h = AppHardDecision(app_[n]);
       if (h != hard_[n]) {
         hard_[n] = h;
         syndrome_.Flip(n);
+        if (sink != nullptr) ++flips;
       }
     }
     result.iterations_run = iter;
-    if (options_.iter.early_termination && syndrome_.AllSatisfied()) {
-      result.bits = hard_;
-      result.converged = true;
-      return result;
-    }
+    if (options_.iter.early_termination && syndrome_.AllSatisfied()) break;
+  }
+  if (sink != nullptr) {
+    sink->shard->Add(sink->ids.syndrome_bit_scans, scans);
+    sink->shard->Add(sink->ids.syndrome_bit_flips, flips);
   }
   result.bits = hard_;
   result.converged = syndrome_.AllSatisfied();

@@ -1,0 +1,49 @@
+#include "obs/alloc_probe.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// This TU replaces global operator new, so it must NEVER be an
+// archive member of libcldpc: every object file references operator
+// new, and the archive is searched before the C++ runtime, so the
+// replacement would leak into every binary. CMake excludes it from
+// the library glob; opting-in targets compile it directly
+// (target_sources). The inactive counterpart is alloc_probe_stub.cpp.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+// The unsized/array delete forms below cover everything the replaced
+// news can reach.
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace cldpc::obs {
+
+AllocStats AllocSnapshot() {
+  return {g_alloc_count.load(std::memory_order_relaxed),
+          g_alloc_bytes.load(std::memory_order_relaxed)};
+}
+
+AllocStats AllocDelta(const AllocStats& since) {
+  const auto now = AllocSnapshot();
+  return {now.count - since.count, now.bytes - since.bytes};
+}
+
+bool AllocProbeActive() { return true; }
+
+}  // namespace cldpc::obs

@@ -1,0 +1,44 @@
+// Opt-in heap allocation probe: process-wide counters behind a
+// replaced global operator new, so any binary can report allocs/frame
+// (the lock on the engine's zero-allocation steady-state channel
+// staging; previously only throughput_explorer owned the counting
+// globals).
+//
+// Opt-in works through linkage. The counted operator new/delete
+// definitions live in obs/alloc_probe.cpp, which is deliberately NOT
+// part of libcldpc: an archive member defining operator new would be
+// pulled into *every* binary, because each object file carries an
+// undefined reference to operator new and the archive is searched
+// before the C++ runtime. Instead, a target opts in by compiling
+// obs/alloc_probe.cpp into the binary itself (CMake: target_sources;
+// throughput_explorer does). libcldpc carries only a stub TU
+// (obs/alloc_probe_stub.cpp) with inactive fallbacks, pulled from the
+// archive exactly when the real probe is absent — so these functions
+// always link, and AllocProbeActive() reports which TU won. Binaries
+// that do not opt in keep the toolchain allocator, bit for bit. The
+// probe's counters are relaxed atomics — negligible next to the
+// malloc underneath, but NOT free; that is why the probe is opt-in
+// per binary instead of part of the metrics registry.
+#pragma once
+
+#include <cstdint>
+
+namespace cldpc::obs {
+
+struct AllocStats {
+  std::uint64_t count = 0;  // operator new/new[] calls
+  std::uint64_t bytes = 0;  // bytes requested
+};
+
+/// Current process-wide totals since program start ({0,0} in a binary
+/// that did not compile the probe TU in).
+AllocStats AllocSnapshot();
+
+/// Allocations since an earlier snapshot.
+AllocStats AllocDelta(const AllocStats& since);
+
+/// True when the real probe TU (counted operator new) is linked,
+/// false when the stub answered.
+bool AllocProbeActive();
+
+}  // namespace cldpc::obs

@@ -1,0 +1,17 @@
+#include "obs/alloc_probe.hpp"
+
+// Inactive fallback for binaries that did not compile the real probe
+// (obs/alloc_probe.cpp) in. This TU is an ordinary libcldpc archive
+// member: the linker pulls it only when AllocSnapshot & co. are still
+// undefined — i.e. exactly when the real probe object is absent — so
+// the two TUs never collide. See alloc_probe.hpp for the mechanism.
+
+namespace cldpc::obs {
+
+AllocStats AllocSnapshot() { return {}; }
+
+AllocStats AllocDelta(const AllocStats&) { return {}; }
+
+bool AllocProbeActive() { return false; }
+
+}  // namespace cldpc::obs

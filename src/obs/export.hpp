@@ -1,0 +1,66 @@
+// Exporters for the metrics registry: a stable JSON schema for
+// tooling (bench/check_bench_regression.py validates it), a human
+// table via util/table, and chrome://tracing trace-event JSON.
+//
+// ## Metrics JSON schema ("cldpc-metrics-v1")
+//
+//   {
+//     "schema": "cldpc-metrics-v1",
+//     "counters":   { "<name>": <uint>, ... },
+//     "histograms": { "<name>": { "unit": "<str>", "count": <uint>,
+//                                 "min": <int>, "max": <int>,
+//                                 "mean": <float>, "p50": <int>,
+//                                 "p90": <int>, "p99": <int>,
+//                                 "bins": [[<value>, <count>], ...] },
+//                     ... },
+//     "gauges":     { "<name>": <float>, ... },
+//     "nondeterministic": [ "<name>", ... ]
+//   }
+//
+// "nondeterministic" lists every metric whose value may legitimately
+// differ across thread counts or runs: metrics registered as
+// kScheduling or kWallClock, plus every gauge (gauges are run-
+// dependent by definition). Everything NOT listed is a pure function
+// of (config, seed) — byte-identical for --threads=1 vs --threads=N —
+// and tooling may diff that subset hard (the CI does).
+//
+// ## Trace JSON
+//
+// The chrome trace-event format (load in chrome://tracing or
+// https://ui.perfetto.dev): one complete "X" event per recorded span,
+// tid = shard index (worker), with thread-name metadata. Timestamps
+// are microseconds since the registry's construction.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace cldpc::obs {
+
+void WriteMetricsJson(const MergedMetrics& metrics, std::ostream& os);
+
+/// Aligned text rendering of every counter, histogram summary and
+/// gauge ("[scheduling]" / "[wall-clock]" tags mark the
+/// nondeterministic ones).
+std::string RenderMetricsTable(const MergedMetrics& metrics);
+
+void WriteTraceJson(const MetricsRegistry& registry, std::ostream& os);
+
+/// What the --metrics-json= / --trace-json= / --metrics flags
+/// request. Empty paths / false mean "skip".
+struct ExportOptions {
+  std::string metrics_json;
+  std::string trace_json;
+  bool print_table = false;
+};
+
+/// Write the requested artifacts (notices go to stderr so stdout
+/// stays byte-identical with metrics off, unless the table is
+/// explicitly requested). Returns false if a file could not be
+/// written.
+bool ExportMetrics(const MetricsRegistry& registry,
+                   const ExportOptions& options);
+
+}  // namespace cldpc::obs

@@ -1,0 +1,108 @@
+#include "obs/metrics.hpp"
+
+#include "util/contracts.hpp"
+
+namespace cldpc::obs {
+
+MetricsRegistry::MetricsRegistry()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+CounterId MetricsRegistry::Counter(const std::string& name, Determinism det) {
+  CLDPC_EXPECTS(!name.empty(), "metric name must be non-empty");
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) {
+    CLDPC_EXPECTS(counter_defs_[it->second].det == det,
+                  "counter re-registered with a different determinism tag");
+    return {it->second};
+  }
+  CLDPC_EXPECTS(hist_index_.count(name) == 0,
+                "metric name already registered as a histogram");
+  const auto id = static_cast<std::uint32_t>(counter_defs_.size());
+  counter_defs_.push_back({name, det});
+  counter_index_.emplace(name, id);
+  for (auto& shard : shards_) shard->counters_.resize(counter_defs_.size(), 0);
+  return {id};
+}
+
+HistogramId MetricsRegistry::Hist(const std::string& name, Determinism det,
+                                  const std::string& unit) {
+  CLDPC_EXPECTS(!name.empty(), "metric name must be non-empty");
+  const auto it = hist_index_.find(name);
+  if (it != hist_index_.end()) {
+    CLDPC_EXPECTS(hist_defs_[it->second].det == det,
+                  "histogram re-registered with a different determinism tag");
+    return {it->second};
+  }
+  CLDPC_EXPECTS(counter_index_.count(name) == 0,
+                "metric name already registered as a counter");
+  const auto id = static_cast<std::uint32_t>(hist_defs_.size());
+  hist_defs_.push_back({name, det, unit});
+  hist_index_.emplace(name, id);
+  for (auto& shard : shards_) shard->hists_.resize(hist_defs_.size());
+  return {id};
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) {
+    gauges_[it->second].second = value;
+    return;
+  }
+  gauge_index_.emplace(name, gauges_.size());
+  gauges_.emplace_back(name, value);
+}
+
+void MetricsRegistry::EnableTracing() {
+  tracing_ = true;
+  for (auto& shard : shards_) shard->tracing_ = true;
+}
+
+void MetricsRegistry::SetShardCount(std::size_t n) {
+  while (shards_.size() < n) {
+    auto shard = std::make_unique<Shard>();
+    shard->counters_.resize(counter_defs_.size(), 0);
+    shard->hists_.resize(hist_defs_.size());
+    shard->epoch_ = epoch_;
+    shard->tracing_ = tracing_;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::uint64_t MetricsRegistry::MergedCounter(CounterId id) const {
+  CLDPC_EXPECTS(id.valid(), "unregistered counter");
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->counters_[id.v];
+  return total;
+}
+
+MergedMetrics MetricsRegistry::Merge() const {
+  MergedMetrics out;
+  out.counters.reserve(counter_defs_.size());
+  for (std::uint32_t c = 0; c < counter_defs_.size(); ++c) {
+    out.counters.push_back(
+        {counter_defs_[c].name, counter_defs_[c].det, MergedCounter({c})});
+  }
+  out.histograms.reserve(hist_defs_.size());
+  for (std::uint32_t h = 0; h < hist_defs_.size(); ++h) {
+    MergedMetrics::Hist merged{hist_defs_[h].name, hist_defs_[h].det,
+                               hist_defs_[h].unit, {}};
+    // In shard-index order: not needed for correctness (integer bin
+    // merges commute) but it keeps the walk order reproducible.
+    for (const auto& shard : shards_) merged.hist.Merge(shard->hists_[h]);
+    out.histograms.push_back(std::move(merged));
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_) out.gauges.push_back({name, value});
+  return out;
+}
+
+std::vector<std::pair<std::size_t, TraceEvent>> MetricsRegistry::CollectTrace()
+    const {
+  std::vector<std::pair<std::size_t, TraceEvent>> events;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (const auto& ev : shards_[s]->events_) events.emplace_back(s, ev);
+  }
+  return events;
+}
+
+}  // namespace cldpc::obs

@@ -1,0 +1,255 @@
+// Low-overhead decode telemetry: a registry of named counters,
+// gauges and histograms with per-worker sharded storage, RAII scoped
+// timers, and per-worker trace-event buffers.
+//
+// ## Why sharded (and not atomic)
+//
+// The Monte-Carlo engine's hot path decodes thousands of frames per
+// second per worker; a contended atomic counter would both cost real
+// time and — worse — tempt instrumentation to alter scheduling. Every
+// mutable cell here is exclusive to one worker (shard w belongs to
+// pool worker w), so recording is a plain add with no synchronization
+// whatsoever, and enabling metrics cannot perturb the engine's
+// bit-identical-across-threads contract: metrics only *observe*
+// per-frame facts that are already pure functions of the frame.
+//
+// ## Determinism labelling
+//
+// Each metric is registered with a Determinism tag:
+//   kStable     — merged value is a pure function of (config, seed);
+//                 identical across thread counts and scheduling.
+//                 Only facts recorded by the engine's in-order
+//                 aggregator (which sees exactly the sequential frame
+//                 stream) qualify.
+//   kScheduling — counts real work including discarded speculation
+//                 (worker-side decode stats); varies with threads.
+//   kWallClock  — timers and rates; varies run to run.
+// The JSON exporter publishes the non-kStable names so tooling can
+// compare the deterministic subset byte-for-byte across thread
+// counts (the CI does exactly that).
+//
+// ## Threading contract
+//
+// Registration, SetShardCount, SetGauge, Merge and the exporters are
+// control-plane: call them from one thread while no worker is
+// recording. Shard::Add/Record/events are data-plane: each shard may
+// be driven by exactly one thread at a time. Register every metric
+// BEFORE SetShardCount — shard storage is sized then.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace cldpc::obs {
+
+enum class Determinism {
+  kStable,      // identical across thread counts for a fixed seed
+  kScheduling,  // depends on worker scheduling / speculation
+  kWallClock,   // depends on wall-clock time
+};
+
+/// Typed indices into a shard's storage (invalid until registered).
+struct CounterId {
+  std::uint32_t v = UINT32_MAX;
+  bool valid() const { return v != UINT32_MAX; }
+};
+struct HistogramId {
+  std::uint32_t v = UINT32_MAX;
+  bool valid() const { return v != UINT32_MAX; }
+};
+
+/// One chrome://tracing complete ("X") event. Names and arg keys must
+/// be string literals (stored by pointer, never freed).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;   // since the registry's epoch
+  std::uint64_t dur_ns = 0;
+  const char* arg_names[3] = {nullptr, nullptr, nullptr};
+  std::int64_t arg_values[3] = {0, 0, 0};
+};
+
+class MetricsRegistry;
+
+/// Per-worker metric storage. Obtained from MetricsRegistry::shard();
+/// recording is unsynchronized, so a shard must only ever be driven
+/// by one thread at a time (the engine hands shard w to worker w).
+class Shard {
+ public:
+  void Add(CounterId id, std::uint64_t delta = 1) {
+    counters_[id.v] += delta;
+  }
+  void Record(HistogramId id, std::int64_t value) { hists_[id.v].Add(value); }
+
+  bool tracing() const { return tracing_; }
+  /// Nanoseconds since the owning registry's epoch (trace timebase).
+  std::uint64_t NowNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+  void PushEvent(const TraceEvent& ev) { events_.push_back(ev); }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<std::uint64_t> counters_;
+  std::vector<Histogram> hists_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+  bool tracing_ = false;
+};
+
+/// Merged, export-ready view of a registry (see MetricsRegistry::
+/// Merge). Entries keep registration order, so exports are stable.
+struct MergedMetrics {
+  struct Counter {
+    std::string name;
+    Determinism det;
+    std::uint64_t value;
+  };
+  struct Hist {
+    std::string name;
+    Determinism det;
+    std::string unit;
+    Histogram hist;
+  };
+  struct Gauge {
+    std::string name;
+    double value;
+  };
+  std::vector<Counter> counters;
+  std::vector<Hist> histograms;
+  std::vector<Gauge> gauges;  // always wall-clock / run-dependent
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  /// Register (or look up — names are deduplicated) a metric. A name
+  /// must keep one kind and one determinism tag for the registry's
+  /// lifetime; mismatches throw.
+  CounterId Counter(const std::string& name,
+                    Determinism det = Determinism::kStable);
+  HistogramId Hist(const std::string& name, Determinism det,
+                   const std::string& unit);
+
+  /// Set a named gauge (control-plane values: elapsed seconds,
+  /// frames/s, ...). Gauges are always treated as run-dependent.
+  void SetGauge(const std::string& name, double value);
+
+  /// Turn on trace-event collection. Call before SetShardCount.
+  void EnableTracing();
+  bool tracing() const { return tracing_; }
+
+  /// Ensure at least `n` shards exist, each sized for every metric
+  /// registered so far. Growing preserves recorded data; shard
+  /// references stay valid.
+  void SetShardCount(std::size_t n);
+  std::size_t shard_count() const { return shards_.size(); }
+  Shard& shard(std::size_t i) { return *shards_[i]; }
+
+  /// Sum of one counter over all shards (control-plane convenience).
+  std::uint64_t MergedCounter(CounterId id) const;
+
+  /// Deterministic in-order merge: shard 0 first, then 1, 2, ... For
+  /// integer counters and histograms the result is independent of
+  /// which worker recorded what — addition commutes — which is what
+  /// makes kStable metrics thread-count-invariant.
+  MergedMetrics Merge() const;
+
+  /// All trace events, tagged with their shard index (chrome tid).
+  std::vector<std::pair<std::size_t, TraceEvent>> CollectTrace() const;
+
+ private:
+  struct CounterDef {
+    std::string name;
+    Determinism det;
+  };
+  struct HistDef {
+    std::string name;
+    Determinism det;
+    std::string unit;
+  };
+
+  std::vector<CounterDef> counter_defs_;
+  std::vector<HistDef> hist_defs_;
+  std::map<std::string, std::uint32_t> counter_index_;
+  std::map<std::string, std::uint32_t> hist_index_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // stable addresses
+  std::vector<std::pair<std::string, double>> gauges_;
+  std::map<std::string, std::size_t> gauge_index_;
+  std::chrono::steady_clock::time_point epoch_;
+  bool tracing_ = false;
+};
+
+/// RAII latency probe: records the scope's wall-clock duration in
+/// microseconds into a (wall-clock) histogram. A null shard disables
+/// the probe entirely — the disabled cost is one branch.
+class ScopedTimer {
+ public:
+  ScopedTimer(Shard* shard, HistogramId id) : shard_(shard), id_(id) {
+    if (shard_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (shard_) {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      shard_->Record(id_, static_cast<std::int64_t>(us));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Shard* shard_;
+  HistogramId id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII trace span: emits one complete event covering the scope into
+/// the shard's trace buffer. Inert when the shard is null or tracing
+/// is off. `name` and arg keys must be string literals.
+class ScopedTrace {
+ public:
+  ScopedTrace(Shard* shard, const char* name)
+      : shard_(shard && shard->tracing() ? shard : nullptr) {
+    if (shard_) {
+      ev_.name = name;
+      ev_.ts_ns = shard_->NowNs();
+    }
+  }
+  /// Attach up to three integer args (shown in the tracing UI).
+  void Arg(const char* key, std::int64_t value) {
+    if (!shard_) return;
+    for (int i = 0; i < 3; ++i) {
+      if (ev_.arg_names[i] == nullptr) {
+        ev_.arg_names[i] = key;
+        ev_.arg_values[i] = value;
+        return;
+      }
+    }
+  }
+  ~ScopedTrace() {
+    if (shard_) {
+      ev_.dur_ns = shard_->NowNs() - ev_.ts_ns;
+      shard_->PushEvent(ev_);
+    }
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  Shard* shard_;
+  TraceEvent ev_;
+};
+
+}  // namespace cldpc::obs

@@ -26,6 +26,10 @@
 #include "ldpc/encoder.hpp"
 #include "util/stats.hpp"
 
+namespace cldpc::obs {
+class MetricsRegistry;
+}
+
 namespace cldpc::sim {
 
 /// Draws one pseudo-random codeword for a derived per-frame seed,
@@ -66,6 +70,15 @@ struct BerConfig {
   /// inputs, so curves stay byte-identical across thread counts.
   FrameSource frame_source;
   FrameCheck frame_check;
+  /// Optional decode telemetry (borrowed; must outlive the run). The
+  /// engine shards it per worker, records decoder/engine metrics and
+  /// — when the registry has tracing enabled — per-worker batch
+  /// spans. Null disables all instrumentation at the cost of one
+  /// branch per probe site. Metrics are observation-only: enabling
+  /// them never changes decode results or the determinism contract
+  /// (see obs/metrics.hpp for which metrics are themselves
+  /// thread-count-invariant).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct BerPoint {

@@ -13,6 +13,13 @@ void Histogram::Add(std::int64_t value, std::uint64_t count) {
   total_ += count;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  for (const auto& [value, count] : other.bins_) {
+    bins_[value] += count;
+    total_ += count;
+  }
+}
+
 std::uint64_t Histogram::CountOf(std::int64_t value) const {
   const auto it = bins_.find(value);
   return it == bins_.end() ? 0 : it->second;
@@ -59,6 +66,32 @@ std::int64_t Histogram::AbsQuantile(double p) const {
     if (seen >= target) return mag;
   }
   return by_abs.rbegin()->first;
+}
+
+std::int64_t Histogram::Quantile(double p) const {
+  CLDPC_EXPECTS(p > 0.0 && p <= 1.0, "quantile must be in (0, 1]");
+  CLDPC_EXPECTS(total_ > 0, "empty histogram");
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (const auto& [value, count] : bins_) {
+    seen += count;
+    if (seen >= target) return value;
+  }
+  return bins_.rbegin()->first;
+}
+
+Histogram::Summary Histogram::Summarize() const {
+  Summary s;
+  if (total_ == 0) return s;
+  s.count = total_;
+  s.min = Min();
+  s.max = Max();
+  s.mean = Mean();
+  s.p50 = Quantile(0.50);
+  s.p90 = Quantile(0.90);
+  s.p99 = Quantile(0.99);
+  return s;
 }
 
 std::string Histogram::Render(std::size_t max_rows) const {

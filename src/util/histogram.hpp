@@ -13,6 +13,12 @@ class Histogram {
  public:
   void Add(std::int64_t value, std::uint64_t count = 1);
 
+  /// Fold another histogram's bins into this one. Merging is
+  /// commutative and associative (integer bin adds), so any merge
+  /// order yields the same histogram — the property the obs layer's
+  /// sharded metrics rely on for thread-count-invariant totals.
+  void Merge(const Histogram& other);
+
   std::uint64_t Total() const { return total_; }
   std::uint64_t CountOf(std::int64_t value) const;
   std::int64_t Min() const;
@@ -24,6 +30,27 @@ class Histogram {
 
   /// p-quantile of |value| (0 < p <= 1).
   std::int64_t AbsQuantile(double p) const;
+
+  /// Nearest-rank p-quantile by signed value order (0 < p <= 1) —
+  /// unlike AbsQuantile, which aggregates by magnitude first and
+  /// keeps its historical datapath-analysis semantics.
+  std::int64_t Quantile(double p) const;
+
+  /// Summary statistics for quantile export (latency / iteration
+  /// metrics). An empty histogram summarizes to all zeros.
+  struct Summary {
+    std::uint64_t count = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    double mean = 0.0;
+    std::int64_t p50 = 0;
+    std::int64_t p90 = 0;
+    std::int64_t p99 = 0;
+  };
+  Summary Summarize() const;
+
+  /// Bins in ascending value order (export view).
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
 
   /// Compact text rendering: "value: count" lines with unit bars.
   std::string Render(std::size_t max_rows = 24) const;

@@ -95,6 +95,93 @@ TEST(HistogramTest, RenderDownsamplesWideSupport) {
   EXPECT_LE(lines, 11u);
 }
 
+TEST(HistogramTest, MergeAddsBins) {
+  Histogram a;
+  a.Add(1, 3);
+  a.Add(5, 2);
+  Histogram b;
+  b.Add(5, 4);
+  b.Add(-2, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.Total(), 10u);
+  EXPECT_EQ(a.CountOf(1), 3u);
+  EXPECT_EQ(a.CountOf(5), 6u);
+  EXPECT_EQ(a.CountOf(-2), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.Total(), 5u);
+}
+
+TEST(HistogramTest, MergeOrderDoesNotMatter) {
+  Histogram parts[3];
+  parts[0].Add(1, 7);
+  parts[1].Add(1, 2);
+  parts[1].Add(9, 4);
+  parts[2].Add(-3, 5);
+  Histogram forward;
+  for (const auto& p : parts) forward.Merge(p);
+  Histogram backward;
+  for (int i = 2; i >= 0; --i) backward.Merge(parts[i]);
+  EXPECT_EQ(forward.bins(), backward.bins());
+  EXPECT_EQ(forward.Total(), backward.Total());
+}
+
+TEST(HistogramTest, MergeEmptyIsNoop) {
+  Histogram a;
+  a.Add(4, 2);
+  Histogram empty;
+  a.Merge(empty);
+  empty.Merge(a);
+  EXPECT_EQ(a.Total(), 2u);
+  EXPECT_EQ(empty.Total(), 2u);
+  EXPECT_EQ(empty.CountOf(4), 2u);
+}
+
+TEST(HistogramTest, QuantileSignedOrder) {
+  Histogram h;
+  h.Add(-5, 50);
+  h.Add(5, 50);
+  // Signed order: the lower half is all -5 (vs AbsQuantile, which
+  // folds signs and answers 5).
+  EXPECT_EQ(h.Quantile(0.5), -5);
+  EXPECT_EQ(h.Quantile(0.51), 5);
+  EXPECT_EQ(h.Quantile(1.0), 5);
+  EXPECT_EQ(h.AbsQuantile(0.5), 5);
+}
+
+TEST(HistogramTest, QuantileNearestRank) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.Quantile(0.5), 50);
+  EXPECT_EQ(h.Quantile(0.9), 90);
+  EXPECT_EQ(h.Quantile(0.99), 99);
+  EXPECT_THROW(h.Quantile(0.0), ContractViolation);
+  EXPECT_THROW(h.Quantile(1.5), ContractViolation);
+}
+
+TEST(HistogramTest, SummarizeReportsQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  const auto s = h.Summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.p50, 50);
+  EXPECT_EQ(s.p90, 90);
+  EXPECT_EQ(s.p99, 99);
+}
+
+TEST(HistogramTest, SummarizeEmptyIsAllZeros) {
+  const auto s = Histogram{}.Summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p50, 0);
+  EXPECT_EQ(s.p90, 0);
+  EXPECT_EQ(s.p99, 0);
+}
+
 TEST(HistogramTest, GaussianQuantilesLookRight) {
   GaussianSampler g(4);
   Histogram h;
