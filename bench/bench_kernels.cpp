@@ -422,6 +422,30 @@ void BM_C2FixedLayeredDecodeBatched(benchmark::State& state) {
 BENCHMARK(BM_C2FixedLayeredDecodeBatched)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// The int8 lane datapath: the same fixed decode with messages in
+// int8 and APPs in int16, so each SIMD register carries 2-4x the
+// lanes. Byte-identical to BM_C2FixedLayeredDecodeBatched per frame
+// (tests/test_i8_decoder.cpp); the items/s ratio between the two is
+// the datapath's whole value proposition. Runs whatever ISA tier
+// runtime dispatch selected — set CLDPC_ISA=scalar|avx2|avx512 to
+// bench a specific tier.
+void BM_C2FixedI8LayeredDecodeBatched(benchmark::State& state) {
+  const auto& system = C2();
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  ldpc::FixedMinSumOptions o;
+  o.iter.max_iterations = kThroughputIters;
+  o.iter.early_termination = false;
+  ldpc::BatchedFixedI8LayeredDecoder dec(*system.code, o, lanes);
+  const auto llrs = NoisyC2Frames(lanes, 33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.DecodeBatch(llrs, lanes));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_C2FixedI8LayeredDecodeBatched)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
 // --- Code catalog: the FT8(174, 91) code — the opposite decode
 // regime from C2 (83 one-check layers, irregular degree 6/7, 522
 // edges vs 32 704). Frames are tiny, so these benches report the

@@ -15,7 +15,7 @@
 //                         [--batch-frames=N] [--alloc-stats]
 //                         [--metrics] [--metrics-json=<path>]
 //                         [--trace-json=<path>]
-//                         [--list-codes] [--list-decoders]
+//                         [--list-codes] [--list-decoders] [--cpu-info]
 //
 // --decoder swaps the decoder the measurement runs (default: the
 // fixed datapath at the configured iteration count); any registered
@@ -32,6 +32,12 @@
 // e.g. --code=ft8 contrasts an 83-check irregular decode against the
 // C2 hardware model. --list-codes / --list-decoders print the
 // registered names and exit.
+//
+// --cpu-info prints which lane-kernel ISA tiers this build compiled,
+// which ones the executing CPU supports, and the tier runtime
+// dispatch selected (ldpc/core/dispatch.hpp) — the replacement for
+// the old compile-time-AVX2 startup abort. CLDPC_ISA=scalar|avx2|
+// avx512 in the environment overrides the selection.
 //
 // --alloc-stats (with --measure-ebn0) additionally reports heap
 // allocations per simulated frame during the measurement — the lock
@@ -55,6 +61,7 @@
 #include "arch/throughput.hpp"
 #include "codes/catalog.hpp"
 #include "engine/sim_engine.hpp"
+#include "ldpc/core/dispatch.hpp"
 #include "ldpc/core/registry.hpp"
 #include "obs/alloc_probe.hpp"
 #include "obs/export.hpp"
@@ -77,6 +84,10 @@ int main(int argc, char** argv) {
     std::printf("Registered decoder kinds (--decoder=<spec>):\n");
     for (const auto& kind : ldpc::RegisteredDecoderKinds())
       std::printf("  %s\n", kind.c_str());
+    return 0;
+  }
+  if (args.GetBool("cpu-info")) {
+    std::printf("%s", ldpc::core::DescribeCpuDispatch().c_str());
     return 0;
   }
 

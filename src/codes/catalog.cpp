@@ -67,7 +67,8 @@ CatalogCode BuildC2(const CodeSpec& spec) {
   // One schedule layer per circulant block row, like MakeC2System.
   auto code = std::make_unique<ldpc::LdpcCode>(qc.Expand(), qc.q());
   return Finish(spec.ToString(), std::move(code),
-                {"layered-nms:batch=8", "fixed-layered-nms", "nms"});
+                {"fixed-layered-nms-i8:batch=32", "layered-nms:batch=8",
+                 "fixed-layered-nms", "nms"});
 }
 
 CatalogCode BuildFt8(const CodeSpec& spec) {
@@ -112,7 +113,8 @@ CatalogCode BuildMedium(const CodeSpec& spec) {
   const auto qc = qc::MakeMediumQcCode(SeedFromSpec(spec, 0x5EEDCAFEULL));
   auto code = std::make_unique<ldpc::LdpcCode>(qc.Expand(), qc.q());
   return Finish(spec.ToString(), std::move(code),
-                {"layered-nms:batch=8", "fixed-nms", "nms"});
+                {"fixed-layered-nms-i8:batch=32", "layered-nms:batch=8",
+                 "fixed-nms", "nms"});
 }
 
 CatalogCode BuildSmall(const CodeSpec& spec) {

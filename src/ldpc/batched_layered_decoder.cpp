@@ -1,269 +1,63 @@
+// Thin dispatch shims: each decoder validates its configuration,
+// owns the lane-group buffers, and hands a LaneArgs bundle to the
+// runtime-selected kernel table (core/dispatch.hpp). The lane-group
+// engine itself lives in batched_lane_impl.inc, compiled once per ISA
+// by the batched_lanes_*.cpp TUs — this TU stays baseline-ISA and
+// does everything the ISA TUs must not (std::vector sizing, string
+// formatting), see LaneDecodeCommon.
 #include "ldpc/batched_layered_decoder.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <sstream>
-#include <type_traits>
 
+#include "ldpc/core/dispatch.hpp"
 #include "obs/decode_sink.hpp"
 #include "util/contracts.hpp"
 
 namespace cldpc::ldpc {
 namespace {
 
-// Syndrome-tracker economics, reported to the thread-local metrics
-// sink (obs/decode_sink.hpp) when one is installed. Accumulated in
-// locals and flushed once per lane group from the destructor, so the
-// group's exits (early termination included) all report and the
-// disabled path costs one null check per iteration. A "scan" is one
-// bit position examined by the flip loop; a "flip" is a (bit, lane)
-// hard-decision change actually folded into the parity masks.
-struct SyndromeStatsReporter {
-  obs::DecodeSink* sink;
-  std::uint64_t scans = 0;
-  std::uint64_t flips = 0;
-  ~SyndromeStatsReporter() {
-    if (sink != nullptr) {
-      sink->shard->Add(sink->ids.syndrome_bit_scans, scans);
-      sink->shard->Add(sink->ids.syndrome_bit_flips, flips);
-    }
-  }
-};
-
-// Datapath policies of the lane engine: how a lane value is loaded
-// from the channel, narrowed into a CN input, and folded back into
-// the APP. The float paths are pass-throughs; the fixed path carries
-// the word-width saturations of the scalar fixed layered decoder.
-struct DoubleLanePolicy {
-  using Datapath = core::FloatDatapath;
-  using Value = double;
-  static constexpr bool kNarrowsMessages = false;
-  core::FloatCheckRule rule;
-  double LoadChannel(double llr) const { return llr; }
-  double ToMessage(double extr) const { return extr; }
-  double UpdateApp(double extr, double cb) const { return extr + cb; }
-};
-
-struct F32LanePolicy {
-  using Datapath = core::Float32Datapath;
-  using Value = float;
-  static constexpr bool kNarrowsMessages = false;
-  core::Float32CheckRule rule;
-  float LoadChannel(double llr) const { return static_cast<float>(llr); }
-  float ToMessage(float extr) const { return extr; }
-  float UpdateApp(float extr, float cb) const { return extr + cb; }
-};
-
-struct FixedLanePolicy {
-  using Datapath = core::FixedDatapath;
-  using Value = Fixed;
-  static constexpr bool kNarrowsMessages = true;
-  DyadicFraction rule;
-  const LlrQuantizer* quantizer;
-  int message_bits;
-  int app_bits;
-  Fixed LoadChannel(double llr) const {
-    return SaturateSymmetric(quantizer->Quantize(llr), app_bits);
-  }
-  Fixed ToMessage(Fixed extr) const {
-    return SaturateSymmetric(extr, message_bits);
-  }
-  Fixed UpdateApp(Fixed extr, Fixed cb) const {
-    return SaturateSymmetric(extr + cb, app_bits);
-  }
-};
-
 core::Float32CheckRule F32Rule(const MinSumOptions& options) {
   const auto rule = MinSumCheckRule(options);
   return {static_cast<float>(rule.scale), static_cast<float>(rule.beta)};
-}
-
-/// Decode one lane group of exactly L frames (frame-major LLRs at
-/// `llrs`). The loop body is the scalar layered decoder's, with every
-/// per-value statement widened to an L-lane loop over contiguous
-/// memory; per-lane arithmetic never mixes lanes, which is what makes
-/// each lane byte-identical to the scalar decoder on the same frame.
-//
-// Extrinsic state is the compressed per-check form of
-// core/cn_compress.hpp: a check's previous messages are reconstructed
-// and peeled in one fused pass (Peel) instead of read from a per-edge
-// array, and its refreshed summary is compressed back (Store) instead
-// of written out per edge. Reconstruction is value-identical to the
-// stored messages (Output/OutputRow are pure functions of the
-// summary), so per-lane results stay byte-identical to the scalar
-// decoders while the message memory shrinks from O(edges * L) to
-// O(checks * L).
-template <class Policy, std::size_t L>
-void DecodeLaneGroup(const LdpcCode& code, const Policy& pol,
-                     const IterOptions& iter, const double* llrs,
-                     typename Policy::Value* CLDPC_RESTRICT app,
-                     core::CompressedCnLanes<typename Policy::Datapath>& store,
-                     typename Policy::Value* CLDPC_RESTRICT extr,
-                     typename Policy::Value* CLDPC_RESTRICT bc,
-                     std::uint32_t* CLDPC_RESTRICT hard_mask,
-                     core::BatchSyndromeTracker& syndrome,
-                     DecodeResult* results) {
-  using Value = typename Policy::Value;
-  using Batch = core::CnUpdateBatch<typename Policy::Datapath, L>;
-  core::CompressedCnView<typename Policy::Datapath, L> msgs(store);
-  const auto& sched = code.schedule();
-  const std::size_t n = sched.num_bits();
-
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t l = 0; l < L; ++l)
-      app[b * L + l] = pol.LoadChannel(llrs[l * n + b]);
-  }
-  msgs.Reset(sched.num_checks());
-  // Hard decisions live as packed per-bit lane masks (bit l = lane
-  // l's decision): the per-iteration flip scan then runs on one word
-  // per bit instead of L bytes.
-  for (std::size_t b = 0; b < n; ++b) {
-    const Value* CLDPC_RESTRICT a = app + b * L;
-    std::uint32_t mask = 0;
-    for (std::size_t l = 0; l < L; ++l)
-      mask |= std::uint32_t{a[l] < Value{} ? 1u : 0u} << l;
-    hard_mask[b] = mask;
-  }
-  syndrome.ResetMasks({hard_mask, n});
-
-  const std::uint32_t all =
-      L == 32 ? 0xffffffffu : ((std::uint32_t{1} << L) - 1u);
-  std::uint32_t done = 0;
-  SyndromeStatsReporter stats{obs::CurrentDecodeSink()};
-
-  const auto capture = [&](std::size_t lane, bool converged, int iterations) {
-    DecodeResult& r = results[lane];
-    r.bits.resize(n);
-    for (std::size_t b = 0; b < n; ++b)
-      r.bits[b] = static_cast<std::uint8_t>((hard_mask[b] >> lane) & 1u);
-    r.converged = converged;
-    r.iterations_run = iterations;
-  };
-
-  for (int it = 1; it <= iter.max_iterations; ++it) {
-    for (std::size_t m = 0; m < sched.num_checks(); ++m) {
-      const std::size_t dc = sched.Degree(m);
-      if (dc == 0) continue;  // empty check: nothing to send
-      const auto bits = sched.CheckBits(m);
-      // Reconstruct this check's previous messages from its
-      // compressed record and peel them out of the APPs, lane-wise
-      // (fused: no staged message rows, record hoisted per check).
-      msgs.Peel(m, dc, bits.data(), app, extr);
-      const Value* cn_in = extr;
-      if constexpr (Policy::kNarrowsMessages) {
-        CLDPC_SIMD_LOOP
-        for (std::size_t i = 0; i < dc * L; ++i) bc[i] = pol.ToMessage(extr[i]);
-        cn_in = bc;
-      }
-      // The scan packs the record's sign words as it goes; Store then
-      // only normalizes and copies the per-check fields.
-      const auto summary = Batch::Compute(cn_in, dc, msgs.SignWords(m));
-      // Compress the refreshed summary, then fold its outputs into
-      // the APPs immediately (the layered property) — FoldFresh is
-      // value-identical to OutputRow + UpdateApp on the summary.
-      msgs.Store(m, summary, pol.rule);
-      msgs.FoldFresh(m, dc, bits.data(), cn_in, extr, app, pol);
-    }
-
-    // Incremental syndrome: repack each bit's lane sign mask and fold
-    // only the changed lanes into the parity masks.
-    if (stats.sink != nullptr) stats.scans += n;
-    for (std::size_t b = 0; b < n; ++b) {
-      const Value* CLDPC_RESTRICT a = app + b * L;
-      std::uint32_t mask = 0;
-      for (std::size_t l = 0; l < L; ++l)
-        mask |= std::uint32_t{a[l] < Value{} ? 1u : 0u} << l;
-      const std::uint32_t flips = mask ^ hard_mask[b];
-      hard_mask[b] = mask;
-      if (flips != 0) {
-        syndrome.Flip(b, flips);
-        if (stats.sink != nullptr)
-          stats.flips += static_cast<std::uint64_t>(std::popcount(flips));
-      }
-    }
-
-    if (iter.early_termination) {
-      const std::uint32_t newly =
-          all & ~syndrome.UnsatisfiedLanes() & ~done;
-      for (std::uint32_t rest = newly; rest != 0; rest &= rest - 1) {
-        const auto lane =
-            static_cast<std::size_t>(std::countr_zero(rest));
-        capture(lane, /*converged=*/true, it);
-      }
-      done |= newly;
-      if (done == all) return;  // every lane finished early
-    }
-  }
-
-  // Lanes that never converged (or, without early termination, all
-  // lanes): final state after max_iterations, like the scalar path.
-  const std::uint32_t unsat = syndrome.UnsatisfiedLanes();
-  for (std::uint32_t rest = all & ~done; rest != 0; rest &= rest - 1) {
-    const auto lane = static_cast<std::size_t>(std::countr_zero(rest));
-    capture(lane, /*converged=*/((unsat >> lane) & 1u) == 0,
-            iter.max_iterations);
-  }
-}
-
-/// Split `num_frames` into lane groups (largest instantiated width
-/// that fits both the remaining frames and `max_lanes`) and decode
-/// each group. Per-lane results are grouping-independent, so the
-/// split is purely a throughput decision.
-template <class Policy>
-std::vector<DecodeResult> DecodeChunked(
-    const LdpcCode& code, const Policy& pol, const IterOptions& iter,
-    std::span<const double> llrs, std::size_t num_frames,
-    std::size_t max_lanes, typename Policy::Value* app,
-    core::CompressedCnLanes<typename Policy::Datapath>& store,
-    typename Policy::Value* extr, typename Policy::Value* bc,
-    std::uint32_t* hard_mask,
-    core::BatchSyndromeTracker& syndrome) {
-  const std::size_t n = code.graph().num_bits();
-  CLDPC_EXPECTS(num_frames > 0, "need at least one frame");
-  CLDPC_EXPECTS(llrs.size() == num_frames * n,
-                "LLR block must be num_frames frames of length n");
-  std::vector<DecodeResult> results(num_frames);
-  std::size_t f = 0;
-  while (f < num_frames) {
-    const std::size_t want = std::min(max_lanes, num_frames - f);
-    const double* base = llrs.data() + f * n;
-    DecodeResult* out = results.data() + f;
-    const auto run = [&](auto width) {
-      constexpr std::size_t kL = decltype(width)::value;
-      // Occupancy: lanes actually decoded per group vs the configured
-      // width — a 5-frame tail with max_lanes=16 runs as a 4-group
-      // plus a 1-group, occupancies 4 and 1 out of 16.
-      if (obs::DecodeSink* sink = obs::CurrentDecodeSink()) {
-        sink->shard->Add(sink->ids.lane_groups, 1);
-        sink->shard->Add(sink->ids.lanes_filled, kL);
-        sink->shard->Add(sink->ids.lane_capacity,
-                         std::min(max_lanes, kMaxLaneGroup));
-        sink->shard->Record(sink->ids.lane_occupancy,
-                            static_cast<std::int64_t>(kL));
-      }
-      DecodeLaneGroup<Policy, kL>(code, pol, iter, base, app, store, extr,
-                                  bc, hard_mask, syndrome, out);
-      f += kL;
-    };
-    if (want >= 16) {
-      run(std::integral_constant<std::size_t, 16>{});
-    } else if (want >= 8) {
-      run(std::integral_constant<std::size_t, 8>{});
-    } else if (want >= 4) {
-      run(std::integral_constant<std::size_t, 4>{});
-    } else if (want >= 2) {
-      run(std::integral_constant<std::size_t, 2>{});
-    } else {
-      run(std::integral_constant<std::size_t, 1>{});
-    }
-  }
-  return results;
 }
 
 std::size_t ValidatedLanes(std::size_t max_lanes) {
   CLDPC_EXPECTS(max_lanes >= 1 && max_lanes <= 32,
                 "batch lanes must be in [1, 32]");
   return max_lanes;
+}
+
+/// The pre-sized result block the kernels write into (the
+/// LaneDecodeCommon contract: all vector growth happens here, in a
+/// baseline-ISA TU).
+std::vector<DecodeResult> PreparedResults(std::size_t num_frames,
+                                          std::size_t n) {
+  std::vector<DecodeResult> results(num_frames);
+  for (auto& r : results) r.bits.resize(n);
+  return results;
+}
+
+core::LaneDecodeCommon MakeCommon(const LdpcCode& code,
+                                  const IterOptions& iter,
+                                  std::span<const double> llrs,
+                                  std::size_t num_frames,
+                                  std::size_t max_lanes,
+                                  std::uint32_t* hard_mask,
+                                  core::BatchSyndromeTracker* syndrome,
+                                  DecodeResult* results) {
+  CLDPC_EXPECTS(llrs.size() == num_frames * code.graph().num_bits(),
+                "LLR block must be num_frames frames of length n");
+  core::LaneDecodeCommon c;
+  c.code = &code;
+  c.iter = iter;
+  c.llrs = llrs.data();
+  c.num_frames = num_frames;
+  c.max_lanes = max_lanes;
+  c.hard_mask = hard_mask;
+  c.syndrome = syndrome;
+  c.results = results;
+  return c;
 }
 
 }  // namespace
@@ -298,10 +92,16 @@ DecodeResult BatchedLayeredDecoder::Decode(std::span<const double> llr) {
 
 std::vector<DecodeResult> BatchedLayeredDecoder::DecodeBatch(
     std::span<const double> llrs, std::size_t num_frames) {
-  const DoubleLanePolicy pol{rule_};
-  return DecodeChunked(code_, pol, options_.iter, llrs, num_frames,
-                       max_lanes_, app_.data(), msgs_, extr_.data(),
-                       /*bc=*/nullptr, hard_.data(), syndrome_);
+  auto results = PreparedResults(num_frames, code_.graph().num_bits());
+  core::LaneArgsDouble a;
+  a.common = MakeCommon(code_, options_.iter, llrs, num_frames, max_lanes_,
+                        hard_.data(), &syndrome_, results.data());
+  a.rule = rule_;
+  a.app = app_.data();
+  a.store = &msgs_;
+  a.extr = extr_.data();
+  core::ActiveLaneKernels().decode_double(a);
+  return results;
 }
 
 // ---- BatchedLayeredDecoderF32 (float lanes) ------------------------
@@ -334,10 +134,16 @@ DecodeResult BatchedLayeredDecoderF32::Decode(std::span<const double> llr) {
 
 std::vector<DecodeResult> BatchedLayeredDecoderF32::DecodeBatch(
     std::span<const double> llrs, std::size_t num_frames) {
-  const F32LanePolicy pol{rule_};
-  return DecodeChunked(code_, pol, options_.iter, llrs, num_frames,
-                       max_lanes_, app_.data(), msgs_, extr_.data(),
-                       /*bc=*/nullptr, hard_.data(), syndrome_);
+  auto results = PreparedResults(num_frames, code_.graph().num_bits());
+  core::LaneArgsF32 a;
+  a.common = MakeCommon(code_, options_.iter, llrs, num_frames, max_lanes_,
+                        hard_.data(), &syndrome_, results.data());
+  a.rule = rule_;
+  a.app = app_.data();
+  a.store = &msgs_;
+  a.extr = extr_.data();
+  core::ActiveLaneKernels().decode_f32(a);
+  return results;
 }
 
 // ---- BatchedFixedLayeredDecoder (fixed-point lanes) ----------------
@@ -377,12 +183,101 @@ DecodeResult BatchedFixedLayeredDecoder::Decode(std::span<const double> llr) {
 
 std::vector<DecodeResult> BatchedFixedLayeredDecoder::DecodeBatch(
     std::span<const double> llrs, std::size_t num_frames) {
-  const FixedLanePolicy pol{options_.datapath.normalization, &quantizer_,
-                            options_.datapath.message_bits,
-                            options_.datapath.app_bits};
-  return DecodeChunked(code_, pol, options_.iter, llrs, num_frames,
-                       max_lanes_, app_.data(), msgs_, extr_.data(),
-                       bc_.data(), hard_.data(), syndrome_);
+  auto results = PreparedResults(num_frames, code_.graph().num_bits());
+  core::LaneArgsFixed a;
+  a.common = MakeCommon(code_, options_.iter, llrs, num_frames, max_lanes_,
+                        hard_.data(), &syndrome_, results.data());
+  a.norm = options_.datapath.normalization;
+  a.quantizer = &quantizer_;
+  a.message_bits = options_.datapath.message_bits;
+  a.app_bits = options_.datapath.app_bits;
+  a.app = app_.data();
+  a.store = &msgs_;
+  a.extr = extr_.data();
+  a.bc = bc_.data();
+  core::ActiveLaneKernels().decode_fixed(a);
+  return results;
+}
+
+// ---- BatchedFixedI8LayeredDecoder (int8 lanes) ---------------------
+
+BatchedFixedI8LayeredDecoder::BatchedFixedI8LayeredDecoder(
+    const LdpcCode& code, FixedMinSumOptions options, std::size_t max_lanes)
+    : code_(code),
+      options_(options),
+      quantizer_(options.datapath.channel_bits,
+                 options.datapath.channel_scale),
+      max_lanes_(ValidatedLanes(max_lanes)),
+      syndrome_(code.schedule()) {
+  CLDPC_EXPECTS(options_.iter.max_iterations > 0, "need >= 1 iteration");
+  // The FixedI8Datapath width contract (batch_kernel.hpp): int8
+  // messages, int16 APP arithmetic with headroom, normalization that
+  // never amplifies. Everything inside it is bit-identical to the
+  // int32 fixed datapath; everything outside is rejected here rather
+  // than silently wrapping.
+  CLDPC_EXPECTS(options_.datapath.message_bits >= 2 &&
+                    options_.datapath.message_bits <= 8,
+                "i8 datapath needs message width in [2, 8]");
+  CLDPC_EXPECTS(options_.datapath.app_bits >= options_.datapath.message_bits,
+                "APP accumulator narrower than messages");
+  CLDPC_EXPECTS(options_.datapath.app_bits <= 14,
+                "i8 datapath needs APP width <= 14 (int16 headroom)");
+  CLDPC_EXPECTS(options_.datapath.normalization.num <=
+                    (Fixed{1} << options_.datapath.normalization.shift),
+                "i8 datapath needs normalization factor <= 1");
+  CLDPC_EXPECTS(options_.datapath.normalization.shift >= 0 &&
+                    options_.datapath.normalization.shift <= 8,
+                "i8 datapath needs normalization denominator <= 256 "
+                "(the normalizer multiplies in int16)");
+  const std::size_t w = std::min(max_lanes_, kMaxLaneGroupI8);
+  app_.resize(code_.graph().num_bits() * w);
+  extr_.resize(code_.schedule().max_check_degree() * w);
+  bc_.resize(code_.schedule().max_check_degree() * w);
+  msgs_.Resize(code_.graph().num_checks(), w);
+  hard_.resize(code_.graph().num_bits());
+}
+
+std::string BatchedFixedI8LayeredDecoder::Name() const {
+  std::ostringstream os;
+  os << "fixed-layered-nms-i8(w" << options_.datapath.message_bits << ")";
+  return os.str();
+}
+
+DecodeResult BatchedFixedI8LayeredDecoder::Decode(
+    std::span<const double> llr) {
+  auto results = DecodeBatch(llr, 1);
+  return std::move(results.front());
+}
+
+std::vector<DecodeResult> BatchedFixedI8LayeredDecoder::DecodeBatch(
+    std::span<const double> llrs, std::size_t num_frames) {
+  auto results = PreparedResults(num_frames, code_.graph().num_bits());
+  core::LaneArgsI8 a;
+  a.common = MakeCommon(code_, options_.iter, llrs, num_frames, max_lanes_,
+                        hard_.data(), &syndrome_, results.data());
+  a.norm = options_.datapath.normalization;
+  a.quantizer = &quantizer_;
+  a.message_bits = options_.datapath.message_bits;
+  a.app_bits = options_.datapath.app_bits;
+  a.app = app_.data();
+  a.store = &msgs_;
+  a.extr = extr_.data();
+  a.bc = bc_.data();
+  // With a sink installed the kernel runs its saturation-counting
+  // twin; totals land in these locals and flush to the shard below.
+  std::uint64_t msg_clamps = 0;
+  std::uint64_t bn_saturations = 0;
+  obs::DecodeSink* sink = obs::CurrentDecodeSink();
+  if (sink != nullptr) {
+    a.msg_clamps = &msg_clamps;
+    a.bn_saturations = &bn_saturations;
+  }
+  core::ActiveLaneKernels().decode_i8(a);
+  if (sink != nullptr) {
+    sink->shard->Add(sink->ids.msg_clamp_events, msg_clamps);
+    sink->shard->Add(sink->ids.bn_sat_events, bn_saturations);
+  }
+  return results;
 }
 
 }  // namespace cldpc::ldpc

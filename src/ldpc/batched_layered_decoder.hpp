@@ -6,29 +6,42 @@
 // state stays O(checks * lanes) — the software analogue of the
 // paper's multi-frame compressed memory words.
 //
-// Three datapaths:
-//   BatchedLayeredDecoder      — double lanes; per-lane results are
-//                                byte-identical to LayeredMinSumDecoder
-//                                (registry spec `layered-*:batch=N`).
-//   BatchedLayeredDecoderF32   — float lanes: twice the SIMD width; a
-//                                new datapath (spec kind
-//                                `layered-nms-f32`), validated by
-//                                BER-curve equivalence, not byte
-//                                identity.
-//   BatchedFixedLayeredDecoder — bit-accurate fixed-point lanes;
-//                                byte-identical per lane to
-//                                FixedLayeredMinSumDecoder
-//                                (`fixed-layered-nms:batch=N`).
+// Four datapaths:
+//   BatchedLayeredDecoder        — double lanes; per-lane results are
+//                                  byte-identical to LayeredMinSumDecoder
+//                                  (registry spec `layered-*:batch=N`).
+//   BatchedLayeredDecoderF32     — float lanes: twice the SIMD width; a
+//                                  new datapath (spec kind
+//                                  `layered-nms-f32`), validated by
+//                                  BER-curve equivalence, not byte
+//                                  identity.
+//   BatchedFixedLayeredDecoder   — bit-accurate fixed-point lanes;
+//                                  byte-identical per lane to
+//                                  FixedLayeredMinSumDecoder
+//                                  (`fixed-layered-nms:batch=N`).
+//   BatchedFixedI8LayeredDecoder — int8 message lanes over an int16
+//                                  saturating APP accumulator; under
+//                                  its width contract byte-identical
+//                                  per lane to the int32 fixed
+//                                  decoders (`fixed-layered-nms-i8`),
+//                                  at 4x their lane density.
 //
-// Frames are processed in lane groups of up to 16 (compile-time
-// widths 16/8/4/2/1, largest fitting group first); per-lane
-// results are independent of the grouping, so any DecodeBatch size —
-// including 1, which is what Decode uses — reproduces the same
-// outputs. Early termination is tracked per lane with the incremental
-// BatchSyndromeTracker: a converged lane's result is captured at its
-// convergence iteration and the lane drops out of the convergence
-// bookkeeping (its SIMD lane keeps carrying values — that costs
-// nothing); the group stops as soon as every lane has finished.
+// Frames are processed in lane groups of up to 16 (the i8 datapath:
+// 32) — compile-time widths 32/16/8/4/2/1, largest fitting group
+// first; per-lane results are independent of the grouping, so any
+// DecodeBatch size — including 1, which is what Decode uses —
+// reproduces the same outputs. Early termination is tracked per lane
+// with the incremental BatchSyndromeTracker: a converged lane's
+// result is captured at its convergence iteration and the lane drops
+// out of the convergence bookkeeping (its SIMD lane keeps carrying
+// values — that costs nothing); the group stops as soon as every lane
+// has finished.
+//
+// The lane-group engine itself is compiled once per ISA and selected
+// at runtime (core/dispatch.hpp): DecodeBatch packs the decoder's
+// buffers into a LaneArgs struct and calls through the active
+// LaneKernelTable. Every table computes bit-identical results, so the
+// selection only moves throughput.
 #pragma once
 
 #include "ldpc/core/batch_kernel.hpp"
@@ -43,6 +56,11 @@ namespace cldpc::ldpc {
 /// Largest lane-group width the batched decoders instantiate; larger
 /// batch requests are processed as multiple groups.
 inline constexpr std::size_t kMaxLaneGroup = 16;
+
+/// The i8 datapath's widest lane group: int8 lanes are 4x denser per
+/// SIMD register, so its ladder gets a 32-wide rung (the packed
+/// uint32 lane masks cap any further widening).
+inline constexpr std::size_t kMaxLaneGroupI8 = 32;
 
 class BatchedLayeredDecoder final : public Decoder {
  public:
@@ -119,6 +137,39 @@ class BatchedFixedLayeredDecoder final : public Decoder {
   std::size_t max_lanes_;
   std::vector<Fixed> app_, extr_, bc_;
   core::CompressedCnLanes<core::FixedDatapath> msgs_;
+  std::vector<std::uint32_t> hard_;
+  core::BatchSyndromeTracker syndrome_;
+};
+
+/// The int8 lane datapath: CN messages travel as saturating int8
+/// lanes, APPs accumulate in int16 (the "wider intermediate"), and
+/// lane groups go up to 32 wide. Construction enforces the
+/// FixedI8Datapath width contract — message_bits <= 8, app_bits <= 14
+/// and normalization <= 1 — under which every lane reproduces the
+/// int32 FixedLayeredMinSumDecoder bit for bit (see batch_kernel.hpp
+/// for the argument), so the narrow datapath costs nothing in BER.
+class BatchedFixedI8LayeredDecoder final : public Decoder {
+ public:
+  BatchedFixedI8LayeredDecoder(const LdpcCode& code,
+                               FixedMinSumOptions options,
+                               std::size_t max_lanes);
+
+  DecodeResult Decode(std::span<const double> llr) override;
+  std::vector<DecodeResult> DecodeBatch(std::span<const double> llrs,
+                                        std::size_t num_frames) override;
+  std::string Name() const override;
+
+  const FixedMinSumOptions& options() const { return options_; }
+  std::size_t max_lanes() const { return max_lanes_; }
+
+ private:
+  const LdpcCode& code_;
+  FixedMinSumOptions options_;
+  LlrQuantizer quantizer_;
+  std::size_t max_lanes_;
+  std::vector<std::int16_t> app_, extr_;  // int16 BN accumulator lanes
+  std::vector<std::int8_t> bc_;           // narrowed CN input lanes
+  core::CompressedCnLanes<core::FixedI8Datapath> msgs_;
   std::vector<std::uint32_t> hard_;
   core::BatchSyndromeTracker syndrome_;
 };

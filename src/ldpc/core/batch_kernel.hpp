@@ -20,10 +20,21 @@
 // comparator tree.
 //
 // Datapaths: the scalar policies (FloatDatapath, FixedDatapath) plus
-// Float32Datapath — a single-precision variant with no scalar
-// counterpart; it doubles the SIMD width and is validated by
-// BER-curve equivalence rather than byte identity (see
-// BatchedLayeredDecoderF32).
+// two batch-only variants —
+//   Float32Datapath — single precision, double the SIMD width of the
+//                     double path; validated by BER-curve equivalence
+//                     (see BatchedLayeredDecoderF32).
+//   FixedI8Datapath — 8-bit saturating lanes (int16 APP accumulator
+//                     in the decoder), 4x the lanes of the int32
+//                     fixed path; value-identical to the int32 fixed
+//                     datapath whenever the word widths fit (see the
+//                     width contract on FixedI8Datapath below).
+//
+// This header declares the shared, portable pieces (datapath
+// policies, BatchTraits, the kernel compiled at the build's baseline
+// ISA). The kernel bodies themselves live in lane_kernels.inc so the
+// per-ISA dispatch TUs can compile their own copies — see
+// core/dispatch.hpp.
 #pragma once
 
 #include <algorithm>
@@ -73,6 +84,44 @@ struct Float32Datapath {
   static float FlipSign(float v, bool negative) {
     return std::bit_cast<float>(std::bit_cast<std::uint32_t>(v) ^
                                 (std::uint32_t{negative} << 31));
+  }
+};
+
+/// 8-bit saturating fixed-point datapath policy: the messages of the
+/// int32 FixedDatapath carried in int8 lanes, so an AVX2 register
+/// holds 32 of them (AVX-512: 64). The quantization semantics are
+/// FixedDatapathParams' — symmetric W-bit words, dyadic shift-add
+/// normalization with round-to-nearest ties-away — and the decoder
+/// accumulates APPs in int16 (see BatchedFixedI8LayeredDecoder).
+///
+/// Width contract (enforced by the i8 decoder/registry): message_bits
+/// <= 8 so every CN input fits the symmetric int8 range [-127, 127],
+/// app_bits <= 14 so APP +- message fits int16 without wrapping, and
+/// normalization <= 1 so normalized magnitudes fit back into int8.
+/// Under that contract every i8 lane value equals the int32 fixed
+/// datapath's value bit for bit: the only nominal difference is the
+/// min1/min2 scan's init (kMax = 127 here vs INT32_MAX), and since
+/// 127 is also the largest representable input magnitude, the scan's
+/// running min values — and therefore its outputs — coincide (a
+/// 127-magnitude input never displaces the 127 init, but the selected
+/// value is 127 either way).
+struct FixedI8Datapath {
+  using Value = std::int8_t;
+  using Rule = DyadicFraction;
+  static constexpr std::int8_t kMax = std::numeric_limits<std::int8_t>::max();
+  static std::int8_t Abs(std::int8_t v) {
+    // Symmetric saturation keeps -128 out of the datapath, so the
+    // negation never overflows.
+    return static_cast<std::int8_t>(v < 0 ? -v : v);
+  }
+  static bool IsNegative(std::int8_t v) { return v < 0; }
+  static std::int8_t Normalize(std::int8_t mag, const Rule& rule) {
+    // The int32 rule applied to an int8 value: exact (<= 1 contract),
+    // result <= mag fits int8.
+    return static_cast<std::int8_t>(rule.Apply(mag));
+  }
+  static std::int8_t FlipSign(std::int8_t v, bool negative) {
+    return static_cast<std::int8_t>(negative ? -v : v);
   }
 };
 
@@ -139,120 +188,37 @@ struct BatchTraits<FixedDatapath> {
   }
 };
 
-template <class Datapath, std::size_t kLanes>
-struct CnUpdateBatch {
-  static_assert(kLanes >= 1 && kLanes <= 32, "lane masks are 32-bit");
-  using Value = typename Datapath::Value;
-  using Rule = typename Datapath::Rule;
-  using Traits = BatchTraits<Datapath>;
-  using UInt = typename Traits::UInt;
-  using Index = typename Traits::Index;
-
-  /// Per-lane CnUpdate::Summary, field-major so every loop over lanes
-  /// reads contiguous same-width data.
-  struct Summary {
-    std::array<Value, kLanes> min1;
-    std::array<Value, kLanes> min2;
-    std::array<Index, kLanes> argmin;    // position, as a Value-width number
-    std::array<UInt, kLanes> sign_acc;   // XOR of input sign masks
-  };
-
-  /// Sign-word geometry of the packing overload: per-position input
-  /// signs pack into Value-width UInt rows, kSignBits positions per
-  /// word (so degree 64 needs 64 / kSignBits words per lane).
-  static constexpr std::size_t kSignBits = 8 * sizeof(UInt);
-
-  /// First pass over the dc * kLanes inputs (position-major SoA:
-  /// inputs[i * kLanes + l]).
-  static Summary Compute(const Value* inputs, std::size_t dc) {
-    return ComputeImpl<false>(inputs, dc, nullptr);
+template <>
+struct BatchTraits<FixedI8Datapath> {
+  using UInt = std::uint8_t;
+  using Index = std::int8_t;  // positions are < 64, exact in int8
+  static UInt SignMask(std::int8_t v) {
+    return v < 0 ? UInt{0xff} : UInt{0};
   }
-
-  /// Compute, additionally packing each position's input sign bit
-  /// into `sign_words` (word-major then lane-major: bit i % kSignBits
-  /// of sign_words[(i / kSignBits) * kLanes + l]) during the same
-  /// scan — the compressed message store's record signs, produced
-  /// without a second pass over the inputs. Words whose positions lie
-  /// entirely past dc are not written.
-  static Summary Compute(const Value* inputs, std::size_t dc,
-                         UInt* sign_words) {
-    return ComputeImpl<true>(inputs, dc, sign_words);
+  static std::int8_t ApplySign(std::int8_t mag, UInt mask) {
+    const std::int8_t m = static_cast<std::int8_t>(mask);
+    return static_cast<std::int8_t>((mag ^ m) - m);
   }
-
-  template <bool kPackSigns>
-  static Summary ComputeImpl(const Value* inputs, std::size_t dc,
-                             UInt* CLDPC_RESTRICT sign_words) {
-    CLDPC_EXPECTS(dc >= 2 && dc <= 64, "check degree must be in [2, 64]");
-    Summary s;
-    s.min1.fill(Datapath::kMax);
-    s.min2.fill(Datapath::kMax);
-    s.argmin.fill(Index{0});
-    s.sign_acc.fill(UInt{0});
-    std::array<UInt, kLanes> sacc{};
-    for (std::size_t i = 0; i < dc; ++i) {
-      const Value* CLDPC_RESTRICT in = inputs + i * kLanes;
-      const auto pos = static_cast<Index>(i);
-      const auto sh = static_cast<unsigned>(i % kSignBits);
-      CLDPC_SIMD_LOOP
-      for (std::size_t l = 0; l < kLanes; ++l) {
-        const Value v = in[l];
-        const Value mag = Datapath::Abs(v);
-        // Loads hoisted into locals before the selects: GCC treats
-        // `cond ? a[l] : b[l]` as conditional control flow and
-        // refuses to if-convert it, but selects between
-        // already-loaded values vectorize.
-        const Value m1 = s.min1[l];
-        const Value m2 = s.min2[l];
-        const Index am = s.argmin[l];
-        s.sign_acc[l] ^= Traits::SignMask(v);
-        if constexpr (kPackSigns)
-          sacc[l] |= (Traits::SignMask(v) & UInt{1}) << sh;
-        // Branchless form of the scalar kernel's if/else chain: the
-        // same strict comparisons, lane-wise, so each lane's
-        // min1/min2/argmin match CnUpdate exactly (ties included).
-        const bool lt1 = mag < m1;
-        const bool lt2 = mag < m2;
-        s.min2[l] = lt1 ? m1 : (lt2 ? mag : m2);
-        s.argmin[l] = lt1 ? pos : am;
-        s.min1[l] = lt1 ? mag : m1;
-      }
-      if constexpr (kPackSigns) {
-        // Flush the accumulated word at each word boundary (and at
-        // the final position) — one store per word, registers
-        // in between.
-        if (sh == kSignBits - 1 || i == dc - 1) {
-          UInt* CLDPC_RESTRICT row = sign_words + (i / kSignBits) * kLanes;
-          for (std::size_t l = 0; l < kLanes; ++l) {
-            row[l] = sacc[l];
-            sacc[l] = UInt{0};
-          }
-        }
-      }
-    }
-    return s;
-  }
-
-  /// Second pass, one whole row at a time: the L check-to-bit
-  /// messages of input position `pos`. `in_row` must be the same L
-  /// inputs passed to Compute at this position (the kernel re-derives
-  /// each lane's own sign from it, which equals the sign recorded by
-  /// the scan). Per lane this computes exactly CnUpdate::Output.
-  static void OutputRow(const Summary& s, std::size_t pos,
-                        const Value* CLDPC_RESTRICT in_row, const Rule& rule,
-                        Value* CLDPC_RESTRICT out_row) {
-    const auto p = static_cast<Index>(pos);
-    CLDPC_SIMD_LOOP
-    for (std::size_t l = 0; l < kLanes; ++l) {
-      // Unconditional loads first, select second (see Compute).
-      const Value m1 = s.min1[l];
-      const Value m2 = s.min2[l];
-      const Index am = s.argmin[l];
-      const Value excl = (p == am) ? m2 : m1;
-      const Value mag = Traits::NormalizeMag(excl, rule);
-      const UInt negative = s.sign_acc[l] ^ Traits::SignMask(in_row[l]);
-      out_row[l] = Traits::ApplySign(mag, negative);
-    }
+  /// The fixed normalizer on an int8 magnitude, computed in int16:
+  /// the i8 decoder's contract bounds shift <= 8 and num <= 2^shift,
+  /// so mag * num + round <= 127 * 256 + 128 fits int16 exactly and
+  /// the int16 truncation of the int-promoted product is
+  /// value-identical to BatchTraits<FixedDatapath>::NormalizeMag.
+  /// Staying narrow keeps the Store loop in 16-bit SIMD lanes instead
+  /// of widening every lane to int32.
+  static std::int8_t NormalizeMag(std::int8_t mag,
+                                  const DyadicFraction& rule) {
+    const auto num = static_cast<std::int16_t>(rule.num);
+    const auto round = static_cast<std::int16_t>(
+        rule.shift == 0 ? 0 : (1 << (rule.shift - 1)));
+    return static_cast<std::int8_t>(
+        static_cast<std::int16_t>(mag * num + round) >> rule.shift);
   }
 };
+
+// The portable (baseline-ISA) copy of the lane kernels. The per-ISA
+// copies compiled by the dispatch TUs live in their own namespaces;
+// see lane_kernels.inc for why the duplication is load-bearing.
+#include "ldpc/core/lane_kernels.inc"
 
 }  // namespace cldpc::ldpc::core

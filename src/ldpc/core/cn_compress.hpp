@@ -151,180 +151,9 @@ class CompressedCnLanes {
   std::vector<UInt> signs_;
 };
 
-/// Lane-templated kernels over a CompressedCnLanes store: the batched
-/// analogue of CompressedCn, with the same normalization-commutes
-/// reconstruction contract per lane. All lane loops are the
-/// contiguous compare/select shape batch_kernel.hpp vectorizes.
-template <class Datapath, std::size_t kLanes>
-class CompressedCnView {
- public:
-  using Batch = CnUpdateBatch<Datapath, kLanes>;
-  using Value = typename Datapath::Value;
-  using Rule = typename Datapath::Rule;
-  using Traits = BatchTraits<Datapath>;
-  using Index = typename Traits::Index;
-  using UInt = typename Traits::UInt;
-  using Store_ = CompressedCnLanes<Datapath>;
-  static constexpr std::size_t kSignBits = Store_::kSignBits;
-  static constexpr std::size_t kSignWords = Store_::kSignWords;
-
-  explicit CompressedCnView(CompressedCnLanes<Datapath>& store)
-      : nmin1_(store.nmin1()),
-        nmin2_(store.nmin2()),
-        argmin_(store.argmin()),
-        parity_(store.parity()),
-        signs_(store.signs()) {}
-
-  /// Zero the first `num_checks` records at this lane width (the
-  /// prefix a kLanes-wide group uses; every reconstruction then
-  /// yields +0, the "messages start at zero" state).
-  void Reset(std::size_t num_checks) {
-    const std::size_t size = num_checks * kLanes;
-    std::fill(nmin1_, nmin1_ + size, Value{});
-    std::fill(nmin2_, nmin2_ + size, Value{});
-    std::fill(argmin_, argmin_ + size, Index{});
-    std::fill(parity_, parity_ + size, UInt{});
-    std::fill(signs_, signs_ + size * kSignWords, UInt{});
-  }
-
-  /// Check m's packed sign-word rows — hand this to the
-  /// sign-packing Batch::Compute overload so the record's signs are
-  /// produced during the scan itself (no second pass over the
-  /// inputs).
-  UInt* SignWords(std::size_t m) {
-    return signs_ + m * kSignWords * kLanes;
-  }
-
-  /// Compress check m's lane summaries: normalize the two candidate
-  /// magnitudes once, copy argmin and the sign-product masks. The
-  /// per-position sign words must already have been packed into
-  /// SignWords(m) by the Batch::Compute overload.
-  void Store(std::size_t m, const typename Batch::Summary& s,
-             const Rule& rule) {
-    Value* CLDPC_RESTRICT n1 = nmin1_ + m * kLanes;
-    Value* CLDPC_RESTRICT n2 = nmin2_ + m * kLanes;
-    Index* CLDPC_RESTRICT am = argmin_ + m * kLanes;
-    UInt* CLDPC_RESTRICT par = parity_ + m * kLanes;
-    CLDPC_SIMD_LOOP
-    for (std::size_t l = 0; l < kLanes; ++l) {
-      n1[l] = Traits::NormalizeMag(s.min1[l], rule);
-      n2[l] = Traits::NormalizeMag(s.min2[l], rule);
-      am[l] = s.argmin[l];
-      par[l] = s.sign_acc[l];
-    }
-  }
-
-  /// Reconstruct the kLanes check-to-bit messages check m sent to
-  /// input position `pos` at its last visit — per lane, the value
-  /// OutputRow produced when the record was stored (or +0 after
-  /// Reset).
-  void LoadRow(std::size_t m, std::size_t pos,
-               Value* CLDPC_RESTRICT out) const {
-    const Value* CLDPC_RESTRICT n1 = nmin1_ + m * kLanes;
-    const Value* CLDPC_RESTRICT n2 = nmin2_ + m * kLanes;
-    const Index* CLDPC_RESTRICT am = argmin_ + m * kLanes;
-    const UInt* CLDPC_RESTRICT par = parity_ + m * kLanes;
-    const UInt* CLDPC_RESTRICT sw =
-        signs_ + (m * kSignWords + pos / kSignBits) * kLanes;
-    const auto sh = static_cast<unsigned>(pos % kSignBits);
-    const auto p = static_cast<Index>(pos);
-    CLDPC_SIMD_LOOP
-    for (std::size_t l = 0; l < kLanes; ++l) {
-      const Value m1 = n1[l];
-      const Value m2 = n2[l];
-      const Index a = am[l];
-      // Full-width self-sign mask from the packed bit, XORed with the
-      // parity mask — the mask identity of OutputRow's
-      // sign_acc ^ SignMask(in) (the packed bit IS that sign).
-      const UInt self = UInt{0} - ((sw[l] >> sh) & UInt{1});
-      const Value excl = (p == a) ? m2 : m1;
-      out[l] = Traits::ApplySign(excl, par[l] ^ self);
-    }
-  }
-
-  /// Fused reconstruct-and-peel over a whole check: for every input
-  /// position i, extr[i*L + l] = app[bits[i]*L + l] - (the message of
-  /// LoadRow(m, i)). The check-invariant record rows are hoisted into
-  /// registers once and reused across all dc positions — the layered
-  /// peel's hot shape.
-  void Peel(std::size_t m, std::size_t dc, const std::uint32_t* bits,
-            const Value* app, Value* extr) const {
-    std::array<Value, kLanes> n1, n2;
-    std::array<Index, kLanes> am;
-    std::array<UInt, kLanes> par, sw{};
-    HoistRecord(m, n1, n2, am, par);
-    for (std::size_t i = 0; i < dc; ++i) {
-      if (i % kSignBits == 0) {
-        const UInt* CLDPC_RESTRICT s =
-            signs_ + (m * kSignWords + i / kSignBits) * kLanes;
-        for (std::size_t l = 0; l < kLanes; ++l) sw[l] = s[l];
-      }
-      const auto sh = static_cast<unsigned>(i % kSignBits);
-      const auto p = static_cast<Index>(i);
-      const Value* CLDPC_RESTRICT a = app + bits[i] * kLanes;
-      Value* CLDPC_RESTRICT e = extr + i * kLanes;
-      CLDPC_SIMD_LOOP
-      for (std::size_t l = 0; l < kLanes; ++l) {
-        const UInt self = UInt{0} - ((sw[l] >> sh) & UInt{1});
-        const Value excl = (p == am[l]) ? n2[l] : n1[l];
-        e[l] = a[l] - Traits::ApplySign(excl, par[l] ^ self);
-      }
-    }
-  }
-
-  /// Fold the just-stored record's fresh messages into the APPs:
-  /// app[bits[i]*L + l] = pol.UpdateApp(extr[i*L + l], message). Each
-  /// lane's self sign comes from the live input row (equal to the
-  /// packed bit by construction; skips the extraction), and the
-  /// selects read the mins Store already normalized — value-identical
-  /// to Batch::OutputRow on the compressed summary. `cn_in` may alias
-  /// `extr` (both are only read).
-  template <class Policy>
-  void FoldFresh(std::size_t m, std::size_t dc, const std::uint32_t* bits,
-                 const Value* cn_in, const Value* extr, Value* app,
-                 const Policy& pol) const {
-    std::array<Value, kLanes> n1, n2;
-    std::array<Index, kLanes> am;
-    std::array<UInt, kLanes> par;
-    HoistRecord(m, n1, n2, am, par);
-    for (std::size_t i = 0; i < dc; ++i) {
-      const auto p = static_cast<Index>(i);
-      const Value* CLDPC_RESTRICT in = cn_in + i * kLanes;
-      const Value* CLDPC_RESTRICT e = extr + i * kLanes;
-      Value* CLDPC_RESTRICT a = app + bits[i] * kLanes;
-      CLDPC_SIMD_LOOP
-      for (std::size_t l = 0; l < kLanes; ++l) {
-        const Value excl = (p == am[l]) ? n2[l] : n1[l];
-        const Value c =
-            Traits::ApplySign(excl, par[l] ^ Traits::SignMask(in[l]));
-        a[l] = pol.UpdateApp(e[l], c);
-      }
-    }
-  }
-
- private:
-  void HoistRecord(std::size_t m, std::array<Value, kLanes>& n1,
-                   std::array<Value, kLanes>& n2,
-                   std::array<Index, kLanes>& am,
-                   std::array<UInt, kLanes>& par) const {
-    const Value* CLDPC_RESTRICT pn1 = nmin1_ + m * kLanes;
-    const Value* CLDPC_RESTRICT pn2 = nmin2_ + m * kLanes;
-    const Index* CLDPC_RESTRICT pam = argmin_ + m * kLanes;
-    const UInt* CLDPC_RESTRICT ppar = parity_ + m * kLanes;
-    CLDPC_SIMD_LOOP
-    for (std::size_t l = 0; l < kLanes; ++l) {
-      n1[l] = pn1[l];
-      n2[l] = pn2[l];
-      am[l] = pam[l];
-      par[l] = ppar[l];
-    }
-  }
-
-  Value* nmin1_;
-  Value* nmin2_;
-  Index* argmin_;
-  UInt* parity_;
-  UInt* signs_;
-};
+// The portable (baseline-ISA) copy of the lane-templated view kernels
+// (CompressedCnView). Per-ISA copies are compiled by the dispatch
+// kernel TUs in their own namespaces; see lane_compress.inc.
+#include "ldpc/core/lane_compress.inc"
 
 }  // namespace cldpc::ldpc::core

@@ -1,0 +1,158 @@
+// Capability probe + table selection for the per-ISA lane kernels.
+// This TU is compiled with baseline flags only (no -m options), so
+// every instruction here is safe to execute on any supported CPU —
+// the probe must run before any ISA decision exists.
+#include "ldpc/core/dispatch.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+
+namespace cldpc::ldpc::core {
+namespace {
+
+bool CpuSupports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+      // The int8/int16 lane loops need BW (byte/word ops) and VL
+      // (256-bit EVEX) on top of F; DQ rounds out the float paths.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Highest usable level <= `cap`, never below scalar.
+Isa BestAvailable(Isa cap) {
+  if (cap >= Isa::kAvx512 && IsaAvailable(Isa::kAvx512)) return Isa::kAvx512;
+  if (cap >= Isa::kAvx2 && IsaAvailable(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+Isa Probe() {
+  Isa picked = BestAvailable(Isa::kAvx512);
+  if (const char* env = std::getenv("CLDPC_ISA")) {
+    const Isa wanted = ParseIsaName(env);
+    if (IsaAvailable(wanted)) {
+      picked = wanted;
+    } else {
+      std::fprintf(stderr,
+                   "cldpc: CLDPC_ISA=%s is not usable here (cpu or build "
+                   "lacks it); using %s\n",
+                   env, IsaName(picked));
+    }
+  }
+  return picked;
+}
+
+// The active selection. Initialized lazily from Probe() on first use;
+// ForceIsaForTesting overwrites it.
+std::atomic<int> g_active{-1};
+
+Isa ActiveIsa() {
+  int cur = g_active.load(std::memory_order_acquire);
+  if (cur < 0) {
+    const Isa probed = Probe();
+    cur = static_cast<int>(probed);
+    int expected = -1;
+    // First caller wins; concurrent probes compute the same answer.
+    g_active.compare_exchange_strong(expected, cur,
+                                     std::memory_order_acq_rel);
+    cur = g_active.load(std::memory_order_acquire);
+  }
+  return static_cast<Isa>(cur);
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Isa ParseIsaName(const std::string& name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  if (name == "avx512") return Isa::kAvx512;
+  CLDPC_EXPECTS(false,
+                "unknown ISA name '" + name + "' (scalar, avx2, avx512)");
+  return Isa::kScalar;
+}
+
+bool IsaAvailable(Isa isa) {
+  return CpuSupports(isa) && LaneKernelsFor(isa) != nullptr;
+}
+
+Isa DetectIsa() { return ActiveIsa(); }
+
+const LaneKernelTable* LaneKernelsFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return GetLaneKernelsScalar();
+    case Isa::kAvx2:
+      return GetLaneKernelsAvx2();
+    case Isa::kAvx512:
+      return GetLaneKernelsAvx512();
+  }
+  return nullptr;
+}
+
+const LaneKernelTable& ActiveLaneKernels() {
+  const LaneKernelTable* table = LaneKernelsFor(ActiveIsa());
+  CLDPC_ENSURES(table != nullptr, "active ISA lost its kernel table");
+  return *table;
+}
+
+void ForceIsaForTesting(Isa isa) {
+  CLDPC_EXPECTS(IsaAvailable(isa),
+                std::string("cannot force unavailable ISA ") + IsaName(isa));
+  g_active.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+std::string DescribeCpuDispatch() {
+  std::string out = "CPU dispatch (lane-batched decode kernels):\n";
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    const bool cpu = CpuSupports(isa);
+    const bool built = LaneKernelsFor(isa) != nullptr;
+    out += "  ";
+    out += IsaName(isa);
+    out += ": cpu ";
+    out += cpu ? "yes" : "no";
+    out += ", build ";
+    out += built ? "yes" : "no";
+    out += (cpu && built) ? " -> usable" : " -> unusable";
+    out += "\n";
+  }
+  out += "  selected kernel set: ";
+  out += IsaName(DetectIsa());
+  if (std::getenv("CLDPC_ISA") != nullptr) {
+    out += " (CLDPC_ISA override active)";
+  }
+  out += "\n  override with CLDPC_ISA=scalar|avx2|avx512\n";
+  return out;
+}
+
+}  // namespace cldpc::ldpc::core

@@ -188,12 +188,26 @@ std::map<std::string, DecoderBuilder>& Registry() {
       }
       return std::make_unique<FixedLayeredMinSumDecoder>(code, options);
     };
+    // Int8 lane datapath: fixed-layered-nms's quantization semantics
+    // with messages in int8 lanes over an int16 APP accumulator —
+    // 4x the lane density of the int32 fixed path, and byte-identical
+    // to it per frame under the width contract the decoder enforces
+    // (wm <= 8, wapp <= 14, norm <= 1; the fixed defaults qualify).
+    // Always batched; defaults to the full 32-lane group width.
+    r["fixed-layered-nms-i8"] = [](const LdpcCode& code,
+                                   const DecoderSpec& spec)
+        -> std::unique_ptr<Decoder> {
+      const auto options = FixedFromSpec(spec, /*layered=*/true);
+      return std::make_unique<BatchedFixedI8LayeredDecoder>(
+          code, options, BatchFromSpec(spec, 32));
+    };
     // Aliases.
     r["minsum"] = r["ms"];
     r["layered"] = r["layered-nms"];
     r["layered-f32"] = r["layered-nms-f32"];
     r["fixed"] = r["fixed-nms"];
     r["fixed-layered"] = r["fixed-layered-nms"];
+    r["fixed-layered-i8"] = r["fixed-layered-nms-i8"];
     return r;
   }();
   return registry;

@@ -15,6 +15,9 @@
 //                                       layered NMS (SIMD lanes)
 //   fixed-nms (fixed)                 — bit-accurate fixed flooding
 //   fixed-layered-nms (fixed-layered) — bit-accurate fixed layered
+//   fixed-layered-nms-i8 (fixed-layered-i8)
+//                                     — int8 lane datapath (int16 APP
+//                                       accumulator), always batched
 //
 // Common params: iters=<int> (default 18), et=<0|1> (early
 // termination, default 1). Float min-sum family: alpha=<float>
@@ -32,9 +35,15 @@
 // batch= is purely a throughput knob; layered-nms-f32 is always
 // batched (default batch=8) and trades bit-identity with the double
 // path for twice the SIMD width (BER-curve equivalent).
+// fixed-layered-nms-i8 is always batched (default batch=32, lane
+// groups up to 32 wide) and is byte-identical per frame to
+// fixed-layered-nms with the same params — its narrower words demand
+// wm in [2, 8], wapp in [wm, 14] and norm <= 1 (loud spec error
+// otherwise), which the fixed defaults satisfy.
 //
 // Examples: "layered-nms:alpha=1.25,batch=8", "fixed-nms:iters=50,wm=8",
-// "fixed-layered-nms:norm=13/16,et=0", "layered-nms-f32:batch=16".
+// "fixed-layered-nms:norm=13/16,et=0", "layered-nms-f32:batch=16",
+// "fixed-layered-nms-i8:batch=32,iters=12".
 //
 // Unknown kinds and unknown or malformed params throw
 // ContractViolation — a typo must never silently fall back.

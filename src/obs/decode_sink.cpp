@@ -14,6 +14,10 @@ DecodeMetricIds RegisterDecodeMetrics(MetricsRegistry& registry) {
       registry.Counter("decode.syndrome_bit_scans", D::kScheduling);
   ids.syndrome_bit_flips =
       registry.Counter("decode.syndrome_bit_flips", D::kScheduling);
+  ids.msg_clamp_events =
+      registry.Counter("decode.i8_msg_clamps", D::kScheduling);
+  ids.bn_sat_events =
+      registry.Counter("decode.i8_bn_saturations", D::kScheduling);
   return ids;
 }
 

@@ -33,6 +33,13 @@ struct DecodeMetricIds {
   /// per iteration vs hard-decision flips actually folded. Hit rate
   /// (scans the tracker skipped work for) = 1 - flips / scans.
   CounterId syndrome_bit_scans, syndrome_bit_flips;
+  /// Int8-datapath saturation events, one count per (position, lane)
+  /// value an int8 clamp actually changed: msg_clamp_events counts
+  /// CN-input narrowing clamps (extr -> int8 message), bn_sat_events
+  /// counts saturating BN accumulations (APP update hit the app_bits
+  /// rail). Recorded only by the i8 decoder while a sink is
+  /// installed; the uninstrumented hot path carries no counting code.
+  CounterId msg_clamp_events, bn_sat_events;
 };
 
 DecodeMetricIds RegisterDecodeMetrics(MetricsRegistry& registry);
