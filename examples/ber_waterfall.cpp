@@ -29,9 +29,15 @@
 // --code=alist:<path> with bit-identical curves for codes fully
 // described by H (an alist carries no protocol hooks, so ft8's CRC
 // frame source/check are not preserved).
+// ^C / SIGTERM any time: the engine finishes the batch in flight,
+// keeps every frame already measured, prints the partial table,
+// flushes --metrics-json / --trace-json, and exits 0. A second signal
+// aborts immediately (exit 130).
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <memory>
+#include <stdexcept>
 
 #include "codes/alist.hpp"
 #include "codes/catalog.hpp"
@@ -41,8 +47,11 @@
 #include "obs/metrics.hpp"
 #include "sim/ber_runner.hpp"
 #include "util/cli.hpp"
+#include "util/shutdown.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int RunMain(int argc, char** argv) {
   using namespace cldpc;
   const ArgParser args(argc, argv);
   if (args.GetBool("list-codes")) {
@@ -84,6 +93,8 @@ int main(int argc, char** argv) {
   config.threads = static_cast<std::size_t>(args.GetInt("threads", 1));
   config.frame_source = system.frame_source;
   config.frame_check = system.frame_check;
+  util::InstallShutdownHandler();
+  config.cancel = &util::ShutdownRequested();
 
   obs::ExportOptions export_opts;
   export_opts.metrics_json = args.GetString("metrics-json", "");
@@ -104,6 +115,7 @@ int main(int argc, char** argv) {
   std::vector<sim::BerCurve> curves;
   if (args.Has("decoder")) {
     for (const auto& spec : args.GetStringList("decoder", {})) {
+      if (util::ShutdownRequested()) break;
       std::printf("Running %s...\n", spec.c_str());
       curves.push_back(runner.RunSpec(spec));
     }
@@ -114,16 +126,22 @@ int main(int argc, char** argv) {
     auto fixed = runner.RunSpec("fixed-nms:iters=18");
     fixed.decoder_name = "fixed NMS-18";
     curves.push_back(std::move(fixed));
-    std::printf("Running float NMS-18...\n");
-    auto nms = runner.RunSpec("nms:iters=18,alpha=1.23");
-    nms.decoder_name = "float NMS-18";
-    curves.push_back(std::move(nms));
+    if (!util::ShutdownRequested()) {
+      std::printf("Running float NMS-18...\n");
+      auto nms = runner.RunSpec("nms:iters=18,alpha=1.23");
+      nms.decoder_name = "float NMS-18";
+      curves.push_back(std::move(nms));
+    }
   }
 
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  if (util::ShutdownRequested()) {
+    std::printf("\nInterrupted — PARTIAL results: points still running kept "
+                "only the frames measured before the signal.\n");
+  }
   std::printf("\n%s", sim::RenderCurves(curves).c_str());
   if (want_metrics) {
     std::uint64_t frames = 0;
@@ -146,4 +164,21 @@ int main(int argc, char** argv) {
                 "pays almost nothing for quantization.\n");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Trust boundary for user input: bad --code / --decoder / flag
+  // values surface as std::invalid_argument with a message naming the
+  // problem — report and exit with a usage error, never a crash.
+  try {
+    return RunMain(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  }
 }

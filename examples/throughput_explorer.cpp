@@ -51,10 +51,15 @@
 // --metrics / --metrics-json / --trace-json (with --measure-ebn0)
 // export the decode telemetry of the measurement run (see
 // src/obs/export.hpp for the schema and the determinism labelling).
+// ^C / SIGTERM during --measure-ebn0: the engine keeps the frames
+// already measured, the table reports the partial sample, metrics
+// still flush, exit status stays 0. A second signal exits 130.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "arch/resources.hpp"
@@ -69,9 +74,12 @@
 #include "qc/ccsds_c2.hpp"
 #include "sim/ber_runner.hpp"
 #include "util/cli.hpp"
+#include "util/shutdown.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int RunMain(int argc, char** argv) {
   using namespace cldpc;
   const ArgParser args(argc, argv);
   if (args.GetBool("list-codes")) {
@@ -156,6 +164,8 @@ int main(int argc, char** argv) {
     const auto system = codes::LoadCode(code_spec);
     mc.frame_source = system.frame_source;
     mc.frame_check = system.frame_check;
+    util::InstallShutdownHandler();
+    mc.cancel = &util::ShutdownRequested();
     obs::ExportOptions export_opts;
     export_opts.metrics_json = args.GetString("metrics-json", "");
     export_opts.trace_json = args.GetString("trace-json", "");
@@ -176,6 +186,20 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     const obs::AllocStats alloc_run = obs::AllocDelta(allocs_before);
+    if (util::ShutdownRequested()) {
+      std::printf("\nInterrupted — measured operating point is PARTIAL "
+                  "(frames decoded before the signal only).\n");
+    }
+    if (curve.points.empty() || curve.points.front().frames == 0) {
+      // Interrupted before any frame finished: there is no operating
+      // point to report, but metrics still flush and the exit is
+      // clean.
+      if (want_metrics) {
+        registry.SetGauge("engine.elapsed_seconds", elapsed);
+        obs::ExportMetrics(registry, export_opts);
+      }
+      return 0;
+    }
     const auto& point = curve.points.front();
     const double sim_fps =
         elapsed > 0.0 ? static_cast<double>(point.frames) / elapsed : 0.0;
@@ -239,4 +263,21 @@ int main(int argc, char** argv) {
   std::printf("\nTry --frames-per-word=8 --compressed for the paper's "
               "high-speed point.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Trust boundary for user input: bad --code / --decoder / flag
+  // values surface as std::invalid_argument with a message naming the
+  // problem — report and exit with a usage error, never a crash.
+  try {
+    return RunMain(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  }
 }

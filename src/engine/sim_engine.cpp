@@ -255,6 +255,7 @@ sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
   }
 
   for (std::size_t s = 0; s < config_.ebn0_db.size(); ++s) {
+    if (Cancelled()) break;  // partial sweep: keep completed points
     const double sigma = channel::SigmaForEbN0(config_.ebn0_db[s], rate);
     PointAccumulator acc;
     acc.point.ebn0_db = config_.ebn0_db[s];
@@ -273,6 +274,7 @@ sim::BerCurve SimEngine::RunSequential(ldpc::Decoder& decoder,
     bool stopped = false;
     for (std::uint64_t first = 0; first < config_.max_frames && !stopped;
          first += config_.batch_frames) {
+      if (Cancelled()) break;  // the point keeps its aggregated frames
       const std::uint64_t count = std::min<std::uint64_t>(
           config_.batch_frames, config_.max_frames - first);
       const auto results = SimulateBatch(decoder, s, first, count, sigma,
@@ -315,6 +317,7 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
   const std::uint64_t window = 4 * static_cast<std::uint64_t>(threads);
 
   for (std::size_t s = 0; s < config_.ebn0_db.size(); ++s) {
+    if (Cancelled()) break;  // partial sweep: keep completed points
     const double sigma = channel::SigmaForEbN0(config_.ebn0_db[s], rate);
     const std::uint64_t num_batches =
         (config_.max_frames + batch - 1) / batch;
@@ -402,6 +405,18 @@ sim::BerCurve SimEngine::RunParallel(const DecoderFactory& factory,
     // of scope under them.
     try {
       for (std::uint64_t b = 0; b < num_batches && !stopped; ++b) {
+        // Cooperative cancel rides the early-stop machinery: stop
+        // claiming, wake parked workers, drain below. The point keeps
+        // the frames already consumed in order.
+        if (Cancelled()) {
+          stopped = true;
+          {
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            shared.stop = true;
+          }
+          shared.producer_cv.notify_all();
+          break;
+        }
         std::vector<FrameResult> results;
         {
           std::unique_lock<std::mutex> lock(shared.mutex);

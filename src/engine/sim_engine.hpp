@@ -135,6 +135,13 @@ class SimEngine {
                                          FrameScratch& scratch,
                                          obs::Shard* metrics_shard) const;
 
+  /// Cooperative cancellation (BerConfig::cancel): polled at batch
+  /// and point boundaries by both run paths.
+  bool Cancelled() const {
+    return config_.cancel != nullptr &&
+           config_.cancel->load(std::memory_order_acquire);
+  }
+
   sim::BerCurve RunSequential(ldpc::Decoder& decoder,
                               const sim::FrameCallback& on_frame);
   sim::BerCurve RunParallel(const DecoderFactory& factory,

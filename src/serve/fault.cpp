@@ -1,0 +1,59 @@
+#include "serve/fault.hpp"
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::serve {
+namespace {
+
+// Stream indices keep the fault kinds' decision streams independent:
+// the same event id faulting in one kind says nothing about another.
+enum FaultStream : std::uint64_t {
+  kStallStream = 1,
+  kMalformedStream = 2,
+  kThrowStream = 3,
+  kSlowConsumerStream = 4,
+};
+
+/// Pure decision function: hash (seed, stream, a, b) into [0, 1000)
+/// and compare against the permille threshold. DeriveSeed gives the
+/// same independence guarantees the engine's frame streams rely on.
+bool Decide(std::uint64_t seed, std::uint64_t stream, std::uint64_t a,
+            std::uint64_t b, std::uint32_t permille) {
+  if (permille == 0) return false;
+  if (permille >= 1000) return true;
+  SplitMix64 mix(DeriveSeed(seed, stream, a, b));
+  return mix.Next() % 1000 < permille;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  CLDPC_EXPECTS(plan.stall_permille <= 1000 &&
+                    plan.malformed_permille <= 1000 &&
+                    plan.decode_throw_permille <= 1000 &&
+                    plan.slow_consumer_permille <= 1000,
+                "fault probabilities are permille values in [0, 1000]");
+}
+
+bool FaultInjector::StallBatch(std::uint64_t batch_id) const {
+  return Decide(plan_.seed, kStallStream, batch_id, 0, plan_.stall_permille);
+}
+
+bool FaultInjector::MalformFrame(std::uint64_t frame_id) const {
+  return Decide(plan_.seed, kMalformedStream, frame_id, 0,
+                plan_.malformed_permille);
+}
+
+bool FaultInjector::ThrowInDecode(std::uint64_t frame_id) const {
+  return Decide(plan_.seed, kThrowStream, frame_id, 0,
+                plan_.decode_throw_permille);
+}
+
+bool FaultInjector::SlowConsume(std::uint64_t client_id,
+                                std::uint64_t cycle) const {
+  return Decide(plan_.seed, kSlowConsumerStream, client_id, cycle,
+                plan_.slow_consumer_permille);
+}
+
+}  // namespace cldpc::serve

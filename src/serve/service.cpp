@@ -1,0 +1,453 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "ldpc/core/registry.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::serve {
+namespace {
+
+/// The configured spec with its iters= param forced to `budget` —
+/// the only knob shedding is allowed to touch, so every tier decoder
+/// stays a plain registry decoder anyone can reconstruct offline.
+std::string SpecWithBudget(const ldpc::DecoderSpec& base, int budget) {
+  ldpc::DecoderSpec spec = base;
+  bool replaced = false;
+  for (auto& [key, value] : spec.params) {
+    if (key == "iters") {
+      value = std::to_string(budget);
+      replaced = true;
+    }
+  }
+  if (!replaced) spec.params.emplace_back("iters", std::to_string(budget));
+  return spec.ToString();
+}
+
+std::int64_t ElapsedUs(ServiceClock::time_point since,
+                       ServiceClock::time_point now) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(now - since)
+      .count();
+}
+
+}  // namespace
+
+const char* ToString(Admission a) {
+  switch (a) {
+    case Admission::kAdmitted: return "admitted";
+    case Admission::kRejectedFull: return "rejected-full";
+    case Admission::kRejectedMalformed: return "rejected-malformed";
+    case Admission::kRejectedShutdown: return "rejected-shutdown";
+  }
+  return "?";
+}
+
+const char* ToString(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kShedExpired: return "shed-expired";
+    case Status::kFailed: return "failed";
+    case Status::kShedShutdown: return "shed-shutdown";
+  }
+  return "?";
+}
+
+bool DecodeClient::WaitPop(DecodeResponse& out,
+                           std::chrono::microseconds timeout) {
+  const auto deadline = ServiceClock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!ring_.TryPop(out)) {
+    if (ready_.wait_until(lock, deadline) == std::cv_status::timeout)
+      return ring_.TryPop(out);
+  }
+  return true;
+}
+
+void DecodeClient::Deliver(DecodeResponse&& response) {
+  if (!ring_.TryPush(response)) {
+    // Slow consumer: the client's ring is full. Drop and count — the
+    // service must never block on (or buffer unboundedly for) a
+    // client that stopped draining.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    // Empty critical section: serializes with WaitPop's empty-check
+    // so the notify below cannot slip between its TryPop and wait.
+    std::lock_guard<std::mutex> lock(mutex_);
+  }
+  ready_.notify_one();
+}
+
+// Registered ids of the serve.* metric family. Every value is
+// traffic- and timing-dependent, so everything is tagged kScheduling
+// or kWallClock (the exporter lists them as nondeterministic).
+struct DecodeService::Metrics {
+  obs::MetricsRegistry* reg;
+  obs::CounterId submitted, rejected_full, rejected_malformed,
+      rejected_shutdown, admitted, ok, shed_expired, failed, shed_shutdown,
+      responses_dropped, faults_injected;
+  obs::CounterId tiers[kNumShedTiers];
+  obs::HistogramId admission_us, decode_us, queue_depth;
+  std::size_t dispatcher_shard;
+
+  Metrics(obs::MetricsRegistry& r, std::size_t workers) : reg(&r) {
+    using D = obs::Determinism;
+    submitted = r.Counter("serve.submitted", D::kScheduling);
+    rejected_full = r.Counter("serve.rejected_full", D::kScheduling);
+    rejected_malformed = r.Counter("serve.rejected_malformed", D::kScheduling);
+    rejected_shutdown = r.Counter("serve.rejected_shutdown", D::kScheduling);
+    admitted = r.Counter("serve.admitted", D::kScheduling);
+    ok = r.Counter("serve.ok", D::kScheduling);
+    shed_expired = r.Counter("serve.shed_expired", D::kScheduling);
+    failed = r.Counter("serve.failed", D::kScheduling);
+    shed_shutdown = r.Counter("serve.shed_shutdown", D::kScheduling);
+    responses_dropped = r.Counter("serve.responses_dropped", D::kScheduling);
+    faults_injected = r.Counter("serve.faults_injected", D::kScheduling);
+    tiers[0] = r.Counter("serve.tier0_frames", D::kScheduling);
+    tiers[1] = r.Counter("serve.tier1_frames", D::kScheduling);
+    tiers[2] = r.Counter("serve.tier2_frames", D::kScheduling);
+    admission_us = r.Hist("serve.admission_us", D::kWallClock, "us");
+    decode_us = r.Hist("serve.decode_us", D::kWallClock, "us");
+    queue_depth = r.Hist("serve.queue_depth", D::kScheduling, "frames");
+    // Worker w records into shard w; the dispatcher (and the Stop-
+    // time counter flush, which runs after the dispatcher joined)
+    // into the shard behind them.
+    r.SetShardCount(workers + 1);
+    dispatcher_shard = workers;
+  }
+};
+
+DecodeService::DecodeService(const ldpc::LdpcCode& code, ServiceConfig config)
+    : code_(code),
+      config_(std::move(config)),
+      ring_(config_.queue_capacity) {
+  CLDPC_EXPECTS(config_.workers >= 1, "service needs at least one worker");
+  CLDPC_EXPECTS(config_.max_batch >= 1, "max_batch must be >= 1");
+  config_.shed.Validate();
+  faults_ = FaultInjector(config_.faults);
+
+  // Resolve the tier specs eagerly: a malformed decoder spec must
+  // fail the constructor (catchable std::invalid_argument), never a
+  // worker thread mid-traffic.
+  const auto base = ldpc::DecoderSpec::Parse(config_.decoder_spec);
+  const int base_iters = base.GetInt("iters", ldpc::IterOptions{}.max_iterations);
+  CLDPC_EXPECTS(base_iters >= 1, "decoder spec: iters must be >= 1");
+  for (int tier = 0; tier < kNumShedTiers; ++tier) {
+    tier_specs_.push_back(
+        SpecWithBudget(base, BudgetForTier(config_.shed, base_iters, tier)));
+  }
+  for (const auto& spec : tier_specs_) {
+    // Validates kind/params/code compatibility now; the per-worker
+    // instances are still constructed lazily by the pools below.
+    (void)ldpc::MakeDecoder(code_, spec);
+    tier_pools_.push_back(std::make_unique<engine::DecoderPool>(
+        ldpc::MakeDecoderFactory(code_, spec), config_.workers));
+  }
+
+  for (auto& t : tier_frames_) t.store(0, std::memory_order_relaxed);
+  if (config_.metrics != nullptr)
+    metrics_ = std::make_unique<Metrics>(*config_.metrics, config_.workers);
+
+  pool_ = std::make_unique<engine::ThreadPool>(config_.workers);
+  dispatcher_ = std::thread(&DecodeService::DispatcherLoop, this);
+}
+
+DecodeService::~DecodeService() { Stop(); }
+
+std::size_t DecodeService::n() const { return code_.n(); }
+
+DecodeClient& DecodeService::Connect() {
+  std::lock_guard<std::mutex> lock(clients_mutex_);
+  const auto id = static_cast<std::uint32_t>(clients_.size());
+  clients_.emplace_back(
+      new DecodeClient(id, config_.client_queue_capacity));
+  return *clients_.back();
+}
+
+Admission DecodeService::Submit(DecodeClient& client, std::uint64_t id,
+                                std::vector<double> llrs,
+                                ServiceClock::time_point deadline) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kRejectedShutdown;
+  }
+  // Client data is validated at the edge: a malformed frame is a
+  // caller error to report, never something to hand a decoder.
+  if (llrs.size() != code_.n() ||
+      !std::all_of(llrs.begin(), llrs.end(),
+                   [](double v) { return std::isfinite(v); })) {
+    rejected_malformed_.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kRejectedMalformed;
+  }
+  Request request;
+  request.id = id;
+  request.client = &client;
+  request.llrs = std::move(llrs);
+  request.deadline = deadline;
+  request.submitted = ServiceClock::now();
+  if (!ring_.TryPush(request)) {
+    // Admission control: the ring is the ONLY queue, and it is full.
+    // Reject now — the client learns immediately and can back off;
+    // latency for already-admitted frames stays bounded.
+    rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kRejectedFull;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(doorbell_mutex_);
+  }
+  doorbell_.notify_one();
+  return Admission::kAdmitted;
+}
+
+void DecodeService::DispatcherLoop() {
+  // Decode jobs in flight at the pool. Capped so admitted frames
+  // outside the ring stay O(workers * max_batch): the ThreadPool's
+  // internal queue is unbounded, and letting the dispatcher run ahead
+  // would silently re-create the unbounded queue the ring exists to
+  // prevent.
+  std::atomic<std::size_t> inflight{0};
+  const std::size_t max_inflight = 2 * config_.workers;
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(doorbell_mutex_);
+      doorbell_.wait_for(lock, std::chrono::milliseconds(10), [&] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               (ring_.SizeApprox() != 0 &&
+                inflight.load(std::memory_order_relaxed) < max_inflight);
+      });
+    }
+    if (inflight.load(std::memory_order_acquire) >= max_inflight) continue;
+
+    // Sample occupancy BEFORE claiming: the tier decision reflects
+    // the pressure this batch leaves behind in the queue.
+    const std::size_t occupancy = ring_.SizeApprox();
+    std::vector<Request> batch;
+    Request request;
+    while (batch.size() < config_.max_batch && ring_.TryPop(request))
+      batch.push_back(std::move(request));
+
+    if (batch.empty()) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        // Drained (or nothing was admitted): wait for in-flight
+        // decode jobs, then exit. Late racers are swept by Stop().
+        while (inflight.load(std::memory_order_acquire) != 0)
+          std::this_thread::yield();
+        return;
+      }
+      continue;  // doorbell timeout keeps idle latency <= ~200us
+    }
+
+    const int tier = TierFor(config_.shed, occupancy, ring_.capacity());
+    const auto now = ServiceClock::now();
+    if (metrics_) {
+      auto& shard = metrics_->reg->shard(metrics_->dispatcher_shard);
+      shard.Record(metrics_->queue_depth,
+                   static_cast<std::int64_t>(occupancy));
+      for (const auto& r : batch)
+        shard.Record(metrics_->admission_us, ElapsedUs(r.submitted, now));
+    }
+
+    // Deadline shedding happens before any decode work is spent and
+    // regardless of tier; under drain-on-stop it keeps applying, so a
+    // backed-up queue drains at shed speed, not decode speed.
+    std::vector<Request> live;
+    live.reserve(batch.size());
+    for (auto& r : batch) {
+      if (now >= r.deadline) {
+        DecodeResponse response;
+        response.id = r.id;
+        response.status = Status::kShedExpired;
+        response.tier = tier;
+        shed_expired_.fetch_add(1, std::memory_order_relaxed);
+        Finish(r, std::move(response));
+      } else if (stopping_.load(std::memory_order_acquire) &&
+                 !config_.drain_on_stop) {
+        DecodeResponse response;
+        response.id = r.id;
+        response.status = Status::kShedShutdown;
+        response.tier = tier;
+        shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+        Finish(r, std::move(response));
+      } else {
+        live.push_back(std::move(r));
+      }
+    }
+    if (live.empty()) continue;
+
+    const std::uint64_t batch_id =
+        batch_counter_.fetch_add(1, std::memory_order_relaxed);
+    inflight.fetch_add(1, std::memory_order_acq_rel);
+    pool_->Submit([this, moved = std::move(live), tier, batch_id,
+                   &inflight]() mutable {
+      DecodeBatchJob(std::move(moved), tier, batch_id);
+      inflight.fetch_sub(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lock(doorbell_mutex_);
+      }
+      doorbell_.notify_one();
+    });
+  }
+}
+
+void DecodeService::DecodeBatchJob(std::vector<Request> batch, int tier,
+                                   std::uint64_t batch_id) {
+  const auto worker =
+      static_cast<std::size_t>(engine::ThreadPool::CurrentWorkerIndex());
+  obs::Shard* shard =
+      metrics_ ? &metrics_->reg->shard(worker) : nullptr;
+
+  if (faults_.StallBatch(batch_id)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.faults.stall_us));
+  }
+
+  auto& decoder = tier_pools_[static_cast<std::size_t>(tier)]->Get(worker);
+  const std::size_t n = code_.n();
+  const std::size_t count = batch.size();
+
+  // Stage the batch contiguous (frame-major) for the one DecodeBatch
+  // call; the batching contract makes per-frame results independent
+  // of this grouping, which is what the service's bit-identity
+  // guarantee rests on.
+  std::vector<double> staged(count * n);
+  for (std::size_t i = 0; i < count; ++i)
+    std::copy(batch[i].llrs.begin(), batch[i].llrs.end(),
+              staged.begin() + static_cast<std::ptrdiff_t>(i * n));
+
+  auto finish_ok = [&](Request& request, ldpc::DecodeResult&& decoded) {
+    DecodeResponse response;
+    response.id = request.id;
+    response.status = Status::kOk;
+    response.bits = std::move(decoded.bits);
+    response.iterations = decoded.iterations_run;
+    response.converged = decoded.converged;
+    response.tier = tier;
+    ok_.fetch_add(1, std::memory_order_relaxed);
+    tier_frames_[static_cast<std::size_t>(tier)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (shard) {
+      shard->Record(metrics_->decode_us,
+                    ElapsedUs(request.submitted, ServiceClock::now()));
+      shard->Add(metrics_->tiers[static_cast<std::size_t>(tier)]);
+    }
+    Finish(request, std::move(response));
+  };
+  auto finish_failed = [&](Request& request) {
+    DecodeResponse response;
+    response.id = request.id;
+    response.status = Status::kFailed;
+    response.tier = tier;
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    Finish(request, std::move(response));
+  };
+
+  try {
+    // Injected decoder faults throw mid-decode like a genuine bug
+    // would, so the containment path below is exercised for real.
+    for (const auto& request : batch) {
+      if (faults_.ThrowInDecode(request.id)) {
+        faults_injected_.fetch_add(1, std::memory_order_relaxed);
+        throw InjectedDecodeError(request.id);
+      }
+    }
+    auto results = decoder.DecodeBatch(staged, count);
+    for (std::size_t i = 0; i < count; ++i)
+      finish_ok(batch[i], std::move(results[i]));
+  } catch (...) {
+    // Containment: a throwing batch decode must not take down its
+    // innocent neighbors (or the worker). Fall back to frame-by-frame
+    // decodes so only the throwing frames fail.
+    for (std::size_t i = 0; i < count; ++i) {
+      if (faults_.ThrowInDecode(batch[i].id)) {
+        finish_failed(batch[i]);
+        continue;
+      }
+      try {
+        auto single = decoder.DecodeBatch(
+            {staged.data() + i * n, n}, 1);
+        finish_ok(batch[i], std::move(single[0]));
+      } catch (...) {
+        finish_failed(batch[i]);
+      }
+    }
+  }
+}
+
+void DecodeService::Finish(Request& request, DecodeResponse&& response) {
+  response.latency_us = ElapsedUs(request.submitted, ServiceClock::now());
+  request.client->Deliver(std::move(response));
+}
+
+void DecodeService::Stop() {
+  std::call_once(stop_once_, [this] {
+    accepting_.store(false, std::memory_order_release);
+    stopping_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(doorbell_mutex_);
+    }
+    doorbell_.notify_all();
+    dispatcher_.join();
+    pool_->WaitIdle();
+    pool_.reset();  // joins the workers
+    // Sweep frames a racing Submit slipped in after the dispatcher's
+    // final empty check: they were admitted, so they must reach a
+    // terminal state for the accounting identities to hold.
+    Request request;
+    while (ring_.TryPop(request)) {
+      DecodeResponse response;
+      response.id = request.id;
+      response.status = Status::kShedShutdown;
+      shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      Finish(request, std::move(response));
+    }
+    FlushCountersToMetrics();
+  });
+}
+
+ServiceStats DecodeService::Stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_malformed = rejected_malformed_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.shed_expired = shed_expired_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  for (int t = 0; t < kNumShedTiers; ++t)
+    s.tier_frames[t] = tier_frames_[t].load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (const auto& client : clients_)
+      s.responses_dropped += client->dropped();
+  }
+  return s;
+}
+
+void DecodeService::FlushCountersToMetrics() {
+  if (!metrics_) return;
+  const ServiceStats s = Stats();
+  auto& shard = metrics_->reg->shard(metrics_->dispatcher_shard);
+  shard.Add(metrics_->submitted, s.submitted);
+  shard.Add(metrics_->rejected_full, s.rejected_full);
+  shard.Add(metrics_->rejected_malformed, s.rejected_malformed);
+  shard.Add(metrics_->rejected_shutdown, s.rejected_shutdown);
+  shard.Add(metrics_->admitted, s.admitted);
+  shard.Add(metrics_->ok, s.ok);
+  shard.Add(metrics_->shed_expired, s.shed_expired);
+  shard.Add(metrics_->failed, s.failed);
+  shard.Add(metrics_->shed_shutdown, s.shed_shutdown);
+  shard.Add(metrics_->responses_dropped, s.responses_dropped);
+  shard.Add(metrics_->faults_injected, s.faults_injected);
+}
+
+}  // namespace cldpc::serve

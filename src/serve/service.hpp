@@ -1,0 +1,285 @@
+// Persistent, overload-robust decode service on top of the engine's
+// worker machinery (engine::ThreadPool + engine::DecoderPool).
+//
+// Batch simulation (engine/sim_engine.hpp) owns its frame supply; a
+// service does not — traffic arrives when clients feel like it, at
+// rates the operator does not control. DecodeService therefore puts
+// three robustness mechanisms between the network-facing edge and the
+// decoder, in escalating order of pressure (the full curve is
+// documented in serve/shed.hpp):
+//
+//   1. Admission control. Frames enter through a bounded MPSC ring
+//      (serve/ring.hpp). A full ring rejects the frame immediately
+//      with Admission::kRejectedFull — the service never queues
+//      unboundedly and never blocks a client thread.
+//   2. Deadline shedding. Every request carries a deadline; the
+//      dispatcher drops frames whose deadline already expired before
+//      spending any decode work on them (Status::kShedExpired).
+//   3. Iteration-budget shedding. Queue occupancy watermarks select a
+//      tier (serve/shed.hpp); higher tiers decode with a shrunken
+//      IterOptions budget, trading a little BER for service rate so
+//      the queue drains instead of collapsing.
+//
+// ## Decode fidelity
+//
+// A tier's decoder comes from the same registry spec as the batch
+// path, with only `iters=` overridden to the tier's budget, and
+// frames are decoded through the same DecodeBatch entry point. The
+// batching contract (ldpc/decoder.hpp) makes per-frame results
+// independent of how the dispatcher happened to group frames, so an
+// accepted frame's bits are byte-identical to handing its LLRs to
+// MakeDecoder(code, spec-with-that-budget) directly — tier 0 is
+// byte-identical to the untouched spec. tests/test_serve.cpp locks
+// both.
+//
+// ## Accounting
+//
+// Every submitted frame ends in exactly one terminal state, and the
+// counters add up exactly (tests assert the identities):
+//
+//   submitted == admitted + rejected_full + rejected_malformed
+//                + rejected_shutdown
+//   admitted  == ok + shed_expired + failed + shed_shutdown
+//
+// Responses travel to each client through that client's own bounded
+// ring; a slow consumer overflows it and the response is dropped and
+// counted (responses_dropped) — the frame's accounting state is
+// unaffected (it was decoded; delivery failed), and the service never
+// blocks on a client.
+//
+// ## Faults, metrics, shutdown
+//
+// A FaultPlan (serve/fault.hpp) injects worker stalls and per-frame
+// decoder exceptions deterministically from its seed. An injected (or
+// genuine) exception in a batch decode is contained: the worker falls
+// back to decoding the batch's frames one by one, so only throwing
+// frames fail (Status::kFailed) and the rest still decode normally.
+//
+// With ServiceConfig::metrics set, the service registers the serve.*
+// metric family (counters for every terminal state, tier counters,
+// admission/decode latency and queue-depth histograms — glossary in
+// the README) and exports through the standard cldpc-metrics-v1
+// surface. Counter totals are flushed on Stop(); live histograms are
+// recorded into per-worker shards like the engine's.
+//
+// Stop() (also run by the destructor) is graceful: admission closes,
+// the dispatcher drains everything already admitted (still applying
+// deadline shedding — or discards it as shed_shutdown when
+// drain_on_stop is false), workers finish in-flight batches, and all
+// counters/metrics are final when Stop returns.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/decoder_pool.hpp"
+#include "engine/thread_pool.hpp"
+#include "ldpc/code.hpp"
+#include "obs/metrics.hpp"
+#include "serve/fault.hpp"
+#include "serve/ring.hpp"
+#include "serve/shed.hpp"
+
+namespace cldpc::serve {
+
+using ServiceClock = std::chrono::steady_clock;
+
+/// Outcome of a Submit call (the admission edge).
+enum class Admission : std::uint8_t {
+  kAdmitted,           // queued; a response will be produced
+  kRejectedFull,       // ring at capacity — retry later or back off
+  kRejectedMalformed,  // wrong LLR count or non-finite LLRs
+  kRejectedShutdown,   // service is stopping
+};
+const char* ToString(Admission a);
+
+/// Terminal state of an admitted frame (carried by its response).
+enum class Status : std::uint8_t {
+  kOk,            // decoded; bits/iterations/converged are valid
+  kShedExpired,   // deadline passed before decode started
+  kFailed,        // decoder threw (injected or genuine)
+  kShedShutdown,  // service stopped with drain_on_stop=false
+};
+const char* ToString(Status s);
+
+struct DecodeResponse {
+  std::uint64_t id = 0;  // echo of the submitted request id
+  Status status = Status::kShedShutdown;
+  std::vector<std::uint8_t> bits;  // hard decisions (kOk only)
+  std::int32_t iterations = 0;
+  bool converged = false;
+  /// Shedding tier the frame was decoded under (kOk/kFailed).
+  std::int32_t tier = 0;
+  /// Submit -> response-ready latency.
+  std::int64_t latency_us = 0;
+};
+
+struct ServiceConfig {
+  /// Registry decoder spec (ldpc/core/registry.hpp grammar). Its
+  /// iters= param (default 18) is the tier-0 budget.
+  std::string decoder_spec = "layered-nms:batch=8";
+  std::size_t workers = 1;
+  /// Admission ring capacity (rounded up to a power of two).
+  std::size_t queue_capacity = 256;
+  /// Max frames the dispatcher groups into one decode batch. Batched
+  /// SIMD specs want this at least their lane count.
+  std::size_t max_batch = 8;
+  /// Per-client response ring capacity.
+  std::size_t client_queue_capacity = 256;
+  ShedPolicy shed;
+  FaultPlan faults;
+  /// Stop(): decode what was admitted (true) or discard it as
+  /// shed_shutdown (false).
+  bool drain_on_stop = true;
+  /// Optional decode telemetry (borrowed; must outlive the service).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Totals since construction. Final (and exactly consistent with the
+/// accounting identities above) once Stop() has returned; sampled
+/// live they can lag by in-flight frames.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_malformed = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed_expired = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed_shutdown = 0;
+  std::uint64_t responses_dropped = 0;
+  std::uint64_t tier_frames[kNumShedTiers] = {0, 0, 0};
+  std::uint64_t faults_injected = 0;
+};
+
+class DecodeService;
+
+/// A client's receive side: every response to frames this client
+/// submitted lands in its own bounded ring. Create via
+/// DecodeService::Connect; the service owns the object (stable
+/// address for the service's lifetime).
+class DecodeClient {
+ public:
+  /// Non-blocking response fetch.
+  bool TryPop(DecodeResponse& out) { return ring_.TryPop(out); }
+
+  /// Blocking fetch with timeout; false on timeout or service stop
+  /// with nothing pending.
+  bool WaitPop(DecodeResponse& out, std::chrono::microseconds timeout);
+
+  /// Responses dropped because this client's ring was full — the
+  /// slow-consumer signal.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  std::uint32_t id() const { return id_; }
+
+ private:
+  friend class DecodeService;
+  DecodeClient(std::uint32_t id, std::size_t capacity)
+      : id_(id), ring_(capacity) {}
+
+  /// Service-side delivery: push or drop-and-count, never block.
+  void Deliver(DecodeResponse&& response);
+
+  const std::uint32_t id_;
+  BoundedRing<DecodeResponse> ring_;
+  std::mutex mutex_;                // doorbell for WaitPop
+  std::condition_variable ready_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+class DecodeService {
+ public:
+  /// Validates the decoder spec and shed policy eagerly (throws
+  /// std::invalid_argument via the registry for malformed specs), and
+  /// starts the dispatcher and `workers` decode workers. `code` must
+  /// outlive the service.
+  DecodeService(const ldpc::LdpcCode& code, ServiceConfig config);
+  ~DecodeService();
+
+  DecodeService(const DecodeService&) = delete;
+  DecodeService& operator=(const DecodeService&) = delete;
+
+  /// Register a client. Thread-safe; the reference stays valid for
+  /// the service's lifetime.
+  DecodeClient& Connect();
+
+  /// Submit one frame of channel LLRs (length n()) with a deadline.
+  /// Never blocks: the result is the admission verdict, the decode
+  /// outcome arrives on `client`. `id` is the caller's correlation
+  /// id, echoed in the response.
+  Admission Submit(DecodeClient& client, std::uint64_t id,
+                   std::vector<double> llrs, ServiceClock::time_point deadline);
+
+  /// Graceful shutdown (idempotent; also run by the destructor): see
+  /// the class comment. All stats and metrics are final afterwards.
+  void Stop();
+
+  ServiceStats Stats() const;
+  std::size_t QueueDepth() const { return ring_.SizeApprox(); }
+  std::size_t n() const;
+  const ServiceConfig& config() const { return config_; }
+  /// Canonical tier decoder specs ([0] = the configured spec with its
+  /// explicit budget), e.g. for reproducing a decode offline.
+  const std::vector<std::string>& tier_specs() const { return tier_specs_; }
+
+ private:
+  struct Request {
+    std::uint64_t id = 0;
+    DecodeClient* client = nullptr;
+    std::vector<double> llrs;
+    ServiceClock::time_point deadline{};
+    ServiceClock::time_point submitted{};
+  };
+  struct Metrics;  // registered ids; definition local to service.cpp
+
+  void DispatcherLoop();
+  void DecodeBatchJob(std::vector<Request> batch, int tier,
+                      std::uint64_t batch_id);
+  void Finish(Request& request, DecodeResponse&& response);
+  void FlushCountersToMetrics();
+
+  const ldpc::LdpcCode& code_;
+  ServiceConfig config_;
+  std::vector<std::string> tier_specs_;
+  // One lazily-filled decoder pool per shedding tier; worker w uses
+  // slot w of the tier the dispatcher selected for its batch.
+  std::vector<std::unique_ptr<engine::DecoderPool>> tier_pools_;
+  FaultInjector faults_;
+
+  BoundedRing<Request> ring_;
+  std::mutex doorbell_mutex_;
+  std::condition_variable doorbell_;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex clients_mutex_;
+  std::vector<std::unique_ptr<DecodeClient>> clients_;
+
+  // Terminal-state accounting (relaxed atomics: totals only, no
+  // ordering dependencies; exactness comes from every frame touching
+  // exactly one terminal counter).
+  std::atomic<std::uint64_t> submitted_{0}, rejected_full_{0},
+      rejected_malformed_{0}, rejected_shutdown_{0}, admitted_{0}, ok_{0},
+      shed_expired_{0}, failed_{0}, shed_shutdown_{0}, faults_injected_{0};
+  std::atomic<std::uint64_t> tier_frames_[kNumShedTiers];
+  std::atomic<std::uint64_t> batch_counter_{0};
+
+  std::unique_ptr<Metrics> metrics_;  // null = disabled
+  std::unique_ptr<engine::ThreadPool> pool_;
+  std::thread dispatcher_;
+  std::once_flag stop_once_;
+};
+
+}  // namespace cldpc::serve

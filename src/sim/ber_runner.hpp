@@ -15,6 +15,7 @@
 // workers with bit-identical results.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -79,6 +80,15 @@ struct BerConfig {
   /// (see obs/metrics.hpp for which metrics are themselves
   /// thread-count-invariant).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional cooperative cancellation (borrowed; e.g. the flag set
+  /// by util::InstallShutdownHandler). Checked at batch and point
+  /// boundaries: once it reads true, the run stops claiming new work,
+  /// drains in-flight batches, and returns the points measured so far
+  /// (the cancelled point keeps the frames it already aggregated).
+  /// Cancellation never corrupts results — every point in the
+  /// returned curve is made of exactly the frames its estimators
+  /// counted; only the sweep is shorter.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct BerPoint {

@@ -12,9 +12,17 @@
 namespace cldpc {
 
 /// Thrown when a precondition or postcondition of a public API fails.
-class ContractViolation : public std::logic_error {
+///
+/// Derives from std::invalid_argument (itself a std::logic_error):
+/// most contract failures in practice are bad arguments that arrived
+/// from user input — CLI flags, decoder specs, code names, alist
+/// files — and callers at the trust boundary (binaries, the decode
+/// service) must be able to catch them as std::invalid_argument and
+/// report the message instead of crashing.
+class ContractViolation : public std::invalid_argument {
  public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+  explicit ContractViolation(const std::string& what)
+      : std::invalid_argument(what) {}
 };
 
 namespace detail {

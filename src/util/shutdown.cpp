@@ -1,0 +1,41 @@
+#include "util/shutdown.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+#include <unistd.h>
+
+namespace cldpc::util {
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<int> g_signal_count{0};
+
+extern "C" void ShutdownSignalHandler(int) {
+  // Second signal: the graceful path is apparently stuck (or too
+  // slow for the user) — bail out the way an unhandled SIGINT would,
+  // with the conventional 128+SIGINT status.
+  if (g_signal_count.fetch_add(1, std::memory_order_relaxed) >= 1)
+    _exit(130);
+  g_requested.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+void InstallShutdownHandler() {
+  struct sigaction action = {};
+  action.sa_handler = ShutdownSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+const std::atomic<bool>& ShutdownRequested() { return g_requested; }
+
+void RequestShutdownForTest(bool requested) {
+  g_requested.store(requested, std::memory_order_release);
+  g_signal_count.store(requested ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace cldpc::util

@@ -1,0 +1,32 @@
+// Graceful SIGINT/SIGTERM shutdown for long-running binaries.
+//
+// The sweep binaries and the decode service can run for minutes; ^C
+// must not discard everything they measured. InstallShutdownHandler
+// converts the first SIGINT/SIGTERM into a cooperative flag — the
+// long-running machinery (sim::BerConfig::cancel, the decode-service
+// examples) polls it at batch boundaries, drains in-flight work,
+// flushes whatever --metrics-json / --trace-json asked for, and exits
+// 0 with partial results clearly marked. A SECOND signal means the
+// user has lost patience: the handler _exit(130)s immediately.
+//
+// The handler is async-signal-safe: it only touches lock-free atomics
+// and _exit. Everything interesting happens on the normal control
+// flow of the thread that polls the flag.
+#pragma once
+
+#include <atomic>
+
+namespace cldpc::util {
+
+/// Install the SIGINT/SIGTERM handler (idempotent). Call once from
+/// main before starting long-running work.
+void InstallShutdownHandler();
+
+/// The cooperative flag: true once a shutdown signal arrived. Wire it
+/// into sim::BerConfig::cancel or poll it from a service loop.
+const std::atomic<bool>& ShutdownRequested();
+
+/// Test hook: arm/clear the flag without raising a signal.
+void RequestShutdownForTest(bool requested = true);
+
+}  // namespace cldpc::util

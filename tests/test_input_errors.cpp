@@ -1,0 +1,123 @@
+// Trust boundary for user input: every malformed spec, flag value, or
+// code file a user can hand the toolchain must surface as a typed,
+// catchable std::invalid_argument — the contract the example binaries
+// rely on to print `error: ...` and exit 2 instead of crashing.
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "codes/alist.hpp"
+#include "codes/catalog.hpp"
+#include "ldpc/core/registry.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc {
+namespace {
+
+// The whole satellite rests on this: contract failures ARE
+// invalid_argument, so one catch clause covers hand-rolled throws and
+// CLDPC_EXPECTS alike.
+static_assert(std::is_base_of_v<std::invalid_argument, ContractViolation>);
+
+TEST(InputErrors, ContractViolationIsCatchableAsInvalidArgument) {
+  try {
+    CLDPC_EXPECTS(false, "synthetic failure");
+    FAIL() << "CLDPC_EXPECTS(false) did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("synthetic failure"),
+              std::string::npos);
+  }
+}
+
+TEST(InputErrors, UnknownCodeKindThrowsInvalidArgument) {
+  EXPECT_THROW(codes::LoadCode("definitely-not-a-code"),
+               std::invalid_argument);
+}
+
+TEST(InputErrors, UnknownCodeParamThrowsInvalidArgument) {
+  EXPECT_THROW(codes::LoadCode("small:bogus=1"), std::invalid_argument);
+}
+
+TEST(InputErrors, MalformedCodeParamValueThrowsInvalidArgument) {
+  EXPECT_THROW(codes::LoadCode("small:seed=banana"), std::invalid_argument);
+}
+
+TEST(InputErrors, UnknownDecoderKindThrowsInvalidArgument) {
+  const auto system = codes::LoadCode("small");
+  EXPECT_THROW(
+      ldpc::MakeDecoder(*system.code,
+                        ldpc::DecoderSpec::Parse("definitely-not-a-decoder")),
+      std::invalid_argument);
+}
+
+TEST(InputErrors, OutOfRangeDecoderParamThrowsInvalidArgument) {
+  const auto system = codes::LoadCode("small");
+  EXPECT_THROW(ldpc::MakeDecoder(*system.code,
+                                 ldpc::DecoderSpec::Parse("nms:iters=0")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ldpc::MakeDecoder(*system.code,
+                        ldpc::DecoderSpec::Parse("layered-nms:batch=0")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ldpc::MakeDecoder(*system.code,
+                        ldpc::DecoderSpec::Parse("layered-nms:batch=33")),
+      std::invalid_argument);
+}
+
+TEST(InputErrors, UnknownDecoderParamThrowsInvalidArgument) {
+  const auto system = codes::LoadCode("small");
+  EXPECT_THROW(ldpc::MakeDecoder(*system.code,
+                                 ldpc::DecoderSpec::Parse("nms:bogus=1")),
+               std::invalid_argument);
+}
+
+TEST(InputErrors, TruncatedAlistTextThrowsInvalidArgument) {
+  const auto system = codes::LoadCode("small");
+  const std::string full = codes::WriteAlist(system.code->h());
+  // Chop the row lists off mid-file: parsing must fail loudly at the
+  // missing tokens, not fabricate a smaller code.
+  const std::string truncated = full.substr(0, full.size() / 2);
+  EXPECT_THROW(codes::ParseAlist(truncated), std::invalid_argument);
+  EXPECT_THROW(codes::ParseAlist(""), std::invalid_argument);
+}
+
+TEST(InputErrors, TruncatedAlistFileThrowsThroughLoadCode) {
+  const auto system = codes::LoadCode("small");
+  const std::string full = codes::WriteAlist(system.code->h());
+  const std::string path =
+      ::testing::TempDir() + "/cldpc_truncated_test.alist";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << full.substr(0, full.size() / 3);
+  }
+  // The user-facing path: --code=alist:<file> with a corrupt file.
+  EXPECT_THROW(codes::LoadCode("alist:" + path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(InputErrors, MissingAlistFileThrowsInvalidArgument) {
+  EXPECT_THROW(codes::ReadAlistFile("/nonexistent/cldpc_missing.alist"),
+               std::invalid_argument);
+  EXPECT_THROW(codes::LoadCode("alist:/nonexistent/cldpc_missing.alist"),
+               std::invalid_argument);
+}
+
+TEST(InputErrors, RegistryMessagesNameTheOffendingSpec) {
+  // Error text is the UI here: it must mention what was wrong, not
+  // just that something was.
+  try {
+    codes::LoadCode("definitely-not-a-code");
+    FAIL() << "LoadCode did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("definitely-not-a-code"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cldpc

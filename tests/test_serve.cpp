@@ -1,0 +1,467 @@
+// Decode-service robustness contract: admission control rejects (not
+// blocks) on a full ring, expired deadlines shed before decode, the
+// shedding curve engages at the documented watermarks, accepted
+// frames decode byte-identically to the batch path, slow consumers
+// are dropped-and-counted, and every frame lands in exactly one
+// terminal counter.
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.hpp"
+#include "codes/catalog.hpp"
+#include "ldpc/core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "serve/ring.hpp"
+#include "serve/shed.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::serve {
+namespace {
+
+serve::ServiceClock::time_point FarDeadline() {
+  return ServiceClock::now() + std::chrono::hours(1);
+}
+
+/// Noisy transmissions of the all-zero codeword (a codeword of every
+/// linear code) — realistic LLR frames without an encoder in the
+/// test.
+std::vector<std::vector<double>> MakeFrames(const ldpc::LdpcCode& code,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  std::vector<std::vector<double>> frames;
+  const std::vector<std::uint8_t> zeros(code.n(), 0);
+  for (std::size_t f = 0; f < count; ++f)
+    frames.push_back(
+        channel::TransmitBpskAwgn(zeros, 3.0, code.Rate(), seed + f));
+  return frames;
+}
+
+/// Accounting identities every test can assert after Stop().
+void ExpectAccountingExact(const ServiceStats& s) {
+  EXPECT_EQ(s.submitted, s.admitted + s.rejected_full + s.rejected_malformed +
+                             s.rejected_shutdown);
+  EXPECT_EQ(s.admitted, s.ok + s.shed_expired + s.failed + s.shed_shutdown);
+}
+
+// --- BoundedRing ----------------------------------------------------
+
+TEST(BoundedRing, RoundsCapacityToPowerOfTwo) {
+  EXPECT_EQ(BoundedRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(BoundedRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(BoundedRing<int>(64).capacity(), 64u);
+}
+
+TEST(BoundedRing, FullRingRejectsWithoutBlockingAndPreservesItem) {
+  BoundedRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.TryPush(v));
+  }
+  int extra = 99;
+  EXPECT_FALSE(ring.TryPush(extra));  // returns, never blocks
+  EXPECT_EQ(extra, 99);               // rejected item untouched
+  EXPECT_EQ(ring.SizeApprox(), 4u);
+}
+
+TEST(BoundedRing, PopsInFifoOrderAndReportsEmpty) {
+  BoundedRing<int> ring(4);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.TryPush(v));
+  }
+  int out = -1;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(out));
+  // Slots freed by pops are immediately reusable (wraparound).
+  for (int i = 10; i < 14; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.TryPush(v));
+  }
+}
+
+// --- Shedding curve -------------------------------------------------
+
+TEST(ShedPolicy, TierEngagesExactlyAtDocumentedWatermarks) {
+  const ShedPolicy policy;  // 0.50 / 0.75
+  EXPECT_EQ(TierFor(policy, 0, 256), 0);
+  EXPECT_EQ(TierFor(policy, 127, 256), 0);  // just below elevated
+  EXPECT_EQ(TierFor(policy, 128, 256), 1);  // exactly at 0.50
+  EXPECT_EQ(TierFor(policy, 191, 256), 1);  // just below high
+  EXPECT_EQ(TierFor(policy, 192, 256), 2);  // exactly at 0.75
+  EXPECT_EQ(TierFor(policy, 256, 256), 2);
+}
+
+TEST(ShedPolicy, BudgetShrinksPerTierAndNeverBelowOne) {
+  const ShedPolicy policy;  // shifts 1 / 2
+  EXPECT_EQ(BudgetForTier(policy, 18, 0), 18);
+  EXPECT_EQ(BudgetForTier(policy, 18, 1), 9);
+  EXPECT_EQ(BudgetForTier(policy, 18, 2), 4);
+  EXPECT_EQ(BudgetForTier(policy, 1, 1), 1);
+  EXPECT_EQ(BudgetForTier(policy, 1, 2), 1);
+}
+
+TEST(ShedPolicy, ValidateRejectsNonsense) {
+  ShedPolicy bad;
+  bad.elevated_watermark = 0.9;
+  bad.high_watermark = 0.5;  // below elevated
+  EXPECT_THROW(bad.Validate(), std::invalid_argument);
+  ShedPolicy negative;
+  negative.elevated_shift = -1;
+  EXPECT_THROW(negative.Validate(), std::invalid_argument);
+}
+
+// --- Service fixture ------------------------------------------------
+
+class DecodeServiceTest : public ::testing::Test {
+ protected:
+  DecodeServiceTest() : system_(codes::LoadCode("small")) {}
+
+  ServiceConfig BaseConfig() const {
+    ServiceConfig config;
+    config.decoder_spec = "layered-nms:batch=4,iters=12";
+    config.workers = 1;
+    config.queue_capacity = 64;
+    config.max_batch = 4;
+    return config;
+  }
+
+  const ldpc::LdpcCode& code() const { return *system_.code; }
+
+  codes::CatalogCode system_;
+};
+
+TEST_F(DecodeServiceTest, RejectsMalformedFramesAtAdmission) {
+  DecodeService service(code(), BaseConfig());
+  auto& client = service.Connect();
+  std::vector<double> truncated(code().n() - 1, 1.0);
+  EXPECT_EQ(service.Submit(client, 1, truncated, FarDeadline()),
+            Admission::kRejectedMalformed);
+  std::vector<double> nan_frame(code().n(), 1.0);
+  nan_frame[7] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(service.Submit(client, 2, nan_frame, FarDeadline()),
+            Admission::kRejectedMalformed);
+  service.Stop();
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.rejected_malformed, 2u);
+  EXPECT_EQ(stats.admitted, 0u);
+  ExpectAccountingExact(stats);
+}
+
+TEST_F(DecodeServiceTest, FullRingRejectsInsteadOfBlocking) {
+  // Stall every batch long enough that the single worker cannot keep
+  // up with a burst: the ring must fill and Submit must come back
+  // with kRejectedFull immediately — never block, never queue beyond
+  // capacity.
+  ServiceConfig config = BaseConfig();
+  config.queue_capacity = 4;
+  config.max_batch = 1;
+  config.faults.stall_permille = 1000;
+  config.faults.stall_us = 20000;
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+
+  const auto frames = MakeFrames(code(), 32, 1);
+  const auto t0 = ServiceClock::now();
+  std::uint64_t rejected = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    if (service.Submit(client, f, frames[f], FarDeadline()) ==
+        Admission::kRejectedFull)
+      ++rejected;
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      ServiceClock::now() - t0);
+  // 32 submits against a stalled 4-deep queue: most must bounce, and
+  // the whole burst must return in far less time than decoding (or
+  // even one stall) would take — proof no Submit ever waited.
+  EXPECT_GE(rejected, 16u);
+  EXPECT_LT(elapsed.count(), 5000);
+
+  service.Stop();  // drains the admitted remainder
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.rejected_full, rejected);
+  EXPECT_EQ(stats.admitted, 32u - rejected);
+  ExpectAccountingExact(stats);
+}
+
+TEST_F(DecodeServiceTest, ExpiredDeadlinesAreShedBeforeDecode) {
+  DecodeService service(code(), BaseConfig());
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 8, 2);
+  const auto past = ServiceClock::now() - std::chrono::milliseconds(1);
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ASSERT_EQ(service.Submit(client, f, frames[f], past),
+              Admission::kAdmitted);
+  service.Stop();
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.shed_expired, 8u);
+  EXPECT_EQ(stats.ok, 0u);  // no decode work spent on dead frames
+  ExpectAccountingExact(stats);
+  // The shed frames still got responses (with the shed status).
+  DecodeResponse response;
+  std::size_t responses = 0;
+  while (client.TryPop(response)) {
+    EXPECT_EQ(response.status, Status::kShedExpired);
+    ++responses;
+  }
+  EXPECT_EQ(responses, 8u);
+}
+
+TEST_F(DecodeServiceTest, AcceptedFramesDecodeIdenticallyToBatchPath) {
+  DecodeService service(code(), BaseConfig());
+  auto& client = service.Connect();
+  // The reference decode: the service's canonical tier-0 spec, driven
+  // directly — what the batch pipeline would produce.
+  const auto reference = ldpc::MakeDecoder(code(), service.tier_specs()[0]);
+
+  const auto frames = MakeFrames(code(), 16, 3);
+  std::map<std::uint64_t, std::vector<double>> sent;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+    sent.emplace(f, frames[f]);
+  }
+  service.Stop();
+  EXPECT_EQ(service.Stats().ok, 16u);
+
+  DecodeResponse response;
+  std::size_t checked = 0;
+  while (client.TryPop(response)) {
+    ASSERT_EQ(response.status, Status::kOk);
+    EXPECT_EQ(response.tier, 0);
+    const auto expect = reference->DecodeBatch(sent.at(response.id), 1);
+    EXPECT_EQ(response.bits, expect[0].bits) << "frame " << response.id;
+    EXPECT_EQ(response.iterations, expect[0].iterations_run);
+    EXPECT_EQ(response.converged, expect[0].converged);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 16u);
+}
+
+TEST_F(DecodeServiceTest, ShedTiersDecodeIdenticallyToTheirCanonicalSpec) {
+  // Watermarks at ~0 force the shedding curve to its highest tier for
+  // any nonzero occupancy snapshot: the burst below decodes almost
+  // entirely at tier 2, and every response must still be
+  // byte-identical to its tier's canonical registry decoder.
+  ServiceConfig config = BaseConfig();
+  config.shed.elevated_watermark = 1e-12;
+  config.shed.high_watermark = 1e-9;
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+
+  // Tier specs document the budgets: 12 -> 6 -> 3 for iters=12.
+  ASSERT_EQ(service.tier_specs().size(), 3u);
+  std::vector<std::unique_ptr<ldpc::Decoder>> reference;
+  for (const auto& spec : service.tier_specs())
+    reference.push_back(ldpc::MakeDecoder(code(), spec));
+
+  const auto frames = MakeFrames(code(), 24, 4);
+  std::map<std::uint64_t, std::vector<double>> sent;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+    sent.emplace(f, frames[f]);
+  }
+  service.Stop();
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.ok, 24u);
+  EXPECT_GE(stats.tier_frames[2], 1u) << "high tier never engaged";
+
+  DecodeResponse response;
+  while (client.TryPop(response)) {
+    ASSERT_EQ(response.status, Status::kOk);
+    ASSERT_GE(response.tier, 0);
+    ASSERT_LT(response.tier, kNumShedTiers);
+    const auto expect =
+        reference[static_cast<std::size_t>(response.tier)]->DecodeBatch(
+            sent.at(response.id), 1);
+    EXPECT_EQ(response.bits, expect[0].bits)
+        << "frame " << response.id << " tier " << response.tier;
+  }
+}
+
+TEST_F(DecodeServiceTest, DecoderExceptionIsContainedToThrowingFrames) {
+  // ~1 in 4 frames throws mid-decode; the other frames of the same
+  // batch must still decode normally (the per-frame fallback), and
+  // the service must keep serving afterwards.
+  ServiceConfig config = BaseConfig();
+  config.faults.seed = 9;
+  config.faults.decode_throw_permille = 250;
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+  const FaultInjector oracle(config.faults);
+
+  const auto frames = MakeFrames(code(), 32, 5);
+  std::set<std::uint64_t> expected_failures;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+    if (oracle.ThrowInDecode(f)) expected_failures.insert(f);
+  }
+  ASSERT_FALSE(expected_failures.empty());
+  ASSERT_LT(expected_failures.size(), frames.size());
+  service.Stop();
+
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.failed, expected_failures.size());
+  EXPECT_EQ(stats.ok, frames.size() - expected_failures.size());
+  ExpectAccountingExact(stats);
+
+  DecodeResponse response;
+  while (client.TryPop(response)) {
+    if (expected_failures.count(response.id)) {
+      EXPECT_EQ(response.status, Status::kFailed);
+      EXPECT_TRUE(response.bits.empty());
+    } else {
+      EXPECT_EQ(response.status, Status::kOk);
+      EXPECT_EQ(response.bits.size(), code().n());
+    }
+  }
+}
+
+TEST_F(DecodeServiceTest, SlowConsumerIsDroppedAndCountedNeverBlocked) {
+  ServiceConfig config = BaseConfig();
+  config.client_queue_capacity = 2;
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 10, 6);
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+  // The client never drains while the service decodes: deliveries
+  // beyond the 2-deep client ring must be dropped and counted, and
+  // Stop() must complete anyway (the service never blocks on us).
+  service.Stop();
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.ok, 10u);  // all frames decoded; only delivery dropped
+  EXPECT_EQ(stats.responses_dropped, 8u);
+  EXPECT_EQ(client.dropped(), 8u);
+  DecodeResponse response;
+  std::size_t received = 0;
+  while (client.TryPop(response)) ++received;
+  EXPECT_EQ(received, 2u);
+}
+
+TEST_F(DecodeServiceTest, StopDrainsAdmittedWorkAndRejectsNewFrames) {
+  DecodeService service(code(), BaseConfig());
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 12, 7);
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+  service.Stop();  // graceful: decodes everything already admitted
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.ok, 12u);
+  EXPECT_EQ(stats.shed_shutdown, 0u);
+  // Admission is closed afterwards.
+  EXPECT_EQ(service.Submit(client, 99, frames[0], FarDeadline()),
+            Admission::kRejectedShutdown);
+  ExpectAccountingExact(service.Stats());
+}
+
+TEST_F(DecodeServiceTest, StopWithoutDrainShedsInsteadOfDecoding) {
+  ServiceConfig config = BaseConfig();
+  config.drain_on_stop = false;
+  // Hold the worker so the queue still has undecoded frames when
+  // Stop() lands.
+  config.faults.stall_permille = 1000;
+  config.faults.stall_us = 20000;
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 12, 8);
+  std::uint64_t admitted = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    if (service.Submit(client, f, frames[f], FarDeadline()) ==
+        Admission::kAdmitted)
+      ++admitted;
+  service.Stop();
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.ok + stats.shed_shutdown, admitted);
+  EXPECT_GE(stats.shed_shutdown, 1u);
+  ExpectAccountingExact(stats);
+}
+
+TEST_F(DecodeServiceTest, MetricsExportMatchesStatsExactly) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config = BaseConfig();
+  config.metrics = &registry;
+  config.faults.seed = 11;
+  config.faults.decode_throw_permille = 200;
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 20, 9);
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    service.Submit(client, f, frames[f], FarDeadline());
+  std::vector<double> bad(3, 1.0);
+  service.Submit(client, 777, bad, FarDeadline());
+  service.Stop();
+
+  const auto stats = service.Stats();
+  ExpectAccountingExact(stats);
+  const auto merged = registry.Merge();
+  std::map<std::string, std::uint64_t> counters;
+  for (const auto& c : merged.counters) counters[c.name] = c.value;
+  EXPECT_EQ(counters.at("serve.submitted"), stats.submitted);
+  EXPECT_EQ(counters.at("serve.admitted"), stats.admitted);
+  EXPECT_EQ(counters.at("serve.ok"), stats.ok);
+  EXPECT_EQ(counters.at("serve.failed"), stats.failed);
+  EXPECT_EQ(counters.at("serve.rejected_malformed"), stats.rejected_malformed);
+  EXPECT_EQ(counters.at("serve.rejected_full"), stats.rejected_full);
+  EXPECT_EQ(counters.at("serve.shed_expired"), stats.shed_expired);
+  EXPECT_EQ(counters.at("serve.shed_shutdown"), stats.shed_shutdown);
+  EXPECT_EQ(counters.at("serve.tier0_frames") +
+                counters.at("serve.tier1_frames") +
+                counters.at("serve.tier2_frames"),
+            stats.ok);
+  // Latency histograms sample exactly the decoded frames.
+  for (const auto& h : merged.histograms) {
+    if (h.name == "serve.decode_us") {
+      EXPECT_EQ(h.hist.Summarize().count, stats.ok);
+    }
+  }
+}
+
+TEST_F(DecodeServiceTest, ConstructorRejectsBadSpecsAsInvalidArgument) {
+  ServiceConfig config = BaseConfig();
+  config.decoder_spec = "definitely-not-a-decoder";
+  EXPECT_THROW(DecodeService(code(), config), std::invalid_argument);
+  config = BaseConfig();
+  config.decoder_spec = "layered-nms:batch=999";  // out of [1, 32]
+  EXPECT_THROW(DecodeService(code(), config), std::invalid_argument);
+  config = BaseConfig();
+  config.shed.high_watermark = 0.1;  // below elevated watermark
+  EXPECT_THROW(DecodeService(code(), config), std::invalid_argument);
+  config = BaseConfig();
+  config.faults.stall_permille = 1001;
+  EXPECT_THROW(DecodeService(code(), config), std::invalid_argument);
+}
+
+TEST_F(DecodeServiceTest, WaitPopDeliversAcrossThreadsWithTimeout) {
+  DecodeService service(code(), BaseConfig());
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 4, 10);
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+  DecodeResponse response;
+  std::size_t received = 0;
+  while (received < 4 &&
+         client.WaitPop(response, std::chrono::microseconds(2000000)))
+    ++received;
+  EXPECT_EQ(received, 4u);
+  // Timeout path: nothing pending, bounded wait, false.
+  EXPECT_FALSE(client.WaitPop(response, std::chrono::microseconds(1000)));
+}
+
+}  // namespace
+}  // namespace cldpc::serve
