@@ -42,6 +42,24 @@ METRICS_SCHEMA = "cldpc-metrics-v1"
 HIST_KEYS = {"unit", "count", "min", "max", "mean", "p50", "p90", "p99",
              "bins"}
 
+# The shard.* namespace (src/dist/) is a machine interface consumed by
+# the CI kill-and-resume smoke: a misspelled or invented name would
+# silently validate while the smoke greps for nothing. Closed set —
+# extend it here in the same PR that adds the metric.
+SHARD_COUNTERS = {
+    # worker side (dist/shard_runner.cpp)
+    "shard.resumes", "shard.restarts_corrupt", "shard.restarts_stale",
+    "shard.restarts_unit_mismatch", "shard.checkpoint_writes",
+    "shard.injected_crashes", "shard.injected_corrupt_writes",
+    "shard.injected_stale_writes",
+    # coordinator side (dist/coordinator.cpp)
+    "shard.dispatches", "shard.retries", "shard.timeouts",
+    "shard.worker_deaths", "shard.failures", "shard.merges",
+    "shard.checkpoints_rejected",
+}
+SHARD_GAUGES = {"shard.frames_assigned", "shard.frames_merged",
+                "shard.frames_in_flight", "shard.frames_lost_and_retried"}
+
 
 def validate_metrics_doc(doc):
     """Return a list of violation strings (empty = valid)."""
@@ -113,6 +131,27 @@ def validate_metrics_doc(doc):
     for name in doc["nondeterministic"]:
         check(isinstance(name, str) and name in known,
               f"nondeterministic entry {name!r} names no exported metric")
+
+    for name in doc["counters"]:
+        check(not name.startswith("shard.") or name in SHARD_COUNTERS,
+              f"counter {name}: not a known shard.* counter")
+    for name in doc["gauges"]:
+        check(not name.startswith("shard.") or name in SHARD_GAUGES,
+              f"gauge {name}: not a known shard.* gauge")
+    for name in doc["histograms"]:
+        check(not name.startswith("shard."),
+              f"histogram {name}: the shard.* namespace has no histograms")
+    # When the coordinator exports its full frame ledger, the
+    # conservation identity must hold — the same gate the coordinator
+    # binary's exit code enforces (dist/coordinator.hpp).
+    if SHARD_GAUGES <= set(doc["gauges"]):
+        gauges = doc["gauges"]
+        check(gauges["shard.frames_assigned"]
+              == gauges["shard.frames_merged"]
+              + gauges["shard.frames_in_flight"]
+              + gauges["shard.frames_lost_and_retried"],
+              "shard frame ledger violates assigned == merged + in_flight"
+              " + lost_and_retried")
     return errors
 
 
@@ -146,10 +185,16 @@ def selftest():
                 "bins": [[2, 2], [5, 1]],
             },
         },
-        "gauges": {"engine.frames_per_second": 14072.3},
+        "gauges": {"engine.frames_per_second": 14072.3,
+                   "shard.frames_assigned": 700,
+                   "shard.frames_merged": 240,
+                   "shard.frames_in_flight": 0,
+                   "shard.frames_lost_and_retried": 460},
         "nondeterministic": ["decode.lane_groups",
                              "engine.frames_per_second"],
     }
+    good["counters"].update({"shard.dispatches": 10, "shard.merges": 3,
+                             "shard.checkpoint_writes": 24})
 
     def mutate(fn):
         doc = json.loads(json.dumps(good))
@@ -179,6 +224,20 @@ def selftest():
                 .update({"engine.frames_per_second": float("inf")}))),
         ("unknown nondeterministic name",
          mutate(lambda d: d["nondeterministic"].append("no.such.metric"))),
+        # A worker that miscounts interrupted checkpoint writes under
+        # an invented name must not slip past the smoke's validation.
+        ("unknown shard counter (torn checkpoint)",
+         mutate(lambda d: d["counters"]
+                .update({"shard.torn_checkpoints": 1}))),
+        ("unknown shard gauge",
+         mutate(lambda d: d["gauges"].update({"shard.frames_leaked": 3}))),
+        ("shard histogram",
+         mutate(lambda d: d["histograms"]
+                .update({"shard.retries": d["histograms"]
+                         ["decode.iterations"]}))),
+        ("torn frame ledger",
+         mutate(lambda d: d["gauges"]
+                .update({"shard.frames_lost_and_retried": 461}))),
         ("not an object", ["not", "a", "dict"]),
     ]
 

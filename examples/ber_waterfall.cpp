@@ -12,6 +12,8 @@
 //                   [--dump-alist=<path>]
 //                   [--metrics] [--metrics-json=<path>]
 //                   [--trace-json=<path>]
+//                   [--checkpoint=<path>] [--resume=<path>]
+//                   [--cancel-after-frames=N]
 //
 // --metrics prints the decode-telemetry table; --metrics-json /
 // --trace-json write the cldpc-metrics-v1 JSON and a chrome://tracing
@@ -33,6 +35,17 @@
 // keeps every frame already measured, prints the partial table,
 // flushes --metrics-json / --trace-json, and exits 0. A second signal
 // aborts immediately (exit 130).
+//
+// --checkpoint=<path> additionally persists the sweep's exact
+// statistics (atomic write, CRC-guarded — see dist/sweep.hpp) after
+// every point and on interruption; --resume=<path> continues such a
+// run and the finished curves are bit-identical to an uninterrupted
+// sweep, early stops included. The checkpoint carries a parameter
+// fingerprint: resuming with different --code/--snrs/--frames/
+// --decoder parameters is refused (exit 2), --threads may change
+// freely. --cancel-after-frames=N is a determinism hook for tests:
+// it requests shutdown from inside the frame callback after the Nth
+// frame, exactly where ^C would be honored.
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -41,6 +54,7 @@
 
 #include "codes/alist.hpp"
 #include "codes/catalog.hpp"
+#include "dist/sweep.hpp"
 #include "engine/sim_engine.hpp"
 #include "ldpc/core/registry.hpp"
 #include "obs/export.hpp"
@@ -111,24 +125,80 @@ int RunMain(int argc, char** argv) {
   std::printf("Engine threads: %zu\n",
               engine::ResolveThreads(config.threads));
 
+  // Test hook: request shutdown from inside the (in-order) frame
+  // callback after N consumed frames — a deterministic stand-in for
+  // ^C, so checkpoint/resume smoke tests interrupt at a reproducible
+  // frame regardless of timing.
+  const std::uint64_t cancel_after = args.GetUint("cancel-after-frames", 0);
+  std::uint64_t frames_seen = 0;
+  sim::FrameCallback on_frame;
+  if (cancel_after > 0) {
+    on_frame = [&frames_seen, cancel_after](std::size_t, std::uint64_t, bool) {
+      if (++frames_seen == cancel_after) util::RequestShutdownForTest();
+    };
+  }
+
+  const std::string checkpoint_path = args.GetString("checkpoint", "");
+  const std::string resume_path = args.GetString("resume", "");
+  const bool checkpointed = !checkpoint_path.empty() || !resume_path.empty();
+  // Where progress is saved: --checkpoint names it; --resume alone
+  // continues AND keeps saving to the same file.
+  const std::string save_path =
+      !checkpoint_path.empty() ? checkpoint_path : resume_path;
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<sim::BerCurve> curves;
-  if (args.Has("decoder")) {
+  bool sweep_complete = true;
+  if (checkpointed) {
+    std::vector<std::string> specs =
+        args.Has("decoder")
+            ? args.GetStringList("decoder", {})
+            : std::vector<std::string>{"fixed-nms:iters=18",
+                                       "nms:iters=18,alpha=1.23"};
+    dist::ResumableSweep sweep(code, *system.encoder, system.name, config,
+                               specs);
+    std::printf("Sweep fingerprint: %08x (checkpoint: %s)\n",
+                sweep.Fingerprint(), save_path.c_str());
+    if (!resume_path.empty()) {
+      const auto status = sweep.LoadCheckpoint(resume_path);
+      switch (status) {
+        case dist::CheckpointStatus::kOk:
+          std::printf("Resumed from %s.\n", resume_path.c_str());
+          break;
+        case dist::CheckpointStatus::kMissing:
+          std::printf("No checkpoint at %s yet — starting fresh.\n",
+                      resume_path.c_str());
+          break;
+        default:
+          throw std::invalid_argument(
+              std::string("cannot resume from ") + resume_path + ": " +
+              dist::ToString(status) +
+              " (same --code/--snrs/--frames/--decoder as the original "
+              "run?)");
+      }
+    }
+    sweep_complete = sweep.Run(save_path, on_frame);
+    curves = sweep.curves();
+    if (!args.Has("decoder") && curves.size() == 2) {
+      curves[0].decoder_name = "fixed NMS-18";
+      curves[1].decoder_name = "float NMS-18";
+    }
+  } else if (args.Has("decoder")) {
     for (const auto& spec : args.GetStringList("decoder", {})) {
       if (util::ShutdownRequested()) break;
       std::printf("Running %s...\n", spec.c_str());
-      curves.push_back(runner.RunSpec(spec));
+      curves.push_back(runner.RunSpec(spec, on_frame));
     }
   } else {
     // Default comparison, built through the same registry seam: the
     // 6-bit fixed datapath vs floating-point NMS at 18 iterations.
     std::printf("Running fixed-point NMS-18...\n");
-    auto fixed = runner.RunSpec("fixed-nms:iters=18");
+    auto fixed = runner.RunSpec("fixed-nms:iters=18", on_frame);
     fixed.decoder_name = "fixed NMS-18";
     curves.push_back(std::move(fixed));
     if (!util::ShutdownRequested()) {
       std::printf("Running float NMS-18...\n");
-      auto nms = runner.RunSpec("nms:iters=18,alpha=1.23");
+      auto nms = runner.RunSpec("nms:iters=18,alpha=1.23", on_frame);
       nms.decoder_name = "float NMS-18";
       curves.push_back(std::move(nms));
     }
@@ -141,6 +211,11 @@ int RunMain(int argc, char** argv) {
   if (util::ShutdownRequested()) {
     std::printf("\nInterrupted — PARTIAL results: points still running kept "
                 "only the frames measured before the signal.\n");
+    if (checkpointed && !sweep_complete) {
+      std::printf("Progress saved; continue with --resume=%s (identical "
+                  "parameters) for curves bit-identical to an "
+                  "uninterrupted run.\n", save_path.c_str());
+    }
   }
   std::printf("\n%s", sim::RenderCurves(curves).c_str());
   if (want_metrics) {

@@ -1,0 +1,91 @@
+#include "dist/checkpoint.hpp"
+
+#include <exception>
+
+#include "util/atomic_file.hpp"
+#include "util/crc32.hpp"
+#include "util/json.hpp"
+
+namespace cldpc::dist {
+namespace {
+
+constexpr const char* kSchema = "cldpc-checkpoint-v1";
+constexpr const char* kSchemaPrefix = "cldpc-checkpoint-v";
+
+}  // namespace
+
+const char* ToString(CheckpointStatus status) {
+  switch (status) {
+    case CheckpointStatus::kOk: return "ok";
+    case CheckpointStatus::kMissing: return "missing";
+    case CheckpointStatus::kCorrupt: return "corrupt";
+    case CheckpointStatus::kVersionMismatch: return "version-mismatch";
+    case CheckpointStatus::kUnitMismatch: return "unit-mismatch";
+  }
+  return "unknown";
+}
+
+std::string SerializeCheckpoint(const Checkpoint& checkpoint) {
+  auto payload = util::JsonValue::Object();
+  payload.Set("unit_crc", util::JsonValue::Uint(checkpoint.unit_crc));
+  payload.Set("complete", util::JsonValue::Bool(checkpoint.complete));
+  // The result document nests as a parsed value, not an escaped
+  // string, so the checkpoint stays one readable JSON tree (its inner
+  // crc32 envelope comes along verbatim).
+  payload.Set("result", util::JsonValue::Parse(checkpoint.result.ToJson()));
+
+  auto doc = util::JsonValue::Object();
+  doc.Set("schema", util::JsonValue::Str(kSchema));
+  doc.Set("crc32", util::JsonValue::Uint(util::Crc32(payload.Serialize())));
+  doc.Set("payload", std::move(payload));
+  return doc.Serialize();
+}
+
+CheckpointStatus ParseCheckpoint(std::string_view text,
+                                 std::uint32_t expected_unit_crc,
+                                 Checkpoint* out) {
+  try {
+    const auto doc = util::JsonValue::Parse(text);
+    const std::string& schema = doc.At("schema").AsString();
+    if (schema != kSchema) {
+      // A checkpoint of another VERSION of this format is worth
+      // distinguishing from random damage: it means a software
+      // upgrade happened mid-run, and restarting the shard is the
+      // correct (and reported) response.
+      return schema.rfind(kSchemaPrefix, 0) == 0
+                 ? CheckpointStatus::kVersionMismatch
+                 : CheckpointStatus::kCorrupt;
+    }
+    const auto& payload = doc.At("payload");
+    if (doc.At("crc32").AsUint() != util::Crc32(payload.Serialize()))
+      return CheckpointStatus::kCorrupt;
+    Checkpoint cp;
+    cp.unit_crc =
+        static_cast<std::uint32_t>(payload.At("unit_crc").AsUint());
+    cp.complete = payload.At("complete").AsBool();
+    cp.result = ShardResult::FromJson(payload.At("result").Serialize());
+    if (cp.unit_crc != expected_unit_crc)
+      return CheckpointStatus::kUnitMismatch;
+    if (out) *out = std::move(cp);
+    return CheckpointStatus::kOk;
+  } catch (const std::exception&) {
+    // Truncation, malformed JSON, missing/mistyped fields, inner
+    // result CRC mismatch — all the ways a file rots map here.
+    return CheckpointStatus::kCorrupt;
+  }
+}
+
+void WriteCheckpointFile(const std::string& path,
+                         const Checkpoint& checkpoint) {
+  util::WriteFileAtomic(path, SerializeCheckpoint(checkpoint));
+}
+
+CheckpointStatus LoadCheckpointFile(const std::string& path,
+                                    std::uint32_t expected_unit_crc,
+                                    Checkpoint* out) {
+  const auto text = util::ReadFileIfExists(path);
+  if (!text) return CheckpointStatus::kMissing;
+  return ParseCheckpoint(*text, expected_unit_crc, out);
+}
+
+}  // namespace cldpc::dist

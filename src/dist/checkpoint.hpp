@@ -1,0 +1,78 @@
+// Crash-safe shard checkpoints.
+//
+// A shard periodically persists its progress — the exact integer
+// sufficient statistics of the frames consumed so far — so that a
+// killed worker resumes from the last checkpoint instead of frame 0,
+// and the resumed shard's final result is bit-identical to an
+// uninterrupted run (the statistics are exact sums and the remaining
+// frames draw the same absolute seeds; locked by tests).
+//
+// Durability and integrity are split between two layers:
+//   - util::WriteFileAtomic makes each checkpoint write all-or-
+//     nothing (temp + fsync + rename), so a crash mid-write leaves
+//     the PREVIOUS checkpoint intact;
+//   - the CRC-32 envelope makes any surviving corruption (bit rot,
+//     truncation, a stale file from an older schema, a checkpoint
+//     belonging to a different work unit) a detected, classified
+//     condition — the shard restarts from scratch, never merges
+//     garbage.
+//
+// On-disk form: {"schema": "cldpc-checkpoint-v1", "crc32": ...,
+// "payload": {"unit_crc": ..., "complete": ..., "result": <the
+// shard-result document>}}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dist/shard_result.hpp"
+
+namespace cldpc::dist {
+
+struct Checkpoint {
+  /// ContentCrc of the work unit this checkpoint belongs to. A
+  /// checkpoint loads only against its own unit — resuming shard A's
+  /// file under shard B's unit is a classified failure, not a merge
+  /// of unrelated frames.
+  std::uint32_t unit_crc = 0;
+  /// True once the shard has simulated its full frame range; a
+  /// complete checkpoint IS the shard's result.
+  bool complete = false;
+  ShardResult result;
+};
+
+enum class CheckpointStatus {
+  kOk,
+  kMissing,          // no file — fresh start, not an error
+  kCorrupt,          // unparseable, truncated, or CRC mismatch
+  kVersionMismatch,  // parseable envelope, foreign schema version
+  kUnitMismatch,     // valid checkpoint of a DIFFERENT work unit
+};
+
+/// Human-readable status name (logs, metrics labels, tests).
+const char* ToString(CheckpointStatus status);
+
+std::string SerializeCheckpoint(const Checkpoint& checkpoint);
+
+/// Classify + parse. Returns kOk and fills `out` only for a valid
+/// checkpoint whose unit_crc equals `expected_unit_crc`; every other
+/// outcome returns its classification and leaves `out` untouched.
+/// Never throws on bad input — a rotten file is an expected
+/// condition, not a programming error.
+CheckpointStatus ParseCheckpoint(std::string_view text,
+                                 std::uint32_t expected_unit_crc,
+                                 Checkpoint* out);
+
+/// Atomic (all-or-nothing) checkpoint write; throws std::runtime_error
+/// on I/O failure.
+void WriteCheckpointFile(const std::string& path,
+                         const Checkpoint& checkpoint);
+
+/// Read + classify a checkpoint file. kMissing when the file does not
+/// exist; I/O errors other than non-existence throw.
+CheckpointStatus LoadCheckpointFile(const std::string& path,
+                                    std::uint32_t expected_unit_crc,
+                                    Checkpoint* out);
+
+}  // namespace cldpc::dist

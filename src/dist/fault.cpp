@@ -1,0 +1,72 @@
+#include "dist/fault.hpp"
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace cldpc::dist {
+namespace {
+
+// Independent decision streams per fault kind (same discipline as
+// serve/fault.cpp).
+enum FaultStream : std::uint64_t {
+  kCrashStream = 1,
+  kCorruptStream = 2,
+  kStaleStream = 3,
+  kCoordinatorKillStream = 4,
+};
+
+bool Decide(std::uint64_t seed, std::uint64_t stream, std::uint64_t a,
+            std::uint64_t b, std::uint32_t permille) {
+  if (permille == 0) return false;
+  if (permille >= 1000) return true;
+  SplitMix64 mix(DeriveSeed(seed, stream, a, b));
+  return mix.Next() % 1000 < permille;
+}
+
+/// Fold (attempt, chunk) into one 64-bit key so Decide's two slots
+/// carry three coordinates; SplitMix64 keeps distinct pairs distinct
+/// for all practical purposes.
+std::uint64_t AttemptChunkKey(std::uint64_t attempt, std::uint64_t chunk) {
+  return SplitMix64(DeriveSeed(attempt, chunk)).Next();
+}
+
+}  // namespace
+
+ShardFaultInjector::ShardFaultInjector(const ShardFaultPlan& plan)
+    : plan_(plan) {
+  CLDPC_EXPECTS(plan.crash_permille <= 1000 &&
+                    plan.corrupt_permille <= 1000 &&
+                    plan.stale_version_permille <= 1000 &&
+                    plan.coordinator_kill_permille <= 1000,
+                "fault probabilities are permille values in [0, 1000]");
+}
+
+bool ShardFaultInjector::CrashAfterChunk(std::uint64_t shard,
+                                         std::uint64_t attempt,
+                                         std::uint64_t chunk) const {
+  return Decide(plan_.seed, kCrashStream, shard, AttemptChunkKey(attempt, chunk),
+                plan_.crash_permille);
+}
+
+bool ShardFaultInjector::CorruptCheckpoint(std::uint64_t shard,
+                                           std::uint64_t attempt,
+                                           std::uint64_t chunk) const {
+  return Decide(plan_.seed, kCorruptStream, shard,
+                AttemptChunkKey(attempt, chunk), plan_.corrupt_permille);
+}
+
+bool ShardFaultInjector::StaleVersion(std::uint64_t shard,
+                                      std::uint64_t attempt,
+                                      std::uint64_t chunk) const {
+  return Decide(plan_.seed, kStaleStream, shard,
+                AttemptChunkKey(attempt, chunk),
+                plan_.stale_version_permille);
+}
+
+bool ShardFaultInjector::KillCoordinatorAfterMerge(
+    std::uint64_t merge_index) const {
+  return Decide(plan_.seed, kCoordinatorKillStream, merge_index, 0,
+                plan_.coordinator_kill_permille);
+}
+
+}  // namespace cldpc::dist

@@ -1,0 +1,84 @@
+// Deterministic fault injection for the sharded-simulation stack —
+// the dist-layer sibling of serve/fault.hpp.
+//
+// The crash-safety claims here (a killed worker resumes bit-
+// identically, a corrupted checkpoint restarts cleanly, the
+// coordinator's accounting survives retries) are only credible if the
+// failures are actually injected, and only debuggable if a failing
+// run replays exactly. So every decision is a pure function of
+// (plan.seed, fault kind, shard, attempt, chunk) via DeriveSeed: the
+// coordinator prints its fault seed, and re-running with that seed
+// injects the identical crash at the identical chunk of the identical
+// attempt — on any machine, under any scheduling. Locked by the
+// replay test in tests/test_dist.cpp.
+//
+// Fault kinds:
+//   - worker crash          raise(SIGKILL) right after a checkpoint
+//                           chunk (the honest mid-shard death: no
+//                           destructors, no flushing);
+//   - checkpoint corruption a checkpoint write lands with one byte
+//                           flipped (simulated bit rot / torn media);
+//   - stale version         a checkpoint write carries a foreign
+//                           schema version (simulated mid-run
+//                           software upgrade);
+//   - coordinator kill      the coordinator process dies after the
+//                           Nth shard merge (exercises coordinator-
+//                           level resume).
+//
+// Probabilities are permille integers, as in serve/fault.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace cldpc::dist {
+
+struct ShardFaultPlan {
+  /// Base seed for all fault streams; selects which (shard, attempt,
+  /// chunk) events fault. Injection is armed iff a permille knob is
+  /// non-zero.
+  std::uint64_t seed = 0;
+
+  std::uint32_t crash_permille = 0;          // per checkpoint chunk
+  std::uint32_t corrupt_permille = 0;        // per checkpoint write
+  std::uint32_t stale_version_permille = 0;  // per checkpoint write
+  /// Coordinator suicide after merge #k: 0 = never, otherwise the
+  /// decision is evaluated per completed merge.
+  std::uint32_t coordinator_kill_permille = 0;
+
+  bool any() const {
+    return crash_permille != 0 || corrupt_permille != 0 ||
+           stale_version_permille != 0 || coordinator_kill_permille != 0;
+  }
+};
+
+/// Stateless decision oracle (copyable, thread-safe, call-order
+/// independent). `attempt` is in every key: retried attempts of the
+/// same chunk draw fresh decisions, so a crash-prone shard is not
+/// doomed to crash at the same chunk forever — progress under retry
+/// is part of what the harness must demonstrate.
+class ShardFaultInjector {
+ public:
+  ShardFaultInjector() = default;
+  explicit ShardFaultInjector(const ShardFaultPlan& plan);
+
+  const ShardFaultPlan& plan() const { return plan_; }
+  bool armed() const { return plan_.any(); }
+
+  /// Kill the worker (SIGKILL) after checkpointing chunk `chunk` of
+  /// attempt `attempt` on shard `shard`?
+  bool CrashAfterChunk(std::uint64_t shard, std::uint64_t attempt,
+                       std::uint64_t chunk) const;
+  /// Flip a byte in the checkpoint written for this chunk?
+  bool CorruptCheckpoint(std::uint64_t shard, std::uint64_t attempt,
+                         std::uint64_t chunk) const;
+  /// Write the checkpoint under a foreign schema version?
+  bool StaleVersion(std::uint64_t shard, std::uint64_t attempt,
+                    std::uint64_t chunk) const;
+  /// Kill the coordinator after shard merge number `merge_index`?
+  bool KillCoordinatorAfterMerge(std::uint64_t merge_index) const;
+
+ private:
+  ShardFaultPlan plan_;
+};
+
+}  // namespace cldpc::dist

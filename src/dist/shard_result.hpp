@@ -1,0 +1,118 @@
+// Mergeable shard results: exact integer sufficient statistics.
+//
+// A shard's contribution to the final curve is entirely described by
+// integer sums — error/trial counts per point, the iteration total,
+// and the kStable engine counters + iteration histogram. Integer
+// addition is associative and commutative and every sum has one
+// representation, so merging shards in ANY grouping reproduces the
+// statistics a single uninterrupted run would have produced, bit for
+// bit. Derived floating-point values (rates, avg_iterations) are
+// computed only once, from the fully merged integers, with the exact
+// expressions the engine uses — which is what makes the merged
+// BerCurve byte-identical to the single-process reference (locked by
+// tests/test_dist.cpp).
+//
+// Serialized form: versioned JSON "cldpc-shard-result-v1" with the
+// same {"schema","crc32","payload"} envelope as work units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/ber_runner.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+
+namespace cldpc::obs {
+class MetricsRegistry;
+}
+
+namespace cldpc::dist {
+
+/// One sweep point's sufficient statistics. All counts are exact
+/// integers; nothing here loses information under summation.
+struct PointStats {
+  double ebn0_db = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t bit_errors = 0;
+  std::uint64_t bit_trials = 0;
+  std::uint64_t frame_errors = 0;
+  std::uint64_t undetected_errors = 0;
+  std::uint64_t undetected_trials = 0;
+  std::uint64_t iterations_total = 0;
+
+  static PointStats FromBerPoint(const sim::BerPoint& p);
+  /// JSON round-trip (shared by shard results and sweep checkpoints).
+  util::JsonValue ToJson() const;
+  static PointStats FromJson(const util::JsonValue& v);
+  /// Reconstruct a BerPoint; avg_iterations is derived exactly as
+  /// the engine derives it (double(iterations_total) / frames).
+  sim::BerPoint ToBerPoint() const;
+  /// Integer sum of all counts. Requires matching ebn0_db.
+  void MergeFrom(const PointStats& other);
+};
+
+/// The engine's thread-count-invariant observability facts, carried
+/// so a merged sharded run reports the same kStable metrics as the
+/// single-process run. `engine.points` is deliberately ABSENT: every
+/// shard visits every point, so the per-shard counters do not sum to
+/// the single-run value — the merge derives it from the grid size
+/// instead (see MergedCountersToRegistry).
+struct StableCounters {
+  std::uint64_t frames = 0;
+  std::uint64_t frame_errors = 0;
+  std::uint64_t bit_errors = 0;
+  std::uint64_t frames_converged = 0;
+  std::uint64_t frames_accepted = 0;
+  std::uint64_t undetected_errors = 0;
+  /// decode.iterations — kStable, merged by integer bin addition.
+  Histogram iterations;
+
+  /// Read the engine.* / decode.iterations totals out of a registry
+  /// the shard's engine recorded into.
+  static StableCounters FromRegistry(const obs::MetricsRegistry& registry);
+  void MergeFrom(const StableCounters& other);
+};
+
+struct ShardResult {
+  /// ContentCrc of the WorkUnit this result answers (checkpoint /
+  /// resume identity; 0 on a merged result, which answers no single
+  /// unit).
+  std::uint32_t unit_crc = 0;
+  /// RunCrc of the unit: the logical-run identity all shards of a
+  /// split share. The merge refuses shards with different run_crc.
+  std::uint32_t run_crc = 0;
+  /// Frame range actually covered: [first_frame, first_frame+frames_done)
+  /// of every point. frames_done < the unit's frame_count for a
+  /// checkpointed partial result.
+  std::uint64_t first_frame = 0;
+  std::uint64_t frames_done = 0;
+  std::string decoder_name;
+  bool has_frame_check = false;
+  std::vector<PointStats> points;
+  StableCounters counters;
+
+  std::string ToJson() const;
+  static ShardResult FromJson(std::string_view text);
+
+  /// View as a BerCurve (e.g. to render one shard's partial numbers).
+  sim::BerCurve ToCurve() const;
+};
+
+/// Merge shard results into the single-run equivalent. Shards must
+/// share unit_crc, decoder name and Eb/N0 grid, and their frame
+/// ranges must tile a contiguous range with no gap or overlap —
+/// anything else throws std::invalid_argument (a gap would silently
+/// understate the statistics). Order of the input does not matter.
+ShardResult MergeShardResults(const std::vector<ShardResult>& shards);
+
+/// Publish a merged result's counters into `registry` as the usual
+/// engine.* / decode.iterations metrics (incl. the derived
+/// engine.points = grid size), so sharded runs export the same
+/// cldpc-metrics-v1 stable subset as single-process runs.
+void MergedCountersToRegistry(const ShardResult& merged,
+                              obs::MetricsRegistry& registry);
+
+}  // namespace cldpc::dist

@@ -1,0 +1,244 @@
+#include "dist/shard_runner.hpp"
+
+#include <csignal>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "codes/catalog.hpp"
+#include "engine/sim_engine.hpp"
+#include "ldpc/core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "util/atomic_file.hpp"
+#include "util/contracts.hpp"
+
+namespace cldpc::dist {
+namespace {
+
+constexpr const char* kSchemaV1 = "cldpc-checkpoint-v1";
+constexpr const char* kSchemaV0 = "cldpc-checkpoint-v0";
+
+/// shard.* bookkeeping counters (Determinism::kScheduling — they
+/// depend on kill timing and fault draws, not on the physics).
+struct Bookkeeping {
+  obs::MetricsRegistry* reg = nullptr;
+  obs::CounterId resumes, restarts_corrupt, restarts_stale,
+      restarts_unit_mismatch, checkpoint_writes, injected_crashes,
+      injected_corrupt_writes, injected_stale_writes;
+
+  explicit Bookkeeping(obs::MetricsRegistry* r) : reg(r) {
+    if (!reg) return;
+    using D = obs::Determinism;
+    resumes = reg->Counter("shard.resumes", D::kScheduling);
+    restarts_corrupt = reg->Counter("shard.restarts_corrupt", D::kScheduling);
+    restarts_stale = reg->Counter("shard.restarts_stale", D::kScheduling);
+    restarts_unit_mismatch =
+        reg->Counter("shard.restarts_unit_mismatch", D::kScheduling);
+    checkpoint_writes =
+        reg->Counter("shard.checkpoint_writes", D::kScheduling);
+    injected_crashes = reg->Counter("shard.injected_crashes", D::kScheduling);
+    injected_corrupt_writes =
+        reg->Counter("shard.injected_corrupt_writes", D::kScheduling);
+    injected_stale_writes =
+        reg->Counter("shard.injected_stale_writes", D::kScheduling);
+    reg->SetShardCount(1);
+  }
+
+  void Count(obs::CounterId id, std::uint64_t delta = 1) {
+    if (reg) reg->shard(0).Add(id, delta);
+  }
+};
+
+std::uint64_t SumFrames(const ShardResult& r) {
+  std::uint64_t total = 0;
+  for (const auto& p : r.points) total += p.frames;
+  return total;
+}
+
+std::uint64_t MinFrames(const ShardResult& r) {
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& p : r.points) lo = std::min(lo, p.frames);
+  return r.points.empty() ? 0 : lo;
+}
+
+}  // namespace
+
+ShardRunOutcome RunShard(const WorkUnit& unit,
+                         const ShardRunOptions& options) {
+  CLDPC_EXPECTS(options.checkpoint_every_frames > 0,
+                "checkpoint interval must be positive");
+  Bookkeeping bk(options.metrics);
+
+  auto system = codes::LoadCode(unit.code_spec);
+  const auto decoder_spec = ldpc::DecoderSpec::Parse(unit.decoder_spec);
+  const std::string decoder_name =
+      ldpc::MakeDecoder(*system.code, decoder_spec)->Name();
+
+  const std::uint32_t unit_crc = unit.ContentCrc();
+
+  ShardRunOutcome outcome;
+  ShardResult current;
+  current.unit_crc = unit_crc;
+  current.run_crc = unit.RunCrc();
+  current.first_frame = unit.first_frame;
+  current.decoder_name = decoder_name;
+  current.has_frame_check = static_cast<bool>(system.frame_check);
+  for (const double db : unit.ebn0_db) {
+    PointStats zero;
+    zero.ebn0_db = db;
+    current.points.push_back(zero);
+  }
+  // Statistics inherited from the resumed checkpoint; the running
+  // totals are always resumed + this execution's engine registry.
+  StableCounters resumed_counters;
+
+  if (!options.checkpoint_path.empty()) {
+    Checkpoint cp;
+    outcome.resume_status =
+        LoadCheckpointFile(options.checkpoint_path, unit_crc, &cp);
+    switch (outcome.resume_status) {
+      case CheckpointStatus::kOk:
+        if (cp.result.points.size() != current.points.size())
+          throw std::invalid_argument(
+              "checkpoint grid size does not match its unit (corrupted "
+              "beyond the CRC's reach?)");
+        if (cp.complete) {
+          // Idempotent resume: the shard already finished; re-running
+          // it would only burn cycles to produce the same bytes.
+          outcome.result = std::move(cp.result);
+          outcome.complete = true;
+          outcome.frames_resumed = SumFrames(outcome.result);
+          bk.Count(bk.resumes);
+          return outcome;
+        }
+        current.points = cp.result.points;
+        resumed_counters = cp.result.counters;
+        outcome.frames_resumed = SumFrames(cp.result);
+        bk.Count(bk.resumes);
+        break;
+      case CheckpointStatus::kMissing:
+        break;  // fresh start, nothing to report
+      case CheckpointStatus::kCorrupt:
+        bk.Count(bk.restarts_corrupt);
+        break;
+      case CheckpointStatus::kVersionMismatch:
+        bk.Count(bk.restarts_stale);
+        break;
+      case CheckpointStatus::kUnitMismatch:
+        bk.Count(bk.restarts_unit_mismatch);
+        break;
+    }
+  }
+
+  // One registry across all chunks of this execution: engine metric
+  // names deduplicate, so the kStable counters and the iterations
+  // histogram accumulate exactly the frames this execution consumed.
+  obs::MetricsRegistry engine_reg;
+  const auto factory = [&system, &decoder_spec] {
+    return ldpc::MakeDecoder(*system.code, decoder_spec);
+  };
+
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_acquire);
+  };
+
+  std::uint64_t chunk_id = 0;
+  bool interrupted = false;
+  for (std::size_t s = 0; s < unit.ebn0_db.size() && !interrupted; ++s) {
+    while (current.points[s].frames < unit.frame_count && !interrupted) {
+      if (cancelled()) {
+        interrupted = true;
+        break;
+      }
+      const std::uint64_t done = current.points[s].frames;
+      const std::uint64_t chunk = std::min<std::uint64_t>(
+          options.checkpoint_every_frames, unit.frame_count - done);
+
+      sim::BerConfig config;
+      config.ebn0_db = {unit.ebn0_db[s]};
+      config.base_seed = unit.base_seed;
+      config.max_frames = chunk;
+      // Pre-partitioned frame ranges are incompatible with early
+      // stopping (a shard cannot know the global error count), so
+      // shards always run their full range.
+      config.min_frame_errors = std::numeric_limits<std::uint64_t>::max();
+      config.info_bits_only = unit.info_bits_only;
+      config.all_zero_codeword = unit.all_zero_codeword;
+      config.threads = options.threads;
+      config.batch_frames = unit.batch_frames;
+      config.frame_source = system.frame_source;
+      config.frame_check = system.frame_check;
+      config.metrics = &engine_reg;
+      config.cancel = options.cancel;
+      // Absolute seed coordinates: THE load-bearing line. Chunk
+      // frames draw the seeds the whole-run frames would.
+      config.start_frame = unit.first_frame + done;
+      config.snr_index_base = s;
+
+      engine::SimEngine engine(*system.code, *system.encoder, config);
+      const auto curve = engine.Run(factory);
+      if (!curve.points.empty())
+        current.points[s].MergeFrom(
+            PointStats::FromBerPoint(curve.points[0]));
+      if (cancelled()) interrupted = true;
+
+      // Snapshot totals and checkpoint the chunk.
+      current.counters = resumed_counters;
+      current.counters.MergeFrom(StableCounters::FromRegistry(engine_reg));
+      current.frames_done = MinFrames(current);
+      bool complete = true;
+      for (const auto& p : current.points)
+        complete = complete && p.frames == unit.frame_count;
+
+      if (!options.checkpoint_path.empty()) {
+        Checkpoint cp;
+        cp.unit_crc = unit_crc;
+        cp.complete = complete;
+        cp.result = current;
+        std::string text = SerializeCheckpoint(cp);
+        if (options.faults.StaleVersion(unit.shard_index, options.attempt,
+                                        chunk_id)) {
+          // Simulated mid-run downgrade: the file carries a foreign
+          // schema version and must classify as kVersionMismatch.
+          text.replace(text.find(kSchemaV1), std::string(kSchemaV1).size(),
+                       kSchemaV0);
+          bk.Count(bk.injected_stale_writes);
+        } else if (options.faults.CorruptCheckpoint(
+                       unit.shard_index, options.attempt, chunk_id)) {
+          // Simulated bit rot: one flipped payload byte, which the
+          // CRC envelope must catch on load.
+          text[text.size() / 2] =
+              static_cast<char>(text[text.size() / 2] ^ 0x01);
+          bk.Count(bk.injected_corrupt_writes);
+        }
+        util::WriteFileAtomic(options.checkpoint_path, text);
+        bk.Count(bk.checkpoint_writes);
+      }
+
+      if (options.faults.CrashAfterChunk(unit.shard_index, options.attempt,
+                                         chunk_id)) {
+        bk.Count(bk.injected_crashes);
+        if (options.on_injected_crash) {
+          options.on_injected_crash();
+        } else {
+          // The honest mid-shard death: no unwinding, no flushing —
+          // exactly what a OOM-killed or power-cut worker looks like.
+          std::raise(SIGKILL);
+        }
+      }
+      ++chunk_id;
+    }
+  }
+
+  current.counters = resumed_counters;
+  current.counters.MergeFrom(StableCounters::FromRegistry(engine_reg));
+  current.frames_done = MinFrames(current);
+  outcome.complete = true;
+  for (const auto& p : current.points)
+    outcome.complete = outcome.complete && p.frames == unit.frame_count;
+  outcome.result = std::move(current);
+  return outcome;
+}
+
+}  // namespace cldpc::dist

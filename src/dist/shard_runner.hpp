@@ -1,0 +1,83 @@
+// Shard execution: run one WorkUnit with periodic crash-safe
+// checkpoints, resuming from a prior checkpoint when one is present
+// and valid.
+//
+// The shard simulates its frame range point by point in chunks of
+// checkpoint_every_frames, checkpointing after every chunk. Because
+// each chunk's engine run is seeded with ABSOLUTE indices
+// (BerConfig::start_frame / snr_index_base) and per-point statistics
+// are exact integer sums, the concatenation of chunks — across any
+// number of kills and resumes — is bit-identical to one uninterrupted
+// run of the shard, which is itself the corresponding slice of the
+// single-process run. tests/test_dist.cpp locks the full chain.
+//
+// A checkpoint that fails to load (corrupt / stale version / wrong
+// unit) is a REPORTED restart-from-scratch, never an error and never
+// silently merged; a checkpoint marked complete makes RunShard a
+// no-op returning the stored result (resume is idempotent).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dist/checkpoint.hpp"
+#include "dist/fault.hpp"
+#include "dist/shard_result.hpp"
+#include "dist/work_unit.hpp"
+
+namespace cldpc::obs {
+class MetricsRegistry;
+}
+
+namespace cldpc::dist {
+
+struct ShardRunOptions {
+  /// Checkpoint file path; empty disables checkpointing (the shard
+  /// then runs monolithically and only the returned result exists).
+  std::string checkpoint_path;
+  /// Frames simulated per point between checkpoints. The knob trades
+  /// re-simulation after a crash against checkpoint I/O; it never
+  /// affects results (chunking is invisible to the statistics).
+  std::uint64_t checkpoint_every_frames = 4096;
+  /// Engine worker threads (0 = hardware threads). Never changes
+  /// results — the engine's determinism contract.
+  std::size_t threads = 1;
+  /// Cooperative cancellation (borrowed). Honored at batch
+  /// granularity inside a chunk; whatever was consumed is
+  /// checkpointed before returning, so a SIGINT-ed shard resumes
+  /// without losing its partial chunk.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Deterministic fault injection (default: unarmed).
+  ShardFaultInjector faults;
+  /// Attempt number of this execution (coordinator retries increment
+  /// it) — a coordinate of every fault decision, so retried attempts
+  /// draw fresh faults.
+  std::uint64_t attempt = 0;
+  /// Overrides the default injected-crash action (raise(SIGKILL)) —
+  /// in-process tests install a throwing hook instead of dying.
+  std::function<void()> on_injected_crash;
+  /// Optional bookkeeping metrics (borrowed): shard.* counters for
+  /// resumes, restarts, checkpoint writes and injected faults.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct ShardRunOutcome {
+  ShardResult result;
+  /// True iff every point covered the unit's full frame range.
+  bool complete = false;
+  /// What the resume attempt found (kMissing = fresh start).
+  CheckpointStatus resume_status = CheckpointStatus::kMissing;
+  /// Frames inherited from the resumed checkpoint (sum over points) —
+  /// the work a crash did NOT cost.
+  std::uint64_t frames_resumed = 0;
+};
+
+/// Execute `unit`, resuming from / checkpointing to
+/// options.checkpoint_path. Throws only on genuine errors (bad spec,
+/// I/O failure); checkpoint damage and cancellation are reported
+/// outcomes.
+ShardRunOutcome RunShard(const WorkUnit& unit, const ShardRunOptions& options);
+
+}  // namespace cldpc::dist

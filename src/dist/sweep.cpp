@@ -1,0 +1,193 @@
+#include "dist/sweep.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "engine/sim_engine.hpp"
+#include "ldpc/core/registry.hpp"
+#include "util/atomic_file.hpp"
+#include "util/contracts.hpp"
+#include "util/crc32.hpp"
+#include "util/json.hpp"
+
+namespace cldpc::dist {
+namespace {
+
+constexpr const char* kSchema = "cldpc-sweep-checkpoint-v1";
+constexpr const char* kSchemaPrefix = "cldpc-sweep-checkpoint-v";
+
+}  // namespace
+
+ResumableSweep::ResumableSweep(const ldpc::LdpcCode& code,
+                               const ldpc::Encoder& encoder,
+                               std::string code_name, sim::BerConfig config,
+                               std::vector<std::string> decoder_specs)
+    : code_(code), encoder_(encoder), config_(std::move(config)) {
+  CLDPC_EXPECTS(!decoder_specs.empty(), "need at least one decoder spec");
+  CLDPC_EXPECTS(!config_.ebn0_db.empty(), "need at least one Eb/N0 point");
+  CLDPC_EXPECTS(config_.start_frame == 0 && config_.snr_index_base == 0,
+                "ResumableSweep owns the engine's absolute indices");
+
+  // The fingerprint covers exactly the parameters that shape results.
+  auto params = util::JsonValue::Object();
+  params.Set("code", util::JsonValue::Str(std::move(code_name)));
+  auto grid = util::JsonValue::Array();
+  for (const double db : config_.ebn0_db)
+    grid.PushBack(util::JsonValue::Double(db));
+  params.Set("ebn0_db", std::move(grid));
+  params.Set("base_seed", util::JsonValue::Uint(config_.base_seed));
+  params.Set("max_frames", util::JsonValue::Uint(config_.max_frames));
+  params.Set("min_frame_errors",
+             util::JsonValue::Uint(config_.min_frame_errors));
+  params.Set("info_bits_only", util::JsonValue::Bool(config_.info_bits_only));
+  params.Set("all_zero_codeword",
+             util::JsonValue::Bool(config_.all_zero_codeword));
+  params.Set("batch_frames", util::JsonValue::Uint(config_.batch_frames));
+  auto specs = util::JsonValue::Array();
+  for (const auto& spec : decoder_specs)
+    specs.PushBack(util::JsonValue::Str(spec));
+  params.Set("decoder_specs", std::move(specs));
+  fingerprint_ = util::Crc32(params.Serialize());
+
+  for (auto& spec : decoder_specs) {
+    CurveState state;
+    state.decoder_spec = std::move(spec);
+    // Probe once for the canonical name (and to fail fast on typos).
+    state.decoder_name =
+        ldpc::MakeDecoder(code_, ldpc::DecoderSpec::Parse(state.decoder_spec))
+            ->Name();
+    for (const double db : config_.ebn0_db) {
+      PointStats zero;
+      zero.ebn0_db = db;
+      state.points.push_back(zero);
+    }
+    states_.push_back(std::move(state));
+  }
+}
+
+bool ResumableSweep::PointComplete(const PointStats& p) const {
+  return p.frames >= config_.max_frames ||
+         p.frame_errors >= config_.min_frame_errors;
+}
+
+bool ResumableSweep::complete() const {
+  for (const auto& state : states_)
+    for (const auto& p : state.points)
+      if (!PointComplete(p)) return false;
+  return true;
+}
+
+CheckpointStatus ResumableSweep::LoadCheckpoint(const std::string& path) {
+  const auto text = util::ReadFileIfExists(path);
+  if (!text) return CheckpointStatus::kMissing;
+  try {
+    const auto doc = util::JsonValue::Parse(*text);
+    const std::string& schema = doc.At("schema").AsString();
+    if (schema != kSchema)
+      return schema.rfind(kSchemaPrefix, 0) == 0
+                 ? CheckpointStatus::kVersionMismatch
+                 : CheckpointStatus::kCorrupt;
+    const auto& payload = doc.At("payload");
+    if (doc.At("crc32").AsUint() != util::Crc32(payload.Serialize()))
+      return CheckpointStatus::kCorrupt;
+    if (payload.At("fingerprint").AsUint() != fingerprint_)
+      return CheckpointStatus::kUnitMismatch;
+    const auto& curves = payload.At("curves").AsArray();
+    if (curves.size() != states_.size())
+      return CheckpointStatus::kCorrupt;
+    for (std::size_t c = 0; c < states_.size(); ++c) {
+      const auto& entry = curves[c];
+      if (entry.At("decoder_spec").AsString() != states_[c].decoder_spec)
+        return CheckpointStatus::kUnitMismatch;
+      const auto& pts = entry.At("points").AsArray();
+      if (pts.size() != states_[c].points.size())
+        return CheckpointStatus::kCorrupt;
+      for (std::size_t s = 0; s < pts.size(); ++s) {
+        PointStats p = PointStats::FromJson(pts[s]);
+        if (p.ebn0_db != states_[c].points[s].ebn0_db ||
+            p.frames > config_.max_frames)
+          return CheckpointStatus::kCorrupt;
+        states_[c].points[s] = std::move(p);
+      }
+    }
+    return CheckpointStatus::kOk;
+  } catch (const std::exception&) {
+    return CheckpointStatus::kCorrupt;
+  }
+}
+
+void ResumableSweep::WriteCheckpoint(const std::string& path) const {
+  auto payload = util::JsonValue::Object();
+  payload.Set("fingerprint", util::JsonValue::Uint(fingerprint_));
+  auto curves = util::JsonValue::Array();
+  for (const auto& state : states_) {
+    auto entry = util::JsonValue::Object();
+    entry.Set("decoder_spec", util::JsonValue::Str(state.decoder_spec));
+    entry.Set("decoder_name", util::JsonValue::Str(state.decoder_name));
+    auto pts = util::JsonValue::Array();
+    for (const auto& p : state.points) pts.PushBack(p.ToJson());
+    entry.Set("points", std::move(pts));
+    curves.PushBack(std::move(entry));
+  }
+  payload.Set("curves", std::move(curves));
+
+  auto doc = util::JsonValue::Object();
+  doc.Set("schema", util::JsonValue::Str(kSchema));
+  doc.Set("crc32", util::JsonValue::Uint(util::Crc32(payload.Serialize())));
+  doc.Set("payload", std::move(payload));
+  util::WriteFileAtomic(path, doc.Serialize());
+}
+
+bool ResumableSweep::Run(const std::string& checkpoint_path,
+                         const sim::FrameCallback& on_frame) {
+  const auto cancelled = [this] {
+    return config_.cancel != nullptr &&
+           config_.cancel->load(std::memory_order_acquire);
+  };
+
+  for (std::size_t c = 0; c < states_.size(); ++c) {
+    auto& state = states_[c];
+    const auto parsed = ldpc::DecoderSpec::Parse(state.decoder_spec);
+    for (std::size_t s = 0; s < config_.ebn0_db.size(); ++s) {
+      auto& point = state.points[s];
+      if (PointComplete(point)) continue;
+      if (cancelled()) return false;
+
+      sim::BerConfig cfg = config_;
+      cfg.ebn0_db = {config_.ebn0_db[s]};
+      // Continue exactly where the interrupted run stopped: the
+      // remaining frames draw their original absolute seeds, and the
+      // reduced error target makes early stop trip at the same
+      // absolute frame the uninterrupted run would have stopped at.
+      cfg.start_frame = point.frames;
+      cfg.snr_index_base = s;
+      cfg.max_frames = config_.max_frames - point.frames;
+      cfg.min_frame_errors = config_.min_frame_errors - point.frame_errors;
+
+      engine::SimEngine engine(code_, encoder_, cfg);
+      const auto curve = engine.Run(
+          [this, &parsed] { return ldpc::MakeDecoder(code_, parsed); },
+          on_frame);
+      if (!curve.points.empty())
+        point.MergeFrom(PointStats::FromBerPoint(curve.points[0]));
+      if (!checkpoint_path.empty()) WriteCheckpoint(checkpoint_path);
+      if (cancelled()) return false;
+    }
+  }
+  return complete();
+}
+
+std::vector<sim::BerCurve> ResumableSweep::curves() const {
+  std::vector<sim::BerCurve> out;
+  out.reserve(states_.size());
+  for (const auto& state : states_) {
+    sim::BerCurve curve;
+    curve.decoder_name = state.decoder_name;
+    curve.has_frame_check = static_cast<bool>(config_.frame_check);
+    for (const auto& p : state.points) curve.points.push_back(p.ToBerPoint());
+    out.push_back(std::move(curve));
+  }
+  return out;
+}
+
+}  // namespace cldpc::dist

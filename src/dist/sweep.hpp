@@ -1,0 +1,80 @@
+// Resumable multi-decoder sweep: checkpoint/resume for interactive
+// waterfall runs (the ber_waterfall --checkpoint/--resume flags).
+//
+// Unlike a sharded WorkUnit — which disables early stopping so frame
+// ranges can be pre-partitioned — an interactive sweep keeps
+// min_frame_errors semantics. Resume preserves them exactly: a
+// resumed point continues at start_frame = frames_done with
+// min_frame_errors reduced by the errors already counted, so the
+// combined run stops at the SAME absolute frame the uninterrupted run
+// would have, and every statistic (exact integer sums, in-order
+// aggregation) matches bit for bit. Locked by tests/test_dist.cpp.
+//
+// The checkpoint is guarded by a parameter fingerprint (CRC-32 over
+// the canonical JSON of everything that shapes the results: code,
+// grid, seed, frame budgets, decoder specs — NOT thread count, which
+// never changes results): resuming with different parameters is a
+// classified kUnitMismatch, never a silently mixed curve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/checkpoint.hpp"
+#include "dist/shard_result.hpp"
+#include "ldpc/code.hpp"
+#include "ldpc/encoder.hpp"
+#include "sim/ber_runner.hpp"
+
+namespace cldpc::dist {
+
+class ResumableSweep {
+ public:
+  /// `code_name` enters the fingerprint (the code object itself has
+  /// no canonical serialization); pass the catalog spec the code was
+  /// loaded from. config.threads / metrics / cancel are runtime-only
+  /// and excluded from the fingerprint.
+  ResumableSweep(const ldpc::LdpcCode& code, const ldpc::Encoder& encoder,
+                 std::string code_name, sim::BerConfig config,
+                 std::vector<std::string> decoder_specs);
+
+  /// Resume from a checkpoint file. kMissing leaves the sweep at its
+  /// fresh state; kUnitMismatch means the file belongs to different
+  /// sweep parameters. Call before Run.
+  CheckpointStatus LoadCheckpoint(const std::string& path);
+
+  /// Run (or continue) the sweep. With a non-empty checkpoint_path a
+  /// checkpoint is written atomically after every point's engine run
+  /// — including the partial point a config.cancel interruption
+  /// leaves behind. Returns true iff the sweep completed.
+  bool Run(const std::string& checkpoint_path = "",
+           const sim::FrameCallback& on_frame = {});
+
+  bool complete() const;
+
+  /// Current curves (complete or partial), in decoder_specs order.
+  std::vector<sim::BerCurve> curves() const;
+
+  /// The parameter fingerprint (printed by ber_waterfall so mismatch
+  /// reports are actionable).
+  std::uint32_t Fingerprint() const { return fingerprint_; }
+
+ private:
+  struct CurveState {
+    std::string decoder_spec;
+    std::string decoder_name;
+    std::vector<PointStats> points;
+  };
+
+  bool PointComplete(const PointStats& p) const;
+  void WriteCheckpoint(const std::string& path) const;
+
+  const ldpc::LdpcCode& code_;
+  const ldpc::Encoder& encoder_;
+  sim::BerConfig config_;
+  std::uint32_t fingerprint_ = 0;
+  std::vector<CurveState> states_;
+};
+
+}  // namespace cldpc::dist

@@ -1,0 +1,123 @@
+#include "dist/work_unit.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+#include "util/crc32.hpp"
+#include "util/json.hpp"
+
+namespace cldpc::dist {
+namespace {
+
+constexpr const char* kSchema = "cldpc-work-unit-v1";
+
+util::JsonValue PayloadJson(const WorkUnit& u) {
+  auto payload = util::JsonValue::Object();
+  payload.Set("code_spec", util::JsonValue::Str(u.code_spec));
+  payload.Set("decoder_spec", util::JsonValue::Str(u.decoder_spec));
+  auto grid = util::JsonValue::Array();
+  for (const double db : u.ebn0_db) grid.PushBack(util::JsonValue::Double(db));
+  payload.Set("ebn0_db", std::move(grid));
+  payload.Set("base_seed", util::JsonValue::Uint(u.base_seed));
+  payload.Set("first_frame", util::JsonValue::Uint(u.first_frame));
+  payload.Set("frame_count", util::JsonValue::Uint(u.frame_count));
+  payload.Set("batch_frames", util::JsonValue::Uint(u.batch_frames));
+  payload.Set("info_bits_only", util::JsonValue::Bool(u.info_bits_only));
+  payload.Set("all_zero_codeword",
+              util::JsonValue::Bool(u.all_zero_codeword));
+  payload.Set("shard_index", util::JsonValue::Uint(u.shard_index));
+  payload.Set("shard_count", util::JsonValue::Uint(u.shard_count));
+  return payload;
+}
+
+}  // namespace
+
+std::string WorkUnit::Id() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "shard-%03llu-of-%03llu",
+                static_cast<unsigned long long>(shard_index),
+                static_cast<unsigned long long>(shard_count));
+  return buf;
+}
+
+std::uint32_t WorkUnit::ContentCrc() const {
+  return util::Crc32(PayloadJson(*this).Serialize());
+}
+
+std::uint32_t WorkUnit::RunCrc() const {
+  WorkUnit normalized = *this;
+  normalized.first_frame = 0;
+  normalized.frame_count = 0;
+  normalized.shard_index = 0;
+  normalized.shard_count = 1;
+  return util::Crc32(PayloadJson(normalized).Serialize());
+}
+
+std::string WorkUnit::ToJson() const {
+  auto doc = util::JsonValue::Object();
+  doc.Set("schema", util::JsonValue::Str(kSchema));
+  doc.Set("crc32", util::JsonValue::Uint(ContentCrc()));
+  doc.Set("payload", PayloadJson(*this));
+  return doc.Serialize();
+}
+
+WorkUnit WorkUnit::FromJson(std::string_view text) {
+  const auto doc = util::JsonValue::Parse(text);
+  if (doc.At("schema").AsString() != kSchema)
+    throw std::invalid_argument("work unit: schema is '" +
+                                doc.At("schema").AsString() + "', expected '" +
+                                kSchema + "'");
+  const auto& payload = doc.At("payload");
+  // CRC over the canonical re-serialization of what was parsed; a
+  // flipped bit in any payload byte changes it (canonical form makes
+  // the check meaningful — see util/json.hpp).
+  const std::uint32_t crc = util::Crc32(payload.Serialize());
+  if (doc.At("crc32").AsUint() != crc)
+    throw std::invalid_argument("work unit: content CRC mismatch");
+
+  WorkUnit u;
+  u.code_spec = payload.At("code_spec").AsString();
+  u.decoder_spec = payload.At("decoder_spec").AsString();
+  for (const auto& v : payload.At("ebn0_db").AsArray())
+    u.ebn0_db.push_back(v.AsDouble());
+  u.base_seed = payload.At("base_seed").AsUint();
+  u.first_frame = payload.At("first_frame").AsUint();
+  u.frame_count = payload.At("frame_count").AsUint();
+  u.batch_frames = payload.At("batch_frames").AsUint();
+  u.info_bits_only = payload.At("info_bits_only").AsBool();
+  u.all_zero_codeword = payload.At("all_zero_codeword").AsBool();
+  u.shard_index = payload.At("shard_index").AsUint();
+  u.shard_count = payload.At("shard_count").AsUint();
+  if (u.ebn0_db.empty())
+    throw std::invalid_argument("work unit: empty Eb/N0 grid");
+  if (u.frame_count == 0)
+    throw std::invalid_argument("work unit: zero frame_count");
+  if (u.batch_frames == 0)
+    throw std::invalid_argument("work unit: zero batch_frames");
+  return u;
+}
+
+std::vector<WorkUnit> SplitWorkUnit(const WorkUnit& whole,
+                                    std::uint64_t shards) {
+  CLDPC_EXPECTS(shards >= 1, "need at least one shard");
+  CLDPC_EXPECTS(shards <= whole.frame_count,
+                "more shards than frames per point");
+  const std::uint64_t base = whole.frame_count / shards;
+  const std::uint64_t extra = whole.frame_count % shards;
+  std::vector<WorkUnit> units;
+  units.reserve(shards);
+  std::uint64_t next = whole.first_frame;
+  for (std::uint64_t i = 0; i < shards; ++i) {
+    WorkUnit u = whole;
+    u.first_frame = next;
+    u.frame_count = base + (i < extra ? 1 : 0);
+    u.shard_index = i;
+    u.shard_count = shards;
+    next += u.frame_count;
+    units.push_back(std::move(u));
+  }
+  return units;
+}
+
+}  // namespace cldpc::dist

@@ -1,0 +1,93 @@
+// Work-unit descriptor: the unit of distribution for a sharded
+// Monte-Carlo run.
+//
+// A sharded simulation splits ONE logical sweep — (code, decoder,
+// Eb/N0 grid, base seed, frames per point) — into contiguous frame
+// ranges. Every shard simulates ALL sweep points over its own range
+// [first_frame, first_frame + frame_count); because every frame's
+// randomness is a pure function of (base_seed, snr_index,
+// frame_index) and per-point statistics are exact integer sums (see
+// engine/sim_engine.hpp's determinism contract), merging the shards'
+// statistics reproduces the single-process run bit for bit, for any
+// split.
+//
+// Descriptors travel as versioned JSON with a content CRC:
+//
+//   {"schema": "cldpc-work-unit-v1",
+//    "crc32": <CRC-32 of the canonical payload serialization>,
+//    "payload": {... the fields below ...}}
+//
+// The CRC turns "a byte rotted in transit / on disk" into a loud
+// parse failure instead of a silently wrong curve, and doubles as the
+// unit's identity: checkpoints embed it so a checkpoint can never be
+// resumed against a different unit (see dist/checkpoint.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cldpc::dist {
+
+struct WorkUnit {
+  /// Code catalog spec (codes::LoadCode grammar, e.g. "small").
+  std::string code_spec;
+  /// Decoder registry spec (e.g. "layered-nms:alpha=1.25").
+  std::string decoder_spec;
+  /// The FULL sweep grid — identical across all shards of a run; the
+  /// shard's share of the work is the frame range, not a grid subset.
+  std::vector<double> ebn0_db;
+  std::uint64_t base_seed = 1;
+  /// Absolute frame range of this shard: every point simulates frames
+  /// [first_frame, first_frame + frame_count).
+  std::uint64_t first_frame = 0;
+  std::uint64_t frame_count = 0;
+  std::uint64_t batch_frames = 16;
+  bool info_bits_only = true;
+  bool all_zero_codeword = false;
+  /// Position in the split (0-based) — labelling only, the frame
+  /// range is authoritative.
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+
+  /// Frames this unit simulates across all points.
+  std::uint64_t TotalFrames() const {
+    return frame_count * static_cast<std::uint64_t>(ebn0_db.size());
+  }
+
+  /// Human-readable identity, e.g. "shard-003-of-008".
+  std::string Id() const;
+
+  /// CRC-32 of the canonical payload serialization: the unit's
+  /// content identity. Two units agree on every field iff their CRCs
+  /// agree (up to CRC collision — good enough against accidents,
+  /// which is the threat model).
+  std::uint32_t ContentCrc() const;
+
+  /// CRC-32 over the unit with its shard coordinates (first_frame,
+  /// frame_count, shard_index, shard_count) normalized away: the
+  /// identity of the LOGICAL RUN. All shards of one split share it;
+  /// shards of runs that differ in any physics parameter (code,
+  /// decoder, grid, seed, ...) do not — the merge layer uses it to
+  /// refuse mixing results from different runs.
+  std::uint32_t RunCrc() const;
+
+  /// Full versioned document (schema + crc32 + payload), canonical.
+  std::string ToJson() const;
+
+  /// Strict parse + CRC verification. Throws std::invalid_argument
+  /// naming the problem on malformed JSON, wrong schema, missing or
+  /// mistyped fields, or a CRC mismatch.
+  static WorkUnit FromJson(std::string_view text);
+};
+
+/// Split `whole` (a unit describing the ENTIRE run, shard_index 0 of
+/// 1) into `shards` contiguous units covering the same frames: the
+/// first (frame_count % shards) units get one extra frame, ranges
+/// butt against each other exactly. Requires 1 <= shards <=
+/// frame_count. The split is deterministic, so coordinator and tests
+/// can regenerate it from (whole, shards) alone.
+std::vector<WorkUnit> SplitWorkUnit(const WorkUnit& whole,
+                                    std::uint64_t shards);
+
+}  // namespace cldpc::dist

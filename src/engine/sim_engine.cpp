@@ -96,7 +96,6 @@ SimEngine::~SimEngine() = default;
 // output cannot diverge.
 struct SimEngine::PointAccumulator {
   sim::BerPoint point;
-  double iter_sum = 0.0;
   std::uint64_t next_frame = 0;
   /// Aggregator-side metrics (null = disabled). This is the ONLY
   /// place the kStable engine metrics are recorded: the consumer
@@ -117,7 +116,10 @@ struct SimEngine::PointAccumulator {
     // check accepted a frame whose bits are wrong.
     if (has_frame_check)
       point.undetected_errors.AddTrial(result.accepted && frame_err);
-    iter_sum += result.iterations;
+    // Exact integer sufficient statistic (see BerPoint): summing in
+    // uint64 instead of double changes nothing below 2^53 iterations
+    // total, and makes shard merges bit-identical by construction.
+    point.iterations_total += static_cast<std::uint64_t>(result.iterations);
     ++point.frames;
     if (metrics) {
       metrics->Add(hook->frames);
@@ -137,7 +139,9 @@ struct SimEngine::PointAccumulator {
 
   sim::BerPoint Finish() {
     point.avg_iterations =
-        point.frames > 0 ? iter_sum / static_cast<double>(point.frames) : 0.0;
+        point.frames > 0 ? static_cast<double>(point.iterations_total) /
+                               static_cast<double>(point.frames)
+                         : 0.0;
     return std::move(point);
   }
 };
@@ -173,14 +177,20 @@ std::vector<SimEngine::FrameResult> SimEngine::SimulateBatch(
   scratch.llrs.resize(count * n);
   scratch.symbols.resize(n);
   scratch.info.resize(n_info);
+  // Seed derivation uses ABSOLUTE indices: run-local (snr_index,
+  // frame) offset by the config's (snr_index_base, start_frame). For
+  // ordinary sweeps the offsets are zero; a sharded or resumed run
+  // sets them so its frames draw exactly the seeds the whole-sweep
+  // run would.
+  const std::uint64_t abs_snr = config_.snr_index_base + snr_index;
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t f = first_frame + i;
+    const std::uint64_t f = config_.start_frame + first_frame + i;
     // Independent, reproducible streams for data and noise: every
     // frame is a pure function of (base_seed, snr_index, frame_index).
     const std::uint64_t data_seed =
-        DeriveSeed(config_.base_seed, snr_index, f, 1);
+        DeriveSeed(config_.base_seed, abs_snr, f, 1);
     const std::uint64_t noise_seed =
-        DeriveSeed(config_.base_seed, snr_index, f, 2);
+        DeriveSeed(config_.base_seed, abs_snr, f, 2);
 
     const std::span<std::uint8_t> codeword(scratch.codewords.data() + i * n,
                                            n);

@@ -22,8 +22,15 @@
 //     of which worker decodes it and of every other frame.
 //  2. Aggregation consumes frame results strictly in frame-index
 //     order (batch 0 first, frames in order inside each batch), so
-//     RateEstimator totals and the floating-point iteration sum see
-//     the exact sequence the sequential runner produces.
+//     RateEstimator totals and the integer iteration sum see the
+//     exact sequence the sequential runner produces. (All per-point
+//     totals are exact integers — see BerPoint::iterations_total —
+//     which is also what makes sharded runs mergeable: dist/ sums
+//     shard statistics and provably reproduces the single-run curve.)
+//     BerConfig::start_frame / snr_index_base shift only the seed
+//     derivation in (1): a run over an absolute frame range or point
+//     subset produces exactly the corresponding slice of the full
+//     run.
 //  3. Early stopping is decided only by the in-order aggregator: a
 //     point ends with the first frame whose cumulative frame-error
 //     count reaches min_frame_errors (that frame included), exactly

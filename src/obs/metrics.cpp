@@ -58,6 +58,14 @@ void MetricsRegistry::EnableTracing() {
 }
 
 void MetricsRegistry::SetShardCount(std::size_t n) {
+  // Re-size existing shards for metrics registered since they were
+  // created (zero-filled slots; recorded data is preserved). This
+  // lets control-plane code register late — e.g. the dist layer adds
+  // shard.* bookkeeping to a registry an engine already sharded.
+  for (const auto& shard : shards_) {
+    shard->counters_.resize(counter_defs_.size(), 0);
+    shard->hists_.resize(hist_defs_.size());
+  }
   while (shards_.size() < n) {
     auto shard = std::make_unique<Shard>();
     shard->counters_.resize(counter_defs_.size(), 0);

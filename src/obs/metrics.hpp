@@ -86,6 +86,11 @@ class Shard {
     counters_[id.v] += delta;
   }
   void Record(HistogramId id, std::int64_t value) { hists_[id.v].Add(value); }
+  /// Bulk variant for replaying pre-aggregated bins (the dist layer
+  /// republishes merged shard histograms through this).
+  void Record(HistogramId id, std::int64_t value, std::uint64_t count) {
+    hists_[id.v].Add(value, count);
+  }
 
   bool tracing() const { return tracing_; }
   /// Nanoseconds since the owning registry's epoch (trace timebase).

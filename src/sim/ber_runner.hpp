@@ -64,6 +64,20 @@ struct BerConfig {
   std::size_t threads = 1;
   /// Frames per engine work item.
   std::uint64_t batch_frames = 16;
+  /// Absolute index of the first frame of every point. Frame f of the
+  /// run draws its seeds from (base_seed, snr_index, start_frame + f),
+  /// so a run of frames [start_frame, start_frame + max_frames) is
+  /// byte-identical to the corresponding slice of one big run — the
+  /// foundation of the dist layer's sharded/resumable simulations.
+  /// Leave 0 for ordinary sweeps.
+  std::uint64_t start_frame = 0;
+  /// Absolute SNR index of ebn0_db[0] for seed derivation. A sharded
+  /// or resumed run that simulates a *subset* of a sweep's points must
+  /// pass each point's index in the full sweep here, or its frames
+  /// would draw different noise than the whole-sweep run. Leave 0 for
+  /// ordinary sweeps. Only seeds are affected; FrameCallback and
+  /// trace indices stay run-local.
+  std::uint64_t snr_index_base = 0;
   /// Optional protocol-aware frame generation and acceptance (see the
   /// typedefs above); both usually come from one codes::CatalogCode.
   /// Null members select the default behaviour. Neither affects the
@@ -87,7 +101,12 @@ struct BerConfig {
   /// (the cancelled point keeps the frames it already aggregated).
   /// Cancellation never corrupts results — every point in the
   /// returned curve is made of exactly the frames its estimators
-  /// counted; only the sweep is shorter.
+  /// counted; only the sweep is shorter. Sequential-path granularity
+  /// guarantee (locked by tests/test_shutdown.cpp): a point cut short
+  /// by cancel holds a whole number of batches — at most one
+  /// batch_frames of work runs past the cancel point, which is what
+  /// bounds re-simulation after a checkpointed interruption (see
+  /// dist/).
   const std::atomic<bool>* cancel = nullptr;
 };
 
@@ -99,6 +118,12 @@ struct BerPoint {
   /// when BerConfig::frame_check is set; trials == frames).
   RateEstimator undetected_errors;
   std::uint64_t frames = 0;
+  /// Exact sum of decode iterations over the point's frames. This is
+  /// the mergeable sufficient statistic: summing two shards' totals
+  /// and dividing by the summed frames reproduces avg_iterations
+  /// bit-identically (integer sums have one representation; a merge
+  /// of double averages would not).
+  std::uint64_t iterations_total = 0;
   double avg_iterations = 0.0;
 };
 

@@ -1,0 +1,97 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace cldpc::util {
+namespace {
+
+[[noreturn]] void Fail(const std::string& step, const std::string& path) {
+  throw std::runtime_error("atomic write: " + step + " failed for " + path +
+                           ": " + std::strerror(errno));
+}
+
+std::string ParentDir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void WriteFileAtomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) Fail("open(temp)", tmp);
+
+  const char* p = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      Fail("write", tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // Data must be durable BEFORE the rename publishes the name: a
+  // rename that survives a crash while the data didn't would leave a
+  // "complete" file full of zeros — exactly the torn state this
+  // helper exists to rule out.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    Fail("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    Fail("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    Fail("rename", path);
+  }
+  // Make the rename itself durable (the directory entry). Failure
+  // here is not fatal to correctness of readers in this boot — the
+  // file content is already consistent — so errors are ignored on
+  // filesystems that refuse directory fsync.
+  const int dfd = ::open(ParentDir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::optional<std::string> ReadFileIfExists(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    Fail("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      Fail("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace cldpc::util

@@ -1,0 +1,28 @@
+// Crash-safe whole-file replacement: write-to-temp + fsync + atomic
+// rename (+ directory fsync), so a reader at any instant — including
+// across a power cut or a SIGKILL mid-write — sees either the
+// previous complete file or the new complete file, never a torn mix.
+// This is the durability half of the dist layer's checkpoint story;
+// the integrity half (CRC over the content) lives in dist/checkpoint.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cldpc::util {
+
+/// Atomically replace `path` with `content`. The temp file is
+/// `path` + ".tmp.<pid>" in the same directory (rename(2) is only
+/// atomic within a filesystem). Throws std::runtime_error naming the
+/// failing step on any I/O error; on failure the destination is
+/// untouched and the temp file is unlinked best-effort.
+void WriteFileAtomic(const std::string& path, std::string_view content);
+
+/// Whole-file read. Returns nullopt if the file does not exist;
+/// throws std::runtime_error on any other I/O error (permission,
+/// read failure) — "missing" and "unreadable" are different stories
+/// for a checkpoint loader.
+std::optional<std::string> ReadFileIfExists(const std::string& path);
+
+}  // namespace cldpc::util

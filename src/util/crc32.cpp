@@ -1,0 +1,29 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace cldpc::util {
+namespace {
+
+std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = MakeTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace cldpc::util

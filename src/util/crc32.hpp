@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over raw
+// bytes. The dist layer's content CRC for work units and checkpoints:
+// a truncated, bit-flipped or hand-edited file must be detected
+// before its numbers can poison a merge. This is an integrity check
+// against accidents, not an authenticity check against adversaries.
+//
+// Not to be confused with codes::BitCrc, which runs MSB-first over
+// 0/1-byte *bit* arrays as part of the simulated protocols.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cldpc::util {
+
+std::uint32_t Crc32(std::string_view bytes);
+
+}  // namespace cldpc::util

@@ -1,0 +1,225 @@
+// Crash-safety of the checkpoint layer: every way a checkpoint file
+// can rot — truncation, bit flips, foreign schema versions, files
+// belonging to a different unit — must come back as a CLASSIFIED
+// status (never an exception, never silently merged garbage), and a
+// resume against a complete checkpoint must be an idempotent no-op.
+#include "dist/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dist/shard_runner.hpp"
+#include "dist/work_unit.hpp"
+#include "util/atomic_file.hpp"
+
+namespace cldpc::dist {
+namespace {
+
+/// Unique-ish scratch path under the build dir's cwd; tests clean up.
+std::string ScratchPath(const std::string& stem) {
+  return "checkpoint_test_" + stem + ".json";
+}
+
+WorkUnit TinyUnit() {
+  WorkUnit unit;
+  unit.code_spec = "hamming";
+  unit.decoder_spec = "nms:iters=4";
+  unit.ebn0_db = {2.0, 4.0};
+  unit.base_seed = 11;
+  unit.first_frame = 0;
+  unit.frame_count = 24;
+  unit.batch_frames = 8;
+  return unit;
+}
+
+Checkpoint MakeCheckpoint(const WorkUnit& unit, bool complete) {
+  Checkpoint cp;
+  cp.unit_crc = unit.ContentCrc();
+  cp.complete = complete;
+  cp.result.unit_crc = cp.unit_crc;
+  cp.result.run_crc = unit.RunCrc();
+  cp.result.first_frame = unit.first_frame;
+  cp.result.frames_done = complete ? unit.frame_count : 7;
+  cp.result.decoder_name = "nms(a0.8,iters4)";
+  for (const double db : unit.ebn0_db) {
+    PointStats p;
+    p.ebn0_db = db;
+    p.frames = cp.result.frames_done;
+    p.bit_errors = 3;
+    p.bit_trials = 100;
+    p.frame_errors = 2;
+    p.iterations_total = 21;
+    cp.result.points.push_back(p);
+  }
+  cp.result.counters.frames = 2 * cp.result.frames_done;
+  cp.result.counters.frame_errors = 4;
+  cp.result.counters.bit_errors = 6;
+  return cp;
+}
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& path : cleanup_) std::remove(path.c_str());
+  }
+  std::string Track(const std::string& path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(CheckpointFileTest, RoundTripsThroughDisk) {
+  const auto unit = TinyUnit();
+  const auto cp = MakeCheckpoint(unit, false);
+  const auto path = Track(ScratchPath("roundtrip"));
+  WriteCheckpointFile(path, cp);
+
+  Checkpoint loaded;
+  ASSERT_EQ(LoadCheckpointFile(path, unit.ContentCrc(), &loaded),
+            CheckpointStatus::kOk);
+  EXPECT_EQ(loaded.unit_crc, cp.unit_crc);
+  EXPECT_EQ(loaded.complete, cp.complete);
+  // The embedded result must survive byte-exactly: the merge layer's
+  // bit-identity claim rides on these integers.
+  EXPECT_EQ(loaded.result.ToJson(), cp.result.ToJson());
+}
+
+TEST_F(CheckpointFileTest, MissingFileIsClassifiedNotFatal) {
+  Checkpoint out;
+  EXPECT_EQ(LoadCheckpointFile("does_not_exist_anywhere.json", 1, &out),
+            CheckpointStatus::kMissing);
+}
+
+TEST_F(CheckpointFileTest, TruncatedFileIsCorrupt) {
+  const auto unit = TinyUnit();
+  const auto text = SerializeCheckpoint(MakeCheckpoint(unit, false));
+  // Every truncation point — from empty file to one-byte-short — must
+  // classify as corrupt. Atomic writes make truncation unlikely, but
+  // the classifier must not trust that.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, text.size() / 2, text.size() - 1}) {
+    Checkpoint out;
+    EXPECT_EQ(ParseCheckpoint(text.substr(0, keep), unit.ContentCrc(), &out),
+              CheckpointStatus::kCorrupt)
+        << "truncated to " << keep << " bytes";
+  }
+}
+
+TEST_F(CheckpointFileTest, EverySingleFlippedByteIsNeverSilentlyAccepted) {
+  const auto unit = TinyUnit();
+  const auto good = SerializeCheckpoint(MakeCheckpoint(unit, false));
+  Checkpoint out;
+  ASSERT_EQ(ParseCheckpoint(good, unit.ContentCrc(), &out),
+            CheckpointStatus::kOk);
+  // Flip one bit in every byte of the document. Each mutation must
+  // either fail to parse (corrupt), miss the CRC (corrupt), or — if
+  // it hit the schema/unit fields — land in a mismatch class. What it
+  // must NEVER do is load as kOk with different statistics.
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    Checkpoint loaded;
+    const auto status = ParseCheckpoint(bad, unit.ContentCrc(), &loaded);
+    if (status == CheckpointStatus::kOk) {
+      EXPECT_EQ(SerializeCheckpoint(loaded), good)
+          << "byte " << i << ": corruption accepted as kOk";
+    }
+  }
+}
+
+TEST_F(CheckpointFileTest, ForeignSchemaVersionIsVersionMismatch) {
+  const auto unit = TinyUnit();
+  auto text = SerializeCheckpoint(MakeCheckpoint(unit, false));
+  const std::string v1 = "cldpc-checkpoint-v1";
+  const auto at = text.find(v1);
+  ASSERT_NE(at, std::string::npos);
+  // A v2 writer's file read by this v1 code: same envelope shape,
+  // bumped version. Must be kVersionMismatch (operator: "software
+  // skew"), NOT kCorrupt (operator: "disk rot").
+  std::string bumped = text;
+  bumped.replace(at, v1.size(), "cldpc-checkpoint-v2");
+  Checkpoint out;
+  EXPECT_EQ(ParseCheckpoint(bumped, unit.ContentCrc(), &out),
+            CheckpointStatus::kVersionMismatch);
+  // An unrelated schema string (same length, so the JSON stays
+  // well-formed) is not even a checkpoint: corrupt, not a version
+  // question.
+  std::string alien = text;
+  alien.replace(at, v1.size(), "cldpc-work-unit-vv1");
+  EXPECT_EQ(ParseCheckpoint(alien, unit.ContentCrc(), &out),
+            CheckpointStatus::kCorrupt);
+}
+
+TEST_F(CheckpointFileTest, WrongUnitIsUnitMismatch) {
+  const auto unit = TinyUnit();
+  auto other = unit;
+  other.base_seed += 1;  // any physics field difference changes the CRC
+  const auto path = Track(ScratchPath("unit_mismatch"));
+  WriteCheckpointFile(path, MakeCheckpoint(unit, false));
+  Checkpoint out;
+  EXPECT_EQ(LoadCheckpointFile(path, other.ContentCrc(), &out),
+            CheckpointStatus::kUnitMismatch);
+}
+
+TEST_F(CheckpointFileTest, DoubleResumeOfCompleteCheckpointIsANoOp) {
+  // Run a real (tiny) shard to completion, then "resume" it twice
+  // more. Each resume must return the stored result without
+  // simulating a frame, and the file's bytes must not change —
+  // re-running a finished shard is free and safe.
+  const auto unit = TinyUnit();
+  const auto path = Track(ScratchPath("double_resume"));
+  ShardRunOptions options;
+  options.checkpoint_path = path;
+  options.checkpoint_every_frames = 16;
+
+  const auto first = RunShard(unit, options);
+  ASSERT_TRUE(first.complete);
+  EXPECT_EQ(first.resume_status, CheckpointStatus::kMissing);
+  const auto bytes_after_run = util::ReadFileIfExists(path);
+  ASSERT_TRUE(bytes_after_run.has_value());
+
+  const auto again = RunShard(unit, options);
+  EXPECT_TRUE(again.complete);
+  EXPECT_EQ(again.resume_status, CheckpointStatus::kOk);
+  EXPECT_EQ(again.frames_resumed, unit.TotalFrames());
+  EXPECT_EQ(again.result.ToJson(), first.result.ToJson());
+
+  const auto yet_again = RunShard(unit, options);
+  EXPECT_TRUE(yet_again.complete);
+  EXPECT_EQ(yet_again.result.ToJson(), first.result.ToJson());
+  const auto bytes_after_resumes = util::ReadFileIfExists(path);
+  ASSERT_TRUE(bytes_after_resumes.has_value());
+  EXPECT_EQ(*bytes_after_resumes, *bytes_after_run);
+}
+
+TEST_F(CheckpointFileTest, AtomicWriteReplacesAndLeavesNoTempBehind) {
+  const auto path = Track(ScratchPath("atomic"));
+  util::WriteFileAtomic(path, "first");
+  util::WriteFileAtomic(path, "second");
+  const auto content = util::ReadFileIfExists(path);
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(*content, "second");
+  EXPECT_FALSE(
+      util::ReadFileIfExists(path + ".tmp." + std::to_string(getpid()))
+          .has_value());
+}
+
+TEST_F(CheckpointFileTest, StatusNamesAreStable) {
+  // These strings appear in logs and the coordinator's operator
+  // output; renaming them is an interface change, not a refactor.
+  EXPECT_STREQ(ToString(CheckpointStatus::kOk), "ok");
+  EXPECT_STREQ(ToString(CheckpointStatus::kMissing), "missing");
+  EXPECT_STREQ(ToString(CheckpointStatus::kCorrupt), "corrupt");
+  EXPECT_STREQ(ToString(CheckpointStatus::kVersionMismatch),
+               "version-mismatch");
+  EXPECT_STREQ(ToString(CheckpointStatus::kUnitMismatch), "unit-mismatch");
+}
+
+}  // namespace
+}  // namespace cldpc::dist

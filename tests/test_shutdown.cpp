@@ -88,6 +88,27 @@ TEST_F(EngineCancelTest, MidRunCancelKeepsPartialResults) {
   EXPECT_LT(frames, 120u); // but the sweep did stop early
 }
 
+TEST_F(EngineCancelTest, SequentialCancelStopsAtBatchBoundary) {
+  // Granularity lock for the sequential path: a cancel armed while a
+  // batch is being consumed takes effect at the NEXT batch boundary —
+  // the point keeps exactly the batch in flight, never runs to the
+  // point cap. dist/ checkpoint-on-cancel (shard_runner, sweep) sizes
+  // its "at most one batch of re-simulation" promise on this.
+  std::atomic<bool> cancel{false};
+  auto config = BaseConfig();
+  config.ebn0_db = {3.0};
+  config.max_frames = 60;
+  config.batch_frames = 10;
+  config.cancel = &cancel;
+  sim::BerRunner runner(*system_.code, *system_.encoder, config);
+  const auto curve = runner.RunSpec(
+      "nms:iters=4", [&cancel](std::size_t, std::uint64_t frame, bool) {
+        if (frame == 0) cancel.store(true, std::memory_order_release);
+      });
+  ASSERT_EQ(curve.points.size(), 1u);
+  EXPECT_EQ(curve.points[0].frames, 10u);
+}
+
 TEST_F(EngineCancelTest, ParallelEngineHonoursCancelIdentically) {
   std::atomic<bool> cancel{true};
   auto config = BaseConfig();
