@@ -4,6 +4,9 @@
 Usage: check_bench_regression.py <run.json> <baseline.json>
            [--tolerance 0.25] [--update-missing]
        check_bench_regression.py --validate-metrics <metrics.json>
+       check_bench_regression.py --validate-snapshots <snaps.jsonl>
+           [--against <metrics.json>] [--min-count N]
+       check_bench_regression.py --validate-events <events.jsonl>
        check_bench_regression.py --selftest
 
 Compares items_per_second for every benchmark present in both files
@@ -26,8 +29,25 @@ finite numbers, bins that sum to their histogram's count. Unlike the
 bench diff this IS a hard gate — exit 1 on any violation — because
 the schema is a machine interface, not a perf measurement.
 
---selftest runs the validator against built-in good and mutated
-documents and exits non-zero on any miss; ctest runs it as
+--validate-snapshots checks a cldpc-metrics-snapshot-v1 JSONL stream
+(the --snapshots-jsonl output of decode_service / load_generator /
+shard_coordinator; schema in src/obs/snapshot.hpp): per-line schema,
+contiguous 1-based seq, monotonic elapsed_ms and counter totals, the
+delta-telescoping identity (each delta == total - previous total),
+and exactly one final:true snapshot, on the last line. --against
+additionally requires the final snapshot's cumulative counter totals
+to equal the cldpc-metrics-v1 file's counters EXACTLY — the
+"snapshot sum equals final flush" identity. --min-count N (default 2)
+fails streams shorter than N lines. Hard gate like
+--validate-metrics.
+
+--validate-events checks a cldpc-events-v1 JSONL journal (the
+--events-jsonl output; schema in src/obs/journal.hpp): per-line
+schema, contiguous 0-based seq, monotonic t_ms, kinds from the closed
+per-source sets, int-or-string args only. Hard gate.
+
+--selftest runs all three validators against built-in good and
+mutated documents and exits non-zero on any miss; ctest runs it as
 check_bench_regression_selftest.
 """
 
@@ -59,6 +79,29 @@ SHARD_COUNTERS = {
 }
 SHARD_GAUGES = {"shard.frames_assigned", "shard.frames_merged",
                 "shard.frames_in_flight", "shard.frames_lost_and_retried"}
+
+SNAPSHOT_SCHEMA = "cldpc-metrics-snapshot-v1"
+EVENTS_SCHEMA = "cldpc-events-v1"
+# Closed event-kind sets per source (src/obs/journal.hpp — extend both
+# places in the same PR).
+EVENT_KINDS = {
+    "serve": {"tier_change", "client_drop", "fault_stall", "fault_throw",
+              "service_stop"},
+    "dist": {"dispatch", "reap_merge", "reap_retry", "reap_interrupted",
+             "timeout", "retries_exhausted", "checkpoint_bank",
+             "coordinator_done"},
+}
+
+
+def known_shard_gauge(name):
+    """Fixed ledger gauges plus the coordinator's per-shard progress
+    pair, shard.unit.<id>.frames_banked / .frames_total."""
+    if name in SHARD_GAUGES:
+        return True
+    if name.startswith("shard.unit.") and name.endswith(
+            (".frames_banked", ".frames_total")):
+        return len(name.split(".")) == 4 and name.split(".")[2]
+    return False
 
 
 def validate_metrics_doc(doc):
@@ -136,7 +179,7 @@ def validate_metrics_doc(doc):
         check(not name.startswith("shard.") or name in SHARD_COUNTERS,
               f"counter {name}: not a known shard.* counter")
     for name in doc["gauges"]:
-        check(not name.startswith("shard.") or name in SHARD_GAUGES,
+        check(not name.startswith("shard.") or known_shard_gauge(name),
               f"gauge {name}: not a known shard.* gauge")
     for name in doc["histograms"]:
         check(not name.startswith("shard."),
@@ -153,6 +196,195 @@ def validate_metrics_doc(doc):
               "shard frame ledger violates assigned == merged + in_flight"
               " + lost_and_retried")
     return errors
+
+
+def validate_snapshot_stream(docs, against=None, min_count=2):
+    """Return a list of violation strings for a parsed snapshot stream
+    (list of per-line documents, oldest first)."""
+    errors = []
+
+    def check(cond, msg):
+        if not cond:
+            errors.append(msg)
+        return cond
+
+    if not check(len(docs) >= min_count,
+                 f"only {len(docs)} snapshot(s), expected >= {min_count}"):
+        return errors
+
+    prev_totals = {}
+    prev_counts = {}
+    prev_elapsed = -1
+    for i, doc in enumerate(docs):
+        where = f"snapshot line {i + 1}"
+        if not check(isinstance(doc, dict), f"{where}: not a JSON object"):
+            continue
+        check(doc.get("schema") == SNAPSHOT_SCHEMA,
+              f"{where}: schema is {doc.get('schema')!r}")
+        check(doc.get("seq") == i + 1,
+              f"{where}: seq {doc.get('seq')!r}, expected {i + 1}")
+        elapsed = doc.get("elapsed_ms")
+        if check(isinstance(elapsed, int) and not isinstance(elapsed, bool)
+                 and elapsed >= 0,
+                 f"{where}: elapsed_ms {elapsed!r} is not a non-negative "
+                 "int"):
+            check(elapsed >= prev_elapsed,
+                  f"{where}: elapsed_ms went backwards "
+                  f"({prev_elapsed} -> {elapsed})")
+            prev_elapsed = elapsed
+        is_last = i == len(docs) - 1
+        check(doc.get("final") is is_last,
+              f"{where}: final is {doc.get('final')!r}, expected {is_last}"
+              " (exactly one final snapshot, on the last line)")
+        if not check(isinstance(doc.get("counters"), dict),
+                     f"{where}: missing/invalid 'counters' map"):
+            continue
+        for name, entry in doc["counters"].items():
+            if not check(isinstance(entry, dict)
+                         and {"total", "delta"} <= entry.keys(),
+                         f"{where}: counter {name} lacks total/delta"):
+                continue
+            total, delta = entry["total"], entry["delta"]
+            ints = all(isinstance(v, int) and not isinstance(v, bool)
+                       and v >= 0 for v in (total, delta))
+            if not check(ints, f"{where}: counter {name} total/delta are "
+                         "not non-negative ints"):
+                continue
+            prev = prev_totals.get(name, 0)
+            check(total >= prev,
+                  f"{where}: counter {name} total went backwards "
+                  f"({prev} -> {total})")
+            # The telescoping identity: deltas sum to the final total.
+            check(delta == total - prev,
+                  f"{where}: counter {name} delta {delta} != total {total}"
+                  f" - previous {prev}")
+            prev_totals[name] = total
+        for name, hist in doc.get("histograms", {}).items():
+            if not check(isinstance(hist, dict)
+                         and {"count", "delta_count"} <= hist.keys(),
+                         f"{where}: histogram {name} lacks "
+                         "count/delta_count"):
+                continue
+            count, dcount = hist["count"], hist["delta_count"]
+            if not check(all(isinstance(v, int) and not isinstance(v, bool)
+                             and v >= 0 for v in (count, dcount)),
+                         f"{where}: histogram {name} count/delta_count are "
+                         "not non-negative ints"):
+                continue
+            prev = prev_counts.get(name, 0)
+            check(count >= prev,
+                  f"{where}: histogram {name} count went backwards "
+                  f"({prev} -> {count})")
+            check(dcount == count - prev,
+                  f"{where}: histogram {name} delta_count {dcount} != "
+                  f"count {count} - previous {prev}")
+            prev_counts[name] = count
+
+    # Snapshot-sum-equals-final-flush: the last snapshot's cumulative
+    # totals must equal the post-Stop() cldpc-metrics-v1 export.
+    if against is not None and not errors:
+        final = docs[-1].get("counters", {})
+        for name, value in against.get("counters", {}).items():
+            entry = final.get(name)
+            check(entry is not None,
+                  f"final snapshot is missing counter {name}")
+            if entry is not None:
+                check(entry["total"] == value,
+                      f"final snapshot counter {name} = {entry['total']}, "
+                      f"metrics file says {value}")
+        for name in final:
+            check(name in against.get("counters", {}),
+                  f"final snapshot counter {name} not in the metrics file")
+    return errors
+
+
+def validate_event_stream(docs):
+    """Return a list of violation strings for a parsed cldpc-events-v1
+    journal (list of per-line documents, oldest first)."""
+    errors = []
+
+    def check(cond, msg):
+        if not cond:
+            errors.append(msg)
+        return cond
+
+    prev_t = -1
+    for i, doc in enumerate(docs):
+        where = f"event line {i + 1}"
+        if not check(isinstance(doc, dict), f"{where}: not a JSON object"):
+            continue
+        check(doc.get("schema") == EVENTS_SCHEMA,
+              f"{where}: schema is {doc.get('schema')!r}")
+        check(doc.get("seq") == i,
+              f"{where}: seq {doc.get('seq')!r}, expected {i} (contiguous "
+              "from 0)")
+        t = doc.get("t_ms")
+        if check(isinstance(t, int) and not isinstance(t, bool) and t >= 0,
+                 f"{where}: t_ms {t!r} is not a non-negative int"):
+            check(t >= prev_t, f"{where}: t_ms went backwards "
+                  f"({prev_t} -> {t})")
+            prev_t = t
+        source = doc.get("source")
+        if check(source in EVENT_KINDS,
+                 f"{where}: unknown source {source!r}"):
+            check(doc.get("kind") in EVENT_KINDS[source],
+                  f"{where}: kind {doc.get('kind')!r} is not a known "
+                  f"{source} event")
+        args = doc.get("args")
+        if check(isinstance(args, dict), f"{where}: missing/invalid "
+                 "'args' map"):
+            for key, value in args.items():
+                check(isinstance(value, (int, str))
+                      and not isinstance(value, bool),
+                      f"{where}: arg {key}={value!r} is not int or string")
+    return errors
+
+
+def load_jsonl(path):
+    docs = []
+    with open(path) as f:
+        for line in f:
+            if line.strip():
+                docs.append(json.loads(line))
+    return docs
+
+
+def validate_snapshots(path, against_path, min_count):
+    try:
+        docs = load_jsonl(path)
+        against = None
+        if against_path:
+            with open(against_path) as f:
+                against = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"{path}: {err}")
+        return 1
+    errors = validate_snapshot_stream(docs, against, min_count)
+    for msg in errors:
+        print(f"{path}: {msg}")
+    if errors:
+        print(f"{path}: INVALID ({len(errors)} violation(s))")
+        return 1
+    vs = f", final totals == {against_path}" if against_path else ""
+    print(f"{path}: valid {SNAPSHOT_SCHEMA} stream ({len(docs)} "
+          f"snapshots, deltas telescope{vs})")
+    return 0
+
+
+def validate_events(path):
+    try:
+        docs = load_jsonl(path)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"{path}: {err}")
+        return 1
+    errors = validate_event_stream(docs)
+    for msg in errors:
+        print(f"{path}: {msg}")
+    if errors:
+        print(f"{path}: INVALID ({len(errors)} violation(s))")
+        return 1
+    print(f"{path}: valid {EVENTS_SCHEMA} journal ({len(docs)} events)")
+    return 0
 
 
 def validate_metrics(path):
@@ -241,6 +473,76 @@ def selftest():
         ("not an object", ["not", "a", "dict"]),
     ]
 
+    # --- snapshot streams -------------------------------------------
+    def snap(seq, elapsed, final, counters, hists=None):
+        return {"schema": SNAPSHOT_SCHEMA, "seq": seq,
+                "elapsed_ms": elapsed, "final": final,
+                "counters": counters, "histograms": hists or {},
+                "gauges": {}}
+
+    good_snaps = [
+        snap(1, 0, False, {"serve.ok": {"total": 10, "delta": 10}},
+             {"serve.decode_us": {"count": 10, "delta_count": 10}}),
+        snap(2, 200, False, {"serve.ok": {"total": 25, "delta": 15}},
+             {"serve.decode_us": {"count": 25, "delta_count": 15}}),
+        snap(3, 400, True, {"serve.ok": {"total": 30, "delta": 5}},
+             {"serve.decode_us": {"count": 30, "delta_count": 5}}),
+    ]
+    good_final = {"counters": {"serve.ok": 30}}
+
+    def msnap(fn):
+        docs = json.loads(json.dumps(good_snaps))
+        fn(docs)
+        return docs
+
+    bad_snaps = [
+        ("seq gap", msnap(lambda d: d[1].update(seq=5))),
+        ("wrong snapshot schema", msnap(lambda d: d[0].update(schema="v0"))),
+        ("elapsed backwards", msnap(lambda d: d[2].update(elapsed_ms=100))),
+        ("no final snapshot", msnap(lambda d: d[2].update(final=False))),
+        ("early final", msnap(lambda d: d[0].update(final=True))),
+        ("total went backwards",
+         msnap(lambda d: d[2]["counters"]["serve.ok"]
+               .update(total=20, delta=0))),
+        ("broken delta telescoping",
+         msnap(lambda d: d[1]["counters"]["serve.ok"].update(delta=14))),
+        ("broken hist delta_count",
+         msnap(lambda d: d[1]["histograms"]["serve.decode_us"]
+               .update(delta_count=14))),
+    ]
+
+    # --- event journals ---------------------------------------------
+    def event(seq, t, kind, source, args):
+        return {"schema": EVENTS_SCHEMA, "seq": seq, "t_ms": t,
+                "kind": kind, "source": source, "args": args}
+
+    good_events = [
+        event(0, 0, "tier_change", "serve", {"tier": 1, "occupancy": 130}),
+        event(1, 5, "fault_stall", "serve",
+              {"batch_id": 7, "stall_us": 2000}),
+        event(2, 9, "dispatch", "dist",
+              {"unit": "shard-000-of-004", "attempt": 0, "resume_at": 0}),
+        event(3, 9, "service_stop", "serve",
+              {"submitted": 100, "ok": 90, "faults_injected": 1}),
+    ]
+
+    def mevent(fn):
+        docs = json.loads(json.dumps(good_events))
+        fn(docs)
+        return docs
+
+    bad_events = [
+        ("event seq gap", mevent(lambda d: d[2].update(seq=7))),
+        ("wrong event schema", mevent(lambda d: d[0].update(schema="v0"))),
+        ("t_ms backwards", mevent(lambda d: d[3].update(t_ms=1))),
+        ("unknown kind", mevent(lambda d: d[1].update(kind="fault_oops"))),
+        ("kind from the wrong source",
+         mevent(lambda d: d[2].update(kind="tier_change"))),
+        ("unknown source", mevent(lambda d: d[0].update(source="net"))),
+        ("non-scalar arg",
+         mevent(lambda d: d[0]["args"].update(tier=[1]))),
+    ]
+
     failures = 0
     if validate_metrics_doc(good):
         print("selftest FAIL: good document rejected: "
@@ -250,10 +552,34 @@ def selftest():
         if not validate_metrics_doc(doc):
             print(f"selftest FAIL: mutation accepted: {label}")
             failures += 1
+    if validate_snapshot_stream(good_snaps, against=good_final):
+        print("selftest FAIL: good snapshot stream rejected: "
+              f"{validate_snapshot_stream(good_snaps, against=good_final)}")
+        failures += 1
+    for label, docs in bad_snaps:
+        if not validate_snapshot_stream(docs):
+            print(f"selftest FAIL: snapshot mutation accepted: {label}")
+            failures += 1
+    if not validate_snapshot_stream(
+            good_snaps, against={"counters": {"serve.ok": 31}}):
+        print("selftest FAIL: final/flush total mismatch accepted")
+        failures += 1
+    if not validate_snapshot_stream(good_snaps, min_count=10):
+        print("selftest FAIL: short stream accepted against --min-count")
+        failures += 1
+    if validate_event_stream(good_events):
+        print("selftest FAIL: good event journal rejected: "
+              f"{validate_event_stream(good_events)}")
+        failures += 1
+    for label, docs in bad_events:
+        if not validate_event_stream(docs):
+            print(f"selftest FAIL: event mutation accepted: {label}")
+            failures += 1
+    total = (1 + len(bad_docs) + 3 + len(bad_snaps) + 1 + len(bad_events))
     if failures:
         print(f"selftest: {failures} failure(s)")
         return 1
-    print(f"selftest: ok ({1 + len(bad_docs)} documents)")
+    print(f"selftest: ok ({total} documents)")
     return 0
 
 
@@ -280,18 +606,36 @@ def main():
     parser.add_argument("--validate-metrics", metavar="FILE",
                         help="validate a cldpc-metrics-v1 JSON file and exit "
                              "(hard gate: exit 1 on violations)")
+    parser.add_argument("--validate-snapshots", metavar="FILE",
+                        help="validate a cldpc-metrics-snapshot-v1 JSONL "
+                             "stream and exit (hard gate)")
+    parser.add_argument("--against", metavar="FILE",
+                        help="with --validate-snapshots: require the final "
+                             "snapshot's totals to equal this "
+                             "cldpc-metrics-v1 file's counters")
+    parser.add_argument("--min-count", type=int, default=2,
+                        help="with --validate-snapshots: minimum number of "
+                             "snapshots in the stream")
+    parser.add_argument("--validate-events", metavar="FILE",
+                        help="validate a cldpc-events-v1 JSONL journal and "
+                             "exit (hard gate)")
     parser.add_argument("--selftest", action="store_true",
-                        help="run the metrics validator against built-in "
-                             "good/bad documents and exit")
+                        help="run the validators against built-in good/bad "
+                             "documents and exit")
     args = parser.parse_args()
 
     if args.selftest:
         return selftest()
     if args.validate_metrics:
         return validate_metrics(args.validate_metrics)
+    if args.validate_snapshots:
+        return validate_snapshots(args.validate_snapshots, args.against,
+                                  args.min_count)
+    if args.validate_events:
+        return validate_events(args.validate_events)
     if not args.run or not args.baseline:
-        parser.error("run and baseline are required unless "
-                     "--validate-metrics/--selftest is given")
+        parser.error("run and baseline are required unless a "
+                     "--validate-* flag or --selftest is given")
 
     run = load_rates(args.run)
     baseline = load_rates(args.baseline)

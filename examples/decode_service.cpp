@@ -8,6 +8,9 @@
 //                    [--stall-permille=N] [--throw-permille=N]
 //                    [--fault-seed=N]
 //                    [--metrics] [--metrics-json=<path>]
+//                    [--metrics-interval-ms=N] [--metrics-latest=<path>]
+//                    [--snapshots-jsonl=<path>] [--events-jsonl=<path>]
+//                    [--trace-json=<path>] [--trace-sample=N] [--live]
 //
 // Frames are generated like the Monte-Carlo engine generates them
 // (encoder + BPSK/AWGN, per-frame DeriveSeed streams), submitted with
@@ -15,12 +18,26 @@
 // a direct MakeDecoder(...)->DecodeBatch decode under the same tier
 // spec — the service's bit-identity guarantee, verified live.
 //
+// Live observability (see README "Observability"): with
+// --metrics-interval-ms > 0 a SnapshotPublisher emits
+// cldpc-metrics-snapshot-v1 documents on the interval —
+// --metrics-latest gets the newest one atomically renamed into place,
+// --snapshots-jsonl the whole history, --live a "top"-style terminal
+// table per tick. --events-jsonl appends the cldpc-events-v1 journal
+// (tier changes, client drops, injected faults, stop).
+// --trace-sample=N traces every Nth request's lifecycle into
+// --trace-json (chrome://tracing).
+//
 // ^C stops submitting; the service drains what was admitted and the
-// summary (plus --metrics-json) still comes out, exit 0.
+// summary (plus --metrics-json) still comes out, exit 0. If the drain
+// itself is interrupted, the publisher's emergency flush has already
+// written a valid cldpc-metrics-v1 doc to the --metrics-json path.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -29,7 +46,9 @@
 #include "codes/catalog.hpp"
 #include "ldpc/core/registry.hpp"
 #include "obs/export.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -61,15 +80,67 @@ int RunMain(int argc, char** argv) {
 
   obs::ExportOptions export_opts;
   export_opts.metrics_json = args.GetString("metrics-json", "");
+  export_opts.trace_json = args.GetString("trace-json", "");
   export_opts.print_table = args.GetBool("metrics");
-  const bool want_metrics =
-      export_opts.print_table || !export_opts.metrics_json.empty();
+  const std::int64_t snapshot_interval_ms =
+      args.GetInt("metrics-interval-ms", 0);
+  obs::SnapshotOptions snapshot_opts;
+  snapshot_opts.latest_json_path = args.GetString("metrics-latest", "");
+  snapshot_opts.history_jsonl_path = args.GetString("snapshots-jsonl", "");
+  // A ^C that outruns the graceful drain still leaves a valid
+  // cldpc-metrics-v1 doc here (overwritten by the exact export on a
+  // normal exit).
+  snapshot_opts.emergency_metrics_json = export_opts.metrics_json;
+  const bool live_table = args.GetBool("live");
+  const bool want_snapshots =
+      snapshot_interval_ms > 0 &&
+      (live_table || !snapshot_opts.latest_json_path.empty() ||
+       !snapshot_opts.history_jsonl_path.empty() ||
+       !export_opts.metrics_json.empty());
+  const bool want_metrics = export_opts.print_table ||
+                            !export_opts.metrics_json.empty() ||
+                            !export_opts.trace_json.empty() || want_snapshots;
   obs::MetricsRegistry registry;
   if (want_metrics) config.metrics = &registry;
+  config.trace_sample_every = args.GetUint("trace-sample", 0);
+  if (!export_opts.trace_json.empty()) registry.EnableTracing();
+
+  // The catalog's integrity check (CRC codes): every ok decode is
+  // checked before delivery and the verdict counted.
+  config.frame_check = system.frame_check;
+
+  std::unique_ptr<obs::EventJournal> journal;
+  const std::string events_path = args.GetString("events-jsonl", "");
+  if (!events_path.empty()) {
+    journal = std::make_unique<obs::EventJournal>(
+        obs::EventJournalOptions{events_path});
+    config.journal = journal.get();
+  }
 
   util::InstallShutdownHandler();
 
   serve::DecodeService service(code, config);
+
+  // Snapshot publisher: started after the service registered all its
+  // counters (registration resizes shard vectors and must not race a
+  // concurrent Snapshot()).
+  std::unique_ptr<obs::SnapshotPublisher> publisher;
+  if (want_snapshots) {
+    snapshot_opts.interval = std::chrono::milliseconds(snapshot_interval_ms);
+    snapshot_opts.pre_snapshot = [&service] { service.SyncMetricsCounters(); };
+    if (live_table) {
+      snapshot_opts.on_snapshot =
+          [snapshot_interval_ms](const obs::MetricsSnapshot& snap) {
+            std::printf("%s", obs::RenderSnapshotTable(
+                                  snap, static_cast<std::uint64_t>(
+                                            snapshot_interval_ms))
+                                  .c_str());
+          };
+    }
+    publisher =
+        std::make_unique<obs::SnapshotPublisher>(registry, snapshot_opts);
+    publisher->Start();
+  }
   serve::DecodeClient& client = service.Connect();
   std::printf("Service: code %s (%zu, %zu), decoder %s, %zu worker(s), "
               "queue %zu\n",
@@ -93,10 +164,17 @@ int RunMain(int argc, char** argv) {
   for (std::uint64_t f = 0; f < frames; ++f) {
     if (util::ShutdownRequested()) break;
     // Same per-frame stream discipline as the engine: data stream 1,
-    // noise stream 2, all derived from (seed, frame).
-    Xoshiro256pp data_rng(DeriveSeed(seed, 0, f, 1));
-    for (auto& b : info) b = data_rng.NextBit() ? 1 : 0;
-    const auto codeword = system.encoder->Encode(info);
+    // noise stream 2, all derived from (seed, frame). Codes with
+    // in-band structure use their frame_source so the frame check
+    // sees valid frames.
+    std::vector<std::uint8_t> codeword(code.n());
+    if (system.frame_source) {
+      system.frame_source(DeriveSeed(seed, 0, f, 1), codeword);
+    } else {
+      Xoshiro256pp data_rng(DeriveSeed(seed, 0, f, 1));
+      for (auto& b : info) b = data_rng.NextBit() ? 1 : 0;
+      codeword = system.encoder->Encode(info);
+    }
     const auto symbols = channel::BpskModulate(codeword);
     channel::AwgnChannel ch(sigma, DeriveSeed(seed, 0, f, 2));
     auto llrs = ch.Transmit(symbols);
@@ -157,6 +235,21 @@ int RunMain(int argc, char** argv) {
                                               stats.shed_shutdown),
               static_cast<unsigned long long>(stats.failed),
               static_cast<unsigned long long>(mismatches));
+  if (system.frame_check) {
+    std::printf("Frame check: %llu accepted, %llu rejected of %llu ok\n",
+                static_cast<unsigned long long>(stats.check_accepted),
+                static_cast<unsigned long long>(stats.check_rejected),
+                static_cast<unsigned long long>(stats.ok));
+  }
+  // Final snapshot (exact: the service flushed in Stop()) before the
+  // full export, then the journal's service_stop line is on disk.
+  if (publisher) publisher->Stop();
+  if (journal) {
+    journal->Close();
+    std::printf("Event journal: %llu events -> %s\n",
+                static_cast<unsigned long long>(journal->entries()),
+                journal->path().c_str());
+  }
   if (mismatches != 0) {
     std::fprintf(stderr, "FAIL: service responses diverged from the direct "
                          "batch decode\n");

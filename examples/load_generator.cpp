@@ -6,17 +6,22 @@
 //
 //   ./load_generator [--code=<spec>] [--decoder=<spec>] [--workers=N]
 //                    [--queue=N] [--max-batch=N] [--clients=N]
-//                    [--duration-s=S] [--rate-multiplier=X]
+//                    [--duration-s=S] [--rate-multiplier=X] [--rate=N]
 //                    [--deadline-ms=N] [--calibrate-frames=N]
 //                    [--ebn0=dB] [--seed=N]
 //                    [--fault-seed=N] [--stall-permille=N] [--stall-us=N]
 //                    [--malformed-permille=N] [--throw-permille=N]
 //                    [--slow-consumer-permille=N] [--slow-consumer-us=N]
 //                    [--metrics] [--metrics-json=<path>]
+//                    [--metrics-interval-ms=N] [--metrics-latest=<path>]
+//                    [--snapshots-jsonl=<path>] [--events-jsonl=<path>]
+//                    [--trace-json=<path>] [--trace-sample=N] [--live]
 //
 // Two phases:
 //   1. Calibration: a pipelined closed loop measures the sustainable
-//      decode rate (frames/s) of this build on this machine.
+//      decode rate (frames/s) of this build on this machine. --rate=N
+//      pins it instead (needed when two runs must drive the same
+//      load, e.g. the CI telemetry-overhead comparison).
 //   2. Soak: --clients threads submit open-loop at
 //      rate-multiplier x that rate (default 2x — deliberate overload)
 //      for --duration-s, while the fault plan injects worker stalls,
@@ -24,16 +29,33 @@
 //
 // Exit status is the verdict: 0 only if the accounting identities
 // hold exactly (submitted == admitted + rejects; admitted == ok +
-// shed + failed; deliveries + drops == admitted). The fault plan is
-// fully determined by --fault-seed (printed), so a failing soak
-// replays exactly.
+// shed + failed; deliveries + drops == admitted; with a CRC code,
+// ok == check_accepted + check_rejected). The fault plan is fully
+// determined by --fault-seed (printed), so a failing soak replays
+// exactly.
+//
+// As the sole holder of the ground-truth codewords, the generator
+// also measures the UNDETECTED error rate: an ok response whose
+// frame check passed but whose bits differ from the transmitted
+// codeword increments serve.undetected (exported, with the UER as a
+// gauge) — the quantity a CRC exists to bound.
+//
+// Live observability: --metrics-interval-ms et al. behave exactly as
+// in decode_service (snapshots, live table, emergency flush). With
+// --events-jsonl the run ends by REPLAYING the journal against the
+// fault oracle: every journaled fault decision must re-derive from
+// the seed, and the journal must hold exactly faults_injected fault
+// events — a failed replay fails the run like a broken identity.
 //
 // ^C ends the soak early; everything still drains, verifies and
 // exports. A second ^C exits 130 immediately.
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -42,9 +64,12 @@
 #include "channel/awgn.hpp"
 #include "codes/catalog.hpp"
 #include "obs/export.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/shutdown.hpp"
 #include "util/table.hpp"
@@ -56,23 +81,39 @@ using Clock = serve::ServiceClock;
 
 /// Pre-generated traffic: a pool of distinct noisy frames the clients
 /// cycle through, so the submit loops measure the service, not the
-/// channel frontend.
-std::vector<std::vector<double>> MakeFramePool(const codes::CatalogCode& system,
-                                               double ebn0, std::uint64_t seed,
-                                               std::size_t count) {
+/// channel frontend. The transmitted codewords ride along as the
+/// ground truth only this process holds — what the undetected-error
+/// accounting compares ok responses against.
+struct FramePool {
+  std::vector<std::vector<double>> llrs;
+  std::vector<std::vector<std::uint8_t>> codewords;
+  std::size_t size() const { return llrs.size(); }
+};
+
+FramePool MakeFramePool(const codes::CatalogCode& system, double ebn0,
+                        std::uint64_t seed, std::size_t count) {
   const auto& code = *system.code;
   const double sigma = channel::SigmaForEbN0(ebn0, code.Rate());
-  std::vector<std::vector<double>> pool;
+  FramePool pool;
   std::vector<std::uint8_t> info(code.k());
   for (std::size_t f = 0; f < count; ++f) {
-    Xoshiro256pp data_rng(DeriveSeed(seed, 0, f, 1));
-    for (auto& b : info) b = data_rng.NextBit() ? 1 : 0;
-    const auto codeword = system.encoder->Encode(info);
+    // Protocol-aware generation when the code has in-band structure
+    // (FT8's CRC-14 payload): only frame_source frames can PASS the
+    // frame check — random info bits would fail it by construction.
+    std::vector<std::uint8_t> codeword(code.n());
+    if (system.frame_source) {
+      system.frame_source(DeriveSeed(seed, 0, f, 1), codeword);
+    } else {
+      Xoshiro256pp data_rng(DeriveSeed(seed, 0, f, 1));
+      for (auto& b : info) b = data_rng.NextBit() ? 1 : 0;
+      codeword = system.encoder->Encode(info);
+    }
     const auto symbols = channel::BpskModulate(codeword);
     channel::AwgnChannel ch(sigma, DeriveSeed(seed, 0, f, 2));
     std::vector<double> llrs(code.n());
     ch.TransmitLlrsInto(symbols, llrs);
-    pool.push_back(std::move(llrs));
+    pool.llrs.push_back(std::move(llrs));
+    pool.codewords.push_back(std::move(codeword));
   }
   return pool;
 }
@@ -80,8 +121,7 @@ std::vector<std::vector<double>> MakeFramePool(const codes::CatalogCode& system,
 /// Phase 1: sustainable rate, measured with a pipelined closed loop
 /// (enough frames outstanding to keep every worker busy, never enough
 /// to trip admission control).
-double CalibrateRate(serve::DecodeService& service,
-                     const std::vector<std::vector<double>>& pool,
+double CalibrateRate(serve::DecodeService& service, const FramePool& pool,
                      std::uint64_t frames) {
   serve::DecodeClient& client = service.Connect();
   const std::size_t pipeline =
@@ -92,7 +132,8 @@ double CalibrateRate(serve::DecodeService& service,
   serve::DecodeResponse response;
   while (done < frames && !util::ShutdownRequested()) {
     while (submitted < frames && submitted - done < pipeline) {
-      if (service.Submit(client, submitted, pool[submitted % pool.size()],
+      if (service.Submit(client, submitted,
+                         pool.llrs[submitted % pool.size()],
                          far_deadline) != serve::Admission::kAdmitted)
         break;  // ring momentarily full: drain first
       ++submitted;
@@ -112,8 +153,74 @@ double CalibrateRate(serve::DecodeService& service,
 struct ClientTotals {
   std::uint64_t submitted = 0, admitted = 0, rejected_full = 0,
                 rejected_malformed = 0, rejected_shutdown = 0, responses = 0,
-                ok = 0, malformed_sent = 0;
+                ok = 0, malformed_sent = 0,
+                // Frame-check verdicts as DELIVERED to this client
+                // (dropped responses are counted service-side only),
+                // and the undetected errors among them: check passed
+                // but bits != the transmitted codeword.
+                checked = 0, check_failed = 0, undetected = 0;
 };
+
+/// Satellite: replay the event journal against the seed's fault
+/// oracle. Validates the cldpc-events-v1 frame (schema tag,
+/// contiguous seq, closed serve kind set), re-derives every journaled
+/// fault decision from the oracle, and requires the journal to hold
+/// exactly `faults_injected` fault events — bit-exact agreement
+/// between what the service says happened and what the seed says must
+/// happen.
+bool VerifyJournalReplay(const std::string& path,
+                         const serve::FaultInjector& faults,
+                         std::uint64_t faults_injected) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "JOURNAL FAIL: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  bool ok = true;
+  auto fail = [&ok](const std::string& what) {
+    std::fprintf(stderr, "JOURNAL FAIL: %s\n", what.c_str());
+    ok = false;
+  };
+  std::uint64_t expect_seq = 0, fault_events = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    util::JsonValue doc = util::JsonValue::Parse(line);
+    if (doc.At("schema").AsString() != "cldpc-events-v1")
+      fail("bad schema tag at seq " + std::to_string(expect_seq));
+    if (doc.At("seq").AsUint() != expect_seq)
+      fail("seq gap: got " + std::to_string(doc.At("seq").AsUint()) +
+           ", want " + std::to_string(expect_seq));
+    ++expect_seq;
+    const std::string& kind = doc.At("kind").AsString();
+    const auto& args = doc.At("args");
+    if (kind == "fault_stall") {
+      ++fault_events;
+      if (!faults.StallBatch(args.At("batch_id").AsUint()))
+        fail("journaled stall of batch " +
+             std::to_string(args.At("batch_id").AsUint()) +
+             " not derivable from the fault seed");
+    } else if (kind == "fault_throw") {
+      ++fault_events;
+      if (!faults.ThrowInDecode(args.At("frame_id").AsUint()))
+        fail("journaled throw on frame " +
+             std::to_string(args.At("frame_id").AsUint()) +
+             " not derivable from the fault seed");
+    } else if (kind != "tier_change" && kind != "client_drop" &&
+               kind != "service_stop") {
+      fail("unknown serve event kind '" + kind + "'");
+    }
+  }
+  if (fault_events != faults_injected)
+    fail("journaled fault events (" + std::to_string(fault_events) +
+         ") != faults_injected (" + std::to_string(faults_injected) + ")");
+  if (ok)
+    std::printf("Journal replay: %llu events, %llu fault decisions all "
+                "re-derived from seed — bit-exact.\n",
+                static_cast<unsigned long long>(expect_seq),
+                static_cast<unsigned long long>(fault_events));
+  return ok;
+}
 
 int RunMain(int argc, char** argv) {
   const ArgParser args(argc, argv);
@@ -150,11 +257,42 @@ int RunMain(int argc, char** argv) {
 
   obs::ExportOptions export_opts;
   export_opts.metrics_json = args.GetString("metrics-json", "");
+  export_opts.trace_json = args.GetString("trace-json", "");
   export_opts.print_table = args.GetBool("metrics");
-  const bool want_metrics =
-      export_opts.print_table || !export_opts.metrics_json.empty();
+  const std::int64_t snapshot_interval_ms =
+      args.GetInt("metrics-interval-ms", 0);
+  obs::SnapshotOptions snapshot_opts;
+  snapshot_opts.latest_json_path = args.GetString("metrics-latest", "");
+  snapshot_opts.history_jsonl_path = args.GetString("snapshots-jsonl", "");
+  snapshot_opts.emergency_metrics_json = export_opts.metrics_json;
+  const bool live_table = args.GetBool("live");
+  const bool want_snapshots =
+      snapshot_interval_ms > 0 &&
+      (live_table || !snapshot_opts.latest_json_path.empty() ||
+       !snapshot_opts.history_jsonl_path.empty() ||
+       !export_opts.metrics_json.empty());
+  const bool want_metrics = export_opts.print_table ||
+                            !export_opts.metrics_json.empty() ||
+                            !export_opts.trace_json.empty() || want_snapshots;
   obs::MetricsRegistry registry;
   if (want_metrics) config.metrics = &registry;
+  config.trace_sample_every = args.GetUint("trace-sample", 0);
+  if (!export_opts.trace_json.empty()) registry.EnableTracing();
+  // The generator holds the ground truth, so it owns the undetected
+  // counter. Registered BEFORE the service (and thus before the
+  // publisher): registration resizes shard vectors and must never
+  // race a live Snapshot().
+  const obs::CounterId undetected_id =
+      registry.Counter("serve.undetected", obs::Determinism::kScheduling);
+  config.frame_check = system.frame_check;
+
+  std::unique_ptr<obs::EventJournal> journal;
+  const std::string events_path = args.GetString("events-jsonl", "");
+  if (!events_path.empty()) {
+    journal = std::make_unique<obs::EventJournal>(
+        obs::EventJournalOptions{events_path});
+    config.journal = journal.get();
+  }
 
   util::InstallShutdownHandler();
 
@@ -173,10 +311,43 @@ int RunMain(int argc, char** argv) {
   // one seed reproduces the whole run.
   const serve::FaultInjector faults(config.faults);
 
-  const std::uint64_t calibrate_frames = args.GetUint("calibrate-frames", 256);
-  std::printf("Calibrating sustainable rate (%llu frames)...\n",
-              static_cast<unsigned long long>(calibrate_frames));
-  const double sustainable = CalibrateRate(service, pool, calibrate_frames);
+  // Snapshot publisher: started only after every counter (the
+  // service's and serve.undetected above) is registered.
+  std::unique_ptr<obs::SnapshotPublisher> publisher;
+  if (want_snapshots) {
+    snapshot_opts.interval = std::chrono::milliseconds(snapshot_interval_ms);
+    snapshot_opts.pre_snapshot = [&service] { service.SyncMetricsCounters(); };
+    if (live_table) {
+      snapshot_opts.on_snapshot =
+          [snapshot_interval_ms](const obs::MetricsSnapshot& snap) {
+            std::printf("%s", obs::RenderSnapshotTable(
+                                  snap, static_cast<std::uint64_t>(
+                                            snapshot_interval_ms))
+                                  .c_str());
+          };
+    }
+    publisher =
+        std::make_unique<obs::SnapshotPublisher>(registry, snapshot_opts);
+    publisher->Start();
+  }
+
+  // --rate pins the offered rate (frames/s, pre-multiplier) instead
+  // of calibrating it — required when comparing runs (e.g. the
+  // telemetry overhead checks): calibration is wall-clock-sensitive,
+  // so two calibrated runs drive different loads.
+  const double fixed_rate = args.GetDouble("rate", 0.0);
+  double sustainable;
+  if (fixed_rate > 0.0) {
+    sustainable = fixed_rate;
+    std::printf("Pinned rate %.0f frames/s (skipping calibration)\n",
+                sustainable);
+  } else {
+    const std::uint64_t calibrate_frames =
+        args.GetUint("calibrate-frames", 256);
+    std::printf("Calibrating sustainable rate (%llu frames)...\n",
+                static_cast<unsigned long long>(calibrate_frames));
+    sustainable = CalibrateRate(service, pool, calibrate_frames);
+  }
   // Everything before this snapshot is calibration traffic; the soak
   // accounting below works on deltas against it.
   const auto cal = service.Stats();
@@ -205,12 +376,27 @@ int RunMain(int argc, char** argv) {
       // Ids are globally unique and encode the client, so fault
       // decisions stay per-frame reproducible.
       std::uint64_t frame_id = (static_cast<std::uint64_t>(c) + 1) << 32;
+      // Terminal accounting for one delivered response, including the
+      // ground-truth comparison behind serve.undetected.
+      const auto account = [&t, &pool](const serve::DecodeResponse& response) {
+        ++t.responses;
+        if (response.status != serve::Status::kOk) return;
+        ++t.ok;
+        if (!response.checked) return;
+        ++t.checked;
+        if (!response.check_passed) {
+          ++t.check_failed;
+        } else if (response.bits !=
+                   pool.codewords[response.id % pool.size()]) {
+          ++t.undetected;  // the check LIED — the quantity UER bounds
+        }
+      };
       while (Clock::now() < soak_end && !util::ShutdownRequested()) {
         // Open loop: the submit happens on schedule whether or not
         // the service kept up — that is what makes it an overload.
         std::this_thread::sleep_until(next);
         next += interval;
-        auto llrs = pool[frame_id % pool.size()];
+        auto llrs = pool.llrs[frame_id % pool.size()];
         ++t.submitted;
         const bool malformed = faults.MalformFrame(frame_id);
         if (malformed) {
@@ -234,16 +420,11 @@ int RunMain(int argc, char** argv) {
         if (faults.SlowConsume(c, cycle++))
           std::this_thread::sleep_for(
               std::chrono::microseconds(config.faults.slow_consumer_us));
-        while (client.TryPop(response)) {
-          ++t.responses;
-          if (response.status == serve::Status::kOk) ++t.ok;
-        }
+        while (client.TryPop(response)) account(response);
       }
       // Collect the tail: the service finishes everything admitted.
-      while (client.WaitPop(response, std::chrono::microseconds(200000))) {
-        ++t.responses;
-        if (response.status == serve::Status::kOk) ++t.ok;
-      }
+      while (client.WaitPop(response, std::chrono::microseconds(200000)))
+        account(response);
     });
   }
   for (auto& thread : threads) thread.join();
@@ -264,6 +445,9 @@ int RunMain(int argc, char** argv) {
     sum.responses += t.responses;
     sum.ok += t.ok;
     sum.malformed_sent += t.malformed_sent;
+    sum.checked += t.checked;
+    sum.check_failed += t.check_failed;
+    sum.undetected += t.undetected;
   }
   const auto stats = service.Stats();
   bool pass = true;
@@ -287,6 +471,12 @@ int RunMain(int argc, char** argv) {
         "generator/service submit mismatch");
   check(stats.rejected_malformed == sum.malformed_sent,
         "malformed frames not all rejected at admission");
+  if (system.frame_check) {
+    // With the CRC armed, every ok decode carries exactly one
+    // verdict.
+    check(stats.ok == stats.check_accepted + stats.check_rejected,
+          "ok != check_accepted + check_rejected");
+  }
 
   TablePrinter table({"Counter", "Value"});
   table.AddRow({"Soak frames submitted", std::to_string(sum.submitted)});
@@ -317,6 +507,12 @@ int RunMain(int argc, char** argv) {
                                    cal.tier_frames[2])});
   table.AddRow({"Faults injected",
                 std::to_string(stats.faults_injected - cal.faults_injected)});
+  if (system.frame_check) {
+    table.AddRow({"Checked / check-failed / undetected",
+                  std::to_string(sum.checked) + " / " +
+                      std::to_string(sum.check_failed) + " / " +
+                      std::to_string(sum.undetected)});
+  }
   table.AddRow({"Sustained ok rate",
                 std::to_string(static_cast<std::uint64_t>(
                     soak_elapsed > 0.0
@@ -342,7 +538,31 @@ int RunMain(int argc, char** argv) {
                           ? static_cast<double>(soak_ok) / soak_elapsed
                           : 0.0);
     registry.SetGauge("serve.calibrated_sustainable_fps", sustainable);
-    obs::ExportMetrics(registry, export_opts);
+    // Undetected-error accounting: only this process can compute it
+    // (it holds the codewords), so it lands in the registry here —
+    // before the publisher's final snapshot, which must include it.
+    registry.shard(0).Add(undetected_id, sum.undetected);
+    registry.SetGauge("serve.uer",
+                      sum.checked > 0
+                          ? static_cast<double>(sum.undetected) /
+                                static_cast<double>(sum.checked)
+                          : 0.0);
+  }
+  // Final exact snapshot (the service flushed in Stop(); deltas
+  // telescope to these totals), then the full export.
+  if (publisher) publisher->Stop();
+  if (want_metrics) obs::ExportMetrics(registry, export_opts);
+
+  if (journal) {
+    journal->Close();
+    bool replay_ok = false;
+    try {
+      replay_ok = VerifyJournalReplay(events_path, faults,
+                                      stats.faults_injected);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "JOURNAL FAIL: %s\n", e.what());
+    }
+    pass = pass && replay_ok;
   }
 
   if (!pass) return 1;

@@ -14,6 +14,16 @@
 //                       [--kill-coordinator-permille=N]
 //                       [--curve-out=<path>]
 //                       [--metrics] [--metrics-json=<path>]
+//                       [--metrics-interval-ms=N] [--metrics-latest=<path>]
+//                       [--snapshots-jsonl=<path>] [--events-jsonl=<path>]
+//
+// Live observability: with --metrics-interval-ms > 0 the coordinator
+// publishes cldpc-metrics-snapshot-v1 documents on the interval (the
+// ledger gauges plus per-shard shard.unit.<id>.frames_banked /
+// .frames_total progress from scanning its own checkpoints), and
+// --events-jsonl journals every dispatch / reap / retry / timeout /
+// checkpoint-bank transition as cldpc-events-v1 — `tail -f` either
+// file to watch a chaotic fault run live.
 //
 //   ./shard_coordinator --reference --curve-out=<path> [sweep flags]
 //       Single-process run of the same sweep, written in the same
@@ -46,6 +56,7 @@
 #include <exception>
 #include <filesystem>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -57,6 +68,7 @@
 #include "engine/sim_engine.hpp"
 #include "ldpc/core/registry.hpp"
 #include "obs/export.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "sim/ber_runner.hpp"
 #include "util/atomic_file.hpp"
@@ -212,9 +224,21 @@ int RunMain(int argc, char** argv) {
   export_opts.metrics_json = args.GetString("metrics-json", "");
   export_opts.print_table = args.GetBool("metrics");
   obs::MetricsRegistry registry;
-  const bool want_metrics =
-      export_opts.print_table || !export_opts.metrics_json.empty();
+  options.snapshot_interval_ms = args.GetInt("metrics-interval-ms", 0);
+  options.snapshot_latest_path = args.GetString("metrics-latest", "");
+  options.snapshot_history_path = args.GetString("snapshots-jsonl", "");
+  const bool want_metrics = export_opts.print_table ||
+                            !export_opts.metrics_json.empty() ||
+                            options.snapshot_interval_ms > 0;
   if (want_metrics) options.metrics = &registry;
+
+  std::unique_ptr<obs::EventJournal> journal;
+  const std::string events_path = args.GetString("events-jsonl", "");
+  if (!events_path.empty()) {
+    journal = std::make_unique<obs::EventJournal>(
+        obs::EventJournalOptions{events_path});
+    options.journal = journal.get();
+  }
 
   const dist::ShardFaultInjector injector(options.faults);
   if (injector.armed()) {
@@ -274,6 +298,12 @@ int RunMain(int argc, char** argv) {
     if (want_metrics) dist::MergedCountersToRegistry(report.merged, registry);
   }
   if (want_metrics) obs::ExportMetrics(registry, export_opts);
+  if (journal) {
+    journal->Close();
+    std::printf("Event journal: %llu events -> %s\n",
+                static_cast<unsigned long long>(journal->entries()),
+                journal->path().c_str());
+  }
 
   // The accounting identity gates every exit path: a bookkeeping bug
   // beats any other status.

@@ -8,11 +8,14 @@
 #include <chrono>
 #include <csignal>
 #include <exception>
+#include <memory>
 #include <thread>
 
 #include "dist/checkpoint.hpp"
 #include "dist/shard_runner.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "util/atomic_file.hpp"
 #include "util/contracts.hpp"
 #include "util/shutdown.hpp"
@@ -133,6 +136,10 @@ CoordinatorReport RunCoordinator(const std::vector<WorkUnit>& units,
   const auto log = [&options](const std::string& line) {
     if (options.log) options.log(line);
   };
+  const auto jot = [&options](const char* kind,
+                              std::initializer_list<obs::JournalArg> args) {
+    if (options.journal != nullptr) options.journal->Append(kind, "dist", args);
+  };
   const auto cancelled = [&options] {
     return options.cancel != nullptr &&
            options.cancel->load(std::memory_order_acquire);
@@ -164,6 +171,42 @@ CoordinatorReport RunCoordinator(const std::vector<WorkUnit>& units,
       bk.Count(bk.checkpoints_rejected);
     return 0;
   };
+  // Non-counting variant for periodic PROGRESS scans: a worker
+  // mid-write must never inflate shard.checkpoints_rejected (that
+  // counter means a reaped attempt banked nothing).
+  const auto scan_banked_frames = [](const ShardState& st) -> std::uint64_t {
+    Checkpoint cp;
+    if (LoadCheckpointFile(st.checkpoint_path, st.unit_crc, &cp) ==
+        CheckpointStatus::kOk)
+      return SumFrames(cp.result);
+    return 0;
+  };
+
+  // Live ledger gauges: the identity's four totals, re-published by
+  // the main loop so a mid-run snapshot shows real progress (final
+  // re-publish happens after the loop closes the ledger).
+  const auto publish_ledger_gauges = [&options, &report](bool final_totals) {
+    if (options.metrics == nullptr) return;
+    // Mid-run, in_flight is whatever is assigned but neither merged
+    // nor lost yet; the FINAL value is computed independently when
+    // the ledger closes (that independence is the accounting check).
+    const std::uint64_t spoken_for =
+        report.frames_merged + report.frames_lost_and_retried;
+    const std::uint64_t in_flight =
+        final_totals ? report.frames_in_flight
+                     : (report.frames_assigned > spoken_for
+                            ? report.frames_assigned - spoken_for
+                            : 0);
+    options.metrics->SetGauge("shard.frames_assigned",
+                              static_cast<double>(report.frames_assigned));
+    options.metrics->SetGauge("shard.frames_merged",
+                              static_cast<double>(report.frames_merged));
+    options.metrics->SetGauge("shard.frames_in_flight",
+                              static_cast<double>(in_flight));
+    options.metrics->SetGauge(
+        "shard.frames_lost_and_retried",
+        static_cast<double>(report.frames_lost_and_retried));
+  };
 
   std::uint64_t merge_index = 0;
   const auto merge_shard = [&](ShardState& st, ShardResult result) {
@@ -173,6 +216,8 @@ CoordinatorReport RunCoordinator(const std::vector<WorkUnit>& units,
     report.frames_merged += st.unit.TotalFrames();
     ++report.merged_shards;
     bk.Count(bk.merges);
+    jot("reap_merge", {{"unit", st.unit.Id()},
+                       {"frames", st.unit.TotalFrames()}});
     log(st.unit.Id() + ": merged (" +
         std::to_string(st.unit.TotalFrames()) + " frames)");
     if (options.on_shard_merged) options.on_shard_merged(merge_index, st.result);
@@ -209,6 +254,9 @@ CoordinatorReport RunCoordinator(const std::vector<WorkUnit>& units,
     st.latest_frames = banked;
     const std::uint64_t attempt = st.attempts++;
     bk.Count(bk.dispatches);
+    jot("dispatch", {{"unit", st.unit.Id()},
+                     {"attempt", attempt},
+                     {"resume_at", banked}});
     log(st.unit.Id() + ": dispatch attempt " + std::to_string(attempt) +
         " (resume at " + std::to_string(banked) + "/" +
         std::to_string(total) + " frames)");
@@ -258,6 +306,8 @@ CoordinatorReport RunCoordinator(const std::vector<WorkUnit>& units,
       // owned by this run and resumes next time.
       st.status = ShardState::Status::kPending;
       st.interrupted = true;
+      jot("reap_interrupted",
+          {{"unit", st.unit.Id()}, {"banked", st.latest_frames}});
       log(st.unit.Id() + ": interrupted at " +
           std::to_string(st.latest_frames) + " frames");
       return;
@@ -276,8 +326,13 @@ CoordinatorReport RunCoordinator(const std::vector<WorkUnit>& units,
                                            std::to_string(exit_code) + ")") +
         (st.timed_out ? " [timeout]" : "") + ", banked " +
         std::to_string(st.latest_frames) + " frames");
+    jot("reap_retry", {{"unit", st.unit.Id()},
+                       {"attempt", st.attempts - 1},
+                       {"banked", st.latest_frames},
+                       {"signaled", signaled ? 1 : 0}});
     if (st.attempts > options.max_retries) {
       st.status = ShardState::Status::kExhausted;
+      jot("retries_exhausted", {{"unit", st.unit.Id()}});
       log(st.unit.Id() + ": retries exhausted");
     } else {
       st.status = ShardState::Status::kPending;
@@ -287,6 +342,29 @@ CoordinatorReport RunCoordinator(const std::vector<WorkUnit>& units,
                                  options.retry_backoff_s));
     }
   };
+
+  // Live snapshot publisher. The coordinator forks workers WITHOUT
+  // exec, so it must stay single-threaded: the publisher's timer
+  // thread is never Start()ed — the main loop (already a 5 ms poll)
+  // drives PublishNow() on the interval itself, and Stop() at the end
+  // publishes the final snapshot without a join. A child forked while
+  // a publisher thread held the malloc or file locks could deadlock.
+  std::unique_ptr<obs::SnapshotPublisher> publisher;
+  auto next_snapshot = Clock::time_point::max();
+  if (options.metrics != nullptr && options.snapshot_interval_ms > 0) {
+    for (const auto& st : shards)
+      options.metrics->SetGauge(
+          "shard.unit." + st.unit.Id() + ".frames_total",
+          static_cast<double>(st.unit.TotalFrames()));
+    obs::SnapshotOptions snap;
+    snap.interval = std::chrono::milliseconds(options.snapshot_interval_ms);
+    snap.latest_json_path = options.snapshot_latest_path;
+    snap.history_jsonl_path = options.snapshot_history_path;
+    publisher = std::make_unique<obs::SnapshotPublisher>(*options.metrics,
+                                                         std::move(snap));
+    next_snapshot = Clock::now() +
+                    std::chrono::milliseconds(options.snapshot_interval_ms);
+  }
 
   bool sent_interrupt = false;
   for (;;) {
@@ -310,6 +388,7 @@ CoordinatorReport RunCoordinator(const std::vector<WorkUnit>& units,
           log(st.unit.Id() + ": timeout after " +
               std::to_string(running_s) + "s, killing worker");
           bk.Count(bk.timeouts);
+          jot("timeout", {{"unit", st.unit.Id()}});
           st.timed_out = true;
           ::kill(st.pid, SIGKILL);
         }
@@ -338,6 +417,30 @@ CoordinatorReport RunCoordinator(const std::vector<WorkUnit>& units,
         dispatch(st);
         ++running;
       }
+    }
+
+    // 4b. Live observability tick: refresh per-shard progress gauges
+    // by scanning checkpoints this coordinator already owns (the
+    // non-counting scan — a worker mid-write must not look like a
+    // rejected checkpoint), re-publish the ledger gauges, and emit one
+    // snapshot. Inline on this thread — see the publisher comment.
+    if (publisher != nullptr && Clock::now() >= next_snapshot) {
+      for (auto& st : shards) {
+        if (st.status != ShardState::Status::kRunning) continue;
+        const std::uint64_t banked = scan_banked_frames(st);
+        if (banked > st.latest_frames) {
+          st.latest_frames = banked;
+          jot("checkpoint_bank",
+              {{"unit", st.unit.Id()}, {"frames", banked}});
+        }
+        options.metrics->SetGauge(
+            "shard.unit." + st.unit.Id() + ".frames_banked",
+            static_cast<double>(st.latest_frames));
+      }
+      publish_ledger_gauges(false);
+      publisher->PublishNow(false);
+      next_snapshot = Clock::now() +
+                      std::chrono::milliseconds(options.snapshot_interval_ms);
     }
 
     // 5. Exit when nothing is running and nothing more will be.
@@ -391,16 +494,18 @@ CoordinatorReport RunCoordinator(const std::vector<WorkUnit>& units,
     report.merged = MergeShardResults(results);
   }
 
-  if (options.metrics) {
-    options.metrics->SetGauge("shard.frames_assigned",
-                              static_cast<double>(report.frames_assigned));
-    options.metrics->SetGauge("shard.frames_merged",
-                              static_cast<double>(report.frames_merged));
-    options.metrics->SetGauge("shard.frames_in_flight",
-                              static_cast<double>(report.frames_in_flight));
-    options.metrics->SetGauge(
-        "shard.frames_lost_and_retried",
-        static_cast<double>(report.frames_lost_and_retried));
+  publish_ledger_gauges(/*final_totals=*/true);
+  jot("coordinator_done", {{"merged_shards", report.merged_shards},
+                           {"all_complete", report.all_complete ? 1 : 0},
+                           {"interrupted", report.interrupted ? 1 : 0}});
+  if (publisher != nullptr) {
+    for (const auto& st : shards)
+      options.metrics->SetGauge(
+          "shard.unit." + st.unit.Id() + ".frames_banked",
+          static_cast<double>(st.status == ShardState::Status::kDone
+                                  ? st.unit.TotalFrames()
+                                  : st.latest_frames));
+    publisher->Stop();  // never Start()ed: publishes the final snapshot
   }
   return report;
 }

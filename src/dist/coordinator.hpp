@@ -56,6 +56,7 @@
 
 namespace cldpc::obs {
 class MetricsRegistry;
+class EventJournal;
 }
 
 namespace cldpc::dist {
@@ -93,6 +94,21 @@ struct CoordinatorOptions {
   /// Coordinator-side bookkeeping metrics (borrowed): shard.*
   /// counters and the accounting gauges.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Live observability (all optional, all borrowed). With metrics
+  /// set and snapshot_interval_ms > 0, the coordinator runs a
+  /// SnapshotPublisher for its run: the main loop keeps the ledger
+  /// gauges (shard.frames_*) and per-shard progress gauges
+  /// (shard.unit.<id>.frames_banked / .frames_total, from scanning
+  /// the checkpoints it already owns) current, and the publisher
+  /// serializes them on the interval.
+  std::int64_t snapshot_interval_ms = 0;
+  /// Atomic-rename latest-snapshot JSON ("" = skip).
+  std::string snapshot_latest_path;
+  /// Append-only snapshot history JSONL ("" = skip).
+  std::string snapshot_history_path;
+  /// cldpc-events-v1 journal for dispatch/reap/retry/timeout/bank
+  /// transitions (null = off).
+  obs::EventJournal* journal = nullptr;
   /// Called after each shard merge with the 0-based merge index and
   /// the shard's result (e.g. progress logging, or the fault
   /// harness's coordinator-kill hook).

@@ -1,0 +1,83 @@
+#include "obs/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace cldpc::obs {
+
+EventJournal::EventJournal(EventJournalOptions options)
+    : options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()) {
+  fd_ = ::open(options_.path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+               0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("journal: cannot open " + options_.path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+EventJournal::~EventJournal() { Close(); }
+
+void EventJournal::Append(const char* kind, const char* source,
+                          std::initializer_list<JournalArg> args) {
+  using util::JsonValue;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;  // closed: late events are dropped, not UB
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", JsonValue::Str("cldpc-events-v1"));
+  doc.Set("seq", JsonValue::Uint(seq_));
+  doc.Set("t_ms", JsonValue::Uint(static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - epoch_)
+                          .count())));
+  doc.Set("kind", JsonValue::Str(kind));
+  doc.Set("source", JsonValue::Str(source));
+  JsonValue arg_obj = JsonValue::Object();
+  for (const auto& a : args) {
+    arg_obj.Set(a.key, a.is_string ? JsonValue::Str(a.str)
+                                   : JsonValue::Int(a.num));
+  }
+  doc.Set("args", std::move(arg_obj));
+
+  const std::string line = doc.Serialize() + "\n";
+  // One write(2) per line to an O_APPEND fd: concurrent appends from
+  // the mutex's perspective are already serialized; O_APPEND makes
+  // even an external tail-reader see whole lines only.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // journal is observational: never take the run down
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ++seq_;
+  if (options_.fsync_every != 0 && ++unsynced_ >= options_.fsync_every) {
+    ::fsync(fd_);
+    unsynced_ = 0;
+  }
+}
+
+void EventJournal::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::uint64_t EventJournal::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+}  // namespace cldpc::obs

@@ -1,0 +1,105 @@
+// Structured event journal: an append-only JSONL record of discrete
+// state transitions (shed-tier changes, client drops, fault
+// injections, shard dispatch/reap/retry, checkpoint banking) so a
+// post-mortem of a chaotic fault run never requires rerunning it.
+//
+// ## Event schema ("cldpc-events-v1"), one JSON object per line
+//
+//   {
+//     "schema": "cldpc-events-v1",
+//     "seq": <uint>,      // 0-based, contiguous per journal
+//     "t_ms": <uint>,     // since the journal opened (monotonic)
+//     "kind": "<str>",    // closed set below
+//     "source": "<str>",  // subsystem: "serve" | "dist" | ...
+//     "args": { "<key>": <int>|"<str>", ... }
+//   }
+//
+// Closed kind set (bench/check_bench_regression.py --validate-events
+// enforces it; extend both places together):
+//
+//   serve: "tier_change", "client_drop", "fault_stall",
+//          "fault_throw", "service_stop"
+//   dist:  "dispatch", "reap_merge", "reap_retry",
+//          "reap_interrupted", "timeout", "retries_exhausted",
+//          "checkpoint_bank", "coordinator_done"
+//
+// Fault events are appended at exactly the sites that increment the
+// fault counters, so `count(fault_*) == faults_injected` and every
+// journaled decision replays bit-exactly against the seed's
+// FaultInjector oracle — the load_generator verifies this.
+//
+// ## Durability and threading
+//
+// Lines are written with one write(2) each to an O_APPEND fd and
+// fsync'd every `fsync_every` events plus at Close() — the same
+// "on-disk or not, never torn" discipline as util::WriteFileAtomic,
+// adapted to an append-only stream (a crash loses at most the last
+// fsync window). Append() is thread-safe (mutex; events are rare
+// relative to frames). Everything here is wall-clock observation:
+// journaling on/off never changes decode results.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+
+namespace cldpc::obs {
+
+/// One "args" entry: integer or string payloads only (what tooling
+/// can diff and replay).
+struct JournalArg {
+  JournalArg(const char* k, std::int64_t v) : key(k), num(v) {}
+  JournalArg(const char* k, std::uint64_t v)
+      : key(k), num(static_cast<std::int64_t>(v)) {}
+  JournalArg(const char* k, int v) : key(k), num(v) {}
+  JournalArg(const char* k, const std::string& v)
+      : key(k), is_string(true), str(v) {}
+  JournalArg(const char* k, const char* v) : key(k), is_string(true), str(v) {}
+
+  const char* key;
+  bool is_string = false;
+  std::int64_t num = 0;
+  std::string str;
+};
+
+struct EventJournalOptions {
+  std::string path;
+  /// fsync after every N appended events (0 = only at Close).
+  std::uint64_t fsync_every = 64;
+};
+
+/// Append-only cldpc-events-v1 writer. Opens (truncating — each run
+/// owns its journal) on construction; throws std::runtime_error if
+/// the file cannot be opened. Close() is idempotent and run by the
+/// destructor.
+class EventJournal {
+ public:
+  explicit EventJournal(EventJournalOptions options);
+  ~EventJournal();
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  /// Append one event. `kind` and `source` must come from the closed
+  /// sets above. Thread-safe.
+  void Append(const char* kind, const char* source,
+              std::initializer_list<JournalArg> args);
+
+  /// fsync what is buffered and close the fd. Idempotent.
+  void Close();
+
+  std::uint64_t entries() const;
+  const std::string& path() const { return options_.path; }
+
+ private:
+  EventJournalOptions options_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::uint64_t seq_ = 0;
+  std::uint64_t unsynced_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace cldpc::obs

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace cldpc::obs {
@@ -38,11 +40,15 @@ HistogramId MetricsRegistry::Hist(const std::string& name, Determinism det,
   const auto id = static_cast<std::uint32_t>(hist_defs_.size());
   hist_defs_.push_back({name, det, unit});
   hist_index_.emplace(name, id);
-  for (auto& shard : shards_) shard->hists_.resize(hist_defs_.size());
+  for (auto& shard : shards_) {
+    shard->hists_.resize(hist_defs_.size());
+    shard->live_hists_.resize(hist_defs_.size());
+  }
   return {id};
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(gauge_mutex_);
   const auto it = gauge_index_.find(name);
   if (it != gauge_index_.end()) {
     gauges_[it->second].second = value;
@@ -65,11 +71,13 @@ void MetricsRegistry::SetShardCount(std::size_t n) {
   for (const auto& shard : shards_) {
     shard->counters_.resize(counter_defs_.size(), 0);
     shard->hists_.resize(hist_defs_.size());
+    shard->live_hists_.resize(hist_defs_.size());
   }
   while (shards_.size() < n) {
     auto shard = std::make_unique<Shard>();
     shard->counters_.resize(counter_defs_.size(), 0);
     shard->hists_.resize(hist_defs_.size());
+    shard->live_hists_.resize(hist_defs_.size());
     shard->epoch_ = epoch_;
     shard->tracing_ = tracing_;
     shards_.push_back(std::move(shard));
@@ -79,7 +87,8 @@ void MetricsRegistry::SetShardCount(std::size_t n) {
 std::uint64_t MetricsRegistry::MergedCounter(CounterId id) const {
   CLDPC_EXPECTS(id.valid(), "unregistered counter");
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->counters_[id.v];
+  for (const auto& shard : shards_)
+    total += detail::RelaxedLoad(shard->counters_[id.v]);
   return total;
 }
 
@@ -99,8 +108,72 @@ MergedMetrics MetricsRegistry::Merge() const {
     for (const auto& shard : shards_) merged.hist.Merge(shard->hists_[h]);
     out.histograms.push_back(std::move(merged));
   }
-  out.gauges.reserve(gauges_.size());
-  for (const auto& [name, value] : gauges_) out.gauges.push_back({name, value});
+  {
+    std::lock_guard<std::mutex> lock(gauge_mutex_);
+    out.gauges.reserve(gauges_.size());
+    for (const auto& [name, value] : gauges_)
+      out.gauges.push_back({name, value});
+  }
+  return out;
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  namespace d = detail;
+  RegistrySnapshot out;
+  out.counters.reserve(counter_defs_.size());
+  for (std::uint32_t c = 0; c < counter_defs_.size(); ++c) {
+    out.counters.push_back(
+        {counter_defs_[c].name, counter_defs_[c].det, MergedCounter({c})});
+  }
+  out.histograms.reserve(hist_defs_.size());
+  for (std::uint32_t h = 0; h < hist_defs_.size(); ++h) {
+    RegistrySnapshot::Hist merged;
+    merged.name = hist_defs_[h].name;
+    merged.det = hist_defs_[h].det;
+    merged.unit = hist_defs_[h].unit;
+    std::int64_t sum = 0;
+    bool any = false;
+    for (const auto& shard : shards_) {
+      const LiveHist& live = shard->live_hists_[h];
+      // Per-shard emptiness via the writer-maintained count; the
+      // merged count below is re-derived from the bucket sum so one
+      // snapshot can never report count > bucket mass.
+      if (d::RelaxedLoad(live.count) == 0) continue;
+      const std::int64_t lo = d::RelaxedLoad(live.min);
+      const std::int64_t hi = d::RelaxedLoad(live.max);
+      merged.min = any ? std::min(merged.min, lo) : lo;
+      merged.max = any ? std::max(merged.max, hi) : hi;
+      any = true;
+      sum += d::RelaxedLoad(live.sum);
+      for (std::size_t b = 0; b < kLiveHistBuckets; ++b)
+        merged.buckets[b] += d::RelaxedLoad(live.buckets[b]);
+    }
+    for (std::size_t b = 0; b < kLiveHistBuckets; ++b)
+      merged.count += merged.buckets[b];
+    if (merged.count > 0) {
+      merged.mean =
+          static_cast<double>(sum) / static_cast<double>(merged.count);
+      const auto quantile = [&](double q) {
+        const auto rank = static_cast<std::uint64_t>(
+            q * static_cast<double>(merged.count - 1));
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < kLiveHistBuckets; ++b) {
+          seen += merged.buckets[b];
+          if (seen > rank) return LiveBucketUpperBound(b);
+        }
+        return merged.max;
+      };
+      merged.p50 = quantile(0.50);
+      merged.p99 = quantile(0.99);
+    }
+    out.histograms.push_back(std::move(merged));
+  }
+  {
+    std::lock_guard<std::mutex> lock(gauge_mutex_);
+    out.gauges.reserve(gauges_.size());
+    for (const auto& [name, value] : gauges_)
+      out.gauges.push_back({name, value});
+  }
   return out;
 }
 

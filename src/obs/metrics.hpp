@@ -30,17 +30,36 @@
 //
 // ## Threading contract
 //
-// Registration, SetShardCount, SetGauge, Merge and the exporters are
+// Registration, SetShardCount, Merge and the exporters are
 // control-plane: call them from one thread while no worker is
 // recording. Shard::Add/Record/events are data-plane: each shard may
 // be driven by exactly one thread at a time. Register every metric
 // BEFORE SetShardCount — shard storage is sized then.
+//
+// Snapshot() and SetGauge() are the exception: they may run
+// concurrently with data-plane recording (the snapshot publisher
+// lives on its own thread). Counter cells and the live histogram
+// stats are plain words accessed through relaxed std::atomic_ref on
+// both sides — the single-writer discipline means the writer's
+// load+add+store compiles to the same code as a plain `+=`, and the
+// reader never tears. A snapshot is therefore exact per cell but may
+// be racy-by-a-batch ACROSS cells (e.g. serve.ok sampled an instant
+// before the matching tier counter); final post-Stop reads are exact.
+// The exact std::map histograms stay writer-only; snapshots read the
+// parallel LiveHist stats instead (log2-bucket approximation), so
+// they never touch node-based containers mid-mutation. Gauges are
+// mutex-protected. Registration/SetShardCount remain control-plane
+// only: they resize the cell storage a concurrent snapshot walks.
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -77,19 +96,78 @@ struct TraceEvent {
 
 class MetricsRegistry;
 
+namespace detail {
+/// Single-writer cells read live by Snapshot(): relaxed atomic_ref on
+/// plain storage. The writer side is load+add+store (NOT fetch_add) —
+/// with one writer per cell that is exact, and it keeps the hot path
+/// free of lock-prefixed instructions.
+template <typename T>
+inline T RelaxedLoad(const T& cell) {
+  return std::atomic_ref<T>(const_cast<T&>(cell))
+      .load(std::memory_order_relaxed);
+}
+template <typename T>
+inline void RelaxedStore(T& cell, T value) {
+  std::atomic_ref<T>(cell).store(value, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+/// Log2-magnitude buckets for the live histogram view: bucket 0 holds
+/// values <= 0, bucket b >= 1 holds [2^(b-1), 2^b - 1]. 64 buckets
+/// cover the full non-negative int64 range.
+inline constexpr std::size_t kLiveHistBuckets = 64;
+
+inline std::size_t LiveBucketFor(std::int64_t value) {
+  if (value <= 0) return 0;
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(value)));
+}
+
+/// Inclusive upper bound of a bucket — what live quantiles report.
+inline std::int64_t LiveBucketUpperBound(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 63) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+/// Snapshot-readable histogram stats maintained next to the exact
+/// std::map histogram: trivially-copyable words only, every field
+/// accessed through relaxed atomic_ref. `count` is redundant with the
+/// bucket sum for the writer; snapshot readers derive their count
+/// FROM the bucket sum so each snapshot is internally consistent.
+struct LiveHist {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // valid only while count > 0
+  std::int64_t max = 0;
+  std::uint64_t buckets[kLiveHistBuckets] = {};
+};
+
 /// Per-worker metric storage. Obtained from MetricsRegistry::shard();
 /// recording is unsynchronized, so a shard must only ever be driven
 /// by one thread at a time (the engine hands shard w to worker w).
 class Shard {
  public:
   void Add(CounterId id, std::uint64_t delta = 1) {
-    counters_[id.v] += delta;
+    auto& cell = counters_[id.v];
+    detail::RelaxedStore(cell, detail::RelaxedLoad(cell) + delta);
   }
-  void Record(HistogramId id, std::int64_t value) { hists_[id.v].Add(value); }
+  /// Absolute store. Lets control-plane code republish running totals
+  /// it maintains elsewhere (the decode service's terminal-state
+  /// atomics) idempotently: syncing before every snapshot AND at Stop
+  /// yields the same final value, unlike repeated Add.
+  void Set(CounterId id, std::uint64_t value) {
+    detail::RelaxedStore(counters_[id.v], value);
+  }
+  void Record(HistogramId id, std::int64_t value) {
+    hists_[id.v].Add(value);
+    LiveAdd(live_hists_[id.v], value, 1);
+  }
   /// Bulk variant for replaying pre-aggregated bins (the dist layer
   /// republishes merged shard histograms through this).
   void Record(HistogramId id, std::int64_t value, std::uint64_t count) {
     hists_[id.v].Add(value, count);
+    LiveAdd(live_hists_[id.v], value, count);
   }
 
   bool tracing() const { return tracing_; }
@@ -104,8 +182,27 @@ class Shard {
 
  private:
   friend class MetricsRegistry;
+
+  static void LiveAdd(LiveHist& h, std::int64_t value, std::uint64_t count) {
+    namespace d = detail;
+    const std::uint64_t before = d::RelaxedLoad(h.count);
+    if (before == 0) {
+      d::RelaxedStore(h.min, value);
+      d::RelaxedStore(h.max, value);
+    } else {
+      if (value < d::RelaxedLoad(h.min)) d::RelaxedStore(h.min, value);
+      if (value > d::RelaxedLoad(h.max)) d::RelaxedStore(h.max, value);
+    }
+    d::RelaxedStore(h.sum, d::RelaxedLoad(h.sum) +
+                               value * static_cast<std::int64_t>(count));
+    auto& bucket = h.buckets[LiveBucketFor(value)];
+    d::RelaxedStore(bucket, d::RelaxedLoad(bucket) + count);
+    d::RelaxedStore(h.count, before + count);
+  }
+
   std::vector<std::uint64_t> counters_;
   std::vector<Histogram> hists_;
+  std::vector<LiveHist> live_hists_;
   std::vector<TraceEvent> events_;
   std::chrono::steady_clock::time_point epoch_;
   bool tracing_ = false;
@@ -134,6 +231,39 @@ struct MergedMetrics {
   std::vector<Gauge> gauges;  // always wall-clock / run-dependent
 };
 
+/// Live view produced by MetricsRegistry::Snapshot() — safe to take
+/// while workers record. Counters are exact per cell; histogram stats
+/// come from the LiveHist log2 buckets, so p50/p99 are bucket UPPER
+/// BOUNDS (within 2x of the true quantile), and cross-metric skew of
+/// up to one in-flight batch is expected. After the data plane stops,
+/// a snapshot equals the exact Merge() counters.
+struct RegistrySnapshot {
+  struct Counter {
+    std::string name;
+    Determinism det;
+    std::uint64_t value;
+  };
+  struct Hist {
+    std::string name;
+    Determinism det;
+    std::string unit;
+    std::uint64_t count = 0;
+    std::int64_t min = 0;  // valid only when count > 0
+    std::int64_t max = 0;
+    double mean = 0.0;
+    std::int64_t p50 = 0;  // log2-bucket upper bound
+    std::int64_t p99 = 0;
+    std::uint64_t buckets[kLiveHistBuckets] = {};
+  };
+  struct Gauge {
+    std::string name;
+    double value;
+  };
+  std::vector<Counter> counters;
+  std::vector<Hist> histograms;
+  std::vector<Gauge> gauges;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry();
@@ -148,6 +278,7 @@ class MetricsRegistry {
 
   /// Set a named gauge (control-plane values: elapsed seconds,
   /// frames/s, ...). Gauges are always treated as run-dependent.
+  /// Thread-safe (mutex) — callable while a snapshot is in flight.
   void SetGauge(const std::string& name, double value);
 
   /// Turn on trace-event collection. Call before SetShardCount.
@@ -170,6 +301,11 @@ class MetricsRegistry {
   /// makes kStable metrics thread-count-invariant.
   MergedMetrics Merge() const;
 
+  /// Live, non-stalling read of every counter and live-histogram stat
+  /// across all shards (see RegistrySnapshot). Never blocks or
+  /// perturbs the data plane; call from at most one thread at a time.
+  RegistrySnapshot Snapshot() const;
+
   /// All trace events, tagged with their shard index (chrome tid).
   std::vector<std::pair<std::size_t, TraceEvent>> CollectTrace() const;
 
@@ -189,6 +325,7 @@ class MetricsRegistry {
   std::map<std::string, std::uint32_t> counter_index_;
   std::map<std::string, std::uint32_t> hist_index_;
   std::vector<std::unique_ptr<Shard>> shards_;  // stable addresses
+  mutable std::mutex gauge_mutex_;
   std::vector<std::pair<std::string, double>> gauges_;
   std::map<std::string, std::size_t> gauge_index_;
   std::chrono::steady_clock::time_point epoch_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ldpc/core/registry.hpp"
+#include "obs/journal.hpp"
 #include "util/contracts.hpp"
 
 namespace cldpc::serve {
@@ -31,6 +32,10 @@ std::int64_t ElapsedUs(ServiceClock::time_point since,
   return std::chrono::duration_cast<std::chrono::microseconds>(now - since)
       .count();
 }
+
+/// "req.queue" span status for a request proceeding to decode (the
+/// terminal statuses reuse the Status enum's values 0..3).
+constexpr int kSpanProceed = -1;
 
 }  // namespace
 
@@ -65,13 +70,13 @@ bool DecodeClient::WaitPop(DecodeResponse& out,
   return true;
 }
 
-void DecodeClient::Deliver(DecodeResponse&& response) {
+bool DecodeClient::Deliver(DecodeResponse&& response) {
   if (!ring_.TryPush(response)) {
     // Slow consumer: the client's ring is full. Drop and count — the
     // service must never block on (or buffer unboundedly for) a
     // client that stopped draining.
     dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return false;
   }
   {
     // Empty critical section: serializes with WaitPop's empty-check
@@ -79,6 +84,7 @@ void DecodeClient::Deliver(DecodeResponse&& response) {
     std::lock_guard<std::mutex> lock(mutex_);
   }
   ready_.notify_one();
+  return true;
 }
 
 // Registered ids of the serve.* metric family. Every value is
@@ -88,7 +94,7 @@ struct DecodeService::Metrics {
   obs::MetricsRegistry* reg;
   obs::CounterId submitted, rejected_full, rejected_malformed,
       rejected_shutdown, admitted, ok, shed_expired, failed, shed_shutdown,
-      responses_dropped, faults_injected;
+      responses_dropped, faults_injected, check_accepted, check_rejected;
   obs::CounterId tiers[kNumShedTiers];
   obs::HistogramId admission_us, decode_us, queue_depth;
   std::size_t dispatcher_shard;
@@ -106,6 +112,8 @@ struct DecodeService::Metrics {
     shed_shutdown = r.Counter("serve.shed_shutdown", D::kScheduling);
     responses_dropped = r.Counter("serve.responses_dropped", D::kScheduling);
     faults_injected = r.Counter("serve.faults_injected", D::kScheduling);
+    check_accepted = r.Counter("serve.check_accepted", D::kScheduling);
+    check_rejected = r.Counter("serve.check_rejected", D::kScheduling);
     tiers[0] = r.Counter("serve.tier0_frames", D::kScheduling);
     tiers[1] = r.Counter("serve.tier1_frames", D::kScheduling);
     tiers[2] = r.Counter("serve.tier2_frames", D::kScheduling);
@@ -189,6 +197,14 @@ Admission DecodeService::Submit(DecodeClient& client, std::uint64_t id,
   request.llrs = std::move(llrs);
   request.deadline = deadline;
   request.submitted = ServiceClock::now();
+  // Lifecycle trace id: monotonic, assigned before the push (the ring
+  // owns the request afterwards). A rejected-full push burns its id —
+  // ids stay unique and ordered, with gaps at rejections.
+  request.trace_id = trace_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t every = config_.trace_sample_every;
+  request.trace_sampled =
+      every != 0 && metrics_ != nullptr &&
+      request.trace_id % every == config_.faults.seed % every;
   if (!ring_.TryPush(request)) {
     // Admission control: the ring is the ONLY queue, and it is full.
     // Reject now — the client learns immediately and can back off;
@@ -245,13 +261,23 @@ void DecodeService::DispatcherLoop() {
 
     const int tier = TierFor(config_.shed, occupancy, ring_.capacity());
     const auto now = ServiceClock::now();
-    if (metrics_) {
-      auto& shard = metrics_->reg->shard(metrics_->dispatcher_shard);
-      shard.Record(metrics_->queue_depth,
-                   static_cast<std::int64_t>(occupancy));
-      for (const auto& r : batch)
-        shard.Record(metrics_->admission_us, ElapsedUs(r.submitted, now));
+    if (config_.journal != nullptr && tier != journal_last_tier_) {
+      config_.journal->Append(
+          "tier_change", "serve",
+          {{"tier", tier},
+           {"occupancy", static_cast<std::int64_t>(occupancy)}});
+      journal_last_tier_ = tier;
     }
+    obs::Shard* dispatcher_shard =
+        metrics_ ? &metrics_->reg->shard(metrics_->dispatcher_shard) : nullptr;
+    if (dispatcher_shard) {
+      dispatcher_shard->Record(metrics_->queue_depth,
+                               static_cast<std::int64_t>(occupancy));
+      for (const auto& r : batch)
+        dispatcher_shard->Record(metrics_->admission_us,
+                                 ElapsedUs(r.submitted, now));
+    }
+    for (auto& r : batch) r.dequeued = now;
 
     // Deadline shedding happens before any decode work is spent and
     // regardless of tier; under drain-on-stop it keeps applying, so a
@@ -260,6 +286,10 @@ void DecodeService::DispatcherLoop() {
     live.reserve(batch.size());
     for (auto& r : batch) {
       if (now >= r.deadline) {
+        if (r.trace_sampled)
+          EmitSpan(dispatcher_shard, "req.queue",
+                   ElapsedUs(r.submitted, now), r.trace_id, tier,
+                   static_cast<int>(Status::kShedExpired));
         DecodeResponse response;
         response.id = r.id;
         response.status = Status::kShedExpired;
@@ -268,6 +298,10 @@ void DecodeService::DispatcherLoop() {
         Finish(r, std::move(response));
       } else if (stopping_.load(std::memory_order_acquire) &&
                  !config_.drain_on_stop) {
+        if (r.trace_sampled)
+          EmitSpan(dispatcher_shard, "req.queue",
+                   ElapsedUs(r.submitted, now), r.trace_id, tier,
+                   static_cast<int>(Status::kShedShutdown));
         DecodeResponse response;
         response.id = r.id;
         response.status = Status::kShedShutdown;
@@ -275,6 +309,10 @@ void DecodeService::DispatcherLoop() {
         shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
         Finish(r, std::move(response));
       } else {
+        if (r.trace_sampled)
+          EmitSpan(dispatcher_shard, "req.queue",
+                   ElapsedUs(r.submitted, now), r.trace_id, tier,
+                   kSpanProceed);
         live.push_back(std::move(r));
       }
     }
@@ -304,6 +342,12 @@ void DecodeService::DecodeBatchJob(std::vector<Request> batch, int tier,
 
   if (faults_.StallBatch(batch_id)) {
     faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.journal != nullptr) {
+      config_.journal->Append(
+          "fault_stall", "serve",
+          {{"batch_id", batch_id},
+           {"stall_us", static_cast<std::int64_t>(config_.faults.stall_us)}});
+    }
     std::this_thread::sleep_for(
         std::chrono::microseconds(config_.faults.stall_us));
   }
@@ -329,6 +373,15 @@ void DecodeService::DecodeBatchJob(std::vector<Request> batch, int tier,
     response.iterations = decoded.iterations_run;
     response.converged = decoded.converged;
     response.tier = tier;
+    if (config_.frame_check) {
+      // The catalog CRC hook: an ok decode whose check fails is still
+      // delivered (the caller decides what a failed CRC means), but
+      // both verdicts are counted so UER is computable downstream.
+      response.checked = true;
+      response.check_passed = config_.frame_check(response.bits);
+      (response.check_passed ? check_accepted_ : check_rejected_)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
     ok_.fetch_add(1, std::memory_order_relaxed);
     tier_frames_[static_cast<std::size_t>(tier)].fetch_add(
         1, std::memory_order_relaxed);
@@ -337,6 +390,10 @@ void DecodeService::DecodeBatchJob(std::vector<Request> batch, int tier,
                     ElapsedUs(request.submitted, ServiceClock::now()));
       shard->Add(metrics_->tiers[static_cast<std::size_t>(tier)]);
     }
+    if (request.trace_sampled)
+      EmitSpan(shard, "req.decode",
+               ElapsedUs(request.dequeued, ServiceClock::now()),
+               request.trace_id, tier, static_cast<int>(Status::kOk));
     Finish(request, std::move(response));
   };
   auto finish_failed = [&](Request& request) {
@@ -345,6 +402,10 @@ void DecodeService::DecodeBatchJob(std::vector<Request> batch, int tier,
     response.status = Status::kFailed;
     response.tier = tier;
     failed_.fetch_add(1, std::memory_order_relaxed);
+    if (request.trace_sampled)
+      EmitSpan(shard, "req.decode",
+               ElapsedUs(request.dequeued, ServiceClock::now()),
+               request.trace_id, tier, static_cast<int>(Status::kFailed));
     Finish(request, std::move(response));
   };
 
@@ -354,6 +415,13 @@ void DecodeService::DecodeBatchJob(std::vector<Request> batch, int tier,
     for (const auto& request : batch) {
       if (faults_.ThrowInDecode(request.id)) {
         faults_injected_.fetch_add(1, std::memory_order_relaxed);
+        // Journaled here and ONLY here (the fallback loop re-checks
+        // the oracle without re-counting), so journaled fault events
+        // equal stats.faults_injected exactly.
+        if (config_.journal != nullptr) {
+          config_.journal->Append("fault_throw", "serve",
+                                  {{"frame_id", request.id}});
+        }
         throw InjectedDecodeError(request.id);
       }
     }
@@ -382,7 +450,33 @@ void DecodeService::DecodeBatchJob(std::vector<Request> batch, int tier,
 
 void DecodeService::Finish(Request& request, DecodeResponse&& response) {
   response.latency_us = ElapsedUs(request.submitted, ServiceClock::now());
-  request.client->Deliver(std::move(response));
+  response.trace_id = request.trace_id;
+  const std::uint64_t id = request.id;
+  const std::uint32_t client_id = request.client->id();
+  if (!request.client->Deliver(std::move(response)) &&
+      config_.journal != nullptr) {
+    config_.journal->Append(
+        "client_drop", "serve",
+        {{"client", static_cast<std::int64_t>(client_id)}, {"frame_id", id}});
+  }
+}
+
+void DecodeService::EmitSpan(obs::Shard* shard, const char* name,
+                             std::int64_t dur_us, std::uint64_t trace_id,
+                             int tier, int status) {
+  if (shard == nullptr || !shard->tracing()) return;
+  obs::TraceEvent ev;
+  ev.name = name;
+  ev.dur_ns = dur_us > 0 ? static_cast<std::uint64_t>(dur_us) * 1000 : 0;
+  const std::uint64_t now_ns = shard->NowNs();
+  ev.ts_ns = now_ns > ev.dur_ns ? now_ns - ev.dur_ns : 0;
+  ev.arg_names[0] = "trace_id";
+  ev.arg_values[0] = static_cast<std::int64_t>(trace_id);
+  ev.arg_names[1] = "tier";
+  ev.arg_values[1] = tier;
+  ev.arg_names[2] = "status";
+  ev.arg_values[2] = status;
+  shard->PushEvent(ev);
 }
 
 void DecodeService::Stop() {
@@ -407,7 +501,14 @@ void DecodeService::Stop() {
       shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
       Finish(request, std::move(response));
     }
-    FlushCountersToMetrics();
+    SyncMetricsCounters();
+    if (config_.journal != nullptr) {
+      const ServiceStats s = Stats();
+      config_.journal->Append("service_stop", "serve",
+                              {{"submitted", s.submitted},
+                               {"ok", s.ok},
+                               {"faults_injected", s.faults_injected}});
+    }
   });
 }
 
@@ -423,6 +524,8 @@ ServiceStats DecodeService::Stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
   s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  s.check_accepted = check_accepted_.load(std::memory_order_relaxed);
+  s.check_rejected = check_rejected_.load(std::memory_order_relaxed);
   for (int t = 0; t < kNumShedTiers; ++t)
     s.tier_frames[t] = tier_frames_[t].load(std::memory_order_relaxed);
   {
@@ -433,21 +536,28 @@ ServiceStats DecodeService::Stats() const {
   return s;
 }
 
-void DecodeService::FlushCountersToMetrics() {
+void DecodeService::SyncMetricsCounters() {
   if (!metrics_) return;
+  // Absolute stores into the dispatcher shard (whose counter cells
+  // nothing else writes): idempotent, so this runs safely both live
+  // (snapshot publisher's pre-snapshot hook) and at Stop(). The tier
+  // counters are excluded — workers Add those live in their own
+  // shards.
   const ServiceStats s = Stats();
   auto& shard = metrics_->reg->shard(metrics_->dispatcher_shard);
-  shard.Add(metrics_->submitted, s.submitted);
-  shard.Add(metrics_->rejected_full, s.rejected_full);
-  shard.Add(metrics_->rejected_malformed, s.rejected_malformed);
-  shard.Add(metrics_->rejected_shutdown, s.rejected_shutdown);
-  shard.Add(metrics_->admitted, s.admitted);
-  shard.Add(metrics_->ok, s.ok);
-  shard.Add(metrics_->shed_expired, s.shed_expired);
-  shard.Add(metrics_->failed, s.failed);
-  shard.Add(metrics_->shed_shutdown, s.shed_shutdown);
-  shard.Add(metrics_->responses_dropped, s.responses_dropped);
-  shard.Add(metrics_->faults_injected, s.faults_injected);
+  shard.Set(metrics_->submitted, s.submitted);
+  shard.Set(metrics_->rejected_full, s.rejected_full);
+  shard.Set(metrics_->rejected_malformed, s.rejected_malformed);
+  shard.Set(metrics_->rejected_shutdown, s.rejected_shutdown);
+  shard.Set(metrics_->admitted, s.admitted);
+  shard.Set(metrics_->ok, s.ok);
+  shard.Set(metrics_->shed_expired, s.shed_expired);
+  shard.Set(metrics_->failed, s.failed);
+  shard.Set(metrics_->shed_shutdown, s.shed_shutdown);
+  shard.Set(metrics_->responses_dropped, s.responses_dropped);
+  shard.Set(metrics_->faults_injected, s.faults_injected);
+  shard.Set(metrics_->check_accepted, s.check_accepted);
+  shard.Set(metrics_->check_rejected, s.check_rejected);
 }
 
 }  // namespace cldpc::serve

@@ -47,6 +47,16 @@
 // unaffected (it was decoded; delivery failed), and the service never
 // blocks on a client.
 //
+// ## Frame checks (UER)
+//
+// With ServiceConfig::frame_check set (the catalog CRC hook), every
+// kOk decode's hard decisions are checked before delivery; the
+// response carries the verdict and the service counts
+// serve.check_accepted / serve.check_rejected (ok == accepted +
+// rejected when armed). An UNDETECTED error — check passed but bits
+// wrong — is only observable by a caller holding the ground truth;
+// the load_generator computes serve.undetected and the UER from it.
+//
 // ## Faults, metrics, shutdown
 //
 // A FaultPlan (serve/fault.hpp) injects worker stalls and per-frame
@@ -59,8 +69,27 @@
 // metric family (counters for every terminal state, tier counters,
 // admission/decode latency and queue-depth histograms — glossary in
 // the README) and exports through the standard cldpc-metrics-v1
-// surface. Counter totals are flushed on Stop(); live histograms are
-// recorded into per-worker shards like the engine's.
+// surface. Counter totals are published with SyncMetricsCounters() —
+// absolute, idempotent stores the snapshot publisher's pre-snapshot
+// hook calls live and Stop() calls once more for the exact finale;
+// live histograms are recorded into per-worker shards like the
+// engine's.
+//
+// ## Lifecycle tracing and the event journal
+//
+// Every admitted request gets a monotonic trace id (echoed in its
+// response). With the registry's tracing enabled and
+// trace_sample_every = N, every request whose id satisfies the
+// seed-deterministic sampling rule (trace_id % N == faults.seed % N)
+// emits request-scoped chrome://tracing spans: "req.queue" (submit ->
+// dequeue, dispatcher track) and "req.decode" (dequeue -> terminal,
+// worker track), each carrying trace_id / tier / status args.
+// Sampling keeps the hot path inside the telemetry overhead budget
+// (bench/OBS_OVERHEAD.md). With ServiceConfig::journal set, discrete
+// transitions (shed-tier changes, client drops, injected faults,
+// stop) are appended as cldpc-events-v1 lines — fault events at
+// exactly the counter-increment sites, so the journal replays against
+// the FaultInjector oracle bit-exactly.
 //
 // Stop() (also run by the destructor) is graceful: admission closes,
 // the dispatcher drains everything already admitted (still applying
@@ -86,6 +115,11 @@
 #include "serve/fault.hpp"
 #include "serve/ring.hpp"
 #include "serve/shed.hpp"
+#include "sim/ber_runner.hpp"
+
+namespace cldpc::obs {
+class EventJournal;
+}
 
 namespace cldpc::serve {
 
@@ -119,6 +153,11 @@ struct DecodeResponse {
   std::int32_t tier = 0;
   /// Submit -> response-ready latency.
   std::int64_t latency_us = 0;
+  /// Monotonic lifecycle trace id assigned at admission (>= 1).
+  std::uint64_t trace_id = 0;
+  /// Frame-check verdict (kOk with ServiceConfig::frame_check only).
+  bool checked = false;
+  bool check_passed = false;
 };
 
 struct ServiceConfig {
@@ -140,6 +179,15 @@ struct ServiceConfig {
   bool drain_on_stop = true;
   /// Optional decode telemetry (borrowed; must outlive the service).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional frame integrity check (the catalog CRC hook) applied to
+  /// every kOk decode's hard decisions — see the class comment.
+  sim::FrameCheck frame_check;
+  /// Optional event journal (borrowed; must outlive the service).
+  obs::EventJournal* journal = nullptr;
+  /// Lifecycle-trace sampling: trace every Nth admitted request
+  /// (0 = off). Needs metrics with tracing enabled. Deterministic in
+  /// (trace_id, faults.seed), so one seed replays the sampled set.
+  std::uint64_t trace_sample_every = 0;
 };
 
 /// Totals since construction. Final (and exactly consistent with the
@@ -158,6 +206,10 @@ struct ServiceStats {
   std::uint64_t responses_dropped = 0;
   std::uint64_t tier_frames[kNumShedTiers] = {0, 0, 0};
   std::uint64_t faults_injected = 0;
+  /// Frame-check verdicts (ok == check_accepted + check_rejected
+  /// when ServiceConfig::frame_check is set; both 0 otherwise).
+  std::uint64_t check_accepted = 0;
+  std::uint64_t check_rejected = 0;
 };
 
 class DecodeService;
@@ -189,7 +241,8 @@ class DecodeClient {
       : id_(id), ring_(capacity) {}
 
   /// Service-side delivery: push or drop-and-count, never block.
-  void Deliver(DecodeResponse&& response);
+  /// Returns false iff the response was dropped (slow consumer).
+  bool Deliver(DecodeResponse&& response);
 
   const std::uint32_t id_;
   BoundedRing<DecodeResponse> ring_;
@@ -226,6 +279,14 @@ class DecodeService {
   void Stop();
 
   ServiceStats Stats() const;
+
+  /// Publish current ServiceStats totals into the metrics registry as
+  /// ABSOLUTE stores (obs::Shard::Set) — idempotent, so the snapshot
+  /// publisher's pre-snapshot hook may call it live at any rate and
+  /// Stop() calling it once more still yields exact finals. No-op
+  /// without metrics. Thread-safe.
+  void SyncMetricsCounters();
+
   std::size_t QueueDepth() const { return ring_.SizeApprox(); }
   std::size_t n() const;
   const ServiceConfig& config() const { return config_; }
@@ -240,6 +301,9 @@ class DecodeService {
     std::vector<double> llrs;
     ServiceClock::time_point deadline{};
     ServiceClock::time_point submitted{};
+    ServiceClock::time_point dequeued{};
+    std::uint64_t trace_id = 0;
+    bool trace_sampled = false;
   };
   struct Metrics;  // registered ids; definition local to service.cpp
 
@@ -247,7 +311,10 @@ class DecodeService {
   void DecodeBatchJob(std::vector<Request> batch, int tier,
                       std::uint64_t batch_id);
   void Finish(Request& request, DecodeResponse&& response);
-  void FlushCountersToMetrics();
+  /// Lifecycle span helper: one complete event ending now, starting
+  /// `dur_us` ago, on `shard`'s trace track.
+  void EmitSpan(obs::Shard* shard, const char* name, std::int64_t dur_us,
+                std::uint64_t trace_id, int tier, int status);
 
   const ldpc::LdpcCode& code_;
   ServiceConfig config_;
@@ -272,9 +339,13 @@ class DecodeService {
   // exactly one terminal counter).
   std::atomic<std::uint64_t> submitted_{0}, rejected_full_{0},
       rejected_malformed_{0}, rejected_shutdown_{0}, admitted_{0}, ok_{0},
-      shed_expired_{0}, failed_{0}, shed_shutdown_{0}, faults_injected_{0};
+      shed_expired_{0}, failed_{0}, shed_shutdown_{0}, faults_injected_{0},
+      check_accepted_{0}, check_rejected_{0};
   std::atomic<std::uint64_t> tier_frames_[kNumShedTiers];
   std::atomic<std::uint64_t> batch_counter_{0};
+  std::atomic<std::uint64_t> trace_counter_{0};
+  /// Last journaled shed tier (dispatcher thread only; -1 = none).
+  int journal_last_tier_ = -1;
 
   std::unique_ptr<Metrics> metrics_;  // null = disabled
   std::unique_ptr<engine::ThreadPool> pool_;

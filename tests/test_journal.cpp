@@ -1,0 +1,152 @@
+// Tests for the structured event journal (src/obs/journal.hpp):
+// cldpc-events-v1 line schema, contiguous 0-based seq, monotonic
+// t_ms, int-and-string args, whole-line atomicity under concurrent
+// Append, and Close/after-Close semantics.
+#include "obs/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace cldpc::obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<util::JsonValue> ReadJournal(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<util::JsonValue> docs;
+  std::string line;
+  while (std::getline(in, line)) docs.push_back(util::JsonValue::Parse(line));
+  return docs;
+}
+
+TEST(EventJournalTest, LinesMatchSchemaWithContiguousSeq) {
+  const std::string path = TempPath("journal_schema.jsonl");
+  {
+    EventJournal journal(EventJournalOptions{path});
+    journal.Append("tier_change", "serve", {{"tier", 1}, {"occupancy", 42}});
+    journal.Append("fault_stall", "serve",
+                   {{"batch_id", std::uint64_t{7}}, {"stall_us", 1500}});
+    journal.Append("dispatch", "dist", {{"unit", "u0003"}, {"attempt", 0}});
+    EXPECT_EQ(journal.entries(), 3u);
+    journal.Close();
+  }
+
+  const auto docs = ReadJournal(path);
+  ASSERT_EQ(docs.size(), 3u);
+  std::uint64_t prev_t = 0;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const auto& doc = docs[i];
+    EXPECT_EQ(doc.At("schema").AsString(), "cldpc-events-v1");
+    EXPECT_EQ(doc.At("seq").AsUint(), i);  // 0-based, contiguous
+    const std::uint64_t t = doc.At("t_ms").AsUint();
+    EXPECT_GE(t, prev_t);  // monotonic
+    prev_t = t;
+    EXPECT_TRUE(doc.Has("kind"));
+    EXPECT_TRUE(doc.Has("source"));
+    EXPECT_TRUE(doc.Has("args"));
+  }
+  EXPECT_EQ(docs[0].At("kind").AsString(), "tier_change");
+  EXPECT_EQ(docs[0].At("source").AsString(), "serve");
+  EXPECT_EQ(docs[0].At("args").At("tier").AsInt(), 1);
+  EXPECT_EQ(docs[1].At("args").At("batch_id").AsUint(), 7u);
+  // String args survive as strings (the dist layer's unit ids).
+  EXPECT_EQ(docs[2].At("args").At("unit").AsString(), "u0003");
+  EXPECT_EQ(docs[2].At("source").AsString(), "dist");
+  std::remove(path.c_str());
+}
+
+TEST(EventJournalTest, TruncatesOnOpen) {
+  const std::string path = TempPath("journal_trunc.jsonl");
+  {
+    EventJournal journal(EventJournalOptions{path});
+    journal.Append("service_stop", "serve", {{"submitted", 1}});
+  }
+  {
+    // A rerun owns the journal from line 0 again.
+    EventJournal journal(EventJournalOptions{path});
+    journal.Append("tier_change", "serve", {{"tier", 0}, {"occupancy", 0}});
+  }
+  const auto docs = ReadJournal(path);
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].At("seq").AsUint(), 0u);
+  EXPECT_EQ(docs[0].At("kind").AsString(), "tier_change");
+  std::remove(path.c_str());
+}
+
+TEST(EventJournalTest, ConcurrentAppendsProduceWholeUniqueLines) {
+  // Append is the only journal call on the service's hot-ish paths
+  // (worker threads journal faults); N threads racing must still
+  // yield exactly N*K parseable lines covering every (thread, i) pair
+  // once, with seq a permutation of 0..N*K-1.
+  const std::string path = TempPath("journal_concurrent.jsonl");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  {
+    EventJournal journal(EventJournalOptions{path, /*fsync_every=*/0});
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&journal, t] {
+        for (int i = 0; i < kPerThread; ++i)
+          journal.Append("client_drop", "serve",
+                         {{"client", t}, {"frame_id", i}});
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(journal.entries(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+  }
+
+  const auto docs = ReadJournal(path);
+  ASSERT_EQ(docs.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::set<std::uint64_t> seqs;
+  std::set<std::pair<std::int64_t, std::int64_t>> payloads;
+  for (const auto& doc : docs) {
+    seqs.insert(doc.At("seq").AsUint());
+    payloads.insert({doc.At("args").At("client").AsInt(),
+                     doc.At("args").At("frame_id").AsInt()});
+  }
+  EXPECT_EQ(seqs.size(), docs.size());  // unique...
+  EXPECT_EQ(*seqs.begin(), 0u);         // ...and contiguous
+  EXPECT_EQ(*seqs.rbegin(), docs.size() - 1);
+  EXPECT_EQ(payloads.size(), docs.size());  // no line lost or doubled
+  std::remove(path.c_str());
+}
+
+TEST(EventJournalTest, CloseIsIdempotentAndDropsLateAppends) {
+  const std::string path = TempPath("journal_close.jsonl");
+  EventJournal journal(EventJournalOptions{path});
+  journal.Append("service_stop", "serve", {{"submitted", 9}});
+  journal.Close();
+  journal.Close();  // idempotent
+  // Post-Close appends are silently dropped (shutdown races must not
+  // crash the data plane), and don't count as entries.
+  journal.Append("tier_change", "serve", {{"tier", 2}, {"occupancy", 64}});
+  EXPECT_EQ(journal.entries(), 1u);
+  const auto docs = ReadJournal(path);
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].At("kind").AsString(), "service_stop");
+  std::remove(path.c_str());
+}
+
+TEST(EventJournalTest, UnopenablePathThrows) {
+  EXPECT_THROW(
+      EventJournal(EventJournalOptions{"/nonexistent-dir/journal.jsonl"}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cldpc::obs

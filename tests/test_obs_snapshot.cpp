@@ -1,0 +1,299 @@
+// Tests for the live observability plane's snapshot half
+// (src/obs/snapshot.hpp + MetricsRegistry::Snapshot): lock-free
+// shard-consistent reads under concurrent load, the snapshot-sum-
+// equals-final-flush delta identity, publisher file outputs, and the
+// SIGINT emergency flush.
+#include "obs/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+#include "util/shutdown.hpp"
+
+namespace cldpc::obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// --- LiveHist bucket math -------------------------------------------
+
+TEST(LiveHist, BucketBoundsTile) {
+  // Bucket 0 holds v <= 0; bucket b holds [2^(b-1), 2^b - 1]: every
+  // value lands in exactly one bucket whose upper bound is >= it.
+  EXPECT_EQ(LiveBucketFor(0), 0u);
+  EXPECT_EQ(LiveBucketFor(-5), 0u);
+  EXPECT_EQ(LiveBucketFor(1), 1u);
+  EXPECT_EQ(LiveBucketFor(2), 2u);
+  EXPECT_EQ(LiveBucketFor(3), 2u);
+  EXPECT_EQ(LiveBucketFor(4), 3u);
+  for (std::int64_t v : {1, 2, 3, 7, 8, 100, 4095, 4096, 1 << 20}) {
+    const std::size_t b = LiveBucketFor(v);
+    EXPECT_LE(v, LiveBucketUpperBound(b)) << v;
+    if (b > 1) {
+      EXPECT_GT(v, LiveBucketUpperBound(b - 1)) << v;
+    }
+  }
+}
+
+// --- Registry snapshots ---------------------------------------------
+
+TEST(RegistrySnapshotTest, QuiescentSnapshotEqualsMerge) {
+  MetricsRegistry reg;
+  const CounterId c = reg.Counter("t.count");
+  const HistogramId h = reg.Hist("t.lat", Determinism::kWallClock, "us");
+  reg.SetShardCount(3);
+  for (std::size_t s = 0; s < 3; ++s) {
+    reg.shard(s).Add(c, 10 * (s + 1));
+    for (int i = 1; i <= 8; ++i)
+      reg.shard(s).Record(h, static_cast<std::int64_t>(i * (s + 1)));
+  }
+  reg.SetGauge("t.gauge", 2.5);
+
+  const auto live = reg.Snapshot();
+  const auto merged = reg.Merge();
+  ASSERT_EQ(live.counters.size(), merged.counters.size());
+  EXPECT_EQ(live.counters[0].value, merged.counters[0].value);
+  ASSERT_EQ(live.histograms.size(), 1u);
+  const auto exact = merged.histograms[0].hist.Summarize();
+  EXPECT_EQ(live.histograms[0].count, exact.count);
+  EXPECT_EQ(live.histograms[0].min, exact.min);
+  EXPECT_EQ(live.histograms[0].max, exact.max);
+  EXPECT_DOUBLE_EQ(live.histograms[0].mean, exact.mean);
+  // Log2-bucket quantiles are upper bounds within 2x of the truth.
+  EXPECT_GE(live.histograms[0].p50, exact.p50);
+  EXPECT_LE(live.histograms[0].p50, 2 * exact.p50);
+  ASSERT_EQ(live.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(live.gauges[0].value, 2.5);
+}
+
+TEST(RegistrySnapshotTest, SetIsAbsoluteAndIdempotent) {
+  MetricsRegistry reg;
+  const CounterId c = reg.Counter("t.synced");
+  reg.SetShardCount(1);
+  reg.shard(0).Set(c, 41);
+  reg.shard(0).Set(c, 41);  // republish must not double-count
+  reg.shard(0).Set(c, 42);
+  EXPECT_EQ(reg.Snapshot().counters[0].value, 42u);
+  EXPECT_EQ(reg.MergedCounter(c), 42u);
+}
+
+TEST(RegistrySnapshotTest, ConcurrentSnapshotsSeeConsistentShards) {
+  // Writers hammer one counter and one histogram per shard while a
+  // reader snapshots continuously. Every snapshot must be internally
+  // consistent (histogram count == bucket sum by construction, so the
+  // derived stats can never be torn) and monotonic in time.
+  MetricsRegistry reg;
+  const CounterId c = reg.Counter("t.frames");
+  const HistogramId h = reg.Hist("t.lat", Determinism::kWallClock, "us");
+  constexpr std::size_t kWriters = 3;
+  constexpr std::uint64_t kPerWriter = 40000;
+  reg.SetShardCount(kWriters);
+
+  std::atomic<bool> go{false}, done{false};
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      while (!go.load()) {}
+      Shard& shard = reg.shard(w);
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        shard.Add(c, 1);
+        shard.Record(h, static_cast<std::int64_t>(i % 1024));
+      }
+    });
+  }
+
+  std::uint64_t prev_count = 0, prev_hist = 0, snapshots = 0;
+  std::thread reader([&] {
+    while (!done.load()) {
+      const auto snap = reg.Snapshot();
+      ++snapshots;
+      // Counters only ever grow.
+      ASSERT_GE(snap.counters[0].value, prev_count);
+      prev_count = snap.counters[0].value;
+      const auto& hist = snap.histograms[0];
+      ASSERT_GE(hist.count, prev_hist);
+      prev_hist = hist.count;
+      if (hist.count > 0) {
+        ASSERT_GE(hist.min, 0);
+        ASSERT_LE(hist.min, hist.max);
+        ASSERT_LT(hist.max, 1024);
+        ASSERT_GE(hist.mean, 0.0);
+      }
+    }
+  });
+
+  go.store(true);
+  for (auto& t : writers) t.join();
+  done.store(true);
+  reader.join();
+  EXPECT_GT(snapshots, 0u);
+
+  // Quiescent: the live view agrees exactly with the final merge.
+  const auto final_snap = reg.Snapshot();
+  EXPECT_EQ(final_snap.counters[0].value, kWriters * kPerWriter);
+  EXPECT_EQ(final_snap.histograms[0].count, kWriters * kPerWriter);
+  EXPECT_EQ(reg.Merge().histograms[0].hist.Summarize().count,
+            kWriters * kPerWriter);
+}
+
+// --- SnapshotPublisher ----------------------------------------------
+
+TEST(SnapshotPublisherTest, DeltasTelescopeToFinalTotal) {
+  MetricsRegistry reg;
+  const CounterId c = reg.Counter("t.frames");
+  reg.SetShardCount(1);
+
+  SnapshotOptions options;
+  options.interval = std::chrono::milliseconds(10);
+  SnapshotPublisher publisher(reg, options);
+  publisher.Start();
+  for (int i = 0; i < 40; ++i) {
+    reg.shard(0).Add(c, 7);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  publisher.Stop();
+
+  const auto history = publisher.History();
+  ASSERT_GE(history.size(), 2u);  // several ticks + the final flush
+  std::uint64_t seq = 0, delta_sum = 0;
+  for (const auto& snap : history) {
+    EXPECT_EQ(snap.seq, ++seq);
+    delta_sum += snap.counters[0].delta;
+    EXPECT_EQ(snap.final_flush, &snap == &history.back());
+  }
+  // The identity the external validator enforces, in-process: deltas
+  // telescope to the exact final total.
+  EXPECT_EQ(delta_sum, 40u * 7u);
+  EXPECT_EQ(history.back().counters[0].total, 40u * 7u);
+}
+
+TEST(SnapshotPublisherTest, PreSnapshotHookRunsBeforeEveryBuild) {
+  // The hook is how DecodeService republishes its atomics; it must
+  // run before each snapshot including the final one.
+  MetricsRegistry reg;
+  const CounterId c = reg.Counter("t.synced");
+  reg.SetShardCount(1);
+  std::atomic<std::uint64_t> syncs{0};
+  SnapshotOptions options;
+  options.interval = std::chrono::milliseconds(5);
+  options.pre_snapshot = [&] { reg.shard(0).Set(c, ++syncs); };
+  SnapshotPublisher publisher(reg, options);
+  publisher.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  publisher.Stop();
+  EXPECT_GE(syncs.load(), 2u);
+  EXPECT_EQ(publisher.History().back().counters[0].total, syncs.load());
+}
+
+TEST(SnapshotPublisherTest, WritesLatestAndHistoryFiles) {
+  MetricsRegistry reg;
+  const CounterId c = reg.Counter("t.frames");
+  reg.SetShardCount(1);
+  reg.shard(0).Add(c, 5);
+
+  SnapshotOptions options;
+  options.interval = std::chrono::hours(1);  // only explicit publishes
+  options.latest_json_path = TempPath("snap_latest.json");
+  options.history_jsonl_path = TempPath("snap_history.jsonl");
+  SnapshotPublisher publisher(reg, options);
+  publisher.PublishNow(false);
+  reg.shard(0).Add(c, 3);
+  // Never Start()ed: Stop() just publishes the final snapshot — the
+  // shard coordinator's fork-safe single-threaded mode — and makes
+  // the destructor a no-op.
+  publisher.Stop();
+
+  std::ifstream latest(options.latest_json_path);
+  ASSERT_TRUE(latest.good());
+  std::stringstream latest_text;
+  latest_text << latest.rdbuf();
+  const auto doc = util::JsonValue::Parse(latest_text.str());
+  EXPECT_EQ(doc.At("schema").AsString(), "cldpc-metrics-snapshot-v1");
+  EXPECT_TRUE(doc.At("final").AsBool());
+  EXPECT_EQ(doc.At("counters").At("t.frames").At("total").AsUint(), 8u);
+  EXPECT_EQ(doc.At("counters").At("t.frames").At("delta").AsUint(), 3u);
+
+  std::ifstream history(options.history_jsonl_path);
+  std::string line;
+  std::uint64_t lines = 0, seq = 0;
+  while (std::getline(history, line)) {
+    const auto entry = util::JsonValue::Parse(line);
+    EXPECT_EQ(entry.At("seq").AsUint(), ++seq);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(options.latest_json_path.c_str());
+  std::remove(options.history_jsonl_path.c_str());
+}
+
+TEST(SnapshotPublisherTest, RingIsBounded) {
+  MetricsRegistry reg;
+  reg.Counter("t.c");
+  reg.SetShardCount(1);
+  SnapshotOptions options;
+  options.interval = std::chrono::hours(1);
+  options.ring_capacity = 3;
+  SnapshotPublisher publisher(reg, options);
+  for (int i = 0; i < 10; ++i) publisher.PublishNow(false);
+  const auto history = publisher.History();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history.front().seq, 8u);  // oldest dropped
+  EXPECT_EQ(history.back().seq, 10u);
+  EXPECT_EQ(publisher.published(), 10u);
+}
+
+TEST(SnapshotPublisherTest, EmergencyFlushOnShutdownRequest) {
+  // The SIGINT satellite: once the cooperative shutdown flag is up,
+  // the next tick writes a complete, valid cldpc-metrics-v1 document
+  // so a process that dies before Stop() still leaves metrics behind.
+  MetricsRegistry reg;
+  const CounterId c = reg.Counter("t.frames");
+  const HistogramId h = reg.Hist("t.lat", Determinism::kWallClock, "us");
+  reg.SetShardCount(1);
+  reg.shard(0).Add(c, 12);
+  reg.shard(0).Record(h, 100);
+  reg.shard(0).Record(h, 3000);
+
+  SnapshotOptions options;
+  options.interval = std::chrono::hours(1);
+  options.emergency_metrics_json = TempPath("snap_emergency.json");
+  SnapshotPublisher publisher(reg, options);
+
+  publisher.PublishNow(false);
+  EXPECT_FALSE(std::ifstream(options.emergency_metrics_json).good());
+
+  util::RequestShutdownForTest(true);
+  publisher.PublishNow(false);
+  util::RequestShutdownForTest(false);
+
+  std::ifstream in(options.emergency_metrics_json);
+  ASSERT_TRUE(in.good());
+  std::stringstream text;
+  text << in.rdbuf();
+  const auto doc = util::JsonValue::Parse(text.str());
+  EXPECT_EQ(doc.At("schema").AsString(), "cldpc-metrics-v1");
+  EXPECT_EQ(doc.At("counters").At("t.frames").AsUint(), 12u);
+  EXPECT_EQ(doc.At("histograms").At("t.lat").At("count").AsUint(), 2u);
+  // Live log2 bins stand in for exact bins and still sum to count.
+  std::uint64_t bin_sum = 0;
+  for (const auto& bin : doc.At("histograms").At("t.lat").At("bins").AsArray())
+    bin_sum += bin.AsArray()[1].AsUint();
+  EXPECT_EQ(bin_sum, 2u);
+  std::remove(options.emergency_metrics_json.c_str());
+}
+
+}  // namespace
+}  // namespace cldpc::obs

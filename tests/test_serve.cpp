@@ -15,13 +15,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <string>
+
 #include "channel/awgn.hpp"
 #include "codes/catalog.hpp"
 #include "ldpc/core/registry.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "serve/ring.hpp"
 #include "serve/shed.hpp"
 #include "util/contracts.hpp"
+#include "util/json.hpp"
 
 namespace cldpc::serve {
 namespace {
@@ -461,6 +468,237 @@ TEST_F(DecodeServiceTest, WaitPopDeliversAcrossThreadsWithTimeout) {
   EXPECT_EQ(received, 4u);
   // Timeout path: nothing pending, bounded wait, false.
   EXPECT_FALSE(client.WaitPop(response, std::chrono::microseconds(1000)));
+}
+
+// --- Observability plane --------------------------------------------
+
+TEST_F(DecodeServiceTest, FrameCheckVerdictsPartitionOkResponses) {
+  // Synthetic integrity check (pure function of the bits, like the
+  // catalog's CRC hook): every kOk response must carry a verdict, and
+  // the verdicts must partition ok exactly.
+  ServiceConfig config = BaseConfig();
+  config.frame_check = [](std::span<const std::uint8_t> bits) {
+    std::uint64_t ones = 0;
+    for (const auto b : bits) ones += b;
+    return ones % 2 == 0;  // accept even-weight words
+  };
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 24, 17);
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+  service.Stop();
+
+  const auto stats = service.Stats();
+  ExpectAccountingExact(stats);
+  EXPECT_EQ(stats.ok, stats.check_accepted + stats.check_rejected);
+  std::uint64_t accepted = 0, rejected = 0;
+  DecodeResponse response;
+  while (client.TryPop(response)) {
+    ASSERT_EQ(response.status, Status::kOk);
+    EXPECT_TRUE(response.checked);
+    // The response's verdict is exactly the check applied to its bits.
+    std::uint64_t ones = 0;
+    for (const auto b : response.bits) ones += b;
+    EXPECT_EQ(response.check_passed, ones % 2 == 0);
+    ++(response.check_passed ? accepted : rejected);
+  }
+  EXPECT_EQ(accepted, stats.check_accepted);
+  EXPECT_EQ(rejected, stats.check_rejected);
+}
+
+TEST_F(DecodeServiceTest, NoFrameCheckMeansNoVerdicts) {
+  DecodeService service(code(), BaseConfig());
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 4, 18);
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+  service.Stop();
+  EXPECT_EQ(service.Stats().check_accepted, 0u);
+  EXPECT_EQ(service.Stats().check_rejected, 0u);
+  DecodeResponse response;
+  while (client.TryPop(response)) EXPECT_FALSE(response.checked);
+}
+
+TEST_F(DecodeServiceTest, TraceIdsAreUniqueMonotonicAndSpansOrdered) {
+  // Lifecycle tracing: every admitted request gets a distinct
+  // monotonic trace id, and a sampled request's spans reconstruct the
+  // stage order submit <= dequeue <= terminal.
+  obs::MetricsRegistry registry;
+  registry.EnableTracing();
+  ServiceConfig config = BaseConfig();
+  config.metrics = &registry;
+  config.trace_sample_every = 1;  // sample everything
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+  constexpr std::size_t kFrames = 12;
+  const auto frames = MakeFrames(code(), kFrames, 19);
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+  service.Stop();
+
+  // One submitting thread, no rejections: ids are assigned in submit
+  // order, 1-based, gap-free — so they are unique and monotonic.
+  DecodeResponse response;
+  std::size_t responses = 0;
+  while (client.TryPop(response)) {
+    ASSERT_EQ(response.status, Status::kOk);
+    EXPECT_EQ(response.trace_id, response.id + 1);
+    ++responses;
+  }
+  EXPECT_EQ(responses, kFrames);
+
+  // Every sampled request emitted exactly one "req.queue" span
+  // (submit -> dequeue, dispatcher track) and one "req.decode" span
+  // (dequeue -> terminal, worker track).
+  struct Span {
+    std::uint64_t end_ns = 0;
+    std::int64_t status = -2;
+    bool seen = false;
+  };
+  std::map<std::int64_t, Span> queue_spans, decode_spans;
+  for (const auto& [shard_index, ev] : registry.CollectTrace()) {
+    (void)shard_index;
+    const std::string name(ev.name);
+    if (name != "req.queue" && name != "req.decode") continue;
+    ASSERT_STREQ(ev.arg_names[0], "trace_id");
+    auto& span = name == "req.queue" ? queue_spans[ev.arg_values[0]]
+                                     : decode_spans[ev.arg_values[0]];
+    EXPECT_FALSE(span.seen) << "duplicate span for trace " << ev.arg_values[0];
+    span.seen = true;
+    span.end_ns = ev.ts_ns + ev.dur_ns;
+    span.status = ev.arg_values[2];
+  }
+  ASSERT_EQ(queue_spans.size(), kFrames);
+  ASSERT_EQ(decode_spans.size(), kFrames);
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    const auto trace_id = static_cast<std::int64_t>(f + 1);
+    const auto& queue = queue_spans.at(trace_id);
+    const auto& decode = decode_spans.at(trace_id);
+    EXPECT_EQ(queue.status, -1);  // proceeded to decode
+    EXPECT_EQ(decode.status, static_cast<int>(Status::kOk));
+    // Stage ordering: the queue span ends at dequeue, the decode span
+    // at the terminal state, and dequeue happens-before terminal.
+    EXPECT_LE(queue.end_ns, decode.end_ns) << "trace " << trace_id;
+  }
+}
+
+TEST_F(DecodeServiceTest, TraceSamplingSelectsSeedDeterministicResidue) {
+  obs::MetricsRegistry registry;
+  registry.EnableTracing();
+  ServiceConfig config = BaseConfig();
+  config.metrics = &registry;
+  config.trace_sample_every = 4;
+  config.faults.seed = 6;  // sampled iff trace_id % 4 == 6 % 4 == 2
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 16, 20);
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+  service.Stop();
+
+  std::set<std::int64_t> traced;
+  for (const auto& [shard_index, ev] : registry.CollectTrace()) {
+    (void)shard_index;
+    if (std::string(ev.name) != "req.queue" &&
+        std::string(ev.name) != "req.decode")
+      continue;
+    EXPECT_EQ(ev.arg_values[0] % 4, 2) << ev.name;
+    traced.insert(ev.arg_values[0]);
+  }
+  // Trace ids 1..16, residue 2 mod 4: exactly {2, 6, 10, 14}.
+  EXPECT_EQ(traced, (std::set<std::int64_t>{2, 6, 10, 14}));
+}
+
+TEST_F(DecodeServiceTest, JournalReplaysFaultOracleExactly) {
+  // The journal writes fault events at exactly the counter-increment
+  // sites, so (a) journaled fault events == stats.faults_injected and
+  // (b) every journaled decision re-derives from the seed's oracle —
+  // the post-mortem-without-rerunning contract.
+  const std::string path = ::testing::TempDir() + "serve_journal.jsonl";
+  ServiceConfig config = BaseConfig();
+  config.faults.seed = 23;
+  config.faults.stall_permille = 300;
+  config.faults.stall_us = 200;
+  config.faults.decode_throw_permille = 250;
+  obs::EventJournal journal(obs::EventJournalOptions{path});
+  config.journal = &journal;
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 48, 21);
+  for (std::size_t f = 0; f < frames.size(); ++f)
+    ASSERT_EQ(service.Submit(client, f, frames[f], FarDeadline()),
+              Admission::kAdmitted);
+  service.Stop();
+  journal.Close();
+  const auto stats = service.Stats();
+  ExpectAccountingExact(stats);
+  EXPECT_GT(stats.faults_injected, 0u);
+
+  const FaultInjector oracle(config.faults);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::uint64_t fault_events = 0, expected_seq = 0;
+  util::JsonValue last = util::JsonValue::Object();
+  while (std::getline(in, line)) {
+    const auto doc = util::JsonValue::Parse(line);
+    EXPECT_EQ(doc.At("schema").AsString(), "cldpc-events-v1");
+    EXPECT_EQ(doc.At("seq").AsUint(), expected_seq++);
+    EXPECT_EQ(doc.At("source").AsString(), "serve");
+    const std::string kind = doc.At("kind").AsString();
+    if (kind == "fault_stall") {
+      ++fault_events;
+      EXPECT_TRUE(oracle.StallBatch(doc.At("args").At("batch_id").AsUint()));
+    } else if (kind == "fault_throw") {
+      ++fault_events;
+      EXPECT_TRUE(oracle.ThrowInDecode(doc.At("args").At("frame_id").AsUint()));
+    }
+    last = doc;
+  }
+  EXPECT_EQ(fault_events, stats.faults_injected);
+  // The journal's last word is the stop event with the final totals.
+  EXPECT_EQ(last.At("kind").AsString(), "service_stop");
+  EXPECT_EQ(last.At("args").At("submitted").AsUint(), stats.submitted);
+  EXPECT_EQ(last.At("args").At("ok").AsUint(), stats.ok);
+  EXPECT_EQ(last.At("args").At("faults_injected").AsUint(),
+            stats.faults_injected);
+  std::remove(path.c_str());
+}
+
+TEST_F(DecodeServiceTest, SyncMetricsCountersIsIdempotentAndExactAtStop) {
+  // The snapshot publisher's pre-snapshot hook calls this at an
+  // arbitrary rate while the service runs; absolute stores mean the
+  // repeated live syncs plus Stop()'s final sync still land on the
+  // exact totals.
+  obs::MetricsRegistry registry;
+  ServiceConfig config = BaseConfig();
+  config.metrics = &registry;
+  DecodeService service(code(), config);
+  auto& client = service.Connect();
+  const auto frames = MakeFrames(code(), 16, 22);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    service.Submit(client, f, frames[f], FarDeadline());
+    service.SyncMetricsCounters();  // live, mid-run, many times
+  }
+  service.Stop();
+  service.SyncMetricsCounters();  // once more after the final sync
+
+  const auto stats = service.Stats();
+  // Counter() deduplicates by name; the serve family registers with
+  // the kScheduling tag.
+  const auto lookup = [&registry](const char* name) {
+    return registry.MergedCounter(
+        registry.Counter(name, obs::Determinism::kScheduling));
+  };
+  EXPECT_EQ(lookup("serve.submitted"), stats.submitted);
+  EXPECT_EQ(lookup("serve.admitted"), stats.admitted);
+  EXPECT_EQ(lookup("serve.ok"), stats.ok);
+  EXPECT_EQ(lookup("serve.failed"), stats.failed);
 }
 
 }  // namespace
